@@ -1,0 +1,335 @@
+//! Accepting-lasso search (Büchi emptiness) by nested depth-first search.
+//!
+//! The CVWY nested-DFS algorithm (Courcoubetis–Vardi–Wolper–Yannakakis):
+//! an outer ("blue") DFS explores the reachable state space; whenever an
+//! accepting state is *postordered*, an inner ("red") DFS looks for a cycle
+//! back to it. The red visited-set persists across inner searches, which
+//! keeps the whole procedure linear in the size of the product.
+//!
+//! The search is generic over [`TransitionSystem`], so the verifier can run
+//! it directly on the on-the-fly product of a composition with a property
+//! automaton without materializing either.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// An implicitly represented Büchi-annotated transition system.
+pub trait TransitionSystem {
+    /// The state type; hashed into visited sets, so keep it compact.
+    type State: Clone + Eq + Hash;
+
+    /// Initial states.
+    fn initial_states(&self) -> Vec<Self::State>;
+
+    /// Successor states (the on-the-fly expansion).
+    fn successors(&self, s: &Self::State) -> Vec<Self::State>;
+
+    /// Büchi acceptance flag.
+    fn is_accepting(&self, s: &Self::State) -> bool;
+}
+
+/// A counterexample witness: the run `prefix · cycle^ω`.
+///
+/// `prefix` leads from an initial state to `cycle[0]` exclusive (it may be
+/// empty when an initial state lies on the cycle); the last state of `cycle`
+/// has a transition back to `cycle[0]`, and some state on `cycle` is
+/// accepting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lasso<S> {
+    /// States from an initial state up to (not including) the cycle entry.
+    pub prefix: Vec<S>,
+    /// The cycle, entered at `cycle[0]`; non-empty.
+    pub cycle: Vec<S>,
+}
+
+/// Exploration statistics, reported by the verifier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Distinct states visited by the outer DFS.
+    pub states_visited: u64,
+    /// Transitions expanded (outer and inner DFS).
+    pub transitions_explored: u64,
+}
+
+/// The search's state budget was exhausted before an answer was reached.
+///
+/// The cap is checked between expansions, so `states_visited` may exceed
+/// the configured maximum by one (the state whose expansion tripped it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// States visited when the budget tripped.
+    pub states_visited: u64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "state budget exhausted after {} states",
+            self.states_visited
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Searches for an accepting lasso; `None` means the language is empty.
+pub fn find_accepting_lasso<TS: TransitionSystem>(ts: &TS) -> Option<Lasso<TS::State>> {
+    find_accepting_lasso_stats(ts).0
+}
+
+/// [`find_accepting_lasso`] with exploration statistics.
+pub fn find_accepting_lasso_stats<TS: TransitionSystem>(
+    ts: &TS,
+) -> (Option<Lasso<TS::State>>, SearchStats) {
+    find_accepting_lasso_budget(ts, u64::MAX).expect("unlimited budget")
+}
+
+/// [`find_accepting_lasso_stats`] with a cap on visited states — the
+/// verifier's safety valve against state-space blowups (and the measuring
+/// device of the `boundaries` crate's divergence experiments).
+pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
+    ts: &TS,
+    max_states: u64,
+) -> Result<(Option<Lasso<TS::State>>, SearchStats), BudgetExceeded> {
+    let mut stats = SearchStats::default();
+    let mut blue: HashSet<TS::State> = HashSet::new();
+    let mut red: HashSet<TS::State> = HashSet::new();
+
+    struct Frame<S> {
+        state: S,
+        succs: Vec<S>,
+        next: usize,
+    }
+
+    for init in ts.initial_states() {
+        if blue.contains(&init) {
+            continue;
+        }
+        blue.insert(init.clone());
+        stats.states_visited += 1;
+        let mut stack: Vec<Frame<TS::State>> = vec![Frame {
+            succs: ts.successors(&init),
+            state: init,
+            next: 0,
+        }];
+        while let Some(frame) = stack.last_mut() {
+            if stats.states_visited > max_states {
+                return Err(BudgetExceeded {
+                    states_visited: stats.states_visited,
+                });
+            }
+            if frame.next < frame.succs.len() {
+                let succ = frame.succs[frame.next].clone();
+                frame.next += 1;
+                stats.transitions_explored += 1;
+                if !blue.contains(&succ) {
+                    blue.insert(succ.clone());
+                    stats.states_visited += 1;
+                    stack.push(Frame {
+                        succs: ts.successors(&succ),
+                        state: succ,
+                        next: 0,
+                    });
+                }
+            } else {
+                // Postorder.
+                let state = frame.state.clone();
+                if ts.is_accepting(&state) {
+                    if let Some(cycle) = red_search(ts, &state, &mut red, &mut stats) {
+                        // The blue stack spells the path from the initial
+                        // state to `state` (inclusive at the top).
+                        let prefix: Vec<TS::State> = stack
+                            .iter()
+                            .take(stack.len() - 1)
+                            .map(|f| f.state.clone())
+                            .collect();
+                        return Ok((Some(Lasso { prefix, cycle }), stats));
+                    }
+                }
+                stack.pop();
+            }
+        }
+    }
+    Ok((None, stats))
+}
+
+/// Inner DFS from `seed`, looking for a transition back to `seed`.
+/// Returns the cycle `[seed, …, last]` (with `last → seed`) if found.
+fn red_search<TS: TransitionSystem>(
+    ts: &TS,
+    seed: &TS::State,
+    red: &mut HashSet<TS::State>,
+    stats: &mut SearchStats,
+) -> Option<Vec<TS::State>> {
+    struct Frame<S> {
+        state: S,
+        succs: Vec<S>,
+        next: usize,
+    }
+    if red.contains(seed) {
+        // A previous inner search already explored `seed` without closing a
+        // cycle through an accepting seed; by the CVWY invariant no cycle
+        // through `seed` exists either.
+        return None;
+    }
+    red.insert(seed.clone());
+    let mut stack: Vec<Frame<TS::State>> = vec![Frame {
+        succs: ts.successors(seed),
+        state: seed.clone(),
+        next: 0,
+    }];
+    while let Some(frame) = stack.last_mut() {
+        if frame.next < frame.succs.len() {
+            let succ = frame.succs[frame.next].clone();
+            frame.next += 1;
+            stats.transitions_explored += 1;
+            if &succ == seed {
+                // Cycle closed: the red stack spells seed → … → top.
+                return Some(stack.iter().map(|f| f.state.clone()).collect());
+            }
+            if !red.contains(&succ) {
+                red.insert(succ.clone());
+                stack.push(Frame {
+                    succs: ts.successors(&succ),
+                    state: succ,
+                    next: 0,
+                });
+            }
+        } else {
+            stack.pop();
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small explicit graph for testing.
+    struct Graph {
+        edges: Vec<Vec<usize>>,
+        accepting: Vec<bool>,
+        initial: Vec<usize>,
+    }
+
+    impl TransitionSystem for Graph {
+        type State = usize;
+        fn initial_states(&self) -> Vec<usize> {
+            self.initial.clone()
+        }
+        fn successors(&self, s: &usize) -> Vec<usize> {
+            self.edges[*s].clone()
+        }
+        fn is_accepting(&self, s: &usize) -> bool {
+            self.accepting[*s]
+        }
+    }
+
+    #[test]
+    fn finds_self_loop_on_accepting_state() {
+        let g = Graph {
+            edges: vec![vec![1], vec![1]],
+            accepting: vec![false, true],
+            initial: vec![0],
+        };
+        let lasso = find_accepting_lasso(&g).unwrap();
+        assert_eq!(lasso.prefix, vec![0]);
+        assert_eq!(lasso.cycle, vec![1]);
+    }
+
+    #[test]
+    fn rejects_acyclic_accepting_state() {
+        let g = Graph {
+            edges: vec![vec![1], vec![2], vec![]],
+            accepting: vec![false, true, false],
+            initial: vec![0],
+        };
+        assert!(find_accepting_lasso(&g).is_none());
+    }
+
+    #[test]
+    fn rejects_cycle_without_accepting_state() {
+        let g = Graph {
+            edges: vec![vec![1], vec![0]],
+            accepting: vec![false, false],
+            initial: vec![0],
+        };
+        assert!(find_accepting_lasso(&g).is_none());
+    }
+
+    #[test]
+    fn finds_longer_cycle_through_accepting_state() {
+        // 0 → 1 → 2 → 3 → 1, accepting = {2}
+        let g = Graph {
+            edges: vec![vec![1], vec![2], vec![3], vec![1]],
+            accepting: vec![false, false, true, false],
+            initial: vec![0],
+        };
+        let lasso = find_accepting_lasso(&g).unwrap();
+        // Witness validity: cycle closes and passes through an accepting state.
+        assert!(!lasso.cycle.is_empty());
+        let last = *lasso.cycle.last().unwrap();
+        assert!(g.edges[last].contains(&lasso.cycle[0]));
+        assert!(lasso.cycle.iter().any(|&s| g.accepting[s]));
+        // Prefix is a real path from the initial state to the cycle entry.
+        let mut cur = 0usize;
+        for &next in lasso.prefix.iter().skip(1).chain(lasso.cycle.first()) {
+            assert!(g.edges[cur].contains(&next));
+            cur = next;
+        }
+    }
+
+    #[test]
+    fn accepting_state_only_reachable_not_on_cycle() {
+        // 0 → 1(acc) → 2 → 0 : cycle 0,1,2 passes through 1 → lasso exists.
+        let g = Graph {
+            edges: vec![vec![1], vec![2], vec![0]],
+            accepting: vec![false, true, false],
+            initial: vec![0],
+        };
+        assert!(find_accepting_lasso(&g).is_some());
+    }
+
+    #[test]
+    fn multiple_initial_states() {
+        // Component of 0 is lasso-free; component of 5 has one.
+        let g = Graph {
+            edges: vec![vec![1], vec![], vec![], vec![], vec![], vec![6], vec![5]],
+            accepting: vec![false, false, false, false, false, true, false],
+            initial: vec![0, 5],
+        };
+        let lasso = find_accepting_lasso(&g).unwrap();
+        assert!(lasso.cycle.contains(&5));
+    }
+
+    #[test]
+    fn stats_count_states() {
+        let g = Graph {
+            edges: vec![vec![1], vec![2], vec![]],
+            accepting: vec![false, false, false],
+            initial: vec![0],
+        };
+        let (lasso, stats) = find_accepting_lasso_stats(&g);
+        assert!(lasso.is_none());
+        assert_eq!(stats.states_visited, 3);
+        assert_eq!(stats.transitions_explored, 2);
+    }
+
+    /// Regression guard for the classic nested-DFS pitfall: an accepting
+    /// state whose cycle is only discoverable after the red set has been
+    /// seeded by an earlier (failed) inner search must still be found when
+    /// postorder is respected.
+    #[test]
+    fn cvwy_postorder_interaction() {
+        // 0 → 1 → 2, 2 → 1 (cycle 1-2), accepting = {1}; plus 0 → 3(acc) → 2.
+        let g = Graph {
+            edges: vec![vec![3, 1], vec![2], vec![1], vec![2]],
+            accepting: vec![false, true, false, true],
+            initial: vec![0],
+        };
+        let lasso = find_accepting_lasso(&g).unwrap();
+        assert!(lasso.cycle.iter().any(|&s| g.accepting[s]));
+    }
+}

@@ -1,0 +1,142 @@
+//! Letters and transition guards.
+
+use std::fmt;
+
+/// A letter of the alphabet `2^AP`: bit `i` is the truth value of atomic
+/// proposition `i`. At most 64 propositions are supported, checked by the
+/// automaton constructors.
+pub type Letter = u64;
+
+/// Index of an atomic proposition (a bit position in a [`Letter`]).
+pub type ApId = u32;
+
+/// A conjunction of literals over atomic propositions.
+///
+/// A guard admits a letter iff every `pos` bit is set and every `neg` bit is
+/// clear. Any boolean combination of propositions is expressible as a set of
+/// guards (its DNF), which is how richer transition labels are encoded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Guard {
+    /// Propositions required true.
+    pub pos: Letter,
+    /// Propositions required false.
+    pub neg: Letter,
+}
+
+impl Guard {
+    /// The unconstrained guard (admits every letter).
+    pub const TOP: Guard = Guard { pos: 0, neg: 0 };
+
+    /// Guard requiring proposition `ap` to be true.
+    pub fn require(ap: ApId) -> Guard {
+        Guard {
+            pos: 1 << ap,
+            neg: 0,
+        }
+    }
+
+    /// Guard requiring proposition `ap` to be false.
+    pub fn forbid(ap: ApId) -> Guard {
+        Guard {
+            pos: 0,
+            neg: 1 << ap,
+        }
+    }
+
+    /// Conjunction of two guards (may become unsatisfiable).
+    pub fn and(self, other: Guard) -> Guard {
+        Guard {
+            pos: self.pos | other.pos,
+            neg: self.neg | other.neg,
+        }
+    }
+
+    /// Whether some letter satisfies the guard.
+    pub fn is_satisfiable(self) -> bool {
+        self.pos & self.neg == 0
+    }
+
+    /// Whether `letter` satisfies the guard.
+    #[inline]
+    pub fn admits(self, letter: Letter) -> bool {
+        (letter & self.pos) == self.pos && (letter & self.neg) == 0
+    }
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pos == 0 && self.neg == 0 {
+            return write!(f, "true");
+        }
+        let mut first = true;
+        for i in 0..64 {
+            if self.pos >> i & 1 == 1 {
+                if !first {
+                    write!(f, " & ")?;
+                }
+                first = false;
+                write!(f, "p{i}")?;
+            }
+            if self.neg >> i & 1 == 1 {
+                if !first {
+                    write!(f, " & ")?;
+                }
+                first = false;
+                write!(f, "!p{i}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Enumerates all letters over the first `num_aps` propositions.
+///
+/// Used by the complementation constructions, which need an explicit
+/// alphabet; `num_aps` is small for conversation protocols.
+pub fn all_letters(num_aps: u32) -> impl Iterator<Item = Letter> {
+    assert!(num_aps <= 20, "explicit alphabet of 2^{num_aps} letters is too large");
+    0..(1u64 << num_aps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_checks_both_polarities() {
+        let g = Guard::require(0).and(Guard::forbid(2));
+        assert!(g.admits(0b001));
+        assert!(g.admits(0b011));
+        assert!(!g.admits(0b101)); // p2 true
+        assert!(!g.admits(0b010)); // p0 false
+    }
+
+    #[test]
+    fn contradiction_is_unsatisfiable() {
+        let g = Guard::require(3).and(Guard::forbid(3));
+        assert!(!g.is_satisfiable());
+        assert!(!g.admits(0b1000));
+        assert!(!g.admits(0));
+    }
+
+    #[test]
+    fn top_admits_everything() {
+        assert!(Guard::TOP.admits(0));
+        assert!(Guard::TOP.admits(u64::MAX));
+        assert!(Guard::TOP.is_satisfiable());
+    }
+
+    #[test]
+    fn all_letters_enumerates_cube() {
+        let letters: Vec<Letter> = all_letters(3).collect();
+        assert_eq!(letters.len(), 8);
+        assert_eq!(letters[0], 0);
+        assert_eq!(letters[7], 7);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Guard::TOP.to_string(), "true");
+        assert_eq!(Guard::require(1).and(Guard::forbid(0)).to_string(), "!p0 & p1");
+    }
+}

@@ -1,0 +1,275 @@
+//! Nondeterministic Büchi automata.
+
+use crate::emptiness::{find_accepting_lasso, TransitionSystem};
+use crate::guard::{Guard, Letter};
+use std::fmt;
+
+/// Index of an automaton state.
+pub type StateId = usize;
+
+/// A transition: `guard` must admit the letter read; control moves to
+/// `target`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Conjunctive-literal guard over the atomic propositions.
+    pub guard: Guard,
+    /// Destination state.
+    pub target: StateId,
+}
+
+/// A nondeterministic Büchi automaton over the alphabet `2^num_aps`.
+///
+/// Accepts an infinite word iff some run visits an accepting state
+/// infinitely often.
+#[derive(Clone, Debug, Default)]
+pub struct Nba {
+    /// Number of atomic propositions (alphabet is `2^num_aps`).
+    pub num_aps: u32,
+    /// Outgoing transitions per state.
+    pub transitions: Vec<Vec<Transition>>,
+    /// Initial states.
+    pub initial: Vec<StateId>,
+    /// Acceptance flags per state.
+    pub accepting: Vec<bool>,
+}
+
+impl Nba {
+    /// Creates an automaton with `num_states` states and no transitions.
+    pub fn new(num_aps: u32, num_states: usize) -> Self {
+        assert!(num_aps <= 64, "at most 64 atomic propositions");
+        Nba {
+            num_aps,
+            transitions: vec![Vec::new(); num_states],
+            initial: Vec::new(),
+            accepting: vec![false; num_states],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Adds a fresh state, returning its id.
+    pub fn add_state(&mut self, accepting: bool) -> StateId {
+        self.transitions.push(Vec::new());
+        self.accepting.push(accepting);
+        self.transitions.len() - 1
+    }
+
+    /// Adds a transition; unsatisfiable guards are silently dropped.
+    pub fn add_transition(&mut self, from: StateId, guard: Guard, to: StateId) {
+        if guard.is_satisfiable() {
+            self.transitions[from].push(Transition { guard, target: to });
+        }
+    }
+
+    /// Marks a state initial.
+    pub fn add_initial(&mut self, s: StateId) {
+        if !self.initial.contains(&s) {
+            self.initial.push(s);
+        }
+    }
+
+    /// Successor states on `letter`.
+    pub fn successors(&self, s: StateId, letter: Letter) -> impl Iterator<Item = StateId> + '_ {
+        self.transitions[s]
+            .iter()
+            .filter(move |t| t.guard.admits(letter))
+            .map(|t| t.target)
+    }
+
+    /// Whether the automaton is deterministic *and complete*: exactly one
+    /// successor per (state, letter). Checked by explicit alphabet
+    /// enumeration, so only call it for small `num_aps`.
+    pub fn is_deterministic_complete(&self) -> bool {
+        if self.initial.len() != 1 {
+            return false;
+        }
+        for s in 0..self.num_states() {
+            for letter in crate::guard::all_letters(self.num_aps) {
+                if self.successors(s, letter).count() != 1 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether the language is empty (no accepting lasso in the guard-
+    /// satisfiable transition graph).
+    pub fn is_empty(&self) -> bool {
+        find_accepting_lasso(&NbaGraph { nba: self }).is_none()
+    }
+
+    /// Whether the automaton accepts the ultimately periodic word
+    /// `prefix · cycle^ω`.
+    ///
+    /// # Panics
+    /// Panics if `cycle` is empty.
+    pub fn accepts_lasso(&self, prefix: &[Letter], cycle: &[Letter]) -> bool {
+        assert!(!cycle.is_empty(), "lasso cycle must be non-empty");
+        let product = WordProduct {
+            nba: self,
+            prefix,
+            cycle,
+        };
+        find_accepting_lasso(&product).is_some()
+    }
+
+    /// Total number of transitions.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for Nba {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "NBA: {} states, {} transitions, initial {:?}",
+            self.num_states(),
+            self.num_transitions(),
+            self.initial
+        )?;
+        for (s, outs) in self.transitions.iter().enumerate() {
+            let marker = if self.accepting[s] { "*" } else { " " };
+            writeln!(f, " {marker}{s}:")?;
+            for t in outs {
+                writeln!(f, "    --[{}]--> {}", t.guard, t.target)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The NBA viewed as a plain graph (guards erased), for emptiness.
+struct NbaGraph<'a> {
+    nba: &'a Nba,
+}
+
+impl TransitionSystem for NbaGraph<'_> {
+    type State = StateId;
+
+    fn initial_states(&self) -> Vec<StateId> {
+        self.nba.initial.clone()
+    }
+
+    fn successors(&self, s: &StateId) -> Vec<StateId> {
+        self.nba.transitions[*s].iter().map(|t| t.target).collect()
+    }
+
+    fn is_accepting(&self, s: &StateId) -> bool {
+        self.nba.accepting[*s]
+    }
+}
+
+/// Product of the NBA with a lasso-shaped word, for membership testing.
+struct WordProduct<'a> {
+    nba: &'a Nba,
+    prefix: &'a [Letter],
+    cycle: &'a [Letter],
+}
+
+impl WordProduct<'_> {
+    fn letter(&self, pos: usize) -> Letter {
+        if pos < self.prefix.len() {
+            self.prefix[pos]
+        } else {
+            self.cycle[(pos - self.prefix.len()) % self.cycle.len()]
+        }
+    }
+
+    fn next_pos(&self, pos: usize) -> usize {
+        let n = self.prefix.len();
+        let m = self.cycle.len();
+        if pos + 1 < n + m {
+            pos + 1
+        } else {
+            n
+        }
+    }
+}
+
+impl TransitionSystem for WordProduct<'_> {
+    type State = (StateId, usize);
+
+    fn initial_states(&self) -> Vec<(StateId, usize)> {
+        self.nba.initial.iter().map(|&s| (s, 0)).collect()
+    }
+
+    fn successors(&self, &(s, pos): &(StateId, usize)) -> Vec<(StateId, usize)> {
+        let letter = self.letter(pos);
+        let next = self.next_pos(pos);
+        self.nba.successors(s, letter).map(|t| (t, next)).collect()
+    }
+
+    fn is_accepting(&self, &(s, _): &(StateId, usize)) -> bool {
+        self.nba.accepting[s]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Automaton for `G F p0`: two states, accepting on seeing p0.
+    fn gf_p0() -> Nba {
+        let mut nba = Nba::new(1, 2);
+        nba.add_initial(0);
+        // state 0: waiting for p0
+        nba.add_transition(0, Guard::forbid(0), 0);
+        nba.add_transition(0, Guard::require(0), 1);
+        // state 1 (accepting): saw p0
+        nba.add_transition(1, Guard::forbid(0), 0);
+        nba.add_transition(1, Guard::require(0), 1);
+        nba.accepting[1] = true;
+        nba
+    }
+
+    #[test]
+    fn accepts_lasso_membership() {
+        let nba = gf_p0();
+        assert!(nba.accepts_lasso(&[], &[1])); // p0 forever
+        assert!(nba.accepts_lasso(&[0, 0], &[0, 1])); // p0 infinitely often
+        assert!(!nba.accepts_lasso(&[1, 1], &[0])); // p0 only finitely often
+    }
+
+    #[test]
+    fn emptiness() {
+        let nba = gf_p0();
+        assert!(!nba.is_empty());
+        // An automaton whose accepting state is unreachable is empty.
+        let mut dead = Nba::new(1, 2);
+        dead.add_initial(0);
+        dead.add_transition(0, Guard::TOP, 0);
+        dead.accepting[1] = true;
+        assert!(dead.is_empty());
+        // An automaton with an accepting state but no cycle through it.
+        let mut no_cycle = Nba::new(1, 2);
+        no_cycle.add_initial(0);
+        no_cycle.add_transition(0, Guard::TOP, 1);
+        no_cycle.accepting[1] = true;
+        assert!(no_cycle.is_empty());
+    }
+
+    #[test]
+    fn unsatisfiable_guards_are_dropped() {
+        let mut nba = Nba::new(1, 1);
+        nba.add_transition(0, Guard::require(0).and(Guard::forbid(0)), 0);
+        assert_eq!(nba.num_transitions(), 0);
+    }
+
+    #[test]
+    fn determinism_check() {
+        let nba = gf_p0();
+        assert!(nba.is_deterministic_complete());
+        let mut nondeterministic = gf_p0();
+        nondeterministic.add_transition(0, Guard::TOP, 1);
+        assert!(!nondeterministic.is_deterministic_complete());
+        let mut incomplete = Nba::new(1, 1);
+        incomplete.add_initial(0);
+        incomplete.add_transition(0, Guard::require(0), 0);
+        assert!(!incomplete.is_deterministic_complete());
+    }
+}

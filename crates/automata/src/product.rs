@@ -1,0 +1,115 @@
+//! Intersection of Büchi automata.
+
+use crate::guard::Guard;
+use crate::nba::{Nba, StateId};
+use std::collections::HashMap;
+
+/// Intersection: accepts `L(a) ∩ L(b)`.
+///
+/// The classical flag construction: states are `(qa, qb, flag)` with the
+/// flag cycling `0 → 1` on an accepting `a`-state, `1 → 2` on an accepting
+/// `b`-state, and `2 → 0` immediately; states with flag `2` are accepting,
+/// so both automata accept infinitely often on any accepting run.
+pub fn intersect(a: &Nba, b: &Nba) -> Nba {
+    assert_eq!(
+        a.num_aps, b.num_aps,
+        "intersection requires a common alphabet"
+    );
+    let mut out = Nba::new(a.num_aps, 0);
+    let mut ids: HashMap<(StateId, StateId, u8), StateId> = HashMap::new();
+    let mut worklist: Vec<(StateId, StateId, u8)> = Vec::new();
+
+    fn intern(
+        ids: &mut HashMap<(StateId, StateId, u8), StateId>,
+        s: (StateId, StateId, u8),
+        out: &mut Nba,
+        wl: &mut Vec<(StateId, StateId, u8)>,
+    ) -> StateId {
+        *ids.entry(s).or_insert_with(|| {
+            let id = out.add_state(s.2 == 2);
+            wl.push(s);
+            id
+        })
+    }
+
+    for &ia in &a.initial {
+        for &ib in &b.initial {
+            let id = intern(&mut ids, (ia, ib, 0), &mut out, &mut worklist);
+            out.add_initial(id);
+        }
+    }
+
+    while let Some(state) = worklist.pop() {
+        let (qa, qb, flag) = state;
+        let src = ids[&state];
+        for ta in &a.transitions[qa] {
+            for tb in &b.transitions[qb] {
+                let guard: Guard = ta.guard.and(tb.guard);
+                if !guard.is_satisfiable() {
+                    continue;
+                }
+                // Flag update observes the *target* states.
+                let mut next_flag = if flag == 2 { 0 } else { flag };
+                if next_flag == 0 && a.accepting[ta.target] {
+                    next_flag = 1;
+                }
+                if next_flag == 1 && b.accepting[tb.target] {
+                    next_flag = 2;
+                }
+                let dst = intern(
+                    &mut ids,
+                    (ta.target, tb.target, next_flag),
+                    &mut out,
+                    &mut worklist,
+                );
+                out.add_transition(src, guard, dst);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ltl::Ltl;
+    use crate::translate::ltl_to_nba;
+
+    /// Widens an automaton's alphabet (declared APs only; guards unchanged).
+    fn pad(nba: &Nba, num_aps: u32) -> Nba {
+        let mut out = nba.clone();
+        assert!(out.num_aps <= num_aps);
+        out.num_aps = num_aps;
+        out
+    }
+
+    #[test]
+    fn intersection_agrees_with_conjunction() {
+        let f = Ltl::globally(Ltl::finally(Ltl::ap(0)));
+        let g = Ltl::finally(Ltl::globally(Ltl::ap(1)));
+        let product = intersect(&pad(&ltl_to_nba(&f), 2), &ltl_to_nba(&g));
+        let conjunction = ltl_to_nba(&Ltl::and(f, g));
+        let words: [(&[u64], &[u64]); 5] = [
+            (&[], &[0b11]),
+            (&[], &[0b01]),
+            (&[0b10], &[0b11, 0b10]),
+            (&[], &[0b10]),
+            (&[0b01, 0b01], &[0b11]),
+        ];
+        for (p, c) in words {
+            assert_eq!(
+                product.accepts_lasso(p, c),
+                conjunction.accepts_lasso(p, c),
+                "disagreement on ({p:?}, {c:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_with_empty_is_empty() {
+        let f = ltl_to_nba(&Ltl::globally(Ltl::ap(0)));
+        let empty = ltl_to_nba(&Ltl::and(Ltl::ap(0), Ltl::not(Ltl::ap(0))));
+        let product = intersect(&f, &empty);
+        assert!(product.is_empty());
+    }
+}

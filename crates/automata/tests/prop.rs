@@ -1,0 +1,90 @@
+//! Property-based tests: the GPVW translation, the intersection product and
+//! the complementation constructions are checked against the direct LTL
+//! semantics on random ultimately periodic words. Agreement on all
+//! ultimately periodic words implies ω-language equality, so these tests are
+//! a genuine (sampled) semantic check.
+
+use ddws_automata::complement::complement;
+use ddws_automata::ltl::eval_on_lasso;
+use ddws_automata::product::intersect;
+use ddws_automata::{ltl_to_nba, Letter, Ltl};
+use proptest::prelude::*;
+
+/// Random LTL formula over `num_aps` propositions, bounded depth.
+fn arb_ltl(num_aps: u32, depth: u32) -> BoxedStrategy<Ltl> {
+    let leaf = prop_oneof![
+        (0..num_aps).prop_map(Ltl::ap),
+        Just(Ltl::True),
+        Just(Ltl::False),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Ltl::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::or(a, b)),
+            inner.clone().prop_map(Ltl::next),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ltl::until(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Ltl::release(a, b)),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_word(num_aps: u32) -> impl Strategy<Value = (Vec<Letter>, Vec<Letter>)> {
+    let max = 1u64 << num_aps;
+    (
+        proptest::collection::vec(0..max, 0..4),
+        proptest::collection::vec(0..max, 1..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tableau automaton accepts exactly the words satisfying the formula.
+    #[test]
+    fn translation_matches_semantics(
+        f in arb_ltl(2, 3),
+        (prefix, cycle) in arb_word(2),
+    ) {
+        let nba = ltl_to_nba(&f);
+        prop_assert_eq!(
+            nba.accepts_lasso(&prefix, &cycle),
+            eval_on_lasso(&f, &prefix, &cycle),
+            "formula {} on ({:?}, {:?})", f, prefix, cycle
+        );
+    }
+
+    /// Intersection of two property automata = automaton of the conjunction.
+    #[test]
+    fn product_matches_conjunction(
+        f in arb_ltl(2, 2),
+        g in arb_ltl(2, 2),
+        (prefix, cycle) in arb_word(2),
+    ) {
+        let mut na = ltl_to_nba(&f);
+        let mut nb = ltl_to_nba(&g);
+        na.num_aps = 2;
+        nb.num_aps = 2;
+        let prod = intersect(&na, &nb);
+        let both = eval_on_lasso(&f, &prefix, &cycle) && eval_on_lasso(&g, &prefix, &cycle);
+        prop_assert_eq!(prod.accepts_lasso(&prefix, &cycle), both);
+    }
+
+    /// Rank-based complementation flips membership (small automata only).
+    #[test]
+    fn complement_flips_membership(
+        f in arb_ltl(1, 2),
+        (prefix, cycle) in arb_word(1),
+    ) {
+        let nba = ltl_to_nba(&f);
+        if nba.num_states() <= 8 {
+            let comp = complement(&nba);
+            prop_assert_eq!(
+                comp.accepts_lasso(&prefix, &cycle),
+                !nba.accepts_lasso(&prefix, &cycle),
+                "formula {}", f
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! E2 (Lemma 3.5 / Theorem 3.4): cost of verifying a composition directly
+//! vs. verifying its single-peer reduction — the PTIME reduction trades
+//! queue bookkeeping for state relations and scheduler input branching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddws_bench::{req_resp, unary_db};
+use ddws_verifier::reduction::{
+    reduce_to_single_peer, translate_database, translate_property_source,
+};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+const PROP: &str = "G (forall x: R.?req(x) -> P.d(x))";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_reduction");
+    group.sample_size(10);
+
+    group.bench_function("composition_direct", |b| {
+        b.iter(|| {
+            let mut v = Verifier::new(req_resp(true));
+            let (db, _) = unary_db(v.composition_mut(), "P.d", 2);
+            let opts = VerifyOptions {
+                database: DatabaseMode::Fixed(db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            };
+            v.check_str(PROP, &opts).unwrap().stats
+        })
+    });
+
+    group.bench_function("single_peer_reduced", |b| {
+        b.iter(|| {
+            let comp = req_resp(true);
+            let mut helper = Verifier::new(comp);
+            let (db, _) = unary_db(helper.composition_mut(), "P.d", 2);
+            let mut reduced = reduce_to_single_peer(helper.composition()).unwrap();
+            let rdb = translate_database(&mut reduced, helper.composition(), &db);
+            let rprop = translate_property_source(&reduced, helper.composition(), PROP);
+            let mut v = Verifier::new(reduced.composition);
+            let opts = VerifyOptions {
+                database: DatabaseMode::Fixed(rdb),
+                fresh_values: Some(1),
+                require_input_bounded: false,
+                ..VerifyOptions::default()
+            };
+            v.check_str(&rprop, &opts).unwrap().stats
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E3 (Theorems 4.2 / 4.5): data-agnostic vs. data-aware conversation
+//! protocol checking on the same composition.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddws_bench::{req_resp, unary_db};
+use ddws_protocol::{automata_shapes, DataAgnosticProtocol, DataAwareProtocol, Observer};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_protocols");
+    group.sample_size(20);
+
+    group.bench_function("data_agnostic_response", |b| {
+        b.iter(|| {
+            let mut v = Verifier::new(req_resp(true));
+            let (db, _) = unary_db(v.composition_mut(), "P.d", 2);
+            let protocol = DataAgnosticProtocol::new(
+                v.composition(),
+                &["req", "resp"],
+                automata_shapes::response(2, 0, 1),
+                Observer::AtRecipient,
+            )
+            .unwrap();
+            let opts = VerifyOptions {
+                database: DatabaseMode::Fixed(db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            };
+            v.check_data_agnostic(&protocol, &opts).unwrap().stats
+        })
+    });
+
+    group.bench_function("data_aware_content_guard", |b| {
+        b.iter(|| {
+            let mut v = Verifier::new(req_resp(true));
+            let (db, _) = unary_db(v.composition_mut(), "P.d", 2);
+            let nba = {
+                use ddws_automata::{Guard, Nba};
+                let mut nba = Nba::new(1, 1);
+                nba.add_initial(0);
+                nba.add_transition(0, Guard::require(0), 0);
+                nba.accepting[0] = true;
+                nba
+            };
+            let protocol = DataAwareProtocol::new(
+                v.composition_mut(),
+                &[("req_is_db", "forall x: P.!req(x) -> P.d(x)")],
+                nba,
+            )
+            .unwrap();
+            let opts = VerifyOptions {
+                database: DatabaseMode::Fixed(db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            };
+            v.check_data_aware(&protocol, &opts).unwrap().stats
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E4 (Theorem 5.4): modular verification of an open client against an
+//! environment spec, vs. plain verification of the unconstrained client.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddws_model::{builder::ENV, CompositionBuilder, QueueKind};
+use ddws_relational::{Instance, Tuple};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+fn open_client() -> ddws_model::Composition {
+    let mut b = CompositionBuilder::new();
+    b.default_lossy(true);
+    b.channel("req", 1, QueueKind::Flat, "P", ENV);
+    b.channel("resp", 1, QueueKind::Flat, ENV, "P");
+    b.peer("P")
+        .database("d", 1)
+        .state("got", 1)
+        .input("pick", 1)
+        .input_rule("pick", &["x"], "d(x)")
+        .state_insert_rule("got", &["x"], "?resp(x)")
+        .send_rule("req", &["x"], "pick(x)");
+    b.build().unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_modular");
+    group.sample_size(20);
+
+    group.bench_function("unconstrained_environment", |b| {
+        b.iter(|| {
+            let mut v = Verifier::new(open_client());
+            let mut db = Instance::empty(&v.composition().voc);
+            let ok = v.composition_mut().symbols.intern("ok");
+            let d = v.composition().voc.lookup("P.d").unwrap();
+            db.relation_mut(d).insert(Tuple::new(vec![ok]));
+            let opts = VerifyOptions {
+                database: DatabaseMode::Fixed(db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            };
+            v.check_str("G (forall x: P.?resp(x) -> x = \"ok\")", &opts)
+                .unwrap()
+                .stats
+        })
+    });
+
+    group.bench_function("with_environment_spec", |b| {
+        b.iter(|| {
+            let mut v = Verifier::new(open_client());
+            let mut db = Instance::empty(&v.composition().voc);
+            let ok = v.composition_mut().symbols.intern("ok");
+            let d = v.composition().voc.lookup("P.d").unwrap();
+            db.relation_mut(d).insert(Tuple::new(vec![ok]));
+            let opts = VerifyOptions {
+                database: DatabaseMode::Fixed(db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            };
+            let property = v
+                .parse_property("G (forall x: P.?resp(x) -> x = \"ok\")")
+                .unwrap();
+            let spec = v
+                .parse_env_spec("G (forall x: ENV.!resp(x) -> x = \"ok\")")
+                .unwrap();
+            v.check_modular(&property, &spec, &opts).unwrap().stats
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

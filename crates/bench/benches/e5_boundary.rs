@@ -1,0 +1,43 @@
+//! E5 (Corollary 3.6 / Theorem 3.7): reachable-state growth of the
+//! counting relay as the queue bound increases — perfect channels diverge,
+//! lossy channels grow strictly slower. The absolute counts per bound are
+//! also printed once, regenerating EXPERIMENTS.md's table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_bench::{counting_relay, state_space_size};
+
+fn bench(c: &mut Criterion) {
+    // One-shot table (the measured series EXPERIMENTS.md reports).
+    println!("\nE5 table: reachable configurations of the counting relay");
+    println!("k | perfect | lossy");
+    for k in 1..=5 {
+        let (pc, pdb, pdom) = counting_relay(k, false, 2);
+        let (lc, ldb, ldom) = counting_relay(k, true, 2);
+        println!(
+            "{k} | {} | {}",
+            state_space_size(&pc, &pdb, &pdom, 10_000_000),
+            state_space_size(&lc, &ldb, &ldom, 10_000_000)
+        );
+    }
+
+    let mut group = c.benchmark_group("e5_boundary");
+    group.sample_size(10);
+    for k in [1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("perfect", k), &k, |b, &k| {
+            b.iter(|| {
+                let (comp, db, dom) = counting_relay(k, false, 2);
+                state_space_size(&comp, &db, &dom, 10_000_000)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lossy", k), &k, |b, &k| {
+            b.iter(|| {
+                let (comp, db, dom) = counting_relay(k, true, 2);
+                state_space_size(&comp, &db, &dom, 10_000_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E6 (ablation): fixed-database verification vs. the lazy all-databases
+//! oracle on the same property — the oracle pays for quantifying over
+//! every database with active domain inside the verification domain.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_bench::{req_resp, unary_db};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+const PROP: &str = "G (forall x: R.?req(x) -> P.d(x))";
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_database_modes");
+    group.sample_size(10);
+
+    group.bench_function("fixed_database", |b| {
+        b.iter(|| {
+            let mut v = Verifier::new(req_resp(true));
+            let (db, _) = unary_db(v.composition_mut(), "P.d", 2);
+            let opts = VerifyOptions {
+                database: DatabaseMode::Fixed(db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            };
+            v.check_str(PROP, &opts).unwrap().stats
+        })
+    });
+
+    for fresh in [1usize, 2, 3] {
+        group.bench_with_input(
+            BenchmarkId::new("all_databases_fresh", fresh),
+            &fresh,
+            |b, &fresh| {
+                b.iter(|| {
+                    let mut v = Verifier::new(req_resp(true));
+                    let opts = VerifyOptions {
+                        database: DatabaseMode::AllDatabases,
+                        fresh_values: Some(fresh),
+                        ..VerifyOptions::default()
+                    };
+                    v.check_str(PROP, &opts).unwrap().stats
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

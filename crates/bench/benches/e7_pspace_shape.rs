@@ -1,0 +1,34 @@
+//! E7 (complexity shape): verification cost against relay-chain length —
+//! the state space (and thus exhaustive-search time) grows exponentially
+//! in the number of peers, while each snapshot stays polynomial (the
+//! PSPACE signature of Theorem 3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws::scenarios::chains;
+use ddws_model::Semantics;
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_pspace_shape");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut v = Verifier::new(chains::composition(n, true, Semantics::default()));
+                let db = chains::database(v.composition_mut(), 1);
+                let opts = VerifyOptions {
+                    database: DatabaseMode::Fixed(db),
+                    fresh_values: Some(1),
+                    ..VerifyOptions::default()
+                };
+                let report = v.check_str(&chains::prop_integrity(n), &opts).unwrap();
+                assert!(report.outcome.holds());
+                report.stats.states_visited
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+use ddws_boundaries::{counting_relay, state_space_size};
+fn main() {
+    println!("E5: k | perfect | lossy");
+    for k in 1..=5 {
+        let (pc, pdb, pdom) = counting_relay(k, false, 2);
+        let (lc, ldb, ldom) = counting_relay(k, true, 2);
+        println!("{k} | {} | {}",
+            state_space_size(&pc, &pdb, &pdom, 10_000_000),
+            state_space_size(&lc, &ldb, &ldom, 10_000_000));
+    }
+}

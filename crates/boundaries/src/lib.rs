@@ -1,0 +1,29 @@
+//! # `ddws-boundaries` — the undecidability boundary, executably
+//!
+//! The negative results of the paper (Corollary 3.6, Theorems 3.7–3.10,
+//! 4.3, 4.6, 5.5) say that relaxing any single restriction of the decidable
+//! regime lets compositions simulate Turing-complete devices. A bounded
+//! model checker cannot *decide* an undecidable problem, so this crate
+//! witnesses the boundary the only honest way a tool can:
+//!
+//! * [`minsky`] — a two-counter (Minsky) machine simulator, the
+//!   Turing-complete device the reductions bottom out in;
+//! * [`gadgets`] — composition families that make the verifier's state
+//!   space **diverge** along exactly the axes the theorems name: growing
+//!   the queue bound of perfect channels grows the reachable space without
+//!   a fixpoint (Corollary 3.6 / Theorem 3.7), while the lossy regime
+//!   collapses it; the deterministic-send error flag (Theorem 3.8) and the
+//!   nested-emptiness test (Theorem 3.9) add observations that the
+//!   decidable fragment forbids.
+//!
+//! EXPERIMENTS.md (E5) charts the divergence; the `reduction` module of
+//! `ddws-verifier` shows the complementary positive side (perfect flat
+//! channels are exactly the case its encoding cannot express).
+
+
+#![warn(missing_docs)]
+pub mod gadgets;
+pub mod minsky;
+
+pub use gadgets::{counting_relay, state_space_size};
+pub use minsky::{Instruction, Machine, Outcome};

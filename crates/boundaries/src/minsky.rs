@@ -1,0 +1,203 @@
+//! Two-counter (Minsky) machines — the Turing-complete device the paper's
+//! undecidability reductions simulate with relaxed compositions.
+
+/// One instruction of a two-counter machine; counters are indexed 0 and 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instruction {
+    /// Increment the counter, continue at the next instruction.
+    Inc(usize),
+    /// If the counter is zero jump to the label; otherwise decrement and
+    /// continue.
+    DecOrJump(usize, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Halt.
+    Halt,
+}
+
+/// The result of a bounded simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The machine halted after the given number of steps, with the given
+    /// maximum counter value reached along the way.
+    Halted {
+        /// Steps executed.
+        steps: usize,
+        /// Largest value either counter held.
+        max_counter: usize,
+    },
+    /// The step budget ran out first.
+    StillRunning,
+}
+
+/// A two-counter machine program.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    /// The program; execution starts at instruction 0.
+    pub program: Vec<Instruction>,
+}
+
+impl Machine {
+    /// Runs for at most `max_steps` steps from `(0, 0)`.
+    pub fn run(&self, max_steps: usize) -> Outcome {
+        let mut pc = 0usize;
+        let mut counters = [0usize; 2];
+        let mut max_counter = 0;
+        for steps in 0..max_steps {
+            match self.program.get(pc) {
+                None | Some(Instruction::Halt) => {
+                    return Outcome::Halted { steps, max_counter };
+                }
+                Some(Instruction::Inc(c)) => {
+                    counters[*c] += 1;
+                    max_counter = max_counter.max(counters[*c]);
+                    pc += 1;
+                }
+                Some(Instruction::DecOrJump(c, target)) => {
+                    if counters[*c] == 0 {
+                        pc = *target;
+                    } else {
+                        counters[*c] -= 1;
+                        pc += 1;
+                    }
+                }
+                Some(Instruction::Jump(target)) => pc = *target,
+            }
+        }
+        Outcome::StillRunning
+    }
+
+    /// A machine that counts to `n` and halts — its halting requires
+    /// counter capacity `n`, making it the canonical witness that **no
+    /// fixed queue bound suffices** when counters are encoded as queues
+    /// (Corollary 3.6): each `n` needs a larger bound.
+    pub fn count_to(n: usize) -> Machine {
+        let mut program = Vec::new();
+        for _ in 0..n {
+            program.push(Instruction::Inc(0));
+        }
+        // Drain the counter, then halt.
+        let drain = program.len();
+        program.push(Instruction::DecOrJump(0, drain + 2));
+        program.push(Instruction::Jump(drain));
+        program.push(Instruction::Halt);
+        Machine { program }
+    }
+
+    /// A trivially diverging machine.
+    pub fn forever() -> Machine {
+        Machine {
+            program: vec![Instruction::Inc(0), Instruction::Jump(0)],
+        }
+    }
+
+    /// `c1 := c0; c0 := 0` — the move loop every counter-machine
+    /// construction is built from.
+    pub fn move_counter() -> Machine {
+        Machine {
+            program: vec![
+                // 0: if c0 == 0 jump to halt, else c0--
+                Instruction::DecOrJump(0, 3),
+                // 1: c1++
+                Instruction::Inc(1),
+                // 2: loop
+                Instruction::Jump(0),
+                // 3: halt
+                Instruction::Halt,
+            ],
+        }
+    }
+
+    /// Computes `2^n` into counter 0 by repeated doubling — halting, but
+    /// with counter heights exponential in the program's step budget, the
+    /// standard witness that queue-length encodings need bounds that grow
+    /// faster than any fixed `k`.
+    pub fn power_of_two(n: usize) -> Machine {
+        // c0 starts at 1 (one Inc), then n rounds of: move c0 to c1 while
+        // incrementing c1 twice per unit (doubling into c1), then move back.
+        let mut program = vec![Instruction::Inc(0)];
+        for _ in 0..n {
+            let base = program.len();
+            // double c0 into c1
+            program.push(Instruction::DecOrJump(0, base + 4)); // -> move-back
+            program.push(Instruction::Inc(1));
+            program.push(Instruction::Inc(1));
+            program.push(Instruction::Jump(base));
+            // move c1 back to c0
+            let back = program.len();
+            program.push(Instruction::DecOrJump(1, back + 3));
+            program.push(Instruction::Inc(0));
+            program.push(Instruction::Jump(back));
+            // next round continues here
+        }
+        program.push(Instruction::Halt);
+        Machine { program }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_to_halts_with_expected_height() {
+        for n in [0, 1, 3, 7] {
+            match Machine::count_to(n).run(10_000) {
+                Outcome::Halted { max_counter, .. } => assert_eq!(max_counter, n),
+                Outcome::StillRunning => panic!("count_to({n}) must halt"),
+            }
+        }
+    }
+
+    #[test]
+    fn forever_never_halts_within_budget() {
+        assert_eq!(Machine::forever().run(100_000), Outcome::StillRunning);
+    }
+
+    #[test]
+    fn move_counter_transfers_everything() {
+        // Seed c0 = 3 by prefixing three increments.
+        let mut program = vec![
+            Instruction::Inc(0),
+            Instruction::Inc(0),
+            Instruction::Inc(0),
+        ];
+        let body = Machine::move_counter().program;
+        let offset = program.len();
+        for ins in body {
+            program.push(match ins {
+                Instruction::DecOrJump(c, t) => Instruction::DecOrJump(c, t + offset),
+                Instruction::Jump(t) => Instruction::Jump(t + offset),
+                other => other,
+            });
+        }
+        let m = Machine { program };
+        assert!(matches!(m.run(1_000), Outcome::Halted { .. }));
+    }
+
+    #[test]
+    fn power_of_two_reaches_exponential_heights() {
+        for n in 0..6 {
+            match Machine::power_of_two(n).run(2_000_000) {
+                Outcome::Halted { max_counter, .. } => {
+                    assert_eq!(max_counter, 1 << n, "2^{n}");
+                }
+                Outcome::StillRunning => panic!("power_of_two({n}) must halt"),
+            }
+        }
+    }
+
+    #[test]
+    fn dec_or_jump_branches() {
+        // dec on zero jumps; otherwise decrements.
+        let m = Machine {
+            program: vec![
+                Instruction::Inc(1),
+                Instruction::DecOrJump(1, 3),
+                Instruction::DecOrJump(1, 3),
+                Instruction::Halt,
+            ],
+        };
+        assert!(matches!(m.run(100), Outcome::Halted { .. }));
+    }
+}

@@ -1,0 +1,414 @@
+//! Enumeration of satisfying assignments for rule evaluation.
+//!
+//! Every rule of a peer has the shape `Head(x̄) ← φ(x̄)`: the new extension
+//! of `Head` is the set of domain tuples satisfying the body. Evaluating
+//! `φ` independently for all `|domain|^arity` candidate tuples is correct
+//! but wasteful — for input-bounded rules, the body is (essentially) a
+//! conjunction guarded by atoms over tiny relations (inputs, queue heads).
+//!
+//! [`satisfying_valuations`] therefore *seeds* candidates from the positive
+//! relational atoms at the top level of the body (a light-weight join), and
+//! only falls back to domain enumeration for head variables no atom binds.
+//! Every candidate is then verified against the full body with
+//! [`eval_fo`](crate::eval::eval_fo), so seeding is purely an optimization
+//! and cannot change results.
+
+use crate::eval::{eval_fo, Structure};
+use crate::fo::Fo;
+use crate::term::Term;
+use crate::vars::{Valuation, VarId};
+use ddws_relational::Value;
+use std::collections::BTreeSet;
+
+/// Computes all assignments of `head_vars` (tuples over the structure's
+/// domain) satisfying `body`. Variables of `body` outside `head_vars` must
+/// be bound by quantifiers inside `body`.
+pub fn satisfying_valuations<S: Structure + ?Sized>(
+    head_vars: &[VarId],
+    body: &Fo,
+    s: &S,
+) -> Vec<Vec<Value>> {
+    let mut candidates: BTreeSet<Vec<Value>> = BTreeSet::new();
+    collect_candidates(head_vars, body, s, &mut candidates);
+
+    let mut val = Valuation::with_capacity(head_vars.len());
+    let mut out = Vec::new();
+    for cand in candidates {
+        for (&v, &d) in head_vars.iter().zip(&cand) {
+            val.set(v, d);
+        }
+        if eval_fo(body, s, &mut val) {
+            out.push(cand);
+        }
+        for &v in head_vars {
+            val.unset(v);
+        }
+    }
+    out
+}
+
+/// Gathers candidate head tuples. Disjunction branches are independent
+/// candidate sources; a conjunction (possibly under an ∃-prefix) seeds from
+/// its positive atoms.
+fn collect_candidates<S: Structure + ?Sized>(
+    head_vars: &[VarId],
+    body: &Fo,
+    s: &S,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    match body {
+        Fo::Or(branches) => {
+            for b in branches {
+                collect_candidates(head_vars, b, s, out);
+            }
+        }
+        Fo::Implies(_, b) => {
+            // head ← (a → b): candidates where the implication is non-vacuous
+            // come from b; vacuous satisfaction can hold for any tuple, so a
+            // full fallback is required as well.
+            collect_candidates(head_vars, b, s, out);
+            enumerate_all(head_vars, s, out);
+        }
+        _ => {
+            let (peeled, matrix) = peel_exists(body);
+            let mut scope: BTreeSet<VarId> = head_vars.iter().copied().collect();
+            scope.extend(peeled);
+            let atoms = positive_atoms(matrix, &scope);
+            if atoms.is_empty() {
+                // Nothing to seed from: enumerate the cube. Correctness is
+                // unaffected — every candidate is verified below.
+                enumerate_all(head_vars, s, out);
+            } else {
+                // Seeding from conjuncts is *complete*: any satisfying
+                // assignment satisfies every positive atom conjunct, so its
+                // head projection appears among the seeds; head variables no
+                // atom binds are cube-enumerated by `complete_unbound`.
+                let mut val = Valuation::with_capacity(head_vars.len());
+                seed_from_atoms(head_vars, &atoms, 0, s, &mut val, out);
+            }
+        }
+    }
+}
+
+/// Splits `∃ȳ φ` into (ȳ, φ), recursively.
+fn peel_exists(f: &Fo) -> (Vec<VarId>, &Fo) {
+    let mut vars = Vec::new();
+    let mut cur = f;
+    while let Fo::Exists(vs, body) = cur {
+        vars.extend(vs.iter().copied());
+        cur = body;
+    }
+    (vars, cur)
+}
+
+/// Top-level positive relational atoms of a conjunction (or a single atom).
+///
+/// Atoms under a *nested* ∃-conjunct also seed, but only when the nested
+/// binder does not shadow a variable already in `scope` — shadowing would
+/// make the seeded constraint spuriously conflate the two variables and
+/// lose candidates.
+fn positive_atoms<'f>(f: &'f Fo, scope: &BTreeSet<VarId>) -> Vec<&'f Fo> {
+    match f {
+        Fo::Atom(..) => vec![f],
+        Fo::And(parts) => parts
+            .iter()
+            .flat_map(|p| positive_atoms(p, scope))
+            .collect(),
+        Fo::Exists(vs, inner) => {
+            if vs.iter().any(|v| scope.contains(v)) {
+                vec![]
+            } else {
+                let mut extended = scope.clone();
+                extended.extend(vs.iter().copied());
+                positive_atoms(inner, &extended)
+            }
+        }
+        _ => vec![],
+    }
+}
+
+/// Extends partial valuations by matching atom `idx` against its relation.
+fn seed_from_atoms<S: Structure + ?Sized>(
+    head_vars: &[VarId],
+    atoms: &[&Fo],
+    idx: usize,
+    s: &S,
+    val: &mut Valuation,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    if idx == atoms.len() {
+        // Any head variable not bound by atoms ranges over the domain.
+        complete_unbound(head_vars, 0, s, val, out);
+        return;
+    }
+    let Fo::Atom(rel, args) = atoms[idx] else {
+        unreachable!("positive_atoms returns atoms only");
+    };
+
+    // Preferred path: iterate the relation's actual tuples and unify — this
+    // makes seeding linear in the relation size, which is what makes
+    // input-bounded rule evaluation cheap (inputs and queue heads hold a
+    // handful of tuples).
+    if let Some(tuples) = s.scan(*rel) {
+        'tuples: for tuple in tuples {
+            if tuple.len() != args.len() {
+                continue;
+            }
+            let mut bound_here: Vec<VarId> = Vec::new();
+            for (arg, &value) in args.iter().zip(&tuple) {
+                match arg {
+                    Term::Const(c) => {
+                        if *c != value {
+                            for v in bound_here.drain(..) {
+                                val.unset(v);
+                            }
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match val.get(*v) {
+                        Some(existing) => {
+                            if existing != value {
+                                for v in bound_here.drain(..) {
+                                    val.unset(v);
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            val.set(*v, value);
+                            bound_here.push(*v);
+                        }
+                    },
+                }
+            }
+            seed_from_atoms(head_vars, atoms, idx + 1, s, val, out);
+            for v in bound_here {
+                val.unset(v);
+            }
+        }
+        return;
+    }
+
+    // Fallback: enumerate domain tuples for the *unbound* argument
+    // positions and check membership (necessary for lazily decided
+    // database relations).
+    let mut positions: Vec<usize> = Vec::new();
+    for (i, t) in args.iter().enumerate() {
+        if let Term::Var(v) = t {
+            if val.get(*v).is_none() {
+                positions.push(i);
+            }
+        }
+    }
+    let dom: Vec<Value> = s.domain().to_vec();
+    let mut assignment = vec![0usize; positions.len()];
+    'outer: loop {
+        // Bind the unbound positions.
+        let mut bound_here: Vec<VarId> = Vec::new();
+        let mut consistent = true;
+        for (slot, &pos) in positions.iter().enumerate() {
+            if let Term::Var(v) = &args[pos] {
+                if val.get(*v).is_none() {
+                    val.set(*v, dom[assignment[slot]]);
+                    bound_here.push(*v);
+                } else if val.expect(*v) != dom[assignment[slot]] {
+                    // Repeated variable bound earlier in this loop pass.
+                    consistent = false;
+                }
+            }
+        }
+        if consistent {
+            let tuple: Vec<Value> = args.iter().map(|t| t.eval(val)).collect();
+            if s.contains(*rel, &tuple) {
+                seed_from_atoms(head_vars, atoms, idx + 1, s, val, out);
+            }
+        }
+        for v in bound_here {
+            val.unset(v);
+        }
+        // Odometer.
+        if positions.is_empty() {
+            // Fully bound atom: single check.
+            let tuple: Vec<Value> = args.iter().map(|t| t.eval(val)).collect();
+            if s.contains(*rel, &tuple) {
+                // Already recursed above when consistent; avoid double work.
+            }
+            break 'outer;
+        }
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                break 'outer;
+            }
+            assignment[i] += 1;
+            if assignment[i] < dom.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Enumerates domain values for head variables the seeds left unbound.
+fn complete_unbound<S: Structure + ?Sized>(
+    head_vars: &[VarId],
+    idx: usize,
+    s: &S,
+    val: &mut Valuation,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    if idx == head_vars.len() {
+        let tuple: Vec<Value> = head_vars.iter().map(|&v| val.expect(v)).collect();
+        out.insert(tuple);
+        return;
+    }
+    let v = head_vars[idx];
+    if val.get(v).is_some() {
+        complete_unbound(head_vars, idx + 1, s, val, out);
+    } else {
+        for d in s.domain().to_vec() {
+            val.set(v, d);
+            complete_unbound(head_vars, idx + 1, s, val, out);
+        }
+        val.unset(v);
+    }
+}
+
+/// Full cube enumeration fallback.
+fn enumerate_all<S: Structure + ?Sized>(
+    head_vars: &[VarId],
+    s: &S,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    let mut val = Valuation::with_capacity(head_vars.len());
+    complete_unbound(head_vars, 0, s, &mut val, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_fo, Resolver};
+    use crate::vars::Vars;
+    use ddws_relational::{Instance, RelId, Symbols, Tuple, Vocabulary};
+
+    struct Snap {
+        inst: Instance,
+        dom: Vec<Value>,
+    }
+
+    impl Structure for Snap {
+        fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+            self.inst.contains(rel, &Tuple::from(tuple))
+        }
+        fn domain(&self) -> &[Value] {
+            &self.dom
+        }
+    }
+
+    fn fixture() -> (Vocabulary, Snap, Vars, Symbols) {
+        let mut voc = Vocabulary::new();
+        let edge = voc.declare("edge", 2).unwrap();
+        let mark = voc.declare("mark", 1).unwrap();
+        let mut inst = Instance::empty(&voc);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            inst.relation_mut(edge)
+                .insert(Tuple::new(vec![Value(a), Value(b)]));
+        }
+        inst.relation_mut(mark).insert(Tuple::new(vec![Value(1)]));
+        (
+            voc,
+            Snap {
+                inst,
+                dom: vec![Value(0), Value(1), Value(2), Value(3)],
+            },
+            Vars::new(),
+            Symbols::new(),
+        )
+    }
+
+    /// Reference implementation: full enumeration + eval.
+    fn brute<S: Structure>(head: &[VarId], body: &Fo, s: &S) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        let dom = s.domain().to_vec();
+        let mut val = Valuation::with_capacity(head.len());
+        fn go<S: Structure>(
+            head: &[VarId],
+            idx: usize,
+            body: &Fo,
+            s: &S,
+            dom: &[Value],
+            val: &mut Valuation,
+            out: &mut Vec<Vec<Value>>,
+        ) {
+            if idx == head.len() {
+                if eval_fo(body, s, val) {
+                    out.push(head.iter().map(|&v| val.expect(v)).collect());
+                }
+                return;
+            }
+            for &d in dom {
+                val.set(head[idx], d);
+                go(head, idx + 1, body, s, dom, val, out);
+            }
+            val.unset(head[idx]);
+        }
+        go(head, 0, body, s, &dom, &mut val, &mut out);
+        out
+    }
+
+    fn check(head_names: &[&str], src: &str) {
+        let (voc, snap, mut vars, mut symbols) = fixture();
+        let body = {
+            let mut r = Resolver {
+                voc: &voc,
+                vars: &mut vars,
+                symbols: &mut symbols,
+            };
+            parse_fo(src, &mut r).unwrap()
+        };
+        let head: Vec<VarId> = head_names.iter().map(|n| vars.intern(n)).collect();
+        let mut fast = satisfying_valuations(&head, &body, &snap);
+        let mut slow = brute(&head, &body, &snap);
+        fast.sort();
+        slow.sort();
+        assert_eq!(fast, slow, "rule `{src}` heads {head_names:?}");
+    }
+
+    #[test]
+    fn atom_seeding_matches_brute_force() {
+        check(&["x", "y"], "edge(x, y)");
+        check(&["x"], "exists y: edge(x, y) and mark(y)");
+        check(&["x", "y"], "edge(x, y) and mark(x)");
+        check(&["y"], "edge(\"?\", y)");
+    }
+
+    #[test]
+    fn disjunction_branches() {
+        check(&["x"], "mark(x) or (exists y: edge(x, y))");
+        check(&["x", "y"], "edge(x, y) or edge(y, x)");
+    }
+
+    #[test]
+    fn negation_forces_fallback_but_stays_correct() {
+        check(&["x"], "not mark(x)");
+        check(&["x"], "(exists y: edge(x, y)) and not mark(x)");
+        check(&["x", "y"], "edge(x, y) and x != y");
+    }
+
+    #[test]
+    fn equalities_and_constants() {
+        check(&["x"], "x = x");
+        check(&["x", "y"], "edge(x, y) and mark(y)");
+    }
+
+    #[test]
+    fn universal_quantifier_in_body() {
+        check(&["x"], "forall y: edge(x, y) -> mark(y)");
+    }
+
+    #[test]
+    fn repeated_variables_in_atom() {
+        check(&["x"], "edge(x, x)");
+    }
+}

@@ -1,0 +1,441 @@
+//! FO evaluation over finite structures.
+//!
+//! Quantifiers range over the structure's [`domain`](Structure::domain) —
+//! in verification this is the finite small-model domain, which subsumes the
+//! run's active domain (the paper's semantics). A three-valued evaluator
+//! supports the verifier's lazy database oracle: facts of the fixed database
+//! may be *undecided*, and evaluation either resolves the formula anyway or
+//! reports one undecided ground fact to branch the search on.
+
+use crate::fo::Fo;
+use crate::vars::{Valuation, VarId};
+use ddws_relational::{RelId, Value};
+
+/// A finite relational structure as seen by the evaluator.
+pub trait Structure {
+    /// Membership of a ground tuple in a relation.
+    fn contains(&self, rel: RelId, tuple: &[Value]) -> bool;
+
+    /// The quantification domain.
+    fn domain(&self) -> &[Value];
+
+    /// Enumerates the relation's tuples, if the structure can. `None` means
+    /// "not enumerable" (e.g. a database relation whose facts are decided
+    /// lazily); callers then fall back to domain-cube enumeration plus
+    /// [`contains`](Structure::contains) checks. Implementations returning
+    /// `Some` make rule evaluation linear in the relation size instead of
+    /// exponential in the atom's unbound positions.
+    fn scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+        let _ = rel;
+        None
+    }
+}
+
+/// Evaluates a formula under `val`; every free variable of `fo` must be
+/// bound in `val`.
+pub fn eval_fo<S: Structure + ?Sized>(fo: &Fo, structure: &S, val: &mut Valuation) -> bool {
+    let mut scratch = Vec::with_capacity(8);
+    eval_rec(fo, structure, val, &mut scratch)
+}
+
+fn eval_rec<S: Structure + ?Sized>(
+    fo: &Fo,
+    s: &S,
+    val: &mut Valuation,
+    scratch: &mut Vec<Value>,
+) -> bool {
+    match fo {
+        Fo::True => true,
+        Fo::False => false,
+        Fo::Atom(rel, args) => {
+            scratch.clear();
+            scratch.extend(args.iter().map(|t| t.eval(val)));
+            s.contains(*rel, scratch)
+        }
+        Fo::Eq(a, b) => a.eval(val) == b.eval(val),
+        Fo::Not(f) => !eval_rec(f, s, val, scratch),
+        Fo::And(fs) => fs.iter().all(|f| eval_rec(f, s, val, scratch)),
+        Fo::Or(fs) => fs.iter().any(|f| eval_rec(f, s, val, scratch)),
+        Fo::Implies(a, b) => !eval_rec(a, s, val, scratch) || eval_rec(b, s, val, scratch),
+        Fo::Exists(vars, f) => eval_quant(vars, f, s, val, scratch, true),
+        Fo::Forall(vars, f) => eval_quant(vars, f, s, val, scratch, false),
+    }
+}
+
+/// Enumerates assignments of `vars` over the domain; `existential` selects
+/// between ∃ (any) and ∀ (all).
+fn eval_quant<S: Structure + ?Sized>(
+    vars: &[VarId],
+    body: &Fo,
+    s: &S,
+    val: &mut Valuation,
+    scratch: &mut Vec<Value>,
+    existential: bool,
+) -> bool {
+    fn go<S: Structure + ?Sized>(
+        vars: &[VarId],
+        body: &Fo,
+        s: &S,
+        val: &mut Valuation,
+        scratch: &mut Vec<Value>,
+        existential: bool,
+    ) -> bool {
+        match vars.split_first() {
+            None => eval_rec(body, s, val, scratch),
+            Some((&v, rest)) => {
+                // Save any outer binding: quantifiers may shadow.
+                let saved = val.get(v);
+                for &d in s.domain() {
+                    val.set(v, d);
+                    let r = go(rest, body, s, val, scratch, existential);
+                    if r == existential {
+                        restore(val, v, saved);
+                        return existential;
+                    }
+                }
+                restore(val, v, saved);
+                !existential
+            }
+        }
+    }
+    go(vars, body, s, val, scratch, existential)
+}
+
+/// Restores a possibly-shadowed binding after quantifier enumeration.
+fn restore(val: &mut Valuation, v: VarId, saved: Option<Value>) {
+    match saved {
+        Some(d) => val.set(v, d),
+        None => val.unset(v),
+    }
+}
+
+/// Three-valued truth: decided, or blocked on one undecided ground fact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tv3 {
+    /// The formula's value is determined.
+    Known(bool),
+    /// Evaluation needs the truth of `rel(tuple)`, currently undecided.
+    Undecided(RelId, Vec<Value>),
+}
+
+/// A structure in which some facts may be undecided (the lazy database
+/// oracle of the verifier).
+pub trait Structure3 {
+    /// Membership of a ground tuple: `None` when undecided.
+    fn contains3(&self, rel: RelId, tuple: &[Value]) -> Option<bool>;
+
+    /// The quantification domain.
+    fn domain(&self) -> &[Value];
+}
+
+/// Evaluates `fo` over a partially decided structure.
+///
+/// Returns [`Tv3::Known`] when the formula's value is independent of the
+/// undecided facts *under short-circuit order*, otherwise an arbitrary
+/// undecided fact whose resolution makes progress. The search layer branches
+/// on that fact and re-evaluates; since each branch decides one fact and the
+/// fact space over the finite domain is finite, the process terminates.
+pub fn eval_fo3<S: Structure3 + ?Sized>(fo: &Fo, structure: &S, val: &mut Valuation) -> Tv3 {
+    eval3_rec(fo, structure, val)
+}
+
+fn and3(a: Tv3, b: impl FnOnce() -> Tv3) -> Tv3 {
+    match a {
+        Tv3::Known(false) => Tv3::Known(false),
+        Tv3::Known(true) => b(),
+        undecided => match b() {
+            // A decided `false` wins over an undecided sibling.
+            Tv3::Known(false) => Tv3::Known(false),
+            _ => undecided,
+        },
+    }
+}
+
+fn not3(a: Tv3) -> Tv3 {
+    match a {
+        Tv3::Known(v) => Tv3::Known(!v),
+        u => u,
+    }
+}
+
+fn or3(a: Tv3, b: impl FnOnce() -> Tv3) -> Tv3 {
+    not3(and3(not3(a), || not3(b())))
+}
+
+fn eval3_rec<S: Structure3 + ?Sized>(fo: &Fo, s: &S, val: &mut Valuation) -> Tv3 {
+    match fo {
+        Fo::True => Tv3::Known(true),
+        Fo::False => Tv3::Known(false),
+        Fo::Atom(rel, args) => {
+            let tuple: Vec<Value> = args.iter().map(|t| t.eval(val)).collect();
+            match s.contains3(*rel, &tuple) {
+                Some(b) => Tv3::Known(b),
+                None => Tv3::Undecided(*rel, tuple),
+            }
+        }
+        Fo::Eq(a, b) => Tv3::Known(a.eval(val) == b.eval(val)),
+        Fo::Not(f) => not3(eval3_rec(f, s, val)),
+        Fo::And(fs) => {
+            let mut acc = Tv3::Known(true);
+            for f in fs {
+                acc = and3(acc, || eval3_rec(f, s, val));
+                if acc == Tv3::Known(false) {
+                    break;
+                }
+            }
+            acc
+        }
+        Fo::Or(fs) => {
+            let mut acc = Tv3::Known(false);
+            for f in fs {
+                acc = or3(acc, || eval3_rec(f, s, val));
+                if acc == Tv3::Known(true) {
+                    break;
+                }
+            }
+            acc
+        }
+        Fo::Implies(a, b) => or3(not3(eval3_rec(a, s, val)), || eval3_rec(b, s, val)),
+        Fo::Exists(vars, f) => quant3(vars, f, s, val, true),
+        Fo::Forall(vars, f) => quant3(vars, f, s, val, false),
+    }
+}
+
+fn quant3<S: Structure3 + ?Sized>(
+    vars: &[VarId],
+    body: &Fo,
+    s: &S,
+    val: &mut Valuation,
+    existential: bool,
+) -> Tv3 {
+    match vars.split_first() {
+        None => eval3_rec(body, s, val),
+        Some((&v, rest)) => {
+            let dom: Vec<Value> = s.domain().to_vec();
+            let saved = val.get(v);
+            let mut pending: Option<Tv3> = None;
+            for d in dom {
+                val.set(v, d);
+                let r = quant3(rest, body, s, val, existential);
+                match r {
+                    Tv3::Known(b) if b == existential => {
+                        restore(val, v, saved);
+                        return Tv3::Known(existential);
+                    }
+                    Tv3::Known(_) => {}
+                    undecided => {
+                        if pending.is_none() {
+                            pending = Some(undecided);
+                        }
+                    }
+                }
+            }
+            restore(val, v, saved);
+            pending.unwrap_or(Tv3::Known(!existential))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::vars::Vars;
+    use ddws_relational::{Instance, Tuple, Vocabulary};
+
+    /// An [`Instance`] together with a quantification domain.
+    struct Snap {
+        inst: Instance,
+        dom: Vec<Value>,
+    }
+
+    impl Structure for Snap {
+        fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+            self.inst.contains(rel, &Tuple::from(tuple))
+        }
+        fn domain(&self) -> &[Value] {
+            &self.dom
+        }
+    }
+
+    fn setup() -> (Vocabulary, Vars, Snap) {
+        let mut voc = Vocabulary::new();
+        let edge = voc.declare("edge", 2).unwrap();
+        voc.declare("mark", 1).unwrap();
+        let mut inst = Instance::empty(&voc);
+        // edge = {(0,1), (1,2)}
+        inst.relation_mut(edge)
+            .insert(Tuple::new(vec![Value(0), Value(1)]));
+        inst.relation_mut(edge)
+            .insert(Tuple::new(vec![Value(1), Value(2)]));
+        let mut vars = Vars::new();
+        vars.intern("x");
+        vars.intern("y");
+        vars.intern("z");
+        (
+            voc,
+            vars,
+            Snap {
+                inst,
+                dom: vec![Value(0), Value(1), Value(2)],
+            },
+        )
+    }
+
+    #[test]
+    fn atoms_and_equality() {
+        let (voc, vars, snap) = setup();
+        let edge = voc.lookup("edge").unwrap();
+        let x = vars.lookup("x").unwrap();
+        let mut val = Valuation::with_capacity(3);
+        val.set(x, Value(0));
+        let f = Fo::Atom(edge, vec![Term::Var(x), Term::Const(Value(1))]);
+        assert!(eval_fo(&f, &snap, &mut val));
+        let g = Fo::Eq(Term::Var(x), Term::Const(Value(0)));
+        assert!(eval_fo(&g, &snap, &mut val));
+        let h = Fo::Eq(Term::Var(x), Term::Const(Value(2)));
+        assert!(!eval_fo(&h, &snap, &mut val));
+    }
+
+    #[test]
+    fn quantifiers_range_over_domain() {
+        let (voc, vars, snap) = setup();
+        let edge = voc.lookup("edge").unwrap();
+        let x = vars.lookup("x").unwrap();
+        let y = vars.lookup("y").unwrap();
+        let mut val = Valuation::with_capacity(3);
+        // ∃x∃y edge(x,y)
+        let f = Fo::exists(
+            vec![x, y],
+            Fo::Atom(edge, vec![Term::Var(x), Term::Var(y)]),
+        );
+        assert!(eval_fo(&f, &snap, &mut val));
+        // ∀x∃y edge(x,y) — fails at x=2
+        let g = Fo::forall(
+            vec![x],
+            Fo::exists(vec![y], Fo::Atom(edge, vec![Term::Var(x), Term::Var(y)])),
+        );
+        assert!(!eval_fo(&g, &snap, &mut val));
+        // ∀x∀y (edge(x,y) → ∃z edge(y,z) ∨ y = 2)
+        let z = vars.lookup("z").unwrap();
+        let h = Fo::forall(
+            vec![x, y],
+            Fo::Implies(
+                Box::new(Fo::Atom(edge, vec![Term::Var(x), Term::Var(y)])),
+                Box::new(Fo::Or(vec![
+                    Fo::exists(vec![z], Fo::Atom(edge, vec![Term::Var(y), Term::Var(z)])),
+                    Fo::Eq(Term::Var(y), Term::Const(Value(2))),
+                ])),
+            ),
+        );
+        assert!(eval_fo(&h, &snap, &mut val));
+    }
+
+    #[test]
+    fn quantifier_bindings_are_restored() {
+        let (voc, vars, snap) = setup();
+        let edge = voc.lookup("edge").unwrap();
+        let x = vars.lookup("x").unwrap();
+        let mut val = Valuation::with_capacity(3);
+        val.set(x, Value(0));
+        // ∃x edge(x, x) is false, and must not clobber the outer binding
+        // permanently; after evaluation x's binding slot is reusable.
+        let f = Fo::exists(vec![x], Fo::Atom(edge, vec![Term::Var(x), Term::Var(x)]));
+        assert!(!eval_fo(&f, &snap, &mut val));
+        // NOTE: shadowing a bound outer variable inside a quantifier is the
+        // caller's responsibility to avoid (the parser never produces it:
+        // quantified variables are fresh per formula).
+    }
+
+    struct PartialSnap {
+        decided_true: Vec<(RelId, Vec<Value>)>,
+        decided_false: Vec<(RelId, Vec<Value>)>,
+        dom: Vec<Value>,
+    }
+
+    impl Structure3 for PartialSnap {
+        fn contains3(&self, rel: RelId, tuple: &[Value]) -> Option<bool> {
+            if self
+                .decided_true
+                .iter()
+                .any(|(r, t)| *r == rel && t == tuple)
+            {
+                Some(true)
+            } else if self
+                .decided_false
+                .iter()
+                .any(|(r, t)| *r == rel && t == tuple)
+            {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        fn domain(&self) -> &[Value] {
+            &self.dom
+        }
+    }
+
+    #[test]
+    fn three_valued_short_circuits() {
+        let mut voc = Vocabulary::new();
+        let p = voc.declare("p", 1).unwrap();
+        let q = voc.declare("q", 1).unwrap();
+        let snap = PartialSnap {
+            decided_true: vec![(p, vec![Value(0)])],
+            decided_false: vec![],
+            dom: vec![Value(0)],
+        };
+        let mut val = Valuation::with_capacity(0);
+        // p(0) ∨ q(0): true regardless of undecided q(0).
+        let f = Fo::Or(vec![
+            Fo::Atom(p, vec![Term::Const(Value(0))]),
+            Fo::Atom(q, vec![Term::Const(Value(0))]),
+        ]);
+        assert_eq!(eval_fo3(&f, &snap, &mut val), Tv3::Known(true));
+        // q(0) alone: undecided, reports the fact.
+        let g = Fo::Atom(q, vec![Term::Const(Value(0))]);
+        assert_eq!(
+            eval_fo3(&g, &snap, &mut val),
+            Tv3::Undecided(q, vec![Value(0)])
+        );
+        // q(0) ∧ ¬p(0): false regardless (¬p(0) is false).
+        let h = Fo::And(vec![
+            Fo::Atom(q, vec![Term::Const(Value(0))]),
+            Fo::not(Fo::Atom(p, vec![Term::Const(Value(0))])),
+        ]);
+        assert_eq!(eval_fo3(&h, &snap, &mut val), Tv3::Known(false));
+    }
+
+    #[test]
+    fn three_valued_quantifiers() {
+        let mut voc = Vocabulary::new();
+        let p = voc.declare("p", 1).unwrap();
+        let snap = PartialSnap {
+            decided_true: vec![(p, vec![Value(1)])],
+            decided_false: vec![(p, vec![Value(0)])],
+            dom: vec![Value(0), Value(1), Value(2)],
+        };
+        let mut vars = Vars::new();
+        let x = vars.intern("x");
+        let mut val = Valuation::with_capacity(1);
+        // ∃x p(x): witnessed by 1 → Known(true) even though p(2) undecided.
+        let f = Fo::exists(vec![x], Fo::Atom(p, vec![Term::Var(x)]));
+        assert_eq!(eval_fo3(&f, &snap, &mut val), Tv3::Known(true));
+        // ∀x p(x): refuted by 0 → Known(false).
+        let g = Fo::forall(vec![x], Fo::Atom(p, vec![Term::Var(x)]));
+        assert_eq!(eval_fo3(&g, &snap, &mut val), Tv3::Known(false));
+        // ∀x (p(x) ∨ x = 0): undecided on p(2).
+        let h = Fo::forall(
+            vec![x],
+            Fo::Or(vec![
+                Fo::Atom(p, vec![Term::Var(x)]),
+                Fo::Eq(Term::Var(x), Term::Const(Value(0))),
+            ]),
+        );
+        assert_eq!(
+            eval_fo3(&h, &snap, &mut val),
+            Tv3::Undecided(p, vec![Value(2)])
+        );
+    }
+}

@@ -1,0 +1,311 @@
+//! First-order formulas.
+
+use crate::term::Term;
+use crate::vars::VarId;
+use ddws_relational::{RelId, Value};
+use std::collections::BTreeSet;
+
+/// A first-order formula over a relational vocabulary.
+///
+/// The shape of quantifiers is preserved (no normalization to
+/// negation-normal form) because the input-boundedness checker of §3.1
+/// pattern-matches the syntactic forms `∃x̄ (α ∧ φ)` and `∀x̄ (α → φ)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Fo {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// Relational atom `R(t̄)`.
+    Atom(RelId, Vec<Term>),
+    /// Equality `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Fo>),
+    /// N-ary conjunction (empty = `true`).
+    And(Vec<Fo>),
+    /// N-ary disjunction (empty = `false`).
+    Or(Vec<Fo>),
+    /// Implication, kept explicit for the `∀x̄ (α → φ)` shape.
+    Implies(Box<Fo>, Box<Fo>),
+    /// Existential quantification over a non-empty variable block.
+    Exists(Vec<VarId>, Box<Fo>),
+    /// Universal quantification over a non-empty variable block.
+    Forall(Vec<VarId>, Box<Fo>),
+}
+
+impl Fo {
+    /// Smart conjunction: flattens trivial cases.
+    pub fn and(conjuncts: Vec<Fo>) -> Fo {
+        match conjuncts.len() {
+            0 => Fo::True,
+            1 => conjuncts.into_iter().next().expect("len checked"),
+            _ => Fo::And(conjuncts),
+        }
+    }
+
+    /// Smart disjunction: flattens trivial cases.
+    pub fn or(disjuncts: Vec<Fo>) -> Fo {
+        match disjuncts.len() {
+            0 => Fo::False,
+            1 => disjuncts.into_iter().next().expect("len checked"),
+            _ => Fo::Or(disjuncts),
+        }
+    }
+
+    /// Negation (without simplification).
+    pub fn not(f: Fo) -> Fo {
+        Fo::Not(Box::new(f))
+    }
+
+    /// `∃x̄ φ`; returns `φ` unchanged when the block is empty.
+    pub fn exists(vars: Vec<VarId>, f: Fo) -> Fo {
+        if vars.is_empty() {
+            f
+        } else {
+            Fo::Exists(vars, Box::new(f))
+        }
+    }
+
+    /// `∀x̄ φ`; returns `φ` unchanged when the block is empty.
+    pub fn forall(vars: Vec<VarId>, f: Fo) -> Fo {
+        if vars.is_empty() {
+            f
+        } else {
+            Fo::Forall(vars, Box::new(f))
+        }
+    }
+
+    /// Free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut acc = BTreeSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut acc);
+        acc
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<VarId>, acc: &mut BTreeSet<VarId>) {
+        match self {
+            Fo::True | Fo::False => {}
+            Fo::Atom(_, args) => {
+                for t in args {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            acc.insert(*v);
+                        }
+                    }
+                }
+            }
+            Fo::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            acc.insert(*v);
+                        }
+                    }
+                }
+            }
+            Fo::Not(f) => f.collect_free_vars(bound, acc),
+            Fo::And(fs) | Fo::Or(fs) => {
+                for f in fs {
+                    f.collect_free_vars(bound, acc);
+                }
+            }
+            Fo::Implies(a, b) => {
+                a.collect_free_vars(bound, acc);
+                b.collect_free_vars(bound, acc);
+            }
+            Fo::Exists(vs, f) | Fo::Forall(vs, f) => {
+                let depth = bound.len();
+                bound.extend(vs.iter().copied());
+                f.collect_free_vars(bound, acc);
+                bound.truncate(depth);
+            }
+        }
+    }
+
+    /// Substitutes constants for free variables according to `map`
+    /// (capture is impossible: only constants are substituted).
+    ///
+    /// Used to ground the universal closure of a sentence over the
+    /// verification domain.
+    pub fn substitute(&self, map: &dyn Fn(VarId) -> Option<Value>) -> Fo {
+        self.substitute_inner(map, &mut Vec::new())
+    }
+
+    fn substitute_inner(&self, map: &dyn Fn(VarId) -> Option<Value>, bound: &mut Vec<VarId>) -> Fo {
+        let subst_term = |t: &Term, bound: &Vec<VarId>| -> Term {
+            match t {
+                Term::Var(v) if !bound.contains(v) => match map(*v) {
+                    Some(c) => Term::Const(c),
+                    None => *t,
+                },
+                _ => *t,
+            }
+        };
+        match self {
+            Fo::True => Fo::True,
+            Fo::False => Fo::False,
+            Fo::Atom(r, args) => {
+                Fo::Atom(*r, args.iter().map(|t| subst_term(t, bound)).collect())
+            }
+            Fo::Eq(a, b) => Fo::Eq(subst_term(a, bound), subst_term(b, bound)),
+            Fo::Not(f) => Fo::not(f.substitute_inner(map, bound)),
+            Fo::And(fs) => Fo::And(fs.iter().map(|f| f.substitute_inner(map, bound)).collect()),
+            Fo::Or(fs) => Fo::Or(fs.iter().map(|f| f.substitute_inner(map, bound)).collect()),
+            Fo::Implies(a, b) => Fo::Implies(
+                Box::new(a.substitute_inner(map, bound)),
+                Box::new(b.substitute_inner(map, bound)),
+            ),
+            Fo::Exists(vs, f) => {
+                let depth = bound.len();
+                bound.extend(vs.iter().copied());
+                let inner = f.substitute_inner(map, bound);
+                bound.truncate(depth);
+                Fo::Exists(vs.clone(), Box::new(inner))
+            }
+            Fo::Forall(vs, f) => {
+                let depth = bound.len();
+                bound.extend(vs.iter().copied());
+                let inner = f.substitute_inner(map, bound);
+                bound.truncate(depth);
+                Fo::Forall(vs.clone(), Box::new(inner))
+            }
+        }
+    }
+
+    /// All relation symbols occurring in the formula.
+    pub fn relations(&self) -> BTreeSet<RelId> {
+        let mut acc = BTreeSet::new();
+        self.visit_atoms(&mut |rel, _| {
+            acc.insert(rel);
+        });
+        acc
+    }
+
+    /// Visits every atom `R(t̄)` in the formula.
+    pub fn visit_atoms(&self, f: &mut dyn FnMut(RelId, &[Term])) {
+        match self {
+            Fo::True | Fo::False | Fo::Eq(..) => {}
+            Fo::Atom(r, args) => f(*r, args),
+            Fo::Not(g) => g.visit_atoms(f),
+            Fo::And(gs) | Fo::Or(gs) => {
+                for g in gs {
+                    g.visit_atoms(f);
+                }
+            }
+            Fo::Implies(a, b) => {
+                a.visit_atoms(f);
+                b.visit_atoms(f);
+            }
+            Fo::Exists(_, g) | Fo::Forall(_, g) => g.visit_atoms(f),
+        }
+    }
+
+    /// Whether the formula contains any quantifier.
+    pub fn is_quantifier_free(&self) -> bool {
+        match self {
+            Fo::True | Fo::False | Fo::Atom(..) | Fo::Eq(..) => true,
+            Fo::Not(f) => f.is_quantifier_free(),
+            Fo::And(fs) | Fo::Or(fs) => fs.iter().all(Fo::is_quantifier_free),
+            Fo::Implies(a, b) => a.is_quantifier_free() && b.is_quantifier_free(),
+            Fo::Exists(..) | Fo::Forall(..) => false,
+        }
+    }
+
+    /// Whether the formula is in the `∃*FO` class: a (possibly empty) prefix
+    /// of existential quantifiers over a quantifier-free matrix. Required of
+    /// input rules and flat-queue send rules by §3.1.
+    pub fn is_exists_star(&self) -> bool {
+        match self {
+            Fo::Exists(_, f) => f.is_exists_star(),
+            other => other.is_quantifier_free(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vars::Vars;
+    use ddws_relational::Vocabulary;
+
+    fn setup() -> (Vocabulary, Vars) {
+        let mut voc = Vocabulary::new();
+        voc.declare("R", 2).unwrap();
+        voc.declare("S", 1).unwrap();
+        let mut vars = Vars::new();
+        vars.intern("x");
+        vars.intern("y");
+        (voc, vars)
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let (voc, vars) = setup();
+        let r = voc.lookup("R").unwrap();
+        let x = vars.lookup("x").unwrap();
+        let y = vars.lookup("y").unwrap();
+        // ∃x R(x, y): free = {y}
+        let f = Fo::exists(
+            vec![x],
+            Fo::Atom(r, vec![Term::Var(x), Term::Var(y)]),
+        );
+        assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![y]);
+    }
+
+    #[test]
+    fn substitute_only_free_occurrences() {
+        let (voc, vars) = setup();
+        let r = voc.lookup("R").unwrap();
+        let x = vars.lookup("x").unwrap();
+        // R(x, x) ∧ ∃x R(x, x): only the outer occurrences are grounded.
+        let atom = Fo::Atom(r, vec![Term::Var(x), Term::Var(x)]);
+        let f = Fo::And(vec![atom.clone(), Fo::exists(vec![x], atom.clone())]);
+        let g = f.substitute(&|v| if v == x { Some(Value(42)) } else { None });
+        match &g {
+            Fo::And(parts) => {
+                assert_eq!(
+                    parts[0],
+                    Fo::Atom(r, vec![Term::Const(Value(42)), Term::Const(Value(42))])
+                );
+                assert_eq!(parts[1], Fo::exists(vec![x], atom));
+            }
+            _ => panic!("shape preserved"),
+        }
+    }
+
+    #[test]
+    fn smart_constructors_flatten() {
+        assert_eq!(Fo::and(vec![]), Fo::True);
+        assert_eq!(Fo::or(vec![]), Fo::False);
+        assert_eq!(Fo::and(vec![Fo::True]), Fo::True);
+        assert_eq!(Fo::exists(vec![], Fo::False), Fo::False);
+    }
+
+    #[test]
+    fn exists_star_classification() {
+        let (voc, vars) = setup();
+        let r = voc.lookup("R").unwrap();
+        let x = vars.lookup("x").unwrap();
+        let y = vars.lookup("y").unwrap();
+        let atom = Fo::Atom(r, vec![Term::Var(x), Term::Var(y)]);
+        assert!(Fo::exists(vec![x], Fo::exists(vec![y], atom.clone())).is_exists_star());
+        assert!(atom.clone().is_exists_star());
+        assert!(!Fo::forall(vec![x], atom.clone()).is_exists_star());
+        // ∃x ∀y R(x,y) is not ∃*FO
+        assert!(!Fo::exists(vec![x], Fo::forall(vec![y], atom)).is_exists_star());
+    }
+
+    #[test]
+    fn relations_collects_all_symbols() {
+        let (voc, vars) = setup();
+        let r = voc.lookup("R").unwrap();
+        let s = voc.lookup("S").unwrap();
+        let x = vars.lookup("x").unwrap();
+        let f = Fo::Implies(
+            Box::new(Fo::Atom(r, vec![Term::Var(x), Term::Var(x)])),
+            Box::new(Fo::Atom(s, vec![Term::Var(x)])),
+        );
+        assert_eq!(f.relations().into_iter().collect::<Vec<_>>(), vec![r, s]);
+    }
+}

@@ -1,0 +1,513 @@
+//! The **input-boundedness** restriction of §3.1.
+//!
+//! Input-boundedness is the syntactic restriction that makes verification
+//! decidable (Theorem 3.4): quantified variables may range only over the
+//! active domain of current inputs, previous inputs, and the first messages
+//! of *flat* queues. Concretely, every quantifier must appear in one of the
+//! guarded forms
+//!
+//! ```text
+//! ∃x̄ (α ∧ φ)        ∀x̄ (α → φ)
+//! ```
+//!
+//! where `α` is an atom over `I ∪ PrevI ∪ Qf_in ∪ Qf_out` with
+//! `x̄ ⊆ free(α)`, and no variable of `x̄` occurs in any state, action, or
+//! nested-queue atom of `φ`.
+//!
+//! A *peer* is input-bounded iff its state, action, and nested-queue send
+//! rules are input-bounded formulas, and its input rules and flat-queue send
+//! rules are `∃*FO` formulas whose state and nested-queue atoms are ground.
+//! An LTL-FO sentence is input-bounded iff all of its FO subformulas are.
+//!
+//! The checker is parameterized by a [`SchemaClassifier`], provided by the
+//! model layer, mapping each relation symbol to its [`RelClass`].
+
+use crate::fo::Fo;
+use crate::ltl::{LtlFo, LtlFoSentence};
+use crate::term::Term;
+use crate::vars::VarId;
+use ddws_relational::RelId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The role a relation symbol plays in a composition schema.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelClass {
+    /// Fixed database relation (`W.D`).
+    Database,
+    /// Mutable state relation (`W.S`), excluding queue states.
+    State,
+    /// Queue-state proposition `emptyQ` (formally part of `W.S`).
+    QueueState,
+    /// User-input relation (`W.I`).
+    Input,
+    /// Previous-input relation (`prevI`, possibly with k-lookback).
+    PrevInput,
+    /// Action relation (`W.A`).
+    Action,
+    /// Flat in-queue (`W.Qf_in`).
+    InFlat,
+    /// Nested in-queue (`W.Qn_in`).
+    InNested,
+    /// Flat out-queue (`W.Qf_out`).
+    OutFlat,
+    /// Nested out-queue (`W.Qn_out`).
+    OutNested,
+    /// Framework bookkeeping proposition (`moveW`, `moveE`, `receivedQ`,
+    /// `enqueuedQ`, `errorQ`, …). Always propositional.
+    Bookkeeping,
+    /// The nested-message emptiness test of Theorem 3.9 — *outside* the
+    /// input-bounded language; allowing it breaks decidability.
+    MsgEmptinessTest,
+}
+
+impl RelClass {
+    /// Whether an atom of this class may guard a quantifier block.
+    fn guard_eligible(self, opts: IbOptions) -> bool {
+        matches!(
+            self,
+            RelClass::Input | RelClass::PrevInput | RelClass::InFlat | RelClass::OutFlat
+        ) || (opts.allow_database_guards && self == RelClass::Database)
+    }
+
+    /// Whether quantified variables are forbidden from occurring in atoms
+    /// of this class.
+    ///
+    /// The paper lists state, action and nested *in*-queue atoms; we also
+    /// forbid nested *out*-queue atoms (reachable only from properties),
+    /// since a quantified variable there would range over unbounded message
+    /// content for exactly the reason nested in-queues are excluded.
+    fn forbidden_for_quantified(self) -> bool {
+        matches!(
+            self,
+            RelClass::State | RelClass::Action | RelClass::InNested | RelClass::OutNested
+        )
+    }
+}
+
+/// Maps relation symbols to their schema class.
+pub trait SchemaClassifier {
+    /// The class of `rel`.
+    fn class(&self, rel: RelId) -> RelClass;
+
+    /// Display name for diagnostics.
+    fn rel_name(&self, rel: RelId) -> String;
+}
+
+/// A single input-boundedness violation, for diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IbViolation {
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for IbViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Options for the checker.
+#[derive(Clone, Copy, Debug)]
+pub struct IbOptions {
+    /// Permit the `MsgEmptinessTest` propositions (Theorem 3.9 relaxation;
+    /// verification becomes undecidable in general). Used by the
+    /// `boundaries` crate to build counterexample specifications.
+    pub allow_nested_emptiness_tests: bool,
+    /// Permit **database** atoms as quantifier guards, in addition to the
+    /// input/previous-input/flat-queue atoms §3.1 lists.
+    ///
+    /// The paper's own running example needs this reading: rules (4)–(6) of
+    /// Example 2.2 quantify `∃ssn` guarded only by the database atom
+    /// `customer(id, ssn, name)`, yet Example 3.3 declares peer `O`
+    /// input-bounded. Defaults to `true`; set to `false` for the strict
+    /// letter of §3.1.
+    pub allow_database_guards: bool,
+}
+
+impl Default for IbOptions {
+    fn default() -> Self {
+        IbOptions {
+            allow_nested_emptiness_tests: false,
+            allow_database_guards: true,
+        }
+    }
+}
+
+/// Checks that `fo` is an input-bounded formula.
+pub fn check_input_bounded_fo(
+    fo: &Fo,
+    classifier: &dyn SchemaClassifier,
+    opts: IbOptions,
+) -> Result<(), Vec<IbViolation>> {
+    let mut violations = Vec::new();
+    check_fo(fo, classifier, opts, &mut violations);
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn check_fo(
+    fo: &Fo,
+    cl: &dyn SchemaClassifier,
+    opts: IbOptions,
+    out: &mut Vec<IbViolation>,
+) {
+    match fo {
+        Fo::True | Fo::False | Fo::Eq(..) => {}
+        Fo::Atom(rel, _) => {
+            if cl.class(*rel) == RelClass::MsgEmptinessTest && !opts.allow_nested_emptiness_tests {
+                out.push(IbViolation {
+                    message: format!(
+                        "emptiness test `{}` on a nested message is outside the \
+                         input-bounded language (Theorem 3.9)",
+                        cl.rel_name(*rel)
+                    ),
+                });
+            }
+        }
+        Fo::Not(f) => check_fo(f, cl, opts, out),
+        Fo::And(fs) | Fo::Or(fs) => {
+            for f in fs {
+                check_fo(f, cl, opts, out);
+            }
+        }
+        Fo::Implies(a, b) => {
+            check_fo(a, cl, opts, out);
+            check_fo(b, cl, opts, out);
+        }
+        Fo::Exists(vars, body) => check_quant(vars, body, false, cl, opts, out),
+        Fo::Forall(vars, body) => check_quant(vars, body, true, cl, opts, out),
+    }
+}
+
+/// Checks one quantifier block: locate the guard atom, verify coverage and
+/// the forbidden-atom condition, then recurse.
+fn check_quant(
+    vars: &[VarId],
+    body: &Fo,
+    universal: bool,
+    cl: &dyn SchemaClassifier,
+    opts: IbOptions,
+    out: &mut Vec<IbViolation>,
+) {
+    let xs: BTreeSet<VarId> = vars.iter().copied().collect();
+
+    // Candidate guards and the residue to which the forbidden-atom check
+    // applies. For ∃x̄ (α ∧ φ) the guard is a conjunct; for ∀x̄ (α → φ) it is
+    // the antecedent. We accept any qualifying conjunct as the guard (the
+    // strict `α ∧ φ` form is recovered by reassociating the conjunction).
+    let guard_found = match (universal, body) {
+        (false, Fo::And(conjuncts)) => conjuncts
+            .iter()
+            .any(|c| qualifies_as_guard(c, &xs, cl, opts)),
+        (false, single) => qualifies_as_guard(single, &xs, cl, opts),
+        (true, Fo::Implies(ante, _)) => qualifies_as_guard(ante, &xs, cl, opts),
+        // ∀x̄ (¬α ∨ φ) is the desugared implication.
+        (true, Fo::Or(disjuncts)) => disjuncts.iter().any(|d| match d {
+            Fo::Not(inner) => qualifies_as_guard(inner, &xs, cl, opts),
+            _ => false,
+        }),
+        (true, _) => false,
+    };
+
+    if !guard_found {
+        out.push(IbViolation {
+            message: format!(
+                "{} block over {:?} lacks a guard atom over inputs, previous inputs \
+                 or flat queues covering all quantified variables (§3.1)",
+                if universal { "forall" } else { "exists" },
+                xs
+            ),
+        });
+    }
+
+    // Forbidden classes: no quantified variable may appear in a state,
+    // action or nested-queue atom anywhere in the body (the guard itself
+    // can never be of such a class).
+    body.visit_atoms(&mut |rel, args| {
+        if cl.class(rel).forbidden_for_quantified() {
+            for t in args {
+                if let Term::Var(v) = t {
+                    if xs.contains(v) {
+                        out.push(IbViolation {
+                            message: format!(
+                                "quantified variable appears in {:?}-class atom `{}` (§3.1)",
+                                cl.class(rel),
+                                cl.rel_name(rel)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    });
+
+    check_fo(body, cl, opts, out);
+}
+
+/// Whether `candidate` is an atom over a guard-eligible class whose free
+/// variables cover the quantified block.
+fn qualifies_as_guard(
+    candidate: &Fo,
+    xs: &BTreeSet<VarId>,
+    cl: &dyn SchemaClassifier,
+    opts: IbOptions,
+) -> bool {
+    match candidate {
+        Fo::Atom(rel, args) if cl.class(*rel).guard_eligible(opts) => {
+            let guard_vars: BTreeSet<VarId> =
+                args.iter().filter_map(Term::as_var).collect();
+            xs.is_subset(&guard_vars)
+        }
+        _ => false,
+    }
+}
+
+/// Checks the `∃*FO`-with-ground-atoms condition required of input rules and
+/// flat-queue send rules.
+pub fn check_exists_star_ground(
+    fo: &Fo,
+    classifier: &dyn SchemaClassifier,
+) -> Result<(), Vec<IbViolation>> {
+    let mut violations = Vec::new();
+    if !fo.is_exists_star() {
+        violations.push(IbViolation {
+            message: "input and flat-queue send rules must be ∃*FO (existential prefix \
+                      over a quantifier-free matrix, §3.1)"
+                .into(),
+        });
+    }
+    fo.visit_atoms(&mut |rel, args| {
+        let class = classifier.class(rel);
+        let must_be_ground = matches!(
+            class,
+            RelClass::State | RelClass::InNested | RelClass::OutNested
+        );
+        if must_be_ground && args.iter().any(|t| !t.is_ground()) {
+            violations.push(IbViolation {
+                message: format!(
+                    "{:?}-class atom `{}` in an input/flat-send rule must be ground \
+                     (§3.1; relaxing this is Theorem 3.10)",
+                    class,
+                    classifier.rel_name(rel)
+                ),
+            });
+        }
+    });
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Checks that every FO subformula of an LTL-FO formula is input-bounded.
+pub fn check_input_bounded_ltlfo(
+    f: &LtlFo,
+    classifier: &dyn SchemaClassifier,
+    opts: IbOptions,
+) -> Result<(), Vec<IbViolation>> {
+    let mut violations = Vec::new();
+    f.visit_fo(&mut |fo| {
+        check_fo(fo, classifier, opts, &mut violations);
+    });
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// Checks that a sentence is input-bounded.
+pub fn check_input_bounded_sentence(
+    s: &LtlFoSentence,
+    classifier: &dyn SchemaClassifier,
+    opts: IbOptions,
+) -> Result<(), Vec<IbViolation>> {
+    check_input_bounded_ltlfo(&s.body, classifier, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_fo, Resolver};
+    use crate::vars::Vars;
+    use ddws_relational::{Symbols, Vocabulary};
+
+    struct TestClassifier {
+        voc: Vocabulary,
+    }
+
+    impl SchemaClassifier for TestClassifier {
+        fn class(&self, rel: RelId) -> RelClass {
+            match self.voc.name(rel) {
+                n if n.starts_with("db_") => RelClass::Database,
+                n if n.starts_with("st_") => RelClass::State,
+                n if n.starts_with("in_") => RelClass::Input,
+                n if n.starts_with("prev_") => RelClass::PrevInput,
+                n if n.starts_with("qf_") => RelClass::InFlat,
+                n if n.starts_with("qn_") => RelClass::InNested,
+                n if n.starts_with("of_") => RelClass::OutFlat,
+                n if n.starts_with("on_") => RelClass::OutNested,
+                n if n.starts_with("ax_") => RelClass::Action,
+                _ => RelClass::Bookkeeping,
+            }
+        }
+        fn rel_name(&self, rel: RelId) -> String {
+            self.voc.name(rel).to_owned()
+        }
+    }
+
+    fn fixture() -> (TestClassifier, Vars, Symbols) {
+        let mut voc = Vocabulary::new();
+        for (name, arity) in [
+            ("db_customer", 2),
+            ("st_pending", 1),
+            ("in_choice", 2),
+            ("prev_choice", 2),
+            ("qf_msg", 1),
+            ("qn_hist", 2),
+            ("of_req", 1),
+            ("ax_letter", 1),
+        ] {
+            voc.declare(name, arity).unwrap();
+        }
+        (TestClassifier { voc }, Vars::new(), Symbols::new())
+    }
+
+    fn check(src: &str) -> Result<(), Vec<IbViolation>> {
+        let (cl, mut vars, mut symbols) = fixture();
+        let fo = {
+            let mut r = Resolver {
+                voc: &cl.voc,
+                vars: &mut vars,
+                symbols: &mut symbols,
+            };
+            parse_fo(src, &mut r).unwrap()
+        };
+        check_input_bounded_fo(&fo, &cl, IbOptions::default())
+    }
+
+    #[test]
+    fn guarded_quantifiers_accepted() {
+        // ∃x (input guard ∧ database atom): the guard covers x.
+        assert!(check("exists x, y: in_choice(x, y) and db_customer(x, y)").is_ok());
+        // ∀ with flat-queue guard.
+        assert!(check("forall x: qf_msg(x) -> db_customer(x, x)").is_ok());
+        // Guard may be any conjunct, not just the first.
+        assert!(check("exists x: db_customer(x, x) and prev_choice(x, x)").is_ok());
+    }
+
+    fn check_strict(src: &str) -> Result<(), Vec<IbViolation>> {
+        let (cl, mut vars, mut symbols) = fixture();
+        let fo = {
+            let mut r = Resolver {
+                voc: &cl.voc,
+                vars: &mut vars,
+                symbols: &mut symbols,
+            };
+            parse_fo(src, &mut r).unwrap()
+        };
+        check_input_bounded_fo(
+            &fo,
+            &cl,
+            IbOptions {
+                allow_database_guards: false,
+                ..IbOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn unguarded_quantifier_rejected() {
+        // Database atoms cannot guard under the strict §3.1 reading...
+        let err = check_strict("exists x: db_customer(x, x)").unwrap_err();
+        assert!(err[0].message.contains("guard"));
+        // ...but do guard under the default reading (Example 3.3 needs it).
+        assert!(check("exists x: db_customer(x, x)").is_ok());
+        // Guard does not cover all variables (either reading).
+        let err = check("exists x, y: qf_msg(x) and st_pending(y)").unwrap_err();
+        assert!(err.iter().any(|v| v.message.contains("guard")));
+        let err = check_strict("exists x, y: qf_msg(x) and db_customer(x, y)").unwrap_err();
+        assert!(err[0].message.contains("guard"));
+    }
+
+    #[test]
+    fn nested_queue_guard_rejected() {
+        let err = check("exists x, y: qn_hist(x, y)").unwrap_err();
+        assert!(err[0].message.contains("guard"));
+    }
+
+    #[test]
+    fn quantified_vars_forbidden_in_state_atoms() {
+        // Guard covers x, but x flows into a state atom.
+        let err = check("exists x, y: in_choice(x, y) and st_pending(x)").unwrap_err();
+        assert!(err.iter().any(|v| v.message.contains("State")));
+        // ... and into nested-queue atoms.
+        let err = check("exists x, y: in_choice(x, y) and qn_hist(x, y)").unwrap_err();
+        assert!(err.iter().any(|v| v.message.contains("InNested")));
+        // Free variables (not quantified) in state atoms are fine.
+        assert!(check("st_pending(z) and (exists x, y: in_choice(x, y))").is_ok());
+    }
+
+    #[test]
+    fn ground_state_atoms_under_quantifier_are_fine() {
+        assert!(check("exists x: qf_msg(x) and st_pending(\"c\")").is_ok());
+    }
+
+    #[test]
+    fn exists_star_ground_check() {
+        let (cl, mut vars, mut symbols) = fixture();
+        let parse = |src: &str, vars: &mut Vars, symbols: &mut Symbols| {
+            let mut r = Resolver {
+                voc: &cl.voc,
+                vars,
+                symbols,
+            };
+            parse_fo(src, &mut r).unwrap()
+        };
+        // ∃*FO with ground state atom: OK.
+        let ok = parse(
+            "exists x: db_customer(x, x) and st_pending(\"c\")",
+            &mut vars,
+            &mut symbols,
+        );
+        assert!(check_exists_star_ground(&ok, &cl).is_ok());
+        // Universal quantifier: rejected.
+        let bad = parse(
+            "forall x: qf_msg(x) -> db_customer(x, x)",
+            &mut vars,
+            &mut symbols,
+        );
+        assert!(check_exists_star_ground(&bad, &cl).is_err());
+        // Non-ground state atom: rejected (Theorem 3.10 relaxation).
+        let bad2 = parse("st_pending(x)", &mut vars, &mut symbols);
+        let err = check_exists_star_ground(&bad2, &cl).unwrap_err();
+        assert!(err[0].message.contains("ground"));
+        // Non-ground nested queue atom: rejected.
+        let bad3 = parse("qn_hist(x, \"c\")", &mut vars, &mut symbols);
+        assert!(check_exists_star_ground(&bad3, &cl).is_err());
+    }
+
+    #[test]
+    fn ltlfo_checks_all_fo_leaves() {
+        let (cl, mut vars, mut symbols) = fixture();
+        let f = {
+            let mut r = Resolver {
+                voc: &cl.voc,
+                vars: &mut vars,
+                symbols: &mut symbols,
+            };
+            crate::parser::parse_ltlfo(
+                "G ((exists x: st_pending(x)) -> F st_pending(\"c\"))",
+                &mut r,
+            )
+            .unwrap()
+        };
+        let err = check_input_bounded_ltlfo(&f, &cl, IbOptions::default()).unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! # `ddws-logic` — FO and LTL-FO over relational snapshots
+//!
+//! The property language of the paper (Section 3) is **LTL-FO**: first-order
+//! logic closed under negation, disjunction and the temporal operators `X`
+//! and `U`, with quantifiers confined to first-order subformulas except for
+//! the outermost universal closure. This crate provides:
+//!
+//! * [`Vars`] / [`VarId`] / [`Valuation`] — variable interning and bindings,
+//! * [`Fo`] — first-order formulas over a [`Vocabulary`](ddws_relational::Vocabulary),
+//! * [`LtlFo`] / [`LtlFoSentence`] — temporal formulas and universally closed
+//!   sentences,
+//! * a text [`parser`] and [`pretty`]-printer for both,
+//! * [`eval`] — FO evaluation over the [`Structure`](eval::Structure) trait
+//!   (snapshots of runs implement it), plus a three-valued evaluator used by
+//!   the verifier's lazy database oracle,
+//! * [`input_bounded`] — the syntactic **input-boundedness** checker of
+//!   §3.1, the restriction that buys decidability (Theorem 3.4),
+//! * relativized temporal operators `Xα`/`Uα` (§5) as syntactic rewrites.
+
+
+#![warn(missing_docs)]
+pub mod enumerate;
+pub mod eval;
+pub mod fo;
+pub mod input_bounded;
+pub mod ltl;
+pub mod parser;
+pub mod pretty;
+pub mod term;
+pub mod vars;
+
+pub use enumerate::satisfying_valuations;
+pub use eval::{eval_fo, Structure};
+pub use fo::Fo;
+pub use input_bounded::{RelClass, SchemaClassifier};
+pub use ltl::{LtlFo, LtlFoSentence};
+pub use parser::{parse_fo, parse_ltlfo, parse_sentence, ParseError, Resolver};
+pub use term::Term;
+pub use vars::{Valuation, VarId, Vars};

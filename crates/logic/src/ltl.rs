@@ -1,0 +1,370 @@
+//! LTL-FO: linear temporal first-order logic (Definition 3.1).
+//!
+//! LTL-FO closes FO under negation, disjunction, `X` and `U`. Quantifiers
+//! cannot scope over temporal operators; the only exception is the universal
+//! closure of the whole formula, represented by [`LtlFoSentence`]. This
+//! module also provides the derived operators `G`, `F`, `B` and the
+//! *relativized* operators `Xα`/`Uα` of Section 5 (modular verification) as
+//! syntactic rewrites into the core.
+
+use crate::fo::Fo;
+use crate::vars::VarId;
+use ddws_relational::RelId;
+use std::collections::BTreeSet;
+
+/// An LTL-FO formula: boolean/temporal combinations of FO formulas.
+///
+/// The AST enforces the paper's syntactic restriction structurally: FO
+/// subformulas are leaves ([`LtlFo::Fo`]), so no quantifier can capture a
+/// temporal operator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum LtlFo {
+    /// A maximal first-order subformula, evaluated on a single snapshot.
+    Fo(Fo),
+    /// Negation.
+    Not(Box<LtlFo>),
+    /// N-ary conjunction.
+    And(Vec<LtlFo>),
+    /// N-ary disjunction.
+    Or(Vec<LtlFo>),
+    /// Implication.
+    Implies(Box<LtlFo>, Box<LtlFo>),
+    /// Next.
+    X(Box<LtlFo>),
+    /// Until.
+    U(Box<LtlFo>, Box<LtlFo>),
+}
+
+impl LtlFo {
+    /// Truth.
+    pub fn tt() -> LtlFo {
+        LtlFo::Fo(Fo::True)
+    }
+
+    /// Falsity.
+    pub fn ff() -> LtlFo {
+        LtlFo::Fo(Fo::False)
+    }
+
+    /// Negation.
+    pub fn not(f: LtlFo) -> LtlFo {
+        LtlFo::Not(Box::new(f))
+    }
+
+    /// Smart conjunction.
+    pub fn and(fs: Vec<LtlFo>) -> LtlFo {
+        match fs.len() {
+            0 => LtlFo::tt(),
+            1 => fs.into_iter().next().expect("len checked"),
+            _ => LtlFo::And(fs),
+        }
+    }
+
+    /// Smart disjunction.
+    pub fn or(fs: Vec<LtlFo>) -> LtlFo {
+        match fs.len() {
+            0 => LtlFo::ff(),
+            1 => fs.into_iter().next().expect("len checked"),
+            _ => LtlFo::Or(fs),
+        }
+    }
+
+    /// Next.
+    pub fn next(f: LtlFo) -> LtlFo {
+        LtlFo::X(Box::new(f))
+    }
+
+    /// Until.
+    pub fn until(a: LtlFo, b: LtlFo) -> LtlFo {
+        LtlFo::U(Box::new(a), Box::new(b))
+    }
+
+    /// `F φ` ("finally"): `true U φ`.
+    pub fn finally(f: LtlFo) -> LtlFo {
+        LtlFo::until(LtlFo::tt(), f)
+    }
+
+    /// `G φ` ("generally"): `φ B false`, i.e. `¬(true U ¬φ)`.
+    pub fn globally(f: LtlFo) -> LtlFo {
+        LtlFo::not(LtlFo::finally(LtlFo::not(f)))
+    }
+
+    /// `φ B ψ` ("φ must hold before ψ fails"): `¬(¬φ U ¬ψ)`.
+    pub fn before(a: LtlFo, b: LtlFo) -> LtlFo {
+        LtlFo::not(LtlFo::until(LtlFo::not(a), LtlFo::not(b)))
+    }
+
+    /// The relativized next `Xα φ` of §5: holds at `j` iff `φ` holds at the
+    /// first position `> j` where the proposition `α` holds. Rewritten as
+    /// `X (¬α U (α ∧ φ))`.
+    pub fn next_relativized(alpha: RelId, f: LtlFo) -> LtlFo {
+        let alpha_atom = LtlFo::Fo(Fo::Atom(alpha, vec![]));
+        LtlFo::next(LtlFo::until(
+            LtlFo::not(alpha_atom.clone()),
+            LtlFo::and(vec![alpha_atom, f]),
+        ))
+    }
+
+    /// The relativized until `φ Uα ψ` of §5: there is `k ≥ j` with `α` at `k`
+    /// and `ψ` at `k`, and `φ` holds at every `α`-position in `[j, k)`.
+    /// Rewritten as `(α → φ) U (α ∧ ψ)`.
+    pub fn until_relativized(alpha: RelId, a: LtlFo, b: LtlFo) -> LtlFo {
+        let alpha_atom = LtlFo::Fo(Fo::Atom(alpha, vec![]));
+        LtlFo::until(
+            LtlFo::Implies(Box::new(alpha_atom.clone()), Box::new(a)),
+            LtlFo::and(vec![alpha_atom, b]),
+        )
+    }
+
+    /// Relativizes every `X` and `U` in the formula to the proposition
+    /// `alpha` (the `ψ̄` translation of Definition 5.3, with `α = moveE`).
+    pub fn relativize(&self, alpha: RelId) -> LtlFo {
+        match self {
+            LtlFo::Fo(f) => LtlFo::Fo(f.clone()),
+            LtlFo::Not(f) => LtlFo::not(f.relativize(alpha)),
+            LtlFo::And(fs) => LtlFo::And(fs.iter().map(|f| f.relativize(alpha)).collect()),
+            LtlFo::Or(fs) => LtlFo::Or(fs.iter().map(|f| f.relativize(alpha)).collect()),
+            LtlFo::Implies(a, b) => LtlFo::Implies(
+                Box::new(a.relativize(alpha)),
+                Box::new(b.relativize(alpha)),
+            ),
+            LtlFo::X(f) => LtlFo::next_relativized(alpha, f.relativize(alpha)),
+            LtlFo::U(a, b) => {
+                LtlFo::until_relativized(alpha, a.relativize(alpha), b.relativize(alpha))
+            }
+        }
+    }
+
+    /// Free variables (of the FO leaves).
+    pub fn free_vars(&self) -> BTreeSet<VarId> {
+        let mut acc = BTreeSet::new();
+        self.visit_fo(&mut |fo| acc.extend(fo.free_vars()));
+        acc
+    }
+
+    /// Visits every maximal FO subformula.
+    pub fn visit_fo(&self, f: &mut dyn FnMut(&Fo)) {
+        match self {
+            LtlFo::Fo(fo) => f(fo),
+            LtlFo::Not(g) | LtlFo::X(g) => g.visit_fo(f),
+            LtlFo::And(gs) | LtlFo::Or(gs) => {
+                for g in gs {
+                    g.visit_fo(f);
+                }
+            }
+            LtlFo::Implies(a, b) | LtlFo::U(a, b) => {
+                a.visit_fo(f);
+                b.visit_fo(f);
+            }
+        }
+    }
+
+    /// Rewrites every maximal FO subformula.
+    pub fn map_fo(&self, f: &dyn Fn(&Fo) -> Fo) -> LtlFo {
+        match self {
+            LtlFo::Fo(fo) => LtlFo::Fo(f(fo)),
+            LtlFo::Not(g) => LtlFo::not(g.map_fo(f)),
+            LtlFo::And(gs) => LtlFo::And(gs.iter().map(|g| g.map_fo(f)).collect()),
+            LtlFo::Or(gs) => LtlFo::Or(gs.iter().map(|g| g.map_fo(f)).collect()),
+            LtlFo::Implies(a, b) => LtlFo::Implies(Box::new(a.map_fo(f)), Box::new(b.map_fo(f))),
+            LtlFo::X(g) => LtlFo::next(g.map_fo(f)),
+            LtlFo::U(a, b) => LtlFo::until(a.map_fo(f), b.map_fo(f)),
+        }
+    }
+
+    /// Rewrites every maximal FO subformula, possibly changing temporal
+    /// structure (the observer-at-recipient translation of §5 maps an
+    /// FO leaf to a formula with an `X`).
+    pub fn map_fo_ltl(&self, f: &dyn Fn(&Fo) -> LtlFo) -> LtlFo {
+        match self {
+            LtlFo::Fo(fo) => f(fo),
+            LtlFo::Not(g) => LtlFo::not(g.map_fo_ltl(f)),
+            LtlFo::And(gs) => LtlFo::And(gs.iter().map(|g| g.map_fo_ltl(f)).collect()),
+            LtlFo::Or(gs) => LtlFo::Or(gs.iter().map(|g| g.map_fo_ltl(f)).collect()),
+            LtlFo::Implies(a, b) => {
+                LtlFo::Implies(Box::new(a.map_fo_ltl(f)), Box::new(b.map_fo_ltl(f)))
+            }
+            LtlFo::X(g) => LtlFo::next(g.map_fo_ltl(f)),
+            LtlFo::U(a, b) => LtlFo::until(a.map_fo_ltl(f), b.map_fo_ltl(f)),
+        }
+    }
+
+    /// Whether the formula contains any temporal operator.
+    pub fn is_pure_fo(&self) -> bool {
+        match self {
+            LtlFo::Fo(_) => true,
+            LtlFo::Not(f) => f.is_pure_fo(),
+            LtlFo::And(fs) | LtlFo::Or(fs) => fs.iter().all(LtlFo::is_pure_fo),
+            LtlFo::Implies(a, b) => a.is_pure_fo() && b.is_pure_fo(),
+            LtlFo::X(_) | LtlFo::U(..) => false,
+        }
+    }
+
+    /// Extracts the FO formula if the formula is temporal-free, folding
+    /// boolean structure into [`Fo`].
+    pub fn to_fo(&self) -> Option<Fo> {
+        match self {
+            LtlFo::Fo(f) => Some(f.clone()),
+            LtlFo::Not(f) => Some(Fo::not(f.to_fo()?)),
+            LtlFo::And(fs) => Some(Fo::and(
+                fs.iter().map(LtlFo::to_fo).collect::<Option<Vec<_>>>()?,
+            )),
+            LtlFo::Or(fs) => Some(Fo::or(
+                fs.iter().map(LtlFo::to_fo).collect::<Option<Vec<_>>>()?,
+            )),
+            LtlFo::Implies(a, b) => Some(Fo::Implies(Box::new(a.to_fo()?), Box::new(b.to_fo()?))),
+            LtlFo::X(_) | LtlFo::U(..) => None,
+        }
+    }
+}
+
+/// An LTL-FO **sentence**: the universal closure `∀x̄ φ(x̄)` of an LTL-FO
+/// formula (Definition 3.1).
+///
+/// The composition satisfies the sentence iff every run satisfies `φ(ν(x̄))`
+/// for every valuation `ν` of `x̄` in the run's active domain; the verifier
+/// instantiates `x̄` over the verification domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LtlFoSentence {
+    /// The universally closed variables, in binding order.
+    pub universal_vars: Vec<VarId>,
+    /// The body (its free variables must all be in `universal_vars`).
+    pub body: LtlFo,
+}
+
+impl LtlFoSentence {
+    /// Universally closes `body` over all of its free variables.
+    pub fn close(body: LtlFo) -> Self {
+        let vars: Vec<VarId> = body.free_vars().into_iter().collect();
+        LtlFoSentence {
+            universal_vars: vars,
+            body,
+        }
+    }
+
+    /// Whether the sentence is **strict** in the sense of §5: no temporal
+    /// operator occurs in the scope of a quantifier. Since the AST keeps FO
+    /// leaves quantifier-contained, strictness is exactly "the universal
+    /// closure binds nothing".
+    pub fn is_strict(&self) -> bool {
+        self.universal_vars.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::vars::Vars;
+    use ddws_relational::Vocabulary;
+
+    fn atom(voc: &Vocabulary, name: &str, vars: &[VarId]) -> LtlFo {
+        LtlFo::Fo(Fo::Atom(
+            voc.lookup(name).unwrap(),
+            vars.iter().map(|&v| Term::Var(v)).collect(),
+        ))
+    }
+
+    fn setup() -> (Vocabulary, Vars) {
+        let mut voc = Vocabulary::new();
+        voc.declare("p", 1).unwrap();
+        voc.declare("q", 1).unwrap();
+        voc.declare("alpha", 0).unwrap();
+        let mut vars = Vars::new();
+        vars.intern("x");
+        (voc, vars)
+    }
+
+    #[test]
+    fn derived_operators_expand() {
+        let (voc, vars) = setup();
+        let x = vars.lookup("x").unwrap();
+        let p = atom(&voc, "p", &[x]);
+        // F p = true U p
+        assert_eq!(
+            LtlFo::finally(p.clone()),
+            LtlFo::until(LtlFo::tt(), p.clone())
+        );
+        // G p = ¬(true U ¬p)
+        assert_eq!(
+            LtlFo::globally(p.clone()),
+            LtlFo::not(LtlFo::until(LtlFo::tt(), LtlFo::not(p.clone())))
+        );
+        // p B q = ¬(¬p U ¬q)
+        let q = atom(&voc, "q", &[x]);
+        assert_eq!(
+            LtlFo::before(p.clone(), q.clone()),
+            LtlFo::not(LtlFo::until(LtlFo::not(p), LtlFo::not(q)))
+        );
+    }
+
+    #[test]
+    fn closure_collects_free_vars() {
+        let (voc, vars) = setup();
+        let x = vars.lookup("x").unwrap();
+        let s = LtlFoSentence::close(LtlFo::finally(atom(&voc, "p", &[x])));
+        assert_eq!(s.universal_vars, vec![x]);
+        assert!(!s.is_strict());
+        let closed = LtlFoSentence::close(LtlFo::finally(LtlFo::Fo(Fo::exists(
+            vec![x],
+            Fo::Atom(voc.lookup("p").unwrap(), vec![Term::Var(x)]),
+        ))));
+        assert!(closed.is_strict());
+    }
+
+    #[test]
+    fn relativize_rewrites_x_and_u() {
+        let (voc, vars) = setup();
+        let x = vars.lookup("x").unwrap();
+        let alpha = voc.lookup("alpha").unwrap();
+        let p = atom(&voc, "p", &[x]);
+        let q = atom(&voc, "q", &[x]);
+        let alpha_atom = LtlFo::Fo(Fo::Atom(alpha, vec![]));
+
+        let rel_x = LtlFo::next(p.clone()).relativize(alpha);
+        assert_eq!(
+            rel_x,
+            LtlFo::next(LtlFo::until(
+                LtlFo::not(alpha_atom.clone()),
+                LtlFo::And(vec![alpha_atom.clone(), p.clone()])
+            ))
+        );
+
+        let rel_u = LtlFo::until(p.clone(), q.clone()).relativize(alpha);
+        assert_eq!(
+            rel_u,
+            LtlFo::until(
+                LtlFo::Implies(Box::new(alpha_atom.clone()), Box::new(p)),
+                LtlFo::And(vec![alpha_atom, q])
+            )
+        );
+    }
+
+    #[test]
+    fn to_fo_and_purity() {
+        let (voc, vars) = setup();
+        let x = vars.lookup("x").unwrap();
+        let p = atom(&voc, "p", &[x]);
+        let boolean = LtlFo::and(vec![p.clone(), LtlFo::not(p.clone())]);
+        assert!(boolean.is_pure_fo());
+        assert!(boolean.to_fo().is_some());
+        let temporal = LtlFo::finally(p);
+        assert!(!temporal.is_pure_fo());
+        assert!(temporal.to_fo().is_none());
+    }
+
+    #[test]
+    fn map_fo_rewrites_leaves() {
+        let (voc, vars) = setup();
+        let x = vars.lookup("x").unwrap();
+        let p = atom(&voc, "p", &[x]);
+        let negated = LtlFo::finally(p).map_fo(&|fo| Fo::not(fo.clone()));
+        match negated {
+            LtlFo::U(_, b) => match *b {
+                LtlFo::Fo(Fo::Not(_)) => {}
+                other => panic!("expected negated leaf, got {other:?}"),
+            },
+            other => panic!("expected U, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Pretty-printing of formulas in the concrete syntax of [`crate::parser`].
+//!
+//! `parse(print(f)) == f` up to derived-operator expansion: printing emits
+//! the core connectives (`not`, `and`, `or`, `->`, `X`, `U`), so formulas
+//! built from `F`/`G`/`B` print in expanded form, which re-parses to the
+//! same AST.
+
+use crate::fo::Fo;
+use crate::ltl::{LtlFo, LtlFoSentence};
+use crate::term::Term;
+use crate::vars::Vars;
+use ddws_relational::{Symbols, Vocabulary};
+use std::fmt;
+
+/// Display context: the three name tables.
+#[derive(Clone, Copy)]
+pub struct Names<'a> {
+    /// Relation names.
+    pub voc: &'a Vocabulary,
+    /// Variable names.
+    pub vars: &'a Vars,
+    /// Constant names.
+    pub symbols: &'a Symbols,
+}
+
+impl<'a> Names<'a> {
+    /// Bundles the three name tables.
+    pub fn new(voc: &'a Vocabulary, vars: &'a Vars, symbols: &'a Symbols) -> Self {
+        Names { voc, vars, symbols }
+    }
+
+    /// Renders a term.
+    pub fn term(&self, t: &Term) -> String {
+        match t {
+            Term::Var(v) => self.vars.name(*v).to_owned(),
+            Term::Const(c) => format!("\"{}\"", self.symbols.name(*c)),
+        }
+    }
+
+    /// Renders an FO formula.
+    pub fn fo(&self, f: &Fo) -> String {
+        let mut s = String::new();
+        self.write_fo(&mut s, f).expect("string write");
+        s
+    }
+
+    /// Renders an LTL-FO formula.
+    pub fn ltlfo(&self, f: &LtlFo) -> String {
+        let mut s = String::new();
+        self.write_ltl(&mut s, f).expect("string write");
+        s
+    }
+
+    /// Renders a sentence with its universal closure.
+    pub fn sentence(&self, s: &LtlFoSentence) -> String {
+        if s.universal_vars.is_empty() {
+            self.ltlfo(&s.body)
+        } else {
+            let vars: Vec<&str> = s
+                .universal_vars
+                .iter()
+                .map(|&v| self.vars.name(v))
+                .collect();
+            format!("forall {}: {}", vars.join(", "), self.ltlfo(&s.body))
+        }
+    }
+
+    fn write_fo(&self, out: &mut String, f: &Fo) -> fmt::Result {
+        use fmt::Write;
+        match f {
+            Fo::True => write!(out, "true"),
+            Fo::False => write!(out, "false"),
+            Fo::Atom(rel, args) => {
+                write!(out, "{}", self.voc.name(*rel))?;
+                if !args.is_empty() {
+                    write!(out, "(")?;
+                    for (i, t) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(out, ", ")?;
+                        }
+                        write!(out, "{}", self.term(t))?;
+                    }
+                    write!(out, ")")?;
+                }
+                Ok(())
+            }
+            Fo::Eq(a, b) => write!(out, "{} = {}", self.term(a), self.term(b)),
+            Fo::Not(g) => {
+                // `x != y` sugar for readability.
+                if let Fo::Eq(a, b) = g.as_ref() {
+                    write!(out, "{} != {}", self.term(a), self.term(b))
+                } else {
+                    write!(out, "not ")?;
+                    self.write_fo_paren(out, g)
+                }
+            }
+            Fo::And(fs) => self.write_fo_nary(out, fs, "and", "true"),
+            Fo::Or(fs) => self.write_fo_nary(out, fs, "or", "false"),
+            Fo::Implies(a, b) => {
+                self.write_fo_paren(out, a)?;
+                write!(out, " -> ")?;
+                self.write_fo_paren(out, b)
+            }
+            Fo::Exists(vs, g) => self.write_quant(out, "exists", vs, g),
+            Fo::Forall(vs, g) => self.write_quant(out, "forall", vs, g),
+        }
+    }
+
+    fn write_quant(&self, out: &mut String, kw: &str, vs: &[crate::VarId], g: &Fo) -> fmt::Result {
+        use fmt::Write;
+        write!(out, "({kw} ")?;
+        for (i, &v) in vs.iter().enumerate() {
+            if i > 0 {
+                write!(out, ", ")?;
+            }
+            write!(out, "{}", self.vars.name(v))?;
+        }
+        write!(out, ": ")?;
+        self.write_fo(out, g)?;
+        write!(out, ")")
+    }
+
+    fn write_fo_nary(&self, out: &mut String, fs: &[Fo], op: &str, empty: &str) -> fmt::Result {
+        use fmt::Write;
+        if fs.is_empty() {
+            return write!(out, "{empty}");
+        }
+        for (i, f) in fs.iter().enumerate() {
+            if i > 0 {
+                write!(out, " {op} ")?;
+            }
+            self.write_fo_paren(out, f)?;
+        }
+        Ok(())
+    }
+
+    fn write_fo_paren(&self, out: &mut String, f: &Fo) -> fmt::Result {
+        use fmt::Write;
+        let atomic = matches!(
+            f,
+            Fo::True | Fo::False | Fo::Atom(..) | Fo::Eq(..) | Fo::Exists(..) | Fo::Forall(..)
+        ) || matches!(f, Fo::Not(inner) if matches!(inner.as_ref(), Fo::Eq(..)));
+        if atomic {
+            self.write_fo(out, f)
+        } else {
+            write!(out, "(")?;
+            self.write_fo(out, f)?;
+            write!(out, ")")
+        }
+    }
+
+    fn write_ltl(&self, out: &mut String, f: &LtlFo) -> fmt::Result {
+        use fmt::Write;
+        match f {
+            LtlFo::Fo(g) => self.write_fo(out, g),
+            LtlFo::Not(g) => {
+                write!(out, "not ")?;
+                self.write_ltl_paren(out, g)
+            }
+            LtlFo::And(fs) => self.write_ltl_nary(out, fs, "and", "true"),
+            LtlFo::Or(fs) => self.write_ltl_nary(out, fs, "or", "false"),
+            LtlFo::Implies(a, b) => {
+                self.write_ltl_paren(out, a)?;
+                write!(out, " -> ")?;
+                self.write_ltl_paren(out, b)
+            }
+            LtlFo::X(g) => {
+                write!(out, "X ")?;
+                self.write_ltl_paren(out, g)
+            }
+            LtlFo::U(a, b) => {
+                self.write_ltl_paren(out, a)?;
+                write!(out, " U ")?;
+                self.write_ltl_paren(out, b)
+            }
+        }
+    }
+
+    fn write_ltl_nary(&self, out: &mut String, fs: &[LtlFo], op: &str, empty: &str) -> fmt::Result {
+        use fmt::Write;
+        if fs.is_empty() {
+            return write!(out, "{empty}");
+        }
+        for (i, f) in fs.iter().enumerate() {
+            if i > 0 {
+                write!(out, " {op} ")?;
+            }
+            self.write_ltl_paren(out, f)?;
+        }
+        Ok(())
+    }
+
+    fn write_ltl_paren(&self, out: &mut String, f: &LtlFo) -> fmt::Result {
+        use fmt::Write;
+        match f {
+            LtlFo::Fo(g) => self.write_fo_paren(out, g),
+            _ => {
+                write!(out, "(")?;
+                self.write_ltl(out, f)?;
+                write!(out, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_ltlfo, Resolver};
+    use crate::vars::Vars;
+
+    #[test]
+    fn roundtrip_through_printer() {
+        let mut voc = Vocabulary::new();
+        voc.declare("p", 1).unwrap();
+        voc.declare("q", 2).unwrap();
+        voc.declare("flag", 0).unwrap();
+        let mut vars = Vars::new();
+        let mut symbols = Symbols::new();
+        let sources = [
+            "p(x)",
+            "q(x, \"c\") and flag",
+            "not (p(x) or flag)",
+            "x != y",
+            "(exists x: p(x) and q(x, y)) -> flag",
+            "X (flag U p(x))",
+            "G (p(x) -> F q(x, x))",
+            "forall z: p(z) -> flag",
+        ];
+        for src in sources {
+            let f1 = {
+                let mut r = Resolver {
+                    voc: &voc,
+                    vars: &mut vars,
+                    symbols: &mut symbols,
+                };
+                parse_ltlfo(src, &mut r).unwrap_or_else(|e| panic!("{src}: {e}"))
+            };
+            let printed = Names::new(&voc, &vars, &symbols).ltlfo(&f1);
+            let f2 = {
+                let mut r = Resolver {
+                    voc: &voc,
+                    vars: &mut vars,
+                    symbols: &mut symbols,
+                };
+                parse_ltlfo(&printed, &mut r)
+                    .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"))
+            };
+            assert_eq!(f1, f2, "roundtrip failed for `{src}` via `{printed}`");
+        }
+    }
+}

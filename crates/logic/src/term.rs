@@ -1,0 +1,82 @@
+//! Terms: variables and constants.
+
+use crate::vars::{Valuation, VarId};
+use ddws_relational::Value;
+use std::fmt;
+
+/// A term of the logic: a variable or an (interned) constant.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// A logical variable.
+    Var(VarId),
+    /// A constant from the shared symbol table.
+    Const(Value),
+}
+
+impl Term {
+    /// Evaluates the term under `val`.
+    ///
+    /// # Panics
+    /// Panics if the term is an unbound variable.
+    #[inline]
+    pub fn eval(&self, val: &Valuation) -> Value {
+        match *self {
+            Term::Var(v) => val.expect(v),
+            Term::Const(c) => c,
+        }
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<VarId> {
+        match *self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Whether the term is a constant (a *ground* term).
+    pub fn is_ground(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v:?}"),
+            Term::Const(c) => write!(f, "{c:?}"),
+        }
+    }
+}
+
+impl From<VarId> for Term {
+    fn from(v: VarId) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_const_and_var() {
+        let mut val = Valuation::with_capacity(1);
+        val.set(VarId(0), Value(9));
+        assert_eq!(Term::Const(Value(3)).eval(&val), Value(3));
+        assert_eq!(Term::Var(VarId(0)).eval(&val), Value(9));
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::Const(Value(0)).is_ground());
+        assert!(!Term::Var(VarId(0)).is_ground());
+        assert_eq!(Term::Var(VarId(2)).as_var(), Some(VarId(2)));
+    }
+}

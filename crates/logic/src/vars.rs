@@ -1,0 +1,165 @@
+//! Variable interning and valuations.
+
+use ddws_relational::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a logical variable within a [`Vars`] table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Raw index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Interner for variable names.
+///
+/// One `Vars` table is shared by all formulas of a specification so that a
+/// [`Valuation`] indexed by [`VarId`] works across rules and properties.
+#[derive(Clone, Debug, Default)]
+pub struct Vars {
+    names: Vec<String>,
+    by_name: HashMap<String, VarId>,
+}
+
+impl Vars {
+    /// Creates an empty variable table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a variable name.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = VarId(u32::try_from(self.names.len()).expect("variable table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up an already-interned variable.
+    pub fn lookup(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is not from this table.
+    pub fn name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variable is interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A partial assignment of values to variables, indexed by [`VarId`].
+///
+/// Evaluation binds quantified variables by `set`/`unset` in a stack
+/// discipline; reading an unbound variable is a bug in the caller (formulas
+/// are checked closed under the ambient valuation before evaluation).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Valuation {
+    slots: Vec<Option<Value>>,
+}
+
+impl Valuation {
+    /// An empty valuation able to hold bindings for `n` variables.
+    pub fn with_capacity(n: usize) -> Self {
+        Valuation {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Binds `var` to `value` (growing the table if needed).
+    pub fn set(&mut self, var: VarId, value: Value) {
+        if var.index() >= self.slots.len() {
+            self.slots.resize(var.index() + 1, None);
+        }
+        self.slots[var.index()] = Some(value);
+    }
+
+    /// Removes the binding of `var`.
+    pub fn unset(&mut self, var: VarId) {
+        if var.index() < self.slots.len() {
+            self.slots[var.index()] = None;
+        }
+    }
+
+    /// The value bound to `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<Value> {
+        self.slots.get(var.index()).copied().flatten()
+    }
+
+    /// The value bound to `var`.
+    ///
+    /// # Panics
+    /// Panics if `var` is unbound — evaluation of a formula with a free
+    /// variable outside the ambient valuation.
+    pub fn expect(&self, var: VarId) -> Value {
+        self.get(var)
+            .unwrap_or_else(|| panic!("unbound variable {var:?} during evaluation"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut vars = Vars::new();
+        let x = vars.intern("x");
+        let y = vars.intern("y");
+        assert_ne!(x, y);
+        assert_eq!(vars.intern("x"), x);
+        assert_eq!(vars.lookup("y"), Some(y));
+        assert_eq!(vars.name(x), "x");
+    }
+
+    #[test]
+    fn valuation_set_get_unset() {
+        let mut val = Valuation::with_capacity(2);
+        let x = VarId(0);
+        assert_eq!(val.get(x), None);
+        val.set(x, Value(7));
+        assert_eq!(val.get(x), Some(Value(7)));
+        val.unset(x);
+        assert_eq!(val.get(x), None);
+    }
+
+    #[test]
+    fn valuation_grows_on_demand() {
+        let mut val = Valuation::with_capacity(0);
+        val.set(VarId(5), Value(1));
+        assert_eq!(val.get(VarId(5)), Some(Value(1)));
+        assert_eq!(val.get(VarId(4)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn expect_unbound_panics() {
+        let val = Valuation::with_capacity(1);
+        val.expect(VarId(0));
+    }
+}

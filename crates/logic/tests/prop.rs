@@ -1,0 +1,172 @@
+//! Property-based tests for the logic layer: pretty-printer ↔ parser
+//! round-trips over randomly generated formulas, and evaluator/enumerator
+//! agreement on random structures.
+
+use ddws_logic::enumerate::satisfying_valuations;
+use ddws_logic::eval::{eval_fo, Structure};
+use ddws_logic::parser::{parse_ltlfo, Resolver};
+use ddws_logic::pretty::Names;
+use ddws_logic::{Fo, LtlFo, Term, Valuation, VarId, Vars};
+use ddws_relational::{Instance, RelId, Symbols, Tuple, Value, Vocabulary};
+use proptest::prelude::*;
+
+/// A fixed environment: two relations, three variables, two constants.
+fn env() -> (Vocabulary, Vars, Symbols) {
+    let mut voc = Vocabulary::new();
+    voc.declare("p", 1).unwrap();
+    voc.declare("q", 2).unwrap();
+    voc.declare("flag", 0).unwrap();
+    let mut vars = Vars::new();
+    for n in ["x", "y", "z"] {
+        vars.intern(n);
+    }
+    let mut symbols = Symbols::new();
+    symbols.intern("a");
+    symbols.intern("b");
+    (voc, vars, symbols)
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u32..3).prop_map(|i| Term::Var(VarId(i))),
+        (0u32..2).prop_map(|i| Term::Const(Value(i))),
+    ]
+}
+
+/// Random FO formulas over the fixed environment, depth-bounded.
+fn arb_fo(depth: u32) -> BoxedStrategy<Fo> {
+    let leaf = prop_oneof![
+        arb_term().prop_map(|t| Fo::Atom(RelId(0), vec![t])),
+        (arb_term(), arb_term()).prop_map(|(a, b)| Fo::Atom(RelId(1), vec![a, b])),
+        Just(Fo::Atom(RelId(2), vec![])),
+        (arb_term(), arb_term()).prop_map(|(a, b)| Fo::Eq(a, b)),
+        Just(Fo::True),
+        Just(Fo::False),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Fo::not),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Fo::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Fo::Or),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Fo::Implies(Box::new(a), Box::new(b))),
+            (0u32..3, inner.clone()).prop_map(|(v, f)| Fo::exists(vec![VarId(v)], f)),
+            (0u32..3, inner).prop_map(|(v, f)| Fo::forall(vec![VarId(v)], f)),
+        ]
+    })
+    .boxed()
+}
+
+#[derive(Debug)]
+struct Snap {
+    inst: Instance,
+    dom: Vec<Value>,
+}
+
+impl Structure for Snap {
+    fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+        self.inst.contains_slice(rel, tuple)
+    }
+    fn domain(&self) -> &[Value] {
+        &self.dom
+    }
+    fn scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+        Some(
+            self.inst
+                .relation(rel)
+                .iter()
+                .map(|t| t.values().to_vec())
+                .collect(),
+        )
+    }
+}
+
+fn arb_snap() -> impl Strategy<Value = Snap> {
+    (
+        proptest::collection::vec(0u32..2, 0..3),
+        proptest::collection::vec((0u32..2, 0u32..2), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(ps, qs, flag)| {
+            let (voc, _, _) = env();
+            let mut inst = Instance::empty(&voc);
+            for v in ps {
+                inst.relation_mut(RelId(0)).insert(Tuple::new(vec![Value(v)]));
+            }
+            for (a, b) in qs {
+                inst.relation_mut(RelId(1))
+                    .insert(Tuple::new(vec![Value(a), Value(b)]));
+            }
+            inst.set_holds(RelId(2), flag);
+            Snap {
+                inst,
+                dom: vec![Value(0), Value(1)],
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print → parse is the identity on random formulas (the printed core
+    /// syntax re-parses to the same AST).
+    #[test]
+    fn printer_parser_roundtrip(fo in arb_fo(3)) {
+        let (voc, mut vars, mut symbols) = env();
+        let printed = Names::new(&voc, &vars, &symbols).ltlfo(&LtlFo::Fo(fo.clone()));
+        let reparsed = {
+            let mut r = Resolver { voc: &voc, vars: &mut vars, symbols: &mut symbols };
+            parse_ltlfo(&printed, &mut r)
+        };
+        match reparsed {
+            Ok(f2) => {
+                // The parser hoists boolean connectives to the LTL level
+                // (`not p(x)` parses as LtlFo::Not of an FO leaf); fold both
+                // sides back into pure FO before comparing.
+                let normalized = f2
+                    .to_fo()
+                    .ok_or_else(|| TestCaseError::fail("reparse introduced temporal ops"))?;
+                prop_assert_eq!(fo, normalized, "printed: {}", printed);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("reparse of `{printed}`: {e}"))),
+        }
+    }
+
+    /// The seeded enumerator agrees with brute-force evaluation for every
+    /// random body over every random structure.
+    #[test]
+    fn enumerator_matches_bruteforce(fo in arb_fo(2), snap in arb_snap()) {
+        // Head variables: the formula's free variables.
+        let head: Vec<VarId> = fo.free_vars().into_iter().collect();
+        let mut fast = satisfying_valuations(&head, &fo, &snap);
+        fast.sort();
+        // Brute force.
+        let mut slow = Vec::new();
+        let mut val = Valuation::with_capacity(3);
+        let dom = snap.dom.clone();
+        fn go(
+            head: &[VarId],
+            idx: usize,
+            fo: &Fo,
+            snap: &Snap,
+            dom: &[Value],
+            val: &mut Valuation,
+            out: &mut Vec<Vec<Value>>,
+        ) {
+            if idx == head.len() {
+                if eval_fo(fo, snap, val) {
+                    out.push(head.iter().map(|&v| val.expect(v)).collect());
+                }
+                return;
+            }
+            for &d in dom {
+                val.set(head[idx], d);
+                go(head, idx + 1, fo, snap, dom, val, out);
+            }
+            val.unset(head[idx]);
+        }
+        go(&head, 0, &fo, &snap, &dom, &mut val, &mut slow);
+        slow.sort();
+        prop_assert_eq!(fast, slow);
+    }
+}

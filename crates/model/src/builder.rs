@@ -1,0 +1,1088 @@
+//! Declarative construction and validation of compositions.
+//!
+//! ```
+//! use ddws_model::{CompositionBuilder, QueueKind, Semantics};
+//!
+//! let mut b = CompositionBuilder::new();
+//! b.channel("ping", 1, QueueKind::Flat, "Alice", "Bob");
+//! b.channel("pong", 1, QueueKind::Flat, "Bob", "Alice");
+//!
+//! b.peer("Alice")
+//!     .database("friend", 1)
+//!     .input("greet", 1)
+//!     .input_rule("greet", &["x"], "friend(x)")
+//!     .send_rule("ping", &["x"], "greet(x)");
+//!
+//! b.peer("Bob")
+//!     .state("seen", 1)
+//!     .state_insert_rule("seen", &["x"], "?ping(x)")
+//!     .send_rule("pong", &["x"], "?ping(x)");
+//!
+//! let comp = b.build().expect("valid composition");
+//! assert!(comp.is_closed());
+//! ```
+
+use crate::composition::{
+    Channel, ChannelId, ChannelRole, Composition, Endpoint, HeadRule, Peer, PeerId, PeerScope,
+    QueueKind, Semantics, StateRule,
+};
+use ddws_logic::input_bounded::RelClass;
+use ddws_logic::parser::{parse_fo, Resolver};
+use ddws_logic::{Fo, Term, VarId, Vars};
+use ddws_relational::{RelId, Symbols, Value, Vocabulary};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// The reserved endpoint name for the environment of an open composition.
+pub const ENV: &str = "ENV";
+
+/// A specification error detected while building a composition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildError(pub String);
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "composition error: {}", self.0)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, BuildError> {
+    Err(BuildError(msg.into()))
+}
+
+#[derive(Clone, Debug)]
+struct RuleDraft {
+    /// Head relation local name (input/state/action) or channel name (send).
+    target: String,
+    head: Vec<String>,
+    body: String,
+}
+
+#[derive(Clone, Debug, Default)]
+struct PeerDraft {
+    name: String,
+    database: Vec<(String, usize)>,
+    states: Vec<(String, usize)>,
+    inputs: Vec<(String, usize)>,
+    actions: Vec<(String, usize)>,
+    input_rules: Vec<RuleDraft>,
+    state_inserts: Vec<RuleDraft>,
+    state_deletes: Vec<RuleDraft>,
+    action_rules: Vec<RuleDraft>,
+    send_rules: Vec<RuleDraft>,
+}
+
+#[derive(Clone, Debug)]
+struct ChannelDraft {
+    name: String,
+    arity: usize,
+    kind: QueueKind,
+    sender: String,
+    receiver: String,
+    lossy: Option<bool>,
+}
+
+/// Builder for a [`Composition`]. Declare channels and peers in any order;
+/// [`build`](CompositionBuilder::build) compiles and validates everything.
+#[derive(Debug, Default)]
+pub struct CompositionBuilder {
+    peers: Vec<PeerDraft>,
+    channels: Vec<ChannelDraft>,
+    semantics: Semantics,
+    default_lossy: bool,
+}
+
+/// Mutable handle onto one peer's draft; all methods chain.
+pub struct PeerBuilder<'a> {
+    builder: &'a mut CompositionBuilder,
+    idx: usize,
+}
+
+impl CompositionBuilder {
+    /// New builder with default semantics (1-bounded lossy queues).
+    pub fn new() -> Self {
+        CompositionBuilder {
+            peers: Vec::new(),
+            channels: Vec::new(),
+            semantics: Semantics::default(),
+            default_lossy: true,
+        }
+    }
+
+    /// Overrides the run semantics.
+    pub fn semantics(&mut self, s: Semantics) -> &mut Self {
+        self.semantics = s;
+        self
+    }
+
+    /// Sets the default channel lossiness (lossy by default, matching the
+    /// decidable regime of Theorem 3.4).
+    pub fn default_lossy(&mut self, lossy: bool) -> &mut Self {
+        self.default_lossy = lossy;
+        self
+    }
+
+    /// Opens (or reopens) a peer for declarations.
+    pub fn peer(&mut self, name: &str) -> PeerBuilder<'_> {
+        let idx = match self.peers.iter().position(|p| p.name == name) {
+            Some(i) => i,
+            None => {
+                self.peers.push(PeerDraft {
+                    name: name.to_owned(),
+                    ..PeerDraft::default()
+                });
+                self.peers.len() - 1
+            }
+        };
+        PeerBuilder { builder: self, idx }
+    }
+
+    /// Declares a channel. `sender`/`receiver` are peer names or [`ENV`].
+    pub fn channel(
+        &mut self,
+        name: &str,
+        arity: usize,
+        kind: QueueKind,
+        sender: &str,
+        receiver: &str,
+    ) -> &mut Self {
+        self.channels.push(ChannelDraft {
+            name: name.to_owned(),
+            arity,
+            kind,
+            sender: sender.to_owned(),
+            receiver: receiver.to_owned(),
+            lossy: None,
+        });
+        self
+    }
+
+    /// Overrides lossiness for one channel (e.g. perfect nested channels,
+    /// see the remark after Theorem 3.4).
+    pub fn channel_lossy(&mut self, name: &str, lossy: bool) -> &mut Self {
+        if let Some(c) = self.channels.iter_mut().find(|c| c.name == name) {
+            c.lossy = Some(lossy);
+        }
+        self
+    }
+
+    /// Compiles and validates the composition.
+    pub fn build(&self) -> Result<Composition, BuildError> {
+        Builder::new(self)?.run()
+    }
+}
+
+impl PeerBuilder<'_> {
+    fn draft(&mut self) -> &mut PeerDraft {
+        &mut self.builder.peers[self.idx]
+    }
+
+    /// Declares a database relation.
+    pub fn database(&mut self, name: &str, arity: usize) -> &mut Self {
+        self.draft().database.push((name.to_owned(), arity));
+        self
+    }
+
+    /// Declares a state relation.
+    pub fn state(&mut self, name: &str, arity: usize) -> &mut Self {
+        self.draft().states.push((name.to_owned(), arity));
+        self
+    }
+
+    /// Declares an input relation.
+    pub fn input(&mut self, name: &str, arity: usize) -> &mut Self {
+        self.draft().inputs.push((name.to_owned(), arity));
+        self
+    }
+
+    /// Declares an action relation.
+    pub fn action(&mut self, name: &str, arity: usize) -> &mut Self {
+        self.draft().actions.push((name.to_owned(), arity));
+        self
+    }
+
+    /// Input rule `Options_I(x̄) ← body`.
+    pub fn input_rule(&mut self, input: &str, head: &[&str], body: &str) -> &mut Self {
+        self.draft().input_rules.push(RuleDraft {
+            target: input.to_owned(),
+            head: head.iter().map(|s| (*s).to_owned()).collect(),
+            body: body.to_owned(),
+        });
+        self
+    }
+
+    /// State insertion rule `S(x̄) ← body`.
+    pub fn state_insert_rule(&mut self, state: &str, head: &[&str], body: &str) -> &mut Self {
+        self.draft().state_inserts.push(RuleDraft {
+            target: state.to_owned(),
+            head: head.iter().map(|s| (*s).to_owned()).collect(),
+            body: body.to_owned(),
+        });
+        self
+    }
+
+    /// State deletion rule `¬S(x̄) ← body`.
+    pub fn state_delete_rule(&mut self, state: &str, head: &[&str], body: &str) -> &mut Self {
+        self.draft().state_deletes.push(RuleDraft {
+            target: state.to_owned(),
+            head: head.iter().map(|s| (*s).to_owned()).collect(),
+            body: body.to_owned(),
+        });
+        self
+    }
+
+    /// Action rule `A(x̄) ← body`.
+    pub fn action_rule(&mut self, action: &str, head: &[&str], body: &str) -> &mut Self {
+        self.draft().action_rules.push(RuleDraft {
+            target: action.to_owned(),
+            head: head.iter().map(|s| (*s).to_owned()).collect(),
+            body: body.to_owned(),
+        });
+        self
+    }
+
+    /// Send rule `!q(x̄) ← body` for an out-channel of this peer.
+    pub fn send_rule(&mut self, channel: &str, head: &[&str], body: &str) -> &mut Self {
+        self.draft().send_rules.push(RuleDraft {
+            target: channel.to_owned(),
+            head: head.iter().map(|s| (*s).to_owned()).collect(),
+            body: body.to_owned(),
+        });
+        self
+    }
+}
+
+/// One-shot compiler from drafts to the validated [`Composition`].
+struct Builder<'a> {
+    spec: &'a CompositionBuilder,
+    symbols: Symbols,
+    vars: Vars,
+    voc: Vocabulary,
+    classes: Vec<RelClass>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(spec: &'a CompositionBuilder) -> Result<Self, BuildError> {
+        Ok(Builder {
+            spec,
+            symbols: Symbols::new(),
+            vars: Vars::new(),
+            voc: Vocabulary::new(),
+            classes: Vec::new(),
+        })
+    }
+
+    fn declare(&mut self, name: &str, arity: usize, class: RelClass) -> Result<RelId, BuildError> {
+        let id = self
+            .voc
+            .declare(name, arity)
+            .map_err(|e| BuildError(e.to_string()))?;
+        self.classes.push(class);
+        debug_assert_eq!(self.classes.len(), self.voc.len());
+        Ok(id)
+    }
+
+    fn run(mut self) -> Result<Composition, BuildError> {
+        let spec = self.spec;
+        // --- validate structural well-formedness -------------------------
+        let mut peer_names = BTreeSet::new();
+        for p in &spec.peers {
+            if p.name == ENV {
+                return err("`ENV` is reserved for the environment endpoint");
+            }
+            if !peer_names.insert(p.name.clone()) {
+                return err(format!("peer `{}` declared twice", p.name));
+            }
+        }
+        let mut channel_names = BTreeSet::new();
+        for c in &spec.channels {
+            if !channel_names.insert(c.name.clone()) {
+                return err(format!("channel `{}` declared twice", c.name));
+            }
+            for end in [&c.sender, &c.receiver] {
+                if end != ENV && !peer_names.contains(end) {
+                    return err(format!(
+                        "channel `{}` references unknown peer `{end}`",
+                        c.name
+                    ));
+                }
+            }
+            if c.sender == ENV && c.receiver == ENV {
+                return err(format!("channel `{}` connects ENV to ENV", c.name));
+            }
+        }
+
+        let endpoint = |name: &str| -> Endpoint {
+            if name == ENV {
+                Endpoint::Environment
+            } else {
+                Endpoint::Peer(PeerId(
+                    spec.peers.iter().position(|p| p.name == name).expect("validated") as u32,
+                ))
+            }
+        };
+
+        // --- declare the global vocabulary -------------------------------
+        // Per-peer local scopes are built alongside.
+        let mut locals: Vec<HashMap<String, RelId>> =
+            vec![HashMap::new(); spec.peers.len()];
+        let mut peer_db: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
+        let mut peer_states: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
+        let mut peer_inputs: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
+        let mut peer_prev: Vec<Vec<Vec<RelId>>> = vec![Vec::new(); spec.peers.len()];
+        let mut peer_actions: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
+
+        for (pi, p) in spec.peers.iter().enumerate() {
+            let local_declare =
+                |b: &mut Self,
+                 local: &mut HashMap<String, RelId>,
+                 local_name: String,
+                 arity: usize,
+                 class: RelClass|
+                 -> Result<RelId, BuildError> {
+                    let qualified = format!("{}.{}", p.name, local_name);
+                    let id = b.declare(&qualified, arity, class)?;
+                    if local.insert(local_name.clone(), id).is_some() {
+                        return err(format!(
+                            "peer `{}`: relation `{}` declared twice",
+                            p.name, local_name
+                        ));
+                    }
+                    Ok(id)
+                };
+            let local = &mut locals[pi];
+            for (n, a) in &p.database {
+                let id = local_declare(&mut self, local, n.clone(), *a, RelClass::Database)?;
+                peer_db[pi].push(id);
+            }
+            for (n, a) in &p.states {
+                let id = local_declare(&mut self, local, n.clone(), *a, RelClass::State)?;
+                peer_states[pi].push(id);
+            }
+            for (n, a) in &p.inputs {
+                let id = local_declare(&mut self, local, n.clone(), *a, RelClass::Input)?;
+                peer_inputs[pi].push(id);
+                let mut chain = Vec::new();
+                for j in 1..=spec.semantics.lookback.max(1) {
+                    let prev_name = if j == 1 {
+                        format!("prev_{n}")
+                    } else {
+                        format!("prev{j}_{n}")
+                    };
+                    let id =
+                        local_declare(&mut self, local, prev_name, *a, RelClass::PrevInput)?;
+                    chain.push(id);
+                }
+                peer_prev[pi].push(chain);
+            }
+            for (n, a) in &p.actions {
+                let id = local_declare(&mut self, local, n.clone(), *a, RelClass::Action)?;
+                peer_actions[pi].push(id);
+            }
+        }
+
+        // Channels.
+        let mut channels: Vec<Channel> = Vec::new();
+        for c in &spec.channels {
+            let sender = endpoint(&c.sender);
+            let receiver = endpoint(&c.receiver);
+            let in_class = match c.kind {
+                QueueKind::Flat => RelClass::InFlat,
+                QueueKind::Nested => RelClass::InNested,
+            };
+            let out_class = match c.kind {
+                QueueKind::Flat => RelClass::OutFlat,
+                QueueKind::Nested => RelClass::OutNested,
+            };
+            let out_rel = self.declare(&format!("{}.!{}", c.sender, c.name), c.arity, out_class)?;
+            let in_rel = self.declare(&format!("{}.?{}", c.receiver, c.name), c.arity, in_class)?;
+            let empty_rel = if receiver != Endpoint::Environment {
+                Some(self.declare(
+                    &format!("{}.empty_{}", c.receiver, c.name),
+                    0,
+                    RelClass::QueueState,
+                )?)
+            } else {
+                None
+            };
+            let received_rel =
+                self.declare(&format!("received_{}", c.name), 0, RelClass::Bookkeeping)?;
+            let sent_rel = self.declare(&format!("sent_{}", c.name), 0, RelClass::Bookkeeping)?;
+            let error_rel = if c.kind == QueueKind::Flat && sender != Endpoint::Environment {
+                Some(self.declare(
+                    &format!("{}.error_{}", c.sender, c.name),
+                    0,
+                    RelClass::State,
+                )?)
+            } else {
+                None
+            };
+            let msg_empty_rel = if c.kind == QueueKind::Nested && receiver != Endpoint::Environment
+            {
+                Some(self.declare(
+                    &format!("{}.msgempty_{}", c.receiver, c.name),
+                    0,
+                    RelClass::MsgEmptinessTest,
+                )?)
+            } else {
+                None
+            };
+
+            // Local scope entries.
+            if let Endpoint::Peer(pid) = receiver {
+                let local = &mut locals[pid.index()];
+                local.insert(format!("?{}", c.name), in_rel);
+                if let Some(e) = empty_rel {
+                    local.insert(format!("empty_{}", c.name), e);
+                }
+                if let Some(m) = msg_empty_rel {
+                    local.insert(format!("msgempty_{}", c.name), m);
+                }
+            }
+            if let Endpoint::Peer(pid) = sender {
+                let local = &mut locals[pid.index()];
+                local.insert(format!("!{}", c.name), out_rel);
+                if let Some(e) = error_rel {
+                    local.insert(format!("error_{}", c.name), e);
+                }
+            }
+
+            channels.push(Channel {
+                name: c.name.clone(),
+                arity: c.arity,
+                kind: c.kind,
+                sender,
+                receiver,
+                lossy: c.lossy.unwrap_or(spec.default_lossy),
+                in_rel: Some(in_rel),
+                out_rel,
+                empty_rel,
+                received_rel,
+                sent_rel,
+                error_rel,
+                msg_empty_rel,
+            });
+        }
+
+        // Move propositions.
+        let mut move_rels = Vec::new();
+        for p in &spec.peers {
+            move_rels.push(self.declare(
+                &format!("move_{}", p.name),
+                0,
+                RelClass::Bookkeeping,
+            )?);
+        }
+        let open = channels
+            .iter()
+            .any(|c| c.sender == Endpoint::Environment || c.receiver == Endpoint::Environment);
+        let move_env_rel = if open {
+            Some(self.declare("move_ENV", 0, RelClass::Bookkeeping)?)
+        } else {
+            None
+        };
+
+        // --- compile rules ------------------------------------------------
+        let mut peers: Vec<Peer> = Vec::new();
+        let mut rule_constants: BTreeSet<Value> = BTreeSet::new();
+        let mut all_mentioned: BTreeSet<RelId> = BTreeSet::new();
+        for (pi, p) in spec.peers.iter().enumerate() {
+            let pid = PeerId(pi as u32);
+            let in_channels: Vec<ChannelId> = channels
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.receiver == Endpoint::Peer(pid))
+                .map(|(i, _)| ChannelId(i as u32))
+                .collect();
+            let out_channels: Vec<ChannelId> = channels
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.sender == Endpoint::Peer(pid))
+                .map(|(i, _)| ChannelId(i as u32))
+                .collect();
+
+            let compiled = {
+                let ctx = RuleCtx {
+                    builder: &mut self,
+                    peer: p,
+                    local: &locals[pi],
+                    channels: &channels,
+                    constants: &mut rule_constants,
+                    mentioned: BTreeSet::new(),
+                };
+                ctx.compile(&out_channels)?
+            };
+
+            // Dequeued in-channels: those whose `?q` atom occurs in a rule.
+            let mentioned: BTreeSet<RelId> = compiled.mentioned_rels.clone();
+            all_mentioned.extend(compiled.mentioned_rels.iter().copied());
+            let dequeues: Vec<ChannelId> = in_channels
+                .iter()
+                .copied()
+                .filter(|cid| {
+                    channels[cid.index()]
+                        .in_rel
+                        .is_some_and(|r| mentioned.contains(&r))
+                })
+                .collect();
+
+            peers.push(Peer {
+                name: p.name.clone(),
+                id: pid,
+                database: peer_db[pi].clone(),
+                states: peer_states[pi].clone(),
+                inputs: peer_inputs[pi].clone(),
+                prev: peer_prev[pi].clone(),
+                actions: peer_actions[pi].clone(),
+                in_channels,
+                out_channels,
+                dequeues,
+                input_rules: compiled.input_rules,
+                state_rules: compiled.state_rules,
+                action_rules: compiled.action_rules,
+                send_rules: compiled.send_rules,
+            });
+        }
+
+        let num_channels = channels.len();
+        let num_rels = self.voc.len();
+        let mut rel_channel: Vec<Option<(ChannelId, ChannelRole)>> = vec![None; num_rels];
+        for (i, ch) in channels.iter().enumerate() {
+            let cid = ChannelId(i as u32);
+            let mut set = |rel: Option<RelId>, role: ChannelRole| {
+                if let Some(r) = rel {
+                    rel_channel[r.index()] = Some((cid, role));
+                }
+            };
+            set(ch.in_rel, ChannelRole::In);
+            set(Some(ch.out_rel), ChannelRole::Out);
+            set(ch.empty_rel, ChannelRole::Empty);
+            set(Some(ch.received_rel), ChannelRole::Received);
+            set(Some(ch.sent_rel), ChannelRole::Sent);
+            set(ch.error_rel, ChannelRole::Error);
+            set(ch.msg_empty_rel, ChannelRole::MsgEmpty);
+        }
+        Ok(Composition {
+            symbols: self.symbols,
+            vars: self.vars,
+            voc: self.voc,
+            peers,
+            channels,
+            classes: self.classes,
+            semantics: spec.semantics,
+            move_rels,
+            move_env_rel,
+            rule_constants: rule_constants.into_iter().collect(),
+            observed_received: vec![true; num_channels],
+            observed_sent: vec![true; num_channels],
+            rule_mentioned: all_mentioned,
+            frozen: vec![false; num_rels],
+            rel_channel,
+        })
+    }
+}
+
+#[derive(Default)]
+struct CompiledPeerRules {
+    input_rules: Vec<HeadRule>,
+    state_rules: Vec<StateRule>,
+    action_rules: Vec<HeadRule>,
+    send_rules: Vec<(ChannelId, HeadRule)>,
+    mentioned_rels: BTreeSet<RelId>,
+}
+
+/// Which relation classes a rule body may mention (Definition 2.1).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RuleKind {
+    Input,
+    StateActionSend,
+}
+
+struct RuleCtx<'a, 'b> {
+    builder: &'b mut Builder<'a>,
+    peer: &'b PeerDraft,
+    local: &'b HashMap<String, RelId>,
+    channels: &'b [Channel],
+    constants: &'b mut BTreeSet<Value>,
+    mentioned: BTreeSet<RelId>,
+}
+
+impl RuleCtx<'_, '_> {
+    fn compile(mut self, out_channels: &[ChannelId]) -> Result<CompiledPeerRules, BuildError> {
+        let mut out = CompiledPeerRules::default();
+        let p = self.peer;
+
+        // Input rules: exactly one per declared input (propositional inputs
+        // default to `true`).
+        for (name, arity) in &p.inputs {
+            let drafts: Vec<&RuleDraft> =
+                p.input_rules.iter().filter(|r| &r.target == name).collect();
+            let rel = self.local[name];
+            let rule = match drafts.len() {
+                0 if *arity == 0 => HeadRule {
+                    rel,
+                    head: vec![],
+                    body: Fo::True,
+                },
+                0 => {
+                    return err(format!(
+                        "peer `{}`: input `{name}` has no input rule (required for arity > 0)",
+                        p.name
+                    ))
+                }
+                1 => self.head_rule(rel, drafts[0], RuleKind::Input)?,
+                _ => {
+                    return err(format!(
+                        "peer `{}`: input `{name}` has multiple input rules",
+                        p.name
+                    ))
+                }
+            };
+            out.input_rules.push(rule);
+        }
+        for r in &p.input_rules {
+            if !p.inputs.iter().any(|(n, _)| n == &r.target) {
+                return err(format!(
+                    "peer `{}`: input rule targets unknown input `{}`",
+                    p.name, r.target
+                ));
+            }
+        }
+
+        // State rules: at most one insert and one delete per state.
+        for (name, _) in &p.states {
+            let rel = self.local[name];
+            let inserts: Vec<&RuleDraft> = p
+                .state_inserts
+                .iter()
+                .filter(|r| &r.target == name)
+                .collect();
+            let deletes: Vec<&RuleDraft> = p
+                .state_deletes
+                .iter()
+                .filter(|r| &r.target == name)
+                .collect();
+            if inserts.len() > 1 || deletes.len() > 1 {
+                return err(format!(
+                    "peer `{}`: state `{name}` has duplicate insertion/deletion rules",
+                    p.name
+                ));
+            }
+            if inserts.is_empty() && deletes.is_empty() {
+                continue;
+            }
+            // Both rules must agree on head variables; compile each and
+            // check.
+            let mut head: Option<Vec<VarId>> = None;
+            let mut insert = None;
+            let mut delete = None;
+            if let Some(d) = inserts.first() {
+                let r = self.head_rule(rel, d, RuleKind::StateActionSend)?;
+                head = Some(r.head);
+                insert = Some(r.body);
+            }
+            if let Some(d) = deletes.first() {
+                let r = self.head_rule(rel, d, RuleKind::StateActionSend)?;
+                match &head {
+                    None => head = Some(r.head),
+                    Some(h) if *h != r.head => {
+                        return err(format!(
+                            "peer `{}`: state `{name}` insertion and deletion rules must use \
+                             the same head variables",
+                            p.name
+                        ))
+                    }
+                    Some(_) => {}
+                }
+                delete = Some(r.body);
+            }
+            out.state_rules.push(StateRule {
+                rel,
+                head: head.expect("at least one rule present"),
+                insert,
+                delete,
+            });
+        }
+        for r in p.state_inserts.iter().chain(&p.state_deletes) {
+            if !p.states.iter().any(|(n, _)| n == &r.target) {
+                return err(format!(
+                    "peer `{}`: state rule targets unknown state `{}`",
+                    p.name, r.target
+                ));
+            }
+        }
+
+        // Action rules: at most one per action; none means "never".
+        for (name, _) in &p.actions {
+            let rel = self.local[name];
+            let drafts: Vec<&RuleDraft> =
+                p.action_rules.iter().filter(|r| &r.target == name).collect();
+            match drafts.len() {
+                0 => {}
+                1 => out
+                    .action_rules
+                    .push(self.head_rule(rel, drafts[0], RuleKind::StateActionSend)?),
+                _ => {
+                    return err(format!(
+                        "peer `{}`: action `{name}` has multiple rules",
+                        p.name
+                    ))
+                }
+            }
+        }
+        for r in &p.action_rules {
+            if !p.actions.iter().any(|(n, _)| n == &r.target) {
+                return err(format!(
+                    "peer `{}`: action rule targets unknown action `{}`",
+                    p.name, r.target
+                ));
+            }
+        }
+
+        // Send rules: exactly one per out-channel (Definition 2.1).
+        for &cid in out_channels {
+            let ch = &self.channels[cid.index()];
+            let drafts: Vec<&RuleDraft> = p
+                .send_rules
+                .iter()
+                .filter(|r| r.target == ch.name)
+                .collect();
+            match drafts.len() {
+                0 => {
+                    return err(format!(
+                        "peer `{}`: out-channel `{}` has no send rule",
+                        p.name, ch.name
+                    ))
+                }
+                1 => {
+                    let rel = ch.out_rel;
+                    let rule = self.head_rule(rel, drafts[0], RuleKind::StateActionSend)?;
+                    out.send_rules.push((cid, rule));
+                }
+                _ => {
+                    return err(format!(
+                        "peer `{}`: out-channel `{}` has multiple send rules",
+                        p.name, ch.name
+                    ))
+                }
+            }
+        }
+        for r in &p.send_rules {
+            let known = out_channels
+                .iter()
+                .any(|&cid| self.channels[cid.index()].name == r.target);
+            if !known {
+                return err(format!(
+                    "peer `{}`: send rule targets `{}`, which is not an out-channel of this peer",
+                    p.name, r.target
+                ));
+            }
+        }
+
+        out.mentioned_rels = self.mentioned;
+        Ok(out)
+    }
+
+    /// Parses one rule, interning head variables and validating the body
+    /// vocabulary against Definition 2.1.
+    fn head_rule(
+        &mut self,
+        rel: RelId,
+        draft: &RuleDraft,
+        kind: RuleKind,
+    ) -> Result<HeadRule, BuildError> {
+        let peer_name = &self.peer.name;
+        let arity = self.builder.voc.arity(rel);
+        if draft.head.len() != arity {
+            return err(format!(
+                "peer `{peer_name}`: rule for `{}` has {} head variables, relation arity is \
+                 {arity}",
+                draft.target,
+                draft.head.len()
+            ));
+        }
+        let mut head: Vec<VarId> = Vec::with_capacity(draft.head.len());
+        for h in &draft.head {
+            let v = self.builder.vars.intern(h);
+            if head.contains(&v) {
+                return err(format!(
+                    "peer `{peer_name}`: rule for `{}` repeats head variable `{h}` \
+                     (Definition 2.1 requires distinct variables)",
+                    draft.target
+                ));
+            }
+            head.push(v);
+        }
+        let scope = PeerScope {
+            voc: &self.builder.voc,
+            local: self.local,
+        };
+        let body = {
+            let mut resolver = Resolver {
+                voc: &scope,
+                vars: &mut self.builder.vars,
+                symbols: &mut self.builder.symbols,
+            };
+            parse_fo(&draft.body, &mut resolver).map_err(|e| {
+                BuildError(format!(
+                    "peer `{peer_name}`: rule for `{}`: {e}",
+                    draft.target
+                ))
+            })?
+        };
+        // Free variables must be among the head variables.
+        for v in body.free_vars() {
+            if !head.contains(&v) {
+                return err(format!(
+                    "peer `{peer_name}`: rule for `{}` has free body variable `{}` not in \
+                     the head",
+                    draft.target,
+                    self.builder.vars.name(v)
+                ));
+            }
+        }
+        // Vocabulary restrictions (Definition 2.1).
+        let mut violation: Option<String> = None;
+        let mut mentioned_here: BTreeSet<RelId> = BTreeSet::new();
+        body.visit_atoms(&mut |r, _| {
+            if violation.is_some() {
+                return;
+            }
+            mentioned_here.insert(r);
+            let class = self.builder.classes[r.index()];
+            let allowed = match class {
+                RelClass::Database
+                | RelClass::State
+                | RelClass::QueueState
+                | RelClass::PrevInput
+                | RelClass::InFlat
+                | RelClass::InNested
+                | RelClass::MsgEmptinessTest => true,
+                RelClass::Input => kind == RuleKind::StateActionSend,
+                RelClass::Action
+                | RelClass::OutFlat
+                | RelClass::OutNested
+                | RelClass::Bookkeeping => false,
+            };
+            if !allowed {
+                violation = Some(format!(
+                    "peer `{peer_name}`: rule for `{}` mentions `{}` ({:?}), which its \
+                     vocabulary does not allow (Definition 2.1)",
+                    draft.target,
+                    self.builder.voc.name(r),
+                    class
+                ));
+            }
+        });
+        if let Some(v) = violation {
+            return err(v);
+        }
+        self.mentioned.extend(mentioned_here);
+        // Collect constants for the verification domain.
+        collect_constants(&body, self.constants);
+        Ok(HeadRule { rel, head, body })
+    }
+}
+
+/// Gathers every constant occurring in a formula.
+pub fn collect_constants(fo: &Fo, out: &mut BTreeSet<Value>) {
+    fo.visit_atoms(&mut |_, args| {
+        for t in args {
+            if let Term::Const(c) = t {
+                out.insert(*c);
+            }
+        }
+    });
+    // Equality terms are not atoms; walk them explicitly.
+    fn walk(fo: &Fo, out: &mut BTreeSet<Value>) {
+        match fo {
+            Fo::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Const(c) = t {
+                        out.insert(*c);
+                    }
+                }
+            }
+            Fo::Not(f) | Fo::Exists(_, f) | Fo::Forall(_, f) => walk(f, out),
+            Fo::And(fs) | Fo::Or(fs) => fs.iter().for_each(|f| walk(f, out)),
+            Fo::Implies(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            _ => {}
+        }
+    }
+    walk(fo, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ping_pong() -> CompositionBuilder {
+        let mut b = CompositionBuilder::new();
+        b.channel("ping", 1, QueueKind::Flat, "Alice", "Bob");
+        b.channel("pong", 1, QueueKind::Flat, "Bob", "Alice");
+        b.peer("Alice")
+            .database("friend", 1)
+            .input("greet", 1)
+            .input_rule("greet", &["x"], "friend(x)")
+            .send_rule("ping", &["x"], "greet(x)");
+        b.peer("Bob")
+            .state("seen", 1)
+            .state_insert_rule("seen", &["x"], "?ping(x)")
+            .send_rule("pong", &["x"], "?ping(x)");
+        b
+    }
+
+    #[test]
+    fn ping_pong_builds() {
+        let comp = ping_pong().build().unwrap();
+        assert!(comp.is_closed());
+        assert_eq!(comp.peers.len(), 2);
+        assert_eq!(comp.channels.len(), 2);
+        // Qualified names exist.
+        for name in [
+            "Alice.friend",
+            "Alice.greet",
+            "Alice.prev_greet",
+            "Alice.!ping",
+            "Bob.?ping",
+            "Bob.empty_ping",
+            "Bob.seen",
+            "received_ping",
+            "sent_pong",
+            "move_Alice",
+        ] {
+            assert!(comp.voc.lookup(name).is_some(), "missing {name}");
+        }
+        // Bob dequeues ping (mentioned), Alice dequeues pong? pong is not
+        // mentioned in any Alice rule, so it is not dequeued.
+        let bob = comp.peer_by_name("Bob").unwrap();
+        assert_eq!(bob.dequeues.len(), 1);
+        let alice = comp.peer_by_name("Alice").unwrap();
+        assert!(alice.dequeues.is_empty());
+    }
+
+    #[test]
+    fn open_composition_detected() {
+        let mut b = CompositionBuilder::new();
+        b.channel("req", 1, QueueKind::Flat, "P", ENV);
+        b.channel("resp", 1, QueueKind::Flat, ENV, "P");
+        b.peer("P")
+            .state("got", 1)
+            .state_insert_rule("got", &["x"], "?resp(x)")
+            .send_rule("req", &["x"], "?resp(x)");
+        let comp = b.build().unwrap();
+        assert!(!comp.is_closed());
+        assert!(comp.move_env_rel.is_some());
+        assert_eq!(comp.env_out_channels().len(), 1);
+        assert_eq!(comp.env_in_channels().len(), 1);
+        assert!(comp.voc.lookup("ENV.!resp").is_some());
+        assert!(comp.voc.lookup("ENV.?req").is_some());
+    }
+
+    #[test]
+    fn missing_send_rule_rejected() {
+        let mut b = ping_pong();
+        b.channel("extra", 1, QueueKind::Flat, "Alice", "Bob");
+        let e = b.build().unwrap_err();
+        assert!(e.0.contains("no send rule"), "{e}");
+    }
+
+    #[test]
+    fn missing_input_rule_rejected() {
+        let mut b = ping_pong();
+        b.peer("Alice").input("other", 2);
+        let e = b.build().unwrap_err();
+        assert!(e.0.contains("no input rule"), "{e}");
+    }
+
+    #[test]
+    fn rule_vocabulary_enforced() {
+        // Input rules may not read the current input.
+        let mut b = CompositionBuilder::new();
+        b.channel("q", 1, QueueKind::Flat, "P", "R");
+        b.peer("P")
+            .input("choice", 1)
+            .input_rule("choice", &["x"], "choice(x)")
+            .send_rule("q", &["x"], "choice(x)");
+        b.peer("R");
+        let e = b.build().unwrap_err();
+        assert!(e.0.contains("Definition 2.1"), "{e}");
+
+        // Rule bodies may not read out-queues.
+        let mut b = CompositionBuilder::new();
+        b.channel("q", 1, QueueKind::Flat, "P", "R");
+        b.peer("P")
+            .state("s", 1)
+            .state_insert_rule("s", &["x"], "!q(x)")
+            .send_rule("q", &["x"], "s(x)");
+        b.peer("R");
+        let e = b.build().unwrap_err();
+        assert!(e.0.contains("Definition 2.1"), "{e}");
+    }
+
+    #[test]
+    fn free_variable_outside_head_rejected() {
+        let mut b = CompositionBuilder::new();
+        b.channel("q", 2, QueueKind::Flat, "P", "R");
+        b.peer("P")
+            .database("d", 2)
+            .send_rule("q", &["x", "y"], "d(x, z)");
+        b.peer("R");
+        let e = b.build().unwrap_err();
+        assert!(e.0.contains("free body variable"), "{e}");
+    }
+
+    #[test]
+    fn duplicate_head_variable_rejected() {
+        let mut b = CompositionBuilder::new();
+        b.channel("q", 2, QueueKind::Flat, "P", "R");
+        b.peer("P")
+            .database("d", 2)
+            .send_rule("q", &["x", "x"], "d(x, x)");
+        b.peer("R");
+        let e = b.build().unwrap_err();
+        assert!(e.0.contains("distinct"), "{e}");
+    }
+
+    #[test]
+    fn unknown_channel_endpoint_rejected() {
+        let mut b = CompositionBuilder::new();
+        b.channel("q", 1, QueueKind::Flat, "Nobody", "AlsoNobody");
+        let e = b.build().unwrap_err();
+        assert!(e.0.contains("unknown peer"), "{e}");
+    }
+
+    #[test]
+    fn lookback_declares_prev_chain() {
+        let mut b = ping_pong();
+        b.semantics(Semantics {
+            lookback: 3,
+            ..Semantics::default()
+        });
+        let comp = b.build().unwrap();
+        for name in ["Alice.prev_greet", "Alice.prev2_greet", "Alice.prev3_greet"] {
+            assert!(comp.voc.lookup(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn constants_are_collected() {
+        let mut b = CompositionBuilder::new();
+        b.channel("q", 1, QueueKind::Flat, "P", "R");
+        b.peer("P")
+            .database("d", 1)
+            .send_rule("q", &["x"], "d(x) and x = \"magic\"");
+        b.peer("R");
+        let comp = b.build().unwrap();
+        assert_eq!(comp.rule_constants.len(), 1);
+        assert_eq!(
+            comp.symbols.name(comp.rule_constants[0]),
+            "magic"
+        );
+    }
+}

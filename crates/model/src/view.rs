@@ -1,0 +1,224 @@
+//! Structure views over snapshots.
+//!
+//! The paper gives two readings of queue relations:
+//!
+//! * **rules** of a peer read the *first* messages of its in-queues
+//!   (`f(Q_in)`, Definition 2.4);
+//! * **properties** read in-queue atoms as `f(q)` and out-queue atoms as
+//!   `l(q)`, plus the `moveW` propositions (Section 3, "Semantics of LTL-FO
+//!   Properties").
+//!
+//! Both are implemented as [`Structure`] adapters over a
+//! ([`Composition`], database, [`Config`], mover) snapshot. Queue states
+//! `empty_q`, error flags, `received_q`/`sent_q` and the emptiness tests of
+//! Theorem 3.9 are derived here rather than stored.
+
+use crate::composition::{ChannelRole, Composition, Mover, PeerId};
+use crate::config::Config;
+use ddws_logic::input_bounded::RelClass;
+use ddws_logic::Structure;
+use ddws_relational::{Instance, RelId, Value};
+
+/// A source of database facts.
+///
+/// The fixed database of Definition 2.3 is usually an [`Instance`], but the
+/// verifier's *lazy oracle* (which decides database facts on demand while
+/// searching over all databases) also implements this trait, intercepting
+/// every lookup the rule and property evaluators make.
+pub trait Database {
+    /// Membership of a ground tuple in a database relation.
+    fn db_contains(&self, rel: RelId, tuple: &[Value]) -> bool;
+
+    /// Enumerates the relation's tuples when the database is concrete;
+    /// `None` when facts are decided lazily (the verifier's oracle).
+    fn db_scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+        let _ = rel;
+        None
+    }
+}
+
+impl Database for Instance {
+    fn db_contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+        self.contains_slice(rel, tuple)
+    }
+
+    fn db_scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+        Some(
+            self.relation(rel)
+                .iter()
+                .map(|t| t.values().to_vec())
+                .collect(),
+        )
+    }
+}
+
+/// How an atom over a queue relation reads the queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum QueueRead {
+    /// `f(q)`: the first (oldest) message.
+    First,
+    /// `l(q)`: the last (most recent) message.
+    Last,
+}
+
+/// The property-evaluation view of a snapshot: in-queues read `f(q)`,
+/// out-queues read `l(q)`, `moveW` reflects the mover of the outgoing
+/// transition.
+pub struct SnapshotView<'a> {
+    comp: &'a Composition,
+    db: &'a dyn Database,
+    config: &'a Config,
+    mover: Option<Mover>,
+    domain: &'a [Value],
+}
+
+impl<'a> SnapshotView<'a> {
+    /// Builds the view. `mover` is the peer (or environment) taking the
+    /// *next* step — the paper's `moveW` labels snapshots this way; pass
+    /// `None` when move propositions are irrelevant (they then all read
+    /// false).
+    pub fn new(
+        comp: &'a Composition,
+        db: &'a dyn Database,
+        config: &'a Config,
+        mover: Option<Mover>,
+        domain: &'a [Value],
+    ) -> Self {
+        SnapshotView {
+            comp,
+            db,
+            config,
+            mover,
+            domain,
+        }
+    }
+
+    fn queue_contains(&self, channel: usize, read: QueueRead, tuple: &[Value]) -> bool {
+        let q = &self.config.queues[channel];
+        let msg = match read {
+            QueueRead::First => q.front(),
+            QueueRead::Last => q.back(),
+        };
+        msg.is_some_and(|m| m.contains(tuple))
+    }
+}
+
+impl SnapshotView<'_> {
+    fn scan_impl(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+        let as_vecs = |r: &ddws_relational::Relation| -> Vec<Vec<Value>> {
+            r.iter().map(|t| t.values().to_vec()).collect()
+        };
+        if let Some((cid, role)) = self.comp.rel_channel[rel.index()] {
+            let i = cid.index();
+            return match role {
+                ChannelRole::In => Some(
+                    self.config.queues[i]
+                        .front()
+                        .map(|m| as_vecs(&m.as_relation()))
+                        .unwrap_or_default(),
+                ),
+                ChannelRole::Out => Some(
+                    self.config.queues[i]
+                        .back()
+                        .map(|m| as_vecs(&m.as_relation()))
+                        .unwrap_or_default(),
+                ),
+                ChannelRole::Error => Some(if self.config.error[i] {
+                    vec![vec![]]
+                } else {
+                    vec![]
+                }),
+                // Propositional roles: membership is cheap, no scan needed.
+                _ => None,
+            };
+        }
+        match self.comp.class(rel) {
+            RelClass::Database => self.db.db_scan(rel),
+            RelClass::State | RelClass::Input | RelClass::PrevInput | RelClass::Action => {
+                Some(as_vecs(self.config.rel.relation(rel)))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Structure for SnapshotView<'_> {
+    fn scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+        self.scan_impl(rel)
+    }
+
+    fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+        // Channel-backed relations resolve through the reverse index.
+        if let Some((cid, role)) = self.comp.rel_channel[rel.index()] {
+            let i = cid.index();
+            return match role {
+                ChannelRole::In => self.queue_contains(i, QueueRead::First, tuple),
+                ChannelRole::Out => self.queue_contains(i, QueueRead::Last, tuple),
+                ChannelRole::Empty => self.config.queues[i].is_empty(),
+                ChannelRole::Received => self.config.received[i],
+                ChannelRole::Sent => self.config.sent[i],
+                ChannelRole::Error => self.config.error[i],
+                ChannelRole::MsgEmpty => {
+                    self.config.queues[i].front().is_some_and(|m| m.is_empty())
+                }
+            };
+        }
+        match self.comp.class(rel) {
+            RelClass::Database => self.db.db_contains(rel, tuple),
+            RelClass::State | RelClass::Input | RelClass::PrevInput | RelClass::Action => {
+                self.config.rel.contains_slice(rel, tuple)
+            }
+            RelClass::Bookkeeping => match self.mover {
+                Some(Mover::Peer(p)) => self.comp.move_rels[p.index()] == rel,
+                Some(Mover::Environment) => self.comp.move_env_rel == Some(rel),
+                None => false,
+            },
+            // Queue-backed classes are fully covered by the reverse index.
+            _ => false,
+        }
+    }
+
+    fn domain(&self) -> &[Value] {
+        self.domain
+    }
+}
+
+/// The rule-evaluation view for one peer's move: like [`SnapshotView`] but
+/// restricted to the mover's perspective — in-queue atoms read `f(q)` (same
+/// as properties), and by Definition 2.1 rules never mention out-queues,
+/// move flags or other peers' relations, so the property view is reused
+/// directly. A wrapper type documents the intent.
+pub struct RuleView<'a>(pub SnapshotView<'a>);
+
+impl<'a> RuleView<'a> {
+    /// View for evaluating the rules of `peer` on a snapshot.
+    pub fn new(
+        comp: &'a Composition,
+        db: &'a dyn Database,
+        config: &'a Config,
+        peer: PeerId,
+        domain: &'a [Value],
+    ) -> Self {
+        RuleView(SnapshotView::new(
+            comp,
+            db,
+            config,
+            Some(Mover::Peer(peer)),
+            domain,
+        ))
+    }
+}
+
+impl Structure for RuleView<'_> {
+    fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+        self.0.contains(rel, tuple)
+    }
+
+    fn domain(&self) -> &[Value] {
+        self.0.domain()
+    }
+
+    fn scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+        self.0.scan(rel)
+    }
+}

@@ -1,0 +1,157 @@
+//! A small library of protocol-automaton shapes.
+//!
+//! Protocols are Büchi automata over `2^Σ`; these constructors cover the
+//! patterns the paper's examples use (e.g. "each `getRating` is followed by
+//! a `rating`", Example 4.1). All shapes are built **deterministic**, so
+//! protocol checking can use the cheap two-copy complementation instead of
+//! the exponential rank-based construction.
+//!
+//! Proposition `i` refers to the protocol's `i`-th symbol.
+
+use ddws_automata::{ltl_to_nba, Guard, Ltl, Nba};
+
+/// `G (trigger → F follow)`: every occurrence of `trigger` is eventually
+/// followed by `follow` (Example 4.1). Deterministic, two states:
+/// "no pending trigger" (accepting) and "pending".
+pub fn response(num_aps: u32, trigger: u32, follow: u32) -> Nba {
+    let t = Guard::require(trigger);
+    let nt = Guard::forbid(trigger);
+    let f = Guard::require(follow);
+    let nf = Guard::forbid(follow);
+    let mut nba = Nba::new(num_aps, 2);
+    nba.add_initial(0);
+    // State 0 (accepting): nothing pending. A trigger without an immediate
+    // answer moves to pending.
+    nba.add_transition(0, t.and(nf), 1);
+    nba.add_transition(0, t.and(f), 0);
+    nba.add_transition(0, nt, 0);
+    // State 1: pending; an answer resets (unless a fresh trigger arrives in
+    // the same letter without one).
+    nba.add_transition(1, f.and(nt), 0);
+    nba.add_transition(1, f.and(t), 0); // answered and re-triggered: F is satisfied at this step
+    nba.add_transition(1, nf, 1);
+    nba.accepting[0] = true;
+    nba
+}
+
+/// `G ¬p`: proposition `p` never occurs. Deterministic (after completion).
+pub fn never(num_aps: u32, p: u32) -> Nba {
+    let mut nba = Nba::new(num_aps, 1);
+    nba.add_initial(0);
+    nba.add_transition(0, Guard::forbid(p), 0);
+    nba.accepting[0] = true;
+    nba
+}
+
+/// `G (a → X (¬a U b))`: after an `a`, no further `a` may occur until a `b`
+/// does. Deterministic, three states (free / obliged / dead).
+pub fn eventually_follows(num_aps: u32, a: u32, b: u32) -> Nba {
+    let ga = Guard::require(a);
+    let na = Guard::forbid(a);
+    let gb = Guard::require(b);
+    let nb = Guard::forbid(b);
+    // States: 0 free (accepting), 1 pending, 2 pending-but-just-discharged
+    // (accepting: the previous obligation was met this step and `a`
+    // immediately renewed it), 3 dead. The obligation `¬a U b` is a
+    // *liveness* condition, so plain pending must not be accepting.
+    let mut nba = Nba::new(num_aps, 4);
+    nba.add_initial(0);
+    nba.add_transition(0, ga, 1);
+    nba.add_transition(0, na, 0);
+    for pending in [1, 2] {
+        nba.add_transition(pending, gb.and(ga), 2);
+        nba.add_transition(pending, gb.and(na), 0);
+        nba.add_transition(pending, nb.and(ga), 3);
+        nba.add_transition(pending, nb.and(na), 1);
+    }
+    nba.add_transition(3, Guard::TOP, 3);
+    nba.accepting[0] = true;
+    nba.accepting[2] = true;
+    nba
+}
+
+/// Translates an arbitrary LTL pattern and widens its alphabet to
+/// `num_aps`. The result may be nondeterministic — prefer the explicit
+/// shapes above for protocols that need complementation.
+pub fn from_ltl(num_aps: u32, f: &Ltl) -> Nba {
+    let mut nba = ltl_to_nba(f);
+    assert!(nba.num_aps <= num_aps, "pattern uses more APs than declared");
+    nba.num_aps = num_aps;
+    nba
+}
+
+/// A deterministic automaton accepting everything (useful as a base for
+/// manual protocol construction).
+pub fn universal(num_aps: u32) -> Nba {
+    let mut nba = Nba::new(num_aps, 1);
+    nba.add_initial(0);
+    nba.add_transition(0, Guard::TOP, 0);
+    nba.accepting[0] = true;
+    nba
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddws_automata::complement::complete;
+    use ddws_automata::ltl::eval_on_lasso;
+    use ddws_automata::Letter;
+
+    /// Cross-check a shape against the LTL semantics on sample words.
+    fn check_against(f: &Ltl, nba: &Nba, words: &[(&[Letter], &[Letter])]) {
+        for (p, c) in words {
+            assert_eq!(
+                nba.accepts_lasso(p, c),
+                eval_on_lasso(f, p, c),
+                "shape disagrees with {f} on ({p:?}, {c:?})"
+            );
+        }
+    }
+
+    const WORDS: [(&[Letter], &[Letter]); 8] = [
+        (&[], &[0b00]),
+        (&[], &[0b01]),
+        (&[], &[0b10]),
+        (&[0b01, 0b10], &[0b00]),
+        (&[0b01], &[0b00]),
+        (&[], &[0b01, 0b10]),
+        (&[0b11], &[0b00]),
+        (&[0b01, 0b01], &[0b10, 0b00]),
+    ];
+
+    #[test]
+    fn response_matches_ltl() {
+        let f = Ltl::globally(Ltl::implies(Ltl::ap(0), Ltl::finally(Ltl::ap(1))));
+        check_against(&f, &response(2, 0, 1), &WORDS);
+    }
+
+    #[test]
+    fn never_matches_ltl() {
+        let f = Ltl::globally(Ltl::not(Ltl::ap(0)));
+        check_against(&f, &never(2, 0), &WORDS);
+    }
+
+    #[test]
+    fn eventually_follows_matches_ltl() {
+        let f = Ltl::globally(Ltl::implies(
+            Ltl::ap(0),
+            Ltl::next(Ltl::until(Ltl::not(Ltl::ap(0)), Ltl::ap(1))),
+        ));
+        check_against(&f, &eventually_follows(2, 0, 1), &WORDS);
+    }
+
+    #[test]
+    fn shapes_are_deterministic() {
+        assert!(complete(&response(2, 0, 1)).is_deterministic_complete());
+        assert!(complete(&never(2, 0)).is_deterministic_complete());
+        assert!(complete(&eventually_follows(2, 0, 1)).is_deterministic_complete());
+        assert!(universal(2).is_deterministic_complete());
+    }
+
+    #[test]
+    fn from_ltl_widens_alphabet() {
+        let nba = from_ltl(3, &Ltl::finally(Ltl::ap(1)));
+        assert_eq!(nba.num_aps, 3);
+        assert!(nba.accepts_lasso(&[0b010], &[0]));
+    }
+}

@@ -1,0 +1,35 @@
+//! # `ddws-protocol` — conversation protocols (Section 4)
+//!
+//! A **conversation protocol** constrains the global sequence of messages a
+//! composition exchanges. The paper studies two flavours:
+//!
+//! * **data-agnostic** protocols `(Σ, B)`: `Σ` is a set of queue names, `B`
+//!   a Büchi automaton over `2^Σ`; only message *names* matter (the classic
+//!   CFSM notion of Fu–Bultan–Su, generalized to infinite-state
+//!   compositions — Theorem 4.2);
+//! * **data-aware** protocols `(Σ, B, {ϕσ})`: each symbol σ abbreviates an
+//!   FO formula over the out-queue schema, evaluated on snapshots
+//!   (Theorem 4.5).
+//!
+//! Two *observer placements* fix which events count (§4):
+//!
+//! * **observer-at-recipient** — a proposition for queue `q` holds iff a
+//!   message was actually *enqueued* in the last transition (dropped
+//!   messages are invisible); this is the decidable placement;
+//! * **observer-at-source** — it holds iff the sender *emitted* a message,
+//!   enqueued or not; verification is undecidable in general (Theorem 4.3),
+//!   but the encoding is provided for the boundary experiments.
+//!
+//! Protocol *checking* lives in `ddws-verifier`
+//! (`Verifier::check_data_agnostic` / `check_data_aware`), which complements
+//! `B` and searches the product; this crate defines the protocol types, the
+//! compilation of observer events to snapshot atoms, and a library of
+//! commonly used automata shapes.
+
+
+#![warn(missing_docs)]
+pub mod automata_shapes;
+pub mod protocol;
+
+pub use automata_shapes::{eventually_follows, from_ltl, never, response, universal};
+pub use protocol::{DataAgnosticProtocol, DataAwareProtocol, Observer, ProtocolError};

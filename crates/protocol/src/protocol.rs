@@ -1,0 +1,241 @@
+//! Protocol definitions and their compilation to snapshot atoms.
+
+use ddws_logic::parser::{parse_fo, Resolver};
+use ddws_logic::{Fo, ParseError};
+use ddws_model::Composition;
+use std::fmt;
+
+/// Where the message observer sits (§4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Observer {
+    /// Only messages actually enqueued count (decidable placement,
+    /// Theorems 4.2/4.5).
+    AtRecipient,
+    /// Every emitted message counts, even if lost (undecidable in general,
+    /// Theorem 4.3; supported for boundary experiments).
+    AtSource,
+}
+
+/// A protocol-construction error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A named channel does not exist in the composition.
+    UnknownChannel(String),
+    /// A guard formula failed to parse.
+    Guard(String, ParseError),
+    /// The automaton's proposition count does not match the symbol count.
+    ArityMismatch {
+        /// Symbols declared.
+        symbols: usize,
+        /// Propositions the automaton uses.
+        automaton_aps: u32,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnknownChannel(c) => write!(f, "unknown channel `{c}`"),
+            ProtocolError::Guard(s, e) => write!(f, "guard for symbol `{s}`: {e}"),
+            ProtocolError::ArityMismatch {
+                symbols,
+                automaton_aps,
+            } => write!(
+                f,
+                "protocol declares {symbols} symbols but the automaton reads {automaton_aps} \
+                 propositions"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A data-agnostic conversation protocol `(Σ, B)`: proposition `i` of the
+/// automaton observes channel `channels[i]`.
+#[derive(Clone, Debug)]
+pub struct DataAgnosticProtocol {
+    /// Observed channels, in proposition order.
+    pub channels: Vec<String>,
+    /// The Büchi automaton over `2^channels`.
+    pub automaton: ddws_automata::Nba,
+    /// Observer placement.
+    pub observer: Observer,
+}
+
+impl DataAgnosticProtocol {
+    /// Builds the protocol, checking channel names against the composition.
+    pub fn new(
+        comp: &Composition,
+        channels: &[&str],
+        automaton: ddws_automata::Nba,
+        observer: Observer,
+    ) -> Result<Self, ProtocolError> {
+        for c in channels {
+            if comp.channel_by_name(c).is_none() {
+                return Err(ProtocolError::UnknownChannel((*c).to_owned()));
+            }
+        }
+        if automaton.num_aps as usize != channels.len() {
+            return Err(ProtocolError::ArityMismatch {
+                symbols: channels.len(),
+                automaton_aps: automaton.num_aps,
+            });
+        }
+        Ok(DataAgnosticProtocol {
+            channels: channels.iter().map(|s| (*s).to_owned()).collect(),
+            automaton,
+            observer,
+        })
+    }
+
+    /// Compiles each observed channel to the snapshot atom the verifier
+    /// evaluates: `received_q` (observer-at-recipient) or `sent_q`
+    /// (observer-at-source).
+    pub fn observation_atoms(&self, comp: &Composition) -> Vec<Fo> {
+        self.channels
+            .iter()
+            .map(|name| {
+                let (_, ch) = comp
+                    .channel_by_name(name)
+                    .expect("validated at construction");
+                let rel = match self.observer {
+                    Observer::AtRecipient => ch.received_rel,
+                    Observer::AtSource => ch.sent_rel,
+                };
+                Fo::Atom(rel, vec![])
+            })
+            .collect()
+    }
+}
+
+/// A data-aware conversation protocol `(Σ, B, {ϕσ})`: proposition `i` of the
+/// automaton holds on a snapshot iff `guards[i]` does. Guards are FO
+/// formulas over the out-queue schema (`l(q)` semantics —
+/// observer-at-recipient, the only decidable placement for data-aware
+/// protocols).
+#[derive(Clone, Debug)]
+pub struct DataAwareProtocol {
+    /// Symbol names (for diagnostics), in proposition order.
+    pub symbols: Vec<String>,
+    /// One guard per symbol; free variables are universally quantified at
+    /// the protocol level (Definition 4.4).
+    pub guards: Vec<Fo>,
+    /// The Büchi automaton over `2^symbols`.
+    pub automaton: ddws_automata::Nba,
+}
+
+impl DataAwareProtocol {
+    /// Builds the protocol, parsing each guard over the composition schema.
+    pub fn new(
+        comp: &mut Composition,
+        guards: &[(&str, &str)],
+        automaton: ddws_automata::Nba,
+    ) -> Result<Self, ProtocolError> {
+        if automaton.num_aps as usize != guards.len() {
+            return Err(ProtocolError::ArityMismatch {
+                symbols: guards.len(),
+                automaton_aps: automaton.num_aps,
+            });
+        }
+        let mut symbols = Vec::new();
+        let mut parsed = Vec::new();
+        for (name, src) in guards {
+            let fo = {
+                let mut resolver = Resolver {
+                    voc: &comp.voc,
+                    vars: &mut comp.vars,
+                    symbols: &mut comp.symbols,
+                };
+                parse_fo(src, &mut resolver)
+                    .map_err(|e| ProtocolError::Guard((*name).to_owned(), e))?
+            };
+            symbols.push((*name).to_owned());
+            parsed.push(fo);
+        }
+        Ok(DataAwareProtocol {
+            symbols,
+            guards: parsed,
+            automaton,
+        })
+    }
+
+    /// The free variables across all guards (the protocol's implicit
+    /// universal quantification, Definition 4.4).
+    pub fn free_vars(&self) -> Vec<ddws_logic::VarId> {
+        let mut vars = std::collections::BTreeSet::new();
+        for g in &self.guards {
+            vars.extend(g.free_vars());
+        }
+        vars.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddws_automata::{Guard, Nba};
+    use ddws_model::{CompositionBuilder, QueueKind};
+
+    fn comp() -> Composition {
+        let mut b = CompositionBuilder::new();
+        b.channel("req", 1, QueueKind::Flat, "P", "R");
+        b.channel("resp", 1, QueueKind::Flat, "R", "P");
+        b.peer("P")
+            .database("d", 1)
+            .send_rule("req", &["x"], "d(x)");
+        b.peer("R").send_rule("resp", &["x"], "?req(x)");
+        b.build().unwrap()
+    }
+
+    fn trivial_nba(num_aps: u32) -> Nba {
+        let mut nba = Nba::new(num_aps, 1);
+        nba.add_initial(0);
+        nba.add_transition(0, Guard::TOP, 0);
+        nba.accepting[0] = true;
+        nba
+    }
+
+    #[test]
+    fn data_agnostic_validation() {
+        let c = comp();
+        let ok = DataAgnosticProtocol::new(&c, &["req", "resp"], trivial_nba(2), Observer::AtRecipient);
+        assert!(ok.is_ok());
+        let unknown =
+            DataAgnosticProtocol::new(&c, &["nope"], trivial_nba(1), Observer::AtRecipient);
+        assert!(matches!(unknown, Err(ProtocolError::UnknownChannel(_))));
+        let arity = DataAgnosticProtocol::new(&c, &["req"], trivial_nba(2), Observer::AtRecipient);
+        assert!(matches!(arity, Err(ProtocolError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn observation_atoms_pick_the_right_flags() {
+        let c = comp();
+        let recv =
+            DataAgnosticProtocol::new(&c, &["req"], trivial_nba(1), Observer::AtRecipient)
+                .unwrap();
+        let atoms = recv.observation_atoms(&c);
+        let (_, ch) = c.channel_by_name("req").unwrap();
+        assert_eq!(atoms, vec![Fo::Atom(ch.received_rel, vec![])]);
+        let src = DataAgnosticProtocol::new(&c, &["req"], trivial_nba(1), Observer::AtSource)
+            .unwrap();
+        assert_eq!(
+            src.observation_atoms(&c),
+            vec![Fo::Atom(ch.sent_rel, vec![])]
+        );
+    }
+
+    #[test]
+    fn data_aware_guards_parse_over_schema() {
+        let mut c = comp();
+        let p = DataAwareProtocol::new(
+            &mut c,
+            &[("reqX", "P.!req(x)"), ("respX", "R.!resp(x)")],
+            trivial_nba(2),
+        )
+        .unwrap();
+        assert_eq!(p.free_vars().len(), 1);
+        let bad = DataAwareProtocol::new(&mut c, &[("g", "nosuch(x)")], trivial_nba(1));
+        assert!(matches!(bad, Err(ProtocolError::Guard(..))));
+    }
+}

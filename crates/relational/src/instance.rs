@@ -1,0 +1,268 @@
+//! Relational instances over a vocabulary.
+
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use crate::value::{Symbols, Value};
+use crate::vocabulary::{RelId, Vocabulary};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relational structure: one [`Relation`] per symbol of a vocabulary.
+///
+/// Instances are value types — cloned freely during successor generation —
+/// and hash/compare structurally, which requires the canonical relation
+/// representation guaranteed by [`Relation`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Instance {
+    rels: Vec<Relation>,
+}
+
+/// Error raised when inserting a tuple of the wrong arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArityMismatch {
+    /// Relation the insertion targeted.
+    pub relation: String,
+    /// Declared arity.
+    pub expected: usize,
+    /// Arity of the offending tuple.
+    pub got: usize,
+}
+
+impl fmt::Display for ArityMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tuple of arity {} inserted into `{}` of arity {}",
+            self.got, self.relation, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ArityMismatch {}
+
+impl Instance {
+    /// The empty instance over `voc` (every relation empty).
+    pub fn empty(voc: &Vocabulary) -> Self {
+        Instance {
+            rels: vec![Relation::new(); voc.len()],
+        }
+    }
+
+    /// The relation interpreting `id`.
+    pub fn relation(&self, id: RelId) -> &Relation {
+        &self.rels[id.index()]
+    }
+
+    /// Mutable access to the relation interpreting `id`.
+    pub fn relation_mut(&mut self, id: RelId) -> &mut Relation {
+        &mut self.rels[id.index()]
+    }
+
+    /// Replaces the interpretation of `id` wholesale.
+    pub fn set_relation(&mut self, id: RelId, rel: Relation) {
+        self.rels[id.index()] = rel;
+    }
+
+    /// Inserts `t` into `id`, checking arity against `voc`.
+    pub fn insert_checked(
+        &mut self,
+        voc: &Vocabulary,
+        id: RelId,
+        t: Tuple,
+    ) -> Result<bool, ArityMismatch> {
+        let expected = voc.arity(id);
+        if t.arity() != expected {
+            return Err(ArityMismatch {
+                relation: voc.name(id).to_owned(),
+                expected,
+                got: t.arity(),
+            });
+        }
+        Ok(self.rels[id.index()].insert(t))
+    }
+
+    /// Membership test `t ∈ id`.
+    pub fn contains(&self, id: RelId, t: &Tuple) -> bool {
+        self.rels[id.index()].contains(t)
+    }
+
+    /// Allocation-free membership test on a value slice.
+    pub fn contains_slice(&self, id: RelId, t: &[Value]) -> bool {
+        self.rels[id.index()].contains_slice(t)
+    }
+
+    /// Truth value of a propositional (0-ary) relation.
+    pub fn holds(&self, id: RelId) -> bool {
+        self.rels[id.index()].contains(&Tuple::unit())
+    }
+
+    /// Sets a propositional (0-ary) relation.
+    pub fn set_holds(&mut self, id: RelId, value: bool) {
+        if value {
+            self.rels[id.index()].insert(Tuple::unit());
+        } else {
+            self.rels[id.index()].remove(&Tuple::unit());
+        }
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.rels.iter().map(Relation::len).sum()
+    }
+
+    /// Whether every relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rels.iter().all(Relation::is_empty)
+    }
+
+    /// The active domain: every value occurring in some tuple.
+    ///
+    /// The paper's run semantics quantifies over the active domain of the
+    /// run; the verifier extends this set with the specification's constants
+    /// and the synthetic verification domain.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        let mut dom = BTreeSet::new();
+        for r in &self.rels {
+            r.collect_domain(&mut dom);
+        }
+        dom
+    }
+
+    /// Number of relations (the vocabulary size this instance was built for).
+    pub fn width(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Renders all non-empty relations with external names.
+    pub fn display<'a>(&'a self, voc: &'a Vocabulary, symbols: &'a Symbols) -> impl fmt::Display + 'a {
+        DisplayInstance {
+            inst: self,
+            voc,
+            symbols,
+        }
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut m = f.debug_map();
+        for (i, r) in self.rels.iter().enumerate() {
+            if !r.is_empty() {
+                m.entry(&RelId(i as u32), r);
+            }
+        }
+        m.finish()
+    }
+}
+
+struct DisplayInstance<'a> {
+    inst: &'a Instance,
+    voc: &'a Vocabulary,
+    symbols: &'a Symbols,
+}
+
+impl fmt::Display for DisplayInstance<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (id, decl) in self.voc.iter() {
+            let rel = self.inst.relation(id);
+            if rel.is_empty() {
+                continue;
+            }
+            if !first {
+                writeln!(f)?;
+            }
+            first = false;
+            write!(f, "{} = {}", decl.name, rel.display(self.symbols))?;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vocabulary, Symbols) {
+        let mut voc = Vocabulary::new();
+        voc.declare("customer", 2).unwrap();
+        voc.declare("flag", 0).unwrap();
+        let mut sym = Symbols::new();
+        sym.intern("a");
+        sym.intern("b");
+        (voc, sym)
+    }
+
+    #[test]
+    fn empty_instance_has_no_tuples() {
+        let (voc, _) = setup();
+        let inst = Instance::empty(&voc);
+        assert!(inst.is_empty());
+        assert_eq!(inst.total_tuples(), 0);
+        assert_eq!(inst.width(), 2);
+    }
+
+    #[test]
+    fn insert_checked_enforces_arity() {
+        let (voc, _) = setup();
+        let customer = voc.lookup("customer").unwrap();
+        let mut inst = Instance::empty(&voc);
+        let ok = inst.insert_checked(&voc, customer, Tuple::new(vec![Value(0), Value(1)]));
+        assert_eq!(ok, Ok(true));
+        let err = inst.insert_checked(&voc, customer, Tuple::new(vec![Value(0)]));
+        assert!(err.is_err());
+        assert_eq!(err.unwrap_err().expected, 2);
+    }
+
+    #[test]
+    fn propositional_relations() {
+        let (voc, _) = setup();
+        let flag = voc.lookup("flag").unwrap();
+        let mut inst = Instance::empty(&voc);
+        assert!(!inst.holds(flag));
+        inst.set_holds(flag, true);
+        assert!(inst.holds(flag));
+        inst.set_holds(flag, false);
+        assert!(!inst.holds(flag));
+    }
+
+    #[test]
+    fn active_domain_collects_values() {
+        let (voc, _) = setup();
+        let customer = voc.lookup("customer").unwrap();
+        let mut inst = Instance::empty(&voc);
+        inst.relation_mut(customer)
+            .insert(Tuple::new(vec![Value(3), Value(1)]));
+        inst.relation_mut(customer)
+            .insert(Tuple::new(vec![Value(3), Value(7)]));
+        let dom: Vec<_> = inst.active_domain().into_iter().collect();
+        assert_eq!(dom, vec![Value(1), Value(3), Value(7)]);
+    }
+
+    #[test]
+    fn structural_equality_and_hash() {
+        let (voc, _) = setup();
+        let customer = voc.lookup("customer").unwrap();
+        let mut a = Instance::empty(&voc);
+        let mut b = Instance::empty(&voc);
+        a.relation_mut(customer)
+            .insert(Tuple::new(vec![Value(0), Value(1)]));
+        b.relation_mut(customer)
+            .insert(Tuple::new(vec![Value(0), Value(1)]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_shows_nonempty_relations() {
+        let (voc, sym) = setup();
+        let customer = voc.lookup("customer").unwrap();
+        let mut inst = Instance::empty(&voc);
+        inst.relation_mut(customer)
+            .insert(Tuple::new(vec![Value(0), Value(1)]));
+        let s = inst.display(&voc, &sym).to_string();
+        assert_eq!(s, "customer = {(a, b)}");
+    }
+}

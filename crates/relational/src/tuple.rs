@@ -1,0 +1,143 @@
+//! Immutable tuples of data values.
+
+use crate::value::{Symbols, Value};
+use std::fmt;
+
+/// An immutable tuple of [`Value`]s.
+///
+/// Tuples are the unit of storage in relations, of transport in flat message
+/// queues, and of binding in rule heads. The boxed-slice representation keeps
+/// them two words wide, and the derived lexicographic `Ord` gives relations a
+/// canonical element order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: impl Into<Box<[Value]>>) -> Self {
+        Tuple(values.into())
+    }
+
+    /// The empty (0-ary) tuple, the single inhabitant of propositional
+    /// relations such as queue-emptiness states.
+    pub fn unit() -> Self {
+        Tuple(Box::from([]))
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values, in order.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Component at position `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.arity()`.
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+
+    /// Renders the tuple with external names, e.g. `(c1, "excellent")`.
+    pub fn display<'a>(&'a self, symbols: &'a Symbols) -> impl fmt::Display + 'a {
+        DisplayTuple {
+            tuple: self,
+            symbols,
+        }
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::borrow::Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v.into_boxed_slice())
+    }
+}
+
+impl From<&[Value]> for Tuple {
+    fn from(v: &[Value]) -> Self {
+        Tuple(v.into())
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+struct DisplayTuple<'a> {
+    tuple: &'a Tuple,
+    symbols: &'a Symbols,
+}
+
+impl fmt::Display for DisplayTuple<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, &v) in self.tuple.values().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", self.symbols.name(v))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_tuple_has_zero_arity() {
+        assert_eq!(Tuple::unit().arity(), 0);
+        assert_eq!(Tuple::unit(), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn tuples_order_lexicographically() {
+        let a = Tuple::new(vec![Value(0), Value(5)]);
+        let b = Tuple::new(vec![Value(1), Value(0)]);
+        let c = Tuple::new(vec![Value(0), Value(9)]);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn display_uses_external_names() {
+        let mut s = Symbols::new();
+        let c1 = s.intern("c1");
+        let ex = s.intern("excellent");
+        let t = Tuple::new(vec![c1, ex]);
+        assert_eq!(t.display(&s).to_string(), "(c1, excellent)");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Tuple = (0..3).map(Value).collect();
+        assert_eq!(t.values(), &[Value(0), Value(1), Value(2)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Interned data values.
+//!
+//! The paper treats data values as uninterpreted first-class citizens drawn
+//! from an infinite domain; only equality matters. We intern every external
+//! name (`"excellent"`, `"c1"`, …) into a dense `u32` handle so that tuples,
+//! relations and whole configurations compare and hash in O(words).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A data value: an opaque handle into a [`Symbols`] table.
+///
+/// Values are totally ordered by their handle, which gives relations a
+/// canonical order. The order carries no semantics — the logic layer only
+/// ever tests equality, matching the paper's uninterpreted-domain model.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Value(pub u32);
+
+impl Value {
+    /// Raw index of this value in its symbol table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A symbol table interning external names to [`Value`] handles.
+///
+/// One `Symbols` instance is shared by a specification and all verification
+/// artifacts derived from it: constants appearing in rules and properties,
+/// database elements, and the synthetic elements of the small verification
+/// domain all live in the same table, so equality of handles is equality of
+/// values.
+#[derive(Clone, Debug, Default)]
+pub struct Symbols {
+    names: Vec<String>,
+    by_name: HashMap<String, Value>,
+    fresh_counter: u32,
+}
+
+impl Symbols {
+    /// Creates an empty symbol table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing handle if already present.
+    pub fn intern(&mut self, name: &str) -> Value {
+        if let Some(&v) = self.by_name.get(name) {
+            return v;
+        }
+        let v = Value(u32::try_from(self.names.len()).expect("symbol table overflow"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), v);
+        v
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Value> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The external name of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` was not produced by this table.
+    pub fn name(&self, v: Value) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Mints a value guaranteed to be distinct from every interned name,
+    /// named `{prefix}{n}` for the first unused `n`. Used to populate the
+    /// small verification domain with elements disjoint from the
+    /// specification's constants.
+    pub fn fresh(&mut self, prefix: &str) -> Value {
+        loop {
+            let candidate = format!("{prefix}{}", self.fresh_counter);
+            self.fresh_counter += 1;
+            if !self.by_name.contains_key(&candidate) {
+                return self.intern(&candidate);
+            }
+        }
+    }
+
+    /// Number of interned values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(value, name)` pairs in handle order.
+    pub fn iter(&self) -> impl Iterator<Item = (Value, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Value(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut s = Symbols::new();
+        let a = s.intern("alpha");
+        let b = s.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(s.intern("alpha"), a);
+        assert_eq!(s.name(a), "alpha");
+        assert_eq!(s.name(b), "beta");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn lookup_absent_is_none() {
+        let s = Symbols::new();
+        assert!(s.lookup("missing").is_none());
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let mut s = Symbols::new();
+        s.intern("d0");
+        let f = s.fresh("d");
+        assert_eq!(s.name(f), "d1");
+        let g = s.fresh("d");
+        assert_eq!(s.name(g), "d2");
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn values_order_by_interning_sequence() {
+        let mut s = Symbols::new();
+        let a = s.intern("z-last-name");
+        let b = s.intern("a-first-name");
+        assert!(a < b, "order follows interning, not lexicographic order");
+    }
+
+    #[test]
+    fn iter_enumerates_in_handle_order() {
+        let mut s = Symbols::new();
+        s.intern("x");
+        s.intern("y");
+        let pairs: Vec<_> = s.iter().map(|(v, n)| (v.0, n.to_owned())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Relation-symbol registries.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a relation symbol within a [`Vocabulary`].
+///
+/// Dense and small so that instances can store relations in a flat `Vec`
+/// indexed by `RelId` and the logic layer can refer to relations without
+/// string comparisons.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// Raw index of this relation in its vocabulary.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Declaration of one relation symbol: its (qualified) name and arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelDecl {
+    /// Qualified name, e.g. `O.customer` or `CR.rating`.
+    pub name: String,
+    /// Number of columns; arity 0 relations are propositions.
+    pub arity: usize,
+}
+
+/// A registry of relation symbols.
+///
+/// A composition's schema (Section 2 of the paper: the union of all peer
+/// schemas with peer-qualified names, plus bookkeeping propositions such as
+/// `moveW`) is represented as one `Vocabulary` so that every layer — rule
+/// evaluation, property atoms, protocol guards — shares a single namespace.
+#[derive(Clone, Debug, Default)]
+pub struct Vocabulary {
+    decls: Vec<RelDecl>,
+    by_name: HashMap<String, RelId>,
+}
+
+/// Error raised when declaring a relation whose name is already taken.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DuplicateRelation(pub String);
+
+impl fmt::Display for DuplicateRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "relation `{}` declared twice", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateRelation {}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a relation, failing on name collision.
+    ///
+    /// Definition 2.1 requires the schemas of a peer (and, by qualification,
+    /// of a composition) to be disjoint; collisions are specification bugs
+    /// and are surfaced here.
+    pub fn declare(&mut self, name: &str, arity: usize) -> Result<RelId, DuplicateRelation> {
+        if self.by_name.contains_key(name) {
+            return Err(DuplicateRelation(name.to_owned()));
+        }
+        let id = RelId(u32::try_from(self.decls.len()).expect("vocabulary overflow"));
+        self.decls.push(RelDecl {
+            name: name.to_owned(),
+            arity,
+        });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Resolves a relation name.
+    pub fn lookup(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The declaration of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this vocabulary.
+    pub fn decl(&self, id: RelId) -> &RelDecl {
+        &self.decls[id.index()]
+    }
+
+    /// Qualified name of `id`.
+    pub fn name(&self, id: RelId) -> &str {
+        &self.decl(id).name
+    }
+
+    /// Arity of `id`.
+    pub fn arity(&self, id: RelId) -> usize {
+        self.decl(id).arity
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Whether no relation is declared.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Iterates `(id, decl)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelDecl)> {
+        self.decls
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (RelId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut v = Vocabulary::new();
+        let a = v.declare("O.customer", 3).unwrap();
+        let b = v.declare("CR.rating", 2).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(v.lookup("O.customer"), Some(a));
+        assert_eq!(v.arity(a), 3);
+        assert_eq!(v.name(b), "CR.rating");
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_declaration_fails() {
+        let mut v = Vocabulary::new();
+        v.declare("R", 1).unwrap();
+        assert_eq!(v.declare("R", 2), Err(DuplicateRelation("R".into())));
+    }
+
+    #[test]
+    fn iter_matches_declaration_order() {
+        let mut v = Vocabulary::new();
+        v.declare("A", 0).unwrap();
+        v.declare("B", 2).unwrap();
+        let names: Vec<_> = v.iter().map(|(_, d)| d.name.clone()).collect();
+        assert_eq!(names, vec!["A", "B"]);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the relational substrate.
+
+use ddws_relational::{Instance, Relation, Symbols, Tuple, Value, Vocabulary};
+use proptest::prelude::*;
+
+fn arb_tuple(arity: usize, dom: u32) -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(0..dom, arity).prop_map(|vs| vs.into_iter().map(Value).collect())
+}
+
+fn arb_relation(arity: usize, dom: u32, max_len: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(arb_tuple(arity, dom), 0..=max_len).prop_map(Relation::from_tuples)
+}
+
+proptest! {
+    /// A relation built from any permutation of the same tuples is identical.
+    #[test]
+    fn relation_is_canonical(tuples in proptest::collection::vec(arb_tuple(2, 5), 0..12)) {
+        let forward = Relation::from_tuples(tuples.clone());
+        let mut reversed = tuples.clone();
+        reversed.reverse();
+        let backward = Relation::from_tuples(reversed);
+        prop_assert_eq!(&forward, &backward);
+    }
+
+    /// `insert` then `contains` holds; `remove` then `contains` fails.
+    #[test]
+    fn insert_remove_roundtrip(mut rel in arb_relation(2, 5, 10), t in arb_tuple(2, 5)) {
+        rel.insert(t.clone());
+        prop_assert!(rel.contains(&t));
+        rel.remove(&t);
+        prop_assert!(!rel.contains(&t));
+    }
+
+    /// Union is commutative, and both arguments embed into it.
+    #[test]
+    fn union_laws(a in arb_relation(1, 6, 10), b in arb_relation(1, 6, 10)) {
+        let u = a.union(&b);
+        prop_assert_eq!(&u, &b.union(&a));
+        for t in a.iter() {
+            prop_assert!(u.contains(t));
+        }
+        for t in b.iter() {
+            prop_assert!(u.contains(t));
+        }
+        prop_assert!(u.len() <= a.len() + b.len());
+    }
+
+    /// `difference` and `intersection` partition the left argument.
+    #[test]
+    fn difference_intersection_partition(a in arb_relation(1, 6, 10), b in arb_relation(1, 6, 10)) {
+        let d = a.difference(&b);
+        let i = a.intersection(&b);
+        prop_assert_eq!(d.len() + i.len(), a.len());
+        prop_assert!(d.intersection(&i).is_empty());
+        prop_assert_eq!(&d.union(&i), &a);
+    }
+
+    /// The active domain of an instance is exactly the set of values in its tuples.
+    #[test]
+    fn active_domain_is_exact(tuples in proptest::collection::vec(arb_tuple(3, 8), 0..10)) {
+        let mut voc = Vocabulary::new();
+        let r = voc.declare("R", 3).unwrap();
+        let mut inst = Instance::empty(&voc);
+        let mut expected = std::collections::BTreeSet::new();
+        for t in &tuples {
+            expected.extend(t.values().iter().copied());
+            inst.relation_mut(r).insert(t.clone());
+        }
+        prop_assert_eq!(inst.active_domain(), expected);
+    }
+}
+
+#[test]
+fn symbols_roundtrip_many() {
+    let mut s = Symbols::new();
+    let names: Vec<String> = (0..100).map(|i| format!("name-{i}")).collect();
+    let vals: Vec<Value> = names.iter().map(|n| s.intern(n)).collect();
+    for (n, v) in names.iter().zip(&vals) {
+        assert_eq!(s.lookup(n), Some(*v));
+        assert_eq!(s.name(*v), n);
+    }
+}

@@ -1,0 +1,99 @@
+//! Counterexample runs.
+
+use ddws_model::{Composition, Config, Mover};
+use ddws_relational::{Instance, Value};
+use ddws_logic::VarId;
+use std::fmt;
+
+/// One snapshot of a counterexample run, together with the mover labelling
+/// its outgoing transition (the paper's `moveW`).
+#[derive(Clone, Debug)]
+pub struct RunStep {
+    /// The composition configuration.
+    pub config: Config,
+    /// The peer (or environment) moving next.
+    pub mover: Mover,
+}
+
+/// A violating run: the lasso `prefix · cycle^ω` over `database`, refuting
+/// the property instantiated at `valuation`.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The database witnessing the violation (decided-true oracle facts
+    /// plus the fixed base; undecided facts are false).
+    pub database: Instance,
+    /// The instantiation of the property's universal closure.
+    pub valuation: Vec<(VarId, Value)>,
+    /// Names of relations whose tracking was frozen during the check
+    /// (unobserved by the property): they display as empty in the snapshots
+    /// below even where a fully tracked run would populate them.
+    pub frozen_rels: Vec<String>,
+    /// Snapshots from the initial configuration to the cycle entry.
+    pub prefix: Vec<RunStep>,
+    /// The repeating suffix.
+    pub cycle: Vec<RunStep>,
+}
+
+impl Counterexample {
+    /// Renders the run with external names.
+    pub fn display<'a>(&'a self, comp: &'a Composition) -> impl fmt::Display + 'a {
+        DisplayCex { cex: self, comp }
+    }
+}
+
+struct DisplayCex<'a> {
+    cex: &'a Counterexample,
+    comp: &'a Composition,
+}
+
+impl fmt::Display for DisplayCex<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let comp = self.comp;
+        let symbols = &comp.symbols;
+        writeln!(f, "counterexample run")?;
+        if !self.cex.valuation.is_empty() {
+            write!(f, "  universal variables: ")?;
+            for (i, (v, d)) in self.cex.valuation.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{} = {}", comp.vars.name(*v), symbols.name(*d))?;
+            }
+            writeln!(f)?;
+        }
+        if !self.cex.frozen_rels.is_empty() {
+            writeln!(
+                f,
+                "  (unobserved relations frozen during this check and shown empty: {})",
+                self.cex.frozen_rels.join(", ")
+            )?;
+        }
+        writeln!(f, "  database:")?;
+        for line in self
+            .cex
+            .database
+            .display(&comp.voc, symbols)
+            .to_string()
+            .lines()
+        {
+            writeln!(f, "    {line}")?;
+        }
+        let mover_name = |m: Mover| -> String {
+            match m {
+                Mover::Peer(p) => comp.peers[p.index()].name.clone(),
+                Mover::Environment => "ENV".to_owned(),
+            }
+        };
+        for (label, steps) in [("prefix", &self.cex.prefix), ("cycle (repeats forever)", &self.cex.cycle)]
+        {
+            writeln!(f, "  {label}:")?;
+            for (i, step) in steps.iter().enumerate() {
+                writeln!(f, "    step {i} (next mover: {})", mover_name(step.mover))?;
+                for line in step.config.display(comp, symbols).to_string().lines() {
+                    writeln!(f, "      {line}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,64 @@
+//! The verification domain.
+//!
+//! Input-boundedness confines quantified values to inputs, previous inputs
+//! and flat-queue heads, which gives the specification a small-model
+//! property (the engine behind Theorem 3.4 and [12]): a property violated
+//! over *some* database is violated over one whose active domain is bounded
+//! by a function of the specification. The verification domain is therefore
+//!
+//! > all constants of the rules and the property, plus `fresh` synthetic
+//! > values standing for "arbitrary distinct data".
+//!
+//! [`suggested_fresh_values`] is a conservative default for `fresh`; the
+//! benchmark suite (EXPERIMENTS.md, E1) sweeps it to show verdict
+//! stabilization.
+
+use ddws_logic::LtlFoSentence;
+use ddws_model::Composition;
+
+/// Heuristic number of fresh domain values: one per universally quantified
+/// property variable, plus the largest input/flat-channel arity (so a rule
+/// can be fed entirely distinct fresh values), with a floor of 2 (so
+/// inequalities are satisfiable).
+pub fn suggested_fresh_values(comp: &Composition, property: &LtlFoSentence) -> usize {
+    let max_input_arity = comp
+        .peers
+        .iter()
+        .flat_map(|p| p.inputs.iter())
+        .map(|&r| comp.voc.arity(r))
+        .max()
+        .unwrap_or(0);
+    let max_flat_arity = comp
+        .channels
+        .iter()
+        .filter(|c| c.kind == ddws_model::QueueKind::Flat)
+        .map(|c| c.arity)
+        .max()
+        .unwrap_or(0);
+    (property.universal_vars.len() + max_input_arity.max(max_flat_arity)).max(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddws_model::{CompositionBuilder, QueueKind};
+
+    #[test]
+    fn heuristic_counts_inputs_and_closure_vars() {
+        let mut b = CompositionBuilder::new();
+        b.channel("q", 2, QueueKind::Flat, "P", "R");
+        b.peer("P")
+            .database("d", 2)
+            .input("pick", 2)
+            .input_rule("pick", &["x", "y"], "d(x, y)")
+            .send_rule("q", &["x", "y"], "pick(x, y)");
+        b.peer("R");
+        let comp = b.build().unwrap();
+        let sentence = ddws_logic::LtlFoSentence {
+            universal_vars: vec![ddws_logic::VarId(0)],
+            body: ddws_logic::LtlFo::tt(),
+        };
+        // 1 closure variable + max input arity 2.
+        assert_eq!(suggested_fresh_values(&comp, &sentence), 3);
+    }
+}

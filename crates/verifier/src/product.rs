@@ -1,0 +1,322 @@
+//! The on-the-fly product of a composition's run graph with a property
+//! automaton, threaded through the lazy database oracle.
+//!
+//! States are `(configuration, mover, automaton state, partial database)`
+//! tuples, interned to small ids. Three kinds of edges:
+//!
+//! * **boot** edges resolve the initial configurations,
+//! * **fork** edges split on an undecided database fact (strictly growing
+//!   the oracle, hence acyclic),
+//! * **step** edges perform one serialized composition move while the
+//!   automaton reads the current snapshot's letter.
+//!
+//! Acceptance is inherited from the automaton component, so an accepting
+//! lasso of this system is exactly a counterexample run over the database
+//! its oracle describes.
+
+use crate::ground::AtomRegistry;
+use crate::oracle::{FactUniverse, Oracle, RecordingDb};
+use ddws_automata::{Nba, TransitionSystem};
+use ddws_model::{Composition, Config, Mover};
+use ddws_relational::{Instance, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A state of the product system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PState {
+    /// Initial configurations not yet resolved (the oracle may need to
+    /// decide facts that input rules touch).
+    Boot {
+        /// Interned oracle id.
+        oracle: u32,
+    },
+    /// A running snapshot.
+    Run {
+        /// Interned configuration id.
+        config: u32,
+        /// The peer (or environment) taking the next step; `moveW` of this
+        /// snapshot.
+        mover: Mover,
+        /// Property-automaton state.
+        q: usize,
+        /// Interned oracle id.
+        oracle: u32,
+    },
+}
+
+/// Interner for hash-heavy values (configurations, oracles).
+struct Interner<T> {
+    items: Vec<Rc<T>>,
+    ids: HashMap<Rc<T>, u32>,
+}
+
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            items: Vec::new(),
+            ids: HashMap::new(),
+        }
+    }
+}
+
+impl<T: std::hash::Hash + Eq> Interner<T> {
+
+    fn intern(&mut self, item: T) -> u32 {
+        if let Some(&id) = self.ids.get(&item) {
+            return id;
+        }
+        let rc = Rc::new(item);
+        let id = u32::try_from(self.items.len()).expect("interner overflow");
+        self.items.push(Rc::clone(&rc));
+        self.ids.insert(rc, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> Rc<T> {
+        Rc::clone(&self.items[id as usize])
+    }
+}
+
+/// Search state shared across the valuations of one `check` call: the
+/// configuration/oracle interners and the composition-step cache. Steps
+/// depend only on (config, mover, oracle) — not on the property valuation —
+/// so sharing them makes every valuation after the first traverse the
+/// already-expanded graph instead of re-evaluating every rule.
+#[derive(Default)]
+pub struct SharedSearch {
+    configs: RefCell<Interner<Config>>,
+    oracles: RefCell<Interner<Oracle>>,
+    /// (config, mover, oracle) → successor configs, or `Err(fact)` when the
+    /// expansion forks on an undecided database fact.
+    steps: RefCell<HashMap<(u32, Mover, u32), Result<Vec<u32>, usize>>>,
+    /// oracle → initial configs (or fork fact).
+    boots: RefCell<HashMap<u32, Result<Vec<u32>, usize>>>,
+}
+
+impl SharedSearch {
+    /// Creates an empty shared search state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The product system.
+pub struct ProductSystem<'a> {
+    /// The composition under verification.
+    pub comp: &'a Composition,
+    /// Fixed database facts (outside the oracle universe).
+    pub base_db: &'a Instance,
+    /// Candidate facts subject to lazy decisions (empty for fixed-database
+    /// verification).
+    pub universe: &'a FactUniverse,
+    /// The verification domain.
+    pub domain: &'a [Value],
+    /// Automaton for the *negated* property (or the protocol complement).
+    pub nba: &'a Nba,
+    /// The snapshot atoms the automaton's propositions refer to.
+    pub atoms: &'a AtomRegistry,
+    shared: &'a SharedSearch,
+    // The nested DFS expands every state twice (blue + red pass); successor
+    // computation dominates, so memoize the full product expansion too.
+    succ_cache: RefCell<HashMap<PState, Vec<PState>>>,
+}
+
+impl<'a> ProductSystem<'a> {
+    /// Builds the product system.
+    pub fn new(
+        comp: &'a Composition,
+        base_db: &'a Instance,
+        universe: &'a FactUniverse,
+        domain: &'a [Value],
+        nba: &'a Nba,
+        atoms: &'a AtomRegistry,
+        shared: &'a SharedSearch,
+    ) -> Self {
+        ProductSystem {
+            comp,
+            base_db,
+            universe,
+            domain,
+            nba,
+            atoms,
+            shared,
+            succ_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Resolves an interned configuration.
+    pub fn config(&self, id: u32) -> Rc<Config> {
+        self.shared.configs.borrow().get(id)
+    }
+
+    /// Resolves an interned oracle.
+    pub fn oracle(&self, id: u32) -> Rc<Oracle> {
+        self.shared.oracles.borrow().get(id)
+    }
+
+    fn intern_config(&self, c: Config) -> u32 {
+        self.shared.configs.borrow_mut().intern(c)
+    }
+
+    fn intern_oracle(&self, o: Oracle) -> u32 {
+        self.shared.oracles.borrow_mut().intern(o)
+    }
+
+    /// Initial configurations for an oracle, cached across valuations.
+    fn boot_configs(&self, oracle: u32) -> Result<Vec<u32>, usize> {
+        if let Some(cached) = self.shared.boots.borrow().get(&oracle) {
+            return cached.clone();
+        }
+        let o = self.oracle(oracle);
+        let db = RecordingDb::new(self.base_db, self.universe, &o);
+        let configs = self.comp.initial_configs(&db, self.domain);
+        let result = match db.undecided_hit() {
+            Some(fact) => Err(fact),
+            None => Ok(configs.into_iter().map(|c| self.intern_config(c)).collect()),
+        };
+        self.shared.boots.borrow_mut().insert(oracle, result.clone());
+        result
+    }
+
+    /// One composition step, cached across valuations.
+    fn step_configs(&self, config: u32, mover: Mover, oracle: u32) -> Result<Vec<u32>, usize> {
+        let key = (config, mover, oracle);
+        if let Some(cached) = self.shared.steps.borrow().get(&key) {
+            return cached.clone();
+        }
+        let o = self.oracle(oracle);
+        let cfg = self.config(config);
+        let db = RecordingDb::new(self.base_db, self.universe, &o);
+        let next = self.comp.successors(&db, self.domain, &cfg, mover);
+        let result = match db.undecided_hit() {
+            Some(fact) => Err(fact),
+            None => Ok(next.into_iter().map(|c| self.intern_config(c)).collect()),
+        };
+        self.shared.steps.borrow_mut().insert(key, result.clone());
+        result
+    }
+
+    /// Forks a state on an undecided fact.
+    fn fork(&self, state: PState, oracle_id: u32, fact: usize) -> Vec<PState> {
+        let oracle = self.oracle(oracle_id);
+        [true, false]
+            .into_iter()
+            .map(|v| {
+                let o2 = self.intern_oracle(oracle.with_decided(fact, v));
+                match state {
+                    PState::Boot { .. } => PState::Boot { oracle: o2 },
+                    PState::Run {
+                        config, mover, q, ..
+                    } => PState::Run {
+                        config,
+                        mover,
+                        q,
+                        oracle: o2,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+impl TransitionSystem for ProductSystem<'_> {
+    type State = PState;
+
+    fn initial_states(&self) -> Vec<PState> {
+        let empty = self.intern_oracle(Oracle::undecided(self.universe.len()));
+        vec![PState::Boot { oracle: empty }]
+    }
+
+    fn successors(&self, s: &PState) -> Vec<PState> {
+        if let Some(cached) = self.succ_cache.borrow().get(s) {
+            return cached.clone();
+        }
+        let result = self.successors_uncached(s);
+        self.succ_cache.borrow_mut().insert(*s, result.clone());
+        result
+    }
+
+    fn is_accepting(&self, s: &PState) -> bool {
+        match *s {
+            PState::Boot { .. } => false,
+            PState::Run { q, .. } => self.nba.accepting[q],
+        }
+    }
+}
+
+impl ProductSystem<'_> {
+    fn successors_uncached(&self, s: &PState) -> Vec<PState> {
+        match *s {
+            PState::Boot { oracle } => match self.boot_configs(oracle) {
+                Err(fact) => self.fork(*s, oracle, fact),
+                Ok(configs) => {
+                    let mut out = Vec::new();
+                    for cid in configs {
+                        for mover in self.comp.movers() {
+                            for &q in &self.nba.initial {
+                                out.push(PState::Run {
+                                    config: cid,
+                                    mover,
+                                    q,
+                                    oracle,
+                                });
+                            }
+                        }
+                    }
+                    out
+                }
+            },
+            PState::Run {
+                config,
+                mover,
+                q,
+                oracle,
+            } => {
+                // 1. The letter of this snapshot.
+                let letter = {
+                    let o = self.oracle(oracle);
+                    let cfg = self.config(config);
+                    let db = RecordingDb::new(self.base_db, self.universe, &o);
+                    let letter = self
+                        .atoms
+                        .letter(self.comp, &db, &cfg, Some(mover), self.domain);
+                    if let Some(fact) = db.undecided_hit() {
+                        return self.fork(*s, oracle, fact);
+                    }
+                    letter
+                };
+
+                // 2. Automaton edges admitted by the letter.
+                let q_targets: Vec<usize> = self.nba.successors(q, letter).collect();
+                if q_targets.is_empty() {
+                    return Vec::new();
+                }
+
+                // 3. Composition step (cached across valuations).
+                let next_configs = match self.step_configs(config, mover, oracle) {
+                    Err(fact) => return self.fork(*s, oracle, fact),
+                    Ok(c) => c,
+                };
+
+                let movers = self.comp.movers();
+                let mut out =
+                    Vec::with_capacity(next_configs.len() * movers.len() * q_targets.len());
+                for cid in next_configs {
+                    for &m in &movers {
+                        for &q2 in &q_targets {
+                            out.push(PState::Run {
+                                config: cid,
+                                mover: m,
+                                q: q2,
+                                oracle,
+                            });
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+}

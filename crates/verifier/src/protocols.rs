@@ -1,0 +1,211 @@
+//! Conversation-protocol checking (Section 4).
+//!
+//! `C ⊨ (Σ, B)` demands that *every* run's observation trace is accepted by
+//! `B`, i.e. `traces(C) ∩ L(B)ᶜ = ∅`. The checker therefore complements the
+//! protocol automaton — the cheap two-copy construction when `B` is
+//! deterministic, the rank-based construction otherwise — and searches the
+//! product exactly as for LTL-FO properties:
+//!
+//! * **data-agnostic** protocols observe the `received_q` (or, for the
+//!   undecidable observer-at-source placement, `sent_q`) propositions
+//!   (Theorem 4.2 / 4.3);
+//! * **data-aware** protocols evaluate their FO guards on snapshots, with
+//!   free guard variables universally instantiated over the verification
+//!   domain (Definition 4.4, Theorem 4.5).
+
+use crate::counterexample::Counterexample;
+use crate::ground::{canonical_valuations, AtomRegistry};
+use crate::product::{ProductSystem, SharedSearch};
+use crate::verify::{build_counterexample, Outcome, Report, Verifier, VerifyError, VerifyOptions};
+use ddws_automata::complement::{complement, complement_deterministic, complete};
+use ddws_automata::emptiness::{find_accepting_lasso_budget, SearchStats};
+use ddws_automata::Nba;
+use ddws_logic::input_bounded::check_input_bounded_fo;
+use ddws_protocol::{DataAgnosticProtocol, DataAwareProtocol};
+use ddws_relational::Value;
+use std::collections::BTreeSet;
+
+/// Complements a protocol automaton, preferring the deterministic
+/// construction.
+fn complement_protocol(nba: &Nba) -> Nba {
+    if complete(nba).is_deterministic_complete() {
+        complement_deterministic(nba)
+    } else {
+        complement(nba)
+    }
+}
+
+impl Verifier {
+    /// Checks a data-agnostic conversation protocol (Theorem 4.2 for
+    /// observer-at-recipient; observer-at-source is supported but
+    /// undecidable in general — bound the search via `opts.max_states`).
+    pub fn check_data_agnostic(
+        &mut self,
+        protocol: &DataAgnosticProtocol,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        let saved = self.save_masks();
+        let result = self.check_data_agnostic_inner(protocol, opts);
+        self.restore_masks(saved);
+        result
+    }
+
+    fn check_data_agnostic_inner(
+        &mut self,
+        protocol: &DataAgnosticProtocol,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        if opts.require_input_bounded {
+            if let Err(vs) = self.composition().check_input_bounded(opts.ib_options) {
+                return Err(VerifyError::NotInputBounded(vs));
+            }
+        }
+        let atoms_fo = protocol.observation_atoms(self.composition());
+        let mut observed = BTreeSet::new();
+        for fo in &atoms_fo {
+            observed.extend(fo.relations());
+        }
+        self.composition_mut().observe_flags(&observed);
+        self.composition_mut().freeze_unobserved(&observed);
+
+        let mut atoms = AtomRegistry::new();
+        for fo in atoms_fo {
+            atoms.push(fo);
+        }
+        let violation_nba = complement_protocol(&protocol.automaton);
+        let domain = self.protocol_domain(opts);
+        self.run_protocol_search(&violation_nba, atoms, &domain, &[], opts)
+    }
+
+    /// Checks a data-aware conversation protocol with observer-at-recipient
+    /// semantics (Theorem 4.5). Guards must be input-bounded when
+    /// `opts.require_input_bounded` is set.
+    pub fn check_data_aware(
+        &mut self,
+        protocol: &DataAwareProtocol,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        let saved = self.save_masks();
+        let result = self.check_data_aware_inner(protocol, opts);
+        self.restore_masks(saved);
+        result
+    }
+
+    fn check_data_aware_inner(
+        &mut self,
+        protocol: &DataAwareProtocol,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        if opts.require_input_bounded {
+            let mut violations = Vec::new();
+            if let Err(vs) = self.composition().check_input_bounded(opts.ib_options) {
+                violations.extend(vs);
+            }
+            for g in &protocol.guards {
+                if let Err(vs) = check_input_bounded_fo(g, self.composition(), opts.ib_options) {
+                    violations.extend(vs);
+                }
+            }
+            if !violations.is_empty() {
+                return Err(VerifyError::NotInputBounded(violations));
+            }
+        }
+        let mut observed = BTreeSet::new();
+        for g in &protocol.guards {
+            observed.extend(g.relations());
+        }
+        self.composition_mut().observe_flags(&observed);
+        self.composition_mut().freeze_unobserved(&observed);
+
+        let violation_nba = complement_protocol(&protocol.automaton);
+        let domain = self.protocol_domain(opts);
+        let vars = protocol.free_vars();
+        let (constants, fresh) = self.split_domain(&domain);
+        let mut total = Report {
+            outcome: Outcome::Holds,
+            stats: SearchStats::default(),
+            domain: domain.clone(),
+            valuations_checked: 0,
+        };
+        for valuation in canonical_valuations(&vars, &constants, &fresh) {
+            total.valuations_checked += 1;
+            let mut atoms = AtomRegistry::new();
+            for g in &protocol.guards {
+                atoms.push(g.substitute(&|v| valuation.get(&v).copied()));
+            }
+            match self.run_protocol_search(
+                &violation_nba,
+                atoms,
+                &domain,
+                &vars.iter().map(|v| (*v, valuation[v])).collect::<Vec<_>>(),
+                opts,
+            )? {
+                Report {
+                    outcome: Outcome::Violated(cex),
+                    stats,
+                    ..
+                } => {
+                    total.stats.states_visited += stats.states_visited;
+                    total.stats.transitions_explored += stats.transitions_explored;
+                    total.outcome = Outcome::Violated(cex);
+                    return Ok(total);
+                }
+                Report { stats, .. } => {
+                    total.stats.states_visited += stats.states_visited;
+                    total.stats.transitions_explored += stats.transitions_explored;
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Domain for protocol checks: rule constants plus fresh values.
+    fn protocol_domain(&mut self, opts: &VerifyOptions) -> Vec<Value> {
+        let trivially_closed = ddws_logic::LtlFoSentence {
+            universal_vars: vec![],
+            body: ddws_logic::LtlFo::tt(),
+        };
+        self.domain_for(&trivially_closed, opts)
+    }
+
+    fn run_protocol_search(
+        &mut self,
+        violation_nba: &Nba,
+        atoms: AtomRegistry,
+        domain: &[Value],
+        valuation: &[(ddws_logic::VarId, Value)],
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        let (base_db, universe) = self.database_setup_pub(&opts.database, domain);
+        let comp = self.composition();
+        let shared = SharedSearch::new();
+        let system =
+            ProductSystem::new(comp, &base_db, &universe, domain, violation_nba, &atoms, &shared);
+        let (lasso, stats) =
+            find_accepting_lasso_budget(&system, opts.max_states).map_err(VerifyError::Budget)?;
+        let outcome = match lasso {
+            None => Outcome::Holds,
+            Some(lasso) => {
+                let vars: Vec<ddws_logic::VarId> = valuation.iter().map(|(v, _)| *v).collect();
+                let map: std::collections::HashMap<ddws_logic::VarId, Value> =
+                    valuation.iter().copied().collect();
+                let cex: Counterexample = build_counterexample(
+                    &system,
+                    &base_db,
+                    &universe,
+                    &vars,
+                    &map,
+                    lasso.prefix,
+                    lasso.cycle,
+                );
+                Outcome::Violated(Box::new(cex))
+            }
+        };
+        Ok(Report {
+            outcome,
+            stats,
+            domain: domain.to_vec(),
+            valuations_checked: 1,
+        })
+    }
+}

@@ -1,0 +1,436 @@
+//! The top-level verification API.
+
+use crate::counterexample::{Counterexample, RunStep};
+use crate::domain::suggested_fresh_values;
+use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
+use crate::oracle::{FactUniverse, Oracle};
+use crate::product::{PState, ProductSystem, SharedSearch};
+use ddws_automata::emptiness::{find_accepting_lasso_budget, BudgetExceeded, SearchStats};
+use ddws_automata::{ltl_to_nba, Ltl};
+use ddws_logic::input_bounded::{check_input_bounded_sentence, IbOptions, IbViolation};
+use ddws_logic::parser::{parse_sentence, ParseError, Resolver};
+use ddws_logic::{LtlFoSentence, VarId};
+use ddws_model::builder::collect_constants;
+use ddws_model::Composition;
+use ddws_relational::{Instance, RelId, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How the ∃-quantification over databases is handled.
+#[derive(Clone, Debug, Default)]
+pub enum DatabaseMode {
+    /// Verify runs over one concrete database (useful for testing a
+    /// deployment; not a proof over all databases).
+    Fixed(Instance),
+    /// Sound-and-complete verification over **all** databases with active
+    /// domain inside the verification domain, via the lazy oracle.
+    #[default]
+    AllDatabases,
+}
+
+/// Verification options.
+#[derive(Clone, Debug)]
+pub struct VerifyOptions {
+    /// Database handling.
+    pub database: DatabaseMode,
+    /// Number of fresh ("arbitrary distinct") domain values; `None` applies
+    /// the heuristic of [`suggested_fresh_values`].
+    pub fresh_values: Option<usize>,
+    /// State budget for the product search.
+    pub max_states: u64,
+    /// Enforce input-boundedness of the composition and property before
+    /// checking (the hypothesis of Theorem 3.4). Disable only for
+    /// experiments outside the decidable regime.
+    pub require_input_bounded: bool,
+    /// Input-boundedness checker options.
+    pub ib_options: IbOptions,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            database: DatabaseMode::AllDatabases,
+            fresh_values: None,
+            max_states: 5_000_000,
+            require_input_bounded: true,
+            ib_options: IbOptions::default(),
+        }
+    }
+}
+
+/// Verification failure (as opposed to a property verdict).
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The property failed to parse.
+    Parse(ParseError),
+    /// The composition or property is outside the input-bounded fragment.
+    NotInputBounded(Vec<IbViolation>),
+    /// The search exhausted its state budget.
+    Budget(BudgetExceeded),
+    /// Unsupported configuration.
+    Unsupported(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Parse(e) => write!(f, "{e}"),
+            VerifyError::NotInputBounded(vs) => {
+                writeln!(f, "specification is not input-bounded (§3.1):")?;
+                for v in vs {
+                    writeln!(f, "  - {v}")?;
+                }
+                Ok(())
+            }
+            VerifyError::Budget(b) => write!(f, "{b}"),
+            VerifyError::Unsupported(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl From<ParseError> for VerifyError {
+    fn from(e: ParseError) -> Self {
+        VerifyError::Parse(e)
+    }
+}
+
+/// The verdict.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Every run over every database (within the domain bound) satisfies
+    /// the property.
+    Holds,
+    /// A violating run exists.
+    Violated(Box<Counterexample>),
+}
+
+impl Outcome {
+    /// Whether the property holds.
+    pub fn holds(&self) -> bool {
+        matches!(self, Outcome::Holds)
+    }
+}
+
+/// Verification report.
+#[derive(Debug)]
+pub struct Report {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// Aggregate search statistics across all valuations checked.
+    pub stats: SearchStats,
+    /// The verification domain used.
+    pub domain: Vec<Value>,
+    /// Number of universal-closure valuations examined.
+    pub valuations_checked: usize,
+}
+
+/// The verifier: owns the composition (its symbol/variable tables grow as
+/// properties are parsed) and a pool of fresh domain values reused across
+/// checks.
+pub struct Verifier {
+    comp: Composition,
+    fresh_pool: Vec<Value>,
+}
+
+impl Verifier {
+    /// Wraps a composition for verification.
+    pub fn new(comp: Composition) -> Self {
+        Verifier {
+            comp,
+            fresh_pool: Vec::new(),
+        }
+    }
+
+    /// The composition under verification.
+    pub fn composition(&self) -> &Composition {
+        &self.comp
+    }
+
+    /// Mutable access (e.g. to tweak [`Semantics`](ddws_model::Semantics)
+    /// between checks).
+    pub fn composition_mut(&mut self) -> &mut Composition {
+        &mut self.comp
+    }
+
+    /// Parses an LTL-FO sentence over the composition schema (qualified
+    /// names: `O.customer`, `O.?apply`, `CR.!rating`, `move_O`, …).
+    pub fn parse_property(&mut self, src: &str) -> Result<LtlFoSentence, VerifyError> {
+        let comp = &mut self.comp;
+        let mut resolver = Resolver {
+            voc: &comp.voc,
+            vars: &mut comp.vars,
+            symbols: &mut comp.symbols,
+        };
+        Ok(parse_sentence(src, &mut resolver)?)
+    }
+
+    /// Ensures the fresh pool holds at least `n` values and returns them.
+    fn fresh(&mut self, n: usize) -> &[Value] {
+        while self.fresh_pool.len() < n {
+            self.fresh_pool.push(self.comp.symbols.fresh("_d"));
+        }
+        &self.fresh_pool[..n]
+    }
+
+    /// The verification domain for a property under the given options.
+    pub fn domain_for(&mut self, property: &LtlFoSentence, opts: &VerifyOptions) -> Vec<Value> {
+        let fresh_n = opts
+            .fresh_values
+            .unwrap_or_else(|| suggested_fresh_values(&self.comp, property));
+        let mut dom: BTreeSet<Value> = self.comp.rule_constants.iter().copied().collect();
+        property.body.visit_fo(&mut |fo| {
+            let mut cs = BTreeSet::new();
+            collect_constants(fo, &mut cs);
+            dom.extend(cs);
+        });
+        if let DatabaseMode::Fixed(db) = &opts.database {
+            dom.extend(db.active_domain());
+        }
+        dom.extend(self.fresh(fresh_n).iter().copied());
+        dom.into_iter().collect()
+    }
+
+    /// Saves the composition's observation masks (restored after a check so
+    /// verification tuning never leaks into direct uses of the composition).
+    pub(crate) fn save_masks(&self) -> (Vec<bool>, Vec<bool>, Vec<bool>) {
+        (
+            self.comp.observed_received.clone(),
+            self.comp.observed_sent.clone(),
+            self.comp.frozen.clone(),
+        )
+    }
+
+    /// Restores masks saved by [`Verifier::save_masks`].
+    pub(crate) fn restore_masks(&mut self, saved: (Vec<bool>, Vec<bool>, Vec<bool>)) {
+        self.comp.observed_received = saved.0;
+        self.comp.observed_sent = saved.1;
+        self.comp.frozen = saved.2;
+    }
+
+    /// Checks `C ⊨ property` (Theorem 3.4's decision procedure).
+    pub fn check(
+        &mut self,
+        property: &LtlFoSentence,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        let saved = self.save_masks();
+        let result = self.check_inner(property, opts);
+        self.restore_masks(saved);
+        result
+    }
+
+    fn check_inner(
+        &mut self,
+        property: &LtlFoSentence,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        if opts.require_input_bounded {
+            let mut violations = Vec::new();
+            if let Err(vs) = self.comp.check_input_bounded(opts.ib_options) {
+                violations.extend(vs);
+            }
+            if let Err(vs) = check_input_bounded_sentence(property, &self.comp, opts.ib_options) {
+                violations.extend(vs);
+            }
+            if !violations.is_empty() {
+                return Err(VerifyError::NotInputBounded(violations));
+            }
+        }
+
+        // Track only the received/sent flags the property observes — the
+        // others would double the configuration space per channel for
+        // nothing.
+        let mut observed = BTreeSet::new();
+        property.body.visit_fo(&mut |fo| {
+            observed.extend(fo.relations());
+        });
+        self.comp.observe_flags(&observed);
+        self.comp.freeze_unobserved(&observed);
+
+        let domain = self.domain_for(property, opts);
+        let (base_db, universe) = self.database_setup(&opts.database, &domain);
+
+        let negated_body = ddws_logic::LtlFo::not(property.body.clone());
+        let shared = SharedSearch::new();
+        let mut stats = SearchStats::default();
+        // Fresh values are interchangeable: check valuations only up to
+        // renaming of the fresh part of the domain. Moreover, the paper
+        // quantifies the universal closure over the *run's* active domain
+        // Dom(rho); with a fixed database and a closed composition, fresh
+        // values can never enter any run (no rule, message or input can
+        // introduce them), so valuations touching them are skipped -- this
+        // is exact, not an approximation.
+        let (constants, fresh) = self.split_domain(&domain);
+        let fixed_closed =
+            matches!(opts.database, DatabaseMode::Fixed(_)) && self.comp.is_closed();
+        let fresh_for_closure: &[Value] = if fixed_closed { &[] } else { &fresh };
+        let valuations =
+            canonical_valuations(&property.universal_vars, &constants, fresh_for_closure);
+        let valuations_checked = valuations.len();
+        for valuation in valuations {
+            let mut atoms = AtomRegistry::new();
+            let ltl: Ltl = ground_ltlfo(&negated_body, &valuation, &mut atoms);
+            let nba = ltl_to_nba(&ltl);
+            let system =
+                ProductSystem::new(&self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared);
+            let (lasso, s) = find_accepting_lasso_budget(&system, opts.max_states)
+                .map_err(VerifyError::Budget)?;
+            stats.states_visited += s.states_visited;
+            stats.transitions_explored += s.transitions_explored;
+            if let Some(lasso) = lasso {
+                let cex = build_counterexample(
+                    &system,
+                    &base_db,
+                    &universe,
+                    &property.universal_vars,
+                    &valuation,
+                    lasso.prefix,
+                    lasso.cycle,
+                );
+                return Ok(Report {
+                    outcome: Outcome::Violated(Box::new(cex)),
+                    stats,
+                    domain,
+                    valuations_checked,
+                });
+            }
+        }
+        Ok(Report {
+            outcome: Outcome::Holds,
+            stats,
+            domain,
+            valuations_checked,
+        })
+    }
+
+    /// Convenience: parse then check.
+    pub fn check_str(&mut self, property: &str, opts: &VerifyOptions) -> Result<Report, VerifyError> {
+        let p = self.parse_property(property)?;
+        self.check(&p, opts)
+    }
+
+    /// Splits a domain into (constants, fresh) parts — fresh values are the
+    /// pool-minted ones, interchangeable under valuation symmetry.
+    pub(crate) fn split_domain(&self, domain: &[Value]) -> (Vec<Value>, Vec<Value>) {
+        let fresh: Vec<Value> = domain
+            .iter()
+            .copied()
+            .filter(|v| self.fresh_pool.contains(v))
+            .collect();
+        let constants: Vec<Value> = domain
+            .iter()
+            .copied()
+            .filter(|v| !self.fresh_pool.contains(v))
+            .collect();
+        (constants, fresh)
+    }
+
+    pub(crate) fn database_setup_pub(
+        &self,
+        mode: &DatabaseMode,
+        domain: &[Value],
+    ) -> (Instance, FactUniverse) {
+        self.database_setup(mode, domain)
+    }
+
+    fn database_setup(&self, mode: &DatabaseMode, domain: &[Value]) -> (Instance, FactUniverse) {
+        match mode {
+            DatabaseMode::Fixed(db) => (db.clone(), FactUniverse::default()),
+            DatabaseMode::AllDatabases => {
+                let db_rels: Vec<RelId> = self
+                    .comp
+                    .peers
+                    .iter()
+                    .flat_map(|p| p.database.iter().copied())
+                    .collect();
+                (
+                    Instance::empty(&self.comp.voc),
+                    FactUniverse::new(&self.comp.voc, &db_rels, domain),
+                )
+            }
+        }
+    }
+}
+
+/// Rebuilds a [`Counterexample`] from a product lasso: fork (oracle-growth)
+/// pseudo-steps are elided, the final oracle is materialized as the
+/// witnessing database.
+pub(crate) fn build_counterexample(
+    system: &ProductSystem<'_>,
+    base_db: &Instance,
+    universe: &FactUniverse,
+    universal_vars: &[VarId],
+    valuation: &std::collections::HashMap<VarId, Value>,
+    prefix: Vec<PState>,
+    cycle: Vec<PState>,
+) -> Counterexample {
+    let comp = system.comp;
+    // The largest oracle along the path is the one of the cycle states
+    // (oracles only grow, and never grow inside a cycle).
+    let final_oracle: Oracle = match cycle.first() {
+        Some(PState::Run { oracle, .. }) | Some(PState::Boot { oracle }) => {
+            (*system.oracle(*oracle)).clone()
+        }
+        None => Oracle::undecided(universe.len()),
+    };
+    let mut database = base_db.clone();
+    let decided = final_oracle.materialize(&comp.voc, universe);
+    for (rel, _) in comp.voc.iter() {
+        let r = decided.relation(rel);
+        if !r.is_empty() {
+            database.set_relation(rel, database.relation(rel).union(r));
+        }
+    }
+
+    // Elide fork steps: a state is a real snapshot iff the next state on the
+    // path has the same oracle (fork edges strictly grow it) — the last
+    // state before the cycle and all cycle states are always real.
+    let oracle_of = |s: &PState| -> u32 {
+        match s {
+            PState::Boot { oracle } | PState::Run { oracle, .. } => *oracle,
+        }
+    };
+    let full: Vec<PState> = prefix.iter().chain(cycle.iter()).copied().collect();
+    let mut steps: Vec<RunStep> = Vec::new();
+    let mut cycle_start_in_steps = 0;
+    for (i, s) in full.iter().enumerate() {
+        let is_fork_source = full
+            .get(i + 1)
+            .map(|n| oracle_of(n) != oracle_of(s))
+            .unwrap_or(false);
+        if i == prefix.len() {
+            cycle_start_in_steps = steps.len();
+        }
+        if is_fork_source {
+            continue;
+        }
+        if let PState::Run {
+            config, mover, ..
+        } = s
+        {
+            steps.push(RunStep {
+                config: (*system.config(*config)).clone(),
+                mover: *mover,
+            });
+        }
+    }
+    let cycle_steps = steps.split_off(cycle_start_in_steps);
+    let frozen_rels: Vec<String> = comp
+        .voc
+        .iter()
+        .filter(|(rel, _)| comp.frozen[rel.index()])
+        .map(|(_, d)| d.name.clone())
+        .collect();
+    Counterexample {
+        database,
+        frozen_rels,
+        valuation: universal_vars
+            .iter()
+            .map(|v| (*v, *valuation.get(v).expect("valuation covers closure")))
+            .collect(),
+        prefix: steps,
+        cycle: cycle_steps,
+    }
+}

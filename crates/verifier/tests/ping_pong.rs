@@ -1,0 +1,156 @@
+//! End-to-end verification of a small two-peer composition through the full
+//! pipeline: builder → input-boundedness → grounding → tableau → lazy-oracle
+//! product search.
+
+use ddws_model::{CompositionBuilder, Composition, QueueKind};
+use ddws_relational::{Instance, Tuple, Value};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+/// Alice greets a friend (user input), sends `ping`; Bob records `seen` and
+/// pongs back; Alice records `ponged`.
+fn ping_pong(lossy: bool) -> Composition {
+    let mut b = CompositionBuilder::new();
+    b.default_lossy(lossy);
+    b.channel("ping", 1, QueueKind::Flat, "Alice", "Bob");
+    b.channel("pong", 1, QueueKind::Flat, "Bob", "Alice");
+    b.peer("Alice")
+        .database("friend", 1)
+        .state("ponged", 1)
+        .input("greet", 1)
+        .input_rule("greet", &["x"], "friend(x)")
+        .state_insert_rule("ponged", &["x"], "?pong(x)")
+        .send_rule("ping", &["x"], "greet(x)");
+    b.peer("Bob")
+        .state("seen", 1)
+        .state_insert_rule("seen", &["x"], "?ping(x)")
+        .send_rule("pong", &["x"], "?ping(x)");
+    b.build().unwrap()
+}
+
+fn opts() -> VerifyOptions {
+    VerifyOptions {
+        fresh_values: Some(2),
+        ..VerifyOptions::default()
+    }
+}
+
+#[test]
+fn pings_only_carry_friends() {
+    // Every received ping names a database friend: holds over ALL databases
+    // because greet options are restricted to friends.
+    let mut v = Verifier::new(ping_pong(true));
+    let report = v
+        .check_str(
+            "G (forall x: Bob.?ping(x) -> Alice.friend(x))",
+            &opts(),
+        )
+        .unwrap();
+    assert!(report.outcome.holds(), "stats: {:?}", report.stats);
+    assert!(report.stats.states_visited > 0);
+}
+
+#[test]
+fn some_database_delivers_a_ping() {
+    // "No ping is ever received" is violated: the oracle invents a friend,
+    // the user greets them, the channel delivers.
+    let mut v = Verifier::new(ping_pong(true));
+    let report = v
+        .check_str("G (forall x: Bob.?ping(x) -> false)", &opts())
+        .unwrap();
+    match report.outcome {
+        ddws_verifier::Outcome::Violated(cex) => {
+            // The witnessing database must contain a friend.
+            let friend = v.composition().voc.lookup("Alice.friend").unwrap();
+            assert!(!cex.database.relation(friend).is_empty());
+            assert!(!cex.cycle.is_empty());
+            // Render it (smoke test for the pretty printer).
+            let rendered = cex.display(v.composition()).to_string();
+            assert!(rendered.contains("counterexample run"), "{rendered}");
+        }
+        other => panic!("expected violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn lossy_channels_break_responsiveness() {
+    // Every greeting is eventually seen by Bob — fails: the channel may
+    // drop the ping (and the scheduler may never run Bob).
+    let mut v = Verifier::new(ping_pong(true));
+    let report = v
+        .check_str("forall x: G (Alice.greet(x) -> F Bob.seen(x))", &opts())
+        .unwrap();
+    assert!(!report.outcome.holds());
+}
+
+#[test]
+fn monotone_state_stays() {
+    // `seen` has no deletion rule: once recorded, forever recorded.
+    let mut v = Verifier::new(ping_pong(true));
+    let report = v
+        .check_str("forall x: G (Bob.seen(x) -> X Bob.seen(x))", &opts())
+        .unwrap();
+    assert!(report.outcome.holds());
+}
+
+#[test]
+fn fixed_database_mode() {
+    let comp = ping_pong(true);
+    let friend = comp.voc.lookup("Alice.friend").unwrap();
+
+    // Empty database: nobody can be greeted, no ping is ever received.
+    let mut v = Verifier::new(comp);
+    let empty_db = Instance::empty(&v.composition().voc);
+    let report = v
+        .check_str(
+            "G (forall x: Bob.?ping(x) -> false)",
+            &VerifyOptions {
+                database: DatabaseMode::Fixed(empty_db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(report.outcome.holds(), "no friends, no pings");
+
+    // One friend: a ping can arrive.
+    let mut db = Instance::empty(&v.composition().voc);
+    db.relation_mut(friend).insert(Tuple::new(vec![Value(0)]));
+    let report = v
+        .check_str(
+            "G (forall x: Bob.?ping(x) -> false)",
+            &VerifyOptions {
+                database: DatabaseMode::Fixed(db),
+                fresh_values: Some(1),
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(!report.outcome.holds());
+}
+
+#[test]
+fn budget_is_enforced() {
+    let mut v = Verifier::new(ping_pong(true));
+    let err = v
+        .check_str(
+            "G (forall x: Bob.?ping(x) -> Alice.friend(x))",
+            &VerifyOptions {
+                max_states: 10,
+                fresh_values: Some(2),
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, ddws_verifier::VerifyError::Budget(_)));
+}
+
+#[test]
+fn non_input_bounded_property_rejected() {
+    // ∃x over a state atom has no admissible guard (state atoms may not
+    // bind quantified variables — the heart of §3.1).
+    let mut v = Verifier::new(ping_pong(true));
+    let err = v
+        .check_str("G (exists x: Alice.ponged(x))", &opts())
+        .unwrap_err();
+    assert!(matches!(err, ddws_verifier::VerifyError::NotInputBounded(_)));
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the verifier itself.
+
+use ddws_model::{Composition, CompositionBuilder, QueueKind};
+use ddws_relational::{Instance, Tuple};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+use proptest::prelude::*;
+
+fn ping(lossy: bool) -> Composition {
+    let mut b = CompositionBuilder::new();
+    b.default_lossy(lossy);
+    b.channel("ping", 1, QueueKind::Flat, "A", "B");
+    b.peer("A")
+        .database("friend", 1)
+        .input("greet", 1)
+        .input_rule("greet", &["x"], "friend(x)")
+        .send_rule("ping", &["x"], "greet(x)");
+    b.peer("B")
+        .state("seen", 1)
+        .state_insert_rule("seen", &["x"], "?ping(x)");
+    b.build().unwrap()
+}
+
+const HOLDS: &str = "G (forall x: B.?ping(x) -> A.friend(x))";
+const VIOLATED: &str = "G (forall x: B.?ping(x) -> false)";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Verdicts are stable as the fresh-domain bound grows (the small-model
+    /// property: once large enough, more fresh values change nothing).
+    #[test]
+    fn verdicts_stable_in_fresh_domain(fresh in 1usize..4, lossy in any::<bool>()) {
+        let mut v = Verifier::new(ping(lossy));
+        let opts = VerifyOptions {
+            fresh_values: Some(fresh),
+            ..VerifyOptions::default()
+        };
+        let holds = v.check_str(HOLDS, &opts).unwrap();
+        prop_assert!(holds.outcome.holds());
+        let violated = v.check_str(VIOLATED, &opts).unwrap();
+        prop_assert!(!violated.outcome.holds());
+    }
+
+    /// All-databases violation implies a fixed-database violation over the
+    /// counterexample's own database (the oracle's witness is replayable).
+    #[test]
+    fn oracle_witness_replays_under_fixed_database(lossy in any::<bool>()) {
+        let mut v = Verifier::new(ping(lossy));
+        let opts = VerifyOptions {
+            fresh_values: Some(2),
+            ..VerifyOptions::default()
+        };
+        let report = v.check_str(VIOLATED, &opts).unwrap();
+        let cex = match report.outcome {
+            ddws_verifier::Outcome::Violated(c) => c,
+            _ => return Err(TestCaseError::fail("expected violation")),
+        };
+        let replay = v
+            .check_str(
+                VIOLATED,
+                &VerifyOptions {
+                    database: DatabaseMode::Fixed(cex.database.clone()),
+                    fresh_values: Some(1),
+                    ..VerifyOptions::default()
+                },
+            )
+            .unwrap();
+        prop_assert!(!replay.outcome.holds(), "witness database must replay");
+    }
+
+    /// Fixed-database verdicts are monotone under database growth for the
+    /// violated reachability property: adding friends cannot *unviolate* it.
+    #[test]
+    fn violations_monotone_in_database(n in 1usize..4) {
+        let mut v = Verifier::new(ping(true));
+        let mut db = Instance::empty(&v.composition().voc);
+        let friend = v.composition().voc.lookup("A.friend").unwrap();
+        for i in 0..n {
+            let val = v.composition_mut().symbols.intern(&format!("f{i}"));
+            db.relation_mut(friend).insert(Tuple::new(vec![val]));
+        }
+        let report = v
+            .check_str(
+                VIOLATED,
+                &VerifyOptions {
+                    database: DatabaseMode::Fixed(db),
+                    fresh_values: Some(1),
+                    ..VerifyOptions::default()
+                },
+            )
+            .unwrap();
+        prop_assert!(!report.outcome.holds());
+    }
+}
+
+#[test]
+fn open_composition_with_all_databases() {
+    // Environment moves and the lazy oracle compose: the environment can
+    // deliver any domain value, so "got only holds database values" is
+    // violated regardless of the database.
+    use ddws_model::builder::ENV;
+    use ddws_model::QueueKind;
+    let mut b = ddws_model::CompositionBuilder::new();
+    b.default_lossy(true);
+    b.channel("resp", 1, QueueKind::Flat, ENV, "P");
+    b.peer("P")
+        .database("d", 1)
+        .state("got", 1)
+        .state_insert_rule("got", &["x"], "?resp(x)");
+    let mut v = Verifier::new(b.build().unwrap());
+    let report = v
+        .check_str(
+            "G (forall x: P.?resp(x) -> P.d(x))",
+            &VerifyOptions {
+                fresh_values: Some(2),
+                ..VerifyOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(
+        !report.outcome.holds(),
+        "the unconstrained environment can send values outside d"
+    );
+}

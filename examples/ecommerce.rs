@@ -1,0 +1,33 @@
+//! The introduction's motivating scenario: a storefront that charges cards
+//! through an external payment-gateway Web service.
+//!
+//! Run with `cargo run --release --example ecommerce`.
+
+use ddws::scenarios::ecommerce;
+use ddws_model::Semantics;
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+fn main() {
+    let mut verifier = Verifier::new(ecommerce::composition(true, Semantics::default()));
+    let db = ecommerce::demo_database(verifier.composition_mut());
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        ..VerifyOptions::default()
+    };
+
+    for (name, prop) in [
+        ("confirmed charges use valid cards", ecommerce::PROP_CHARGES_ARE_VALID),
+        ("only catalog items ship", ecommerce::PROP_SHIP_FROM_CATALOG),
+    ] {
+        match verifier.check_str(prop, &opts) {
+            Ok(report) => println!(
+                "[{name}] {} ({} states, {} valuations)",
+                if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+                report.stats.states_visited,
+                report.valuations_checked
+            ),
+            Err(e) => println!("[{name}] error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Modular verification (Section 5): verify the officer-side client of a
+//! credit agency when the agency's implementation is *not* available —
+//! only its declared input-output behaviour (Example 5.1's spec shape).
+//!
+//! Run with `cargo run --release --example modular_loan`.
+
+use ddws_model::{builder::ENV, CompositionBuilder, QueueKind};
+use ddws_relational::{Instance, Tuple};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+fn main() {
+    // The officer as an *open* composition: the credit agency is the
+    // environment.
+    let mut b = CompositionBuilder::new();
+    b.channel("getRating", 1, QueueKind::Flat, "O", ENV);
+    b.channel("rating", 2, QueueKind::Flat, ENV, "O");
+    b.peer("O")
+        .database("customer", 2) // (id, ssn)
+        .state("rated", 2)
+        .input("check", 1)
+        .input_rule("check", &["ssn"], "exists id: customer(id, ssn)")
+        .send_rule("getRating", &["ssn"], "check(ssn)")
+        .state_insert_rule("rated", &["ssn", "r"], "?rating(ssn, r)");
+    let mut verifier = Verifier::new(b.build().expect("open composition"));
+
+    let mut db = Instance::empty(&verifier.composition().voc);
+    let c1 = verifier.composition_mut().symbols.intern("c1");
+    let s1 = verifier.composition_mut().symbols.intern("s1");
+    let customer = verifier.composition().voc.lookup("O.customer").unwrap();
+    db.relation_mut(customer).insert(Tuple::new(vec![c1, s1]));
+
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        ..VerifyOptions::default()
+    };
+
+    // The property: recorded ratings come from the agency's category list.
+    let property = verifier
+        .parse_property(
+            "G (forall ssn, r: O.?rating(ssn, r) -> \
+               (r = \"poor\" or r = \"fair\" or r = \"good\" or r = \"excellent\"))",
+        )
+        .unwrap();
+
+    // Without any environment assumption: the agency could answer anything.
+    let unconstrained = verifier.check(&property, &opts).unwrap();
+    println!(
+        "without environment spec: {}",
+        if unconstrained.outcome.holds() { "HOLDS" } else { "VIOLATED" }
+    );
+
+    // Under Example 5.1's spec: replies use the pre-defined category list.
+    let spec = verifier
+        .parse_env_spec(
+            "G (forall ssn, r: ENV.!rating(ssn, r) -> \
+               (r = \"poor\" or r = \"fair\" or r = \"good\" or r = \"excellent\"))",
+        )
+        .unwrap();
+    let modular = verifier.check_modular(&property, &spec, &opts).unwrap();
+    println!(
+        "under the Example 5.1 spec: {} ({} states, {} valuations)",
+        if modular.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        modular.stats.states_visited,
+        modular.valuations_checked
+    );
+}

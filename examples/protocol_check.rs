@@ -1,0 +1,115 @@
+//! Conversation protocols (Section 4): data-agnostic and data-aware
+//! checks on a request/response composition, Example 4.1 style.
+//!
+//! Run with `cargo run --release --example protocol_check`.
+
+use ddws_model::{CompositionBuilder, QueueKind};
+use ddws_protocol::{automata_shapes, DataAgnosticProtocol, DataAwareProtocol, Observer};
+use ddws_relational::{Instance, Tuple};
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+fn main() {
+    let mut b = CompositionBuilder::new();
+    b.channel("getRating", 1, QueueKind::Flat, "O", "CR");
+    b.channel("rating", 2, QueueKind::Flat, "CR", "O");
+    b.peer("O")
+        .database("customer", 1)
+        .input("check", 1)
+        .input_rule("check", &["ssn"], "customer(ssn)")
+        .send_rule("getRating", &["ssn"], "check(ssn)");
+    b.peer("CR")
+        .database("creditRating", 2)
+        .send_rule(
+            "rating",
+            &["ssn", "cat"],
+            "?getRating(ssn) and creditRating(ssn, cat)",
+        );
+    let mut verifier = Verifier::new(b.build().expect("composition"));
+
+    let mut db = Instance::empty(&verifier.composition().voc);
+    let s1 = verifier.composition_mut().symbols.intern("s1");
+    let fair = verifier.composition_mut().symbols.intern("fair");
+    let customer = verifier.composition().voc.lookup("O.customer").unwrap();
+    let credit = verifier.composition().voc.lookup("CR.creditRating").unwrap();
+    db.relation_mut(customer).insert(Tuple::new(vec![s1]));
+    db.relation_mut(credit).insert(Tuple::new(vec![s1, fair]));
+
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        ..VerifyOptions::default()
+    };
+
+    // Example 4.1: G(getRating → F rating). Fails under unfair scheduling
+    // and lossy channels — the paper's decidable observer-at-recipient
+    // placement reports exactly that.
+    let response = DataAgnosticProtocol::new(
+        verifier.composition(),
+        &["getRating", "rating"],
+        automata_shapes::response(2, 0, 1),
+        Observer::AtRecipient,
+    )
+    .unwrap();
+    let report = verifier.check_data_agnostic(&response, &opts).unwrap();
+    println!(
+        "data-agnostic G(getRating -> F rating): {} ({} states)",
+        if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        report.stats.states_visited
+    );
+
+    // No rating may be delivered before the first request.
+    let no_early = {
+        use ddws_automata::{Guard, Nba};
+        let mut nba = Nba::new(2, 2);
+        nba.add_initial(0);
+        nba.add_transition(0, Guard::forbid(1).and(Guard::forbid(0)), 0);
+        nba.add_transition(0, Guard::require(0), 1);
+        nba.add_transition(1, Guard::TOP, 1);
+        nba.accepting[0] = true;
+        nba.accepting[1] = true;
+        DataAgnosticProtocol::new(
+            verifier.composition(),
+            &["getRating", "rating"],
+            nba,
+            Observer::AtRecipient,
+        )
+        .unwrap()
+    };
+    let report = verifier.check_data_agnostic(&no_early, &opts).unwrap();
+    println!(
+        "data-agnostic no-rating-before-request: {} ({} states)",
+        if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        report.stats.states_visited
+    );
+
+    // Data-aware (Definition 4.4): every rating message matches the
+    // agency's database — message *contents*, not just names.
+    let aware = DataAwareProtocol::new(
+        verifier.composition_mut(),
+        &[(
+            "rating_is_db_backed",
+            "forall ssn, cat: CR.!rating(ssn, cat) -> CR.creditRating(ssn, cat)",
+        )],
+        automata_shapes::universal(1), // guard must hold — use G p0:
+    )
+    .unwrap();
+    // G p0 as a deterministic automaton:
+    let aware = {
+        use ddws_automata::{Guard, Nba};
+        let mut nba = Nba::new(1, 1);
+        nba.add_initial(0);
+        nba.add_transition(0, Guard::require(0), 0);
+        nba.accepting[0] = true;
+        DataAwareProtocol {
+            symbols: aware.symbols,
+            guards: aware.guards,
+            automaton: nba,
+        }
+    };
+    let report = verifier.check_data_aware(&aware, &opts).unwrap();
+    println!(
+        "data-aware ratings-match-database: {} ({} states)",
+        if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        report.stats.states_visited
+    );
+}

@@ -1,0 +1,58 @@
+//! # `ddws` — verification of communicating data-driven web services
+//!
+//! Facade crate re-exporting the full public API of the `ddws` workspace, a
+//! Rust implementation of the framework of Deutsch, Sui, Vianu and Zhou,
+//! *"Verification of Communicating Data-Driven Web Services"* (PODS 2006).
+//!
+//! The workspace provides:
+//!
+//! * [`relational`] — values, tuples, relations, instances (the substrate);
+//! * [`logic`] — FO and LTL-FO formulas, parsing, evaluation, and the
+//!   input-boundedness checker of §3.1;
+//! * [`automata`] — Büchi automata, LTL→Büchi translation, complementation,
+//!   emptiness;
+//! * [`model`] — peers, compositions, queue semantics and runs (§2);
+//! * [`protocol`] — data-agnostic and data-aware conversation protocols (§4);
+//! * [`verifier`] — the sound-and-complete model checker for input-bounded
+//!   compositions with bounded lossy queues (§3), the composition→single-peer
+//!   reduction, and modular verification (§5);
+//! * [`boundaries`] — executable witnesses of the undecidability results
+//!   (§3.2, §4, §5).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
+//! EXPERIMENTS.md for the reproduction map.
+//!
+//! ```
+//! use ddws::model::{CompositionBuilder, QueueKind};
+//! use ddws::verifier::{Verifier, VerifyOptions};
+//!
+//! let mut b = CompositionBuilder::new();
+//! b.channel("ping", 1, QueueKind::Flat, "Alice", "Bob");
+//! b.peer("Alice")
+//!     .database("friend", 1)
+//!     .input("greet", 1)
+//!     .input_rule("greet", &["x"], "friend(x)")
+//!     .send_rule("ping", &["x"], "greet(x)");
+//! b.peer("Bob")
+//!     .state("seen", 1)
+//!     .state_insert_rule("seen", &["x"], "?ping(x)");
+//!
+//! let mut verifier = Verifier::new(b.build().unwrap());
+//! let opts = VerifyOptions { fresh_values: Some(2), ..VerifyOptions::default() };
+//! let report = verifier
+//!     .check_str("G (forall x: Bob.?ping(x) -> Alice.friend(x))", &opts)
+//!     .unwrap();
+//! assert!(report.outcome.holds());
+//! ```
+
+
+#![warn(missing_docs)]
+pub mod scenarios;
+
+pub use ddws_automata as automata;
+pub use ddws_boundaries as boundaries;
+pub use ddws_logic as logic;
+pub use ddws_model as model;
+pub use ddws_protocol as protocol;
+pub use ddws_relational as relational;
+pub use ddws_verifier as verifier;

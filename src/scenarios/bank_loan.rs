@@ -1,0 +1,202 @@
+//! The bank-loan composition — the paper's running example.
+//!
+//! Figure 1 of the paper: an applicant (`A`), the loan officer (`O`), the
+//! officer's manager (`M`) and a credit-reporting agency (`CR`), connected
+//! by seven channels:
+//!
+//! ```text
+//!   A --apply--> O --getRating--> CR
+//!                O <--rating----- CR
+//!                O --getHistory-> CR
+//!                O <==history==== CR        (nested)
+//!                O ==recommend==> M         (nested)
+//!                O <--decision--- M
+//! ```
+//!
+//! Peer `O` is transcribed rule-for-rule from Example 2.2 (rules (1)–(10));
+//! the paper leaves `A`, `M` and `CR` unspecified, so they are completed
+//! here in the same input-bounded style. Rules (4)–(6) are reassociated so
+//! each `∃ssn` block carries its guard (`customer` database lookups;
+//! see `IbOptions::allow_database_guards`).
+
+use ddws_model::{Composition, CompositionBuilder, QueueKind, Semantics};
+use ddws_relational::{Instance, Tuple};
+
+/// Builds the bank-loan composition.
+///
+/// `lossy` selects the channel regime: `true` is the decidable regime of
+/// Theorem 3.4; `false` demonstrates the perfect-channel boundary
+/// (Theorem 3.7). `semantics` tunes queue bounds and lookback.
+pub fn composition(lossy: bool, semantics: Semantics) -> Composition {
+    let mut b = CompositionBuilder::new();
+    b.semantics(semantics);
+    b.default_lossy(lossy);
+
+    b.channel("apply", 2, QueueKind::Flat, "A", "O");
+    b.channel("getRating", 1, QueueKind::Flat, "O", "CR");
+    b.channel("rating", 2, QueueKind::Flat, "CR", "O");
+    b.channel("getHistory", 1, QueueKind::Flat, "O", "CR");
+    b.channel("history", 3, QueueKind::Nested, "CR", "O");
+    b.channel("recommend", 8, QueueKind::Nested, "O", "M");
+    b.channel("decision", 2, QueueKind::Flat, "M", "O");
+
+    // --- Applicant -------------------------------------------------------
+    // The customer browses loan products (database `wants`) and submits an
+    // application through the Web interface.
+    b.peer("A")
+        .database("wants", 2)
+        .input("submit", 2)
+        .input_rule("submit", &["id", "loan"], "wants(id, loan)")
+        .send_rule("apply", &["id", "loan"], "submit(id, loan)");
+
+    // --- Loan officer (Example 2.2) --------------------------------------
+    b.peer("O")
+        .database("customer", 3)
+        .input("reccom", 2)
+        .state("application", 2)
+        .state("awaitsHist", 5)
+        .state("awaitsMgr", 7)
+        .action("letter", 4)
+        // (1) recommendation menu
+        .input_rule(
+            "reccom",
+            &["id", "rec"],
+            "exists ssn, name: customer(id, ssn, name) and \
+             (rec = \"approve\" or rec = \"deny\")",
+        )
+        // (2) save incoming applications
+        .state_insert_rule("application", &["id", "loan"], "?apply(id, loan)")
+        // (3) ask the credit agency for the rating
+        .send_rule(
+            "getRating",
+            &["ssn"],
+            "exists id, loan, name: ?apply(id, loan) and customer(id, ssn, name)",
+        )
+        // (4)–(6) letters: automatic approval/denial on extreme ratings,
+        // otherwise whatever the manager decided
+        .action_rule(
+            "letter",
+            &["id", "name", "loan", "dec"],
+            "(exists ssn: customer(id, ssn, name) and application(id, loan) and \
+               (?rating(ssn, \"excellent\") and dec = \"approved\" \
+                or ?rating(ssn, \"poor\") and dec = \"denied\")) \
+             or (?decision(id, dec) and application(id, loan) and \
+                 (exists ssn: customer(id, ssn, name)))",
+        )
+        // (7) middle ratings: fetch the full history
+        .send_rule(
+            "getHistory",
+            &["ssn"],
+            "exists r: ?rating(ssn, r) and not (r = \"excellent\" or r = \"poor\")",
+        )
+        // (8) remember who awaits the history
+        .state_insert_rule(
+            "awaitsHist",
+            &["id", "ssn", "name", "loan", "r"],
+            "?rating(ssn, r) and not (r = \"excellent\" or r = \"poor\") and \
+             application(id, loan) and customer(id, ssn, name)",
+        )
+        // (9) join the history with the pending application
+        .state_insert_rule(
+            "awaitsMgr",
+            &["id", "ssn", "name", "loan", "r", "acc", "bal"],
+            "?history(ssn, acc, bal) and awaitsHist(id, ssn, name, loan, r)",
+        )
+        // (10) forward everything to the manager with the recommendation
+        .send_rule(
+            "recommend",
+            &["id", "ssn", "name", "loan", "rec", "r", "acc", "bal"],
+            "reccom(id, rec) and awaitsMgr(id, ssn, name, loan, r, acc, bal)",
+        );
+
+    // --- Manager ----------------------------------------------------------
+    b.peer("M")
+        .database("customer", 3)
+        .state("recommended", 8)
+        .input("decide", 2)
+        .state_insert_rule(
+            "recommended",
+            &["id", "ssn", "name", "loan", "rec", "r", "acc", "bal"],
+            "?recommend(id, ssn, name, loan, rec, r, acc, bal)",
+        )
+        .input_rule(
+            "decide",
+            &["id", "dec"],
+            "exists ssn, name: customer(id, ssn, name) and \
+             (dec = \"approved\" or dec = \"denied\")",
+        )
+        .send_rule("decision", &["id", "dec"], "decide(id, dec)");
+
+    // --- Credit reporting agency ------------------------------------------
+    b.peer("CR")
+        .database("creditRating", 2)
+        .database("creditHistory", 3)
+        .send_rule(
+            "rating",
+            &["ssn", "cat"],
+            "?getRating(ssn) and creditRating(ssn, cat)",
+        )
+        .send_rule(
+            "history",
+            &["ssn", "acc", "bal"],
+            "?getHistory(ssn) and creditHistory(ssn, acc, bal)",
+        );
+
+    b.build().expect("bank-loan composition is well-formed")
+}
+
+/// Property (11) of Example 3.2: every application from a known customer
+/// eventually results in an approval or denial letter.
+pub const PROP_EVERY_APPLICATION_ANSWERED: &str = "forall id, l, name, ssn: \
+     G ((O.?apply(id, l) and O.customer(id, ssn, name)) -> \
+        F (O.letter(id, name, l, \"denied\") or O.letter(id, name, l, \"approved\")))";
+
+/// The second property of Example 3.2 (bank policy): approval letters only
+/// after an excellent rating or a manager approval.
+pub const PROP_APPROVALS_JUSTIFIED: &str = "forall id, name, loan: \
+     ((exists ssn: CR.!rating(ssn, \"excellent\") and O.customer(id, ssn, name)) \
+      or M.!decision(id, \"approved\")) \
+     B (not O.letter(id, name, loan, \"approved\"))";
+
+/// A *strict* (closure-free) invariant: rating replies always reflect the
+/// credit agency's database. Every quantifier is guarded by the flat
+/// in-queue atom, so this is one valuation — the cheapest kind of check.
+pub const PROP_RATINGS_REFLECT_DB: &str =
+    "G (forall ssn, cat: O.?rating(ssn, cat) -> CR.creditRating(ssn, cat))";
+
+/// A strict invariant that is *violated*: "no rating reply is ever
+/// received". Its counterexample walks the whole pipeline
+/// A → O → CR → O.
+pub const PROP_NO_RATING_EVER: &str = "G (forall ssn, cat: O.?rating(ssn, cat) -> false)";
+
+/// Letters are only produced for recorded applications (two closure
+/// variables).
+pub const PROP_LETTER_IMPLIES_APPLICATION: &str = "forall id, name, loan, dec: \
+     G (O.letter(id, name, loan, dec) -> O.application(id, loan))";
+
+/// A demonstration database: one customer with a "fair" rating and an open
+/// account, so the full pipeline — application, rating, history, manager
+/// recommendation, decision — is live. (Exhaustive "holds" checks explore
+/// the complete run space; one customer keeps that in the tens of
+/// thousands of states.)
+pub fn demo_database(comp: &mut Composition) -> Instance {
+    let mut db = Instance::empty(&comp.voc);
+    let mut val = |n: &str| comp.symbols.intern(n);
+    let c1 = val("c1");
+    let s1 = val("s1");
+    let alice = val("alice");
+    let small = val("small");
+    let fair = val("fair");
+    let (acct, bal) = (val("acct7"), val("bal9"));
+
+    let ins = |db: &mut Instance, comp: &Composition, rel: &str, t: &[ddws_relational::Value]| {
+        let id = comp.voc.lookup(rel).unwrap_or_else(|| panic!("{rel}"));
+        db.relation_mut(id).insert(Tuple::from(t));
+    };
+    ins(&mut db, comp, "A.wants", &[c1, small]);
+    ins(&mut db, comp, "O.customer", &[c1, s1, alice]);
+    ins(&mut db, comp, "M.customer", &[c1, s1, alice]);
+    ins(&mut db, comp, "CR.creditRating", &[s1, fair]);
+    ins(&mut db, comp, "CR.creditHistory", &[s1, acct, bal]);
+    db
+}

@@ -1,0 +1,65 @@
+//! Synthetic relay chains for scaling experiments (EXPERIMENTS.md, E7):
+//! `n` peers `P0 → P1 → … → P{n-1}` forward a token; the state-space size
+//! grows with the chain length, the queue bound and the domain size.
+
+use ddws_model::{Composition, CompositionBuilder, QueueKind, Semantics};
+use ddws_relational::{Instance, Tuple};
+
+/// Builds a relay chain of `n ≥ 2` peers. `P0` picks a token from its
+/// database and sends it down the chain; every peer records what it saw.
+pub fn composition(n: usize, lossy: bool, semantics: Semantics) -> Composition {
+    assert!(n >= 2, "a chain needs at least two peers");
+    let mut b = CompositionBuilder::new();
+    b.semantics(semantics);
+    b.default_lossy(lossy);
+
+    for i in 0..n - 1 {
+        b.channel(
+            &format!("hop{i}"),
+            1,
+            QueueKind::Flat,
+            &format!("P{i}"),
+            &format!("P{}", i + 1),
+        );
+    }
+
+    b.peer("P0")
+        .database("token", 1)
+        .input("emit", 1)
+        .input_rule("emit", &["x"], "token(x)")
+        .send_rule("hop0", &["x"], "emit(x)");
+
+    for i in 1..n {
+        let mut p = b.peer(&format!("P{i}"));
+        p.state("seen", 1).state_insert_rule(
+            "seen",
+            &["x"],
+            &format!("?hop{}(x)", i - 1),
+        );
+        if i < n - 1 {
+            p.send_rule(&format!("hop{i}"), &["x"], &format!("?hop{}(x)", i - 1));
+        }
+    }
+
+    b.build().expect("chain composition is well-formed")
+}
+
+/// A database with `m` candidate tokens.
+pub fn database(comp: &mut Composition, m: usize) -> Instance {
+    let mut db = Instance::empty(&comp.voc);
+    let rel = comp.voc.lookup("P0.token").unwrap();
+    for i in 0..m {
+        let v = comp.symbols.intern(&format!("t{i}"));
+        db.relation_mut(rel).insert(Tuple::new(vec![v]));
+    }
+    db
+}
+
+/// End-to-end integrity: the last peer only sees database tokens (strict).
+pub fn prop_integrity(n: usize) -> String {
+    format!(
+        "G (forall x: P{}.?hop{}(x) -> P0.token(x))",
+        n - 1,
+        n - 2
+    )
+}

@@ -1,0 +1,80 @@
+//! An e-commerce storefront charging cards through an external payment
+//! gateway — the motivating scenario of the paper's introduction ("even
+//! seemingly self-contained e-commerce Web sites place calls to an external
+//! Web service to charge a credit card").
+//!
+//! Two peers: the **Store** (catalog database, shopper input, order state,
+//! shipping action) and the **Gateway** (card database, charge decisions).
+
+use ddws_model::{Composition, CompositionBuilder, QueueKind, Semantics};
+use ddws_relational::{Instance, Tuple};
+
+/// Builds the storefront ⇄ gateway composition.
+pub fn composition(lossy: bool, semantics: Semantics) -> Composition {
+    let mut b = CompositionBuilder::new();
+    b.semantics(semantics);
+    b.default_lossy(lossy);
+
+    b.channel("charge", 2, QueueKind::Flat, "Store", "Gateway"); // (card, item)
+    b.channel("charged", 2, QueueKind::Flat, "Gateway", "Store"); // (card, status)
+
+    b.peer("Store")
+        .database("catalog", 1)
+        .database("cardOnFile", 1)
+        .state("pending", 2)
+        .state("paid", 1)
+        .action("ship", 2)
+        .input("buy", 2) // (card, item)
+        .input_rule(
+            "buy",
+            &["card", "item"],
+            "cardOnFile(card) and catalog(item)",
+        )
+        .send_rule("charge", &["card", "item"], "buy(card, item)")
+        .state_insert_rule("pending", &["card", "item"], "buy(card, item)")
+        .state_insert_rule("paid", &["card"], "?charged(card, \"ok\")")
+        .action_rule(
+            "ship",
+            &["card", "item"],
+            "?charged(card, \"ok\") and pending(card, item)",
+        );
+
+    b.peer("Gateway")
+        .database("validCard", 1)
+        .send_rule(
+            "charged",
+            &["card", "status"],
+            "exists item: (?charge(card, item) and validCard(card) and status = \"ok\") \
+             or (?charge(card, item) and not validCard(card) and status = \"declined\")",
+        );
+
+    b.build().expect("e-commerce composition is well-formed")
+}
+
+/// A demonstration database: one item, one good card, one bad card on file.
+pub fn demo_database(comp: &mut Composition) -> Instance {
+    let mut db = Instance::empty(&comp.voc);
+    let book = comp.symbols.intern("book");
+    let visa = comp.symbols.intern("visa");
+    let stolen = comp.symbols.intern("stolen");
+    let ins = |db: &mut Instance, rel: &str, t: &[ddws_relational::Value]| {
+        let id = comp.voc.lookup(rel).unwrap();
+        db.relation_mut(id).insert(Tuple::from(t));
+    };
+    ins(&mut db, "Store.catalog", &[book]);
+    ins(&mut db, "Store.cardOnFile", &[visa]);
+    ins(&mut db, "Store.cardOnFile", &[stolen]);
+    ins(&mut db, "Gateway.validCard", &[visa]);
+    db
+}
+
+/// Safety: the gateway only confirms valid cards (strict sentence — cheap).
+pub const PROP_CHARGES_ARE_VALID: &str =
+    "G (forall card, status: Store.?charged(card, status) -> \
+        (not status = \"ok\" or Gateway.validCard(card)))";
+
+/// Safety with closure variables: only catalog items ever ship (shipping
+/// requires a pending order, which requires a `buy` drawn from the
+/// catalog).
+pub const PROP_SHIP_FROM_CATALOG: &str =
+    "forall card, item: G (Store.ship(card, item) -> Store.catalog(item))";

@@ -1,0 +1,17 @@
+//! Ready-made compositions used by the examples, integration tests and
+//! benchmark harness.
+//!
+//! * [`bank_loan`] — the paper's running example (Figure 1, Example 2.2):
+//!   applicant, loan officer, manager and credit-reporting agency;
+//! * [`ecommerce`] — a storefront charging cards through an external
+//!   payment-gateway service (the motivating scenario of the paper's
+//!   introduction);
+//! * [`travel`] — a travel-booking composition exercising nested queues and
+//!   multi-peer fan-out;
+//! * [`chains`] — synthetic peer chains parameterized by length, used for
+//!   scaling experiments (E7).
+
+pub mod bank_loan;
+pub mod chains;
+pub mod ecommerce;
+pub mod travel;

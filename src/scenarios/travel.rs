@@ -1,0 +1,58 @@
+//! A travel-booking composition exercising nested queues: a portal fans a
+//! trip request out to an airline, which replies with the (set-valued) list
+//! of matching flights — the paper's canonical use of nested messages
+//! ("the set of books written by an author").
+
+use ddws_model::{Composition, CompositionBuilder, QueueKind, Semantics};
+use ddws_relational::{Instance, Tuple};
+
+/// Builds the portal ⇄ airline composition.
+pub fn composition(lossy: bool, semantics: Semantics) -> Composition {
+    let mut b = CompositionBuilder::new();
+    b.semantics(semantics);
+    b.default_lossy(lossy);
+
+    b.channel("search", 1, QueueKind::Flat, "Portal", "Airline"); // (dest)
+    b.channel("offers", 2, QueueKind::Nested, "Airline", "Portal"); // (dest, flight)
+
+    b.peer("Portal")
+        .database("destination", 1)
+        .state("results", 2)
+        .input("trip", 1)
+        .input_rule("trip", &["dest"], "destination(dest)")
+        .send_rule("search", &["dest"], "trip(dest)")
+        .state_insert_rule("results", &["dest", "flight"], "?offers(dest, flight)");
+
+    b.peer("Airline")
+        .database("flight", 2) // (dest, flight)
+        .send_rule(
+            "offers",
+            &["dest", "f"],
+            "?search(dest) and flight(dest, f)",
+        );
+
+    b.build().expect("travel composition is well-formed")
+}
+
+/// Demonstration database: two destinations, one with two flights.
+pub fn demo_database(comp: &mut Composition) -> Instance {
+    let mut db = Instance::empty(&comp.voc);
+    let lis = comp.symbols.intern("LIS");
+    let sfo = comp.symbols.intern("SFO");
+    let f1 = comp.symbols.intern("f1");
+    let f2 = comp.symbols.intern("f2");
+    let ins = |db: &mut Instance, rel: &str, t: &[ddws_relational::Value]| {
+        let id = comp.voc.lookup(rel).unwrap();
+        db.relation_mut(id).insert(Tuple::from(t));
+    };
+    ins(&mut db, "Portal.destination", &[lis]);
+    ins(&mut db, "Portal.destination", &[sfo]);
+    ins(&mut db, "Airline.flight", &[lis, f1]);
+    ins(&mut db, "Airline.flight", &[lis, f2]);
+    db
+}
+
+/// Results reflect the airline's schedule (closure variables over the
+/// nested payload — nested atoms may not bind quantified variables, §3.1).
+pub const PROP_RESULTS_ARE_REAL: &str =
+    "forall dest, f: G (Portal.results(dest, f) -> Airline.flight(dest, f))";

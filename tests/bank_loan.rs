@@ -1,0 +1,144 @@
+//! Integration tests on the paper's running example (Figure 1,
+//! Example 2.2): the full four-peer bank-loan composition driven through
+//! the verifier.
+
+use ddws::scenarios::bank_loan;
+use ddws_model::Semantics;
+use ddws_relational::{Instance, Tuple};
+use ddws_verifier::{DatabaseMode, Outcome, Verifier, VerifyOptions};
+
+/// Practical semantics for tests: skipping empty nested messages keeps the
+/// nested queues from filling with vacuous messages (the paper-faithful
+/// default enqueues one per firing; the boundary demos exercise that).
+fn sem() -> Semantics {
+    Semantics {
+        nested_send_skips_empty: true,
+        ..Semantics::default()
+    }
+}
+
+/// A single-customer database without credit history keeps the test state
+/// space small: the rating pipeline runs, the manager path stays idle.
+fn small_db(v: &mut Verifier) -> Instance {
+    let comp = v.composition_mut();
+    let mut names = |n: &str| comp.symbols.intern(n);
+    let c1 = names("c1");
+    let s1 = names("s1");
+    let alice = names("alice");
+    let small = names("small");
+    let fair = names("fair");
+    let mut db = Instance::empty(&comp.voc);
+    let ins = |db: &mut Instance, rel: &str, t: &[ddws_relational::Value]| {
+        let id = comp.voc.lookup(rel).unwrap();
+        db.relation_mut(id).insert(Tuple::from(t));
+    };
+    ins(&mut db, "A.wants", &[c1, small]);
+    ins(&mut db, "O.customer", &[c1, s1, alice]);
+    ins(&mut db, "CR.creditRating", &[s1, fair]);
+    db
+}
+
+fn opts(db: Instance) -> VerifyOptions {
+    VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        max_states: 2_000_000,
+        ..VerifyOptions::default()
+    }
+}
+
+#[test]
+fn composition_is_input_bounded() {
+    let comp = bank_loan::composition(true, sem());
+    comp.check_input_bounded(Default::default())
+        .expect("Example 2.2 is input-bounded (Example 3.3)");
+}
+
+#[test]
+fn ratings_reflect_the_agency_database() {
+    let mut v = Verifier::new(bank_loan::composition(true, sem()));
+    let db = small_db(&mut v);
+    let report = v
+        .check_str(bank_loan::PROP_RATINGS_REFLECT_DB, &opts(db))
+        .unwrap();
+    assert!(report.outcome.holds(), "stats: {:?}", report.stats);
+}
+
+#[test]
+fn the_pipeline_delivers_a_rating() {
+    // "No rating is ever received" must be violated; its counterexample
+    // exercises the A → O → CR → O message pipeline.
+    let mut v = Verifier::new(bank_loan::composition(true, sem()));
+    let db = small_db(&mut v);
+    let report = v
+        .check_str(bank_loan::PROP_NO_RATING_EVER, &opts(db))
+        .unwrap();
+    match report.outcome {
+        Outcome::Violated(cex) => {
+            // The run must include CR answering. (The `received_rating`
+            // flag is masked away — the property does not observe it — so
+            // witness the delivery through its effects: either a rating
+            // message in the queue or the `awaitsHist` state it produces.)
+            let (rating, _) = v.composition().channel_by_name("rating").unwrap();
+            let awaits = v.composition().voc.lookup("O.awaitsHist").unwrap();
+            let touched = cex.prefix.iter().chain(cex.cycle.iter()).any(|s| {
+                !s.config.queues[rating.index()].is_empty()
+                    || !s.config.rel.relation(awaits).is_empty()
+            });
+            assert!(
+                touched,
+                "counterexample should deliver a rating\n{}",
+                cex.display(v.composition())
+            );
+        }
+        Outcome::Holds => panic!("expected a violation"),
+    }
+}
+
+#[test]
+fn applications_persist() {
+    // `application` has no deletion rule: two closure variables, holds.
+    let mut v = Verifier::new(bank_loan::composition(true, sem()));
+    let db = small_db(&mut v);
+    let report = v
+        .check_str(
+            "forall id, l: G (O.application(id, l) -> X O.application(id, l))",
+            &opts(db),
+        )
+        .unwrap();
+    assert!(report.outcome.holds(), "valuations: {}", report.valuations_checked);
+}
+
+#[test]
+fn unfair_scheduling_can_starve_recording() {
+    // A received application is eventually recorded — violated: the
+    // scheduler may never run O again (serialized runs are unfair).
+    let mut v = Verifier::new(bank_loan::composition(true, sem()));
+    let db = small_db(&mut v);
+    let report = v
+        .check_str(
+            "forall id, l: G (O.?apply(id, l) -> F O.application(id, l))",
+            &opts(db),
+        )
+        .unwrap();
+    assert!(!report.outcome.holds());
+}
+
+#[test]
+fn bank_policy_property_verifies() {
+    // The second property of Example 3.2: approval letters only after an
+    // excellent rating or a manager approval. With the small database (fair
+    // rating, no manager directory) no approval letter can be produced, so
+    // the `B` ("before") obligation holds vacuously — the point here is a
+    // regression net over the B-operator translation and the property text.
+    let mut v = Verifier::new(bank_loan::composition(true, sem()));
+    let db = small_db(&mut v);
+    let report = v
+        .check_str(bank_loan::PROP_APPROVALS_JUSTIFIED, &opts(db))
+        .unwrap();
+    assert!(
+        report.outcome.holds(),
+        "no approval path exists in the small database; valuations: {}",
+        report.valuations_checked
+    );
+}

@@ -1,0 +1,83 @@
+//! Integration tests for the remaining scenario compositions (the WAVE-demo
+//! substitutes of DESIGN.md): e-commerce, travel and the synthetic chains.
+
+use ddws::scenarios::{chains, ecommerce, travel};
+use ddws_model::Semantics;
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+fn opts(db: ddws_relational::Instance) -> VerifyOptions {
+    VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        ..VerifyOptions::default()
+    }
+}
+
+#[test]
+fn ecommerce_charges_are_valid() {
+    let mut v = Verifier::new(ecommerce::composition(true, Semantics::default()));
+    let db = ecommerce::demo_database(v.composition_mut());
+    let report = v
+        .check_str(ecommerce::PROP_CHARGES_ARE_VALID, &opts(db))
+        .unwrap();
+    assert!(report.outcome.holds());
+}
+
+#[test]
+fn ecommerce_is_input_bounded() {
+    ecommerce::composition(true, Semantics::default())
+        .check_input_bounded(Default::default())
+        .unwrap();
+}
+
+#[test]
+fn travel_results_match_schedule() {
+    let sem = Semantics {
+        nested_send_skips_empty: true,
+        ..Semantics::default()
+    };
+    let mut v = Verifier::new(travel::composition(true, sem));
+    let db = travel::demo_database(v.composition_mut());
+    let report = v
+        .check_str(travel::PROP_RESULTS_ARE_REAL, &opts(db))
+        .unwrap();
+    assert!(
+        report.outcome.holds(),
+        "nested offers carry only scheduled flights; valuations: {}",
+        report.valuations_checked
+    );
+}
+
+#[test]
+fn travel_nested_channel_delivers_sets() {
+    // The nested `offers` message carries BOTH flights of a destination in
+    // one message: after a search for LIS, some reachable configuration has
+    // both results recorded simultaneously.
+    let sem = Semantics {
+        nested_send_skips_empty: true,
+        ..Semantics::default()
+    };
+    let mut v = Verifier::new(travel::composition(true, sem));
+    let db = travel::demo_database(v.composition_mut());
+    // "results never holds two flights at once" must be VIOLATED.
+    let report = v
+        .check_str(
+            "G (not (Portal.results(\"LIS\", \"f1\") and Portal.results(\"LIS\", \"f2\")))",
+            &opts(db),
+        )
+        .unwrap();
+    assert!(
+        !report.outcome.holds(),
+        "a nested message delivers the whole set in one step"
+    );
+}
+
+#[test]
+fn chain_integrity_holds_and_scales() {
+    for n in [2usize, 3] {
+        let mut v = Verifier::new(chains::composition(n, true, Semantics::default()));
+        let db = chains::database(v.composition_mut(), 1);
+        let report = v.check_str(&chains::prop_integrity(n), &opts(db)).unwrap();
+        assert!(report.outcome.holds(), "chain of {n} peers");
+    }
+}
