@@ -14,9 +14,14 @@ use std::collections::HashSet;
 use std::hash::Hash;
 
 /// An implicitly represented Büchi-annotated transition system.
-pub trait TransitionSystem {
+///
+/// Implementations must be `Sync` with `Send + Sync` states so the
+/// [`parallel`](crate::parallel) engine can expand one system from many
+/// worker threads; on-the-fly systems with memoization should use sharded
+/// locks rather than `RefCell` (see the verifier's product system).
+pub trait TransitionSystem: Sync {
     /// The state type; hashed into visited sets, so keep it compact.
-    type State: Clone + Eq + Hash;
+    type State: Clone + Eq + Hash + Send + Sync;
 
     /// Initial states.
     fn initial_states(&self) -> Vec<Self::State>;
@@ -73,6 +78,10 @@ impl std::fmt::Display for BudgetExceeded {
 
 impl std::error::Error for BudgetExceeded {}
 
+/// The outcome of a budgeted lasso search: the witness (if any) plus the
+/// exploration statistics, or budget exhaustion.
+pub type SearchResult<S> = Result<(Option<Lasso<S>>, SearchStats), BudgetExceeded>;
+
 /// Searches for an accepting lasso; `None` means the language is empty.
 pub fn find_accepting_lasso<TS: TransitionSystem>(ts: &TS) -> Option<Lasso<TS::State>> {
     find_accepting_lasso_stats(ts).0
@@ -91,7 +100,7 @@ pub fn find_accepting_lasso_stats<TS: TransitionSystem>(
 pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
     ts: &TS,
     max_states: u64,
-) -> Result<(Option<Lasso<TS::State>>, SearchStats), BudgetExceeded> {
+) -> SearchResult<TS::State> {
     let mut stats = SearchStats::default();
     let mut blue: HashSet<TS::State> = HashSet::new();
     let mut red: HashSet<TS::State> = HashSet::new();

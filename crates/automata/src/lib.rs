@@ -16,6 +16,9 @@
 //! * [`emptiness`] — nested depth-first search for accepting lassos over an
 //!   abstract transition system (used on-the-fly by the verifier's product
 //!   construction),
+//! * [`parallel`] — the multi-threaded counterpart: work-stealing
+//!   reachability plus SCC-based lasso extraction, verdict-identical to
+//!   the sequential search,
 //! * [`product`] — intersection of Büchi automata,
 //! * [`complement`] — complementation: the two-copy construction for
 //!   deterministic automata and the rank-based (Kupferman–Vardi)
@@ -33,10 +36,12 @@ pub mod emptiness;
 pub mod guard;
 pub mod ltl;
 pub mod nba;
+pub mod parallel;
 pub mod product;
 pub mod translate;
 
 pub use emptiness::{find_accepting_lasso, find_accepting_lasso_budget, BudgetExceeded, Lasso, SearchStats, TransitionSystem};
+pub use parallel::find_accepting_lasso_budget_parallel;
 pub use guard::{Guard, Letter};
 pub use ltl::Ltl;
 pub use nba::{Nba, StateId};

@@ -38,6 +38,7 @@ impl Ltl {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Ltl) -> Ltl {
         Ltl::Not(Box::new(f))
     }
@@ -207,8 +208,7 @@ fn eval_at(
             // Scan forward; after n+m steps from any position the suffix
             // repeats, so n+m+1 distinct positions suffice.
             let mut value = false;
-            let mut p = pos;
-            for _ in 0..=(n + m) {
+            for p in pos..=pos + n + m {
                 if eval_at(b, p, prefix, cycle, n, m, memo) {
                     value = true;
                     break;
@@ -217,15 +217,13 @@ fn eval_at(
                     value = false;
                     break;
                 }
-                p += 1;
             }
             value
         }
         Ltl::R(a, b) => {
             // φ R ψ ≡ ¬(¬φ U ¬ψ)
             let mut holds = true;
-            let mut p = pos;
-            for _ in 0..=(n + m) {
+            for p in pos..=pos + n + m {
                 if !eval_at(b, p, prefix, cycle, n, m, memo) {
                     holds = false;
                     break;
@@ -234,7 +232,6 @@ fn eval_at(
                     holds = true;
                     break;
                 }
-                p += 1;
             }
             holds
         }

@@ -1,0 +1,559 @@
+//! Parallel accepting-lasso search (Büchi emptiness) over a shared
+//! [`TransitionSystem`].
+//!
+//! The sequential engine ([`find_accepting_lasso_budget`]) runs CVWY
+//! nested DFS, which is inherently sequential: its correctness leans on
+//! postorder. Instead of a concurrent nested DFS, this engine splits the
+//! problem into a phase that parallelizes perfectly and a phase that is
+//! cheap enough to stay sequential:
+//!
+//! 1. **Parallel reachability** — `threads` workers explore the state
+//!    space with per-worker deques and work stealing, recording every
+//!    expanded edge. The visited set is sharded across mutexes; a shared
+//!    atomic counter enforces the state budget.
+//! 2. **Sequential analysis** — the recorded edges form an explicit graph
+//!    (node count = states visited, which the budget already bounds).
+//!    Tarjan's SCC algorithm finds a strongly connected component that
+//!    both contains an accepting state and carries a cycle; breadth-first
+//!    searches then extract a concrete lasso.
+//!
+//! **Determinism contract**: the *verdict* (lasso exists / empty / budget
+//! exceeded at a given budget) depends only on the reachable graph, never
+//! on thread scheduling. The particular lasso returned may differ between
+//! runs — callers needing a canonical witness should re-run the sequential
+//! engine.
+//!
+//! **Budget semantics**: like the sequential engine, the search fails once
+//! visited states exceed `max_states`; concurrent insertion can overshoot
+//! by at most one state per worker, so `states_visited ≤ max_states +
+//! threads` on failure. Unlike the sequential engine — which can return a
+//! lasso found before the budget trips — this engine explores the whole
+//! reachable graph before looking for lassos, so a `Violated` verdict
+//! requires a budget no smaller than the reachable state count.
+
+use crate::emptiness::{BudgetExceeded, Lasso, SearchResult, SearchStats, TransitionSystem};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+#[cfg(doc)]
+use crate::emptiness::find_accepting_lasso_budget;
+
+/// Visited-set shards; a power of two well above any sane worker count so
+/// shard collisions between concurrent inserts stay rare.
+const VISIT_SHARDS: usize = 64;
+
+fn shard_of<S: Hash>(s: &S) -> usize {
+    // Keyless hasher: shard layout must not depend on process entropy.
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    (h.finish() as usize) & (VISIT_SHARDS - 1)
+}
+
+struct Frontier<S> {
+    visited: Vec<Mutex<HashSet<S>>>,
+    queues: Vec<Mutex<VecDeque<S>>>,
+    /// States enqueued or being expanded; 0 ⇒ exploration is complete.
+    pending: AtomicUsize,
+    visited_count: AtomicU64,
+    over_budget: AtomicBool,
+    max_states: u64,
+}
+
+impl<S: Clone + Eq + Hash> Frontier<S> {
+    fn new(workers: usize, max_states: u64) -> Self {
+        Frontier {
+            visited: (0..VISIT_SHARDS).map(|_| Mutex::default()).collect(),
+            queues: (0..workers).map(|_| Mutex::default()).collect(),
+            pending: AtomicUsize::new(0),
+            visited_count: AtomicU64::new(0),
+            over_budget: AtomicBool::new(false),
+            max_states,
+        }
+    }
+
+    /// Marks `s` visited; returns false if it already was. Trips the budget
+    /// flag when the visited count passes `max_states` (mirroring the
+    /// sequential engine's `states_visited > max_states` check).
+    fn try_visit(&self, s: &S) -> bool {
+        let mut shard = self.visited[shard_of(s)].lock().expect("visited shard poisoned");
+        if !shard.insert(s.clone()) {
+            return false;
+        }
+        let count = self.visited_count.fetch_add(1, Ordering::Relaxed) + 1;
+        if count > self.max_states {
+            self.over_budget.store(true, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Enqueues `s` on worker `w`'s deque.
+    fn push(&self, w: usize, s: S) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.queues[w].lock().expect("queue poisoned").push_back(s);
+    }
+
+    /// Pops local work, or steals from another worker (oldest first, so
+    /// stolen work is the coarsest-grained available).
+    fn pop(&self, w: usize) -> Option<S> {
+        if let Some(s) = self.queues[w].lock().expect("queue poisoned").pop_back() {
+            return Some(s);
+        }
+        let n = self.queues.len();
+        for i in 1..n {
+            let victim = (w + i) % n;
+            if let Some(s) = self.queues[victim].lock().expect("queue poisoned").pop_front() {
+                return Some(s);
+            }
+        }
+        None
+    }
+}
+
+/// One worker's share of the exploration: the edges it expanded and the
+/// transitions it counted.
+struct WorkerLog<S> {
+    edges: Vec<(S, Vec<S>)>,
+    transitions: u64,
+}
+
+fn explore_worker<TS: TransitionSystem>(
+    ts: &TS,
+    frontier: &Frontier<TS::State>,
+    w: usize,
+) -> WorkerLog<TS::State> {
+    let mut log = WorkerLog {
+        edges: Vec::new(),
+        transitions: 0,
+    };
+    loop {
+        if frontier.over_budget.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(state) = frontier.pop(w) else {
+            if frontier.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        let succs = ts.successors(&state);
+        log.transitions += succs.len() as u64;
+        for succ in &succs {
+            if frontier.over_budget.load(Ordering::Relaxed) {
+                break;
+            }
+            if frontier.try_visit(succ) {
+                frontier.push(w, succ.clone());
+            }
+        }
+        log.edges.push((state, succs));
+        frontier.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+    log
+}
+
+/// Parallel counterpart of [`find_accepting_lasso_budget`]: same signature
+/// plus a worker count, same verdict for any budget at least the reachable
+/// state count (see the module docs for the budget caveat below that).
+///
+/// `threads = 0` uses [`std::thread::available_parallelism`]; `threads = 1`
+/// still runs this engine (single worker), which is how the differential
+/// harness pins scheduling out of the comparison.
+pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
+    ts: &TS,
+    max_states: u64,
+    threads: usize,
+) -> SearchResult<TS::State> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+
+    let frontier = Frontier::new(workers, max_states);
+    let initial = ts.initial_states();
+    for (i, init) in initial.iter().enumerate() {
+        if frontier.try_visit(init) {
+            frontier.push(i % workers, init.clone());
+        }
+    }
+
+    let mut logs: Vec<WorkerLog<TS::State>> = Vec::with_capacity(workers);
+    if workers == 1 {
+        logs.push(explore_worker(ts, &frontier, 0));
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let frontier = &frontier;
+                    scope.spawn(move || explore_worker(ts, frontier, w))
+                })
+                .collect();
+            for h in handles {
+                logs.push(h.join().expect("exploration worker panicked"));
+            }
+        });
+    }
+
+    let mut stats = SearchStats {
+        states_visited: frontier.visited_count.load(Ordering::Relaxed),
+        transitions_explored: logs.iter().map(|l| l.transitions).sum(),
+    };
+    if frontier.over_budget.load(Ordering::Relaxed) {
+        return Err(BudgetExceeded {
+            states_visited: stats.states_visited,
+        });
+    }
+
+    // ---- Sequential analysis over the materialized graph. ----
+    let mut index: HashMap<TS::State, usize> = HashMap::new();
+    let mut nodes: Vec<TS::State> = Vec::new();
+    let intern = |s: &TS::State, nodes: &mut Vec<TS::State>, index: &mut HashMap<TS::State, usize>| {
+        *index.entry(s.clone()).or_insert_with(|| {
+            nodes.push(s.clone());
+            nodes.len() - 1
+        })
+    };
+    let mut adj: Vec<Vec<usize>> = Vec::new();
+    for log in &logs {
+        for (src, succs) in &log.edges {
+            let si = intern(src, &mut nodes, &mut index);
+            if adj.len() <= si {
+                adj.resize(nodes.len(), Vec::new());
+            }
+            let targets: Vec<usize> = succs
+                .iter()
+                .map(|t| intern(t, &mut nodes, &mut index))
+                .collect();
+            adj.resize(nodes.len(), Vec::new());
+            adj[si] = targets;
+        }
+    }
+    adj.resize(nodes.len(), Vec::new());
+
+    let accepting: Vec<bool> = nodes.iter().map(|s| ts.is_accepting(s)).collect();
+    let init_ids: Vec<usize> = initial.iter().filter_map(|s| index.get(s).copied()).collect();
+
+    let Some((entry, cycle_ids)) = find_accepting_cycle(&adj, &accepting) else {
+        return Ok((None, stats));
+    };
+    let prefix_ids = shortest_path_from_any(&adj, &init_ids, entry)
+        .expect("cycle entry is reachable from an initial state");
+    // BFS re-walks edges; count them so stats reflect the extraction work.
+    stats.transitions_explored += cycle_ids.len() as u64 + prefix_ids.len() as u64;
+
+    // `prefix` runs up to (not including) the cycle entry.
+    let prefix: Vec<TS::State> = prefix_ids[..prefix_ids.len() - 1]
+        .iter()
+        .map(|&i| nodes[i].clone())
+        .collect();
+    let cycle: Vec<TS::State> = cycle_ids.iter().map(|&i| nodes[i].clone()).collect();
+    Ok((Some(Lasso { prefix, cycle }), stats))
+}
+
+/// Finds a cycle through an accepting state: picks a strongly connected
+/// component that contains an accepting node and at least one edge inside
+/// itself, and returns `(accepting node, cycle starting at that node)`.
+fn find_accepting_cycle(adj: &[Vec<usize>], accepting: &[bool]) -> Option<(usize, Vec<usize>)> {
+    let sccs = tarjan_sccs(adj);
+    let mut comp_of = vec![0usize; adj.len()];
+    for (ci, comp) in sccs.iter().enumerate() {
+        for &n in comp {
+            comp_of[n] = ci;
+        }
+    }
+    for comp in &sccs {
+        let has_cycle =
+            comp.len() > 1 || adj[comp[0]].contains(&comp[0]);
+        if !has_cycle {
+            continue;
+        }
+        let Some(&seed) = comp.iter().find(|&&n| accepting[n]) else {
+            continue;
+        };
+        // Shortest cycle through `seed`, staying inside its component.
+        let ci = comp_of[seed];
+        let mut back: HashMap<usize, usize> = HashMap::new();
+        let mut queue = VecDeque::new();
+        for &t in &adj[seed] {
+            if comp_of[t] == ci && !back.contains_key(&t) {
+                back.insert(t, seed);
+                queue.push_back(t);
+            }
+        }
+        if adj[seed].contains(&seed) {
+            return Some((seed, vec![seed]));
+        }
+        while let Some(n) = queue.pop_front() {
+            if n == seed {
+                break;
+            }
+            for &t in &adj[n] {
+                if comp_of[t] == ci && !back.contains_key(&t) {
+                    back.insert(t, n);
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut cycle = vec![seed];
+        let mut cur = *back.get(&seed).expect("cycle closes within the SCC");
+        while cur != seed {
+            cycle.push(cur);
+            cur = back[&cur];
+        }
+        cycle[1..].reverse();
+        return Some((seed, cycle));
+    }
+    None
+}
+
+/// Shortest path (inclusive of both ends) from any source to `target`.
+fn shortest_path_from_any(
+    adj: &[Vec<usize>],
+    sources: &[usize],
+    target: usize,
+) -> Option<Vec<usize>> {
+    let mut back: HashMap<usize, Option<usize>> = HashMap::new();
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if let Entry::Vacant(e) = back.entry(s) {
+            e.insert(None);
+            queue.push_back(s);
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        if n == target {
+            let mut path = vec![n];
+            let mut cur = n;
+            while let Some(&Some(p)) = back.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &t in &adj[n] {
+            if let Entry::Vacant(e) = back.entry(t) {
+                e.insert(Some(n));
+                queue.push_back(t);
+            }
+        }
+    }
+    None
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan_sccs(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = adj.len();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    // (node, next child position) — explicit call stack.
+    let mut call: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        call.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut child)) = call.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emptiness::find_accepting_lasso_budget;
+
+    struct Graph {
+        edges: Vec<Vec<usize>>,
+        accepting: Vec<bool>,
+        initial: Vec<usize>,
+    }
+
+    impl TransitionSystem for Graph {
+        type State = usize;
+        fn initial_states(&self) -> Vec<usize> {
+            self.initial.clone()
+        }
+        fn successors(&self, s: &usize) -> Vec<usize> {
+            self.edges[*s].clone()
+        }
+        fn is_accepting(&self, s: &usize) -> bool {
+            self.accepting[*s]
+        }
+    }
+
+    fn assert_valid_lasso(g: &Graph, lasso: &Lasso<usize>) {
+        assert!(!lasso.cycle.is_empty());
+        let last = *lasso.cycle.last().unwrap();
+        assert!(g.edges[last].contains(&lasso.cycle[0]), "cycle closes");
+        assert!(lasso.cycle.iter().any(|&s| g.accepting[s]), "cycle accepts");
+        let full: Vec<usize> = lasso.prefix.iter().chain(&lasso.cycle).copied().collect();
+        assert!(g.initial.contains(&full[0]), "starts initial");
+        for pair in full.windows(2) {
+            assert!(g.edges[pair[0]].contains(&pair[1]), "path edge {pair:?}");
+        }
+    }
+
+    /// A layered graph with an accepting cycle buried at the bottom, plus
+    /// enough off-path states that several workers get real work.
+    fn layered(width: usize, depth: usize, accepting_cycle: bool) -> Graph {
+        // Node layout: layer l occupies [1 + l*width, 1 + (l+1)*width).
+        let n = 2 + width * depth;
+        let mut edges = vec![Vec::new(); n];
+        let mut accepting = vec![false; n];
+        for w in 0..width {
+            edges[0].push(1 + w);
+        }
+        for l in 0..depth - 1 {
+            for w in 0..width {
+                let from = 1 + l * width + w;
+                for w2 in 0..width {
+                    edges[from].push(1 + (l + 1) * width + w2);
+                }
+            }
+        }
+        let sink = n - 1;
+        for w in 0..width {
+            edges[1 + (depth - 1) * width + w].push(sink);
+        }
+        if accepting_cycle {
+            edges[sink].push(sink);
+            accepting[sink] = true;
+        }
+        Graph {
+            edges,
+            accepting,
+            initial: vec![0],
+        }
+    }
+
+    #[test]
+    fn verdict_matches_sequential_on_layered_graphs() {
+        for &accepting in &[true, false] {
+            let g = layered(8, 6, accepting);
+            let seq = find_accepting_lasso_budget(&g, u64::MAX).unwrap();
+            for threads in [1, 2, 4] {
+                let par = find_accepting_lasso_budget_parallel(&g, u64::MAX, threads).unwrap();
+                assert_eq!(seq.0.is_some(), par.0.is_some(), "threads={threads}");
+                if seq.0.is_none() {
+                    // On empty languages both engines visit the whole
+                    // reachable set; with a lasso the sequential DFS may
+                    // stop early, so counts are comparable only here.
+                    assert_eq!(seq.1.states_visited, par.1.states_visited);
+                }
+                if let Some(lasso) = &par.0 {
+                    assert_valid_lasso(&g, lasso);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finds_long_cycle_through_accepting_state() {
+        // 0 → 1 → 2 → 3 → 1, accepting = {2}: entry ≠ accepting seed.
+        let g = Graph {
+            edges: vec![vec![1], vec![2], vec![3], vec![1]],
+            accepting: vec![false, false, true, false],
+            initial: vec![0],
+        };
+        for threads in [1, 3] {
+            let (lasso, _) = find_accepting_lasso_budget_parallel(&g, u64::MAX, threads).unwrap();
+            assert_valid_lasso(&g, &lasso.unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_language_and_multiple_initials() {
+        let g = Graph {
+            edges: vec![vec![1], vec![], vec![1]],
+            accepting: vec![false, true, false],
+            initial: vec![0, 2],
+        };
+        let (lasso, stats) = find_accepting_lasso_budget_parallel(&g, u64::MAX, 2).unwrap();
+        assert!(lasso.is_none());
+        assert_eq!(stats.states_visited, 3);
+    }
+
+    #[test]
+    fn budget_trips_with_bounded_overshoot() {
+        let g = layered(10, 50, false); // 502 states
+        for threads in [1usize, 2, 4] {
+            let err =
+                find_accepting_lasso_budget_parallel(&g, 100, threads).expect_err("over budget");
+            assert!(err.states_visited > 100);
+            assert!(
+                err.states_visited <= 100 + threads as u64 + 1,
+                "overshoot {} with {threads} threads",
+                err.states_visited
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let g = layered(4, 4, true);
+        let (lasso, _) = find_accepting_lasso_budget_parallel(&g, u64::MAX, 0).unwrap();
+        assert_valid_lasso(&g, &lasso.unwrap());
+    }
+
+    #[test]
+    fn self_loop_on_initial_accepting_state() {
+        let g = Graph {
+            edges: vec![vec![0]],
+            accepting: vec![true],
+            initial: vec![0],
+        };
+        let (lasso, _) = find_accepting_lasso_budget_parallel(&g, u64::MAX, 2).unwrap();
+        let lasso = lasso.unwrap();
+        assert!(lasso.prefix.is_empty());
+        assert_eq!(lasso.cycle, vec![0]);
+    }
+}

@@ -8,7 +8,7 @@ use ddws_automata::complement::complement;
 use ddws_automata::ltl::eval_on_lasso;
 use ddws_automata::product::intersect;
 use ddws_automata::{ltl_to_nba, Letter, Ltl};
-use proptest::prelude::*;
+use ddws_testkit::proptest::{self, prelude::*};
 
 /// Random LTL formula over `num_aps` propositions, bounded depth.
 fn arb_ltl(num_aps: u32, depth: u32) -> BoxedStrategy<Ltl> {

@@ -2,7 +2,7 @@
 //! vs. verifying its single-peer reduction — the PTIME reduction trades
 //! queue bookkeeping for state relations and scheduler input branching.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ddws_bench::harness::{criterion_group, criterion_main, Criterion};
 use ddws_bench::{req_resp, unary_db};
 use ddws_verifier::reduction::{
     reduce_to_single_peer, translate_database, translate_property_source,

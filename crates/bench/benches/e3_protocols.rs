@@ -1,7 +1,7 @@
 //! E3 (Theorems 4.2 / 4.5): data-agnostic vs. data-aware conversation
 //! protocol checking on the same composition.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ddws_bench::harness::{criterion_group, criterion_main, Criterion};
 use ddws_bench::{req_resp, unary_db};
 use ddws_protocol::{automata_shapes, DataAgnosticProtocol, DataAwareProtocol, Observer};
 use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};

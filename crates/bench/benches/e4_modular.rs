@@ -1,7 +1,7 @@
 //! E4 (Theorem 5.4): modular verification of an open client against an
 //! environment spec, vs. plain verification of the unconstrained client.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ddws_bench::harness::{criterion_group, criterion_main, Criterion};
 use ddws_model::{builder::ENV, CompositionBuilder, QueueKind};
 use ddws_relational::{Instance, Tuple};
 use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};

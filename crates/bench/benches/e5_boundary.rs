@@ -3,7 +3,7 @@
 //! lossy channels grow strictly slower. The absolute counts per bound are
 //! also printed once, regenerating EXPERIMENTS.md's table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddws_bench::{counting_relay, state_space_size};
 
 fn bench(c: &mut Criterion) {

@@ -2,7 +2,7 @@
 //! oracle on the same property — the oracle pays for quantifying over
 //! every database with active domain inside the verification domain.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddws_bench::{req_resp, unary_db};
 use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
 

@@ -1,0 +1,83 @@
+//! E8: parallel product-search scaling — the same verification workload
+//! run by the sequential nested-DFS engine (`threads: None`) and by the
+//! work-stealing parallel engine at 1, 2 and 4 workers.
+//!
+//! Two workloads bracket the engines' trade-off:
+//!
+//! * `chains_holds`: the property holds, so both engines must exhaust the
+//!   reachable product — the parallel engine's best case;
+//! * `bank_violated`: a counterexample exists, so the sequential engine can
+//!   stop early while the parallel one still explores everything first —
+//!   its worst case (see DESIGN.md, "Parallel search").
+
+use ddws::scenarios::{bank_loan, chains};
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_model::Semantics;
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+
+const ENGINES: [(&str, Option<usize>); 4] = [
+    ("seq", None),
+    ("par1", Some(1)),
+    ("par2", Some(2)),
+    ("par4", Some(4)),
+];
+
+fn opts(db: ddws_relational::Instance, threads: Option<usize>) -> VerifyOptions {
+    VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        threads,
+        ..VerifyOptions::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_parallel_scaling");
+    group.sample_size(10);
+
+    for (name, threads) in ENGINES {
+        group.bench_with_input(
+            BenchmarkId::new("chains_holds", name),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut v =
+                        Verifier::new(chains::composition(3, true, Semantics::default()));
+                    let db = chains::database(v.composition_mut(), 2);
+                    let report = v
+                        .check_str(&chains::prop_integrity(3), &opts(db, threads))
+                        .unwrap();
+                    assert!(report.outcome.holds());
+                    report.stats.states_visited
+                })
+            },
+        );
+    }
+
+    for (name, threads) in ENGINES {
+        group.bench_with_input(
+            BenchmarkId::new("bank_violated", name),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let sem = Semantics {
+                        nested_send_skips_empty: true,
+                        ..Semantics::default()
+                    };
+                    let mut v = Verifier::new(bank_loan::composition(true, sem));
+                    let db = bank_loan::demo_database(v.composition_mut());
+                    let report = v
+                        .check_str(bank_loan::PROP_NO_RATING_EVER, &opts(db, threads))
+                        .unwrap();
+                    assert!(!report.outcome.holds());
+                    report.stats.states_visited
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! holds the builders they share. The scenarios themselves live in the
 //! `ddws` facade crate (`ddws::scenarios`).
 
+pub mod harness;
+
 pub use ddws_boundaries::{counting_relay, state_space_size};
 
 use ddws_model::{Composition, CompositionBuilder, QueueKind};

@@ -54,6 +54,7 @@ impl Fo {
     }
 
     /// Negation (without simplification).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Fo) -> Fo {
         Fo::Not(Box::new(f))
     }

@@ -47,6 +47,7 @@ impl LtlFo {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: LtlFo) -> LtlFo {
         LtlFo::Not(Box::new(f))
     }

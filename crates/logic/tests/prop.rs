@@ -8,7 +8,7 @@ use ddws_logic::parser::{parse_ltlfo, Resolver};
 use ddws_logic::pretty::Names;
 use ddws_logic::{Fo, LtlFo, Term, Valuation, VarId, Vars};
 use ddws_relational::{Instance, RelId, Symbols, Tuple, Value, Vocabulary};
-use proptest::prelude::*;
+use ddws_testkit::proptest::{self, prelude::*};
 
 /// A fixed environment: two relations, three variables, two constants.
 fn env() -> (Vocabulary, Vars, Symbols) {

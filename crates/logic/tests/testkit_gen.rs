@@ -1,0 +1,83 @@
+//! Randomized printer ↔ parser round-trips on the native `ddws-testkit`
+//! generator API — the always-on, shrink-free counterpart of the
+//! `prop.rs` roundtrip test (which needs `--features proptest`). The
+//! formula generator is a direct recursive port of `arb_fo`.
+
+use ddws_logic::parser::{parse_ltlfo, Resolver};
+use ddws_logic::pretty::Names;
+use ddws_logic::{Fo, LtlFo, Term, VarId, Vars};
+use ddws_relational::{RelId, Symbols, Value, Vocabulary};
+use ddws_testkit::{gen, rng::XorShift, seed_from};
+
+/// A fixed environment: two relations, a flag, three variables, two symbols.
+fn env() -> (Vocabulary, Vars, Symbols) {
+    let mut voc = Vocabulary::new();
+    voc.declare("p", 1).unwrap();
+    voc.declare("q", 2).unwrap();
+    voc.declare("flag", 0).unwrap();
+    let mut vars = Vars::new();
+    for n in ["x", "y", "z"] {
+        vars.intern(n);
+    }
+    let mut symbols = Symbols::new();
+    symbols.intern("a");
+    symbols.intern("b");
+    (voc, vars, symbols)
+}
+
+fn gen_term(rng: &mut XorShift) -> Term {
+    if rng.bool() {
+        Term::Var(VarId(rng.below(3) as u32))
+    } else {
+        Term::Const(Value(rng.below(2) as u32))
+    }
+}
+
+/// Random FO formulas over the fixed environment, depth-bounded.
+fn gen_fo(rng: &mut XorShift, depth: u32) -> Fo {
+    if depth == 0 || rng.chance(1, 3) {
+        return match rng.below(6) {
+            0 => Fo::Atom(RelId(0), vec![gen_term(rng)]),
+            1 => Fo::Atom(RelId(1), vec![gen_term(rng), gen_term(rng)]),
+            2 => Fo::Atom(RelId(2), vec![]),
+            3 => Fo::Eq(gen_term(rng), gen_term(rng)),
+            4 => Fo::True,
+            _ => Fo::False,
+        };
+    }
+    match rng.below(6) {
+        0 => Fo::not(gen_fo(rng, depth - 1)),
+        1 => Fo::And(gen::vec_of(rng, 2, 3, |r| gen_fo(r, depth - 1))),
+        2 => Fo::Or(gen::vec_of(rng, 2, 3, |r| gen_fo(r, depth - 1))),
+        3 => Fo::Implies(
+            Box::new(gen_fo(rng, depth - 1)),
+            Box::new(gen_fo(rng, depth - 1)),
+        ),
+        4 => Fo::exists(vec![VarId(rng.below(3) as u32)], gen_fo(rng, depth - 1)),
+        _ => Fo::forall(vec![VarId(rng.below(3) as u32)], gen_fo(rng, depth - 1)),
+    }
+}
+
+#[test]
+fn printer_parser_roundtrip() {
+    gen::cases(64, seed_from("printer_parser_roundtrip"), |rng| {
+        let fo = gen_fo(rng, 3);
+        let (voc, mut vars, mut symbols) = env();
+        let printed = Names::new(&voc, &vars, &symbols).ltlfo(&LtlFo::Fo(fo.clone()));
+        let reparsed = {
+            let mut r = Resolver {
+                voc: &voc,
+                vars: &mut vars,
+                symbols: &mut symbols,
+            };
+            parse_ltlfo(&printed, &mut r)
+        };
+        // The parser hoists boolean connectives to the LTL level; fold back
+        // into pure FO before comparing.
+        let normalized = reparsed
+            .unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"))
+            .to_fo()
+            .unwrap_or_else(|| panic!("reparse of `{printed}` introduced temporal ops"));
+        assert_eq!(fo, normalized, "printed: {printed}");
+    });
+}

@@ -430,7 +430,7 @@ fn all_tuples(domain: &[Value], arity: usize) -> Vec<Tuple> {
         }
         out = next;
     }
-    out.into_iter().map(Tuple::from).map(|t| t).collect()
+    out.into_iter().map(Tuple::from).collect()
 }
 
 fn to_relation(tuples: Vec<Vec<Value>>) -> Relation {

@@ -4,7 +4,7 @@
 
 use ddws_model::{Composition, CompositionBuilder, Config, Mover, QueueKind, Semantics};
 use ddws_relational::{Instance, Tuple, Value};
-use proptest::prelude::*;
+use ddws_testkit::proptest::prelude::*;
 use std::collections::HashSet;
 
 fn relay(k: usize, lossy: bool) -> Composition {

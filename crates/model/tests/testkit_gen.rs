@@ -1,0 +1,101 @@
+//! Randomized run-semantics invariants on the native `ddws-testkit`
+//! generator API — the always-on, shrink-free counterpart of the queue
+//! bound test in `prop.rs` (which needs `--features proptest`). The
+//! (queue bound, lossiness, database size) triple is drawn per case.
+
+use ddws_model::{Composition, CompositionBuilder, Config, QueueKind, Semantics};
+use ddws_relational::{Instance, Tuple, Value};
+use ddws_testkit::{gen, rng::XorShift, seed_from};
+use std::collections::HashSet;
+
+fn relay(k: usize, lossy: bool) -> Composition {
+    let mut b = CompositionBuilder::new();
+    b.semantics(Semantics {
+        queue_bound: k,
+        ..Semantics::default()
+    });
+    b.default_lossy(lossy);
+    b.channel("belt", 1, QueueKind::Flat, "A", "B");
+    b.channel("ack", 1, QueueKind::Flat, "B", "A");
+    b.peer("A")
+        .database("d", 1)
+        .state("acked", 1)
+        .input("push", 1)
+        .input_rule("push", &["x"], "d(x)")
+        .state_insert_rule("acked", &["x"], "?ack(x)")
+        .send_rule("belt", &["x"], "push(x)");
+    b.peer("B")
+        .state("seen", 1)
+        .state_insert_rule("seen", &["x"], "?belt(x)")
+        .send_rule("ack", &["x"], "?belt(x)");
+    b.build().unwrap()
+}
+
+fn db_of(comp: &mut Composition, n: usize) -> (Instance, Vec<Value>) {
+    let mut db = Instance::empty(&comp.voc);
+    let d = comp.voc.lookup("A.d").unwrap();
+    let mut dom = Vec::new();
+    for i in 0..n {
+        let v = comp.symbols.intern(&format!("x{i}"));
+        db.relation_mut(d).insert(Tuple::new(vec![v]));
+        dom.push(v);
+    }
+    (db, dom)
+}
+
+/// Queue bounds hold in every reachable configuration, for random relay
+/// parameters and exploration budgets.
+#[test]
+fn queue_bound_is_invariant() {
+    gen::cases(12, seed_from("queue_bound_is_invariant"), |rng: &mut XorShift| {
+        let k = rng.range(1, 4);
+        let lossy = rng.bool();
+        let n = rng.range(1, 3);
+        let mut comp = relay(k, lossy);
+        let (db, dom) = db_of(&mut comp, n);
+
+        let movers = comp.movers();
+        let mut seen: HashSet<Config> = HashSet::new();
+        let mut queue: Vec<Config> = comp.initial_configs(&db, &dom);
+        for c in &queue {
+            seen.insert(c.clone());
+        }
+        while let Some(c) = queue.pop() {
+            if seen.len() > 3_000 {
+                return;
+            }
+            for &m in &movers {
+                for s in comp.successors(&db, &dom, &c, m) {
+                    for q in s.queues.iter() {
+                        assert!(
+                            q.len() <= comp.semantics.queue_bound,
+                            "queue bound {k} exceeded (lossy={lossy}, n={n})"
+                        );
+                    }
+                    if seen.insert(s.clone()) {
+                        queue.push(s);
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Successor sets are duplicate-free from random initial configurations.
+#[test]
+fn successors_are_deduplicated() {
+    gen::cases(12, seed_from("successors_are_deduplicated"), |rng| {
+        let k = rng.range(1, 3);
+        let lossy = rng.bool();
+        let mut comp = relay(k, lossy);
+        let (db, dom) = db_of(&mut comp, 2);
+        let movers = comp.movers();
+        for c in comp.initial_configs(&db, &dom) {
+            for &m in &movers {
+                let succs = comp.successors(&db, &dom, &c, m);
+                let unique: HashSet<_> = succs.iter().cloned().collect();
+                assert_eq!(unique.len(), succs.len());
+            }
+        }
+    });
+}

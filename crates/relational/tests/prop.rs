@@ -1,7 +1,7 @@
 //! Property-based tests for the relational substrate.
 
 use ddws_relational::{Instance, Relation, Symbols, Tuple, Value, Vocabulary};
-use proptest::prelude::*;
+use ddws_testkit::proptest::{self, prelude::*};
 
 fn arb_tuple(arity: usize, dom: u32) -> impl Strategy<Value = Tuple> {
     proptest::collection::vec(0..dom, arity).prop_map(|vs| vs.into_iter().map(Value).collect())

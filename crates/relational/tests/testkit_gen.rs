@@ -1,0 +1,63 @@
+//! Randomized tests on the native `ddws-testkit` generator API — the
+//! always-on, shrink-free counterpart of `tests/prop.rs` (which needs
+//! `--features proptest`). Same relation laws, seeded xorshift PRNG.
+
+use ddws_relational::{Relation, Tuple, Value};
+use ddws_testkit::{gen, rng::XorShift, seed_from};
+
+fn gen_tuple(rng: &mut XorShift, arity: usize, dom: u64) -> Tuple {
+    (0..arity).map(|_| Value(rng.below(dom) as u32)).collect()
+}
+
+fn gen_relation(rng: &mut XorShift, arity: usize, dom: u64, max_len: usize) -> Relation {
+    Relation::from_tuples(gen::vec_of(rng, 0, max_len, |r| gen_tuple(r, arity, dom)))
+}
+
+#[test]
+fn relation_is_canonical() {
+    gen::cases(64, seed_from("relation_is_canonical"), |rng| {
+        let tuples = gen::vec_of(rng, 0, 12, |r| gen_tuple(r, 2, 5));
+        let forward = Relation::from_tuples(tuples.clone());
+        let mut reversed = tuples;
+        reversed.reverse();
+        assert_eq!(forward, Relation::from_tuples(reversed));
+    });
+}
+
+#[test]
+fn insert_remove_roundtrip() {
+    gen::cases(64, seed_from("insert_remove_roundtrip"), |rng| {
+        let mut rel = gen_relation(rng, 2, 5, 10);
+        let t = gen_tuple(rng, 2, 5);
+        rel.insert(t.clone());
+        assert!(rel.contains(&t));
+        rel.remove(&t);
+        assert!(!rel.contains(&t));
+    });
+}
+
+#[test]
+fn union_laws() {
+    gen::cases(64, seed_from("union_laws"), |rng| {
+        let a = gen_relation(rng, 1, 6, 10);
+        let b = gen_relation(rng, 1, 6, 10);
+        let u = a.union(&b);
+        assert_eq!(u, b.union(&a));
+        assert!(a.iter().all(|t| u.contains(t)));
+        assert!(b.iter().all(|t| u.contains(t)));
+        assert!(u.len() <= a.len() + b.len());
+    });
+}
+
+#[test]
+fn difference_intersection_partition() {
+    gen::cases(64, seed_from("difference_intersection_partition"), |rng| {
+        let a = gen_relation(rng, 1, 6, 10);
+        let b = gen_relation(rng, 1, 6, 10);
+        let d = a.difference(&b);
+        let i = a.intersection(&b);
+        assert_eq!(d.len() + i.len(), a.len());
+        assert!(d.intersection(&i).is_empty());
+        assert_eq!(d.union(&i), a);
+    });
+}

@@ -1,0 +1,74 @@
+//! The native case-generator API: seeded, shrink-free, loop-shaped.
+//!
+//! ```
+//! use ddws_testkit::{gen, rng::XorShift, seed_from};
+//!
+//! gen::cases(32, seed_from("doubling_is_even"), |rng| {
+//!     let n = rng.range(0, 1000) as u64;
+//!     assert_eq!((n * 2) % 2, 0);
+//! });
+//! ```
+//!
+//! On a panic the harness reports the case index and the exact seed of the
+//! failing case before propagating, so one `cases(1, seed, …)` call replays
+//! it. There is no shrinking: keep generators small enough that a raw
+//! failing case is readable.
+
+use crate::rng::XorShift;
+
+/// Runs `n` generated cases of `body`, each with its own deterministic
+/// sub-seed derived from `seed`.
+pub fn cases<F: FnMut(&mut XorShift)>(n: usize, seed: u64, mut body: F) {
+    for case in 0..n {
+        // SplitMix-style stream split: decorrelates consecutive cases.
+        let sub = seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1))
+            | 1;
+        let mut rng = XorShift::new(sub);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("testkit: case {case}/{n} failed; replay with gen::cases(1, {sub:#x}, ..)");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A random vector of `len ∈ [min_len, max_len]` elements drawn by `item`.
+pub fn vec_of<T>(
+    rng: &mut XorShift,
+    min_len: usize,
+    max_len: usize,
+    mut item: impl FnMut(&mut XorShift) -> T,
+) -> Vec<T> {
+    let len = rng.range(min_len, max_len + 1);
+    (0..len).map(|_| item(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_run_the_requested_count() {
+        let mut count = 0;
+        cases(17, 1, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let mut a = Vec::new();
+        cases(5, 99, |rng| a.push(rng.next_u64()));
+        let mut b = Vec::new();
+        cases(5, 99, |rng| b.push(rng.next_u64()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_of_respects_bounds() {
+        cases(50, 3, |rng| {
+            let v = vec_of(rng, 2, 5, |r| r.bool());
+            assert!((2..=5).contains(&v.len()));
+        });
+    }
+}

@@ -1,0 +1,508 @@
+//! A shrink-free, offline shim for the slice of the `proptest` API used by
+//! this workspace's `tests/prop.rs` suites.
+//!
+//! The real `proptest` crate cannot be a dependency here — builds run with
+//! no network access — so this module re-implements the surface those
+//! suites actually touch: the [`Strategy`] trait with `prop_map`,
+//! `prop_recursive` and `boxed`, integer-range / tuple / [`Just`] /
+//! [`collection::vec`] strategies, the [`proptest!`](crate::proptest!),
+//! [`prop_oneof!`](crate::prop_oneof!), [`prop_assert!`](crate::prop_assert!)
+//! and [`prop_assert_eq!`](crate::prop_assert_eq!) macros, and the
+//! [`ProptestConfig`] / [`TestCaseError`] types.
+//!
+//! Semantics differ from the original in two deliberate ways:
+//!
+//! * **no shrinking** — a failing case is reported whole, with the seed
+//!   that replays it;
+//! * **deterministic case streams** — each test's cases derive from the
+//!   test's `module_path!::name`, not from OS entropy, so CI failures
+//!   reproduce locally without a seed file.
+//!
+//! A suite opts in with one import line:
+//!
+//! ```ignore
+//! use ddws_testkit::proptest::{self, prelude::*};
+//! ```
+//!
+//! which binds both the `proptest` *module* (for `proptest::collection::…`
+//! paths) and the `proptest!` *macro* (via the prelude glob).
+
+use crate::rng::XorShift;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Run-loop configuration: how many cases each test executes.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case, carrying its message.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError(msg.to_string())
+    }
+
+    /// A rejection; the shim treats rejections as failures (the suites it
+    /// serves never reject).
+    pub fn reject(msg: impl std::fmt::Display) -> Self {
+        TestCaseError(format!("rejected: {msg}"))
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A value generator. The shim's strategies *are* their generators: no
+/// value tree, no shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut XorShift) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `depth` rounds of `recurse` stacked on
+    /// top of `self` as the leaf, mixing in leaves at every level so
+    /// expected sizes stay bounded. `_desired_size` and `_expected_branch`
+    /// exist for signature compatibility and are ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(strat).boxed();
+            strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> BoxedStrategy<T> {
+    /// Already boxed: the identity (kept so `.boxed()` chains uniformly).
+    pub fn boxed(self) -> BoxedStrategy<T> {
+        self
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut XorShift) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut XorShift) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut XorShift) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    choices: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds the union; `choices` must be non-empty.
+    pub fn new(choices: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+        Union { choices }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut XorShift) -> T {
+        let i = rng.range(0, self.choices.len());
+        self.choices[i].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut XorShift) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut XorShift) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                // `span + 1` cannot overflow in practice: test ranges are
+                // far from the full u64 line.
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut XorShift) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! { (A, B) (A, B, C) (A, B, C, D) }
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// That canonical strategy.
+    type Strategy: Strategy<Value = Self>;
+    /// Builds it.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy of `T` (only `bool` is needed by the suites).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// [`any::<bool>()`](any)'s strategy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut XorShift) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+/// A size specification for [`collection::vec`]: an exact length, `a..b`,
+/// or `a..=b`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_inclusive: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use crate::rng::XorShift;
+
+    /// A vector of `size`-many draws from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut XorShift) -> Vec<S::Value> {
+            let len = rng.range(self.size.min, self.size.max_inclusive + 1);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// One-glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::{
+        any, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// The test-harness macro: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+///
+/// Bodies may use `?` on `Result<_, TestCaseError>` and `prop_assert!`-style
+/// macros, exactly as under the real `proptest`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::proptest::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$attr:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::proptest::ProptestConfig = $cfg;
+                let __seed = $crate::seed_from(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__config.cases {
+                    let __sub = __seed
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(u64::from(__case) + 1))
+                        | 1;
+                    let mut __rng = $crate::rng::XorShift::new(__sub);
+                    $(let $pat = $crate::proptest::Strategy::generate(&($strat), &mut __rng);)+
+                    let mut __run = || -> ::core::result::Result<(), $crate::proptest::TestCaseError> {
+                        let _ = $body;
+                        ::core::result::Result::Ok(())
+                    };
+                    if let ::core::result::Result::Err(__e) = __run() {
+                        ::core::panic!(
+                            "{} (case {}/{}, seed {:#x}): {}",
+                            stringify!($name), __case, __config.cases, __sub, __e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the *case* (returns `Err(TestCaseError)`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::proptest::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the *case* (returns `Err(TestCaseError)`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err($crate::proptest::TestCaseError::fail(
+                ::std::format!("assertion failed: `{:?} == {:?}`", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::core::result::Result::Err($crate::proptest::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{:?} == {:?}`: {}",
+                    __a, __b, ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+/// A uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::proptest::Union::new(::std::vec![
+            $($crate::proptest::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::{self as proptest};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// Ranges generate in-bounds; vec respects its size range.
+        #[test]
+        fn range_and_vec_bounds(
+            x in 3u32..9,
+            v in proptest::collection::vec(0usize..5, 2..6),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((2..=5).contains(&v.len()), "len {}", v.len());
+            prop_assert!(v.iter().all(|&e| e < 5));
+            let _ = flag;
+        }
+
+        /// prop_oneof + prop_map + Just compose; tuple patterns bind.
+        #[test]
+        fn combinators_compose(
+            (a, b) in (0u32..4, Just(7u32)),
+            tagged in prop_oneof![
+                (0u32..3).prop_map(|i| ("small", i)),
+                Just(("seven", 7u32)),
+            ],
+        ) {
+            prop_assert!(a < 4);
+            prop_assert_eq!(b, 7);
+            prop_assert!(tagged.0 == "small" || tagged.0 == "seven");
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(60))]
+
+        /// prop_recursive respects the depth bound.
+        #[test]
+        fn recursive_depth_is_bounded(
+            t in (0u32..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+                proptest::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(depth(&t) <= 3, "depth {} of {:?}", depth(&t), t);
+        }
+    }
+
+    /// The same test name draws the same case stream (determinism), and
+    /// `TestCaseError` formatting carries the message.
+    #[test]
+    fn deterministic_and_error_display() {
+        let strat = (0u32..100, 0u32..100);
+        let mut r1 = crate::rng::XorShift::new(5);
+        let mut r2 = crate::rng::XorShift::new(5);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        let e = TestCaseError::fail("boom");
+        assert_eq!(e.to_string(), "boom");
+        assert!(TestCaseError::reject("r").to_string().contains("rejected"));
+    }
+}

@@ -1,0 +1,100 @@
+//! The xorshift64\* PRNG: 8 bytes of state, full 2^64−1 period, and good
+//! enough equidistribution for test-case generation (Vigna 2016). Not a
+//! cryptographic generator.
+
+/// A seeded xorshift64\* generator.
+#[derive(Clone, Debug)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Creates a generator; a zero seed (the xorshift fixed point) is
+    /// remapped to a fixed non-zero constant.
+    pub fn new(seed: u64) -> Self {
+        XorShift {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+
+    /// The next 64 raw bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform value in `[0, n)`; `n` must be non-zero.
+    ///
+    /// Uses the high bits via 128-bit multiply (Lemire), which avoids the
+    /// modulo bias that matters when `n` is large.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "below(0)");
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// A uniform `usize` in `[lo, hi)`; the range must be non-empty.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "empty range {lo}..{hi}");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform bool.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// True with probability `num`/`den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut z = XorShift::new(0);
+        assert_ne!(z.next_u64(), 0);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = XorShift::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.below(5) as usize;
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn range_is_inclusive_exclusive() {
+        let mut r = XorShift::new(9);
+        for _ in 0..100 {
+            let v = r.range(3, 6);
+            assert!((3..6).contains(&v));
+        }
+    }
+}

@@ -42,6 +42,7 @@ pub mod domain;
 pub mod ground;
 pub mod modular;
 pub mod oracle;
+pub mod parallel;
 pub mod product;
 pub mod protocols;
 pub mod reduction;

@@ -31,7 +31,7 @@
 use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
 use crate::product::{ProductSystem, SharedSearch};
 use crate::verify::{build_counterexample, Outcome, Report, Verifier, VerifyError, VerifyOptions};
-use ddws_automata::emptiness::{find_accepting_lasso_budget, SearchStats};
+use ddws_automata::emptiness::SearchStats;
 use ddws_automata::ltl_to_nba;
 use ddws_logic::input_bounded::check_input_bounded_sentence;
 use ddws_logic::{Fo, LtlFo, LtlFoSentence, VarId};
@@ -191,8 +191,7 @@ impl Verifier {
                 &atoms,
                 &shared,
             );
-            let (lasso, s) = find_accepting_lasso_budget(&system, opts.max_states)
-                .map_err(VerifyError::Budget)?;
+            let (lasso, s) = crate::parallel::search_product(&system, opts)?;
             stats.states_visited += s.states_visited;
             stats.transitions_explored += s.transitions_explored;
             if let Some(lasso) = lasso {

@@ -1,0 +1,38 @@
+//! Engine dispatch: the sequential nested DFS vs. the multi-threaded
+//! product search, selected by [`VerifyOptions::threads`].
+//!
+//! The parallel engine is `ddws-automata`'s
+//! [`find_accepting_lasso_budget_parallel`] run over the verifier's
+//! [`ProductSystem`], whose caches are sharded precisely so that many
+//! workers can expand it at once (see [`product`](crate::product)).
+//!
+//! Contract (documented in DESIGN.md, exercised by `tests/differential.rs`):
+//!
+//! * **verdicts are engine-independent** — for any budget at least the
+//!   reachable product size, `threads: None` and `threads: Some(n)` return
+//!   the same `Holds`/`Violated`/`Budget` answer for every `n`;
+//! * **counterexamples may differ** — both engines return *valid* violating
+//!   lassos, but not necessarily the same one; the sequential engine's
+//!   witness is additionally stable run-to-run;
+//! * **budgets still bind** — the parallel engine overshoots `max_states`
+//!   by at most one state per worker before failing.
+
+use crate::product::{PState, ProductSystem};
+use crate::verify::{VerifyError, VerifyOptions};
+use ddws_automata::emptiness::{find_accepting_lasso_budget, Lasso, SearchStats};
+use ddws_automata::parallel::find_accepting_lasso_budget_parallel;
+
+/// Runs the product search with the engine `opts.threads` selects:
+/// `None` → sequential nested DFS (CVWY), `Some(n)` → parallel
+/// reachability + SCC lasso extraction with `n` workers (`Some(0)` →
+/// all available cores).
+pub fn search_product(
+    system: &ProductSystem<'_>,
+    opts: &VerifyOptions,
+) -> Result<(Option<Lasso<PState>>, SearchStats), VerifyError> {
+    match opts.threads {
+        None => find_accepting_lasso_budget(system, opts.max_states),
+        Some(n) => find_accepting_lasso_budget_parallel(system, opts.max_states, n),
+    }
+    .map_err(VerifyError::Budget)
+}

@@ -13,15 +13,23 @@
 //! Acceptance is inherited from the automaton component, so an accepting
 //! lasso of this system is exactly a counterexample run over the database
 //! its oracle describes.
+//!
+//! All caches are sharded behind `RwLock`s so one `ProductSystem` can be
+//! expanded from many worker threads at once (see
+//! [`parallel`](crate::parallel)). Cached values are pure functions of
+//! their keys, so the benign race — two threads computing the same entry
+//! before either publishes it — wastes a little work but never changes a
+//! result.
 
 use crate::ground::AtomRegistry;
 use crate::oracle::{FactUniverse, Oracle, RecordingDb};
 use ddws_automata::{Nba, TransitionSystem};
 use ddws_model::{Composition, Config, Mover};
 use ddws_relational::{Instance, Value};
-use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, RwLock};
 
 /// A state of the product system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -46,36 +54,107 @@ pub enum PState {
     },
 }
 
-/// Interner for hash-heavy values (configurations, oracles).
-struct Interner<T> {
-    items: Vec<Rc<T>>,
-    ids: HashMap<Rc<T>, u32>,
+/// Shard count for the interners and caches: enough to keep lock
+/// contention low at the thread counts the engine targets (≤ 32 workers)
+/// without wasting memory on sequential runs.
+const SHARD_BITS: u32 = 4;
+const SHARDS: usize = 1 << SHARD_BITS;
+
+/// A deterministic shard index (`DefaultHasher::new()` is keyless, unlike
+/// `RandomState`, so shard layout is stable across runs).
+fn shard_of<T: Hash>(item: &T) -> usize {
+    let mut h = DefaultHasher::new();
+    item.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
 }
 
-impl<T> Default for Interner<T> {
+struct InternerShard<T> {
+    items: Vec<Arc<T>>,
+    ids: HashMap<Arc<T>, u32>,
+}
+
+impl<T> Default for InternerShard<T> {
     fn default() -> Self {
-        Interner {
+        InternerShard {
             items: Vec::new(),
             ids: HashMap::new(),
         }
     }
 }
 
-impl<T: std::hash::Hash + Eq> Interner<T> {
+/// Thread-safe interner for hash-heavy values (configurations, oracles).
+///
+/// Ids encode their shard in the low [`SHARD_BITS`] bits and the position
+/// within the shard above them, so resolution never consults a directory.
+struct Interner<T> {
+    shards: Vec<RwLock<InternerShard<T>>>,
+}
 
-    fn intern(&mut self, item: T) -> u32 {
-        if let Some(&id) = self.ids.get(&item) {
+impl<T> Default for Interner<T> {
+    fn default() -> Self {
+        Interner {
+            shards: (0..SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+}
+
+impl<T: Hash + Eq> Interner<T> {
+    fn intern(&self, item: T) -> u32 {
+        let sh = shard_of(&item);
+        {
+            let shard = self.shards[sh].read().expect("interner shard poisoned");
+            if let Some(&id) = shard.ids.get(&item) {
+                return id;
+            }
+        }
+        let mut shard = self.shards[sh].write().expect("interner shard poisoned");
+        if let Some(&id) = shard.ids.get(&item) {
             return id;
         }
-        let rc = Rc::new(item);
-        let id = u32::try_from(self.items.len()).expect("interner overflow");
-        self.items.push(Rc::clone(&rc));
-        self.ids.insert(rc, id);
+        let local = u32::try_from(shard.items.len()).expect("interner overflow");
+        let id = (local << SHARD_BITS) | sh as u32;
+        assert!(id >> SHARD_BITS == local, "interner overflow");
+        let arc = Arc::new(item);
+        shard.items.push(Arc::clone(&arc));
+        shard.ids.insert(arc, id);
         id
     }
 
-    fn get(&self, id: u32) -> Rc<T> {
-        Rc::clone(&self.items[id as usize])
+    fn get(&self, id: u32) -> Arc<T> {
+        let shard = self.shards[id as usize & (SHARDS - 1)]
+            .read()
+            .expect("interner shard poisoned");
+        Arc::clone(&shard.items[(id >> SHARD_BITS) as usize])
+    }
+}
+
+/// A sharded `HashMap` cache; values are cloned out under a read lock.
+struct ShardedMap<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        ShardedMap {
+            shards: (0..SHARDS).map(|_| RwLock::default()).collect(),
+        }
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
+    fn get(&self, key: &K) -> Option<V> {
+        self.shards[shard_of(key)]
+            .read()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    fn insert(&self, key: K, value: V) {
+        self.shards[shard_of(&key)]
+            .write()
+            .expect("cache shard poisoned")
+            .insert(key, value);
     }
 }
 
@@ -86,13 +165,13 @@ impl<T: std::hash::Hash + Eq> Interner<T> {
 /// already-expanded graph instead of re-evaluating every rule.
 #[derive(Default)]
 pub struct SharedSearch {
-    configs: RefCell<Interner<Config>>,
-    oracles: RefCell<Interner<Oracle>>,
+    configs: Interner<Config>,
+    oracles: Interner<Oracle>,
     /// (config, mover, oracle) → successor configs, or `Err(fact)` when the
     /// expansion forks on an undecided database fact.
-    steps: RefCell<HashMap<(u32, Mover, u32), Result<Vec<u32>, usize>>>,
+    steps: ShardedMap<(u32, Mover, u32), Result<Vec<u32>, usize>>,
     /// oracle → initial configs (or fork fact).
-    boots: RefCell<HashMap<u32, Result<Vec<u32>, usize>>>,
+    boots: ShardedMap<u32, Result<Vec<u32>, usize>>,
 }
 
 impl SharedSearch {
@@ -120,7 +199,7 @@ pub struct ProductSystem<'a> {
     shared: &'a SharedSearch,
     // The nested DFS expands every state twice (blue + red pass); successor
     // computation dominates, so memoize the full product expansion too.
-    succ_cache: RefCell<HashMap<PState, Vec<PState>>>,
+    succ_cache: ShardedMap<PState, Vec<PState>>,
 }
 
 impl<'a> ProductSystem<'a> {
@@ -142,32 +221,32 @@ impl<'a> ProductSystem<'a> {
             nba,
             atoms,
             shared,
-            succ_cache: RefCell::new(HashMap::new()),
+            succ_cache: ShardedMap::default(),
         }
     }
 
     /// Resolves an interned configuration.
-    pub fn config(&self, id: u32) -> Rc<Config> {
-        self.shared.configs.borrow().get(id)
+    pub fn config(&self, id: u32) -> Arc<Config> {
+        self.shared.configs.get(id)
     }
 
     /// Resolves an interned oracle.
-    pub fn oracle(&self, id: u32) -> Rc<Oracle> {
-        self.shared.oracles.borrow().get(id)
+    pub fn oracle(&self, id: u32) -> Arc<Oracle> {
+        self.shared.oracles.get(id)
     }
 
     fn intern_config(&self, c: Config) -> u32 {
-        self.shared.configs.borrow_mut().intern(c)
+        self.shared.configs.intern(c)
     }
 
     fn intern_oracle(&self, o: Oracle) -> u32 {
-        self.shared.oracles.borrow_mut().intern(o)
+        self.shared.oracles.intern(o)
     }
 
     /// Initial configurations for an oracle, cached across valuations.
     fn boot_configs(&self, oracle: u32) -> Result<Vec<u32>, usize> {
-        if let Some(cached) = self.shared.boots.borrow().get(&oracle) {
-            return cached.clone();
+        if let Some(cached) = self.shared.boots.get(&oracle) {
+            return cached;
         }
         let o = self.oracle(oracle);
         let db = RecordingDb::new(self.base_db, self.universe, &o);
@@ -176,15 +255,15 @@ impl<'a> ProductSystem<'a> {
             Some(fact) => Err(fact),
             None => Ok(configs.into_iter().map(|c| self.intern_config(c)).collect()),
         };
-        self.shared.boots.borrow_mut().insert(oracle, result.clone());
+        self.shared.boots.insert(oracle, result.clone());
         result
     }
 
     /// One composition step, cached across valuations.
     fn step_configs(&self, config: u32, mover: Mover, oracle: u32) -> Result<Vec<u32>, usize> {
         let key = (config, mover, oracle);
-        if let Some(cached) = self.shared.steps.borrow().get(&key) {
-            return cached.clone();
+        if let Some(cached) = self.shared.steps.get(&key) {
+            return cached;
         }
         let o = self.oracle(oracle);
         let cfg = self.config(config);
@@ -194,7 +273,7 @@ impl<'a> ProductSystem<'a> {
             Some(fact) => Err(fact),
             None => Ok(next.into_iter().map(|c| self.intern_config(c)).collect()),
         };
-        self.shared.steps.borrow_mut().insert(key, result.clone());
+        self.shared.steps.insert(key, result.clone());
         result
     }
 
@@ -230,11 +309,11 @@ impl TransitionSystem for ProductSystem<'_> {
     }
 
     fn successors(&self, s: &PState) -> Vec<PState> {
-        if let Some(cached) = self.succ_cache.borrow().get(s) {
-            return cached.clone();
+        if let Some(cached) = self.succ_cache.get(s) {
+            return cached;
         }
         let result = self.successors_uncached(s);
-        self.succ_cache.borrow_mut().insert(*s, result.clone());
+        self.succ_cache.insert(*s, result.clone());
         result
     }
 

@@ -18,7 +18,7 @@ use crate::ground::{canonical_valuations, AtomRegistry};
 use crate::product::{ProductSystem, SharedSearch};
 use crate::verify::{build_counterexample, Outcome, Report, Verifier, VerifyError, VerifyOptions};
 use ddws_automata::complement::{complement, complement_deterministic, complete};
-use ddws_automata::emptiness::{find_accepting_lasso_budget, SearchStats};
+use ddws_automata::emptiness::SearchStats;
 use ddws_automata::Nba;
 use ddws_logic::input_bounded::check_input_bounded_fo;
 use ddws_protocol::{DataAgnosticProtocol, DataAwareProtocol};
@@ -181,8 +181,7 @@ impl Verifier {
         let shared = SharedSearch::new();
         let system =
             ProductSystem::new(comp, &base_db, &universe, domain, violation_nba, &atoms, &shared);
-        let (lasso, stats) =
-            find_accepting_lasso_budget(&system, opts.max_states).map_err(VerifyError::Budget)?;
+        let (lasso, stats) = crate::parallel::search_product(&system, opts)?;
         let outcome = match lasso {
             None => Outcome::Holds,
             Some(lasso) => {

@@ -5,7 +5,7 @@ use crate::domain::suggested_fresh_values;
 use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
 use crate::oracle::{FactUniverse, Oracle};
 use crate::product::{PState, ProductSystem, SharedSearch};
-use ddws_automata::emptiness::{find_accepting_lasso_budget, BudgetExceeded, SearchStats};
+use ddws_automata::emptiness::{BudgetExceeded, SearchStats};
 use ddws_automata::{ltl_to_nba, Ltl};
 use ddws_logic::input_bounded::{check_input_bounded_sentence, IbOptions, IbViolation};
 use ddws_logic::parser::{parse_sentence, ParseError, Resolver};
@@ -38,6 +38,11 @@ pub struct VerifyOptions {
     pub fresh_values: Option<usize>,
     /// State budget for the product search.
     pub max_states: u64,
+    /// Product-search engine: `None` runs the sequential nested DFS
+    /// (CVWY); `Some(n)` runs the parallel engine with `n` worker threads
+    /// (`Some(0)` = all available cores). Verdicts are identical across
+    /// engines; counterexamples may differ (see `crate::parallel`).
+    pub threads: Option<usize>,
     /// Enforce input-boundedness of the composition and property before
     /// checking (the hypothesis of Theorem 3.4). Disable only for
     /// experiments outside the decidable regime.
@@ -52,6 +57,7 @@ impl Default for VerifyOptions {
             database: DatabaseMode::AllDatabases,
             fresh_values: None,
             max_states: 5_000_000,
+            threads: None,
             require_input_bounded: true,
             ib_options: IbOptions::default(),
         }
@@ -275,8 +281,7 @@ impl Verifier {
             let nba = ltl_to_nba(&ltl);
             let system =
                 ProductSystem::new(&self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared);
-            let (lasso, s) = find_accepting_lasso_budget(&system, opts.max_states)
-                .map_err(VerifyError::Budget)?;
+            let (lasso, s) = crate::parallel::search_product(&system, opts)?;
             stats.states_visited += s.states_visited;
             stats.transitions_explored += s.transitions_explored;
             if let Some(lasso) = lasso {
@@ -309,6 +314,79 @@ impl Verifier {
     pub fn check_str(&mut self, property: &str, opts: &VerifyOptions) -> Result<Report, VerifyError> {
         let p = self.parse_property(property)?;
         self.check(&p, opts)
+    }
+
+    /// Replays a [`Counterexample`] returned by [`Verifier::check`] for
+    /// `property` under the same options, validating that it denotes a real
+    /// violating run shape: the first snapshot is an initial configuration,
+    /// every step is a legal composition move, and the cycle closes.
+    ///
+    /// The check re-applies the observation masks and verification domain
+    /// that `check` used (counterexample configurations were produced under
+    /// them), and runs the composition over the counterexample's own
+    /// database — for `AllDatabases` mode that is the materialized oracle,
+    /// so replay validates exactly the database the search decided.
+    ///
+    /// Returns `Err` with a description of the first mismatch. This is the
+    /// oracle the differential test harness uses to cross-validate the
+    /// sequential and parallel engines' witnesses.
+    pub fn replay_counterexample(
+        &mut self,
+        property: &LtlFoSentence,
+        cex: &Counterexample,
+        opts: &VerifyOptions,
+    ) -> Result<(), String> {
+        let saved = self.save_masks();
+        let result = self.replay_inner(property, cex, opts);
+        self.restore_masks(saved);
+        result
+    }
+
+    fn replay_inner(
+        &mut self,
+        property: &LtlFoSentence,
+        cex: &Counterexample,
+        opts: &VerifyOptions,
+    ) -> Result<(), String> {
+        // Mirror check_inner's mask setup: configurations in the
+        // counterexample carry only observed flags and unfrozen state.
+        let mut observed = BTreeSet::new();
+        property.body.visit_fo(&mut |fo| {
+            observed.extend(fo.relations());
+        });
+        self.comp.observe_flags(&observed);
+        self.comp.freeze_unobserved(&observed);
+        let domain = self.domain_for(property, opts);
+
+        let steps: Vec<&RunStep> = cex.prefix.iter().chain(cex.cycle.iter()).collect();
+        if cex.cycle.is_empty() {
+            return Err("counterexample has an empty cycle".into());
+        }
+        let first = steps.first().expect("cycle is non-empty");
+        let initials = self.comp.initial_configs(&cex.database, &domain);
+        if !initials.contains(&first.config) {
+            return Err("first snapshot is not an initial configuration".into());
+        }
+        for (i, pair) in steps.windows(2).enumerate() {
+            let succs =
+                self.comp
+                    .successors(&cex.database, &domain, &pair[0].config, pair[0].mover);
+            if !succs.contains(&pair[1].config) {
+                return Err(format!(
+                    "step {i}: snapshot is not a {:?}-successor of its predecessor",
+                    pair[0].mover
+                ));
+            }
+        }
+        let last = steps.last().expect("cycle is non-empty");
+        let wrap = self
+            .comp
+            .successors(&cex.database, &domain, &last.config, last.mover);
+        let entry = &cex.cycle[0];
+        if !wrap.contains(&entry.config) {
+            return Err("cycle does not close back to its entry snapshot".into());
+        }
+        Ok(())
     }
 
     /// Splits a domain into (constants, fresh) parts — fresh values are the

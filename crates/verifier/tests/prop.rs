@@ -3,7 +3,7 @@
 use ddws_model::{Composition, CompositionBuilder, QueueKind};
 use ddws_relational::{Instance, Tuple};
 use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
-use proptest::prelude::*;
+use ddws_testkit::proptest::prelude::*;
 
 fn ping(lossy: bool) -> Composition {
     let mut b = CompositionBuilder::new();

@@ -1,0 +1,189 @@
+//! Differential tests between the sequential product-search engine
+//! (`threads: None`, CVWY nested DFS) and the parallel engine
+//! (`threads: Some(n)`, work-stealing reachability + SCC lasso
+//! extraction) across every scenario composition.
+//!
+//! The contract under test (see DESIGN.md, "Parallel search"):
+//!
+//! * verdicts are **engine-independent** — every thread count returns the
+//!   same `Holds`/`Violated` answer;
+//! * counterexamples may differ between engines, but each engine's
+//!   counterexample must **replay**: its run must be a legal violating
+//!   lasso of the composition over the counterexample's database
+//!   ([`Verifier::replay_counterexample`]);
+//! * state budgets bind every engine, with overshoot bounded by the
+//!   worker count.
+
+use ddws::scenarios::{bank_loan, chains, ecommerce, travel};
+use ddws_model::Semantics;
+use ddws_relational::Instance;
+use ddws_verifier::{DatabaseMode, Outcome, Verifier, VerifyError, VerifyOptions};
+
+/// The engine matrix: sequential, and parallel at 1/2/4 workers.
+const ENGINES: [Option<usize>; 4] = [None, Some(1), Some(2), Some(4)];
+
+fn fixed_opts(db: Instance) -> VerifyOptions {
+    VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        ..VerifyOptions::default()
+    }
+}
+
+fn nested_sem() -> Semantics {
+    Semantics {
+        nested_send_skips_empty: true,
+        ..Semantics::default()
+    }
+}
+
+/// Checks `property` once per engine, asserting the expected verdict from
+/// each and replaying every returned counterexample.
+fn assert_engines_agree(
+    make: &dyn Fn() -> (Verifier, VerifyOptions),
+    property: &str,
+    expect_holds: bool,
+) {
+    for threads in ENGINES {
+        let (mut v, mut opts) = make();
+        opts.threads = threads;
+        let prop = v.parse_property(property).expect("property parses");
+        let report = v.check(&prop, &opts).expect("verification completes");
+        assert_eq!(
+            report.outcome.holds(),
+            expect_holds,
+            "engine threads={threads:?} disagrees on {property:?}"
+        );
+        if let Outcome::Violated(cex) = &report.outcome {
+            v.replay_counterexample(&prop, cex, &opts).unwrap_or_else(|e| {
+                panic!("threads={threads:?}: counterexample does not replay: {e}\n{cex:?}")
+            });
+        }
+    }
+}
+
+fn bank_loan_setup() -> (Verifier, VerifyOptions) {
+    let mut v = Verifier::new(bank_loan::composition(true, nested_sem()));
+    let db = bank_loan::demo_database(v.composition_mut());
+    (v, fixed_opts(db))
+}
+
+#[test]
+fn bank_loan_holds_on_every_engine() {
+    assert_engines_agree(&bank_loan_setup, bank_loan::PROP_RATINGS_REFLECT_DB, true);
+}
+
+#[test]
+fn bank_loan_violation_replays_on_every_engine() {
+    assert_engines_agree(&bank_loan_setup, bank_loan::PROP_NO_RATING_EVER, false);
+}
+
+fn ecommerce_setup() -> (Verifier, VerifyOptions) {
+    let mut v = Verifier::new(ecommerce::composition(true, Semantics::default()));
+    let db = ecommerce::demo_database(v.composition_mut());
+    (v, fixed_opts(db))
+}
+
+#[test]
+fn ecommerce_holds_on_every_engine() {
+    assert_engines_agree(&ecommerce_setup, ecommerce::PROP_CHARGES_ARE_VALID, true);
+}
+
+#[test]
+fn ecommerce_violation_replays_on_every_engine() {
+    // The storefront does get charge confirmations: "no confirmation ever
+    // arrives" is refuted by the run that buys the book with the visa.
+    assert_engines_agree(
+        &ecommerce_setup,
+        "G (forall card, status: Store.?charged(card, status) -> false)",
+        false,
+    );
+}
+
+fn travel_setup() -> (Verifier, VerifyOptions) {
+    let mut v = Verifier::new(travel::composition(true, nested_sem()));
+    let db = travel::demo_database(v.composition_mut());
+    (v, fixed_opts(db))
+}
+
+#[test]
+fn travel_holds_on_every_engine() {
+    assert_engines_agree(&travel_setup, travel::PROP_RESULTS_ARE_REAL, true);
+}
+
+#[test]
+fn travel_violation_replays_on_every_engine() {
+    // The nested `offers` channel delivers both LIS flights in one message,
+    // so "never both results at once" is violated (tests/scenarios.rs
+    // establishes this for the sequential engine).
+    assert_engines_agree(
+        &travel_setup,
+        "G (not (Portal.results(\"LIS\", \"f1\") and Portal.results(\"LIS\", \"f2\")))",
+        false,
+    );
+}
+
+fn chains_setup() -> (Verifier, VerifyOptions) {
+    let mut v = Verifier::new(chains::composition(3, true, Semantics::default()));
+    let db = chains::database(v.composition_mut(), 1);
+    (v, fixed_opts(db))
+}
+
+#[test]
+fn chains_holds_on_every_engine() {
+    let prop = chains::prop_integrity(3);
+    assert_engines_agree(&chains_setup, &prop, true);
+}
+
+#[test]
+fn chains_violation_replays_on_every_engine() {
+    // The relay does forward the token: "P1 never receives" is refuted.
+    assert_engines_agree(&chains_setup, "G (forall x: P1.?hop0(x) -> false)", false);
+}
+
+#[test]
+fn all_databases_mode_agrees_and_replays() {
+    // ∃-database verification: the oracle must *decide* `P0.token` facts to
+    // build a violating run, and the replayed counterexample runs over the
+    // materialized decided database.
+    let make = || {
+        let v = Verifier::new(chains::composition(2, true, Semantics::default()));
+        let opts = VerifyOptions {
+            database: DatabaseMode::AllDatabases,
+            fresh_values: Some(1),
+            ..VerifyOptions::default()
+        };
+        (v, opts)
+    };
+    assert_engines_agree(&make, "G (forall x: P1.?hop0(x) -> false)", false);
+}
+
+#[test]
+fn budget_exceeded_at_every_thread_count() {
+    // The 3-peer chain over 2 tokens reaches far more than 60 product
+    // states, so a 60-state budget must fail — promptly, on every engine,
+    // with overshoot at most one state per worker.
+    const BUDGET: u64 = 60;
+    for threads in ENGINES {
+        let mut v = Verifier::new(chains::composition(3, true, Semantics::default()));
+        let db = chains::database(v.composition_mut(), 2);
+        let mut opts = fixed_opts(db);
+        opts.max_states = BUDGET;
+        opts.threads = threads;
+        let err = v
+            .check_str(&chains::prop_integrity(3), &opts)
+            .expect_err("the budget must trip");
+        match err {
+            VerifyError::Budget(b) => {
+                let workers = threads.unwrap_or(1) as u64;
+                assert!(b.states_visited > BUDGET, "threads={threads:?}");
+                assert!(
+                    b.states_visited <= BUDGET + workers + 1,
+                    "threads={threads:?}: overshoot too large ({} states)",
+                    b.states_visited
+                );
+            }
+            other => panic!("threads={threads:?}: expected Budget, got {other}"),
+        }
+    }
+}
