@@ -10,8 +10,20 @@
 //! it directly on the on-the-fly product of a composition with a property
 //! automaton without materializing either.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
+
+/// A (possibly reduced) expansion of one state, as produced by
+/// [`TransitionSystem::successors_reduced`].
+#[derive(Clone, Debug)]
+pub struct Expansion<S> {
+    /// The successor states the search should follow.
+    pub states: Vec<S>,
+    /// `true` when `states` is an *ample* strict subset of the full
+    /// successor set (so the engine must apply the C3 cycle proviso before
+    /// trusting it); `false` when it already is the full expansion.
+    pub ample: bool,
+}
 
 /// An implicitly represented Büchi-annotated transition system.
 ///
@@ -31,6 +43,31 @@ pub trait TransitionSystem: Sync {
 
     /// Büchi acceptance flag.
     fn is_accepting(&self, s: &Self::State) -> bool;
+
+    /// Ample-set expansion: a subset of [`successors`](Self::successors)
+    /// satisfying the C0–C2 ample conditions (non-emptiness, dependence
+    /// closure, invisibility). The *engine* enforces the cycle proviso C3
+    /// and falls back to [`successors_full`](Self::successors_full) when it
+    /// fires. The default returns the full expansion (no reduction).
+    fn successors_reduced(&self, s: &Self::State) -> Expansion<Self::State> {
+        Expansion {
+            states: self.successors(s),
+            ample: false,
+        }
+    }
+
+    /// The unreduced successor set, used when C3 forces a full expansion.
+    fn successors_full(&self, s: &Self::State) -> Vec<Self::State> {
+        self.successors(s)
+    }
+
+    /// Whether the engines should route expansions through
+    /// [`successors_reduced`](Self::successors_reduced) and track the
+    /// `ample_hits`/`full_expansions` counters. Defaults to `false`, which
+    /// keeps the search bit-identical to the unreduced one.
+    fn reduction_active(&self) -> bool {
+        false
+    }
 }
 
 /// A counterexample witness: the run `prefix · cycle^ω`.
@@ -54,6 +91,31 @@ pub struct SearchStats {
     pub states_visited: u64,
     /// Transitions expanded (outer and inner DFS).
     pub transitions_explored: u64,
+    /// States expanded with a strict ample subset of their successors
+    /// (always 0 when the reduction is off).
+    pub ample_hits: u64,
+    /// States expanded with their full successor set while the reduction
+    /// was active — either no valid ample subset existed or the C3 cycle
+    /// proviso forced the fallback (always 0 when the reduction is off).
+    pub full_expansions: u64,
+    /// `true` when these counts come from an aborted (budget-exhausted)
+    /// search and therefore undercount the state space.
+    pub truncated: bool,
+}
+
+impl SearchStats {
+    /// Accumulates `other` into `self`: counters add, `truncated` ORs.
+    ///
+    /// This is the one merge used everywhere (per-worker logs in the
+    /// parallel engine, per-valuation sub-searches in the verifier), so
+    /// both engines report partiality the same way.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.states_visited += other.states_visited;
+        self.transitions_explored += other.transitions_explored;
+        self.ample_hits += other.ample_hits;
+        self.full_expansions += other.full_expansions;
+        self.truncated |= other.truncated;
+    }
 }
 
 /// The search's state budget was exhausted before an answer was reached.
@@ -64,6 +126,8 @@ pub struct SearchStats {
 pub struct BudgetExceeded {
     /// States visited when the budget tripped.
     pub states_visited: u64,
+    /// The partial statistics at abort time, with `truncated` set.
+    pub stats: SearchStats,
 }
 
 impl std::fmt::Display for BudgetExceeded {
@@ -104,6 +168,7 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
     let mut stats = SearchStats::default();
     let mut blue: HashSet<TS::State> = HashSet::new();
     let mut red: HashSet<TS::State> = HashSet::new();
+    let mut reducer: Reducer<TS> = Reducer::new(ts.reduction_active());
 
     struct Frame<S> {
         state: S,
@@ -117,15 +182,18 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
         }
         blue.insert(init.clone());
         stats.states_visited += 1;
+        reducer.enter(&init);
         let mut stack: Vec<Frame<TS::State>> = vec![Frame {
-            succs: ts.successors(&init),
+            succs: reducer.expand(ts, &init, &mut stats),
             state: init,
             next: 0,
         }];
         while let Some(frame) = stack.last_mut() {
             if stats.states_visited > max_states {
+                stats.truncated = true;
                 return Err(BudgetExceeded {
                     states_visited: stats.states_visited,
+                    stats,
                 });
             }
             if frame.next < frame.succs.len() {
@@ -135,8 +203,9 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
                 if !blue.contains(&succ) {
                     blue.insert(succ.clone());
                     stats.states_visited += 1;
+                    reducer.enter(&succ);
                     stack.push(Frame {
-                        succs: ts.successors(&succ),
+                        succs: reducer.expand(ts, &succ, &mut stats),
                         state: succ,
                         next: 0,
                     });
@@ -145,7 +214,8 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
                 // Postorder.
                 let state = frame.state.clone();
                 if ts.is_accepting(&state) {
-                    if let Some(cycle) = red_search(ts, &state, &mut red, &mut stats) {
+                    if let Some(cycle) = red_search(ts, &state, &mut red, &mut reducer, &mut stats)
+                    {
                         // The blue stack spells the path from the initial
                         // state to `state` (inclusive at the top).
                         let prefix: Vec<TS::State> = stack
@@ -156,11 +226,95 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
                         return Ok((Some(Lasso { prefix, cycle }), stats));
                     }
                 }
+                reducer.leave(&state);
                 stack.pop();
             }
         }
     }
     Ok((None, stats))
+}
+
+/// Per-search partial-order-reduction bookkeeping for the sequential
+/// engine. Inert (and allocation-free on the hot path) when the transition
+/// system does not activate reduction.
+///
+/// The reduced graph the search runs on must be a *fixed* function of the
+/// state for nested DFS to stay sound (blue and red must traverse the same
+/// edges — Holzmann–Peled), so the first expansion computed for a state is
+/// memoized and reused by both searches. C3 is the classic stack proviso:
+/// an ample set containing a state on the blue DFS stack would let a cycle
+/// consist entirely of reduced expansions and hide an accepting lasso, so
+/// such states fall back to their full successor set. States first expanded
+/// by the red search are expanded fully — the blue stack discipline does
+/// not apply there, and full expansions are always sound.
+struct Reducer<TS: TransitionSystem> {
+    active: bool,
+    on_stack: HashSet<TS::State>,
+    expansions: HashMap<TS::State, Vec<TS::State>>,
+}
+
+impl<TS: TransitionSystem> Reducer<TS> {
+    fn new(active: bool) -> Self {
+        Reducer {
+            active,
+            on_stack: HashSet::new(),
+            expansions: HashMap::new(),
+        }
+    }
+
+    fn enter(&mut self, s: &TS::State) {
+        if self.active {
+            self.on_stack.insert(s.clone());
+        }
+    }
+
+    fn leave(&mut self, s: &TS::State) {
+        if self.active {
+            self.on_stack.remove(s);
+        }
+    }
+
+    /// The blue-DFS expansion of `s`: ample if C0–C3 allow, full otherwise.
+    fn expand(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Vec<TS::State> {
+        if !self.active {
+            return ts.successors(s);
+        }
+        if let Some(cached) = self.expansions.get(s) {
+            return cached.clone();
+        }
+        let exp = ts.successors_reduced(s);
+        let succs = if exp.ample {
+            if exp.states.iter().any(|t| self.on_stack.contains(t)) {
+                // C3 (cycle proviso): an ample successor closes back into
+                // the DFS stack — expand fully instead.
+                stats.full_expansions += 1;
+                ts.successors_full(s)
+            } else {
+                stats.ample_hits += 1;
+                exp.states
+            }
+        } else {
+            stats.full_expansions += 1;
+            exp.states
+        };
+        self.expansions.insert(s.clone(), succs.clone());
+        succs
+    }
+
+    /// The red-DFS expansion of `s`: the memoized blue expansion when one
+    /// exists, the full expansion (memoized for blue to reuse) otherwise.
+    fn expand_red(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Vec<TS::State> {
+        if !self.active {
+            return ts.successors(s);
+        }
+        if let Some(cached) = self.expansions.get(s) {
+            return cached.clone();
+        }
+        stats.full_expansions += 1;
+        let succs = ts.successors_full(s);
+        self.expansions.insert(s.clone(), succs.clone());
+        succs
+    }
 }
 
 /// Inner DFS from `seed`, looking for a transition back to `seed`.
@@ -169,6 +323,7 @@ fn red_search<TS: TransitionSystem>(
     ts: &TS,
     seed: &TS::State,
     red: &mut HashSet<TS::State>,
+    reducer: &mut Reducer<TS>,
     stats: &mut SearchStats,
 ) -> Option<Vec<TS::State>> {
     struct Frame<S> {
@@ -184,7 +339,7 @@ fn red_search<TS: TransitionSystem>(
     }
     red.insert(seed.clone());
     let mut stack: Vec<Frame<TS::State>> = vec![Frame {
-        succs: ts.successors(seed),
+        succs: reducer.expand_red(ts, seed, stats),
         state: seed.clone(),
         next: 0,
     }];
@@ -200,7 +355,7 @@ fn red_search<TS: TransitionSystem>(
             if !red.contains(&succ) {
                 red.insert(succ.clone());
                 stack.push(Frame {
-                    succs: ts.successors(&succ),
+                    succs: reducer.expand_red(ts, &succ, stats),
                     state: succ,
                     next: 0,
                 });
@@ -212,8 +367,71 @@ fn red_search<TS: TransitionSystem>(
     None
 }
 
+/// Test-only transition systems shared by the sequential and parallel
+/// engine test suites.
+#[cfg(test)]
+pub(crate) mod test_graphs {
+    use super::{Expansion, TransitionSystem};
+
+    /// Explicit graph with per-state ample subsets declared by the test, so
+    /// the engines' C3 handling can be probed directly.
+    pub(crate) struct ReducedGraph {
+        pub(crate) edges: Vec<Vec<usize>>,
+        pub(crate) accepting: Vec<bool>,
+        pub(crate) initial: Vec<usize>,
+        /// `Some(subset)` ⇒ `successors_reduced` reports that subset with
+        /// `ample = true`; `None` ⇒ full expansion.
+        pub(crate) ample: Vec<Option<Vec<usize>>>,
+    }
+
+    impl TransitionSystem for ReducedGraph {
+        type State = usize;
+        fn initial_states(&self) -> Vec<usize> {
+            self.initial.clone()
+        }
+        fn successors(&self, s: &usize) -> Vec<usize> {
+            self.edges[*s].clone()
+        }
+        fn is_accepting(&self, s: &usize) -> bool {
+            self.accepting[*s]
+        }
+        fn successors_reduced(&self, s: &usize) -> Expansion<usize> {
+            match &self.ample[*s] {
+                Some(subset) => Expansion {
+                    states: subset.clone(),
+                    ample: true,
+                },
+                None => Expansion {
+                    states: self.edges[*s].clone(),
+                    ample: false,
+                },
+            }
+        }
+        fn reduction_active(&self) -> bool {
+            true
+        }
+    }
+
+    /// A crafted cycle whose ample sets, taken at face value, would consist
+    /// entirely of reduced expansions and hide the accepting lasso: full
+    /// edges 0 → {1}, 1 → {0, 2}, 2 → {0}, accepting = {2}, with the ample
+    /// set at 1 claiming {0}. Following only the ample edge at 1 closes the
+    /// cycle 0-1 without ever reaching 2, so the C3 cycle proviso must fire
+    /// at 1 and restore the full expansion — recovering the lasso
+    /// 0 → 1 → 2 → 0.
+    pub(crate) fn c3_trap() -> ReducedGraph {
+        ReducedGraph {
+            edges: vec![vec![1], vec![0, 2], vec![0]],
+            accepting: vec![false, false, true],
+            initial: vec![0],
+            ample: vec![None, Some(vec![0]), None],
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::test_graphs::{c3_trap, ReducedGraph};
     use super::*;
 
     /// A small explicit graph for testing.
@@ -340,5 +558,83 @@ mod tests {
         };
         let lasso = find_accepting_lasso(&g).unwrap();
         assert!(lasso.cycle.iter().any(|&s| g.accepting[s]));
+    }
+
+    #[test]
+    fn c3_proviso_recovers_hidden_lasso() {
+        let g = c3_trap();
+        let (lasso, stats) = find_accepting_lasso_stats(&g);
+        let lasso = lasso.expect("C3 must restore the full expansion at 1");
+        assert!(
+            lasso.cycle.contains(&2),
+            "lasso runs through the accepting state"
+        );
+        assert_eq!(
+            stats.ample_hits, 0,
+            "every ample set here closes into the stack"
+        );
+        assert!(stats.full_expansions >= 1);
+    }
+
+    #[test]
+    fn ample_subset_taken_when_no_cycle_closes() {
+        // 0 → {1, 2} with ample {1}; both arms reach sink 3. No cycles, so
+        // C3 never fires and the reduced search must skip state 2 entirely.
+        let g = ReducedGraph {
+            edges: vec![vec![1, 2], vec![3], vec![3], vec![]],
+            accepting: vec![false, false, false, false],
+            initial: vec![0],
+            ample: vec![Some(vec![1]), None, None, None],
+        };
+        let (lasso, stats) = find_accepting_lasso_stats(&g);
+        assert!(lasso.is_none());
+        assert_eq!(stats.ample_hits, 1);
+        assert_eq!(
+            stats.states_visited, 3,
+            "state 2 is pruned by the ample set"
+        );
+    }
+
+    #[test]
+    fn budget_error_carries_truncated_stats() {
+        // A long chain, budget well short of its length.
+        let n = 50;
+        let g = Graph {
+            edges: (0..n)
+                .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+                .collect(),
+            accepting: vec![false; n],
+            initial: vec![0],
+        };
+        let err = find_accepting_lasso_budget(&g, 10).expect_err("budget must trip");
+        assert!(err.stats.truncated);
+        assert_eq!(err.stats.states_visited, err.states_visited);
+        assert!(err.states_visited > 10 && err.states_visited <= 12);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_ors_truncated() {
+        let mut a = SearchStats {
+            states_visited: 3,
+            transitions_explored: 5,
+            ample_hits: 1,
+            full_expansions: 2,
+            truncated: false,
+        };
+        let b = SearchStats {
+            states_visited: 7,
+            transitions_explored: 11,
+            ample_hits: 0,
+            full_expansions: 4,
+            truncated: true,
+        };
+        a.absorb(&b);
+        assert_eq!(a.states_visited, 10);
+        assert_eq!(a.transitions_explored, 16);
+        assert_eq!(a.ample_hits, 1);
+        assert_eq!(a.full_expansions, 6);
+        assert!(a.truncated, "truncated is sticky across merges");
+        a.absorb(&SearchStats::default());
+        assert!(a.truncated);
     }
 }

@@ -94,7 +94,10 @@ impl fmt::Display for Guard {
 /// Used by the complementation constructions, which need an explicit
 /// alphabet; `num_aps` is small for conversation protocols.
 pub fn all_letters(num_aps: u32) -> impl Iterator<Item = Letter> {
-    assert!(num_aps <= 20, "explicit alphabet of 2^{num_aps} letters is too large");
+    assert!(
+        num_aps <= 20,
+        "explicit alphabet of 2^{num_aps} letters is too large"
+    );
     0..(1u64 << num_aps)
 }
 
@@ -137,6 +140,9 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(Guard::TOP.to_string(), "true");
-        assert_eq!(Guard::require(1).and(Guard::forbid(0)).to_string(), "!p0 & p1");
+        assert_eq!(
+            Guard::require(1).and(Guard::forbid(0)).to_string(),
+            "!p0 & p1"
+        );
     }
 }

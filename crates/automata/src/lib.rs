@@ -29,7 +29,6 @@
 //! The alphabet is `2^AP` for at most 64 propositions — far beyond anything
 //! the verifier grounds in practice.
 
-
 #![warn(missing_docs)]
 pub mod complement;
 pub mod emptiness;
@@ -40,9 +39,12 @@ pub mod parallel;
 pub mod product;
 pub mod translate;
 
-pub use emptiness::{find_accepting_lasso, find_accepting_lasso_budget, BudgetExceeded, Lasso, SearchStats, TransitionSystem};
-pub use parallel::find_accepting_lasso_budget_parallel;
+pub use emptiness::{
+    find_accepting_lasso, find_accepting_lasso_budget, BudgetExceeded, Expansion, Lasso,
+    SearchStats, TransitionSystem,
+};
 pub use guard::{Guard, Letter};
 pub use ltl::Ltl;
 pub use nba::{Nba, StateId};
+pub use parallel::find_accepting_lasso_budget_parallel;
 pub use translate::ltl_to_nba;

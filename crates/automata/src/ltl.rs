@@ -196,12 +196,10 @@ fn eval_at(
         Ltl::Ap(i) => letter_at(pos, prefix, cycle, n, m) >> i & 1 == 1,
         Ltl::Not(g) => !eval_at(g, pos, prefix, cycle, n, m, memo),
         Ltl::And(a, b) => {
-            eval_at(a, pos, prefix, cycle, n, m, memo)
-                && eval_at(b, pos, prefix, cycle, n, m, memo)
+            eval_at(a, pos, prefix, cycle, n, m, memo) && eval_at(b, pos, prefix, cycle, n, m, memo)
         }
         Ltl::Or(a, b) => {
-            eval_at(a, pos, prefix, cycle, n, m, memo)
-                || eval_at(b, pos, prefix, cycle, n, m, memo)
+            eval_at(a, pos, prefix, cycle, n, m, memo) || eval_at(b, pos, prefix, cycle, n, m, memo)
         }
         Ltl::X(g) => eval_at(g, pos + 1, prefix, cycle, n, m, memo),
         Ltl::U(a, b) => {
@@ -255,10 +253,7 @@ mod tests {
         let nnf = f.nnf();
         assert_eq!(
             nnf,
-            Ltl::release(
-                Ltl::not(Ltl::ap(0)),
-                Ltl::next(Ltl::not(Ltl::ap(1)))
-            )
+            Ltl::release(Ltl::not(Ltl::ap(0)), Ltl::next(Ltl::not(Ltl::ap(1))))
         );
         // double negation vanishes
         assert_eq!(Ltl::not(Ltl::not(Ltl::ap(2))).nnf(), Ltl::ap(2));
@@ -292,9 +287,17 @@ mod tests {
             &[P1]
         ));
         // F p1 with p1 only inside the cycle
-        assert!(eval_on_lasso(&Ltl::finally(Ltl::ap(1)), &[NONE, NONE], &[NONE, P1]));
+        assert!(eval_on_lasso(
+            &Ltl::finally(Ltl::ap(1)),
+            &[NONE, NONE],
+            &[NONE, P1]
+        ));
         // G p0 fails if cycle has a gap
-        assert!(!eval_on_lasso(&Ltl::globally(Ltl::ap(0)), &[P0], &[P0, NONE]));
+        assert!(!eval_on_lasso(
+            &Ltl::globally(Ltl::ap(0)),
+            &[P0],
+            &[P0, NONE]
+        ));
         assert!(eval_on_lasso(&Ltl::globally(Ltl::ap(0)), &[P0], &[P0, P0]));
     }
 

@@ -78,7 +78,9 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
     /// flag when the visited count passes `max_states` (mirroring the
     /// sequential engine's `states_visited > max_states` check).
     fn try_visit(&self, s: &S) -> bool {
-        let mut shard = self.visited[shard_of(s)].lock().expect("visited shard poisoned");
+        let mut shard = self.visited[shard_of(s)]
+            .lock()
+            .expect("visited shard poisoned");
         if !shard.insert(s.clone()) {
             return false;
         }
@@ -95,6 +97,20 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
         self.queues[w].lock().expect("queue poisoned").push_back(s);
     }
 
+    /// Whether `s` has already been marked visited (no insertion).
+    ///
+    /// This is the parallel engine's C3 probe: a state is always marked
+    /// visited *before* it is expanded, so on any cycle of the reduced
+    /// graph the last node to be expanded sees its cycle-successor already
+    /// visited and falls back to a full expansion — every cycle therefore
+    /// contains a fully expanded node, which is exactly the cycle proviso.
+    fn already_visited(&self, s: &S) -> bool {
+        self.visited[shard_of(s)]
+            .lock()
+            .expect("visited shard poisoned")
+            .contains(s)
+    }
+
     /// Pops local work, or steals from another worker (oldest first, so
     /// stolen work is the coarsest-grained available).
     fn pop(&self, w: usize) -> Option<S> {
@@ -104,7 +120,11 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
         let n = self.queues.len();
         for i in 1..n {
             let victim = (w + i) % n;
-            if let Some(s) = self.queues[victim].lock().expect("queue poisoned").pop_front() {
+            if let Some(s) = self.queues[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_front()
+            {
                 return Some(s);
             }
         }
@@ -117,6 +137,8 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
 struct WorkerLog<S> {
     edges: Vec<(S, Vec<S>)>,
     transitions: u64,
+    ample_hits: u64,
+    full_expansions: u64,
 }
 
 fn explore_worker<TS: TransitionSystem>(
@@ -124,9 +146,12 @@ fn explore_worker<TS: TransitionSystem>(
     frontier: &Frontier<TS::State>,
     w: usize,
 ) -> WorkerLog<TS::State> {
+    let reduction = ts.reduction_active();
     let mut log = WorkerLog {
         edges: Vec::new(),
         transitions: 0,
+        ample_hits: 0,
+        full_expansions: 0,
     };
     loop {
         if frontier.over_budget.load(Ordering::Relaxed) {
@@ -139,7 +164,24 @@ fn explore_worker<TS: TransitionSystem>(
             std::thread::yield_now();
             continue;
         };
-        let succs = ts.successors(&state);
+        let succs = if reduction {
+            let exp = ts.successors_reduced(&state);
+            if exp.ample && !exp.states.iter().any(|t| frontier.already_visited(t)) {
+                log.ample_hits += 1;
+                exp.states
+            } else {
+                // C3 fallback (an ample successor is already in the visited
+                // set — see `already_visited`) or no ample subset existed.
+                log.full_expansions += 1;
+                if exp.ample {
+                    ts.successors_full(&state)
+                } else {
+                    exp.states
+                }
+            }
+        } else {
+            ts.successors(&state)
+        };
         log.transitions += succs.len() as u64;
         for succ in &succs {
             if frontier.over_budget.load(Ordering::Relaxed) {
@@ -201,22 +243,28 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
     let mut stats = SearchStats {
         states_visited: frontier.visited_count.load(Ordering::Relaxed),
         transitions_explored: logs.iter().map(|l| l.transitions).sum(),
+        ample_hits: logs.iter().map(|l| l.ample_hits).sum(),
+        full_expansions: logs.iter().map(|l| l.full_expansions).sum(),
+        truncated: false,
     };
     if frontier.over_budget.load(Ordering::Relaxed) {
+        stats.truncated = true;
         return Err(BudgetExceeded {
             states_visited: stats.states_visited,
+            stats,
         });
     }
 
     // ---- Sequential analysis over the materialized graph. ----
     let mut index: HashMap<TS::State, usize> = HashMap::new();
     let mut nodes: Vec<TS::State> = Vec::new();
-    let intern = |s: &TS::State, nodes: &mut Vec<TS::State>, index: &mut HashMap<TS::State, usize>| {
-        *index.entry(s.clone()).or_insert_with(|| {
-            nodes.push(s.clone());
-            nodes.len() - 1
-        })
-    };
+    let intern =
+        |s: &TS::State, nodes: &mut Vec<TS::State>, index: &mut HashMap<TS::State, usize>| {
+            *index.entry(s.clone()).or_insert_with(|| {
+                nodes.push(s.clone());
+                nodes.len() - 1
+            })
+        };
     let mut adj: Vec<Vec<usize>> = Vec::new();
     for log in &logs {
         for (src, succs) in &log.edges {
@@ -235,7 +283,10 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
     adj.resize(nodes.len(), Vec::new());
 
     let accepting: Vec<bool> = nodes.iter().map(|s| ts.is_accepting(s)).collect();
-    let init_ids: Vec<usize> = initial.iter().filter_map(|s| index.get(s).copied()).collect();
+    let init_ids: Vec<usize> = initial
+        .iter()
+        .filter_map(|s| index.get(s).copied())
+        .collect();
 
     let Some((entry, cycle_ids)) = find_accepting_cycle(&adj, &accepting) else {
         return Ok((None, stats));
@@ -266,8 +317,7 @@ fn find_accepting_cycle(adj: &[Vec<usize>], accepting: &[bool]) -> Option<(usize
         }
     }
     for comp in &sccs {
-        let has_cycle =
-            comp.len() > 1 || adj[comp[0]].contains(&comp[0]);
+        let has_cycle = comp.len() > 1 || adj[comp[0]].contains(&comp[0]);
         if !has_cycle {
             continue;
         }
@@ -534,7 +584,48 @@ mod tests {
                 "overshoot {} with {threads} threads",
                 err.states_visited
             );
+            assert!(
+                err.stats.truncated,
+                "threads={threads}: abort stats flagged"
+            );
+            assert_eq!(err.stats.states_visited, err.states_visited);
         }
+    }
+
+    #[test]
+    fn c3_proviso_recovers_hidden_lasso() {
+        // The ample set at state 1 points back into the cycle; because every
+        // state is marked visited before expansion, the worker expanding 1
+        // sees its ample successor 0 already visited and falls back to the
+        // full expansion, recovering the lasso through the accepting state.
+        let g = crate::emptiness::test_graphs::c3_trap();
+        for threads in [1usize, 2, 4] {
+            let (lasso, stats) =
+                find_accepting_lasso_budget_parallel(&g, u64::MAX, threads).unwrap();
+            let lasso = lasso.expect("C3 fallback must restore the full expansion");
+            assert!(lasso.cycle.contains(&2), "threads={threads}");
+            assert_eq!(stats.ample_hits, 0);
+            assert!(stats.full_expansions >= 1);
+        }
+    }
+
+    #[test]
+    fn ample_subset_taken_when_no_cycle_closes() {
+        // Single worker keeps the exploration order deterministic: 0's ample
+        // set {1} prunes state 2 from the search entirely.
+        let g = crate::emptiness::test_graphs::ReducedGraph {
+            edges: vec![vec![1, 2], vec![3], vec![3], vec![]],
+            accepting: vec![false, false, false, false],
+            initial: vec![0],
+            ample: vec![Some(vec![1]), None, None, None],
+        };
+        let (lasso, stats) = find_accepting_lasso_budget_parallel(&g, u64::MAX, 1).unwrap();
+        assert!(lasso.is_none());
+        assert_eq!(stats.ample_hits, 1);
+        assert_eq!(
+            stats.states_visited, 3,
+            "state 2 is pruned by the ample set"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! E1 (Theorem 3.4): verification cost of the bank-loan composition as the
 //! verification domain grows — the PSPACE procedure's dominant axis.
 
-use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddws::scenarios::bank_loan;
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddws_model::Semantics;
 use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
 

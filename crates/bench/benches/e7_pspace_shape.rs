@@ -3,8 +3,8 @@
 //! in the number of peers, while each snapshot stays polynomial (the
 //! PSPACE signature of Theorem 3.4).
 
-use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddws::scenarios::chains;
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddws_model::Semantics;
 use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
 

@@ -41,8 +41,7 @@ fn bench(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    let mut v =
-                        Verifier::new(chains::composition(3, true, Semantics::default()));
+                    let mut v = Verifier::new(chains::composition(3, true, Semantics::default()));
                     let db = chains::database(v.composition_mut(), 2);
                     let report = v
                         .check_str(&chains::prop_integrity(3), &opts(db, threads))

@@ -1,0 +1,145 @@
+//! E9: ample-set partial-order reduction — the same verification workload
+//! under `Reduction::Full` and `Reduction::Ample`, on both the sequential
+//! nested-DFS engine and the parallel engine at 2 workers.
+//!
+//! Three workloads span the reduction's range:
+//!
+//! * `auditor_chain_holds`: a 3-relay chain plus a channel-free auditor
+//!   rotating through 6 phases — the statically independent mover the
+//!   reduction is built for. Ample must visit at most half of Full's
+//!   states here (asserted, per the E9 acceptance bar).
+//! * `chains_holds`: all peers channel-coupled, so ample sets mostly
+//!   degrade to full expansion — measures the oracle's overhead when
+//!   there is nothing to prune.
+//! * `bank_violated`: a counterexample exists; verdicts must agree and
+//!   the lasso must replay, whatever the reduction prunes.
+
+use ddws::scenarios::{bank_loan, chains};
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_model::Semantics;
+use ddws_verifier::{DatabaseMode, Reduction, Verifier, VerifyOptions};
+
+const ENGINES: [(&str, Option<usize>); 2] = [("seq", None), ("par2", Some(2))];
+const REDUCTIONS: [(&str, Reduction); 2] = [("full", Reduction::Full), ("ample", Reduction::Ample)];
+
+fn opts(
+    db: ddws_relational::Instance,
+    threads: Option<usize>,
+    reduction: Reduction,
+) -> VerifyOptions {
+    VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        threads,
+        reduction,
+        ..VerifyOptions::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_partial_order");
+    group.sample_size(10);
+
+    for (engine, threads) in ENGINES {
+        for (red_name, reduction) in REDUCTIONS {
+            group.bench_with_input(
+                BenchmarkId::new("auditor_chain_holds", format!("{engine}/{red_name}")),
+                &(threads, reduction),
+                |b, &(threads, reduction)| {
+                    b.iter(|| {
+                        let mut v = Verifier::new(chains::composition_with_auditor(
+                            3,
+                            6,
+                            true,
+                            Semantics::default(),
+                        ));
+                        let db = chains::database(v.composition_mut(), 1);
+                        let report = v
+                            .check_str(&chains::prop_integrity(3), &opts(db, threads, reduction))
+                            .unwrap();
+                        assert!(report.outcome.holds());
+                        report.stats.states_visited
+                    })
+                },
+            );
+        }
+    }
+
+    for (engine, threads) in ENGINES {
+        for (red_name, reduction) in REDUCTIONS {
+            group.bench_with_input(
+                BenchmarkId::new("chains_holds", format!("{engine}/{red_name}")),
+                &(threads, reduction),
+                |b, &(threads, reduction)| {
+                    b.iter(|| {
+                        let mut v =
+                            Verifier::new(chains::composition(3, true, Semantics::default()));
+                        let db = chains::database(v.composition_mut(), 2);
+                        let report = v
+                            .check_str(&chains::prop_integrity(3), &opts(db, threads, reduction))
+                            .unwrap();
+                        assert!(report.outcome.holds());
+                        report.stats.states_visited
+                    })
+                },
+            );
+        }
+    }
+
+    for (engine, threads) in ENGINES {
+        for (red_name, reduction) in REDUCTIONS {
+            group.bench_with_input(
+                BenchmarkId::new("bank_violated", format!("{engine}/{red_name}")),
+                &(threads, reduction),
+                |b, &(threads, reduction)| {
+                    b.iter(|| {
+                        let sem = Semantics {
+                            nested_send_skips_empty: true,
+                            ..Semantics::default()
+                        };
+                        let mut v = Verifier::new(bank_loan::composition(true, sem));
+                        let db = bank_loan::demo_database(v.composition_mut());
+                        let report = v
+                            .check_str(
+                                bank_loan::PROP_NO_RATING_EVER,
+                                &opts(db, threads, reduction),
+                            )
+                            .unwrap();
+                        assert!(!report.outcome.holds());
+                        report.stats.states_visited
+                    })
+                },
+            );
+        }
+    }
+
+    group.finish();
+
+    // The E9 acceptance bar, checked once outside the timing loops: on the
+    // auditor chain the reduction must at least halve the visited states.
+    for (engine, threads) in ENGINES {
+        let states = |reduction| {
+            let mut v = Verifier::new(chains::composition_with_auditor(
+                3,
+                6,
+                true,
+                Semantics::default(),
+            ));
+            let db = chains::database(v.composition_mut(), 1);
+            let report = v
+                .check_str(&chains::prop_integrity(3), &opts(db, threads, reduction))
+                .unwrap();
+            assert!(report.outcome.holds());
+            report.stats.states_visited
+        };
+        let (full, ample) = (states(Reduction::Full), states(Reduction::Ample));
+        assert!(
+            ample * 2 <= full,
+            "{engine}: expected >=2x reduction, got {ample} vs {full}"
+        );
+        println!("e9_partial_order/acceptance/{engine}: full={full} ample={ample} states");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

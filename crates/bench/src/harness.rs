@@ -24,9 +24,7 @@ impl Criterion {
     /// A driver whose benchmark filter comes from the command line: the
     /// first non-flag argument, as `cargo bench -- <substring>` passes it.
     pub fn from_args() -> Self {
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 
@@ -65,12 +63,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a benchmark parameterized by `input`.
-    pub fn bench_with_input<I, F>(
-        &mut self,
-        id: BenchmarkId,
-        input: &I,
-        mut f: F,
-    ) -> &mut Self
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {
@@ -145,7 +138,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(label: &str) -> Self {
-        BenchmarkId { label: label.to_string() }
+        BenchmarkId {
+            label: label.to_string(),
+        }
     }
 }
 
@@ -214,7 +209,10 @@ mod tests {
 
     #[test]
     fn bencher_records_one_duration_per_sample() {
-        let mut b = Bencher { samples: 4, durations: Vec::new() };
+        let mut b = Bencher {
+            samples: 4,
+            durations: Vec::new(),
+        };
         let mut calls = 0;
         b.iter(|| calls += 1);
         assert_eq!(b.durations.len(), 4);

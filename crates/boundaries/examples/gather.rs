@@ -4,8 +4,10 @@ fn main() {
     for k in 1..=5 {
         let (pc, pdb, pdom) = counting_relay(k, false, 2);
         let (lc, ldb, ldom) = counting_relay(k, true, 2);
-        println!("{k} | {} | {}",
+        println!(
+            "{k} | {} | {}",
             state_space_size(&pc, &pdb, &pdom, 10_000_000),
-            state_space_size(&lc, &ldb, &ldom, 10_000_000));
+            state_space_size(&lc, &ldb, &ldom, 10_000_000)
+        );
     }
 }

@@ -56,12 +56,7 @@ pub fn counting_relay(k: usize, lossy: bool, tokens: usize) -> (Composition, Ins
 
 /// Exhaustively counts the reachable configurations of a composition over a
 /// fixed database (the raw measure the divergence experiments chart).
-pub fn state_space_size(
-    comp: &Composition,
-    db: &Instance,
-    domain: &[Value],
-    cap: usize,
-) -> usize {
+pub fn state_space_size(comp: &Composition, db: &Instance, domain: &[Value], cap: usize) -> usize {
     let movers: Vec<Mover> = comp.movers();
     let mut seen = HashSet::new();
     let mut queue = VecDeque::new();
@@ -135,7 +130,9 @@ mod tests {
         });
         b.default_lossy(true);
         b.channel("out", 1, QueueKind::Flat, "P", "R");
-        b.peer("P").database("d", 1).send_rule("out", &["x"], "d(x)");
+        b.peer("P")
+            .database("d", 1)
+            .send_rule("out", &["x"], "d(x)");
         b.peer("R");
         let mut comp = b.build().unwrap();
         let d = comp.voc.lookup("P.d").unwrap();
@@ -158,7 +155,9 @@ mod tests {
     fn msg_emptiness_proposition_exists_for_nested_channels() {
         let mut b = CompositionBuilder::new();
         b.channel("set", 1, QueueKind::Nested, "P", "R");
-        b.peer("P").database("d", 1).send_rule("set", &["x"], "d(x)");
+        b.peer("P")
+            .database("d", 1)
+            .send_rule("set", &["x"], "d(x)");
         b.peer("R");
         let comp = b.build().unwrap();
         assert!(comp.voc.lookup("R.msgempty_set").is_some());

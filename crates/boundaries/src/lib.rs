@@ -20,7 +20,6 @@
 //! `ddws-verifier` shows the complementary positive side (perfect flat
 //! channels are exactly the case its encoding cannot express).
 
-
 #![warn(missing_docs)]
 pub mod gadgets;
 pub mod minsky;

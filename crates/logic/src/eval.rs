@@ -305,10 +305,7 @@ mod tests {
         let y = vars.lookup("y").unwrap();
         let mut val = Valuation::with_capacity(3);
         // ∃x∃y edge(x,y)
-        let f = Fo::exists(
-            vec![x, y],
-            Fo::Atom(edge, vec![Term::Var(x), Term::Var(y)]),
-        );
+        let f = Fo::exists(vec![x, y], Fo::Atom(edge, vec![Term::Var(x), Term::Var(y)]));
         assert!(eval_fo(&f, &snap, &mut val));
         // ∀x∃y edge(x,y) — fails at x=2
         let g = Fo::forall(

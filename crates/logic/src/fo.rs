@@ -146,9 +146,7 @@ impl Fo {
         match self {
             Fo::True => Fo::True,
             Fo::False => Fo::False,
-            Fo::Atom(r, args) => {
-                Fo::Atom(*r, args.iter().map(|t| subst_term(t, bound)).collect())
-            }
+            Fo::Atom(r, args) => Fo::Atom(*r, args.iter().map(|t| subst_term(t, bound)).collect()),
             Fo::Eq(a, b) => Fo::Eq(subst_term(a, bound), subst_term(b, bound)),
             Fo::Not(f) => Fo::not(f.substitute_inner(map, bound)),
             Fo::And(fs) => Fo::And(fs.iter().map(|f| f.substitute_inner(map, bound)).collect()),
@@ -247,10 +245,7 @@ mod tests {
         let x = vars.lookup("x").unwrap();
         let y = vars.lookup("y").unwrap();
         // ∃x R(x, y): free = {y}
-        let f = Fo::exists(
-            vec![x],
-            Fo::Atom(r, vec![Term::Var(x), Term::Var(y)]),
-        );
+        let f = Fo::exists(vec![x], Fo::Atom(r, vec![Term::Var(x), Term::Var(y)]));
         assert_eq!(f.free_vars().into_iter().collect::<Vec<_>>(), vec![y]);
     }
 

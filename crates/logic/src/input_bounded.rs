@@ -149,12 +149,7 @@ pub fn check_input_bounded_fo(
     }
 }
 
-fn check_fo(
-    fo: &Fo,
-    cl: &dyn SchemaClassifier,
-    opts: IbOptions,
-    out: &mut Vec<IbViolation>,
-) {
+fn check_fo(fo: &Fo, cl: &dyn SchemaClassifier, opts: IbOptions, out: &mut Vec<IbViolation>) {
     match fo {
         Fo::True | Fo::False | Fo::Eq(..) => {}
         Fo::Atom(rel, _) => {
@@ -258,8 +253,7 @@ fn qualifies_as_guard(
 ) -> bool {
     match candidate {
         Fo::Atom(rel, args) if cl.class(*rel).guard_eligible(opts) => {
-            let guard_vars: BTreeSet<VarId> =
-                args.iter().filter_map(Term::as_var).collect();
+            let guard_vars: BTreeSet<VarId> = args.iter().filter_map(Term::as_var).collect();
             xs.is_subset(&guard_vars)
         }
         _ => false,

@@ -17,7 +17,6 @@
 //!   §3.1, the restriction that buys decidability (Theorem 3.4),
 //! * relativized temporal operators `Xα`/`Uα` (§5) as syntactic rewrites.
 
-
 #![warn(missing_docs)]
 pub mod enumerate;
 pub mod eval;

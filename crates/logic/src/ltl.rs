@@ -125,10 +125,9 @@ impl LtlFo {
             LtlFo::Not(f) => LtlFo::not(f.relativize(alpha)),
             LtlFo::And(fs) => LtlFo::And(fs.iter().map(|f| f.relativize(alpha)).collect()),
             LtlFo::Or(fs) => LtlFo::Or(fs.iter().map(|f| f.relativize(alpha)).collect()),
-            LtlFo::Implies(a, b) => LtlFo::Implies(
-                Box::new(a.relativize(alpha)),
-                Box::new(b.relativize(alpha)),
-            ),
+            LtlFo::Implies(a, b) => {
+                LtlFo::Implies(Box::new(a.relativize(alpha)), Box::new(b.relativize(alpha)))
+            }
             LtlFo::X(f) => LtlFo::next_relativized(alpha, f.relativize(alpha)),
             LtlFo::U(a, b) => {
                 LtlFo::until_relativized(alpha, a.relativize(alpha), b.relativize(alpha))

@@ -726,8 +726,11 @@ mod tests {
             vars: &mut vars,
             symbols: &mut symbols,
         };
-        let s = parse_sentence("forall id, l: G (O.apply(id, l) -> F O.apply(id, l))", &mut r)
-            .unwrap();
+        let s = parse_sentence(
+            "forall id, l: G (O.apply(id, l) -> F O.apply(id, l))",
+            &mut r,
+        )
+        .unwrap();
         assert_eq!(s.universal_vars.len(), 2);
         assert!(!s.is_strict());
         // Free variables not in the explicit closure are auto-closed.
@@ -738,7 +741,9 @@ mod tests {
     #[test]
     fn arity_and_resolution_errors() {
         assert!(parse_err("O.apply(x)").message.contains("arity"));
-        assert!(parse_err("unknownRel(x)").message.contains("unknown relation"));
+        assert!(parse_err("unknownRel(x)")
+            .message
+            .contains("unknown relation"));
         assert!(parse_err("O.apply").message.contains("arity"));
         assert!(parse_err("mystery").message.contains("neither"));
     }

@@ -48,8 +48,7 @@ fn arb_fo(depth: u32) -> BoxedStrategy<Fo> {
             inner.clone().prop_map(Fo::not),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Fo::And),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Fo::Or),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Fo::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Fo::Implies(Box::new(a), Box::new(b))),
             (0u32..3, inner.clone()).prop_map(|(v, f)| Fo::exists(vec![VarId(v)], f)),
             (0u32..3, inner).prop_map(|(v, f)| Fo::forall(vec![VarId(v)], f)),
         ]
@@ -91,7 +90,8 @@ fn arb_snap() -> impl Strategy<Value = Snap> {
             let (voc, _, _) = env();
             let mut inst = Instance::empty(&voc);
             for v in ps {
-                inst.relation_mut(RelId(0)).insert(Tuple::new(vec![Value(v)]));
+                inst.relation_mut(RelId(0))
+                    .insert(Tuple::new(vec![Value(v)]));
             }
             for (a, b) in qs {
                 inst.relation_mut(RelId(1))

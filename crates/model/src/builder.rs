@@ -319,15 +319,17 @@ impl<'a> Builder<'a> {
                 Endpoint::Environment
             } else {
                 Endpoint::Peer(PeerId(
-                    spec.peers.iter().position(|p| p.name == name).expect("validated") as u32,
+                    spec.peers
+                        .iter()
+                        .position(|p| p.name == name)
+                        .expect("validated") as u32,
                 ))
             }
         };
 
         // --- declare the global vocabulary -------------------------------
         // Per-peer local scopes are built alongside.
-        let mut locals: Vec<HashMap<String, RelId>> =
-            vec![HashMap::new(); spec.peers.len()];
+        let mut locals: Vec<HashMap<String, RelId>> = vec![HashMap::new(); spec.peers.len()];
         let mut peer_db: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
         let mut peer_states: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
         let mut peer_inputs: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
@@ -335,23 +337,22 @@ impl<'a> Builder<'a> {
         let mut peer_actions: Vec<Vec<RelId>> = vec![Vec::new(); spec.peers.len()];
 
         for (pi, p) in spec.peers.iter().enumerate() {
-            let local_declare =
-                |b: &mut Self,
-                 local: &mut HashMap<String, RelId>,
-                 local_name: String,
-                 arity: usize,
-                 class: RelClass|
-                 -> Result<RelId, BuildError> {
-                    let qualified = format!("{}.{}", p.name, local_name);
-                    let id = b.declare(&qualified, arity, class)?;
-                    if local.insert(local_name.clone(), id).is_some() {
-                        return err(format!(
-                            "peer `{}`: relation `{}` declared twice",
-                            p.name, local_name
-                        ));
-                    }
-                    Ok(id)
-                };
+            let local_declare = |b: &mut Self,
+                                 local: &mut HashMap<String, RelId>,
+                                 local_name: String,
+                                 arity: usize,
+                                 class: RelClass|
+             -> Result<RelId, BuildError> {
+                let qualified = format!("{}.{}", p.name, local_name);
+                let id = b.declare(&qualified, arity, class)?;
+                if local.insert(local_name.clone(), id).is_some() {
+                    return err(format!(
+                        "peer `{}`: relation `{}` declared twice",
+                        p.name, local_name
+                    ));
+                }
+                Ok(id)
+            };
             let local = &mut locals[pi];
             for (n, a) in &p.database {
                 let id = local_declare(&mut self, local, n.clone(), *a, RelClass::Database)?;
@@ -371,8 +372,7 @@ impl<'a> Builder<'a> {
                     } else {
                         format!("prev{j}_{n}")
                     };
-                    let id =
-                        local_declare(&mut self, local, prev_name, *a, RelClass::PrevInput)?;
+                    let id = local_declare(&mut self, local, prev_name, *a, RelClass::PrevInput)?;
                     chain.push(id);
                 }
                 peer_prev[pi].push(chain);
@@ -469,11 +469,7 @@ impl<'a> Builder<'a> {
         // Move propositions.
         let mut move_rels = Vec::new();
         for p in &spec.peers {
-            move_rels.push(self.declare(
-                &format!("move_{}", p.name),
-                0,
-                RelClass::Bookkeeping,
-            )?);
+            move_rels.push(self.declare(&format!("move_{}", p.name), 0, RelClass::Bookkeeping)?);
         }
         let open = channels
             .iter()
@@ -717,13 +713,18 @@ impl RuleCtx<'_, '_> {
         // Action rules: at most one per action; none means "never".
         for (name, _) in &p.actions {
             let rel = self.local[name];
-            let drafts: Vec<&RuleDraft> =
-                p.action_rules.iter().filter(|r| &r.target == name).collect();
+            let drafts: Vec<&RuleDraft> = p
+                .action_rules
+                .iter()
+                .filter(|r| &r.target == name)
+                .collect();
             match drafts.len() {
                 0 => {}
-                1 => out
-                    .action_rules
-                    .push(self.head_rule(rel, drafts[0], RuleKind::StateActionSend)?),
+                1 => out.action_rules.push(self.head_rule(
+                    rel,
+                    drafts[0],
+                    RuleKind::StateActionSend,
+                )?),
                 _ => {
                     return err(format!(
                         "peer `{}`: action `{name}` has multiple rules",
@@ -1080,9 +1081,6 @@ mod tests {
         b.peer("R");
         let comp = b.build().unwrap();
         assert_eq!(comp.rule_constants.len(), 1);
-        assert_eq!(
-            comp.symbols.name(comp.rule_constants[0]),
-            "magic"
-        );
+        assert_eq!(comp.symbols.name(comp.rule_constants[0]), "magic");
     }
 }

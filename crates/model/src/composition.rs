@@ -413,15 +413,16 @@ impl Composition {
     ) -> Result<(), Vec<ddws_logic::input_bounded::IbViolation>> {
         use ddws_logic::input_bounded::{check_exists_star_ground, check_input_bounded_fo};
         let mut violations = Vec::new();
-        let mut note = |peer: &str, what: &str, r: Result<(), Vec<ddws_logic::input_bounded::IbViolation>>| {
-            if let Err(vs) = r {
-                for v in vs {
-                    violations.push(ddws_logic::input_bounded::IbViolation {
-                        message: format!("peer `{peer}`, {what}: {}", v.message),
-                    });
+        let mut note =
+            |peer: &str, what: &str, r: Result<(), Vec<ddws_logic::input_bounded::IbViolation>>| {
+                if let Err(vs) = r {
+                    for v in vs {
+                        violations.push(ddws_logic::input_bounded::IbViolation {
+                            message: format!("peer `{peer}`, {what}: {}", v.message),
+                        });
+                    }
                 }
-            }
-        };
+            };
         for peer in &self.peers {
             for sr in &peer.state_rules {
                 let name = self.voc.name(sr.rel);

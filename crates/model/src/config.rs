@@ -95,7 +95,11 @@ impl Config {
     }
 
     /// Renders the configuration for counterexample output.
-    pub fn display<'a>(&'a self, comp: &'a Composition, symbols: &'a Symbols) -> impl fmt::Display + 'a {
+    pub fn display<'a>(
+        &'a self,
+        comp: &'a Composition,
+        symbols: &'a Symbols,
+    ) -> impl fmt::Display + 'a {
         DisplayConfig {
             config: self,
             comp,

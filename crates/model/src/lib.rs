@@ -25,18 +25,19 @@
 //!   property evaluation (in-queue atoms read `f(q)`, out-queue atoms read
 //!   `l(q)`, exactly as in the paper's LTL-FO semantics).
 
-
 #![warn(missing_docs)]
 pub mod builder;
 pub mod composition;
 pub mod config;
+pub mod independence;
 pub mod step;
 pub mod view;
 
 pub use builder::{BuildError, CompositionBuilder, PeerBuilder};
 pub use composition::{
-    ChannelRole,
-    Channel, ChannelId, Composition, Endpoint, Mover, Peer, PeerId, QueueKind, Semantics,
+    Channel, ChannelId, ChannelRole, Composition, Endpoint, Mover, Peer, PeerId, QueueKind,
+    Semantics,
 };
 pub use config::{Config, Message};
+pub use independence::IndependenceOracle;
 pub use view::{Database, RuleView, SnapshotView};

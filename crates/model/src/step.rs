@@ -356,7 +356,12 @@ impl Composition {
         // message over the domain.
         for cid in self.env_out_channels() {
             let ch = &self.channels[cid.index()];
-            let messages = env_messages(ch.kind, ch.arity, domain, self.semantics.env_nested_message_max);
+            let messages = env_messages(
+                ch.kind,
+                ch.arity,
+                domain,
+                self.semantics.env_nested_message_max,
+            );
             let mut next = Vec::new();
             for v in &variants {
                 next.push(v.clone());
@@ -471,8 +476,7 @@ mod tests {
         let comp = b.build().unwrap();
         let mut db = Instance::empty(&comp.voc);
         let friend = comp.voc.lookup("Alice.friend").unwrap();
-        db.relation_mut(friend)
-            .insert(Tuple::new(vec![Value(0)]));
+        db.relation_mut(friend).insert(Tuple::new(vec![Value(0)]));
         (comp, db, vec![Value(0), Value(1)])
     }
 
@@ -627,7 +631,9 @@ mod tests {
         let mut b = CompositionBuilder::new();
         b.default_lossy(false);
         b.channel("set", 1, QueueKind::Nested, "P", "R");
-        b.peer("P").database("d", 1).send_rule("set", &["x"], "d(x) and false");
+        b.peer("P")
+            .database("d", 1)
+            .send_rule("set", &["x"], "d(x) and false");
         b.peer("R");
         let comp = b.build().unwrap();
         let db = Instance::empty(&comp.voc);
@@ -659,9 +665,7 @@ mod tests {
         let (resp_id, _) = comp.channel_by_name("resp").unwrap();
         // Silent + one message per domain value (perfect channel).
         assert_eq!(succs.len(), 3);
-        assert!(succs
-            .iter()
-            .any(|c| c.queues[resp_id.index()].is_empty()));
+        assert!(succs.iter().any(|c| c.queues[resp_id.index()].is_empty()));
         for v in &dom {
             assert!(succs.iter().any(|c| c.queues[resp_id.index()]
                 .front()

@@ -71,13 +71,22 @@ fn lookback_two_keeps_a_history_of_inputs() {
         .unwrap();
     // A moves (consuming pick=v0), new pick = v1.
     let second = pick_successor(&comp, &db, &dom, &init, Mover::Peer(a), "A.pick", dom[1]);
-    assert!(second.rel.relation(prev1).contains(&Tuple::new(vec![dom[0]])));
+    assert!(second
+        .rel
+        .relation(prev1)
+        .contains(&Tuple::new(vec![dom[0]])));
     assert!(second.rel.relation(prev2).is_empty());
     // A moves again (consuming pick=v1), new pick = v0: chain shifts.
     let third = pick_successor(&comp, &db, &dom, &second, Mover::Peer(a), "A.pick", dom[0]);
-    assert!(third.rel.relation(prev1).contains(&Tuple::new(vec![dom[1]])));
+    assert!(third
+        .rel
+        .relation(prev1)
+        .contains(&Tuple::new(vec![dom[1]])));
     assert!(
-        third.rel.relation(prev2).contains(&Tuple::new(vec![dom[0]])),
+        third
+            .rel
+            .relation(prev2)
+            .contains(&Tuple::new(vec![dom[0]])),
         "the older input shifts into prev2"
     );
 }
@@ -108,7 +117,10 @@ fn queues_deliver_in_fifo_order() {
     let after_b = comp.successors(&db, &dom, &s2, Mover::Peer(b));
     for c in &after_b {
         let r = c.rel.relation(seen);
-        assert!(r.contains(&Tuple::new(vec![dom[0]])), "head delivered first");
+        assert!(
+            r.contains(&Tuple::new(vec![dom[0]])),
+            "head delivered first"
+        );
         assert!(!r.contains(&Tuple::new(vec![dom[1]])), "tail not yet seen");
         assert_eq!(c.queues[out.index()].len(), 1, "head dequeued");
     }

@@ -47,38 +47,42 @@ fn db_of(comp: &mut Composition, n: usize) -> (Instance, Vec<Value>) {
 /// parameters and exploration budgets.
 #[test]
 fn queue_bound_is_invariant() {
-    gen::cases(12, seed_from("queue_bound_is_invariant"), |rng: &mut XorShift| {
-        let k = rng.range(1, 4);
-        let lossy = rng.bool();
-        let n = rng.range(1, 3);
-        let mut comp = relay(k, lossy);
-        let (db, dom) = db_of(&mut comp, n);
+    gen::cases(
+        12,
+        seed_from("queue_bound_is_invariant"),
+        |rng: &mut XorShift| {
+            let k = rng.range(1, 4);
+            let lossy = rng.bool();
+            let n = rng.range(1, 3);
+            let mut comp = relay(k, lossy);
+            let (db, dom) = db_of(&mut comp, n);
 
-        let movers = comp.movers();
-        let mut seen: HashSet<Config> = HashSet::new();
-        let mut queue: Vec<Config> = comp.initial_configs(&db, &dom);
-        for c in &queue {
-            seen.insert(c.clone());
-        }
-        while let Some(c) = queue.pop() {
-            if seen.len() > 3_000 {
-                return;
+            let movers = comp.movers();
+            let mut seen: HashSet<Config> = HashSet::new();
+            let mut queue: Vec<Config> = comp.initial_configs(&db, &dom);
+            for c in &queue {
+                seen.insert(c.clone());
             }
-            for &m in &movers {
-                for s in comp.successors(&db, &dom, &c, m) {
-                    for q in s.queues.iter() {
-                        assert!(
-                            q.len() <= comp.semantics.queue_bound,
-                            "queue bound {k} exceeded (lossy={lossy}, n={n})"
-                        );
-                    }
-                    if seen.insert(s.clone()) {
-                        queue.push(s);
+            while let Some(c) = queue.pop() {
+                if seen.len() > 3_000 {
+                    return;
+                }
+                for &m in &movers {
+                    for s in comp.successors(&db, &dom, &c, m) {
+                        for q in s.queues.iter() {
+                            assert!(
+                                q.len() <= comp.semantics.queue_bound,
+                                "queue bound {k} exceeded (lossy={lossy}, n={n})"
+                            );
+                        }
+                        if seen.insert(s.clone()) {
+                            queue.push(s);
+                        }
                     }
                 }
             }
-        }
-    });
+        },
+    );
 }
 
 /// Successor sets are duplicate-free from random initial configurations.

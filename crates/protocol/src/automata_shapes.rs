@@ -75,7 +75,10 @@ pub fn eventually_follows(num_aps: u32, a: u32, b: u32) -> Nba {
 /// shapes above for protocols that need complementation.
 pub fn from_ltl(num_aps: u32, f: &Ltl) -> Nba {
     let mut nba = ltl_to_nba(f);
-    assert!(nba.num_aps <= num_aps, "pattern uses more APs than declared");
+    assert!(
+        nba.num_aps <= num_aps,
+        "pattern uses more APs than declared"
+    );
     nba.num_aps = num_aps;
     nba
 }

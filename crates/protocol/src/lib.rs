@@ -26,7 +26,6 @@
 //! compilation of observer events to snapshot atoms, and a library of
 //! commonly used automata shapes.
 
-
 #![warn(missing_docs)]
 pub mod automata_shapes;
 pub mod protocol;

@@ -199,7 +199,8 @@ mod tests {
     #[test]
     fn data_agnostic_validation() {
         let c = comp();
-        let ok = DataAgnosticProtocol::new(&c, &["req", "resp"], trivial_nba(2), Observer::AtRecipient);
+        let ok =
+            DataAgnosticProtocol::new(&c, &["req", "resp"], trivial_nba(2), Observer::AtRecipient);
         assert!(ok.is_ok());
         let unknown =
             DataAgnosticProtocol::new(&c, &["nope"], trivial_nba(1), Observer::AtRecipient);
@@ -212,13 +213,12 @@ mod tests {
     fn observation_atoms_pick_the_right_flags() {
         let c = comp();
         let recv =
-            DataAgnosticProtocol::new(&c, &["req"], trivial_nba(1), Observer::AtRecipient)
-                .unwrap();
+            DataAgnosticProtocol::new(&c, &["req"], trivial_nba(1), Observer::AtRecipient).unwrap();
         let atoms = recv.observation_atoms(&c);
         let (_, ch) = c.channel_by_name("req").unwrap();
         assert_eq!(atoms, vec![Fo::Atom(ch.received_rel, vec![])]);
-        let src = DataAgnosticProtocol::new(&c, &["req"], trivial_nba(1), Observer::AtSource)
-            .unwrap();
+        let src =
+            DataAgnosticProtocol::new(&c, &["req"], trivial_nba(1), Observer::AtSource).unwrap();
         assert_eq!(
             src.observation_atoms(&c),
             vec![Fo::Atom(ch.sent_rel, vec![])]

@@ -134,7 +134,11 @@ impl Instance {
     }
 
     /// Renders all non-empty relations with external names.
-    pub fn display<'a>(&'a self, voc: &'a Vocabulary, symbols: &'a Symbols) -> impl fmt::Display + 'a {
+    pub fn display<'a>(
+        &'a self,
+        voc: &'a Vocabulary,
+        symbols: &'a Symbols,
+    ) -> impl fmt::Display + 'a {
         DisplayInstance {
             inst: self,
             voc,

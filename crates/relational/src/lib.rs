@@ -21,7 +21,6 @@
 //! [`Relation`] is a `BTreeSet` and [`Instance`] stores relations densely by
 //! [`RelId`], which makes `Hash`/`Eq` on configurations sound and cheap.
 
-
 #![warn(missing_docs)]
 pub mod instance;
 pub mod relation;

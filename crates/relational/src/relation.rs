@@ -106,10 +106,7 @@ impl Relation {
 
     /// Renders the relation with external names, e.g. `{(a, b), (c, d)}`.
     pub fn display<'a>(&'a self, symbols: &'a Symbols) -> impl fmt::Display + 'a {
-        DisplayRelation {
-            rel: self,
-            symbols,
-        }
+        DisplayRelation { rel: self, symbols }
     }
 }
 

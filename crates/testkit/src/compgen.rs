@@ -1,0 +1,174 @@
+//! Random small compositions and input-bounded properties for swarm
+//! testing (feature `compgen`).
+//!
+//! Every generated case is **valid by construction**: the composition
+//! builds (all channels lossy and flat, every sender has a send rule),
+//! passes the §3.1 input-boundedness check, and the property parses and is
+//! input-bounded. The point is differential testing — e.g. asserting that
+//! `Reduction::Ample` and `Reduction::Full` agree on the verdict — so the
+//! generator aims for *coverage of reduction-relevant shapes*, not for
+//! arbitrary compositions:
+//!
+//! * 2–3 relay peers connected by 1–2 flat lossy channels of arity ≤ 2,
+//!   with queue bound `k ≤ 2`;
+//! * half the cases add a channel-free *auditor* peer whose state rotates
+//!   deterministically through 2–3 phase constants — the statically
+//!   independent mover the ample reduction can actually schedule alone
+//!   (without it, channel-coupled peers all conflict and the reduction
+//!   degrades to full expansion, which is also worth testing but not
+//!   *only* that);
+//! * properties are drawn from input-bounded templates over the first
+//!   channel and its endpoints, including one `X`-shaped template that
+//!   must switch the reduction off.
+
+use crate::rng::XorShift;
+use ddws_model::{Composition, CompositionBuilder, QueueKind, Semantics};
+use ddws_relational::{Instance, Tuple};
+
+/// One generated verification case.
+pub struct Case {
+    /// The composition (closed, lossy-flat, input-bounded).
+    pub composition: Composition,
+    /// A fixed database for [`DatabaseMode::Fixed`]-style verification.
+    pub database: Instance,
+    /// An input-bounded LTL-FO property over the composition.
+    pub property: String,
+}
+
+/// Draws one random case.
+pub fn case(rng: &mut XorShift) -> Case {
+    let with_auditor = rng.bool();
+    let relays = if with_auditor { 2 } else { 2 + rng.range(0, 2) };
+    let queue_bound = 1 + rng.range(0, 2);
+
+    let mut b = CompositionBuilder::new();
+    b.semantics(Semantics {
+        queue_bound,
+        ..Semantics::default()
+    });
+    b.default_lossy(true);
+
+    // Channels among the relay peers; the first is always arity 1 so the
+    // property templates below can target it.
+    let nchan = 1 + rng.range(0, 2);
+    let mut chans: Vec<(String, usize, usize, usize)> = Vec::new();
+    for j in 0..nchan {
+        let s = rng.range(0, relays);
+        let mut r = rng.range(0, relays);
+        if r == s {
+            r = (s + 1) % relays;
+        }
+        let arity = if j == 0 { 1 } else { 1 + rng.range(0, 2) };
+        let name = format!("c{j}");
+        b.channel(
+            &name,
+            arity,
+            QueueKind::Flat,
+            &format!("W{s}"),
+            &format!("W{r}"),
+        );
+        chans.push((name, arity, s, r));
+    }
+
+    for i in 0..relays {
+        let mut p = b.peer(&format!("W{i}"));
+        p.database("d", 1)
+            .input("pick", 1)
+            .input_rule("pick", &["x"], "d(x)");
+        for (name, arity, s, _) in &chans {
+            if *s != i {
+                continue;
+            }
+            if *arity == 1 {
+                p.send_rule(name, &["x"], "pick(x)");
+            } else {
+                p.send_rule(name, &["x", "y"], "pick(x) and pick(y)");
+            }
+        }
+        for (j, (name, arity, _, r)) in chans.iter().enumerate() {
+            if *r != i {
+                continue;
+            }
+            let st = format!("seen{j}");
+            if *arity == 1 {
+                p.state(&st, 1)
+                    .state_insert_rule(&st, &["x"], &format!("?{name}(x)"));
+            } else {
+                p.state(&st, 2)
+                    .state_insert_rule(&st, &["x", "y"], &format!("?{name}(x, y)"));
+            }
+        }
+    }
+
+    if with_auditor {
+        // Deterministic ring rotation over `ring` phase constants —
+        // quantifier-free, so input-bounded; channel-free, so statically
+        // independent of every relay peer.
+        let ring = 2 + rng.range(0, 2);
+        let occupied = (0..ring)
+            .map(|i| format!("phase(\"r{i}\")"))
+            .collect::<Vec<_>>()
+            .join(" or ");
+        let mut arms = vec![format!("(x = \"r0\" and not ({occupied}))")];
+        for i in 0..ring {
+            arms.push(format!("(x = \"r{}\" and phase(\"r{i}\"))", (i + 1) % ring));
+        }
+        b.peer("Aud")
+            .state("phase", 1)
+            .state_insert_rule("phase", &["x"], &arms.join(" or "))
+            .state_delete_rule("phase", &["x"], "phase(x)");
+    }
+
+    let mut composition = b.build().expect("generated composition is well-formed");
+
+    // A small fixed database: each relay peer's `d` holds a (possibly
+    // empty) subset of two constants.
+    let mut database = Instance::empty(&composition.voc);
+    for i in 0..relays {
+        let rel = composition.voc.lookup(&format!("W{i}.d")).unwrap();
+        for name in ["a", "b"] {
+            if rng.bool() {
+                let v = composition.symbols.intern(name);
+                database.relation_mut(rel).insert(Tuple::new(vec![v]));
+            }
+        }
+    }
+
+    // Property templates over the first (arity-1) channel.
+    let (c, _, s, r) = &chans[0];
+    let s = format!("W{s}");
+    let r = format!("W{r}");
+    let property = match rng.range(0, 6) {
+        0 => format!("G (forall x: {r}.?{c}(x) -> {s}.d(x))"),
+        1 => format!("G (forall x: {r}.?{c}(x) -> false)"),
+        2 => format!("F (exists x: {s}.pick(x))"),
+        3 => format!("G (forall x: {s}.pick(x) -> {s}.d(x))"),
+        // `X` breaks stutter-invariance: the reduction must gate itself off
+        // and still agree.
+        4 => format!("forall x: G ({r}.seen0(x) -> X {r}.seen0(x))"),
+        _ => format!("(forall x: {r}.?{c}(x) -> false) U (exists x: {s}.pick(x))"),
+    };
+
+    Case {
+        composition,
+        database,
+        property,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddws_logic::input_bounded::IbOptions;
+
+    #[test]
+    fn generated_cases_build_and_are_input_bounded() {
+        crate::gen::cases(64, crate::seed_from("compgen_validity"), |rng| {
+            let case = case(rng);
+            case.composition
+                .check_input_bounded(IbOptions::default())
+                .expect("generated composition is input-bounded");
+            assert!(!case.property.is_empty());
+        });
+    }
+}

@@ -9,10 +9,11 @@
 //! });
 //! ```
 //!
-//! On a panic the harness reports the case index and the exact seed of the
-//! failing case before propagating, so one `cases(1, seed, …)` call replays
-//! it. There is no shrinking: keep generators small enough that a raw
-//! failing case is readable.
+//! On a panic the harness reports the case index and the exact sub-seed of
+//! the failing case before propagating; feed that value to
+//! [`XorShift::new`] directly to replay it (wrapping it in `cases(1, …)`
+//! would derive a *different* sub-seed). There is no shrinking: keep
+//! generators small enough that a raw failing case is readable.
 
 use crate::rng::XorShift;
 
@@ -21,13 +22,11 @@ use crate::rng::XorShift;
 pub fn cases<F: FnMut(&mut XorShift)>(n: usize, seed: u64, mut body: F) {
     for case in 0..n {
         // SplitMix-style stream split: decorrelates consecutive cases.
-        let sub = seed
-            .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1))
-            | 1;
+        let sub = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)) | 1;
         let mut rng = XorShift::new(sub);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = outcome {
-            eprintln!("testkit: case {case}/{n} failed; replay with gen::cases(1, {sub:#x}, ..)");
+            eprintln!("testkit: case {case}/{n} failed; replay with XorShift::new({sub:#x})");
             std::panic::resume_unwind(payload);
         }
     }

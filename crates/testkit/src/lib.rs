@@ -9,7 +9,10 @@
 //! * [`proptest`] — a drop-in shim covering the slice of the `proptest` API
 //!   the existing `tests/prop.rs` suites use (`proptest!`, strategies with
 //!   `prop_map`/`prop_recursive`/`prop_oneof!`, `prop_assert!`…), so those
-//!   suites keep running offline, behind each crate's `proptest` feature.
+//!   suites keep running offline, behind each crate's `proptest` feature;
+//! * [`compgen`] (feature `compgen`, pulls in `ddws-model`) — random small
+//!   compositions and input-bounded properties for differential swarm
+//!   tests (e.g. `Reduction::Ample` vs `Reduction::Full`).
 //!
 //! Everything is deterministic: a test's case stream is derived from the
 //! test's name (via [`seed_from`]), so failures reproduce without recording
@@ -17,6 +20,8 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "compgen")]
+pub mod compgen;
 pub mod gen;
 pub mod proptest;
 pub mod rng;

@@ -281,20 +281,29 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { min: n, max_inclusive: n }
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty vec size range");
-        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
     }
 }
 
@@ -305,7 +314,10 @@ pub mod collection {
 
     /// A vector of `size`-many draws from `element`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// The strategy returned by [`vec`].

@@ -13,7 +13,11 @@ impl XorShift {
     /// remapped to a fixed non-zero constant.
     pub fn new(seed: u64) -> Self {
         XorShift {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 

@@ -1,8 +1,8 @@
 //! Counterexample runs.
 
+use ddws_logic::VarId;
 use ddws_model::{Composition, Config, Mover};
 use ddws_relational::{Instance, Value};
-use ddws_logic::VarId;
 use std::fmt;
 
 /// One snapshot of a counterexample run, together with the mover labelling
@@ -84,8 +84,10 @@ impl fmt::Display for DisplayCex<'_> {
                 Mover::Environment => "ENV".to_owned(),
             }
         };
-        for (label, steps) in [("prefix", &self.cex.prefix), ("cycle (repeats forever)", &self.cex.cycle)]
-        {
+        for (label, steps) in [
+            ("prefix", &self.cex.prefix),
+            ("cycle (repeats forever)", &self.cex.cycle),
+        ] {
             writeln!(f, "  {label}:")?;
             for (i, step) in steps.iter().enumerate() {
                 writeln!(f, "    step {i} (next mover: {})", mover_name(step.mover))?;

@@ -8,8 +8,8 @@
 
 use ddws_automata::{Letter, Ltl};
 use ddws_logic::{Fo, LtlFo, Valuation, VarId};
-use ddws_model::{Composition, Database, Mover, SnapshotView};
 use ddws_model::Config;
+use ddws_model::{Composition, Database, Mover, SnapshotView};
 use ddws_relational::Value;
 use std::collections::HashMap;
 
@@ -89,11 +89,7 @@ impl AtomRegistry {
 
 /// Grounds an LTL-FO formula under a valuation of its free variables,
 /// interning its FO leaves into `reg`.
-pub fn ground_ltlfo(
-    f: &LtlFo,
-    valuation: &HashMap<VarId, Value>,
-    reg: &mut AtomRegistry,
-) -> Ltl {
+pub fn ground_ltlfo(f: &LtlFo, valuation: &HashMap<VarId, Value>, reg: &mut AtomRegistry) -> Ltl {
     match f {
         LtlFo::Fo(fo) => {
             // Constant leaves (the `true` of `F φ = true U φ`, …) stay

@@ -35,7 +35,6 @@
 //! * [`reduction`] — the composition → single-peer-with-lookback reduction
 //!   behind the proof of Theorem 3.4, testable for verdict equivalence.
 
-
 #![warn(missing_docs)]
 pub mod counterexample;
 pub mod domain;
@@ -49,4 +48,4 @@ pub mod reduction;
 pub mod verify;
 
 pub use counterexample::{Counterexample, RunStep};
-pub use verify::{DatabaseMode, Outcome, Report, VerifyError, VerifyOptions, Verifier};
+pub use verify::{DatabaseMode, Outcome, Reduction, Report, Verifier, VerifyError, VerifyOptions};

@@ -114,9 +114,7 @@ impl Verifier {
             .voc
             .iter()
             .map(|(rel, _)| rel)
-            .filter(|&rel| {
-                comp.class(rel) == ddws_logic::input_bounded::RelClass::Database
-            })
+            .filter(|&rel| comp.class(rel) == ddws_logic::input_bounded::RelClass::Database)
             .collect();
         let translated =
             translate_observer_at_recipient(&relativized, &env_out_received, &rigid_rels)
@@ -159,13 +157,19 @@ impl Verifier {
             f.visit_fo(&mut |_| n += 1);
             n
         };
-        let estimate =
-            spec_valuations.len() * leaves(&translated.body) + leaves(&negated_property);
+        let estimate = spec_valuations.len() * leaves(&translated.body) + leaves(&negated_property);
         if estimate > 64 {
             return Err(VerifyError::Unsupported(format!(
                 "modular check would ground ~{estimate} snapshot atoms (> 64): reduce the                  environment spec's free variables, the domain, or split the spec"
             )));
         }
+        // Ample reduction: gated exactly as in `check` — in practice the
+        // relativization introduces `X` (and the translated spec observes
+        // the `moveE` proposition), so modular checks degrade to full
+        // expansion; the plumbing keeps the options uniform.
+        let combined = LtlFo::And(vec![translated.body.clone(), property.body.clone()]);
+        let reduction =
+            crate::verify::reduction_oracle(self.composition(), &combined, &observed, opts);
         let shared = SharedSearch::new();
         let mut stats = SearchStats::default();
         let valuations = canonical_valuations(&property.universal_vars, &constants, &fresh);
@@ -182,7 +186,7 @@ impl Verifier {
                 .reduce(ddws_automata::Ltl::and)
                 .expect("at least the negated property");
             let nba = ltl_to_nba(&ltl);
-            let system = ProductSystem::new(
+            let mut system = ProductSystem::new(
                 self.composition(),
                 &base_db,
                 &universe,
@@ -191,9 +195,11 @@ impl Verifier {
                 &atoms,
                 &shared,
             );
+            if let Some(ind) = &reduction {
+                system = system.with_reduction(ind);
+            }
             let (lasso, s) = crate::parallel::search_product(&system, opts)?;
-            stats.states_visited += s.states_visited;
-            stats.transitions_explored += s.transitions_explored;
+            stats.absorb(&s);
             if let Some(lasso) = lasso {
                 let cex = build_counterexample(
                     &system,
@@ -263,10 +269,7 @@ fn translate_observer_at_recipient(
 }
 
 /// `LtlFo::map_fo_ltl` with error propagation.
-fn map_leaves(
-    f: &LtlFo,
-    t: &mut dyn FnMut(&Fo) -> Result<LtlFo, String>,
-) -> Result<LtlFo, String> {
+fn map_leaves(f: &LtlFo, t: &mut dyn FnMut(&Fo) -> Result<LtlFo, String>) -> Result<LtlFo, String> {
     Ok(match f {
         LtlFo::Fo(fo) => t(fo)?,
         LtlFo::Not(g) => LtlFo::not(map_leaves(g, t)?),
@@ -313,7 +316,9 @@ fn translate_fo(
             ))),
             None => Ok(LtlFo::Fo(fo.clone())),
         },
-        Fo::Not(g) => Ok(LtlFo::not(translate_fo(g, env_out, rigid_rels, !positive, hoisted)?)),
+        Fo::Not(g) => Ok(LtlFo::not(translate_fo(
+            g, env_out, rigid_rels, !positive, hoisted,
+        )?)),
         Fo::And(gs) => Ok(LtlFo::And(
             gs.iter()
                 .map(|g| translate_fo(g, env_out, rigid_rels, positive, hoisted))
@@ -345,8 +350,8 @@ fn translate_fo(
                                 Box::new(LtlFo::Fo(Fo::Forall(
                                     vars.clone(),
                                     Box::new((**g).clone()),
-                                )))),
-                            ));
+                                ))),
+                            )));
                         }
                     }
                 }

@@ -215,9 +215,7 @@ mod tests {
         let (_, u) = setup();
         // r: 2^2 = 4 facts, p: 1 fact.
         assert_eq!(u.len(), 5);
-        assert!(u
-            .fact_index(RelId(0), &[Value(1), Value(0)])
-            .is_some());
+        assert!(u.fact_index(RelId(0), &[Value(1), Value(0)]).is_some());
         assert!(u.fact_index(RelId(1), &[]).is_some());
         assert!(u.fact_index(RelId(0), &[Value(2), Value(0)]).is_none());
     }
@@ -260,8 +258,12 @@ mod tests {
     #[test]
     fn oracle_equality_is_structural() {
         let (_, u) = setup();
-        let a = Oracle::undecided(u.len()).with_decided(0, true).with_decided(1, false);
-        let b = Oracle::undecided(u.len()).with_decided(1, false).with_decided(0, true);
+        let a = Oracle::undecided(u.len())
+            .with_decided(0, true)
+            .with_decided(1, false);
+        let b = Oracle::undecided(u.len())
+            .with_decided(1, false)
+            .with_decided(0, true);
         assert_eq!(a, b);
     }
 }

@@ -23,8 +23,8 @@
 
 use crate::ground::AtomRegistry;
 use crate::oracle::{FactUniverse, Oracle, RecordingDb};
-use ddws_automata::{Nba, TransitionSystem};
-use ddws_model::{Composition, Config, Mover};
+use ddws_automata::{Expansion, Nba, TransitionSystem};
+use ddws_model::{Composition, Config, IndependenceOracle, Mover};
 use ddws_relational::{Instance, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -200,6 +200,11 @@ pub struct ProductSystem<'a> {
     // The nested DFS expands every state twice (blue + red pass); successor
     // computation dominates, so memoize the full product expansion too.
     succ_cache: ShardedMap<PState, Vec<PState>>,
+    /// Ample-set reduction; `None` explores every interleaving.
+    reduction: Option<&'a IndependenceOracle>,
+    /// Memoized reduced expansions (separate from `succ_cache`: the C3
+    /// fallback needs the *full* expansion of the same state).
+    ample_cache: ShardedMap<PState, (Vec<PState>, bool)>,
 }
 
 impl<'a> ProductSystem<'a> {
@@ -222,7 +227,19 @@ impl<'a> ProductSystem<'a> {
             atoms,
             shared,
             succ_cache: ShardedMap::default(),
+            reduction: None,
+            ample_cache: ShardedMap::default(),
         }
+    }
+
+    /// Activates the ample-set reduction: the engines route expansions
+    /// through [`TransitionSystem::successors_reduced`] and enforce the C3
+    /// cycle proviso. The oracle may still decline every configuration
+    /// (no statically independent mover), in which case expansions are
+    /// full but counted in `SearchStats::full_expansions`.
+    pub fn with_reduction(mut self, oracle: &'a IndependenceOracle) -> Self {
+        self.reduction = Some(oracle);
+        self
     }
 
     /// Resolves an interned configuration.
@@ -312,7 +329,7 @@ impl TransitionSystem for ProductSystem<'_> {
         if let Some(cached) = self.succ_cache.get(s) {
             return cached;
         }
-        let result = self.successors_uncached(s);
+        let result = self.expand(s, None).0;
         self.succ_cache.insert(*s, result.clone());
         result
     }
@@ -323,13 +340,39 @@ impl TransitionSystem for ProductSystem<'_> {
             PState::Run { q, .. } => self.nba.accepting[q],
         }
     }
+
+    fn successors_reduced(&self, s: &PState) -> Expansion<PState> {
+        let Some(ind) = self.reduction else {
+            return Expansion {
+                states: self.successors(s),
+                ample: false,
+            };
+        };
+        if let Some((states, ample)) = self.ample_cache.get(s) {
+            return Expansion { states, ample };
+        }
+        let (states, ample) = self.expand(s, Some(ind));
+        self.ample_cache.insert(*s, (states.clone(), ample));
+        Expansion { states, ample }
+    }
+
+    fn reduction_active(&self) -> bool {
+        self.reduction.is_some()
+    }
 }
 
 impl ProductSystem<'_> {
-    fn successors_uncached(&self, s: &PState) -> Vec<PState> {
+    /// Expands a product state; with `reduce` set, the scheduled movers at
+    /// each successor configuration are restricted to its ample mover (the
+    /// returned flag reports whether any restriction actually happened).
+    ///
+    /// Boot and fork edges are never reduced: they resolve initial
+    /// configurations and grow the database oracle rather than choose an
+    /// interleaving.
+    fn expand(&self, s: &PState, reduce: Option<&IndependenceOracle>) -> (Vec<PState>, bool) {
         match *s {
             PState::Boot { oracle } => match self.boot_configs(oracle) {
-                Err(fact) => self.fork(*s, oracle, fact),
+                Err(fact) => (self.fork(*s, oracle, fact), false),
                 Ok(configs) => {
                     let mut out = Vec::new();
                     for cid in configs {
@@ -344,7 +387,7 @@ impl ProductSystem<'_> {
                             }
                         }
                     }
-                    out
+                    (out, false)
                 }
             },
             PState::Run {
@@ -362,7 +405,7 @@ impl ProductSystem<'_> {
                         .atoms
                         .letter(self.comp, &db, &cfg, Some(mover), self.domain);
                     if let Some(fact) = db.undecided_hit() {
-                        return self.fork(*s, oracle, fact);
+                        return (self.fork(*s, oracle, fact), false);
                     }
                     letter
                 };
@@ -370,20 +413,31 @@ impl ProductSystem<'_> {
                 // 2. Automaton edges admitted by the letter.
                 let q_targets: Vec<usize> = self.nba.successors(q, letter).collect();
                 if q_targets.is_empty() {
-                    return Vec::new();
+                    return (Vec::new(), false);
                 }
 
                 // 3. Composition step (cached across valuations).
                 let next_configs = match self.step_configs(config, mover, oracle) {
-                    Err(fact) => return self.fork(*s, oracle, fact),
+                    Err(fact) => return (self.fork(*s, oracle, fact), false),
                     Ok(c) => c,
                 };
 
                 let movers = self.comp.movers();
+                let mut ample = false;
                 let mut out =
                     Vec::with_capacity(next_configs.len() * movers.len() * q_targets.len());
                 for cid in next_configs {
-                    for &m in &movers {
+                    let ample_mover = reduce
+                        .filter(|_| movers.len() > 1)
+                        .and_then(|ind| ind.ample_mover(&self.config(cid)));
+                    let sched: &[Mover] = match &ample_mover {
+                        Some(m) => {
+                            ample = true;
+                            std::slice::from_ref(m)
+                        }
+                        None => &movers,
+                    };
+                    for &m in sched {
                         for &q2 in &q_targets {
                             out.push(PState::Run {
                                 config: cid,
@@ -394,7 +448,7 @@ impl ProductSystem<'_> {
                         }
                     }
                 }
-                out
+                (out, ample)
             }
         }
     }

@@ -145,14 +145,12 @@ impl Verifier {
                     stats,
                     ..
                 } => {
-                    total.stats.states_visited += stats.states_visited;
-                    total.stats.transitions_explored += stats.transitions_explored;
+                    total.stats.absorb(&stats);
                     total.outcome = Outcome::Violated(cex);
                     return Ok(total);
                 }
                 Report { stats, .. } => {
-                    total.stats.states_visited += stats.states_visited;
-                    total.stats.transitions_explored += stats.transitions_explored;
+                    total.stats.absorb(&stats);
                 }
             }
         }
@@ -179,8 +177,15 @@ impl Verifier {
         let (base_db, universe) = self.database_setup_pub(&opts.database, domain);
         let comp = self.composition();
         let shared = SharedSearch::new();
-        let system =
-            ProductSystem::new(comp, &base_db, &universe, domain, violation_nba, &atoms, &shared);
+        let system = ProductSystem::new(
+            comp,
+            &base_db,
+            &universe,
+            domain,
+            violation_nba,
+            &atoms,
+            &shared,
+        );
         let (lasso, stats) = crate::parallel::search_product(&system, opts)?;
         let outcome = match lasso {
             None => Outcome::Holds,

@@ -92,7 +92,10 @@ impl std::fmt::Display for ReductionError {
                 write!(f, "channel `{q}` connects a peer to itself (unsupported)")
             }
             ReductionError::OpenComposition => {
-                write!(f, "open compositions cannot be reduced (no environment model)")
+                write!(
+                    f,
+                    "open compositions cannot be reduced (no environment model)"
+                )
             }
             ReductionError::Build(e) => write!(f, "reduced specification invalid: {e}"),
         }
@@ -503,7 +506,6 @@ pub fn translate_property_source(reduced: &ReducedSystem, comp: &Composition, sr
     out
 }
 
-
 /// `O.customer` → `O_customer` (the reduced local name).
 fn reduced_name(comp: &Composition, rel: RelId) -> String {
     comp.voc.name(rel).replace(['.', '?', '!'], "_")
@@ -551,7 +553,11 @@ fn render_fo_renamed(comp: &Composition, fo: &Fo, rename: &HashMap<VarId, String
                 for v in vs {
                     inner.remove(v);
                 }
-                let kw = if matches!(fo, Fo::Exists(..)) { "exists" } else { "forall" };
+                let kw = if matches!(fo, Fo::Exists(..)) {
+                    "exists"
+                } else {
+                    "forall"
+                };
                 let names: Vec<&str> = vs.iter().map(|&v| comp.vars.name(v)).collect();
                 format!("({kw} {}: {})", names.join(", "), go(comp, g, &inner))
             }
@@ -607,7 +613,9 @@ fn render_term_renamed(comp: &Composition, t: &Term, rename: &HashMap<VarId, Str
 }
 
 fn render_atom_renamed(comp: &Composition, fo: &Fo, rename: &HashMap<VarId, String>) -> String {
-    let Fo::Atom(rel, args) = fo else { unreachable!() };
+    let Fo::Atom(rel, args) = fo else {
+        unreachable!()
+    };
     use ddws_logic::input_bounded::RelClass::*;
     let name = match comp.class(*rel) {
         InFlat | InNested => {

@@ -9,9 +9,9 @@ use ddws_automata::emptiness::{BudgetExceeded, SearchStats};
 use ddws_automata::{ltl_to_nba, Ltl};
 use ddws_logic::input_bounded::{check_input_bounded_sentence, IbOptions, IbViolation};
 use ddws_logic::parser::{parse_sentence, ParseError, Resolver};
-use ddws_logic::{LtlFoSentence, VarId};
+use ddws_logic::{LtlFo, LtlFoSentence, VarId};
 use ddws_model::builder::collect_constants;
-use ddws_model::Composition;
+use ddws_model::{Composition, IndependenceOracle};
 use ddws_relational::{Instance, RelId, Value};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -26,6 +26,24 @@ pub enum DatabaseMode {
     /// domain inside the verification domain, via the lazy oracle.
     #[default]
     AllDatabases,
+}
+
+/// Partial-order reduction of peer interleavings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Reduction {
+    /// Explore every serialized interleaving (Definition 2.6 verbatim);
+    /// bit-identical to the verifier before the reduction existed.
+    #[default]
+    Full,
+    /// Ample-set partial-order reduction: per configuration, schedule only
+    /// a mover that is statically independent of all others and invisible
+    /// to the property's atoms (see `ddws_model::independence`). Verdicts
+    /// are identical to [`Reduction::Full`]; counterexamples and search
+    /// statistics may differ. Automatically degrades to `Full` when the
+    /// property contains `X` (the reduction is sound only for
+    /// stutter-invariant properties), observes a move proposition, or no
+    /// mover qualifies.
+    Ample,
 }
 
 /// Verification options.
@@ -49,6 +67,9 @@ pub struct VerifyOptions {
     pub require_input_bounded: bool,
     /// Input-boundedness checker options.
     pub ib_options: IbOptions,
+    /// Partial-order reduction of peer interleavings (default
+    /// [`Reduction::Full`]).
+    pub reduction: Reduction,
 }
 
 impl Default for VerifyOptions {
@@ -60,8 +81,37 @@ impl Default for VerifyOptions {
             threads: None,
             require_input_bounded: true,
             ib_options: IbOptions::default(),
+            reduction: Reduction::default(),
         }
     }
+}
+
+/// Whether an LTL-FO formula contains the `X` operator anywhere —
+/// properties with `X` are not stutter-invariant, so the ample-set
+/// reduction must stay off for them.
+pub(crate) fn contains_next(f: &LtlFo) -> bool {
+    match f {
+        LtlFo::Fo(_) => false,
+        LtlFo::X(_) => true,
+        LtlFo::Not(g) => contains_next(g),
+        LtlFo::And(gs) | LtlFo::Or(gs) => gs.iter().any(contains_next),
+        LtlFo::Implies(a, b) | LtlFo::U(a, b) => contains_next(a) || contains_next(b),
+    }
+}
+
+/// Builds the independence oracle for a check, or `None` when the
+/// reduction must stay off: not requested, property not stutter-invariant
+/// (contains `X`), or no mover qualifies under the observed atoms.
+pub(crate) fn reduction_oracle(
+    comp: &Composition,
+    body: &LtlFo,
+    observed: &BTreeSet<RelId>,
+    opts: &VerifyOptions,
+) -> Option<IndependenceOracle> {
+    if opts.reduction != Reduction::Ample || contains_next(body) {
+        return None;
+    }
+    Some(IndependenceOracle::new(comp, observed))
 }
 
 /// Verification failure (as opposed to a property verdict).
@@ -259,6 +309,7 @@ impl Verifier {
         let (base_db, universe) = self.database_setup(&opts.database, &domain);
 
         let negated_body = ddws_logic::LtlFo::not(property.body.clone());
+        let reduction = reduction_oracle(&self.comp, &property.body, &observed, opts);
         let shared = SharedSearch::new();
         let mut stats = SearchStats::default();
         // Fresh values are interchangeable: check valuations only up to
@@ -269,8 +320,7 @@ impl Verifier {
         // introduce them), so valuations touching them are skipped -- this
         // is exact, not an approximation.
         let (constants, fresh) = self.split_domain(&domain);
-        let fixed_closed =
-            matches!(opts.database, DatabaseMode::Fixed(_)) && self.comp.is_closed();
+        let fixed_closed = matches!(opts.database, DatabaseMode::Fixed(_)) && self.comp.is_closed();
         let fresh_for_closure: &[Value] = if fixed_closed { &[] } else { &fresh };
         let valuations =
             canonical_valuations(&property.universal_vars, &constants, fresh_for_closure);
@@ -279,11 +329,14 @@ impl Verifier {
             let mut atoms = AtomRegistry::new();
             let ltl: Ltl = ground_ltlfo(&negated_body, &valuation, &mut atoms);
             let nba = ltl_to_nba(&ltl);
-            let system =
-                ProductSystem::new(&self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared);
+            let mut system = ProductSystem::new(
+                &self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared,
+            );
+            if let Some(ind) = &reduction {
+                system = system.with_reduction(ind);
+            }
             let (lasso, s) = crate::parallel::search_product(&system, opts)?;
-            stats.states_visited += s.states_visited;
-            stats.transitions_explored += s.transitions_explored;
+            stats.absorb(&s);
             if let Some(lasso) = lasso {
                 let cex = build_counterexample(
                     &system,
@@ -311,7 +364,11 @@ impl Verifier {
     }
 
     /// Convenience: parse then check.
-    pub fn check_str(&mut self, property: &str, opts: &VerifyOptions) -> Result<Report, VerifyError> {
+    pub fn check_str(
+        &mut self,
+        property: &str,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
         let p = self.parse_property(property)?;
         self.check(&p, opts)
     }
@@ -484,10 +541,7 @@ pub(crate) fn build_counterexample(
         if is_fork_source {
             continue;
         }
-        if let PState::Run {
-            config, mover, ..
-        } = s
-        {
+        if let PState::Run { config, mover, .. } = s {
             steps.push(RunStep {
                 config: (*system.config(*config)).clone(),
                 mover: *mover,

@@ -2,7 +2,7 @@
 //! pipeline: builder → input-boundedness → grounding → tableau → lazy-oracle
 //! product search.
 
-use ddws_model::{CompositionBuilder, Composition, QueueKind};
+use ddws_model::{Composition, CompositionBuilder, QueueKind};
 use ddws_relational::{Instance, Tuple, Value};
 use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
 
@@ -40,10 +40,7 @@ fn pings_only_carry_friends() {
     // because greet options are restricted to friends.
     let mut v = Verifier::new(ping_pong(true));
     let report = v
-        .check_str(
-            "G (forall x: Bob.?ping(x) -> Alice.friend(x))",
-            &opts(),
-        )
+        .check_str("G (forall x: Bob.?ping(x) -> Alice.friend(x))", &opts())
         .unwrap();
     assert!(report.outcome.holds(), "stats: {:?}", report.stats);
     assert!(report.stats.states_visited > 0);
@@ -152,5 +149,8 @@ fn non_input_bounded_property_rejected() {
     let err = v
         .check_str("G (exists x: Alice.ponged(x))", &opts())
         .unwrap_err();
-    assert!(matches!(err, ddws_verifier::VerifyError::NotInputBounded(_)));
+    assert!(matches!(
+        err,
+        ddws_verifier::VerifyError::NotInputBounded(_)
+    ));
 }

@@ -1,0 +1,153 @@
+//! Safety side-conditions of the ample-set partial-order reduction
+//! (DESIGN.md §"Partial-order reduction").
+//!
+//! The reduction may only prune interleavings the property cannot tell
+//! apart. These tests pin the gates that keep it sound:
+//!
+//! * observing a queue-emptiness proposition (`emptyQ`) of a channel makes
+//!   the channel's sender *visible*, forcing full expansion where that
+//!   proposition could flip;
+//! * observing a `receivedQ` flag makes the flag *tracked*, and since every
+//!   move resets all tracked flags, every mover becomes dependent — the
+//!   reduction degrades to full expansion everywhere;
+//! * a property containing `X` is not stutter-invariant, so the reduction
+//!   switches itself off entirely (no ample *or* full-expansion counters).
+//!
+//! All assertions go through `Report.stats` (`ample_hits`,
+//! `full_expansions`), on both the sequential and the parallel engine.
+
+use ddws_model::{Composition, CompositionBuilder, QueueKind};
+use ddws_relational::{Instance, Tuple};
+use ddws_verifier::{DatabaseMode, Reduction, Report, Verifier, VerifyOptions};
+
+/// Two chained peers (`A --hop--> B`) plus an auditor that rotates a
+/// two-phase state and sends a beacon on `audit` — a channel `B` never
+/// dequeues. The auditor touches no resource the chain reads, so with
+/// nothing audit-related observed it is the statically independent, ample
+/// mover; observing `B.empty_audit` or `received_audit` must re-couple it.
+fn audited() -> Composition {
+    let mut b = CompositionBuilder::new();
+    b.default_lossy(true);
+    b.channel("hop", 1, QueueKind::Flat, "A", "B");
+    b.channel("audit", 1, QueueKind::Flat, "Aud", "B");
+    b.peer("A")
+        .database("token", 1)
+        .input("emit", 1)
+        .input_rule("emit", &["x"], "token(x)")
+        .send_rule("hop", &["x"], "emit(x)");
+    b.peer("B")
+        .state("seen", 1)
+        .state_insert_rule("seen", &["x"], "?hop(x)");
+    b.peer("Aud")
+        .state("phase", 1)
+        .state_insert_rule(
+            "phase",
+            &["x"],
+            "(x = \"r0\" and not (phase(\"r0\") or phase(\"r1\"))) \
+             or (x = \"r1\" and phase(\"r0\")) \
+             or (x = \"r0\" and phase(\"r1\"))",
+        )
+        .state_delete_rule("phase", &["x"], "phase(x)")
+        .send_rule("audit", &["x"], "x = \"r0\" and phase(\"r1\")");
+    b.build().unwrap()
+}
+
+fn check(property: &str, reduction: Reduction, threads: Option<usize>) -> Report {
+    let mut v = Verifier::new(audited());
+    let mut db = Instance::empty(&v.composition().voc);
+    let t = v.composition_mut().symbols.intern("t");
+    let token = v.composition().voc.lookup("A.token").unwrap();
+    db.relation_mut(token).insert(Tuple::new(vec![t]));
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        reduction,
+        threads,
+        ..VerifyOptions::default()
+    };
+    v.check_str(property, &opts)
+        .expect("verification completes")
+}
+
+const ENGINES: [Option<usize>; 2] = [None, Some(2)];
+
+/// The chain-only safety property: holds, and nothing audit-related is
+/// observed, so the auditor is ample almost everywhere.
+const CHAIN_SAFETY: &str = "G (forall x: B.?hop(x) -> A.token(x))";
+
+#[test]
+fn invisible_auditor_is_reduced() {
+    for threads in ENGINES {
+        let full = check(CHAIN_SAFETY, Reduction::Full, threads);
+        let ample = check(CHAIN_SAFETY, Reduction::Ample, threads);
+        assert!(full.outcome.holds() && ample.outcome.holds(), "{threads:?}");
+        assert_eq!(full.stats.ample_hits, 0);
+        assert_eq!(full.stats.full_expansions, 0);
+        assert!(ample.stats.ample_hits > 0, "threads={threads:?}");
+        assert!(
+            ample.stats.states_visited < full.stats.states_visited,
+            "threads={threads:?}: reduction must prune some states"
+        );
+    }
+}
+
+#[test]
+fn observed_empty_q_forces_full_expansion() {
+    // `B.empty_audit` reads the audit queue, whose contents only the
+    // auditor's sends change: the auditor is now visible (C2), and with the
+    // chained peers already mutually dependent no ample mover remains.
+    // The verdict must still agree with the unreduced search.
+    let prop = "G ((forall x: B.?hop(x) -> A.token(x)) and (B.empty_audit or not B.empty_audit))";
+    for threads in ENGINES {
+        let full = check(prop, Reduction::Full, threads);
+        let ample = check(prop, Reduction::Ample, threads);
+        assert_eq!(full.outcome.holds(), ample.outcome.holds());
+        assert_eq!(
+            ample.stats.ample_hits, 0,
+            "threads={threads:?}: emptyQ visibility must disable the reduction"
+        );
+        assert!(
+            ample.stats.full_expansions > 0,
+            "threads={threads:?}: the reduction stayed active but expanded fully"
+        );
+        assert_eq!(ample.stats.states_visited, full.stats.states_visited);
+    }
+}
+
+#[test]
+fn observed_received_q_forces_full_expansion() {
+    // Observing `received_audit` makes the flag part of every snapshot, and
+    // every move rewrites all tracked flags — so every mover conflicts with
+    // every other and the reduction degrades to full expansion everywhere.
+    // (The flag flips when the auditor's beacon is *delivered*, so the
+    // property is violated — identically under both reductions.)
+    let prop = "G (not received_audit)";
+    for threads in ENGINES {
+        let full = check(prop, Reduction::Full, threads);
+        let ample = check(prop, Reduction::Ample, threads);
+        assert_eq!(full.outcome.holds(), ample.outcome.holds(), "{threads:?}");
+        assert!(!ample.outcome.holds(), "delivery sets the flag");
+        assert_eq!(
+            ample.stats.ample_hits, 0,
+            "threads={threads:?}: a tracked receivedQ flag must disable the reduction"
+        );
+        assert!(ample.stats.full_expansions > 0, "threads={threads:?}");
+        assert_eq!(ample.stats.states_visited, full.stats.states_visited);
+    }
+}
+
+#[test]
+fn next_operator_switches_reduction_off() {
+    // `X` breaks stutter-invariance, so the oracle is never even built:
+    // both reduction counters stay zero (unlike the degraded cases above,
+    // where `full_expansions` ticks).
+    let prop = "forall x: G (B.seen(x) -> X B.seen(x))";
+    for threads in ENGINES {
+        let full = check(prop, Reduction::Full, threads);
+        let ample = check(prop, Reduction::Ample, threads);
+        assert_eq!(full.outcome.holds(), ample.outcome.holds());
+        assert_eq!(ample.stats.ample_hits, 0, "threads={threads:?}");
+        assert_eq!(ample.stats.full_expansions, 0, "threads={threads:?}");
+        assert_eq!(ample.stats.states_visited, full.stats.states_visited);
+    }
+}

@@ -2,8 +2,8 @@
 
 use ddws_model::{Composition, CompositionBuilder, QueueKind};
 use ddws_relational::{Instance, Tuple};
-use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
 use ddws_testkit::proptest::prelude::*;
+use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
 
 fn ping(lossy: bool) -> Composition {
     let mut b = CompositionBuilder::new();

@@ -2,7 +2,7 @@
 //! verification (§5) on small open/closed compositions.
 
 use ddws_automata::{Guard, Nba};
-use ddws_model::{CompositionBuilder, Composition, QueueKind};
+use ddws_model::{Composition, CompositionBuilder, QueueKind};
 use ddws_protocol::{automata_shapes, DataAgnosticProtocol, DataAwareProtocol, Observer};
 use ddws_relational::{Instance, Tuple};
 use ddws_verifier::{DatabaseMode, Outcome, Verifier, VerifyOptions};
@@ -77,9 +77,13 @@ fn no_response_before_request_holds() {
     nba.add_transition(1, Guard::TOP, 1);
     nba.accepting[0] = true;
     nba.accepting[1] = true;
-    let protocol =
-        DataAgnosticProtocol::new(v.composition(), &["req", "resp"], nba, Observer::AtRecipient)
-            .unwrap();
+    let protocol = DataAgnosticProtocol::new(
+        v.composition(),
+        &["req", "resp"],
+        nba,
+        Observer::AtRecipient,
+    )
+    .unwrap();
     let report = v.check_data_agnostic(&protocol, &opts(db)).unwrap();
     assert!(report.outcome.holds(), "stats: {:?}", report.stats);
 }
@@ -91,9 +95,13 @@ fn response_protocol_fails_under_unfair_scheduling() {
     let mut v = Verifier::new(req_resp(true));
     let db = db_with(&mut v, "P.d", &["a"]);
     let nba = automata_shapes::response(2, 0, 1);
-    let protocol =
-        DataAgnosticProtocol::new(v.composition(), &["req", "resp"], nba, Observer::AtRecipient)
-            .unwrap();
+    let protocol = DataAgnosticProtocol::new(
+        v.composition(),
+        &["req", "resp"],
+        nba,
+        Observer::AtRecipient,
+    )
+    .unwrap();
     let report = v.check_data_agnostic(&protocol, &opts(db)).unwrap();
     match report.outcome {
         Outcome::Violated(cex) => {
@@ -116,9 +124,13 @@ fn never_protocol_on_dead_channel_holds() {
     let mut v = Verifier::new(req_resp(true));
     let db = Instance::empty(&v.composition().voc);
     let nba = automata_shapes::never(2, 0);
-    let protocol =
-        DataAgnosticProtocol::new(v.composition(), &["req", "resp"], nba, Observer::AtRecipient)
-            .unwrap();
+    let protocol = DataAgnosticProtocol::new(
+        v.composition(),
+        &["req", "resp"],
+        nba,
+        Observer::AtRecipient,
+    )
+    .unwrap();
     let report = v.check_data_agnostic(&protocol, &opts(db)).unwrap();
     assert!(report.outcome.holds());
 }
@@ -132,15 +144,21 @@ fn observer_placement_distinguishes_lost_messages() {
     let mut v = Verifier::new(req_resp(true));
     let db = db_with(&mut v, "P.d", &["a"]);
     let nba = automata_shapes::never(1, 0);
-    let at_recipient =
-        DataAgnosticProtocol::new(v.composition(), &["req"], nba.clone(), Observer::AtRecipient)
-            .unwrap();
+    let at_recipient = DataAgnosticProtocol::new(
+        v.composition(),
+        &["req"],
+        nba.clone(),
+        Observer::AtRecipient,
+    )
+    .unwrap();
     let at_source =
         DataAgnosticProtocol::new(v.composition(), &["req"], nba, Observer::AtSource).unwrap();
     // Both are violated here (the message *can* arrive), but the at-source
     // violation can fire even on the loss branch; just assert both verdicts
     // are produced and agree on violation.
-    let r1 = v.check_data_agnostic(&at_recipient, &opts(db.clone())).unwrap();
+    let r1 = v
+        .check_data_agnostic(&at_recipient, &opts(db.clone()))
+        .unwrap();
     let r2 = v.check_data_agnostic(&at_source, &opts(db)).unwrap();
     assert!(!r1.outcome.holds());
     assert!(!r2.outcome.holds());
@@ -162,10 +180,7 @@ fn data_aware_guard_checks_message_content() {
     };
     let protocol = DataAwareProtocol::new(
         v.composition_mut(),
-        &[(
-            "req_is_db_value",
-            "forall x: P.!req(x) -> P.d(x)",
-        )],
+        &[("req_is_db_value", "forall x: P.!req(x) -> P.d(x)")],
         nba,
     )
     .unwrap();
@@ -233,9 +248,7 @@ fn weak_environment_spec_leaves_property_violated() {
         .unwrap();
     // A spec that allows two values cannot establish the property.
     let spec = v
-        .parse_env_spec(
-            "G (forall x: ENV.!resp(x) -> (x = \"ok\" or x = \"bogus\"))",
-        )
+        .parse_env_spec("G (forall x: ENV.!resp(x) -> (x = \"ok\" or x = \"bogus\"))")
         .unwrap();
     let report = v.check_modular(&property, &spec, &opts(db)).unwrap();
     assert!(!report.outcome.holds());
@@ -254,7 +267,10 @@ fn non_strict_spec_rejected() {
         .parse_env_spec("forall x: G (ENV.?req(x) -> F ENV.!resp(x))")
         .unwrap();
     let err = v.check_modular(&property, &spec, &opts(db)).unwrap_err();
-    assert!(matches!(err, ddws_verifier::VerifyError::NotInputBounded(_)));
+    assert!(matches!(
+        err,
+        ddws_verifier::VerifyError::NotInputBounded(_)
+    ));
 }
 
 #[test]

@@ -7,7 +7,7 @@ use ddws_relational::{Instance, Tuple};
 use ddws_verifier::reduction::{
     reduce_to_single_peer, translate_database, translate_property_source,
 };
-use ddws_verifier::{DatabaseMode, Verifier, VerifyOptions};
+use ddws_verifier::{DatabaseMode, Reduction, Verifier, VerifyOptions};
 
 /// Lossy-flat ping-pong (the decidable regime the reduction targets).
 fn ping_pong() -> Composition {
@@ -29,8 +29,9 @@ fn ping_pong() -> Composition {
     b.build().unwrap()
 }
 
-/// Runs the same property against original and reduced systems and asserts
-/// verdict agreement.
+/// Runs the same property against original and reduced systems — each
+/// under both `Reduction::Full` and `Reduction::Ample` — and asserts that
+/// all four verdicts agree.
 fn assert_equivalent(comp: Composition, db_facts: &[(&str, &[&str])], property: &str) {
     // Original.
     let mut v = Verifier::new(comp);
@@ -43,39 +44,45 @@ fn assert_equivalent(comp: Composition, db_facts: &[(&str, &[&str])], property: 
         let id = v.composition().voc.lookup(rel).unwrap();
         db.relation_mut(id).insert(Tuple::from(values.as_slice()));
     }
-    let opts = VerifyOptions {
-        database: DatabaseMode::Fixed(db.clone()),
-        fresh_values: Some(1),
-        ..VerifyOptions::default()
-    };
-    let original = v.check_str(property, &opts).unwrap();
+    let mut verdicts: Vec<(String, bool)> = Vec::new();
+    for reduction in [Reduction::Full, Reduction::Ample] {
+        let opts = VerifyOptions {
+            database: DatabaseMode::Fixed(db.clone()),
+            fresh_values: Some(1),
+            reduction,
+            ..VerifyOptions::default()
+        };
+        let report = v.check_str(property, &opts).unwrap();
+        verdicts.push((format!("original/{reduction:?}"), report.outcome.holds()));
+    }
 
     // Reduced.
     let mut reduced = reduce_to_single_peer(v.composition()).unwrap();
     let reduced_db = translate_database(&mut reduced, v.composition(), &db);
     let reduced_property = translate_property_source(&reduced, v.composition(), property);
     let mut rv = Verifier::new(reduced.composition);
-    let ropts = VerifyOptions {
-        database: DatabaseMode::Fixed(reduced_db),
-        fresh_values: Some(1),
-        // The reduction's scheduler constants and pick inputs fall outside
-        // the letter-perfect input-bounded fragment; equivalence, not
-        // input-boundedness, is under test here.
-        require_input_bounded: false,
-        ..VerifyOptions::default()
-    };
-    let reduced_report = rv.check_str(&reduced_property, &ropts).unwrap();
+    for reduction in [Reduction::Full, Reduction::Ample] {
+        let ropts = VerifyOptions {
+            database: DatabaseMode::Fixed(reduced_db.clone()),
+            fresh_values: Some(1),
+            reduction,
+            // The reduction's scheduler constants and pick inputs fall
+            // outside the letter-perfect input-bounded fragment;
+            // equivalence, not input-boundedness, is under test here.
+            require_input_bounded: false,
+            ..VerifyOptions::default()
+        };
+        let report = rv.check_str(&reduced_property, &ropts).unwrap();
+        verdicts.push((format!("single-peer/{reduction:?}"), report.outcome.holds()));
+    }
 
-    assert_eq!(
-        original.outcome.holds(),
-        reduced_report.outcome.holds(),
-        "verdicts diverge for `{property}` (original: {}, reduced: {})\n\
-         original stats {:?}, reduced stats {:?}",
-        original.outcome.holds(),
-        reduced_report.outcome.holds(),
-        original.stats,
-        reduced_report.stats
-    );
+    let reference = verdicts[0].1;
+    for (label, holds) in &verdicts {
+        assert_eq!(
+            *holds, reference,
+            "verdict diverges for `{property}` at {label}: {verdicts:?}"
+        );
+    }
 }
 
 #[test]
@@ -148,7 +155,9 @@ fn perfect_nested_channels_reduce() {
     });
     b.default_lossy(false);
     b.channel("set", 1, QueueKind::Nested, "P", "R");
-    b.peer("P").database("d", 1).send_rule("set", &["x"], "d(x)");
+    b.peer("P")
+        .database("d", 1)
+        .send_rule("set", &["x"], "d(x)");
     b.peer("R")
         .state("got", 1)
         .state_insert_rule("got", &["x"], "?set(x)");

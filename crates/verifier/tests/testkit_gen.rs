@@ -31,25 +31,29 @@ const VIOLATED: &str = "G (forall x: B.?ping(x) -> false)";
 /// determinism contract, sampled jointly).
 #[test]
 fn verdicts_stable_in_fresh_domain_and_engine() {
-    gen::cases(8, seed_from("verdicts_stable_in_fresh_domain_and_engine"), |rng| {
-        let fresh = rng.range(1, 4);
-        let lossy = rng.bool();
-        let threads = *rng.choose(&[None, Some(1), Some(2)]);
-        let mut v = Verifier::new(ping(lossy));
-        let opts = VerifyOptions {
-            fresh_values: Some(fresh),
-            threads,
-            ..VerifyOptions::default()
-        };
-        let holds = v.check_str(HOLDS, &opts).unwrap();
-        assert!(
-            holds.outcome.holds(),
-            "fresh={fresh} lossy={lossy} threads={threads:?}"
-        );
-        let violated = v.check_str(VIOLATED, &opts).unwrap();
-        assert!(
-            !violated.outcome.holds(),
-            "fresh={fresh} lossy={lossy} threads={threads:?}"
-        );
-    });
+    gen::cases(
+        8,
+        seed_from("verdicts_stable_in_fresh_domain_and_engine"),
+        |rng| {
+            let fresh = rng.range(1, 4);
+            let lossy = rng.bool();
+            let threads = *rng.choose(&[None, Some(1), Some(2)]);
+            let mut v = Verifier::new(ping(lossy));
+            let opts = VerifyOptions {
+                fresh_values: Some(fresh),
+                threads,
+                ..VerifyOptions::default()
+            };
+            let holds = v.check_str(HOLDS, &opts).unwrap();
+            assert!(
+                holds.outcome.holds(),
+                "fresh={fresh} lossy={lossy} threads={threads:?}"
+            );
+            let violated = v.check_str(VIOLATED, &opts).unwrap();
+            assert!(
+                !violated.outcome.holds(),
+                "fresh={fresh} lossy={lossy} threads={threads:?}"
+            );
+        },
+    );
 }

@@ -33,8 +33,14 @@ fn main() {
     );
 
     for (name, prop) in [
-        ("ratings reflect the agency DB (strict)", bank_loan::PROP_RATINGS_REFLECT_DB),
-        ("no rating is ever received (strict)", bank_loan::PROP_NO_RATING_EVER),
+        (
+            "ratings reflect the agency DB (strict)",
+            bank_loan::PROP_RATINGS_REFLECT_DB,
+        ),
+        (
+            "no rating is ever received (strict)",
+            bank_loan::PROP_NO_RATING_EVER,
+        ),
         (
             "recorded applications persist (two closure variables)",
             "forall id, l: G (O.application(id, l) -> X O.application(id, l))",
@@ -53,8 +59,11 @@ fn main() {
                 );
                 if let Outcome::Violated(cex) = report.outcome {
                     let total = cex.prefix.len() + cex.cycle.len();
-                    println!("  counterexample run of {total} snapshots (prefix {} + cycle {})",
-                        cex.prefix.len(), cex.cycle.len());
+                    println!(
+                        "  counterexample run of {total} snapshots (prefix {} + cycle {})",
+                        cex.prefix.len(),
+                        cex.cycle.len()
+                    );
                 }
             }
             Err(e) => println!("\n[{name}]\n  error: {e}"),
@@ -71,7 +80,11 @@ fn main() {
             Ok(report) => println!(
                 "\n[property (11): every application answered]\n  verdict: {}  states: {}  \
                  valuations: {}  in {:?}",
-                if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+                if report.outcome.holds() {
+                    "HOLDS"
+                } else {
+                    "VIOLATED"
+                },
                 report.stats.states_visited,
                 report.valuations_checked,
                 t0.elapsed()

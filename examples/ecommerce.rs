@@ -17,13 +17,20 @@ fn main() {
     };
 
     for (name, prop) in [
-        ("confirmed charges use valid cards", ecommerce::PROP_CHARGES_ARE_VALID),
+        (
+            "confirmed charges use valid cards",
+            ecommerce::PROP_CHARGES_ARE_VALID,
+        ),
         ("only catalog items ship", ecommerce::PROP_SHIP_FROM_CATALOG),
     ] {
         match verifier.check_str(prop, &opts) {
             Ok(report) => println!(
                 "[{name}] {} ({} states, {} valuations)",
-                if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+                if report.outcome.holds() {
+                    "HOLDS"
+                } else {
+                    "VIOLATED"
+                },
                 report.stats.states_visited,
                 report.valuations_checked
             ),

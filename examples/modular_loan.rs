@@ -47,7 +47,11 @@ fn main() {
     let unconstrained = verifier.check(&property, &opts).unwrap();
     println!(
         "without environment spec: {}",
-        if unconstrained.outcome.holds() { "HOLDS" } else { "VIOLATED" }
+        if unconstrained.outcome.holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // Under Example 5.1's spec: replies use the pre-defined category list.
@@ -60,7 +64,11 @@ fn main() {
     let modular = verifier.check_modular(&property, &spec, &opts).unwrap();
     println!(
         "under the Example 5.1 spec: {} ({} states, {} valuations)",
-        if modular.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        if modular.outcome.holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        },
         modular.stats.states_visited,
         modular.valuations_checked
     );

@@ -17,20 +17,22 @@ fn main() {
         .input("check", 1)
         .input_rule("check", &["ssn"], "customer(ssn)")
         .send_rule("getRating", &["ssn"], "check(ssn)");
-    b.peer("CR")
-        .database("creditRating", 2)
-        .send_rule(
-            "rating",
-            &["ssn", "cat"],
-            "?getRating(ssn) and creditRating(ssn, cat)",
-        );
+    b.peer("CR").database("creditRating", 2).send_rule(
+        "rating",
+        &["ssn", "cat"],
+        "?getRating(ssn) and creditRating(ssn, cat)",
+    );
     let mut verifier = Verifier::new(b.build().expect("composition"));
 
     let mut db = Instance::empty(&verifier.composition().voc);
     let s1 = verifier.composition_mut().symbols.intern("s1");
     let fair = verifier.composition_mut().symbols.intern("fair");
     let customer = verifier.composition().voc.lookup("O.customer").unwrap();
-    let credit = verifier.composition().voc.lookup("CR.creditRating").unwrap();
+    let credit = verifier
+        .composition()
+        .voc
+        .lookup("CR.creditRating")
+        .unwrap();
     db.relation_mut(customer).insert(Tuple::new(vec![s1]));
     db.relation_mut(credit).insert(Tuple::new(vec![s1, fair]));
 
@@ -53,7 +55,11 @@ fn main() {
     let report = verifier.check_data_agnostic(&response, &opts).unwrap();
     println!(
         "data-agnostic G(getRating -> F rating): {} ({} states)",
-        if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        if report.outcome.holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        },
         report.stats.states_visited
     );
 
@@ -78,7 +84,11 @@ fn main() {
     let report = verifier.check_data_agnostic(&no_early, &opts).unwrap();
     println!(
         "data-agnostic no-rating-before-request: {} ({} states)",
-        if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        if report.outcome.holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        },
         report.stats.states_visited
     );
 
@@ -109,7 +119,11 @@ fn main() {
     let report = verifier.check_data_aware(&aware, &opts).unwrap();
     println!(
         "data-aware ratings-match-database: {} ({} states)",
-        if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        if report.outcome.holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        },
         report.stats.states_visited
     );
 }

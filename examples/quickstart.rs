@@ -32,7 +32,11 @@ fn main() {
         .expect("verification runs");
     println!(
         "pings-carry-friends: {} ({} states over {} valuations)",
-        if report.outcome.holds() { "HOLDS" } else { "VIOLATED" },
+        if report.outcome.holds() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        },
         report.stats.states_visited,
         report.valuations_checked,
     );

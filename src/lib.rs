@@ -45,7 +45,6 @@
 //! assert!(report.outcome.holds());
 //! ```
 
-
 #![warn(missing_docs)]
 pub mod scenarios;
 

@@ -8,6 +8,12 @@ use ddws_relational::{Instance, Tuple};
 /// Builds a relay chain of `n ≥ 2` peers. `P0` picks a token from its
 /// database and sends it down the chain; every peer records what it saw.
 pub fn composition(n: usize, lossy: bool, semantics: Semantics) -> Composition {
+    chain_builder(n, lossy, semantics)
+        .build()
+        .expect("chain composition is well-formed")
+}
+
+fn chain_builder(n: usize, lossy: bool, semantics: Semantics) -> CompositionBuilder {
     assert!(n >= 2, "a chain needs at least two peers");
     let mut b = CompositionBuilder::new();
     b.semantics(semantics);
@@ -31,17 +37,48 @@ pub fn composition(n: usize, lossy: bool, semantics: Semantics) -> Composition {
 
     for i in 1..n {
         let mut p = b.peer(&format!("P{i}"));
-        p.state("seen", 1).state_insert_rule(
-            "seen",
-            &["x"],
-            &format!("?hop{}(x)", i - 1),
-        );
+        p.state("seen", 1)
+            .state_insert_rule("seen", &["x"], &format!("?hop{}(x)", i - 1));
         if i < n - 1 {
             p.send_rule(&format!("hop{i}"), &["x"], &format!("?hop{}(x)", i - 1));
         }
     }
 
-    b.build().expect("chain composition is well-formed")
+    b
+}
+
+/// A relay chain plus a channel-free *auditor* peer `Aud` whose single
+/// state relation `phase` rotates deterministically through the `ring ≥ 2`
+/// phase constants `"r0" … "r{ring-1}"` (entered at `"r0"` from the empty
+/// initial state, quantifier-free so the peer stays input-bounded).
+///
+/// The auditor shares no channel, queue or relation with the chain, so it
+/// is statically independent of every chain mover and invisible to any
+/// chain-only property: under `Reduction::Ample` the search schedules it
+/// alone until its orbit closes (where the C3 cycle proviso restores the
+/// full expansion), collapsing the `chain × auditor` interleavings. This
+/// is the partial-order-reduction showcase of experiment E9.
+pub fn composition_with_auditor(
+    n: usize,
+    ring: usize,
+    lossy: bool,
+    semantics: Semantics,
+) -> Composition {
+    assert!(ring >= 2, "the auditor ring needs at least two phases");
+    let mut b = chain_builder(n, lossy, semantics);
+    let occupied = (0..ring)
+        .map(|i| format!("phase(\"r{i}\")"))
+        .collect::<Vec<_>>()
+        .join(" or ");
+    let mut arms = vec![format!("(x = \"r0\" and not ({occupied}))")];
+    for i in 0..ring {
+        arms.push(format!("(x = \"r{}\" and phase(\"r{i}\"))", (i + 1) % ring));
+    }
+    b.peer("Aud")
+        .state("phase", 1)
+        .state_insert_rule("phase", &["x"], &arms.join(" or "))
+        .state_delete_rule("phase", &["x"], "phase(x)");
+    b.build().expect("auditor chain composition is well-formed")
 }
 
 /// A database with `m` candidate tokens.
@@ -57,9 +94,5 @@ pub fn database(comp: &mut Composition, m: usize) -> Instance {
 
 /// End-to-end integrity: the last peer only sees database tokens (strict).
 pub fn prop_integrity(n: usize) -> String {
-    format!(
-        "G (forall x: P{}.?hop{}(x) -> P0.token(x))",
-        n - 1,
-        n - 2
-    )
+    format!("G (forall x: P{}.?hop{}(x) -> P0.token(x))", n - 1, n - 2)
 }

@@ -39,14 +39,12 @@ pub fn composition(lossy: bool, semantics: Semantics) -> Composition {
             "?charged(card, \"ok\") and pending(card, item)",
         );
 
-    b.peer("Gateway")
-        .database("validCard", 1)
-        .send_rule(
-            "charged",
-            &["card", "status"],
-            "exists item: (?charge(card, item) and validCard(card) and status = \"ok\") \
+    b.peer("Gateway").database("validCard", 1).send_rule(
+        "charged",
+        &["card", "status"],
+        "exists item: (?charge(card, item) and validCard(card) and status = \"ok\") \
              or (?charge(card, item) and not validCard(card) and status = \"declined\")",
-        );
+    );
 
     b.build().expect("e-commerce composition is well-formed")
 }
@@ -69,8 +67,7 @@ pub fn demo_database(comp: &mut Composition) -> Instance {
 }
 
 /// Safety: the gateway only confirms valid cards (strict sentence — cheap).
-pub const PROP_CHARGES_ARE_VALID: &str =
-    "G (forall card, status: Store.?charged(card, status) -> \
+pub const PROP_CHARGES_ARE_VALID: &str = "G (forall card, status: Store.?charged(card, status) -> \
         (not status = \"ok\" or Gateway.validCard(card)))";
 
 /// Safety with closure variables: only catalog items ever ship (shipping

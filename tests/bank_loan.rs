@@ -106,7 +106,11 @@ fn applications_persist() {
             &opts(db),
         )
         .unwrap();
-    assert!(report.outcome.holds(), "valuations: {}", report.valuations_checked);
+    assert!(
+        report.outcome.holds(),
+        "valuations: {}",
+        report.valuations_checked
+    );
 }
 
 #[test]

@@ -1,0 +1,58 @@
+//! Shared harness for the differential swarm (tests/swarm.rs) and its
+//! pinned regression seeds (tests/regressions.rs).
+
+use ddws_testkit::compgen;
+use ddws_testkit::rng::XorShift;
+use ddws_verifier::{DatabaseMode, Reduction, Verifier, VerifyError, VerifyOptions};
+
+/// State budget for swarm cases: generous for the tiny generated
+/// compositions, so budget exhaustion stays the exception.
+const SWARM_BUDGET: u64 = 30_000;
+
+/// Draws one case and asserts that `Reduction::Ample` and
+/// `Reduction::Full` agree on its verdict.
+///
+/// Budget outcomes are handled explicitly rather than assumed away:
+///
+/// * both searches exceed the budget — agreement (trivially);
+/// * only the *full* search exceeds it — fine: pruning interleavings is
+///   the reduction's purpose, so the ample search may fit a budget the
+///   full one blows;
+/// * only the *ample* search exceeds it — also tolerated: on a violated
+///   case the full nested DFS can stop early at a lasso the reduced
+///   graph reaches later, so neither direction is comparable;
+/// * both complete — the verdicts must be equal.
+///
+/// Any other error (parse failure, input-boundedness rejection) is a
+/// generator bug and panics.
+pub fn assert_case_agrees(rng: &mut XorShift) {
+    let case = compgen::case(rng);
+    let run = |reduction: Reduction| -> Result<bool, VerifyError> {
+        let mut v = Verifier::new(case.composition.clone());
+        let opts = VerifyOptions {
+            database: DatabaseMode::Fixed(case.database.clone()),
+            fresh_values: Some(1),
+            max_states: SWARM_BUDGET,
+            reduction,
+            ..VerifyOptions::default()
+        };
+        v.check_str(&case.property, &opts)
+            .map(|r| r.outcome.holds())
+    };
+    let full = run(Reduction::Full);
+    let ample = run(Reduction::Ample);
+    match (full, ample) {
+        (Ok(f), Ok(a)) => assert_eq!(
+            f, a,
+            "verdict disagreement on `{}` (full: {f}, ample: {a})",
+            case.property
+        ),
+        (Err(VerifyError::Budget(_)), _) | (_, Err(VerifyError::Budget(_))) => {}
+        (Err(e), _) | (_, Err(e)) => {
+            panic!(
+                "generator produced an unverifiable case `{}`: {e}",
+                case.property
+            )
+        }
+    }
+}

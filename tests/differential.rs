@@ -1,26 +1,32 @@
-//! Differential tests between the sequential product-search engine
-//! (`threads: None`, CVWY nested DFS) and the parallel engine
-//! (`threads: Some(n)`, work-stealing reachability + SCC lasso
-//! extraction) across every scenario composition.
+//! Differential tests across the full engine × reduction matrix: the
+//! sequential product-search engine (`threads: None`, CVWY nested DFS) and
+//! the parallel engine (`threads: Some(n)`, work-stealing reachability +
+//! SCC lasso extraction), each under `Reduction::Full` and
+//! `Reduction::Ample`, across every scenario composition.
 //!
-//! The contract under test (see DESIGN.md, "Parallel search"):
+//! The contract under test (see DESIGN.md, "Parallel search" and
+//! "Partial-order reduction"):
 //!
-//! * verdicts are **engine-independent** — every thread count returns the
-//!   same `Holds`/`Violated` answer;
-//! * counterexamples may differ between engines, but each engine's
+//! * verdicts are **engine- and reduction-independent** — all eight
+//!   engine×reduction combinations return the same `Holds`/`Violated`
+//!   answer;
+//! * counterexamples may differ between combinations, but each returned
 //!   counterexample must **replay**: its run must be a legal violating
 //!   lasso of the composition over the counterexample's database
 //!   ([`Verifier::replay_counterexample`]);
 //! * state budgets bind every engine, with overshoot bounded by the
-//!   worker count.
+//!   worker count, and budget aborts carry `truncated` statistics.
 
 use ddws::scenarios::{bank_loan, chains, ecommerce, travel};
 use ddws_model::Semantics;
 use ddws_relational::Instance;
-use ddws_verifier::{DatabaseMode, Outcome, Verifier, VerifyError, VerifyOptions};
+use ddws_verifier::{DatabaseMode, Outcome, Reduction, Verifier, VerifyError, VerifyOptions};
 
 /// The engine matrix: sequential, and parallel at 1/2/4 workers.
 const ENGINES: [Option<usize>; 4] = [None, Some(1), Some(2), Some(4)];
+
+/// The reduction matrix.
+const REDUCTIONS: [Reduction; 2] = [Reduction::Full, Reduction::Ample];
 
 fn fixed_opts(db: Instance) -> VerifyOptions {
     VerifyOptions {
@@ -37,27 +43,34 @@ fn nested_sem() -> Semantics {
     }
 }
 
-/// Checks `property` once per engine, asserting the expected verdict from
-/// each and replaying every returned counterexample.
+/// Checks `property` once per engine × reduction combination, asserting the
+/// expected verdict from each and replaying every returned counterexample.
 fn assert_engines_agree(
     make: &dyn Fn() -> (Verifier, VerifyOptions),
     property: &str,
     expect_holds: bool,
 ) {
     for threads in ENGINES {
-        let (mut v, mut opts) = make();
-        opts.threads = threads;
-        let prop = v.parse_property(property).expect("property parses");
-        let report = v.check(&prop, &opts).expect("verification completes");
-        assert_eq!(
-            report.outcome.holds(),
-            expect_holds,
-            "engine threads={threads:?} disagrees on {property:?}"
-        );
-        if let Outcome::Violated(cex) = &report.outcome {
-            v.replay_counterexample(&prop, cex, &opts).unwrap_or_else(|e| {
-                panic!("threads={threads:?}: counterexample does not replay: {e}\n{cex:?}")
-            });
+        for reduction in REDUCTIONS {
+            let (mut v, mut opts) = make();
+            opts.threads = threads;
+            opts.reduction = reduction;
+            let prop = v.parse_property(property).expect("property parses");
+            let report = v.check(&prop, &opts).expect("verification completes");
+            assert_eq!(
+                report.outcome.holds(),
+                expect_holds,
+                "engine threads={threads:?} reduction={reduction:?} disagrees on {property:?}"
+            );
+            if let Outcome::Violated(cex) = &report.outcome {
+                v.replay_counterexample(&prop, cex, &opts)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "threads={threads:?} reduction={reduction:?}: \
+                         counterexample does not replay: {e}\n{cex:?}"
+                        )
+                    });
+            }
         }
     }
 }
@@ -141,6 +154,65 @@ fn chains_violation_replays_on_every_engine() {
     assert_engines_agree(&chains_setup, "G (forall x: P1.?hop0(x) -> false)", false);
 }
 
+fn auditor_chain_setup() -> (Verifier, VerifyOptions) {
+    let mut v = Verifier::new(chains::composition_with_auditor(
+        3,
+        6,
+        true,
+        Semantics::default(),
+    ));
+    let db = chains::database(v.composition_mut(), 1);
+    (v, fixed_opts(db))
+}
+
+#[test]
+fn auditor_chain_holds_on_every_engine() {
+    // The auditor is independent of the chain, so the ample reduction
+    // schedules it alone almost everywhere — the verdict must not notice.
+    let prop = chains::prop_integrity(3);
+    assert_engines_agree(&auditor_chain_setup, &prop, true);
+}
+
+#[test]
+fn auditor_chain_violation_replays_on_every_engine() {
+    assert_engines_agree(
+        &auditor_chain_setup,
+        "G (forall x: P1.?hop0(x) -> false)",
+        false,
+    );
+}
+
+#[test]
+fn auditor_chain_reduction_prunes_states() {
+    // The quantitative claim behind E9: on the auditor chain the ample
+    // reduction visits at least 2× fewer product states than the full
+    // expansion, on both engines, with the verdict unchanged.
+    let prop = chains::prop_integrity(3);
+    for threads in [None, Some(2)] {
+        let mut stats = Vec::new();
+        for reduction in REDUCTIONS {
+            let (mut v, mut opts) = auditor_chain_setup();
+            opts.threads = threads;
+            opts.reduction = reduction;
+            let report = v.check_str(&prop, &opts).expect("verification completes");
+            assert!(report.outcome.holds(), "threads={threads:?}");
+            stats.push(report.stats);
+        }
+        let (full, ample) = (stats[0], stats[1]);
+        assert_eq!(full.ample_hits, 0, "full search never reduces");
+        assert!(
+            ample.ample_hits > 0,
+            "threads={threads:?}: reduction engaged"
+        );
+        assert!(
+            ample.states_visited * 2 <= full.states_visited,
+            "threads={threads:?}: expected ≥2× fewer states, got {} vs {}",
+            ample.states_visited,
+            full.states_visited
+        );
+    }
+}
+
 #[test]
 fn all_databases_mode_agrees_and_replays() {
     // ∃-database verification: the oracle must *decide* `P0.token` facts to
@@ -162,7 +234,8 @@ fn all_databases_mode_agrees_and_replays() {
 fn budget_exceeded_at_every_thread_count() {
     // The 3-peer chain over 2 tokens reaches far more than 60 product
     // states, so a 60-state budget must fail — promptly, on every engine,
-    // with overshoot at most one state per worker.
+    // with overshoot at most one state per worker and partial statistics
+    // flagged as truncated.
     const BUDGET: u64 = 60;
     for threads in ENGINES {
         let mut v = Verifier::new(chains::composition(3, true, Semantics::default()));
@@ -182,6 +255,8 @@ fn budget_exceeded_at_every_thread_count() {
                     "threads={threads:?}: overshoot too large ({} states)",
                     b.states_visited
                 );
+                assert!(b.stats.truncated, "threads={threads:?}: stats not flagged");
+                assert_eq!(b.stats.states_visited, b.states_visited);
             }
             other => panic!("threads={threads:?}: expected Budget, got {other}"),
         }

@@ -1,0 +1,17 @@
+//! Differential swarm: 200+ randomly generated compositions, each checked
+//! under `Reduction::Full` and `Reduction::Ample`, asserting verdict
+//! agreement (see `common::assert_case_agrees` for the budget semantics).
+//!
+//! Failures print the per-case sub-seed; pin it in `tests/regressions.rs`
+//! so it stays covered forever.
+
+mod common;
+
+use ddws_testkit::{gen, seed_from};
+
+#[test]
+fn full_and_ample_agree_on_200_random_cases() {
+    gen::cases(200, seed_from("swarm_full_vs_ample"), |rng| {
+        common::assert_case_agrees(rng);
+    });
+}
