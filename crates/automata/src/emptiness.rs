@@ -12,13 +12,14 @@
 
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
+use std::sync::Arc;
 
 /// A (possibly reduced) expansion of one state, as produced by
 /// [`TransitionSystem::successors_reduced`].
 #[derive(Clone, Debug)]
 pub struct Expansion<S> {
     /// The successor states the search should follow.
-    pub states: Vec<S>,
+    pub states: Arc<[S]>,
     /// `true` when `states` is an *ample* strict subset of the full
     /// successor set (so the engine must apply the C3 cycle proviso before
     /// trusting it); `false` when it already is the full expansion.
@@ -39,7 +40,12 @@ pub trait TransitionSystem: Sync {
     fn initial_states(&self) -> Vec<Self::State>;
 
     /// Successor states (the on-the-fly expansion).
-    fn successors(&self, s: &Self::State) -> Vec<Self::State>;
+    ///
+    /// The shared-slice return type lets memoizing implementations (the
+    /// verifier's product system) hand the same cached expansion to every
+    /// caller instead of cloning a `Vec` per visit — both DFS passes and
+    /// every parallel worker then share one allocation per state.
+    fn successors(&self, s: &Self::State) -> Arc<[Self::State]>;
 
     /// Büchi acceptance flag.
     fn is_accepting(&self, s: &Self::State) -> bool;
@@ -57,7 +63,7 @@ pub trait TransitionSystem: Sync {
     }
 
     /// The unreduced successor set, used when C3 forces a full expansion.
-    fn successors_full(&self, s: &Self::State) -> Vec<Self::State> {
+    fn successors_full(&self, s: &Self::State) -> Arc<[Self::State]> {
         self.successors(s)
     }
 
@@ -98,6 +104,15 @@ pub struct SearchStats {
     /// was active — either no valid ample subset existed or the C3 cycle
     /// proviso forced the fallback (always 0 when the reduction is off).
     pub full_expansions: u64,
+    /// Rule evaluations answered from the footprint-keyed rule cache
+    /// (0 when the caller does not meter rule evaluation).
+    pub rule_cache_hits: u64,
+    /// Rule evaluations that missed the cache or could not be memoized
+    /// (0 when the caller does not meter rule evaluation).
+    pub rule_cache_misses: u64,
+    /// Nanoseconds spent evaluating reaction rules, across both the
+    /// compiled and interpreted engines (0 when unmetered).
+    pub rule_eval_ns: u64,
     /// `true` when these counts come from an aborted (budget-exhausted)
     /// search and therefore undercount the state space.
     pub truncated: bool,
@@ -114,6 +129,9 @@ impl SearchStats {
         self.transitions_explored += other.transitions_explored;
         self.ample_hits += other.ample_hits;
         self.full_expansions += other.full_expansions;
+        self.rule_cache_hits += other.rule_cache_hits;
+        self.rule_cache_misses += other.rule_cache_misses;
+        self.rule_eval_ns += other.rule_eval_ns;
         self.truncated |= other.truncated;
     }
 }
@@ -172,7 +190,7 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
 
     struct Frame<S> {
         state: S,
-        succs: Vec<S>,
+        succs: Arc<[S]>,
         next: usize,
     }
 
@@ -250,7 +268,7 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
 struct Reducer<TS: TransitionSystem> {
     active: bool,
     on_stack: HashSet<TS::State>,
-    expansions: HashMap<TS::State, Vec<TS::State>>,
+    expansions: HashMap<TS::State, Arc<[TS::State]>>,
 }
 
 impl<TS: TransitionSystem> Reducer<TS> {
@@ -275,7 +293,7 @@ impl<TS: TransitionSystem> Reducer<TS> {
     }
 
     /// The blue-DFS expansion of `s`: ample if C0–C3 allow, full otherwise.
-    fn expand(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Vec<TS::State> {
+    fn expand(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Arc<[TS::State]> {
         if !self.active {
             return ts.successors(s);
         }
@@ -303,7 +321,7 @@ impl<TS: TransitionSystem> Reducer<TS> {
 
     /// The red-DFS expansion of `s`: the memoized blue expansion when one
     /// exists, the full expansion (memoized for blue to reuse) otherwise.
-    fn expand_red(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Vec<TS::State> {
+    fn expand_red(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Arc<[TS::State]> {
         if !self.active {
             return ts.successors(s);
         }
@@ -328,7 +346,7 @@ fn red_search<TS: TransitionSystem>(
 ) -> Option<Vec<TS::State>> {
     struct Frame<S> {
         state: S,
-        succs: Vec<S>,
+        succs: Arc<[S]>,
         next: usize,
     }
     if red.contains(seed) {
@@ -372,6 +390,7 @@ fn red_search<TS: TransitionSystem>(
 #[cfg(test)]
 pub(crate) mod test_graphs {
     use super::{Expansion, TransitionSystem};
+    use std::sync::Arc;
 
     /// Explicit graph with per-state ample subsets declared by the test, so
     /// the engines' C3 handling can be probed directly.
@@ -389,8 +408,8 @@ pub(crate) mod test_graphs {
         fn initial_states(&self) -> Vec<usize> {
             self.initial.clone()
         }
-        fn successors(&self, s: &usize) -> Vec<usize> {
-            self.edges[*s].clone()
+        fn successors(&self, s: &usize) -> Arc<[usize]> {
+            self.edges[*s].as_slice().into()
         }
         fn is_accepting(&self, s: &usize) -> bool {
             self.accepting[*s]
@@ -398,11 +417,11 @@ pub(crate) mod test_graphs {
         fn successors_reduced(&self, s: &usize) -> Expansion<usize> {
             match &self.ample[*s] {
                 Some(subset) => Expansion {
-                    states: subset.clone(),
+                    states: subset.as_slice().into(),
                     ample: true,
                 },
                 None => Expansion {
-                    states: self.edges[*s].clone(),
+                    states: self.edges[*s].as_slice().into(),
                     ample: false,
                 },
             }
@@ -446,8 +465,8 @@ mod tests {
         fn initial_states(&self) -> Vec<usize> {
             self.initial.clone()
         }
-        fn successors(&self, s: &usize) -> Vec<usize> {
-            self.edges[*s].clone()
+        fn successors(&self, s: &usize) -> Arc<[usize]> {
+            self.edges[*s].as_slice().into()
         }
         fn is_accepting(&self, s: &usize) -> bool {
             self.accepting[*s]
@@ -619,6 +638,9 @@ mod tests {
             transitions_explored: 5,
             ample_hits: 1,
             full_expansions: 2,
+            rule_cache_hits: 8,
+            rule_cache_misses: 2,
+            rule_eval_ns: 100,
             truncated: false,
         };
         let b = SearchStats {
@@ -626,6 +648,9 @@ mod tests {
             transitions_explored: 11,
             ample_hits: 0,
             full_expansions: 4,
+            rule_cache_hits: 1,
+            rule_cache_misses: 3,
+            rule_eval_ns: 50,
             truncated: true,
         };
         a.absorb(&b);
@@ -633,6 +658,9 @@ mod tests {
         assert_eq!(a.transitions_explored, 16);
         assert_eq!(a.ample_hits, 1);
         assert_eq!(a.full_expansions, 6);
+        assert_eq!(a.rule_cache_hits, 9);
+        assert_eq!(a.rule_cache_misses, 5);
+        assert_eq!(a.rule_eval_ns, 150);
         assert!(a.truncated, "truncated is sticky across merges");
         a.absorb(&SearchStats::default());
         assert!(a.truncated);

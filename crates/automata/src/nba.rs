@@ -3,6 +3,7 @@
 use crate::emptiness::{find_accepting_lasso, TransitionSystem};
 use crate::guard::{Guard, Letter};
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of an automaton state.
 pub type StateId = usize;
@@ -155,7 +156,7 @@ impl TransitionSystem for NbaGraph<'_> {
         self.nba.initial.clone()
     }
 
-    fn successors(&self, s: &StateId) -> Vec<StateId> {
+    fn successors(&self, s: &StateId) -> Arc<[StateId]> {
         self.nba.transitions[*s].iter().map(|t| t.target).collect()
     }
 
@@ -198,7 +199,7 @@ impl TransitionSystem for WordProduct<'_> {
         self.nba.initial.iter().map(|&s| (s, 0)).collect()
     }
 
-    fn successors(&self, &(s, pos): &(StateId, usize)) -> Vec<(StateId, usize)> {
+    fn successors(&self, &(s, pos): &(StateId, usize)) -> Arc<[(StateId, usize)]> {
         let letter = self.letter(pos);
         let next = self.next_pos(pos);
         self.nba.successors(s, letter).map(|t| (t, next)).collect()

@@ -36,7 +36,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 #[cfg(doc)]
 use crate::emptiness::find_accepting_lasso_budget;
@@ -135,7 +135,7 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
 /// One worker's share of the exploration: the edges it expanded and the
 /// transitions it counted.
 struct WorkerLog<S> {
-    edges: Vec<(S, Vec<S>)>,
+    edges: Vec<(S, Arc<[S]>)>,
     transitions: u64,
     ample_hits: u64,
     full_expansions: u64,
@@ -183,7 +183,7 @@ fn explore_worker<TS: TransitionSystem>(
             ts.successors(&state)
         };
         log.transitions += succs.len() as u64;
-        for succ in &succs {
+        for succ in succs.iter() {
             if frontier.over_budget.load(Ordering::Relaxed) {
                 break;
             }
@@ -245,7 +245,7 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
         transitions_explored: logs.iter().map(|l| l.transitions).sum(),
         ample_hits: logs.iter().map(|l| l.ample_hits).sum(),
         full_expansions: logs.iter().map(|l| l.full_expansions).sum(),
-        truncated: false,
+        ..SearchStats::default()
     };
     if frontier.over_budget.load(Ordering::Relaxed) {
         stats.truncated = true;
@@ -472,8 +472,8 @@ mod tests {
         fn initial_states(&self) -> Vec<usize> {
             self.initial.clone()
         }
-        fn successors(&self, s: &usize) -> Vec<usize> {
-            self.edges[*s].clone()
+        fn successors(&self, s: &usize) -> Arc<[usize]> {
+            self.edges[*s].as_slice().into()
         }
         fn is_accepting(&self, s: &usize) -> bool {
             self.accepting[*s]

@@ -1,0 +1,598 @@
+//! Compilation of rule bodies into flat join/filter/project plans.
+//!
+//! [`satisfying_valuations`](crate::enumerate::satisfying_valuations)
+//! re-interprets the rule body for every candidate tuple on every step. For
+//! input-bounded rules the body is (essentially) a disjunction of guarded
+//! conjunctions, so the same work can be done once at composition build
+//! time: [`compile_rule`] lowers a body into a [`Plan`] — per disjunct, a
+//! sequence of positive-atom *joins* that bind variables by unification,
+//! equality/anti-join *filters*, and *residual* subformulas that still go
+//! through [`eval_fo`](crate::eval::eval_fo) per candidate because the
+//! planner cannot flatten them (nested disjunctions, universals, shadowed
+//! binders).
+//!
+//! The decomposition is **exact**: a candidate assignment that survives
+//! every step of a branch satisfies that branch's body, so plan evaluation
+//! skips the full-body verification pass the interpreter needs after
+//! seeding. Exactness rests on two invariants checked during compilation:
+//!
+//! 1. every conjunct of the (∃-peeled, recursively flattened) matrix is
+//!    classified as a join atom, a filter, or a residual — never dropped;
+//! 2. flattening a nested `∃ȳ (…)` conjunct into the branch's variable set
+//!    only happens when `ȳ` does not shadow a variable already in scope
+//!    (shadowing would conflate distinct variables; such conjuncts stay
+//!    residual).
+//!
+//! [`eval_plan`] returns exactly the tuples `satisfying_valuations` returns,
+//! in the same (sorted) order — the differential suites pin this.
+
+use crate::eval::{eval_fo, Structure};
+use crate::fo::Fo;
+use crate::term::Term;
+use crate::vars::{Valuation, VarId};
+use ddws_relational::{RelId, Value};
+use std::collections::BTreeSet;
+
+/// A compiled rule body: `head ← branch₁ ∨ … ∨ branchₙ`.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    head: Vec<VarId>,
+    branches: Vec<Branch>,
+    /// Every relation the plan may read (sorted) — the body's relation set.
+    /// Memoization layers key cached extensions on exactly these.
+    reads: Vec<RelId>,
+}
+
+/// One disjunct of the body, lowered to join/filter/project form.
+#[derive(Clone, Debug)]
+struct Branch {
+    /// Ground residual conjuncts (no free variables): checked once per
+    /// evaluation, before any enumeration. A false guard kills the branch —
+    /// this is what makes a ground-false `α` in `head ← (α → φ)` cheap.
+    guards: Vec<Fo>,
+    /// Positive atoms, joined by unification in order of appearance.
+    joins: Vec<(RelId, Vec<Term>)>,
+    /// Scope variables no join atom binds: enumerated over the domain.
+    cube_vars: Vec<VarId>,
+    /// Filters/residuals whose variables are all bound after the joins —
+    /// checked before cube enumeration to prune early.
+    post_join: Vec<Step>,
+    /// Filters/residuals that need cube-enumerated variables.
+    post_cube: Vec<Step>,
+}
+
+/// A filter or residual check over bound variables.
+#[derive(Clone, Debug)]
+enum Step {
+    /// `t₁ = t₂`.
+    Eq(Term, Term),
+    /// `t₁ ≠ t₂`.
+    NotEq(Term, Term),
+    /// Anti-join `¬R(t̄)`.
+    AntiJoin(RelId, Vec<Term>),
+    /// Any other subformula: evaluated with `eval_fo` per candidate.
+    Residual(Fo),
+}
+
+impl Step {
+    fn free_vars(&self) -> BTreeSet<VarId> {
+        match self {
+            Step::Eq(a, b) | Step::NotEq(a, b) => {
+                [a, b].iter().filter_map(|t| t.as_var()).collect()
+            }
+            Step::AntiJoin(_, args) => args.iter().filter_map(|t| t.as_var()).collect(),
+            Step::Residual(f) => f.free_vars(),
+        }
+    }
+
+    fn eval<S: Structure + ?Sized>(
+        &self,
+        s: &S,
+        val: &mut Valuation,
+        scratch: &mut Vec<Value>,
+    ) -> bool {
+        match self {
+            Step::Eq(a, b) => a.eval(val) == b.eval(val),
+            Step::NotEq(a, b) => a.eval(val) != b.eval(val),
+            Step::AntiJoin(rel, args) => {
+                scratch.clear();
+                scratch.extend(args.iter().map(|t| t.eval(val)));
+                !s.contains(*rel, scratch)
+            }
+            Step::Residual(f) => eval_fo(f, s, val),
+        }
+    }
+}
+
+impl Plan {
+    /// The head variables the plan projects onto.
+    pub fn head(&self) -> &[VarId] {
+        &self.head
+    }
+
+    /// Every relation the plan may read during evaluation (sorted,
+    /// duplicate-free). Any cache keyed on the extensions of these relations
+    /// is sound: two structures agreeing on all of them give identical
+    /// [`eval_plan`] results.
+    pub fn reads(&self) -> &[RelId] {
+        &self.reads
+    }
+}
+
+/// Compiles `head ← body` into a [`Plan`]. Never fails: subformulas the
+/// planner cannot flatten become residual `eval_fo` checks, so compilation
+/// is total and evaluation is always exact.
+pub fn compile_rule(head: &[VarId], body: &Fo) -> Plan {
+    let mut disjuncts = Vec::new();
+    split_disjuncts(body, &mut disjuncts);
+    let branches = disjuncts
+        .into_iter()
+        .filter_map(|d| compile_branch(head, d))
+        .collect();
+    Plan {
+        head: head.to_vec(),
+        branches,
+        reads: body.relations().into_iter().collect(),
+    }
+}
+
+/// Splits top-level disjunctive structure: `Or` flattens, `α → φ` becomes
+/// `¬α ∨ φ`. Everything else is a single branch.
+fn split_disjuncts(body: &Fo, out: &mut Vec<Fo>) {
+    match body {
+        Fo::Or(parts) => {
+            for p in parts {
+                split_disjuncts(p, out);
+            }
+        }
+        Fo::Implies(a, b) => {
+            out.push(Fo::not((**a).clone()));
+            split_disjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Lowers one disjunct. Returns `None` when the branch is statically empty
+/// (a `false` conjunct).
+fn compile_branch(head: &[VarId], body: Fo) -> Option<Branch> {
+    // Peel the ∃-prefix. A binder shadowing a head variable would conflate
+    // the two; in that (parser-impossible) case the whole branch degrades to
+    // cube + residual, which is always sound.
+    let (peeled, matrix) = peel_exists_owned(&body);
+    let mut scope: BTreeSet<VarId> = head.iter().copied().collect();
+    let shadowed = peeled.iter().any(|v| !scope.insert(*v));
+
+    let mut joins: Vec<(RelId, Vec<Term>)> = Vec::new();
+    let mut steps: Vec<Step> = Vec::new();
+    let alive = if shadowed {
+        // Only the head variables need enumeration: the body binds its own.
+        scope = head.iter().copied().collect();
+        steps.push(Step::Residual(body.clone()));
+        true
+    } else {
+        flatten(matrix, &mut scope, &mut joins, &mut steps)
+    };
+    if !alive {
+        return None;
+    }
+
+    // Variables bound by unification against join atoms.
+    let join_vars: BTreeSet<VarId> = joins
+        .iter()
+        .flat_map(|(_, args)| args.iter().filter_map(|t| t.as_var()))
+        .collect();
+    let cube_vars: Vec<VarId> = scope
+        .iter()
+        .copied()
+        .filter(|v| !join_vars.contains(v))
+        .collect();
+
+    let mut guards = Vec::new();
+    let mut post_join = Vec::new();
+    let mut post_cube = Vec::new();
+    for step in steps {
+        let fv = step.free_vars();
+        if fv.is_empty() {
+            if let Step::Residual(f) = step {
+                guards.push(f);
+            } else {
+                post_join.push(step);
+            }
+        } else if fv.iter().all(|v| join_vars.contains(v)) {
+            post_join.push(step);
+        } else {
+            post_cube.push(step);
+        }
+    }
+
+    Some(Branch {
+        guards,
+        joins,
+        cube_vars,
+        post_join,
+        post_cube,
+    })
+}
+
+/// Splits `∃ȳ φ` into (ȳ, φ) without consuming the formula.
+fn peel_exists_owned(f: &Fo) -> (Vec<VarId>, &Fo) {
+    let mut vars = Vec::new();
+    let mut cur = f;
+    while let Fo::Exists(vs, inner) = cur {
+        vars.extend(vs.iter().copied());
+        cur = inner;
+    }
+    (vars, cur)
+}
+
+/// Classifies the conjuncts of `f` into joins and steps, flattening nested
+/// conjunctions and non-shadowing existentials into the branch scope.
+/// Returns `false` when a conjunct is statically `false` (dead branch).
+fn flatten(
+    f: &Fo,
+    scope: &mut BTreeSet<VarId>,
+    joins: &mut Vec<(RelId, Vec<Term>)>,
+    steps: &mut Vec<Step>,
+) -> bool {
+    match f {
+        Fo::True => true,
+        Fo::False => false,
+        Fo::Atom(rel, args) => {
+            joins.push((*rel, args.clone()));
+            true
+        }
+        Fo::Eq(a, b) => {
+            steps.push(Step::Eq(*a, *b));
+            true
+        }
+        Fo::Not(inner) => {
+            match &**inner {
+                Fo::Atom(rel, args) => steps.push(Step::AntiJoin(*rel, args.clone())),
+                Fo::Eq(a, b) => steps.push(Step::NotEq(*a, *b)),
+                Fo::True => return false,
+                Fo::False => {}
+                _ => steps.push(Step::Residual(f.clone())),
+            }
+            true
+        }
+        Fo::And(parts) => parts.iter().all(|p| flatten(p, scope, joins, steps)),
+        Fo::Exists(vs, inner) => {
+            // ∃ of a conjunction inside a conjunction is a join plus
+            // projection: pull the binders into the branch scope — unless
+            // one shadows a variable already there.
+            if vs.iter().any(|v| scope.contains(v)) {
+                steps.push(Step::Residual(f.clone()));
+                true
+            } else {
+                scope.extend(vs.iter().copied());
+                flatten(inner, scope, joins, steps)
+            }
+        }
+        // Or / Implies / Forall inside a conjunct: the planner keeps the
+        // exact semantics by deferring to the interpreter per candidate.
+        other => {
+            steps.push(Step::Residual(other.clone()));
+            true
+        }
+    }
+}
+
+/// Evaluates a compiled plan over `s`, returning the head tuples in sorted
+/// order — exactly the result of
+/// [`satisfying_valuations`](crate::enumerate::satisfying_valuations) on the
+/// original body.
+pub fn eval_plan<S: Structure + ?Sized>(plan: &Plan, s: &S) -> Vec<Vec<Value>> {
+    let mut out: BTreeSet<Vec<Value>> = BTreeSet::new();
+    let mut val = Valuation::with_capacity(plan.head.len());
+    let mut scratch = Vec::with_capacity(8);
+    for branch in &plan.branches {
+        if branch.guards.iter().any(|g| !eval_fo(g, s, &mut val)) {
+            continue;
+        }
+        join(plan, branch, 0, s, &mut val, &mut scratch, &mut out);
+    }
+    out.into_iter().collect()
+}
+
+/// Recursive unification over the branch's join atoms (the interpreter's
+/// seeding loop, minus the re-verification).
+fn join<S: Structure + ?Sized>(
+    plan: &Plan,
+    branch: &Branch,
+    idx: usize,
+    s: &S,
+    val: &mut Valuation,
+    scratch: &mut Vec<Value>,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    if idx == branch.joins.len() {
+        if branch.post_join.iter().all(|st| st.eval(s, val, scratch)) {
+            cube(plan, branch, 0, s, val, scratch, out);
+        }
+        return;
+    }
+    let (rel, args) = &branch.joins[idx];
+
+    // Preferred path: iterate the relation's tuples and unify — linear in
+    // the relation size.
+    if let Some(tuples) = s.scan(*rel) {
+        'tuples: for tuple in tuples {
+            if tuple.len() != args.len() {
+                continue;
+            }
+            let mut bound_here: Vec<VarId> = Vec::new();
+            for (arg, &value) in args.iter().zip(&tuple) {
+                let ok = match arg {
+                    Term::Const(c) => *c == value,
+                    Term::Var(v) => match val.get(*v) {
+                        Some(existing) => existing == value,
+                        None => {
+                            val.set(*v, value);
+                            bound_here.push(*v);
+                            true
+                        }
+                    },
+                };
+                if !ok {
+                    for v in bound_here.drain(..) {
+                        val.unset(v);
+                    }
+                    continue 'tuples;
+                }
+            }
+            join(plan, branch, idx + 1, s, val, scratch, out);
+            for v in bound_here {
+                val.unset(v);
+            }
+        }
+        return;
+    }
+
+    // Fallback for non-enumerable relations (lazily decided database
+    // facts): enumerate the unbound argument positions and probe membership.
+    let mut positions: Vec<usize> = Vec::new();
+    for (i, t) in args.iter().enumerate() {
+        if let Term::Var(v) = t {
+            if val.get(*v).is_none() && !positions.iter().any(|&p| args[p] == *t) {
+                positions.push(i);
+            }
+        }
+    }
+    let dom: Vec<Value> = s.domain().to_vec();
+    if positions.is_empty() {
+        scratch.clear();
+        scratch.extend(args.iter().map(|t| t.eval(val)));
+        if s.contains(*rel, scratch) {
+            join(plan, branch, idx + 1, s, val, scratch, out);
+        }
+        return;
+    }
+    let mut assignment = vec![0usize; positions.len()];
+    'outer: loop {
+        let mut bound_here: Vec<VarId> = Vec::new();
+        for (slot, &pos) in positions.iter().enumerate() {
+            if let Term::Var(v) = &args[pos] {
+                val.set(*v, dom[assignment[slot]]);
+                bound_here.push(*v);
+            }
+        }
+        scratch.clear();
+        scratch.extend(args.iter().map(|t| t.eval(val)));
+        if s.contains(*rel, scratch) {
+            join(plan, branch, idx + 1, s, val, scratch, out);
+        }
+        for v in bound_here {
+            val.unset(v);
+        }
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                break 'outer;
+            }
+            assignment[i] += 1;
+            if assignment[i] < dom.len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Enumerates domain values for the branch's cube variables, checks the
+/// remaining steps, and projects onto the head.
+fn cube<S: Structure + ?Sized>(
+    plan: &Plan,
+    branch: &Branch,
+    idx: usize,
+    s: &S,
+    val: &mut Valuation,
+    scratch: &mut Vec<Value>,
+    out: &mut BTreeSet<Vec<Value>>,
+) {
+    if idx == branch.cube_vars.len() {
+        if branch.post_cube.iter().all(|st| st.eval(s, val, scratch)) {
+            out.insert(plan.head.iter().map(|&v| val.expect(v)).collect());
+        }
+        return;
+    }
+    let v = branch.cube_vars[idx];
+    if val.get(v).is_some() {
+        // Bound by an earlier join of a shared variable; nothing to do.
+        cube(plan, branch, idx + 1, s, val, scratch, out);
+        return;
+    }
+    for d in s.domain().to_vec() {
+        val.set(v, d);
+        cube(plan, branch, idx + 1, s, val, scratch, out);
+    }
+    val.unset(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::satisfying_valuations;
+    use crate::parser::{parse_fo, Resolver};
+    use crate::vars::Vars;
+    use ddws_relational::{Instance, Symbols, Tuple, Vocabulary};
+
+    struct Snap {
+        inst: Instance,
+        dom: Vec<Value>,
+    }
+
+    impl Structure for Snap {
+        fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+            self.inst.contains(rel, &Tuple::from(tuple))
+        }
+        fn domain(&self) -> &[Value] {
+            &self.dom
+        }
+        fn scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
+            Some(
+                self.inst
+                    .relation(rel)
+                    .iter()
+                    .map(|t| t.values().to_vec())
+                    .collect(),
+            )
+        }
+    }
+
+    /// The same structure with `scan` disabled: exercises the membership
+    /// fallback (the lazy-database shape).
+    struct NoScan(Snap);
+
+    impl Structure for NoScan {
+        fn contains(&self, rel: RelId, tuple: &[Value]) -> bool {
+            self.0.contains(rel, tuple)
+        }
+        fn domain(&self) -> &[Value] {
+            self.0.domain()
+        }
+    }
+
+    fn fixture() -> (Vocabulary, Snap, Vars, Symbols) {
+        let mut voc = Vocabulary::new();
+        let edge = voc.declare("edge", 2).unwrap();
+        let mark = voc.declare("mark", 1).unwrap();
+        let mut inst = Instance::empty(&voc);
+        for (a, b) in [(0, 1), (1, 2), (2, 0)] {
+            inst.relation_mut(edge)
+                .insert(Tuple::new(vec![Value(a), Value(b)]));
+        }
+        inst.relation_mut(mark).insert(Tuple::new(vec![Value(1)]));
+        (
+            voc,
+            Snap {
+                inst,
+                dom: vec![Value(0), Value(1), Value(2), Value(3)],
+            },
+            Vars::new(),
+            Symbols::new(),
+        )
+    }
+
+    /// Compiled and interpreted evaluation must agree tuple-for-tuple, with
+    /// and without `scan`.
+    fn check(head_names: &[&str], src: &str) {
+        let (voc, snap, mut vars, mut symbols) = fixture();
+        let body = {
+            let mut r = Resolver {
+                voc: &voc,
+                vars: &mut vars,
+                symbols: &mut symbols,
+            };
+            parse_fo(src, &mut r).unwrap()
+        };
+        let head: Vec<VarId> = head_names.iter().map(|n| vars.intern(n)).collect();
+        let plan = compile_rule(&head, &body);
+        let interpreted = satisfying_valuations(&head, &body, &snap);
+        let compiled = eval_plan(&plan, &snap);
+        assert_eq!(compiled, interpreted, "rule `{src}` heads {head_names:?}");
+        let noscan = NoScan(snap);
+        let compiled_noscan = eval_plan(&plan, &noscan);
+        assert_eq!(
+            compiled_noscan, interpreted,
+            "rule `{src}` heads {head_names:?} (no scan)"
+        );
+    }
+
+    #[test]
+    fn joins_match_interpreter() {
+        check(&["x", "y"], "edge(x, y)");
+        check(&["x"], "exists y: edge(x, y) and mark(y)");
+        check(&["x", "y"], "edge(x, y) and mark(x)");
+        check(&["y"], "edge(\"?\", y)");
+        check(&["x"], "edge(x, x)");
+    }
+
+    #[test]
+    fn disjunction_branches() {
+        check(&["x"], "mark(x) or (exists y: edge(x, y))");
+        check(&["x", "y"], "edge(x, y) or edge(y, x)");
+    }
+
+    #[test]
+    fn filters_and_negation() {
+        check(&["x"], "not mark(x)");
+        check(&["x"], "(exists y: edge(x, y)) and not mark(x)");
+        check(&["x", "y"], "edge(x, y) and x != y");
+        check(&["x"], "x = x");
+        check(&["x"], "mark(x) and x = \"?\"");
+    }
+
+    #[test]
+    fn residual_subformulas() {
+        check(&["x"], "forall y: edge(x, y) -> mark(y)");
+        check(&["x"], "mark(x) and (edge(x, x) or mark(x))");
+        check(&["x"], "exists y: edge(x, y) and (mark(y) or mark(x))");
+    }
+
+    #[test]
+    fn implications_and_ground_guards() {
+        // Ground-true antecedent: reduces to the consequent.
+        check(&["x"], "(exists y: mark(y)) -> mark(x)");
+        // Ground-false antecedent: vacuously all tuples.
+        check(&["x"], "(exists y: edge(y, y)) -> mark(x)");
+        // Non-ground antecedent: per-tuple vacuity.
+        check(&["x", "y"], "edge(x, y) -> mark(x)");
+        check(&["x"], "mark(x) -> edge(x, x)");
+    }
+
+    #[test]
+    fn nested_exists_flattening() {
+        // Two nested binders with the same name: the second stays residual
+        // (shadowing guard) and the result is still exact.
+        check(&["x"], "(exists y: edge(x, y)) and (exists y: edge(y, x))");
+        check(&["x"], "exists y: (exists z: edge(x, z) and edge(z, y))");
+    }
+
+    #[test]
+    fn degenerate_bodies() {
+        check(&["x"], "true");
+        check(&["x"], "false");
+        check(&["x"], "mark(x) and false");
+        check(&["x"], "mark(x) or true");
+    }
+
+    #[test]
+    fn reads_cover_every_relation() {
+        let (voc, _snap, mut vars, mut symbols) = fixture();
+        let body = {
+            let mut r = Resolver {
+                voc: &voc,
+                vars: &mut vars,
+                symbols: &mut symbols,
+            };
+            parse_fo("mark(x) and not (exists y: edge(x, y))", &mut r).unwrap()
+        };
+        let head = vec![vars.intern("x")];
+        let plan = compile_rule(&head, &body);
+        let mut expected: Vec<RelId> = body.relations().into_iter().collect();
+        expected.sort();
+        assert_eq!(plan.reads(), &expected[..]);
+    }
+}

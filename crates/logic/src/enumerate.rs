@@ -62,18 +62,27 @@ fn collect_candidates<S: Structure + ?Sized>(
                 collect_candidates(head_vars, b, s, out);
             }
         }
-        Fo::Implies(_, b) => {
+        Fo::Implies(a, b) => {
             // head ← (a → b): candidates where the implication is non-vacuous
-            // come from b; vacuous satisfaction can hold for any tuple, so a
-            // full fallback is required as well.
+            // come from b. Vacuous satisfaction can hold for any tuple, but a
+            // ground antecedent is decided once — only when it is false does
+            // the |domain|^arity cube become genuinely necessary.
             collect_candidates(head_vars, b, s, out);
-            enumerate_all(head_vars, s, out);
+            if a.free_vars().is_empty() {
+                let mut val = Valuation::with_capacity(0);
+                if !eval_fo(a, s, &mut val) {
+                    enumerate_all(head_vars, s, out);
+                }
+            } else {
+                enumerate_all(head_vars, s, out);
+            }
         }
         _ => {
             let (peeled, matrix) = peel_exists(body);
             let mut scope: BTreeSet<VarId> = head_vars.iter().copied().collect();
             scope.extend(peeled);
-            let atoms = positive_atoms(matrix, &scope);
+            let mut atoms = Vec::new();
+            positive_atoms(matrix, &mut scope, &mut atoms);
             if atoms.is_empty() {
                 // Nothing to seed from: enumerate the cube. Correctness is
                 // unaffected — every candidate is verified below.
@@ -106,24 +115,24 @@ fn peel_exists(f: &Fo) -> (Vec<VarId>, &Fo) {
 /// Atoms under a *nested* ∃-conjunct also seed, but only when the nested
 /// binder does not shadow a variable already in `scope` — shadowing would
 /// make the seeded constraint spuriously conflate the two variables and
-/// lose candidates.
-fn positive_atoms<'f>(f: &'f Fo, scope: &BTreeSet<VarId>) -> Vec<&'f Fo> {
+/// lose candidates. The scope is threaded *across sibling conjuncts* for
+/// the same reason: two siblings `∃y φ₁` and `∃y φ₂` bind distinct
+/// witnesses, so only the first may flatten its atoms; joining both on one
+/// `y` would under-seed (e.g. `(∃y edge(x,y)) ∧ (∃y edge(y,x))` over a
+/// 3-cycle has no common witness yet every node satisfies it).
+fn positive_atoms<'f>(f: &'f Fo, scope: &mut BTreeSet<VarId>, out: &mut Vec<&'f Fo>) {
     match f {
-        Fo::Atom(..) => vec![f],
-        Fo::And(parts) => parts
-            .iter()
-            .flat_map(|p| positive_atoms(p, scope))
-            .collect(),
-        Fo::Exists(vs, inner) => {
-            if vs.iter().any(|v| scope.contains(v)) {
-                vec![]
-            } else {
-                let mut extended = scope.clone();
-                extended.extend(vs.iter().copied());
-                positive_atoms(inner, &extended)
+        Fo::Atom(..) => out.push(f),
+        Fo::And(parts) => {
+            for p in parts {
+                positive_atoms(p, scope, out);
             }
         }
-        _ => vec![],
+        Fo::Exists(vs, inner) if !vs.iter().any(|v| scope.contains(v)) => {
+            scope.extend(vs.iter().copied());
+            positive_atoms(inner, scope, out);
+        }
+        _ => {}
     }
 }
 
@@ -408,7 +417,29 @@ mod tests {
     }
 
     #[test]
+    fn implication_vacuity_is_decided_before_enumerating() {
+        // Ground-true antecedent: the cube is skipped, yet seeding stays
+        // complete (the implication reduces to its consequent).
+        check(&["x"], "(exists y: mark(y)) -> mark(x)");
+        check(&["x", "y"], "(exists z: mark(z)) -> edge(x, y)");
+        // Ground-false antecedent: every tuple satisfies vacuously, so the
+        // full enumeration is genuinely required — and still happens.
+        check(&["x"], "(exists y: edge(y, y)) -> mark(x)");
+        // Non-ground antecedent: vacuity is per-tuple, enumeration required.
+        check(&["x", "y"], "edge(x, y) -> mark(x)");
+        check(&["x"], "mark(x) -> edge(x, x)");
+    }
+
+    #[test]
     fn repeated_variables_in_atom() {
         check(&["x"], "edge(x, x)");
+    }
+
+    #[test]
+    fn sibling_exists_binders_do_not_conflate() {
+        // Both conjuncts bind `y` independently; seeding must not join them
+        // on a shared witness (the 3-cycle has none, yet every node has both
+        // an out- and an in-edge).
+        check(&["x"], "(exists y: edge(x, y)) and (exists y: edge(y, x))");
     }
 }

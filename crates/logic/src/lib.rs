@@ -18,6 +18,7 @@
 //! * relativized temporal operators `Xα`/`Uα` (§5) as syntactic rewrites.
 
 #![warn(missing_docs)]
+pub mod compile;
 pub mod enumerate;
 pub mod eval;
 pub mod fo;
@@ -28,6 +29,7 @@ pub mod pretty;
 pub mod term;
 pub mod vars;
 
+pub use compile::{compile_rule, eval_plan, Plan};
 pub use enumerate::satisfying_valuations;
 pub use eval::{eval_fo, Structure};
 pub use fo::Fo;

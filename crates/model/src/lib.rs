@@ -30,6 +30,7 @@ pub mod builder;
 pub mod composition;
 pub mod config;
 pub mod independence;
+pub mod plan;
 pub mod step;
 pub mod view;
 
@@ -40,4 +41,5 @@ pub use composition::{
 };
 pub use config::{Config, Message};
 pub use independence::IndependenceOracle;
-pub use view::{Database, RuleView, SnapshotView};
+pub use plan::{CompiledRules, EvalCtx, RuleCache, RuleRef};
+pub use view::{Database, ReadSlot, RuleView, SnapshotView};

@@ -26,10 +26,11 @@
 
 use crate::composition::{Composition, Endpoint, Mover, Peer, PeerId, QueueKind};
 use crate::config::{Config, Message};
+use crate::plan::{EvalCtx, RuleRef};
 use crate::view::{Database, RuleView};
-use ddws_logic::enumerate::satisfying_valuations;
 use ddws_relational::{Relation, Tuple, Value};
-use std::collections::HashSet;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 /// A pending send resolved during branching.
 #[derive(Clone, Debug)]
@@ -47,12 +48,23 @@ impl Composition {
     /// inputs and queues (Definition 2.6), with every peer's input chosen
     /// among its options in the empty configuration.
     pub fn initial_configs(&self, db: &dyn Database, domain: &[Value]) -> Vec<Config> {
+        self.initial_configs_with(db, domain, EvalCtx::default())
+    }
+
+    /// [`Composition::initial_configs`] with an explicit rule-evaluation
+    /// context (compiled plans and/or memoization).
+    pub fn initial_configs_with(
+        &self,
+        db: &dyn Database,
+        domain: &[Value],
+        ctx: EvalCtx<'_>,
+    ) -> Vec<Config> {
         let base = Config::empty(self);
         let mut configs = vec![base];
         for peer in &self.peers {
             configs = configs
                 .into_iter()
-                .flat_map(|c| self.with_input_choices(db, domain, c, peer))
+                .flat_map(|c| self.with_input_choices(db, domain, c, peer, ctx))
                 .collect();
         }
         if self.semantics.strict_input_validity {
@@ -71,14 +83,30 @@ impl Composition {
         config: &Config,
         mover: Mover,
     ) -> Vec<Config> {
+        self.successors_with(db, domain, config, mover, EvalCtx::default())
+    }
+
+    /// [`Composition::successors`] with an explicit rule-evaluation context:
+    /// compiled plans replace FO re-interpretation and a [`RuleCache`]
+    /// (when provided) memoizes rule extensions by read footprint. The
+    /// default context is the interpreted oracle of record.
+    ///
+    /// [`RuleCache`]: crate::plan::RuleCache
+    pub fn successors_with(
+        &self,
+        db: &dyn Database,
+        domain: &[Value],
+        config: &Config,
+        mover: Mover,
+        ctx: EvalCtx<'_>,
+    ) -> Vec<Config> {
         let raw = match mover {
-            Mover::Peer(p) => self.peer_successors(db, domain, config, p),
+            Mover::Peer(p) => self.peer_successors(db, domain, config, p, ctx),
             Mover::Environment => self.env_successors(db, domain, config),
         };
         // Distinct nondeterministic resolutions can coincide (e.g. a lossy
         // drop vs. a capacity drop); deduplicate to keep the search lean.
-        let mut seen = HashSet::new();
-        raw.into_iter().filter(|c| seen.insert(c.clone())).collect()
+        dedup_preserving_order(raw)
     }
 
     fn peer_successors(
@@ -87,25 +115,30 @@ impl Composition {
         domain: &[Value],
         config: &Config,
         pid: PeerId,
+        ctx: EvalCtx<'_>,
     ) -> Vec<Config> {
         let peer = &self.peers[pid.index()];
         let view = RuleView::new(self, db, config, pid, domain);
 
         // 1. Evaluate every rule on the current snapshot.
         let mut state_updates: Vec<(ddws_relational::RelId, Relation)> = Vec::new();
-        for sr in &peer.state_rules {
+        for (i, sr) in peer.state_rules.iter().enumerate() {
             if self.frozen[sr.rel.index()] {
                 continue;
             }
             let inserts: Relation = sr
                 .insert
                 .as_ref()
-                .map(|b| to_relation(satisfying_valuations(&sr.head, b, &view)))
+                .map(|b| {
+                    to_relation(&ctx.eval_rule(RuleRef::StateInsert(pid, i), &sr.head, b, &view))
+                })
                 .unwrap_or_default();
             let deletes: Relation = sr
                 .delete
                 .as_ref()
-                .map(|b| to_relation(satisfying_valuations(&sr.head, b, &view)))
+                .map(|b| {
+                    to_relation(&ctx.eval_rule(RuleRef::StateDelete(pid, i), &sr.head, b, &view))
+                })
                 .unwrap_or_default();
             let old = config.rel.relation(sr.rel);
             // Definition 2.4: (ϕ+ ∧ ¬ϕ−) ∨ (S ∧ ϕ+ ∧ ϕ−) ∨ (S ∧ ¬ϕ+ ∧ ¬ϕ−).
@@ -124,19 +157,22 @@ impl Composition {
             .filter(|a| !self.frozen[a.index()])
             .map(|&a| (a, Relation::new()))
             .collect();
-        for ar in &peer.action_rules {
+        for (i, ar) in peer.action_rules.iter().enumerate() {
             if self.frozen[ar.rel.index()] {
                 continue;
             }
-            let rel = to_relation(satisfying_valuations(&ar.head, &ar.body, &view));
+            let ext = ctx.eval_rule(RuleRef::Action(pid, i), &ar.head, &ar.body, &view);
             if let Some(slot) = action_updates.iter_mut().find(|(r, _)| *r == ar.rel) {
-                slot.1 = rel;
+                slot.1 = to_relation(&ext);
             }
         }
 
-        let mut send_results: Vec<(crate::ChannelId, Vec<Vec<Value>>)> = Vec::new();
-        for (cid, rule) in &peer.send_rules {
-            send_results.push((*cid, satisfying_valuations(&rule.head, &rule.body, &view)));
+        let mut send_results: Vec<(crate::ChannelId, std::sync::Arc<Vec<Vec<Value>>>)> = Vec::new();
+        for (i, (cid, rule)) in peer.send_rules.iter().enumerate() {
+            send_results.push((
+                *cid,
+                ctx.eval_rule(RuleRef::Send(pid, i), &rule.head, &rule.body, &view),
+            ));
         }
 
         // 2. Build the deterministic part of the successor.
@@ -187,7 +223,7 @@ impl Composition {
             let ch = &self.channels[cid.index()];
             let outcomes = match ch.kind {
                 QueueKind::Nested => {
-                    let rel = to_relation(tuples);
+                    let rel = to_relation(&tuples);
                     if rel.is_empty() && self.semantics.nested_send_skips_empty {
                         vec![SendOutcome::Nothing]
                     } else {
@@ -251,10 +287,10 @@ impl Composition {
         // 4. Choose the mover's next input in each resulting configuration.
         let mut out = Vec::new();
         for v in variants {
-            out.extend(self.with_input_choices(db, domain, v, peer));
+            out.extend(self.with_input_choices(db, domain, v, peer, ctx));
         }
         if self.semantics.strict_input_validity {
-            out.retain(|c| self.all_inputs_valid(db, domain, c));
+            out.retain(|c| self.all_inputs_valid(db, domain, c, ctx));
         }
         out
     }
@@ -268,21 +304,23 @@ impl Composition {
         domain: &[Value],
         config: Config,
         peer: &Peer,
+        ctx: EvalCtx<'_>,
     ) -> Vec<Config> {
         // Input rules never read inputs, so evaluating options against
         // `config` (whose inputs are about to be replaced) is sound.
         let mut choice_sets: Vec<(ddws_relational::RelId, Vec<Relation>)> = Vec::new();
         {
             let view = RuleView::new(self, db, &config, peer.id, domain);
-            for rule in &peer.input_rules {
-                let options = satisfying_valuations(&rule.head, &rule.body, &view);
+            for (i, rule) in peer.input_rules.iter().enumerate() {
+                let options =
+                    ctx.eval_rule(RuleRef::Input(peer.id, i), &rule.head, &rule.body, &view);
                 let mut choices: Vec<Relation> = vec![Relation::new()];
                 if self.voc.arity(rule.rel) == 0 {
                     if !options.is_empty() {
                         choices.push(Relation::singleton(Tuple::unit()));
                     }
                 } else {
-                    for t in &options {
+                    for t in options.iter() {
                         choices.push(Relation::singleton(Tuple::from(t.as_slice())));
                     }
                 }
@@ -306,15 +344,26 @@ impl Composition {
 
     /// Definition 2.3 validity for every peer (used by
     /// [`Semantics::strict_input_validity`](crate::Semantics)).
-    fn all_inputs_valid(&self, db: &dyn Database, domain: &[Value], config: &Config) -> bool {
+    fn all_inputs_valid(
+        &self,
+        db: &dyn Database,
+        domain: &[Value],
+        config: &Config,
+        ctx: EvalCtx<'_>,
+    ) -> bool {
         for peer in &self.peers {
             let view = RuleView::new(self, db, config, peer.id, domain);
-            for rule in &peer.input_rules {
+            for (i, rule) in peer.input_rules.iter().enumerate() {
                 let current = config.rel.relation(rule.rel);
                 if current.is_empty() {
                     continue;
                 }
-                let options = to_relation(satisfying_valuations(&rule.head, &rule.body, &view));
+                let options = to_relation(&ctx.eval_rule(
+                    RuleRef::Input(peer.id, i),
+                    &rule.head,
+                    &rule.body,
+                    &view,
+                ));
                 let ok = match current.the_tuple() {
                     Some(t) => options.contains(t),
                     None => false, // more than one tuple can never be valid
@@ -411,8 +460,7 @@ fn env_messages(
                     }
                 }
                 // Dedup via canonical form.
-                let mut seen = HashSet::new();
-                grown.retain(|r| seen.insert(r.clone()));
+                grown = dedup_preserving_order(grown);
                 out.extend(grown.iter().cloned().map(Message::Nested));
                 current = grown;
             }
@@ -438,8 +486,31 @@ fn all_tuples(domain: &[Value], arity: usize) -> Vec<Tuple> {
     out.into_iter().map(Tuple::from).collect()
 }
 
-fn to_relation(tuples: Vec<Vec<Value>>) -> Relation {
-    Relation::from_tuples(tuples.into_iter().map(Tuple::from))
+fn to_relation(tuples: &[Vec<Value>]) -> Relation {
+    Relation::from_tuples(tuples.iter().map(|t| Tuple::from(t.as_slice())))
+}
+
+/// Order-preserving dedup without cloning the items: candidates are moved
+/// into the output once, a 64-bit fingerprint pre-screens for duplicates,
+/// and only fingerprint collisions pay an exact comparison (against the
+/// already-kept item — never a deep copy).
+fn dedup_preserving_order<T: Hash + Eq>(items: Vec<T>) -> Vec<T> {
+    if items.len() <= 1 {
+        return items;
+    }
+    let mut by_fp: HashMap<u64, Vec<usize>> = HashMap::with_capacity(items.len());
+    let mut out: Vec<T> = Vec::with_capacity(items.len());
+    for item in items {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        item.hash(&mut h);
+        let kept = by_fp.entry(h.finish()).or_default();
+        if kept.iter().any(|&i| out[i] == item) {
+            continue;
+        }
+        kept.push(out.len());
+        out.push(item);
+    }
+    out
 }
 
 /// Environment endpoint helper re-export for tests.

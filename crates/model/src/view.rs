@@ -103,7 +103,95 @@ impl<'a> SnapshotView<'a> {
     }
 }
 
+/// What one relation contributed to an evaluation: either its full
+/// extension (for queue-message and stored relations) or a boolean (for the
+/// propositional roles). Footprint-keyed rule memoization
+/// ([`crate::plan::RuleCache`]) keys cached extensions on these — *exact*
+/// materialized reads, never hashes, so a collision can never smuggle in a
+/// stale result.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ReadSlot {
+    /// The relation's extension as the evaluator would see it (sorted).
+    Ext(Vec<Vec<Value>>),
+    /// A propositional read (queue-empty, bookkeeping flags, move markers).
+    Flag(bool),
+}
+
 impl SnapshotView<'_> {
+    /// Materializes everything evaluation over `reads` can observe in this
+    /// snapshot, one slot per relation, in the order given.
+    ///
+    /// This mirrors [`Structure::scan`]/[`Structure::contains`] case for
+    /// case — any two snapshots with equal footprints give identical answers
+    /// to every query over `reads`, which is the soundness invariant of the
+    /// rule cache (DESIGN.md §3.8). Returns `None` when a relation cannot be
+    /// materialized (a lazily decided database relation): such evaluations
+    /// must not be memoized.
+    pub fn footprint(&self, reads: &[RelId]) -> Option<Vec<ReadSlot>> {
+        let mut slots = Vec::with_capacity(reads.len());
+        for &rel in reads {
+            if let Some((cid, role)) = self.comp.rel_channel[rel.index()] {
+                let i = cid.index();
+                let q = &self.config.queues[i];
+                slots.push(match role {
+                    ChannelRole::In => ReadSlot::Ext(
+                        q.front()
+                            .map(|m| {
+                                m.as_relation()
+                                    .iter()
+                                    .map(|t| t.values().to_vec())
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                    ),
+                    ChannelRole::Out => ReadSlot::Ext(
+                        q.back()
+                            .map(|m| {
+                                m.as_relation()
+                                    .iter()
+                                    .map(|t| t.values().to_vec())
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                    ),
+                    ChannelRole::Empty => ReadSlot::Flag(q.is_empty()),
+                    ChannelRole::Received => ReadSlot::Flag(self.config.received[i]),
+                    ChannelRole::Sent => ReadSlot::Flag(self.config.sent[i]),
+                    ChannelRole::Error => ReadSlot::Flag(self.config.error[i]),
+                    ChannelRole::MsgEmpty => {
+                        ReadSlot::Flag(q.front().is_some_and(|m| m.is_empty()))
+                    }
+                });
+                continue;
+            }
+            match self.comp.class(rel) {
+                RelClass::Database => match self.db.db_scan(rel) {
+                    Some(ext) => slots.push(ReadSlot::Ext(ext)),
+                    None => return None,
+                },
+                RelClass::State | RelClass::Input | RelClass::PrevInput | RelClass::Action => {
+                    slots.push(ReadSlot::Ext(
+                        self.config
+                            .rel
+                            .relation(rel)
+                            .iter()
+                            .map(|t| t.values().to_vec())
+                            .collect(),
+                    ));
+                }
+                RelClass::Bookkeeping => slots.push(ReadSlot::Flag(match self.mover {
+                    Some(Mover::Peer(p)) => self.comp.move_rels[p.index()] == rel,
+                    Some(Mover::Environment) => self.comp.move_env_rel == Some(rel),
+                    None => false,
+                })),
+                // Queue-backed classes are covered by the reverse index
+                // above; anything else reads as constantly false.
+                _ => slots.push(ReadSlot::Flag(false)),
+            }
+        }
+        Some(slots)
+    }
+
     fn scan_impl(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
         let as_vecs = |r: &ddws_relational::Relation| -> Vec<Vec<Value>> {
             r.iter().map(|t| t.values().to_vec()).collect()

@@ -48,4 +48,6 @@ pub mod reduction;
 pub mod verify;
 
 pub use counterexample::{Counterexample, RunStep};
-pub use verify::{DatabaseMode, Outcome, Reduction, Report, Verifier, VerifyError, VerifyOptions};
+pub use verify::{
+    DatabaseMode, Outcome, Reduction, Report, RuleEval, Verifier, VerifyError, VerifyOptions,
+};

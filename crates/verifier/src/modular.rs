@@ -30,7 +30,9 @@
 
 use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
 use crate::product::{ProductSystem, SharedSearch};
-use crate::verify::{build_counterexample, Outcome, Report, Verifier, VerifyError, VerifyOptions};
+use crate::verify::{
+    build_counterexample, Outcome, Report, RuleEval, Verifier, VerifyError, VerifyOptions,
+};
 use ddws_automata::emptiness::SearchStats;
 use ddws_automata::ltl_to_nba;
 use ddws_logic::input_bounded::check_input_bounded_sentence;
@@ -170,7 +172,10 @@ impl Verifier {
         let combined = LtlFo::And(vec![translated.body.clone(), property.body.clone()]);
         let reduction =
             crate::verify::reduction_oracle(self.composition(), &combined, &observed, opts);
-        let shared = SharedSearch::new();
+        let shared = match opts.rule_eval {
+            RuleEval::Compiled => SharedSearch::compiled(self.composition()),
+            RuleEval::Interpreted => SharedSearch::interpreted_metered(),
+        };
         let mut stats = SearchStats::default();
         let valuations = canonical_valuations(&property.universal_vars, &constants, &fresh);
         let valuations_checked = valuations.len();
@@ -200,6 +205,11 @@ impl Verifier {
             }
             let (lasso, s) = crate::parallel::search_product(&system, opts)?;
             stats.absorb(&s);
+            (
+                stats.rule_cache_hits,
+                stats.rule_cache_misses,
+                stats.rule_eval_ns,
+            ) = shared.rule_stats();
             if let Some(lasso) = lasso {
                 let cex = build_counterexample(
                     &system,

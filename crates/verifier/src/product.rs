@@ -24,7 +24,9 @@
 use crate::ground::AtomRegistry;
 use crate::oracle::{FactUniverse, Oracle, RecordingDb};
 use ddws_automata::{Expansion, Nba, TransitionSystem};
-use ddws_model::{Composition, Config, IndependenceOracle, Mover};
+use ddws_model::{
+    CompiledRules, Composition, Config, EvalCtx, IndependenceOracle, Mover, RuleCache,
+};
 use ddws_relational::{Instance, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -129,6 +131,9 @@ impl<T: Hash + Eq> Interner<T> {
 }
 
 /// A sharded `HashMap` cache; values are cloned out under a read lock.
+/// Callers store `Arc`-wrapped successor sets (`Arc<[u32]>`,
+/// `Arc<[PState]>`), so the clone is a refcount bump, never a deep copy of
+/// the cached expansion.
 struct ShardedMap<K, V> {
     shards: Vec<RwLock<HashMap<K, V>>>,
 }
@@ -158,6 +163,10 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
     }
 }
 
+/// Successor configs of one cached expansion, or `Err(fact)` when the
+/// expansion forks on an undecided database fact.
+type StepResult = Result<Arc<[u32]>, usize>;
+
 /// Search state shared across the valuations of one `check` call: the
 /// configuration/oracle interners and the composition-step cache. Steps
 /// depend only on (config, mover, oracle) — not on the property valuation —
@@ -167,17 +176,67 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
 pub struct SharedSearch {
     configs: Interner<Config>,
     oracles: Interner<Oracle>,
-    /// (config, mover, oracle) → successor configs, or `Err(fact)` when the
-    /// expansion forks on an undecided database fact.
-    steps: ShardedMap<(u32, Mover, u32), Result<Vec<u32>, usize>>,
+    /// (config, mover, oracle) → successor configs (or fork fact).
+    steps: ShardedMap<(u32, Mover, u32), StepResult>,
     /// oracle → initial configs (or fork fact).
-    boots: ShardedMap<u32, Result<Vec<u32>, usize>>,
+    boots: ShardedMap<u32, StepResult>,
+    /// Compiled rule plans; `None` routes rule bodies through the FO
+    /// interpreter (the oracle of record).
+    compiled: Option<CompiledRules>,
+    /// Footprint-keyed rule memo table and rule-evaluation metrics; `None`
+    /// leaves evaluation unmetered (the pre-compilation behaviour).
+    rule_cache: Option<RuleCache>,
 }
 
 impl SharedSearch {
-    /// Creates an empty shared search state.
+    /// Creates an empty shared search state evaluating rules through the
+    /// FO interpreter, unmetered — the pre-compilation behaviour.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Shared state that evaluates rules through compiled join/filter/
+    /// project plans with footprint-keyed memoization (the default engine
+    /// of [`crate::VerifyOptions`]).
+    ///
+    /// One `SharedSearch` serves one verification run: the memo table's
+    /// soundness requires the quantification domain to stay fixed for its
+    /// lifetime.
+    pub fn compiled(comp: &Composition) -> Self {
+        let compiled = CompiledRules::new(comp);
+        let rule_cache = RuleCache::new(&compiled);
+        SharedSearch {
+            compiled: Some(compiled),
+            rule_cache: Some(rule_cache),
+            ..Default::default()
+        }
+    }
+
+    /// Shared state that evaluates rules through the FO interpreter but
+    /// still meters evaluation time, so compiled-vs-interpreted timings in
+    /// [`ddws_automata::emptiness::SearchStats`] are comparable.
+    pub fn interpreted_metered() -> Self {
+        SharedSearch {
+            rule_cache: Some(RuleCache::timing_only()),
+            ..Default::default()
+        }
+    }
+
+    /// The rule-evaluation context this shared state configures.
+    pub(crate) fn eval_ctx(&self) -> EvalCtx<'_> {
+        EvalCtx {
+            compiled: self.compiled.as_ref(),
+            cache: self.rule_cache.as_ref(),
+        }
+    }
+
+    /// Accumulated rule-evaluation metrics: (cache hits, cache misses,
+    /// nanoseconds spent evaluating rules). All zero when unmetered.
+    pub fn rule_stats(&self) -> (u64, u64, u64) {
+        match &self.rule_cache {
+            Some(c) => (c.hits(), c.misses(), c.eval_ns()),
+            None => (0, 0, 0),
+        }
     }
 }
 
@@ -199,12 +258,12 @@ pub struct ProductSystem<'a> {
     shared: &'a SharedSearch,
     // The nested DFS expands every state twice (blue + red pass); successor
     // computation dominates, so memoize the full product expansion too.
-    succ_cache: ShardedMap<PState, Vec<PState>>,
+    succ_cache: ShardedMap<PState, Arc<[PState]>>,
     /// Ample-set reduction; `None` explores every interleaving.
     reduction: Option<&'a IndependenceOracle>,
     /// Memoized reduced expansions (separate from `succ_cache`: the C3
     /// fallback needs the *full* expansion of the same state).
-    ample_cache: ShardedMap<PState, (Vec<PState>, bool)>,
+    ample_cache: ShardedMap<PState, (Arc<[PState]>, bool)>,
 }
 
 impl<'a> ProductSystem<'a> {
@@ -261,13 +320,15 @@ impl<'a> ProductSystem<'a> {
     }
 
     /// Initial configurations for an oracle, cached across valuations.
-    fn boot_configs(&self, oracle: u32) -> Result<Vec<u32>, usize> {
+    fn boot_configs(&self, oracle: u32) -> StepResult {
         if let Some(cached) = self.shared.boots.get(&oracle) {
             return cached;
         }
         let o = self.oracle(oracle);
         let db = RecordingDb::new(self.base_db, self.universe, &o);
-        let configs = self.comp.initial_configs(&db, self.domain);
+        let configs = self
+            .comp
+            .initial_configs_with(&db, self.domain, self.shared.eval_ctx());
         let result = match db.undecided_hit() {
             Some(fact) => Err(fact),
             None => Ok(configs.into_iter().map(|c| self.intern_config(c)).collect()),
@@ -277,7 +338,7 @@ impl<'a> ProductSystem<'a> {
     }
 
     /// One composition step, cached across valuations.
-    fn step_configs(&self, config: u32, mover: Mover, oracle: u32) -> Result<Vec<u32>, usize> {
+    fn step_configs(&self, config: u32, mover: Mover, oracle: u32) -> StepResult {
         let key = (config, mover, oracle);
         if let Some(cached) = self.shared.steps.get(&key) {
             return cached;
@@ -285,7 +346,9 @@ impl<'a> ProductSystem<'a> {
         let o = self.oracle(oracle);
         let cfg = self.config(config);
         let db = RecordingDb::new(self.base_db, self.universe, &o);
-        let next = self.comp.successors(&db, self.domain, &cfg, mover);
+        let next = self
+            .comp
+            .successors_with(&db, self.domain, &cfg, mover, self.shared.eval_ctx());
         let result = match db.undecided_hit() {
             Some(fact) => Err(fact),
             None => Ok(next.into_iter().map(|c| self.intern_config(c)).collect()),
@@ -325,11 +388,11 @@ impl TransitionSystem for ProductSystem<'_> {
         vec![PState::Boot { oracle: empty }]
     }
 
-    fn successors(&self, s: &PState) -> Vec<PState> {
+    fn successors(&self, s: &PState) -> Arc<[PState]> {
         if let Some(cached) = self.succ_cache.get(s) {
             return cached;
         }
-        let result = self.expand(s, None).0;
+        let result: Arc<[PState]> = self.expand(s, None).0.into();
         self.succ_cache.insert(*s, result.clone());
         result
     }
@@ -352,6 +415,7 @@ impl TransitionSystem for ProductSystem<'_> {
             return Expansion { states, ample };
         }
         let (states, ample) = self.expand(s, Some(ind));
+        let states: Arc<[PState]> = states.into();
         self.ample_cache.insert(*s, (states.clone(), ample));
         Expansion { states, ample }
     }
@@ -375,7 +439,7 @@ impl ProductSystem<'_> {
                 Err(fact) => (self.fork(*s, oracle, fact), false),
                 Ok(configs) => {
                     let mut out = Vec::new();
-                    for cid in configs {
+                    for &cid in configs.iter() {
                         for mover in self.comp.movers() {
                             for &q in &self.nba.initial {
                                 out.push(PState::Run {
@@ -426,7 +490,7 @@ impl ProductSystem<'_> {
                 let mut ample = false;
                 let mut out =
                     Vec::with_capacity(next_configs.len() * movers.len() * q_targets.len());
-                for cid in next_configs {
+                for &cid in next_configs.iter() {
                     let ample_mover = reduce
                         .filter(|_| movers.len() > 1)
                         .and_then(|ind| ind.ample_mover(&self.config(cid)));

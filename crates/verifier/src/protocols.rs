@@ -16,7 +16,9 @@
 use crate::counterexample::Counterexample;
 use crate::ground::{canonical_valuations, AtomRegistry};
 use crate::product::{ProductSystem, SharedSearch};
-use crate::verify::{build_counterexample, Outcome, Report, Verifier, VerifyError, VerifyOptions};
+use crate::verify::{
+    build_counterexample, Outcome, Report, RuleEval, Verifier, VerifyError, VerifyOptions,
+};
 use ddws_automata::complement::{complement, complement_deterministic, complete};
 use ddws_automata::emptiness::SearchStats;
 use ddws_automata::Nba;
@@ -176,7 +178,10 @@ impl Verifier {
     ) -> Result<Report, VerifyError> {
         let (base_db, universe) = self.database_setup_pub(&opts.database, domain);
         let comp = self.composition();
-        let shared = SharedSearch::new();
+        let shared = match opts.rule_eval {
+            RuleEval::Compiled => SharedSearch::compiled(comp),
+            RuleEval::Interpreted => SharedSearch::interpreted_metered(),
+        };
         let system = ProductSystem::new(
             comp,
             &base_db,
@@ -186,7 +191,12 @@ impl Verifier {
             &atoms,
             &shared,
         );
-        let (lasso, stats) = crate::parallel::search_product(&system, opts)?;
+        let (lasso, mut stats) = crate::parallel::search_product(&system, opts)?;
+        (
+            stats.rule_cache_hits,
+            stats.rule_cache_misses,
+            stats.rule_eval_ns,
+        ) = shared.rule_stats();
         let outcome = match lasso {
             None => Outcome::Holds,
             Some(lasso) => {

@@ -81,6 +81,109 @@ pub fn composition_with_auditor(
     b.build().expect("auditor chain composition is well-formed")
 }
 
+/// A rule-dense relay chain for the compiled-kernel experiment (E10):
+/// every peer carries, besides its relay rules, a `ring`-phase rotor and
+/// an audit pair over private state relations, so each of the `n ≥ 3`
+/// peers ends up with at least four (the endpoints: five or six) reaction
+/// rules whose bodies are large disjunctions over the phase constants.
+/// The rotor's occupancy guard keeps it to at most two adjacent phases,
+/// so its reachable state count is *linear* in `ring` even as the bodies
+/// grow polynomially — evaluation cost scales without a state-space
+/// explosion. This is exactly the shape where per-step FO
+/// re-interpretation hurts: the interpreter re-verifies the full
+/// disjunction per candidate tuple at every step, while the compiled plan
+/// ground-checks each guarded branch once and the footprint cache
+/// memoizes every rotor rule on the rotor's own (tiny, endlessly
+/// repeating) extension.
+pub fn rule_dense_composition(
+    n: usize,
+    ring: usize,
+    lossy: bool,
+    semantics: Semantics,
+) -> Composition {
+    assert!(n >= 3, "the rule-dense chain wants at least three peers");
+    let mut b = chain_builder(n, lossy, semantics);
+    for i in 0..n {
+        add_phase_ring(&mut b, &format!("P{i}"), "phase", ring);
+    }
+    b.build()
+        .expect("rule-dense chain composition is well-formed")
+}
+
+/// Adds a `ring`-phase rotor over a fresh state relation `rel` to `peer` —
+/// a stepping insert rule (enter at `"r0"` from empty, advance from a lone
+/// `"r{i}"` to `"r{i+1}"`) plus a plain delete rule — and a companion
+/// `{rel}_audit` relation with two rules whose bodies conjoin a large
+/// *ground* guard with a per-tuple contradiction, so they are evaluated
+/// at every step but never fire: the audit relation stays empty forever
+/// and the pair adds rule-evaluation work without a single reachable
+/// state. The ground guard is an `O(ring³)`-literal disjunction over
+/// phase triples — mostly-false under the two-phase occupancy cap, so
+/// its scan rarely short-circuits. The interpreter re-checks it for
+/// every candidate head tuple at every step; the compiled plan hoists it
+/// as a ground guard checked once per evaluation, and the footprint
+/// cache then memoizes the whole rule on the rotor's (tiny, endlessly
+/// repeating) extension.
+fn add_phase_ring(b: &mut CompositionBuilder, peer: &str, rel: &str, ring: usize) {
+    assert!(ring >= 2, "a phase ring needs at least two phases");
+    let step_body = |var: &str| {
+        let all = (0..ring)
+            .map(|i| format!("{rel}(\"r{i}\")"))
+            .collect::<Vec<_>>()
+            .join(" or ");
+        let mut arms = vec![format!("({var} = \"r0\" and not ({all}))")];
+        for i in 0..ring {
+            let others = (0..ring)
+                .filter(|&j| j != i)
+                .map(|j| format!("{rel}(\"r{j}\")"))
+                .collect::<Vec<_>>()
+                .join(" or ");
+            arms.push(format!(
+                "({var} = \"r{}\" and {rel}(\"r{i}\") and not ({others}))",
+                (i + 1) % ring
+            ));
+        }
+        arms.join(" or ")
+    };
+    let mut triples = Vec::with_capacity(ring * ring * ring);
+    for i in 0..ring {
+        for j in 0..ring {
+            for k in 0..ring {
+                triples.push(format!(
+                    "({rel}(\"r{i}\") and {rel}(\"r{j}\") and {rel}(\"r{k}\"))"
+                ));
+            }
+        }
+    }
+    // Four rotated copies conjoined: rotation relocates whichever triple
+    // happens to be true, so disjunction short-circuiting cannot collapse
+    // the scan of every copy at once.
+    let ground = (0..4)
+        .map(|s| {
+            let mut copy = triples.clone();
+            copy.rotate_left(s * triples.len() / 4);
+            format!("({})", copy.join(" or "))
+        })
+        .collect::<Vec<_>>()
+        .join(" and ");
+    let audit = format!("{rel}_audit");
+    b.peer(peer)
+        .state(rel, 1)
+        .state_insert_rule(rel, &["x"], &step_body("x"))
+        .state_delete_rule(rel, &["x"], &format!("{rel}(x)"))
+        .state(&audit, 1)
+        .state_insert_rule(
+            &audit,
+            &["x"],
+            &format!("{ground} and {rel}(x) and ({})", step_body("x")),
+        )
+        .state_delete_rule(
+            &audit,
+            &["x"],
+            &format!("{ground} and {audit}(x) and ({})", step_body("x")),
+        );
+}
+
 /// A database with `m` candidate tokens.
 pub fn database(comp: &mut Composition, m: usize) -> Instance {
     let mut db = Instance::empty(&comp.voc);

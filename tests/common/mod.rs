@@ -1,9 +1,13 @@
 //! Shared harness for the differential swarm (tests/swarm.rs) and its
 //! pinned regression seeds (tests/regressions.rs).
 
+use ddws_model::{CompiledRules, Config, EvalCtx, RuleCache};
 use ddws_testkit::compgen;
 use ddws_testkit::rng::XorShift;
-use ddws_verifier::{DatabaseMode, Reduction, Verifier, VerifyError, VerifyOptions};
+use ddws_verifier::{
+    DatabaseMode, Outcome, Reduction, RuleEval, Verifier, VerifyError, VerifyOptions,
+};
+use std::collections::HashSet;
 
 /// State budget for swarm cases: generous for the tiny generated
 /// compositions, so budget exhaustion stays the exception.
@@ -53,6 +57,135 @@ pub fn assert_case_agrees(rng: &mut XorShift) {
                 "generator produced an unverifiable case `{}`: {e}",
                 case.property
             )
+        }
+    }
+}
+
+/// Draws one case and asserts that the compiled rule-evaluation engine is
+/// observationally identical to the FO interpreter on it:
+///
+/// 1. **tuple-for-tuple** — over a bounded breadth-first exploration of the
+///    composition, `successors_with` under compiled plans (plus the
+///    footprint cache) returns *exactly* the successor list the interpreted
+///    path returns, order included, for every (configuration, mover);
+/// 2. **verdicts** — `RuleEval::Compiled` and `RuleEval::Interpreted` agree
+///    across the engine × reduction matrix `{seq, par2} × {Full, Ample}`.
+///    Both engines explore the same product graph, so even budget aborts
+///    must match shape-for-shape;
+/// 3. **counterexamples replay** — a violation found by the compiled path
+///    must replay under the interpreter (`replay_counterexample` runs the
+///    plain interpreted `successors`), keeping the interpreter the oracle
+///    of record.
+pub fn assert_compiled_agrees(rng: &mut XorShift) {
+    let case = compgen::case(rng);
+
+    // --- 1. Tuple-for-tuple successor agreement on the composition. ---
+    let mut v = Verifier::new(case.composition.clone());
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(case.database.clone()),
+        fresh_values: Some(1),
+        max_states: SWARM_BUDGET,
+        ..VerifyOptions::default()
+    };
+    let prop = v
+        .parse_property(&case.property)
+        .expect("generated property parses");
+    let domain = v.domain_for(&prop, &opts);
+    let comp = v.composition();
+    let compiled = CompiledRules::new(comp);
+    let cache = RuleCache::new(&compiled);
+    let ctx = EvalCtx {
+        compiled: Some(&compiled),
+        cache: Some(&cache),
+    };
+    let mut frontier = comp.initial_configs(&case.database, &domain);
+    assert_eq!(
+        frontier,
+        comp.initial_configs_with(&case.database, &domain, ctx),
+        "initial configurations differ on `{}`",
+        case.property
+    );
+    let mut seen: HashSet<Config> = frontier.iter().cloned().collect();
+    for _ in 0..3 {
+        let mut next = Vec::new();
+        for cfg in &frontier {
+            for mover in comp.movers() {
+                let interpreted = comp.successors(&case.database, &domain, cfg, mover);
+                let compiled_succs = comp.successors_with(&case.database, &domain, cfg, mover, ctx);
+                assert_eq!(
+                    interpreted, compiled_succs,
+                    "successor sets differ for mover {mover:?} on `{}`",
+                    case.property
+                );
+                for c in interpreted {
+                    if seen.insert(c.clone()) {
+                        next.push(c);
+                    }
+                }
+            }
+        }
+        next.truncate(24);
+        frontier = next;
+    }
+
+    // --- 2 & 3. Verdict agreement across the engine matrix, with replay. ---
+    let run = |threads: Option<usize>, reduction: Reduction, rule_eval: RuleEval| {
+        let mut v = Verifier::new(case.composition.clone());
+        let opts = VerifyOptions {
+            database: DatabaseMode::Fixed(case.database.clone()),
+            fresh_values: Some(1),
+            max_states: SWARM_BUDGET,
+            threads,
+            reduction,
+            rule_eval,
+            ..VerifyOptions::default()
+        };
+        let prop = v
+            .parse_property(&case.property)
+            .expect("generated property parses");
+        let verdict = v.check(&prop, &opts).map(|r| {
+            if let Outcome::Violated(cex) = &r.outcome {
+                v.replay_counterexample(&prop, cex, &opts)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "threads={threads:?} reduction={reduction:?} \
+                             rule_eval={rule_eval:?}: counterexample does not \
+                             replay on `{}`: {e}",
+                            case.property
+                        )
+                    });
+            }
+            r.outcome.holds()
+        });
+        match verdict {
+            Ok(h) => Ok(h),
+            Err(VerifyError::Budget(b)) => Err(b.states_visited),
+            Err(e) => panic!(
+                "generator produced an unverifiable case `{}`: {e}",
+                case.property
+            ),
+        }
+    };
+    for threads in [None, Some(2)] {
+        for reduction in [Reduction::Full, Reduction::Ample] {
+            let c = run(threads, reduction, RuleEval::Compiled);
+            let i = run(threads, reduction, RuleEval::Interpreted);
+            assert_eq!(
+                c.is_ok(),
+                i.is_ok(),
+                "threads={threads:?} reduction={reduction:?}: budget outcome \
+                 differs between engines on `{}` (compiled: {c:?}, \
+                 interpreted: {i:?})",
+                case.property
+            );
+            if let (Ok(cv), Ok(iv)) = (c, i) {
+                assert_eq!(
+                    cv, iv,
+                    "threads={threads:?} reduction={reduction:?}: verdict \
+                     disagreement on `{}` (compiled: {cv}, interpreted: {iv})",
+                    case.property
+                );
+            }
         }
     }
 }

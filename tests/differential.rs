@@ -1,15 +1,15 @@
-//! Differential tests across the full engine × reduction matrix: the
-//! sequential product-search engine (`threads: None`, CVWY nested DFS) and
-//! the parallel engine (`threads: Some(n)`, work-stealing reachability +
-//! SCC lasso extraction), each under `Reduction::Full` and
-//! `Reduction::Ample`, across every scenario composition.
+//! Differential tests across the full engine × reduction × rule-eval
+//! matrix: the sequential product-search engine (`threads: None`, CVWY
+//! nested DFS) and the parallel engine (`threads: Some(n)`, work-stealing
+//! reachability + SCC lasso extraction), each under `Reduction::Full` and
+//! `Reduction::Ample`, each with `RuleEval::Compiled` and
+//! `RuleEval::Interpreted`, across every scenario composition.
 //!
-//! The contract under test (see DESIGN.md, "Parallel search" and
-//! "Partial-order reduction"):
+//! The contract under test (see DESIGN.md, "Parallel search",
+//! "Partial-order reduction" and §3.8 "Compiled rule kernels"):
 //!
-//! * verdicts are **engine- and reduction-independent** — all eight
-//!   engine×reduction combinations return the same `Holds`/`Violated`
-//!   answer;
+//! * verdicts are **engine-, reduction- and rule-eval-independent** — all
+//!   sixteen combinations return the same `Holds`/`Violated` answer;
 //! * counterexamples may differ between combinations, but each returned
 //!   counterexample must **replay**: its run must be a legal violating
 //!   lasso of the composition over the counterexample's database
@@ -20,13 +20,20 @@
 use ddws::scenarios::{bank_loan, chains, ecommerce, travel};
 use ddws_model::Semantics;
 use ddws_relational::Instance;
-use ddws_verifier::{DatabaseMode, Outcome, Reduction, Verifier, VerifyError, VerifyOptions};
+use ddws_verifier::{
+    DatabaseMode, Outcome, Reduction, RuleEval, Verifier, VerifyError, VerifyOptions,
+};
 
 /// The engine matrix: sequential, and parallel at 1/2/4 workers.
 const ENGINES: [Option<usize>; 4] = [None, Some(1), Some(2), Some(4)];
 
 /// The reduction matrix.
 const REDUCTIONS: [Reduction; 2] = [Reduction::Full, Reduction::Ample];
+
+/// The rule-evaluation matrix: compiled join/filter/project plans with the
+/// footprint cache, and the FO interpreter they must be indistinguishable
+/// from.
+const RULE_EVALS: [RuleEval; 2] = [RuleEval::Compiled, RuleEval::Interpreted];
 
 fn fixed_opts(db: Instance) -> VerifyOptions {
     VerifyOptions {
@@ -52,24 +59,29 @@ fn assert_engines_agree(
 ) {
     for threads in ENGINES {
         for reduction in REDUCTIONS {
-            let (mut v, mut opts) = make();
-            opts.threads = threads;
-            opts.reduction = reduction;
-            let prop = v.parse_property(property).expect("property parses");
-            let report = v.check(&prop, &opts).expect("verification completes");
-            assert_eq!(
-                report.outcome.holds(),
-                expect_holds,
-                "engine threads={threads:?} reduction={reduction:?} disagrees on {property:?}"
-            );
-            if let Outcome::Violated(cex) = &report.outcome {
-                v.replay_counterexample(&prop, cex, &opts)
-                    .unwrap_or_else(|e| {
-                        panic!(
-                            "threads={threads:?} reduction={reduction:?}: \
-                         counterexample does not replay: {e}\n{cex:?}"
-                        )
-                    });
+            for rule_eval in RULE_EVALS {
+                let (mut v, mut opts) = make();
+                opts.threads = threads;
+                opts.reduction = reduction;
+                opts.rule_eval = rule_eval;
+                let prop = v.parse_property(property).expect("property parses");
+                let report = v.check(&prop, &opts).expect("verification completes");
+                assert_eq!(
+                    report.outcome.holds(),
+                    expect_holds,
+                    "engine threads={threads:?} reduction={reduction:?} \
+                     rule_eval={rule_eval:?} disagrees on {property:?}"
+                );
+                if let Outcome::Violated(cex) = &report.outcome {
+                    v.replay_counterexample(&prop, cex, &opts)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "threads={threads:?} reduction={reduction:?} \
+                                 rule_eval={rule_eval:?}: \
+                                 counterexample does not replay: {e}\n{cex:?}"
+                            )
+                        });
+                }
             }
         }
     }
@@ -209,6 +221,49 @@ fn auditor_chain_reduction_prunes_states() {
             "threads={threads:?}: expected ≥2× fewer states, got {} vs {}",
             ample.states_visited,
             full.states_visited
+        );
+    }
+}
+
+#[test]
+fn rule_cache_metrics_surface_on_both_engines() {
+    // SearchStats must report rule-evaluation metrics under both search
+    // engines: the compiled run shows cache traffic (hits after the first
+    // revisit, misses for the cold evaluations) and nonzero evaluation
+    // time; the interpreted run shows timing only — its meter memoizes
+    // nothing, so hits stay at zero.
+    let prop = chains::prop_integrity(3);
+    for threads in [None, Some(2)] {
+        let (mut v, mut opts) = chains_setup();
+        opts.threads = threads;
+        opts.rule_eval = RuleEval::Compiled;
+        let compiled = v.check_str(&prop, &opts).expect("verification completes");
+        assert!(compiled.outcome.holds());
+        assert!(
+            compiled.stats.rule_cache_hits > 0,
+            "threads={threads:?}: footprint cache never hit"
+        );
+        assert!(
+            compiled.stats.rule_cache_misses > 0,
+            "threads={threads:?}: cold evaluations must miss"
+        );
+        assert!(
+            compiled.stats.rule_eval_ns > 0,
+            "threads={threads:?}: rule timing not metered"
+        );
+
+        let (mut v, mut opts) = chains_setup();
+        opts.threads = threads;
+        opts.rule_eval = RuleEval::Interpreted;
+        let interpreted = v.check_str(&prop, &opts).expect("verification completes");
+        assert!(interpreted.outcome.holds());
+        assert_eq!(
+            interpreted.stats.rule_cache_hits, 0,
+            "threads={threads:?}: the interpreted meter memoizes nothing"
+        );
+        assert!(
+            interpreted.stats.rule_eval_ns > 0,
+            "threads={threads:?}: interpreted timing not metered"
         );
     }
 }

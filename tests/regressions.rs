@@ -23,3 +23,17 @@ fn pinned_swarm_seeds_stay_green() {
         common::assert_case_agrees(&mut rng);
     }
 }
+
+/// Sub-seeds pinned for the compiled-vs-interpreted rule-evaluation
+/// differential (`tests/swarm.rs::compiled_and_interpreted_agree_*`). The
+/// two values replay cases that exercise both verdicts, keeping the
+/// compiled engine's counterexample-replay path covered forever.
+const PINNED_COMPILED: &[u64] = &[7, 11];
+
+#[test]
+fn pinned_compiled_seeds_stay_green() {
+    for &seed in PINNED_COMPILED {
+        let mut rng = XorShift::new(seed);
+        common::assert_compiled_agrees(&mut rng);
+    }
+}

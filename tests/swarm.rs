@@ -15,3 +15,14 @@ fn full_and_ample_agree_on_200_random_cases() {
         common::assert_case_agrees(rng);
     });
 }
+
+#[test]
+fn compiled_and_interpreted_agree_on_200_random_cases() {
+    // Compiled rule kernels vs. the FO interpreter: identical rule
+    // extensions (tuple-for-tuple successor agreement) and identical
+    // verdicts across {seq, par2} × {Full, Ample}, with every compiled
+    // counterexample replaying under the interpreter.
+    gen::cases(200, seed_from("swarm_compiled_vs_interpreted"), |rng| {
+        common::assert_compiled_agrees(rng);
+    });
+}
