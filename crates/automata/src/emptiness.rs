@@ -10,9 +10,16 @@
 //! it directly on the on-the-fly product of a composition with a property
 //! automaton without materializing either.
 
+use ddws_telemetry::EngineTelemetry;
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// How many states the engines visit between progress-gate checks. A
+/// power of two so the check compiles to a mask; coarse enough that the
+/// `None`-gate fast path costs one branch per ~thousand states.
+pub(crate) const PROGRESS_STRIDE_MASK: u64 = 0x3FF;
 
 /// A (possibly reduced) expansion of one state, as produced by
 /// [`TransitionSystem::successors_reduced`].
@@ -91,50 +98,11 @@ pub struct Lasso<S> {
 }
 
 /// Exploration statistics, reported by the verifier.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SearchStats {
-    /// Distinct states visited by the outer DFS.
-    pub states_visited: u64,
-    /// Transitions expanded (outer and inner DFS).
-    pub transitions_explored: u64,
-    /// States expanded with a strict ample subset of their successors
-    /// (always 0 when the reduction is off).
-    pub ample_hits: u64,
-    /// States expanded with their full successor set while the reduction
-    /// was active — either no valid ample subset existed or the C3 cycle
-    /// proviso forced the fallback (always 0 when the reduction is off).
-    pub full_expansions: u64,
-    /// Rule evaluations answered from the footprint-keyed rule cache
-    /// (0 when the caller does not meter rule evaluation).
-    pub rule_cache_hits: u64,
-    /// Rule evaluations that missed the cache or could not be memoized
-    /// (0 when the caller does not meter rule evaluation).
-    pub rule_cache_misses: u64,
-    /// Nanoseconds spent evaluating reaction rules, across both the
-    /// compiled and interpreted engines (0 when unmetered).
-    pub rule_eval_ns: u64,
-    /// `true` when these counts come from an aborted (budget-exhausted)
-    /// search and therefore undercount the state space.
-    pub truncated: bool,
-}
-
-impl SearchStats {
-    /// Accumulates `other` into `self`: counters add, `truncated` ORs.
-    ///
-    /// This is the one merge used everywhere (per-worker logs in the
-    /// parallel engine, per-valuation sub-searches in the verifier), so
-    /// both engines report partiality the same way.
-    pub fn absorb(&mut self, other: &SearchStats) {
-        self.states_visited += other.states_visited;
-        self.transitions_explored += other.transitions_explored;
-        self.ample_hits += other.ample_hits;
-        self.full_expansions += other.full_expansions;
-        self.rule_cache_hits += other.rule_cache_hits;
-        self.rule_cache_misses += other.rule_cache_misses;
-        self.rule_eval_ns += other.rule_eval_ns;
-        self.truncated |= other.truncated;
-    }
-}
+///
+/// Compatibility shim: the struct now lives in `ddws-telemetry` (where the
+/// shard/valuation merge `absorb` is defined once); this re-export keeps
+/// every existing `ddws_automata::SearchStats` path working.
+pub use ddws_telemetry::SearchStats;
 
 /// The search's state budget was exhausted before an answer was reached.
 ///
@@ -183,6 +151,17 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
     ts: &TS,
     max_states: u64,
 ) -> SearchResult<TS::State> {
+    find_accepting_lasso_budget_with(ts, max_states, &EngineTelemetry::silent())
+}
+
+/// [`find_accepting_lasso_budget`] with a telemetry bundle: periodic
+/// progress snapshots through the gate (frontier/depth = DFS stack depth)
+/// and the `lasso_ns` span covering the inner red searches.
+pub fn find_accepting_lasso_budget_with<TS: TransitionSystem>(
+    ts: &TS,
+    max_states: u64,
+    tel: &EngineTelemetry<'_>,
+) -> SearchResult<TS::State> {
     let mut stats = SearchStats::default();
     let mut blue: HashSet<TS::State> = HashSet::new();
     let mut red: HashSet<TS::State> = HashSet::new();
@@ -221,6 +200,15 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
                 if !blue.contains(&succ) {
                     blue.insert(succ.clone());
                     stats.states_visited += 1;
+                    if stats.states_visited & PROGRESS_STRIDE_MASK == 0 {
+                        tel.maybe_emit(
+                            stats.states_visited,
+                            stack.len() as u64,
+                            stack.len() as u64,
+                            stats.ample_hits,
+                            stats.full_expansions,
+                        );
+                    }
                     reducer.enter(&succ);
                     stack.push(Frame {
                         succs: reducer.expand(ts, &succ, &mut stats),
@@ -232,8 +220,10 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
                 // Postorder.
                 let state = frame.state.clone();
                 if ts.is_accepting(&state) {
-                    if let Some(cycle) = red_search(ts, &state, &mut red, &mut reducer, &mut stats)
-                    {
+                    let red_start = Instant::now();
+                    let cycle = red_search(ts, &state, &mut red, &mut reducer, &mut stats);
+                    stats.lasso_ns += red_start.elapsed().as_nanos() as u64;
+                    if let Some(cycle) = cycle {
                         // The blue stack spells the path from the initial
                         // state to `state` (inclusive at the top).
                         let prefix: Vec<TS::State> = stack
@@ -293,13 +283,21 @@ impl<TS: TransitionSystem> Reducer<TS> {
     }
 
     /// The blue-DFS expansion of `s`: ample if C0–C3 allow, full otherwise.
+    ///
+    /// `states_expanded` counts exactly the freshly computed expansions
+    /// (memoized re-reads don't count), at the same points `ample_hits`
+    /// and `full_expansions` increment — so under active reduction
+    /// `ample_hits + full_expansions == states_expanded` holds by
+    /// construction.
     fn expand(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Arc<[TS::State]> {
         if !self.active {
+            stats.states_expanded += 1;
             return ts.successors(s);
         }
         if let Some(cached) = self.expansions.get(s) {
             return cached.clone();
         }
+        stats.states_expanded += 1;
         let exp = ts.successors_reduced(s);
         let succs = if exp.ample {
             if exp.states.iter().any(|t| self.on_stack.contains(t)) {
@@ -323,11 +321,13 @@ impl<TS: TransitionSystem> Reducer<TS> {
     /// exists, the full expansion (memoized for blue to reuse) otherwise.
     fn expand_red(&mut self, ts: &TS, s: &TS::State, stats: &mut SearchStats) -> Arc<[TS::State]> {
         if !self.active {
+            stats.states_expanded += 1;
             return ts.successors(s);
         }
         if let Some(cached) = self.expansions.get(s) {
             return cached.clone();
         }
+        stats.states_expanded += 1;
         stats.full_expansions += 1;
         let succs = ts.successors_full(s);
         self.expansions.insert(s.clone(), succs.clone());
@@ -631,38 +631,54 @@ mod tests {
         assert!(err.states_visited > 10 && err.states_visited <= 12);
     }
 
+    /// The reduction-accounting invariant the telemetry suite relies on:
+    /// with reduction active, every fresh expansion is either an ample hit
+    /// or a full expansion; without it, both stay zero while
+    /// `states_expanded` still counts.
     #[test]
-    fn absorb_sums_counters_and_ors_truncated() {
-        let mut a = SearchStats {
-            states_visited: 3,
-            transitions_explored: 5,
-            ample_hits: 1,
-            full_expansions: 2,
-            rule_cache_hits: 8,
-            rule_cache_misses: 2,
-            rule_eval_ns: 100,
-            truncated: false,
+    fn expansion_accounting_invariants() {
+        let g = c3_trap();
+        let (_, stats) = find_accepting_lasso_stats(&g);
+        assert_eq!(
+            stats.ample_hits + stats.full_expansions,
+            stats.states_expanded
+        );
+        let g = Graph {
+            edges: vec![vec![1], vec![2], vec![]],
+            accepting: vec![false, false, false],
+            initial: vec![0],
         };
-        let b = SearchStats {
-            states_visited: 7,
-            transitions_explored: 11,
-            ample_hits: 0,
-            full_expansions: 4,
-            rule_cache_hits: 1,
-            rule_cache_misses: 3,
-            rule_eval_ns: 50,
-            truncated: true,
+        let (_, stats) = find_accepting_lasso_stats(&g);
+        assert_eq!(stats.ample_hits, 0);
+        assert_eq!(stats.full_expansions, 0);
+        assert_eq!(stats.states_expanded, 3, "one blue expansion per state");
+    }
+
+    #[test]
+    fn progress_snapshots_flow_through_the_gate() {
+        use ddws_telemetry::{BufferReporter, ProgressGate};
+        use std::time::Duration;
+        // A chain longer than the progress stride, zero-interval gate: at
+        // least one snapshot must be emitted.
+        let n = 3000;
+        let g = Graph {
+            edges: (0..n)
+                .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+                .collect(),
+            accepting: vec![false; n],
+            initial: vec![0],
         };
-        a.absorb(&b);
-        assert_eq!(a.states_visited, 10);
-        assert_eq!(a.transitions_explored, 16);
-        assert_eq!(a.ample_hits, 1);
-        assert_eq!(a.full_expansions, 6);
-        assert_eq!(a.rule_cache_hits, 9);
-        assert_eq!(a.rule_cache_misses, 5);
-        assert_eq!(a.rule_eval_ns, 150);
-        assert!(a.truncated, "truncated is sticky across merges");
-        a.absorb(&SearchStats::default());
-        assert!(a.truncated);
+        let gate = ProgressGate::new(Duration::from_secs(0));
+        let buf = BufferReporter::new();
+        let tel = EngineTelemetry {
+            reporter: &buf,
+            gate: Some(&gate),
+            rule_meter: None,
+        };
+        let (lasso, _) = find_accepting_lasso_budget_with(&g, u64::MAX, &tel).unwrap();
+        assert!(lasso.is_none());
+        let snaps = buf.snapshots();
+        assert!(!snaps.is_empty(), "stride crossings must emit snapshots");
+        assert!(snaps.iter().all(|s| s.states_visited > 0 && s.depth > 0));
     }
 }

@@ -40,11 +40,13 @@ pub mod product;
 pub mod translate;
 
 pub use emptiness::{
-    find_accepting_lasso, find_accepting_lasso_budget, BudgetExceeded, Expansion, Lasso,
-    SearchStats, TransitionSystem,
+    find_accepting_lasso, find_accepting_lasso_budget, find_accepting_lasso_budget_with,
+    BudgetExceeded, Expansion, Lasso, SearchStats, TransitionSystem,
 };
 pub use guard::{Guard, Letter};
 pub use ltl::Ltl;
 pub use nba::{Nba, StateId};
-pub use parallel::find_accepting_lasso_budget_parallel;
+pub use parallel::{
+    find_accepting_lasso_budget_parallel, find_accepting_lasso_budget_parallel_with,
+};
 pub use translate::ltl_to_nba;

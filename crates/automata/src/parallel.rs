@@ -31,12 +31,16 @@
 //! reachable graph before looking for lassos, so a `Violated` verdict
 //! requires a budget no smaller than the reachable state count.
 
-use crate::emptiness::{BudgetExceeded, Lasso, SearchResult, SearchStats, TransitionSystem};
+use crate::emptiness::{
+    BudgetExceeded, Lasso, SearchResult, SearchStats, TransitionSystem, PROGRESS_STRIDE_MASK,
+};
+use ddws_telemetry::EngineTelemetry;
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 #[cfg(doc)]
 use crate::emptiness::find_accepting_lasso_budget;
@@ -137,6 +141,7 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
 struct WorkerLog<S> {
     edges: Vec<(S, Arc<[S]>)>,
     transitions: u64,
+    expanded: u64,
     ample_hits: u64,
     full_expansions: u64,
 }
@@ -145,11 +150,13 @@ fn explore_worker<TS: TransitionSystem>(
     ts: &TS,
     frontier: &Frontier<TS::State>,
     w: usize,
+    tel: &EngineTelemetry<'_>,
 ) -> WorkerLog<TS::State> {
     let reduction = ts.reduction_active();
     let mut log = WorkerLog {
         edges: Vec::new(),
         transitions: 0,
+        expanded: 0,
         ample_hits: 0,
         full_expansions: 0,
     };
@@ -164,6 +171,18 @@ fn explore_worker<TS: TransitionSystem>(
             std::thread::yield_now();
             continue;
         };
+        // One expansion per dequeued state; worker-local counters only (the
+        // shared atomics are touched once per ~1024 expansions below).
+        log.expanded += 1;
+        if log.expanded & PROGRESS_STRIDE_MASK == 0 {
+            tel.maybe_emit(
+                frontier.visited_count.load(Ordering::Relaxed),
+                frontier.pending.load(Ordering::SeqCst) as u64,
+                0,
+                log.ample_hits,
+                log.full_expansions,
+            );
+        }
         let succs = if reduction {
             let exp = ts.successors_reduced(&state);
             if exp.ample && !exp.states.iter().any(|t| frontier.already_visited(t)) {
@@ -209,6 +228,20 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
     max_states: u64,
     threads: usize,
 ) -> SearchResult<TS::State> {
+    find_accepting_lasso_budget_parallel_with(ts, max_states, threads, &EngineTelemetry::silent())
+}
+
+/// [`find_accepting_lasso_budget_parallel`] with a telemetry bundle: each
+/// worker checks the progress gate on a coarse local-expansion stride
+/// (frontier = pending queue size, depth reported as 0 — the exploration
+/// is breadth-ordered), and the sequential analysis phase is timed into
+/// `lasso_ns`.
+pub fn find_accepting_lasso_budget_parallel_with<TS: TransitionSystem>(
+    ts: &TS,
+    max_states: u64,
+    threads: usize,
+    tel: &EngineTelemetry<'_>,
+) -> SearchResult<TS::State> {
     let workers = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
@@ -225,13 +258,13 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
 
     let mut logs: Vec<WorkerLog<TS::State>> = Vec::with_capacity(workers);
     if workers == 1 {
-        logs.push(explore_worker(ts, &frontier, 0));
+        logs.push(explore_worker(ts, &frontier, 0, tel));
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let frontier = &frontier;
-                    scope.spawn(move || explore_worker(ts, frontier, w))
+                    scope.spawn(move || explore_worker(ts, frontier, w, tel))
                 })
                 .collect();
             for h in handles {
@@ -240,9 +273,12 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
         });
     }
 
+    // Shard merge: each worker's plain counters fold into one block here,
+    // at join — the exploration hot path never touches shared stats.
     let mut stats = SearchStats {
         states_visited: frontier.visited_count.load(Ordering::Relaxed),
         transitions_explored: logs.iter().map(|l| l.transitions).sum(),
+        states_expanded: logs.iter().map(|l| l.expanded).sum(),
         ample_hits: logs.iter().map(|l| l.ample_hits).sum(),
         full_expansions: logs.iter().map(|l| l.full_expansions).sum(),
         ..SearchStats::default()
@@ -256,6 +292,7 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
     }
 
     // ---- Sequential analysis over the materialized graph. ----
+    let analysis_start = Instant::now();
     let mut index: HashMap<TS::State, usize> = HashMap::new();
     let mut nodes: Vec<TS::State> = Vec::new();
     let intern =
@@ -289,6 +326,7 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
         .collect();
 
     let Some((entry, cycle_ids)) = find_accepting_cycle(&adj, &accepting) else {
+        stats.lasso_ns = analysis_start.elapsed().as_nanos() as u64;
         return Ok((None, stats));
     };
     let prefix_ids = shortest_path_from_any(&adj, &init_ids, entry)
@@ -302,6 +340,7 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
         .map(|&i| nodes[i].clone())
         .collect();
     let cycle: Vec<TS::State> = cycle_ids.iter().map(|&i| nodes[i].clone()).collect();
+    stats.lasso_ns = analysis_start.elapsed().as_nanos() as u64;
     Ok((Some(Lasso { prefix, cycle }), stats))
 }
 

@@ -21,7 +21,9 @@
 use ddws::scenarios::chains;
 use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ddws_model::Semantics;
-use ddws_verifier::{DatabaseMode, Report, RuleEval, Verifier, VerifyOptions};
+use ddws_verifier::{
+    validate_run_report, DatabaseMode, Report, RuleEval, RunReport, Verifier, VerifyOptions,
+};
 use std::time::Instant;
 
 const ENGINES: [(&str, Option<usize>); 2] = [("seq", None), ("par2", Some(2))];
@@ -121,6 +123,7 @@ fn acceptance() {
         .filter(|&n| n > 0)
         .unwrap_or(5);
     let mut rows = Vec::new();
+    let mut bench_report: Option<RunReport> = None;
     for (engine, threads) in ENGINES {
         let mut medians = Vec::new();
         let mut hit_rate = 0.0;
@@ -135,10 +138,12 @@ fn acceptance() {
             }
             ns.sort_unstable();
             medians.push(ns[ns.len() / 2]);
-            let stats = last.expect("at least one sample").stats;
+            let report = last.expect("at least one sample");
+            let stats = report.stats;
             if let RuleEval::Compiled = rule_eval {
                 hit_rate = stats.rule_cache_hits as f64
                     / (stats.rule_cache_hits + stats.rule_cache_misses).max(1) as f64;
+                bench_report.get_or_insert(report.telemetry);
             }
         }
         let (compiled, interpreted) = (medians[0], medians[1]);
@@ -158,10 +163,22 @@ fn acceptance() {
              \"speedup\": {speedup:.2},\n      \"hit_rate\": {hit_rate:.4}\n    }}"
         ));
     }
+    // The bench harness is itself a reporting entry point (DESIGN.md
+    // §3.9): relabel one measured run's report, validate it against the
+    // schema, and keep it in the artifact.
+    let bench_report = RunReport {
+        entry_point: "bench".into(),
+        ..bench_report.expect("at least one compiled sample")
+    };
+    let report_json = bench_report.to_json();
+    let parsed = ddws_telemetry::Json::parse(&report_json).expect("bench report JSON parses");
+    validate_run_report(&parsed).expect("bench report validates against the schema");
+
     let json = format!(
         "{{\n  \"experiment\": \"e10_rule_kernels\",\n  \"scenario\": {{\n    \
          \"peers\": {PEERS},\n    \"ring\": {RING},\n    \"tokens\": {TOKENS}\n  }},\n  \
-         \"samples\": {samples},\n  \"engines\": {{\n{}\n  }}\n}}\n",
+         \"samples\": {samples},\n  \"engines\": {{\n{}\n  }},\n  \
+         \"run_report\": {report_json}\n}}\n",
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_E10.json");

@@ -1,0 +1,181 @@
+//! E11: telemetry overhead — the rule-dense E10 workload re-measured under
+//! three reporter configurations:
+//!
+//! * `off`: [`Silent`] reporter with the progress gate disabled
+//!   (`progress_interval: None`) — the pre-telemetry hot path: counters
+//!   are worker-local and no gate is ever consulted;
+//! * `silent`: the shipping default — [`Silent`] reporter behind the 1 s
+//!   progress gate. The hot-path cost is one coarse stride mask plus a
+//!   relaxed atomic load per ~1024 expansions;
+//! * `jsonl`: a [`JsonLinesReporter`] draining to [`std::io::sink`] with a
+//!   50 ms gate — the full emission cost with snapshots actually rendered.
+//!
+//! The acceptance bar (DESIGN.md §3.9): the `silent` default costs at most
+//! 5% wall time over `off` on the rule-dense scenario, on both engines.
+//! Samples for the two configurations are interleaved so clock drift hits
+//! both equally, and a small absolute allowance absorbs timer noise on top
+//! of the relative bar. Medians land in `BENCH_E11.json` together with a
+//! schema-validated `RunReport` for the bench entry point itself.
+
+use ddws::scenarios::chains;
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_model::Semantics;
+use ddws_verifier::{
+    validate_run_report, DatabaseMode, JsonLinesReporter, Report, ReporterHandle, RunReport,
+    Verifier, VerifyOptions,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const ENGINES: [(&str, Option<usize>); 2] = [("seq", None), ("par2", Some(2))];
+
+/// The rule-dense scenario shape, matching E10.
+const PEERS: usize = 3;
+const RING: usize = 8;
+const TOKENS: usize = 1;
+
+/// Absolute noise allowance on top of the 5% relative bar: the workload
+/// runs for hundreds of milliseconds, so 10 ms is well under the bar
+/// itself but absorbs scheduler jitter between interleaved samples.
+const NOISE_NS: u128 = 10_000_000;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Config {
+    Off,
+    Silent,
+    JsonLines,
+}
+
+fn options(db: ddws_relational::Instance, threads: Option<usize>, config: Config) -> VerifyOptions {
+    let mut opts = VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        threads,
+        ..VerifyOptions::default()
+    };
+    match config {
+        Config::Off => opts.progress_interval = None,
+        Config::Silent => {}
+        Config::JsonLines => {
+            opts.reporter = ReporterHandle::new(Arc::new(JsonLinesReporter::to_writer(Box::new(
+                std::io::sink(),
+            ))));
+            opts.progress_interval = Some(Duration::from_millis(50));
+        }
+    }
+    opts
+}
+
+fn check_rule_dense(threads: Option<usize>, config: Config) -> Report {
+    let mut v = Verifier::new(chains::rule_dense_composition(
+        PEERS,
+        RING,
+        true,
+        Semantics::default(),
+    ));
+    let db = chains::database(v.composition_mut(), TOKENS);
+    let report = v
+        .check_str(
+            &chains::prop_integrity(PEERS),
+            &options(db, threads, config),
+        )
+        .unwrap();
+    assert!(report.outcome.holds());
+    report
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_telemetry_overhead");
+    group.sample_size(10);
+
+    for (engine, threads) in ENGINES {
+        for (label, config) in [
+            ("off", Config::Off),
+            ("silent", Config::Silent),
+            ("jsonl", Config::JsonLines),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new("rule_dense_holds", format!("{engine}/{label}")),
+                &(threads, config),
+                |b, &(threads, config)| {
+                    b.iter(|| check_rule_dense(threads, config).stats.states_visited)
+                },
+            );
+        }
+    }
+
+    group.finish();
+
+    acceptance();
+}
+
+/// The E11 acceptance bar, measured once outside the timing loops with
+/// `off`/`silent` samples interleaved.
+fn acceptance() {
+    let samples = std::env::var("DDWS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5);
+    let mut rows = Vec::new();
+    let mut bench_report: Option<RunReport> = None;
+    for (engine, threads) in ENGINES {
+        let mut off_ns: Vec<u128> = Vec::with_capacity(samples);
+        let mut silent_ns: Vec<u128> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            std::hint::black_box(check_rule_dense(threads, Config::Off));
+            off_ns.push(start.elapsed().as_nanos());
+
+            let start = Instant::now();
+            let report = check_rule_dense(threads, Config::Silent);
+            silent_ns.push(start.elapsed().as_nanos());
+            bench_report.get_or_insert(report.telemetry);
+        }
+        off_ns.sort_unstable();
+        silent_ns.sort_unstable();
+        let (off, silent) = (off_ns[off_ns.len() / 2], silent_ns[silent_ns.len() / 2]);
+        let overhead = silent as f64 / off.max(1) as f64 - 1.0;
+        println!(
+            "e11_telemetry_overhead/acceptance/{engine}: off={off}ns \
+             silent={silent}ns overhead={:.2}%",
+            overhead * 100.0
+        );
+        assert!(
+            silent <= off + off / 20 + NOISE_NS,
+            "{engine}: silent-reporter telemetry must cost <=5% (+noise), \
+             got {:.2}% ({silent}ns vs {off}ns)",
+            overhead * 100.0
+        );
+        rows.push(format!(
+            "    \"{engine}\": {{\n      \"off_median_ns\": {off},\n      \
+             \"silent_median_ns\": {silent},\n      \
+             \"overhead\": {overhead:.4}\n    }}"
+        ));
+    }
+
+    // The bench harness is itself a reporting entry point: relabel one
+    // measured run's report and validate it against the schema before it
+    // lands in the artifact.
+    let bench_report = RunReport {
+        entry_point: "bench".into(),
+        ..bench_report.expect("at least one silent sample")
+    };
+    let json = bench_report.to_json();
+    let parsed = ddws_telemetry::Json::parse(&json).expect("bench report JSON parses");
+    validate_run_report(&parsed).expect("bench report validates against the schema");
+
+    let out = format!(
+        "{{\n  \"experiment\": \"e11_telemetry_overhead\",\n  \"scenario\": {{\n    \
+         \"peers\": {PEERS},\n    \"ring\": {RING},\n    \"tokens\": {TOKENS}\n  }},\n  \
+         \"samples\": {samples},\n  \"engines\": {{\n{}\n  }},\n  \
+         \"run_report\": {json}\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_E11.json");
+    std::fs::write(path, out).expect("write BENCH_E11.json");
+    println!("e11_telemetry_overhead/acceptance: wrote {path}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -147,6 +147,7 @@ pub struct RuleCache {
     rules: Vec<RwLock<HashMap<Vec<ReadSlot>, Extension>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evals: AtomicU64,
     eval_ns: AtomicU64,
 }
 
@@ -190,6 +191,13 @@ impl RuleCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Metered rule evaluations so far. Every metered evaluation counts
+    /// exactly one hit or one miss, so `hits() + misses() == evals()` at
+    /// any quiescent point — the invariant the telemetry suite checks.
+    pub fn evals(&self) -> u64 {
+        self.evals.load(Ordering::Relaxed)
+    }
+
     /// Total nanoseconds spent evaluating rules (cache probes included).
     pub fn eval_ns(&self) -> u64 {
         self.eval_ns.load(Ordering::Relaxed)
@@ -225,6 +233,7 @@ impl EvalCtx<'_> {
         let start = self.cache.map(|_| Instant::now());
         let result = self.eval_inner(rule, head, body, view);
         if let (Some(cache), Some(start)) = (self.cache, start) {
+            cache.evals.fetch_add(1, Ordering::Relaxed);
             cache
                 .eval_ns
                 .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -240,6 +249,11 @@ impl EvalCtx<'_> {
         view: &RuleView<'_>,
     ) -> Extension {
         let Some((id, plan)) = self.compiled.and_then(|c| c.plan(rule)) else {
+            // Interpreted evaluation: nothing is memoizable, so a metered
+            // run books it as a miss (keeping hits + misses == evals).
+            if let Some(cache) = self.cache {
+                cache.misses.fetch_add(1, Ordering::Relaxed);
+            }
             return Arc::new(satisfying_valuations(head, body, view));
         };
         let Some(cache) = self.cache else {
@@ -337,6 +351,32 @@ mod tests {
         assert!(cache.hits() > 0, "footprint memoization never engaged");
         assert!(cache.misses() > 0);
         assert!(cache.eval_ns() > 0);
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            cache.evals(),
+            "every metered evaluation is exactly one hit or one miss"
+        );
+    }
+
+    /// The interpreted path under a timing-only cache books every
+    /// evaluation as a miss, so the accounting invariant holds there too.
+    #[test]
+    fn interpreted_metering_counts_every_eval_as_a_miss() {
+        let (comp, db, dom) = fixture();
+        let cache = RuleCache::timing_only();
+        let ctx = EvalCtx {
+            compiled: None,
+            cache: Some(&cache),
+        };
+        let init = comp.initial_configs_with(&db, &dom, ctx);
+        for cfg in &init {
+            for mover in comp.movers() {
+                comp.successors_with(&db, &dom, cfg, mover, ctx);
+            }
+        }
+        assert!(cache.evals() > 0, "boot + successor evals were metered");
+        assert_eq!(cache.hits(), 0, "nothing is memoizable when interpreting");
+        assert_eq!(cache.misses(), cache.evals());
     }
 
     /// The cache must key on everything a rule reads: stepping a peer whose

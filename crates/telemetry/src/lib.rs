@@ -1,0 +1,39 @@
+//! Search telemetry for the DDWS verifier.
+//!
+//! The verifier's engines (sequential nested DFS, parallel work-stealing
+//! reachability, reduced successor generation, compiled and interpreted rule
+//! evaluation) all funnel their observability through this crate:
+//!
+//! * [`SearchStats`] — the per-run counter block. Workers keep plain local
+//!   counters and merge them at join via [`SearchStats::absorb`]; there are
+//!   no hot-path atomics in the engines themselves.
+//! * [`RunReport`] — the final machine-readable artifact of a verification
+//!   run (stable, versioned JSON schema; see [`report::SCHEMA_NAME`]).
+//! * [`Reporter`] — the sink trait, with [`Silent`], human-readable
+//!   ([`HumanReporter`]) and JSON-lines ([`JsonLinesReporter`])
+//!   implementations, plus an in-memory [`BufferReporter`] for tests.
+//! * [`Progress`] / [`ProgressGate`] — periodic progress snapshots
+//!   (states/sec, frontier size, depth, ample/full ratio, rule-cache hit
+//!   rate) throttled by a lock-free time gate.
+//! * [`EngineTelemetry`] — the bundle of references an engine threads
+//!   through its search loop.
+//!
+//! The crate is dependency-free on purpose: every other crate in the
+//! workspace can use it without cycles.
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod report;
+pub mod reporter;
+pub mod stats;
+
+pub use json::Json;
+pub use report::{
+    validate_run_report, Counters, PhaseTimes, RunReport, SCHEMA_NAME, SCHEMA_VERSION,
+};
+pub use reporter::{
+    BufferReporter, EngineTelemetry, HumanReporter, JsonLinesReporter, Progress, ProgressGate,
+    Reporter, ReporterHandle, RuleMeterSource, Silent, SILENT,
+};
+pub use stats::SearchStats;

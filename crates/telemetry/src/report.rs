@@ -1,0 +1,366 @@
+//! The final, versioned run report every verify entry point emits.
+//!
+//! # Schema and versioning policy
+//!
+//! A report is a single JSON object whose first two fields identify it:
+//! `"schema": "ddws.run-report"` and `"version": 1`. Within a version the
+//! field set and serialization order are frozen, so two reports from runs
+//! with identical non-timing behaviour are byte-identical after
+//! [`RunReport::redacted`]. Additive changes (new counters, new phases)
+//! bump the version; consumers should accept any version they know and
+//! reject unknown schema names. [`validate_run_report`] checks a parsed
+//! document against the current version.
+
+use crate::json::Json;
+use crate::stats::SearchStats;
+
+/// The schema identifier every run report carries.
+pub const SCHEMA_NAME: &str = "ddws.run-report";
+/// The current schema version (frozen field set; bump on change).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Verdict-relevant counters, copied out of [`SearchStats`] at the end of
+/// a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Distinct states inserted into the visited set.
+    pub states_visited: u64,
+    /// Product transitions traversed.
+    pub transitions_explored: u64,
+    /// Successor-list computations.
+    pub states_expanded: u64,
+    /// Expansions answered from a proper ample subset.
+    pub ample_hits: u64,
+    /// Expansions using the full successor set under active reduction.
+    pub full_expansions: u64,
+    /// Metered rule evaluations.
+    pub rule_evals: u64,
+    /// Footprint-cache hits.
+    pub rule_cache_hits: u64,
+    /// Footprint-cache misses.
+    pub rule_cache_misses: u64,
+    /// Whether any contributing search aborted on its state budget.
+    pub truncated: bool,
+}
+
+impl Counters {
+    /// Extracts the counter subset of a stats block.
+    pub fn from_stats(stats: &SearchStats) -> Counters {
+        Counters {
+            states_visited: stats.states_visited,
+            transitions_explored: stats.transitions_explored,
+            states_expanded: stats.states_expanded,
+            ample_hits: stats.ample_hits,
+            full_expansions: stats.full_expansions,
+            rule_evals: stats.rule_evals,
+            rule_cache_hits: stats.rule_cache_hits,
+            rule_cache_misses: stats.rule_cache_misses,
+            truncated: stats.truncated,
+        }
+    }
+}
+
+/// Span timers for the search phases, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// LTL-FO → NBA translation (or protocol complementation).
+    pub nba_translation_ns: u64,
+    /// Boot-configuration enumeration.
+    pub boot_ns: u64,
+    /// Successor generation (includes rule evaluation).
+    pub successor_ns: u64,
+    /// Rule evaluation inside boot + successor generation.
+    pub rule_eval_ns: u64,
+    /// Successor-generation time not spent evaluating rules: queue and
+    /// oracle bookkeeping, `(boot_ns + successor_ns) - rule_eval_ns`,
+    /// saturating.
+    pub queue_bookkeeping_ns: u64,
+    /// SCC/lasso extraction.
+    pub lasso_ns: u64,
+    /// Counterexample replay/materialization.
+    pub counterexample_ns: u64,
+    /// Wall-clock of the whole entry point.
+    pub total_ns: u64,
+}
+
+/// The final report of one verification run.
+///
+/// Emitted by every entry point — `Verifier::check`, `check_modular`, the
+/// protocol checks, and the bench harness — through the run's
+/// [`Reporter`](crate::Reporter), and carried on the verifier's `Report`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Which entry point produced the report (`"check"`,
+    /// `"check_modular"`, `"protocol_data_agnostic"`,
+    /// `"protocol_data_aware"`, `"bench"`).
+    pub entry_point: String,
+    /// The engine: `"seq"` or `"par{n}"`.
+    pub engine: String,
+    /// The requested reduction: `"full"` or `"ample"`.
+    pub reduction: String,
+    /// The rule-evaluation mode: `"compiled"` or `"interpreted"`.
+    pub rule_eval: String,
+    /// `"holds"`, `"violated"`, or `"budget_exceeded"`.
+    pub outcome: String,
+    /// Universal valuations checked before the outcome was reached.
+    pub valuations_checked: u64,
+    /// Size of the verification domain.
+    pub domain_size: u64,
+    /// The counter block.
+    pub counters: Counters,
+    /// The phase timers.
+    pub phases: PhaseTimes,
+}
+
+impl RunReport {
+    /// Serializes to the canonical compact JSON encoding (stable field
+    /// order; see the module docs).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// The report as a [`Json`] value, in canonical field order.
+    pub fn to_json_value(&self) -> Json {
+        let c = &self.counters;
+        let p = &self.phases;
+        Json::Object(vec![
+            ("schema".into(), Json::Str(SCHEMA_NAME.into())),
+            ("version".into(), Json::UInt(SCHEMA_VERSION)),
+            ("entry_point".into(), Json::Str(self.entry_point.clone())),
+            ("engine".into(), Json::Str(self.engine.clone())),
+            ("reduction".into(), Json::Str(self.reduction.clone())),
+            ("rule_eval".into(), Json::Str(self.rule_eval.clone())),
+            ("outcome".into(), Json::Str(self.outcome.clone())),
+            (
+                "valuations_checked".into(),
+                Json::UInt(self.valuations_checked),
+            ),
+            ("domain_size".into(), Json::UInt(self.domain_size)),
+            (
+                "counters".into(),
+                Json::Object(vec![
+                    ("states_visited".into(), Json::UInt(c.states_visited)),
+                    (
+                        "transitions_explored".into(),
+                        Json::UInt(c.transitions_explored),
+                    ),
+                    ("states_expanded".into(), Json::UInt(c.states_expanded)),
+                    ("ample_hits".into(), Json::UInt(c.ample_hits)),
+                    ("full_expansions".into(), Json::UInt(c.full_expansions)),
+                    ("rule_evals".into(), Json::UInt(c.rule_evals)),
+                    ("rule_cache_hits".into(), Json::UInt(c.rule_cache_hits)),
+                    ("rule_cache_misses".into(), Json::UInt(c.rule_cache_misses)),
+                    ("truncated".into(), Json::Bool(c.truncated)),
+                ]),
+            ),
+            (
+                "phases".into(),
+                Json::Object(vec![
+                    (
+                        "nba_translation_ns".into(),
+                        Json::UInt(p.nba_translation_ns),
+                    ),
+                    ("boot_ns".into(), Json::UInt(p.boot_ns)),
+                    ("successor_ns".into(), Json::UInt(p.successor_ns)),
+                    ("rule_eval_ns".into(), Json::UInt(p.rule_eval_ns)),
+                    (
+                        "queue_bookkeeping_ns".into(),
+                        Json::UInt(p.queue_bookkeeping_ns),
+                    ),
+                    ("lasso_ns".into(), Json::UInt(p.lasso_ns)),
+                    ("counterexample_ns".into(), Json::UInt(p.counterexample_ns)),
+                    ("total_ns".into(), Json::UInt(p.total_ns)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Parses and validates a report from its JSON encoding.
+    pub fn from_json(input: &str) -> Result<RunReport, String> {
+        let v = Json::parse(input)?;
+        validate_run_report(&v)?;
+        let s = |key: &str| -> String { v.get(key).and_then(Json::as_str).unwrap().to_string() };
+        let u = |key: &str| -> u64 { v.get(key).and_then(Json::as_u64).unwrap() };
+        let c = v.get("counters").unwrap();
+        let cu = |key: &str| -> u64 { c.get(key).and_then(Json::as_u64).unwrap() };
+        let p = v.get("phases").unwrap();
+        let pu = |key: &str| -> u64 { p.get(key).and_then(Json::as_u64).unwrap() };
+        Ok(RunReport {
+            entry_point: s("entry_point"),
+            engine: s("engine"),
+            reduction: s("reduction"),
+            rule_eval: s("rule_eval"),
+            outcome: s("outcome"),
+            valuations_checked: u("valuations_checked"),
+            domain_size: u("domain_size"),
+            counters: Counters {
+                states_visited: cu("states_visited"),
+                transitions_explored: cu("transitions_explored"),
+                states_expanded: cu("states_expanded"),
+                ample_hits: cu("ample_hits"),
+                full_expansions: cu("full_expansions"),
+                rule_evals: cu("rule_evals"),
+                rule_cache_hits: cu("rule_cache_hits"),
+                rule_cache_misses: cu("rule_cache_misses"),
+                truncated: c.get("truncated").and_then(Json::as_bool).unwrap(),
+            },
+            phases: PhaseTimes {
+                nba_translation_ns: pu("nba_translation_ns"),
+                boot_ns: pu("boot_ns"),
+                successor_ns: pu("successor_ns"),
+                rule_eval_ns: pu("rule_eval_ns"),
+                queue_bookkeeping_ns: pu("queue_bookkeeping_ns"),
+                lasso_ns: pu("lasso_ns"),
+                counterexample_ns: pu("counterexample_ns"),
+                total_ns: pu("total_ns"),
+            },
+        })
+    }
+
+    /// A copy with every timing field zeroed, for byte-comparison of the
+    /// deterministic remainder across repeat runs.
+    pub fn redacted(&self) -> RunReport {
+        let mut r = self.clone();
+        r.phases = PhaseTimes::default();
+        r
+    }
+}
+
+/// Validates a parsed JSON document against run-report schema version
+/// [`SCHEMA_VERSION`]: schema name, version, every required field with the
+/// right type, and a closed outcome vocabulary.
+pub fn validate_run_report(v: &Json) -> Result<(), String> {
+    if !matches!(v, Json::Object(_)) {
+        return Err("run report must be a JSON object".into());
+    }
+    match v.get("schema").and_then(Json::as_str) {
+        Some(SCHEMA_NAME) => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    match v.get("version").and_then(Json::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        other => return Err(format!("unsupported schema version: {other:?}")),
+    }
+    for key in ["entry_point", "engine", "reduction", "rule_eval", "outcome"] {
+        if v.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("missing or non-string field `{key}`"));
+        }
+    }
+    let outcome = v.get("outcome").and_then(Json::as_str).unwrap();
+    if !matches!(outcome, "holds" | "violated" | "budget_exceeded") {
+        return Err(format!("unknown outcome `{outcome}`"));
+    }
+    for key in ["valuations_checked", "domain_size"] {
+        if v.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("missing or non-integer field `{key}`"));
+        }
+    }
+    let counters = v
+        .get("counters")
+        .ok_or("missing `counters` object".to_string())?;
+    for key in [
+        "states_visited",
+        "transitions_explored",
+        "states_expanded",
+        "ample_hits",
+        "full_expansions",
+        "rule_evals",
+        "rule_cache_hits",
+        "rule_cache_misses",
+    ] {
+        if counters.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("missing or non-integer counter `{key}`"));
+        }
+    }
+    if counters.get("truncated").and_then(Json::as_bool).is_none() {
+        return Err("missing or non-bool counter `truncated`".into());
+    }
+    let phases = v
+        .get("phases")
+        .ok_or("missing `phases` object".to_string())?;
+    for key in [
+        "nba_translation_ns",
+        "boot_ns",
+        "successor_ns",
+        "rule_eval_ns",
+        "queue_bookkeeping_ns",
+        "lasso_ns",
+        "counterexample_ns",
+        "total_ns",
+    ] {
+        if phases.get(key).and_then(Json::as_u64).is_none() {
+            return Err(format!("missing or non-integer phase `{key}`"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            entry_point: "check".into(),
+            engine: "par2".into(),
+            reduction: "ample".into(),
+            rule_eval: "compiled".into(),
+            outcome: "holds".into(),
+            valuations_checked: 3,
+            domain_size: 4,
+            counters: Counters {
+                states_visited: 10,
+                transitions_explored: 20,
+                states_expanded: 11,
+                ample_hits: 5,
+                full_expansions: 6,
+                rule_evals: 9,
+                rule_cache_hits: 7,
+                rule_cache_misses: 2,
+                truncated: false,
+            },
+            phases: PhaseTimes {
+                nba_translation_ns: 1,
+                boot_ns: 2,
+                successor_ns: 3,
+                rule_eval_ns: 4,
+                queue_bookkeeping_ns: 1,
+                lasso_ns: 5,
+                counterexample_ns: 6,
+                total_ns: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let r = sample();
+        let encoded = r.to_json();
+        let decoded = RunReport::from_json(&encoded).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.to_json(), encoded);
+    }
+
+    #[test]
+    fn validation_rejects_tampered_documents() {
+        let r = sample();
+        assert!(validate_run_report(&r.to_json_value()).is_ok());
+        let bad_schema = r.to_json().replace("ddws.run-report", "other.schema");
+        assert!(RunReport::from_json(&bad_schema).is_err());
+        let bad_version = r.to_json().replace("\"version\":1", "\"version\":99");
+        assert!(RunReport::from_json(&bad_version).is_err());
+        let bad_outcome = r.to_json().replace("\"holds\"", "\"maybe\"");
+        assert!(RunReport::from_json(&bad_outcome).is_err());
+        let missing = r.to_json().replace("\"states_visited\":10,", "");
+        assert!(RunReport::from_json(&missing).is_err());
+    }
+
+    #[test]
+    fn redaction_zeroes_exactly_the_phase_timers() {
+        let mut r = sample();
+        let red = r.redacted();
+        assert_eq!(red.phases, PhaseTimes::default());
+        r.phases = PhaseTimes::default();
+        assert_eq!(red, r);
+    }
+}

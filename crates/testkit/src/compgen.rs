@@ -20,10 +20,26 @@
 //! * properties are drawn from input-bounded templates over the first
 //!   channel and its endpoints, including one `X`-shaped template that
 //!   must switch the reduction off.
+//!
+//! ## Shrinking
+//!
+//! Generation is split into a structured intermediate form, [`CaseSpec`]
+//! ([`spec`] draws one with **exactly** the same RNG stream as [`case`],
+//! so pinned sub-seeds replay identically), and [`CaseSpec::build`], which
+//! materializes it. The spec is what the delta-debugging minimizer
+//! ([`minimize`]) cuts: drop the auditor or a relay peer (cascading its
+//! channels and database rows), drop a channel, drop individual send /
+//! receive / delete rules, drop auditor rule disjuncts, drop database
+//! rows, and reset the queue bound — re-running the failing predicate
+//! after each cut and keeping only cuts that preserve the failure. A cut
+//! that makes the spec unbuildable or the failure vanish is rejected, so
+//! the minimizer needs no structural invariants beyond "at least one
+//! relay".
 
 use crate::rng::XorShift;
 use ddws_model::{Composition, CompositionBuilder, QueueKind, Semantics};
 use ddws_relational::{Instance, Tuple};
+use std::fmt;
 
 /// One generated verification case.
 pub struct Case {
@@ -35,23 +51,313 @@ pub struct Case {
     pub property: String,
 }
 
-/// Draws one random case.
-pub fn case(rng: &mut XorShift) -> Case {
+/// One channel of a [`CaseSpec`], with per-rule retention flags the
+/// shrinker can clear individually.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChanSpec {
+    /// The original generation index: names the channel `c{index}` and the
+    /// receiver's `seen{index}` state, which stay stable across shrinking
+    /// so the (fixed) property string keeps referring to the same symbols.
+    pub index: usize,
+    /// Message arity (1 or 2).
+    pub arity: usize,
+    /// Sending relay id (peer `W{sender}`).
+    pub sender: usize,
+    /// Receiving relay id (peer `W{receiver}`).
+    pub receiver: usize,
+    /// Whether the sender keeps its send rule.
+    pub send_rule: bool,
+    /// Whether the receiver keeps its `seen{index}` tracking rule.
+    pub receive_rule: bool,
+}
+
+/// The auditor peer of a [`CaseSpec`]: a deterministic phase ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditorSpec {
+    /// Number of phase constants `r0..r{ring-1}`.
+    pub ring: usize,
+    /// Retained disjuncts of the insert rule: `0` is the boot arm, `i + 1`
+    /// the rotation arm out of phase `r{i}`.
+    pub arms: Vec<usize>,
+    /// Whether the phase-delete rule is retained.
+    pub delete_rule: bool,
+}
+
+impl AuditorSpec {
+    /// The canonical text of one insert-rule disjunct.
+    fn arm_text(&self, arm: usize) -> String {
+        if arm == 0 {
+            let occupied = (0..self.ring)
+                .map(|i| format!("phase(\"r{i}\")"))
+                .collect::<Vec<_>>()
+                .join(" or ");
+            format!("(x = \"r0\" and not ({occupied}))")
+        } else {
+            let i = arm - 1;
+            format!("(x = \"r{}\" and phase(\"r{i}\"))", (i + 1) % self.ring)
+        }
+    }
+}
+
+/// The structured form of one generated case — everything [`case`] decides
+/// randomly, reified so the shrinker can cut pieces and rebuild.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// Queue bound `k` of the semantics.
+    pub queue_bound: usize,
+    /// Retained relay ids (peer `W{id}`); generation starts with `0..n`.
+    pub relays: Vec<usize>,
+    /// Channels among the relays. A channel whose sender or receiver has
+    /// been dropped is silently omitted by [`CaseSpec::build`].
+    pub chans: Vec<ChanSpec>,
+    /// The auditor peer, if any.
+    pub auditor: Option<AuditorSpec>,
+    /// Fixed-database rows: `(relay id, constant)` for `W{id}.d`.
+    pub db_rows: Vec<(usize, &'static str)>,
+    /// The property source text (fixed at generation time; shrinking never
+    /// rewrites it, cuts that break it are rejected by the predicate).
+    pub property: String,
+}
+
+impl CaseSpec {
+    /// Whether a channel survives the current relay set.
+    fn chan_live(&self, c: &ChanSpec) -> bool {
+        self.relays.contains(&c.sender) && self.relays.contains(&c.receiver)
+    }
+
+    /// A size measure for shrinking and for regression assertions: the
+    /// number of retained structural elements (peers, live channels,
+    /// rules, auditor arms, database rows, extra queue capacity). Strictly
+    /// decreases under every accepted cut.
+    pub fn size(&self) -> usize {
+        let chan_elems: usize = self
+            .chans
+            .iter()
+            .filter(|c| self.chan_live(c))
+            .map(|c| 1 + c.send_rule as usize + c.receive_rule as usize)
+            .sum();
+        let aud = self
+            .auditor
+            .as_ref()
+            .map_or(0, |a| 1 + a.arms.len() + a.delete_rule as usize);
+        let rows = self
+            .db_rows
+            .iter()
+            .filter(|(r, _)| self.relays.contains(r))
+            .count();
+        self.relays.len() + chan_elems + aud + rows + (self.queue_bound - 1)
+    }
+
+    /// Materializes the spec. Fails (rather than panicking) when a shrink
+    /// cut produced an ill-formed composition, so the minimizer can simply
+    /// reject the cut.
+    pub fn build(&self) -> Result<Case, String> {
+        let mut b = CompositionBuilder::new();
+        b.semantics(Semantics {
+            queue_bound: self.queue_bound,
+            ..Semantics::default()
+        });
+        b.default_lossy(true);
+
+        let live: Vec<ChanSpec> = self
+            .chans
+            .iter()
+            .filter(|c| self.chan_live(c))
+            .cloned()
+            .collect();
+        for c in &live {
+            b.channel(
+                &format!("c{}", c.index),
+                c.arity,
+                QueueKind::Flat,
+                &format!("W{}", c.sender),
+                &format!("W{}", c.receiver),
+            );
+        }
+
+        for &i in &self.relays {
+            let mut p = b.peer(&format!("W{i}"));
+            p.database("d", 1)
+                .input("pick", 1)
+                .input_rule("pick", &["x"], "d(x)");
+            for c in &live {
+                if c.sender != i || !c.send_rule {
+                    continue;
+                }
+                let name = format!("c{}", c.index);
+                if c.arity == 1 {
+                    p.send_rule(&name, &["x"], "pick(x)");
+                } else {
+                    p.send_rule(&name, &["x", "y"], "pick(x) and pick(y)");
+                }
+            }
+            for c in &live {
+                if c.receiver != i || !c.receive_rule {
+                    continue;
+                }
+                let name = format!("c{}", c.index);
+                let st = format!("seen{}", c.index);
+                if c.arity == 1 {
+                    p.state(&st, 1)
+                        .state_insert_rule(&st, &["x"], &format!("?{name}(x)"));
+                } else {
+                    p.state(&st, 2)
+                        .state_insert_rule(&st, &["x", "y"], &format!("?{name}(x, y)"));
+                }
+            }
+        }
+
+        if let Some(aud) = &self.auditor {
+            let mut p = b.peer("Aud");
+            p.state("phase", 1);
+            if !aud.arms.is_empty() {
+                let arms: Vec<String> = aud.arms.iter().map(|&a| aud.arm_text(a)).collect();
+                p.state_insert_rule("phase", &["x"], &arms.join(" or "));
+            }
+            if aud.delete_rule {
+                p.state_delete_rule("phase", &["x"], "phase(x)");
+            }
+        }
+
+        let mut composition = b.build().map_err(|e| format!("{e:?}"))?;
+
+        let mut database = Instance::empty(&composition.voc);
+        for &(relay, name) in &self.db_rows {
+            if !self.relays.contains(&relay) {
+                continue;
+            }
+            let rel = composition
+                .voc
+                .lookup(&format!("W{relay}.d"))
+                .ok_or_else(|| format!("missing relation W{relay}.d"))?;
+            let v = composition.symbols.intern(name);
+            database.relation_mut(rel).insert(Tuple::new(vec![v]));
+        }
+
+        Ok(Case {
+            composition,
+            database,
+            property: self.property.clone(),
+        })
+    }
+
+    /// Candidate one-step cuts, largest first: peers (auditor, relays with
+    /// cascade), channels, individual rules, auditor arms, database rows,
+    /// queue bound.
+    fn candidates(&self) -> Vec<CaseSpec> {
+        let mut out = Vec::new();
+        if self.auditor.is_some() {
+            let mut s = self.clone();
+            s.auditor = None;
+            out.push(s);
+        }
+        if self.relays.len() > 1 {
+            for &i in &self.relays {
+                let mut s = self.clone();
+                s.relays.retain(|&r| r != i);
+                s.chans.retain(|c| c.sender != i && c.receiver != i);
+                s.db_rows.retain(|&(r, _)| r != i);
+                out.push(s);
+            }
+        }
+        for idx in 0..self.chans.len() {
+            let mut s = self.clone();
+            s.chans.remove(idx);
+            out.push(s);
+        }
+        for idx in 0..self.chans.len() {
+            if self.chans[idx].send_rule {
+                let mut s = self.clone();
+                s.chans[idx].send_rule = false;
+                out.push(s);
+            }
+            if self.chans[idx].receive_rule {
+                let mut s = self.clone();
+                s.chans[idx].receive_rule = false;
+                out.push(s);
+            }
+        }
+        if let Some(aud) = &self.auditor {
+            if aud.arms.len() > 1 {
+                for k in 0..aud.arms.len() {
+                    let mut s = self.clone();
+                    s.auditor.as_mut().expect("cloned auditor").arms.remove(k);
+                    out.push(s);
+                }
+            }
+            if aud.delete_rule {
+                let mut s = self.clone();
+                s.auditor.as_mut().expect("cloned auditor").delete_rule = false;
+                out.push(s);
+            }
+        }
+        for k in 0..self.db_rows.len() {
+            let mut s = self.clone();
+            s.db_rows.remove(k);
+            out.push(s);
+        }
+        if self.queue_bound > 1 {
+            let mut s = self.clone();
+            s.queue_bound = 1;
+            out.push(s);
+        }
+        out
+    }
+}
+
+impl fmt::Display for CaseSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "queue_bound: {}", self.queue_bound)?;
+        writeln!(
+            f,
+            "relays: [{}]",
+            self.relays
+                .iter()
+                .map(|i| format!("W{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )?;
+        for c in &self.chans {
+            if !self.chan_live(c) {
+                continue;
+            }
+            writeln!(
+                f,
+                "channel c{}: W{} -> W{} (arity {}, send_rule: {}, receive_rule: {})",
+                c.index, c.sender, c.receiver, c.arity, c.send_rule, c.receive_rule
+            )?;
+        }
+        match &self.auditor {
+            None => writeln!(f, "auditor: none")?,
+            Some(a) => writeln!(
+                f,
+                "auditor: ring {} (arms {:?}, delete_rule: {})",
+                a.ring, a.arms, a.delete_rule
+            )?,
+        }
+        let rows: Vec<String> = self
+            .db_rows
+            .iter()
+            .filter(|(r, _)| self.relays.contains(r))
+            .map(|(r, v)| format!("W{r}.d(\"{v}\")"))
+            .collect();
+        writeln!(f, "database: [{}]", rows.join(", "))?;
+        write!(f, "property: {}", self.property)
+    }
+}
+
+/// Draws the structured form of one random case. Consumes **exactly** the
+/// RNG draws [`case`] consumes, in the same order — pinned sub-seeds from
+/// swarm failures replay the identical case through either entry point.
+pub fn spec(rng: &mut XorShift) -> CaseSpec {
     let with_auditor = rng.bool();
     let relays = if with_auditor { 2 } else { 2 + rng.range(0, 2) };
     let queue_bound = 1 + rng.range(0, 2);
 
-    let mut b = CompositionBuilder::new();
-    b.semantics(Semantics {
-        queue_bound,
-        ..Semantics::default()
-    });
-    b.default_lossy(true);
-
     // Channels among the relay peers; the first is always arity 1 so the
     // property templates below can target it.
     let nchan = 1 + rng.range(0, 2);
-    let mut chans: Vec<(String, usize, usize, usize)> = Vec::new();
+    let mut chans: Vec<ChanSpec> = Vec::new();
     for j in 0..nchan {
         let s = rng.range(0, relays);
         let mut r = rng.range(0, relays);
@@ -59,85 +365,45 @@ pub fn case(rng: &mut XorShift) -> Case {
             r = (s + 1) % relays;
         }
         let arity = if j == 0 { 1 } else { 1 + rng.range(0, 2) };
-        let name = format!("c{j}");
-        b.channel(
-            &name,
+        chans.push(ChanSpec {
+            index: j,
             arity,
-            QueueKind::Flat,
-            &format!("W{s}"),
-            &format!("W{r}"),
-        );
-        chans.push((name, arity, s, r));
+            sender: s,
+            receiver: r,
+            send_rule: true,
+            receive_rule: true,
+        });
     }
 
-    for i in 0..relays {
-        let mut p = b.peer(&format!("W{i}"));
-        p.database("d", 1)
-            .input("pick", 1)
-            .input_rule("pick", &["x"], "d(x)");
-        for (name, arity, s, _) in &chans {
-            if *s != i {
-                continue;
-            }
-            if *arity == 1 {
-                p.send_rule(name, &["x"], "pick(x)");
-            } else {
-                p.send_rule(name, &["x", "y"], "pick(x) and pick(y)");
-            }
-        }
-        for (j, (name, arity, _, r)) in chans.iter().enumerate() {
-            if *r != i {
-                continue;
-            }
-            let st = format!("seen{j}");
-            if *arity == 1 {
-                p.state(&st, 1)
-                    .state_insert_rule(&st, &["x"], &format!("?{name}(x)"));
-            } else {
-                p.state(&st, 2)
-                    .state_insert_rule(&st, &["x", "y"], &format!("?{name}(x, y)"));
-            }
-        }
-    }
-
-    if with_auditor {
+    let auditor = if with_auditor {
         // Deterministic ring rotation over `ring` phase constants —
         // quantifier-free, so input-bounded; channel-free, so statically
         // independent of every relay peer.
         let ring = 2 + rng.range(0, 2);
-        let occupied = (0..ring)
-            .map(|i| format!("phase(\"r{i}\")"))
-            .collect::<Vec<_>>()
-            .join(" or ");
-        let mut arms = vec![format!("(x = \"r0\" and not ({occupied}))")];
-        for i in 0..ring {
-            arms.push(format!("(x = \"r{}\" and phase(\"r{i}\"))", (i + 1) % ring));
-        }
-        b.peer("Aud")
-            .state("phase", 1)
-            .state_insert_rule("phase", &["x"], &arms.join(" or "))
-            .state_delete_rule("phase", &["x"], "phase(x)");
-    }
-
-    let mut composition = b.build().expect("generated composition is well-formed");
+        Some(AuditorSpec {
+            ring,
+            arms: (0..=ring).collect(),
+            delete_rule: true,
+        })
+    } else {
+        None
+    };
 
     // A small fixed database: each relay peer's `d` holds a (possibly
     // empty) subset of two constants.
-    let mut database = Instance::empty(&composition.voc);
+    let mut db_rows: Vec<(usize, &'static str)> = Vec::new();
     for i in 0..relays {
-        let rel = composition.voc.lookup(&format!("W{i}.d")).unwrap();
         for name in ["a", "b"] {
             if rng.bool() {
-                let v = composition.symbols.intern(name);
-                database.relation_mut(rel).insert(Tuple::new(vec![v]));
+                db_rows.push((i, name));
             }
         }
     }
 
     // Property templates over the first (arity-1) channel.
-    let (c, _, s, r) = &chans[0];
-    let s = format!("W{s}");
-    let r = format!("W{r}");
+    let c = format!("c{}", chans[0].index);
+    let s = format!("W{}", chans[0].sender);
+    let r = format!("W{}", chans[0].receiver);
     let property = match rng.range(0, 6) {
         0 => format!("G (forall x: {r}.?{c}(x) -> {s}.d(x))"),
         1 => format!("G (forall x: {r}.?{c}(x) -> false)"),
@@ -149,10 +415,45 @@ pub fn case(rng: &mut XorShift) -> Case {
         _ => format!("(forall x: {r}.?{c}(x) -> false) U (exists x: {s}.pick(x))"),
     };
 
-    Case {
-        composition,
-        database,
+    CaseSpec {
+        queue_bound,
+        relays: (0..relays).collect(),
+        chans,
+        auditor,
+        db_rows,
         property,
+    }
+}
+
+/// Draws one random case.
+pub fn case(rng: &mut XorShift) -> Case {
+    spec(rng)
+        .build()
+        .expect("generated composition is well-formed")
+}
+
+/// Greedy delta-debugging: repeatedly tries the one-step cuts of
+/// [`CaseSpec::candidates`] and keeps a cut iff the spec still builds and
+/// `failing` still holds on the rebuilt case, restarting from the smaller
+/// spec until no cut survives. The result is 1-minimal with respect to the
+/// cut set.
+///
+/// `failing` is typically `|case| catch_unwind(|| check(case)).is_err()` —
+/// install a quiet panic hook around the call to keep the shrink loop's
+/// expected panics out of the test output.
+pub fn minimize(spec: &CaseSpec, mut failing: impl FnMut(&Case) -> bool) -> CaseSpec {
+    let mut current = spec.clone();
+    'outer: loop {
+        for cand in current.candidates() {
+            debug_assert!(cand.size() < current.size(), "cuts must shrink the spec");
+            if let Ok(case) = cand.build() {
+                if failing(&case) {
+                    current = cand;
+                    continue 'outer;
+                }
+            }
+        }
+        return current;
     }
 }
 
@@ -170,5 +471,48 @@ mod tests {
                 .expect("generated composition is input-bounded");
             assert!(!case.property.is_empty());
         });
+    }
+
+    #[test]
+    fn spec_consumes_the_same_rng_stream_as_case() {
+        crate::gen::cases(64, crate::seed_from("compgen_spec_alignment"), |rng| {
+            let seed = rng.next_u64() | 1;
+            let mut a = XorShift::new(seed);
+            let mut b = XorShift::new(seed);
+            let sp = spec(&mut a);
+            let built = sp.build().expect("spec builds");
+            let drawn = case(&mut b);
+            assert_eq!(built.property, drawn.property);
+            // Same number of draws consumed → the streams stay aligned.
+            assert_eq!(a.next_u64(), b.next_u64());
+        });
+    }
+
+    #[test]
+    fn minimize_reaches_a_small_fixpoint() {
+        // A seed whose spec carries an auditor; the predicate only needs
+        // the auditor's phase state, so everything else must be cut.
+        let mut seed = 1u64;
+        let sp = loop {
+            let mut rng = XorShift::new(seed);
+            let sp = spec(&mut rng);
+            if sp.auditor.is_some() && sp.size() > 6 {
+                break sp;
+            }
+            seed += 1;
+        };
+        let min = minimize(&sp, |case| {
+            case.composition.voc.lookup("Aud.phase").is_some()
+        });
+        assert!(min.size() < sp.size(), "minimizer made no progress");
+        let aud = min.auditor.as_ref().expect("predicate pins the auditor");
+        assert_eq!(aud.arms.len(), 1, "arms shrink to the floor");
+        assert!(!aud.delete_rule);
+        assert!(min.build().is_ok(), "the minimized spec still materializes");
+        // Re-minimizing is a no-op: the result is a fixpoint.
+        let again = minimize(&min, |case| {
+            case.composition.voc.lookup("Aud.phase").is_some()
+        });
+        assert_eq!(again.size(), min.size());
     }
 }

@@ -45,9 +45,17 @@ pub mod parallel;
 pub mod product;
 pub mod protocols;
 pub mod reduction;
+mod telemetry;
 pub mod verify;
 
 pub use counterexample::{Counterexample, RunStep};
 pub use verify::{
     DatabaseMode, Outcome, Reduction, Report, RuleEval, Verifier, VerifyError, VerifyOptions,
+};
+
+// Telemetry surface, re-exported so downstream users configure reporting
+// without depending on `ddws-telemetry` directly.
+pub use ddws_telemetry::{
+    validate_run_report, BufferReporter, Counters, HumanReporter, JsonLinesReporter, PhaseTimes,
+    Progress, Reporter, ReporterHandle, RunReport, Silent, SCHEMA_NAME, SCHEMA_VERSION,
 };

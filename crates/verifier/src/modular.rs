@@ -40,6 +40,7 @@ use ddws_logic::{Fo, LtlFo, LtlFoSentence, VarId};
 use ddws_model::Endpoint;
 use ddws_relational::{RelId, Value};
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 /// The spec after translation: body plus the variables hoisted from
 /// quantifiers that had to scope over introduced temporal operators.
@@ -69,6 +70,7 @@ impl Verifier {
         env_spec: &LtlFoSentence,
         opts: &VerifyOptions,
     ) -> Result<Report, VerifyError> {
+        let mut meta = crate::telemetry::RunMeta::new("check_modular", opts);
         let comp = self.composition();
         if comp.is_closed() {
             return Err(VerifyError::Unsupported(
@@ -181,6 +183,7 @@ impl Verifier {
         let valuations_checked = valuations.len();
         for valuation in valuations {
             let mut atoms = AtomRegistry::new();
+            let nba_start = Instant::now();
             let mut conjuncts: Vec<ddws_automata::Ltl> = Vec::new();
             for spec_val in &spec_valuations {
                 conjuncts.push(ground_ltlfo(&translated.body, spec_val, &mut atoms));
@@ -191,6 +194,7 @@ impl Verifier {
                 .reduce(ddws_automata::Ltl::and)
                 .expect("at least the negated property");
             let nba = ltl_to_nba(&ltl);
+            meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
             let mut system = ProductSystem::new(
                 self.composition(),
                 &base_db,
@@ -203,14 +207,28 @@ impl Verifier {
             if let Some(ind) = &reduction {
                 system = system.with_reduction(ind);
             }
-            let (lasso, s) = crate::parallel::search_product(&system, opts)?;
+            let tel = meta.engine_telemetry(opts, &shared);
+            let (lasso, s) = match crate::parallel::search_product(&system, opts, &tel) {
+                Ok(found) => found,
+                Err(err) => {
+                    if let VerifyError::Budget(b) = &err {
+                        stats.absorb(&b.stats);
+                        shared.fold_into(&mut stats);
+                        meta.finish(
+                            opts,
+                            "budget_exceeded",
+                            &stats,
+                            domain.len(),
+                            valuations_checked,
+                        );
+                    }
+                    return Err(err);
+                }
+            };
             stats.absorb(&s);
-            (
-                stats.rule_cache_hits,
-                stats.rule_cache_misses,
-                stats.rule_eval_ns,
-            ) = shared.rule_stats();
+            shared.fold_into(&mut stats);
             if let Some(lasso) = lasso {
+                let cex_start = Instant::now();
                 let cex = build_counterexample(
                     &system,
                     &base_db,
@@ -220,19 +238,25 @@ impl Verifier {
                     lasso.prefix,
                     lasso.cycle,
                 );
+                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
+                let telemetry =
+                    meta.finish(opts, "violated", &stats, domain.len(), valuations_checked);
                 return Ok(Report {
                     outcome: Outcome::Violated(Box::new(cex)),
                     stats,
                     domain,
                     valuations_checked,
+                    telemetry,
                 });
             }
         }
+        let telemetry = meta.finish(opts, "holds", &stats, domain.len(), valuations_checked);
         Ok(Report {
             outcome: Outcome::Holds,
             stats,
             domain,
             valuations_checked,
+            telemetry,
         })
     }
 

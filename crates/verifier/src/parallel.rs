@@ -19,20 +19,24 @@
 
 use crate::product::{PState, ProductSystem};
 use crate::verify::{VerifyError, VerifyOptions};
-use ddws_automata::emptiness::{find_accepting_lasso_budget, Lasso, SearchStats};
-use ddws_automata::parallel::find_accepting_lasso_budget_parallel;
+use ddws_automata::emptiness::{find_accepting_lasso_budget_with, Lasso, SearchStats};
+use ddws_automata::parallel::find_accepting_lasso_budget_parallel_with;
+use ddws_telemetry::EngineTelemetry;
 
 /// Runs the product search with the engine `opts.threads` selects:
 /// `None` → sequential nested DFS (CVWY), `Some(n)` → parallel
 /// reachability + SCC lasso extraction with `n` workers (`Some(0)` →
-/// all available cores).
+/// all available cores). `tel` carries the run's progress reporter into
+/// the engine's hot loop; pass [`EngineTelemetry::silent`] when no one is
+/// listening.
 pub fn search_product(
     system: &ProductSystem<'_>,
     opts: &VerifyOptions,
+    tel: &EngineTelemetry<'_>,
 ) -> Result<(Option<Lasso<PState>>, SearchStats), VerifyError> {
     match opts.threads {
-        None => find_accepting_lasso_budget(system, opts.max_states),
-        Some(n) => find_accepting_lasso_budget_parallel(system, opts.max_states, n),
+        None => find_accepting_lasso_budget_with(system, opts.max_states, tel),
+        Some(n) => find_accepting_lasso_budget_parallel_with(system, opts.max_states, n, tel),
     }
     .map_err(VerifyError::Budget)
 }

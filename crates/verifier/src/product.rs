@@ -28,10 +28,13 @@ use ddws_model::{
     CompiledRules, Composition, Config, EvalCtx, IndependenceOracle, Mover, RuleCache,
 };
 use ddws_relational::{Instance, Value};
+use ddws_telemetry::{RuleMeterSource, SearchStats};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// A state of the product system.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -186,6 +189,12 @@ pub struct SharedSearch {
     /// Footprint-keyed rule memo table and rule-evaluation metrics; `None`
     /// leaves evaluation unmetered (the pre-compilation behaviour).
     rule_cache: Option<RuleCache>,
+    /// Nanoseconds spent computing fresh boot expansions (cache misses in
+    /// `boots` — re-reads cost nothing and are not timed).
+    boot_ns: AtomicU64,
+    /// Nanoseconds spent computing fresh composition steps (cache misses
+    /// in `steps`).
+    step_ns: AtomicU64,
 }
 
 impl SharedSearch {
@@ -236,6 +245,33 @@ impl SharedSearch {
         match &self.rule_cache {
             Some(c) => (c.hits(), c.misses(), c.eval_ns()),
             None => (0, 0, 0),
+        }
+    }
+
+    /// Writes this shared state's accumulated meters — rule-cache counts,
+    /// rule-evaluation time, boot and successor phase spans — into `stats`.
+    ///
+    /// The write *overwrites* (rather than adds): one `SharedSearch` spans
+    /// every valuation of a run, so its counters are already run totals.
+    /// Callers that build a fresh `SharedSearch` per sub-search fold each
+    /// one and then `absorb` the per-search stats as usual.
+    pub fn fold_into(&self, stats: &mut SearchStats) {
+        if let Some(c) = &self.rule_cache {
+            stats.rule_evals = c.evals();
+            stats.rule_cache_hits = c.hits();
+            stats.rule_cache_misses = c.misses();
+            stats.rule_eval_ns = c.eval_ns();
+        }
+        stats.boot_ns = self.boot_ns.load(Ordering::Relaxed);
+        stats.successor_ns = self.step_ns.load(Ordering::Relaxed);
+    }
+}
+
+impl RuleMeterSource for SharedSearch {
+    fn rule_cache_counts(&self) -> (u64, u64) {
+        match &self.rule_cache {
+            Some(c) => (c.hits(), c.misses()),
+            None => (0, 0),
         }
     }
 }
@@ -324,6 +360,7 @@ impl<'a> ProductSystem<'a> {
         if let Some(cached) = self.shared.boots.get(&oracle) {
             return cached;
         }
+        let start = Instant::now();
         let o = self.oracle(oracle);
         let db = RecordingDb::new(self.base_db, self.universe, &o);
         let configs = self
@@ -334,6 +371,9 @@ impl<'a> ProductSystem<'a> {
             None => Ok(configs.into_iter().map(|c| self.intern_config(c)).collect()),
         };
         self.shared.boots.insert(oracle, result.clone());
+        self.shared
+            .boot_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         result
     }
 
@@ -343,6 +383,7 @@ impl<'a> ProductSystem<'a> {
         if let Some(cached) = self.shared.steps.get(&key) {
             return cached;
         }
+        let start = Instant::now();
         let o = self.oracle(oracle);
         let cfg = self.config(config);
         let db = RecordingDb::new(self.base_db, self.universe, &o);
@@ -354,6 +395,9 @@ impl<'a> ProductSystem<'a> {
             None => Ok(next.into_iter().map(|c| self.intern_config(c)).collect()),
         };
         self.shared.steps.insert(key, result.clone());
+        self.shared
+            .step_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         result
     }
 

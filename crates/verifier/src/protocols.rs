@@ -26,6 +26,7 @@ use ddws_logic::input_bounded::check_input_bounded_fo;
 use ddws_protocol::{DataAgnosticProtocol, DataAwareProtocol};
 use ddws_relational::Value;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Complements a protocol automaton, preferring the deterministic
 /// construction.
@@ -74,9 +75,32 @@ impl Verifier {
         for fo in atoms_fo {
             atoms.push(fo);
         }
+        let mut meta = crate::telemetry::RunMeta::new("protocol_data_agnostic", opts);
+        // Protocol checks have no LTL → NBA translation; complementation
+        // plays the same role, so it lands in the same phase timer.
+        let nba_start = Instant::now();
         let violation_nba = complement_protocol(&protocol.automaton);
+        meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
         let domain = self.protocol_domain(opts);
-        self.run_protocol_search(&violation_nba, atoms, &domain, &[], opts)
+        let (outcome, stats) =
+            match self.run_protocol_search(&violation_nba, atoms, &domain, &[], opts, &mut meta) {
+                Ok(found) => found,
+                Err(err) => {
+                    if let VerifyError::Budget(b) = &err {
+                        meta.finish(opts, "budget_exceeded", &b.stats, domain.len(), 1);
+                    }
+                    return Err(err);
+                }
+            };
+        let label = if outcome.holds() { "holds" } else { "violated" };
+        let telemetry = meta.finish(opts, label, &stats, domain.len(), 1);
+        Ok(Report {
+            outcome,
+            stats,
+            domain,
+            valuations_checked: 1,
+            telemetry,
+        })
     }
 
     /// Checks a data-aware conversation protocol with observer-at-recipient
@@ -119,44 +143,65 @@ impl Verifier {
         self.composition_mut().observe_flags(&observed);
         self.composition_mut().freeze_unobserved(&observed);
 
+        let mut meta = crate::telemetry::RunMeta::new("protocol_data_aware", opts);
+        let nba_start = Instant::now();
         let violation_nba = complement_protocol(&protocol.automaton);
+        meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
         let domain = self.protocol_domain(opts);
         let vars = protocol.free_vars();
         let (constants, fresh) = self.split_domain(&domain);
-        let mut total = Report {
-            outcome: Outcome::Holds,
-            stats: SearchStats::default(),
-            domain: domain.clone(),
-            valuations_checked: 0,
-        };
+        let mut stats = SearchStats::default();
+        let mut valuations_checked = 0usize;
         for valuation in canonical_valuations(&vars, &constants, &fresh) {
-            total.valuations_checked += 1;
+            valuations_checked += 1;
             let mut atoms = AtomRegistry::new();
             for g in &protocol.guards {
                 atoms.push(g.substitute(&|v| valuation.get(&v).copied()));
             }
-            match self.run_protocol_search(
+            let (outcome, s) = match self.run_protocol_search(
                 &violation_nba,
                 atoms,
                 &domain,
                 &vars.iter().map(|v| (*v, valuation[v])).collect::<Vec<_>>(),
                 opts,
-            )? {
-                Report {
+                &mut meta,
+            ) {
+                Ok(found) => found,
+                Err(err) => {
+                    if let VerifyError::Budget(b) = &err {
+                        stats.absorb(&b.stats);
+                        meta.finish(
+                            opts,
+                            "budget_exceeded",
+                            &stats,
+                            domain.len(),
+                            valuations_checked,
+                        );
+                    }
+                    return Err(err);
+                }
+            };
+            stats.absorb(&s);
+            if let Outcome::Violated(cex) = outcome {
+                let telemetry =
+                    meta.finish(opts, "violated", &stats, domain.len(), valuations_checked);
+                return Ok(Report {
                     outcome: Outcome::Violated(cex),
                     stats,
-                    ..
-                } => {
-                    total.stats.absorb(&stats);
-                    total.outcome = Outcome::Violated(cex);
-                    return Ok(total);
-                }
-                Report { stats, .. } => {
-                    total.stats.absorb(&stats);
-                }
+                    domain,
+                    valuations_checked,
+                    telemetry,
+                });
             }
         }
-        Ok(total)
+        let telemetry = meta.finish(opts, "holds", &stats, domain.len(), valuations_checked);
+        Ok(Report {
+            outcome: Outcome::Holds,
+            stats,
+            domain,
+            valuations_checked,
+            telemetry,
+        })
     }
 
     /// Domain for protocol checks: rule constants plus fresh values.
@@ -168,6 +213,10 @@ impl Verifier {
         self.domain_for(&trivially_closed, opts)
     }
 
+    /// One product search against the complemented protocol. Returns the
+    /// per-search outcome and stats (rule and phase meters from the
+    /// search-local `SharedSearch` already folded in — including into a
+    /// budget error's stats, so callers can aggregate either way).
     fn run_protocol_search(
         &mut self,
         violation_nba: &Nba,
@@ -175,7 +224,8 @@ impl Verifier {
         domain: &[Value],
         valuation: &[(ddws_logic::VarId, Value)],
         opts: &VerifyOptions,
-    ) -> Result<Report, VerifyError> {
+        meta: &mut crate::telemetry::RunMeta,
+    ) -> Result<(Outcome, SearchStats), VerifyError> {
         let (base_db, universe) = self.database_setup_pub(&opts.database, domain);
         let comp = self.composition();
         let shared = match opts.rule_eval {
@@ -191,15 +241,20 @@ impl Verifier {
             &atoms,
             &shared,
         );
-        let (lasso, mut stats) = crate::parallel::search_product(&system, opts)?;
-        (
-            stats.rule_cache_hits,
-            stats.rule_cache_misses,
-            stats.rule_eval_ns,
-        ) = shared.rule_stats();
+        let tel = meta.engine_telemetry(opts, &shared);
+        let (lasso, mut stats) = match crate::parallel::search_product(&system, opts, &tel) {
+            Ok(found) => found,
+            Err(VerifyError::Budget(mut b)) => {
+                shared.fold_into(&mut b.stats);
+                return Err(VerifyError::Budget(b));
+            }
+            Err(err) => return Err(err),
+        };
+        shared.fold_into(&mut stats);
         let outcome = match lasso {
             None => Outcome::Holds,
             Some(lasso) => {
+                let cex_start = Instant::now();
                 let vars: Vec<ddws_logic::VarId> = valuation.iter().map(|(v, _)| *v).collect();
                 let map: std::collections::HashMap<ddws_logic::VarId, Value> =
                     valuation.iter().copied().collect();
@@ -212,14 +267,10 @@ impl Verifier {
                     lasso.prefix,
                     lasso.cycle,
                 );
+                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
                 Outcome::Violated(Box::new(cex))
             }
         };
-        Ok(Report {
-            outcome,
-            stats,
-            domain: domain.to_vec(),
-            valuations_checked: 1,
-        })
+        Ok((outcome, stats))
     }
 }

@@ -13,8 +13,10 @@ use ddws_logic::{LtlFo, LtlFoSentence, VarId};
 use ddws_model::builder::collect_constants;
 use ddws_model::{Composition, IndependenceOracle};
 use ddws_relational::{Instance, RelId, Value};
+use ddws_telemetry::{ReporterHandle, RunReport};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 /// How the ∃-quantification over databases is handled.
 #[derive(Clone, Debug, Default)]
@@ -89,6 +91,14 @@ pub struct VerifyOptions {
     pub reduction: Reduction,
     /// Rule-evaluation engine (default [`RuleEval::Compiled`]).
     pub rule_eval: RuleEval,
+    /// Where telemetry goes: progress snapshots while the search runs and
+    /// one [`RunReport`] when it finishes. Defaults to the silent reporter,
+    /// which costs one branch per ~1024 expanded states on the hot path.
+    pub reporter: ReporterHandle,
+    /// Minimum wall-clock spacing between progress snapshots; `None`
+    /// disables progress emission entirely (the final report still goes
+    /// out). Default: one second.
+    pub progress_interval: Option<Duration>,
 }
 
 impl Default for VerifyOptions {
@@ -102,6 +112,8 @@ impl Default for VerifyOptions {
             ib_options: IbOptions::default(),
             reduction: Reduction::default(),
             rule_eval: RuleEval::default(),
+            reporter: ReporterHandle::default(),
+            progress_interval: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -200,6 +212,9 @@ pub struct Report {
     pub domain: Vec<Value>,
     /// Number of universal-closure valuations examined.
     pub valuations_checked: usize,
+    /// The run report also emitted through [`VerifyOptions::reporter`]
+    /// (same counters as `stats`, plus phase timers and run labels).
+    pub telemetry: RunReport,
 }
 
 /// The verifier: owns the composition (its symbol/variable tables grow as
@@ -302,6 +317,7 @@ impl Verifier {
         property: &LtlFoSentence,
         opts: &VerifyOptions,
     ) -> Result<Report, VerifyError> {
+        let mut meta = crate::telemetry::RunMeta::new("check", opts);
         if opts.require_input_bounded {
             let mut violations = Vec::new();
             if let Err(vs) = self.comp.check_input_bounded(opts.ib_options) {
@@ -350,24 +366,41 @@ impl Verifier {
         let valuations_checked = valuations.len();
         for valuation in valuations {
             let mut atoms = AtomRegistry::new();
+            let nba_start = Instant::now();
             let ltl: Ltl = ground_ltlfo(&negated_body, &valuation, &mut atoms);
             let nba = ltl_to_nba(&ltl);
+            meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
             let mut system = ProductSystem::new(
                 &self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared,
             );
             if let Some(ind) = &reduction {
                 system = system.with_reduction(ind);
             }
-            let (lasso, s) = crate::parallel::search_product(&system, opts)?;
+            let tel = meta.engine_telemetry(opts, &shared);
+            let (lasso, s) = match crate::parallel::search_product(&system, opts, &tel) {
+                Ok(found) => found,
+                Err(err) => {
+                    // A budget abort still reports what the run saw so far.
+                    if let VerifyError::Budget(b) = &err {
+                        stats.absorb(&b.stats);
+                        shared.fold_into(&mut stats);
+                        meta.finish(
+                            opts,
+                            "budget_exceeded",
+                            &stats,
+                            domain.len(),
+                            valuations_checked,
+                        );
+                    }
+                    return Err(err);
+                }
+            };
             stats.absorb(&s);
-            // The rule-evaluation counters live in `shared` (they span
-            // valuations), so they overwrite rather than accumulate.
-            (
-                stats.rule_cache_hits,
-                stats.rule_cache_misses,
-                stats.rule_eval_ns,
-            ) = shared.rule_stats();
+            // The rule-evaluation and phase counters live in `shared` (they
+            // span valuations), so they overwrite rather than accumulate.
+            shared.fold_into(&mut stats);
             if let Some(lasso) = lasso {
+                let cex_start = Instant::now();
                 let cex = build_counterexample(
                     &system,
                     &base_db,
@@ -377,19 +410,25 @@ impl Verifier {
                     lasso.prefix,
                     lasso.cycle,
                 );
+                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
+                let telemetry =
+                    meta.finish(opts, "violated", &stats, domain.len(), valuations_checked);
                 return Ok(Report {
                     outcome: Outcome::Violated(Box::new(cex)),
                     stats,
                     domain,
                     valuations_checked,
+                    telemetry,
                 });
             }
         }
+        let telemetry = meta.finish(opts, "holds", &stats, domain.len(), valuations_checked);
         Ok(Report {
             outcome: Outcome::Holds,
             stats,
             domain,
             valuations_checked,
+            telemetry,
         })
     }
 

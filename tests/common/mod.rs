@@ -1,5 +1,9 @@
-//! Shared harness for the differential swarm (tests/swarm.rs) and its
-//! pinned regression seeds (tests/regressions.rs).
+//! Shared harness for the differential swarm (tests/swarm.rs), its pinned
+//! regression seeds (tests/regressions.rs), and the telemetry invariant
+//! suite (tests/telemetry_invariants.rs).
+
+// Each including test binary uses a subset of these helpers.
+#![allow(dead_code)]
 
 use ddws_model::{CompiledRules, Config, EvalCtx, RuleCache};
 use ddws_testkit::compgen;
@@ -11,7 +15,47 @@ use std::collections::HashSet;
 
 /// State budget for swarm cases: generous for the tiny generated
 /// compositions, so budget exhaustion stays the exception.
-const SWARM_BUDGET: u64 = 30_000;
+pub const SWARM_BUDGET: u64 = 30_000;
+
+/// Runs `check` on a freshly drawn case; if it panics, delta-debugs the
+/// case down to a 1-minimal spec that still fails, prints it, and
+/// re-raises the original panic (so `gen::cases` still reports the
+/// sub-seed to pin in tests/regressions.rs).
+pub fn shrink_on_failure(rng: &mut XorShift, check: fn(&compgen::Case)) {
+    let spec = compgen::spec(rng);
+    let case = spec.build().expect("generated composition is well-formed");
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&case)));
+    let Err(payload) = outcome else { return };
+    // Shrink quietly: the loop re-runs the failing check once per
+    // candidate cut, and every *accepted* cut would otherwise dump one
+    // more panic message and backtrace into the output.
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let min = compgen::minimize(&spec, |c| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(c))).is_err()
+    });
+    std::panic::set_hook(prev);
+    eprintln!(
+        "swarm: minimized the failing case from {} to {} structural elements:\n{}",
+        spec.size(),
+        min.size(),
+        min
+    );
+    std::panic::resume_unwind(payload);
+}
+
+/// Whether the case's property is violated under the sequential full
+/// search — the reproduction predicate for the pinned shrinker regression.
+pub fn violates_seq_full(case: &compgen::Case) -> bool {
+    let mut v = Verifier::new(case.composition.clone());
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(case.database.clone()),
+        fresh_values: Some(1),
+        max_states: SWARM_BUDGET,
+        ..VerifyOptions::default()
+    };
+    matches!(v.check_str(&case.property, &opts), Ok(r) if !r.outcome.holds())
+}
 
 /// Draws one case and asserts that `Reduction::Ample` and
 /// `Reduction::Full` agree on its verdict.
@@ -30,7 +74,12 @@ const SWARM_BUDGET: u64 = 30_000;
 /// Any other error (parse failure, input-boundedness rejection) is a
 /// generator bug and panics.
 pub fn assert_case_agrees(rng: &mut XorShift) {
-    let case = compgen::case(rng);
+    case_agrees(&compgen::case(rng));
+}
+
+/// [`assert_case_agrees`] on an already-materialized case (the form the
+/// shrinker re-runs).
+pub fn case_agrees(case: &compgen::Case) {
     let run = |reduction: Reduction| -> Result<bool, VerifyError> {
         let mut v = Verifier::new(case.composition.clone());
         let opts = VerifyOptions {
@@ -77,8 +126,12 @@ pub fn assert_case_agrees(rng: &mut XorShift) {
 ///    plain interpreted `successors`), keeping the interpreter the oracle
 ///    of record.
 pub fn assert_compiled_agrees(rng: &mut XorShift) {
-    let case = compgen::case(rng);
+    compiled_agrees(&compgen::case(rng));
+}
 
+/// [`assert_compiled_agrees`] on an already-materialized case (the form
+/// the shrinker re-runs).
+pub fn compiled_agrees(case: &compgen::Case) {
     // --- 1. Tuple-for-tuple successor agreement on the composition. ---
     let mut v = Verifier::new(case.composition.clone());
     let opts = VerifyOptions {

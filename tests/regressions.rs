@@ -37,3 +37,31 @@ fn pinned_compiled_seeds_stay_green() {
         common::assert_compiled_agrees(&mut rng);
     }
 }
+
+/// A pinned sub-seed whose case is violated under the sequential full
+/// search and shrinks substantially: the 14-element spec (two channels, a
+/// second relay's worth of rules, two database rows) minimizes to the
+/// 5-element violating core — two relays, the property's channel with its
+/// send rule, and the one database row that lets the sender fire.
+const SHRINKABLE: u64 = 15;
+const SHRUNK_SIZE: usize = 5;
+
+#[test]
+fn pinned_shrinkable_seed_minimizes_to_its_core() {
+    let mut rng = XorShift::new(SHRINKABLE);
+    let spec = ddws_testkit::compgen::spec(&mut rng);
+    let case = spec.build().expect("pinned spec builds");
+    assert!(
+        common::violates_seq_full(&case),
+        "pinned seed no longer violates `{}`",
+        case.property
+    );
+    let min = ddws_testkit::compgen::minimize(&spec, common::violates_seq_full);
+    assert!(min.size() < spec.size(), "minimizer made no progress");
+    assert_eq!(min.size(), SHRUNK_SIZE, "minimized spec drifted:\n{min}");
+    let min_case = min.build().expect("minimized spec builds");
+    assert!(
+        common::violates_seq_full(&min_case),
+        "minimized spec must still violate"
+    );
+}

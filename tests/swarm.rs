@@ -1,9 +1,11 @@
 //! Differential swarm: 200+ randomly generated compositions, each checked
 //! under `Reduction::Full` and `Reduction::Ample`, asserting verdict
-//! agreement (see `common::assert_case_agrees` for the budget semantics).
+//! agreement (see `common::case_agrees` for the budget semantics).
 //!
-//! Failures print the per-case sub-seed; pin it in `tests/regressions.rs`
-//! so it stays covered forever.
+//! Failures are delta-debugged first (`common::shrink_on_failure` /
+//! `compgen::minimize`): the harness prints a 1-minimal spec that still
+//! fails the same check, then the per-case sub-seed; pin the sub-seed in
+//! `tests/regressions.rs` so it stays covered forever.
 
 mod common;
 
@@ -12,7 +14,7 @@ use ddws_testkit::{gen, seed_from};
 #[test]
 fn full_and_ample_agree_on_200_random_cases() {
     gen::cases(200, seed_from("swarm_full_vs_ample"), |rng| {
-        common::assert_case_agrees(rng);
+        common::shrink_on_failure(rng, common::case_agrees);
     });
 }
 
@@ -23,6 +25,6 @@ fn compiled_and_interpreted_agree_on_200_random_cases() {
     // verdicts across {seq, par2} × {Full, Ample}, with every compiled
     // counterexample replaying under the interpreter.
     gen::cases(200, seed_from("swarm_compiled_vs_interpreted"), |rng| {
-        common::assert_compiled_agrees(rng);
+        common::shrink_on_failure(rng, common::compiled_agrees);
     });
 }

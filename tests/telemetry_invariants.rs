@@ -1,0 +1,442 @@
+//! Metamorphic invariants over the telemetry counters (DESIGN.md §3.9).
+//!
+//! Every completed verification must satisfy, regardless of engine,
+//! reduction, or rule-evaluation mode:
+//!
+//! * `rule_cache_hits + rule_cache_misses == rule_evals` — every metered
+//!   evaluation books exactly one cache outcome;
+//! * under `Reduction::Full`, `ample_hits == full_expansions == 0`;
+//! * under an *active* ample reduction, `ample_hits + full_expansions ==
+//!   states_expanded` — every expansion is classified (when the reduction
+//!   gates itself off, e.g. for an `X`-shaped property, both sides are 0);
+//! * the `RunReport` counters equal `Counters::from_stats(&report.stats)`
+//!   — the report is the stats, not a second bookkeeping path;
+//! * sharded-merge totals are exact: the parallel engine's worker-local
+//!   counters, merged at join, give the same `states_visited` /
+//!   `states_expanded` / `transitions_explored` at every worker count
+//!   (the full exploration is schedule-independent), and the same
+//!   `states_visited` as the sequential engine on `Holds` verdicts;
+//! * on a sequential both-`Holds` pair, the ample search visits no more
+//!   states than the full search.
+//!
+//! Exercised over the 200-case random swarm and the scenario library.
+
+mod common;
+
+use ddws::scenarios::{bank_loan, chains, ecommerce, travel};
+use ddws_model::{builder::ENV, CompositionBuilder, QueueKind, Semantics};
+use ddws_protocol::{automata_shapes, DataAgnosticProtocol, DataAwareProtocol, Observer};
+use ddws_relational::{Instance, Tuple};
+use ddws_telemetry::{validate_run_report, Json};
+use ddws_testkit::{compgen, gen, seed_from};
+use ddws_verifier::{
+    BufferReporter, Counters, DatabaseMode, Reduction, Report, ReporterHandle, RunReport, Verifier,
+    VerifyError, VerifyOptions, SCHEMA_NAME, SCHEMA_VERSION,
+};
+use std::sync::Arc;
+
+fn run_case(case: &compgen::Case, threads: Option<usize>, reduction: Reduction) -> Option<Report> {
+    let mut v = Verifier::new(case.composition.clone());
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(case.database.clone()),
+        fresh_values: Some(1),
+        max_states: common::SWARM_BUDGET,
+        threads,
+        reduction,
+        ..VerifyOptions::default()
+    };
+    match v.check_str(&case.property, &opts) {
+        Ok(r) => Some(r),
+        Err(VerifyError::Budget(_)) => None,
+        Err(e) => panic!("unverifiable case `{}`: {e}", case.property),
+    }
+}
+
+/// The per-run invariants every completed check must satisfy.
+fn assert_run_invariants(report: &Report, reduction: Reduction, label: &str) {
+    let c = &report.telemetry.counters;
+    assert_eq!(
+        *c,
+        Counters::from_stats(&report.stats),
+        "{label}: RunReport counters diverge from Report stats"
+    );
+    assert!(!c.truncated, "{label}: completed run flagged truncated");
+    assert_eq!(
+        c.rule_cache_hits + c.rule_cache_misses,
+        c.rule_evals,
+        "{label}: every metered rule evaluation books exactly one cache outcome"
+    );
+    match reduction {
+        Reduction::Full => {
+            assert_eq!(c.ample_hits, 0, "{label}: full search never reduces");
+            assert_eq!(
+                c.full_expansions, 0,
+                "{label}: full search never classifies"
+            );
+        }
+        Reduction::Ample => {
+            if c.ample_hits + c.full_expansions > 0 {
+                assert_eq!(
+                    c.ample_hits + c.full_expansions,
+                    c.states_expanded,
+                    "{label}: active reduction must classify every expansion"
+                );
+            }
+        }
+    }
+    assert_eq!(report.telemetry.entry_point, "check", "{label}");
+    assert_eq!(
+        report.telemetry.valuations_checked as usize, report.valuations_checked,
+        "{label}"
+    );
+    assert_eq!(
+        report.telemetry.domain_size as usize,
+        report.domain.len(),
+        "{label}"
+    );
+}
+
+#[test]
+fn stats_invariants_hold_on_200_swarm_cases() {
+    gen::cases(200, seed_from("telemetry_invariants"), |rng| {
+        let case = compgen::case(rng);
+
+        let seq_full = run_case(&case, None, Reduction::Full);
+        let seq_ample = run_case(&case, None, Reduction::Ample);
+        let par_full: Vec<Option<Report>> = [Some(1), Some(2), Some(4)]
+            .into_iter()
+            .map(|t| run_case(&case, t, Reduction::Full))
+            .collect();
+        let par2_ample = run_case(&case, Some(2), Reduction::Ample);
+
+        let labelled = [
+            ("seq/full", Reduction::Full, &seq_full),
+            ("seq/ample", Reduction::Ample, &seq_ample),
+            ("par1/full", Reduction::Full, &par_full[0]),
+            ("par2/full", Reduction::Full, &par_full[1]),
+            ("par4/full", Reduction::Full, &par_full[2]),
+            ("par2/ample", Reduction::Ample, &par2_ample),
+        ];
+        for (label, reduction, report) in labelled {
+            if let Some(r) = report {
+                assert_run_invariants(r, reduction, &format!("{label} `{}`", case.property));
+            }
+        }
+
+        // Sharded-merge exactness: the parallel engine always explores the
+        // full reachable product (the lasso analysis runs after the
+        // exploration), so at any worker count the merged totals must be
+        // identical — scheduling moves work between shards, never creates
+        // or loses it.
+        let completed_par: Vec<&Report> = par_full.iter().flatten().collect();
+        for pair in completed_par.windows(2) {
+            let (a, b) = (&pair[0].stats, &pair[1].stats);
+            assert_eq!(a.states_visited, b.states_visited, "`{}`", case.property);
+            assert_eq!(a.states_expanded, b.states_expanded, "`{}`", case.property);
+            assert_eq!(
+                a.transitions_explored, b.transitions_explored,
+                "`{}`",
+                case.property
+            );
+        }
+
+        // On `Holds` the sequential engine also explores everything, so its
+        // visited count must equal the parallel engines'.
+        if let Some(sf) = &seq_full {
+            if sf.outcome.holds() {
+                for pf in &completed_par {
+                    assert_eq!(
+                        sf.stats.states_visited, pf.stats.states_visited,
+                        "sharded merge diverges from the sequential total on `{}`",
+                        case.property
+                    );
+                }
+            }
+            // Reduction soundness, quantitatively: on a both-`Holds` pair
+            // the ample search explores a subgraph.
+            if let Some(sa) = &seq_ample {
+                if sf.outcome.holds() && sa.outcome.holds() {
+                    assert!(
+                        sa.stats.states_visited <= sf.stats.states_visited,
+                        "ample visited more states than full on `{}` ({} > {})",
+                        case.property,
+                        sa.stats.states_visited,
+                        sf.stats.states_visited
+                    );
+                }
+            }
+        }
+    });
+}
+
+type Setup = Box<dyn Fn() -> (Verifier, Instance)>;
+
+#[test]
+fn stats_invariants_hold_on_the_scenario_library() {
+    let setups: Vec<(&str, Setup, String)> = vec![
+        (
+            "bank_loan",
+            Box::new(|| {
+                let mut v = Verifier::new(bank_loan::composition(
+                    true,
+                    Semantics {
+                        nested_send_skips_empty: true,
+                        ..Semantics::default()
+                    },
+                ));
+                let db = bank_loan::demo_database(v.composition_mut());
+                (v, db)
+            }),
+            bank_loan::PROP_RATINGS_REFLECT_DB.to_string(),
+        ),
+        (
+            "ecommerce",
+            Box::new(|| {
+                let mut v = Verifier::new(ecommerce::composition(true, Semantics::default()));
+                let db = ecommerce::demo_database(v.composition_mut());
+                (v, db)
+            }),
+            ecommerce::PROP_CHARGES_ARE_VALID.to_string(),
+        ),
+        (
+            "travel",
+            Box::new(|| {
+                let mut v = Verifier::new(travel::composition(
+                    true,
+                    Semantics {
+                        nested_send_skips_empty: true,
+                        ..Semantics::default()
+                    },
+                ));
+                let db = travel::demo_database(v.composition_mut());
+                (v, db)
+            }),
+            travel::PROP_RESULTS_ARE_REAL.to_string(),
+        ),
+        (
+            "chains",
+            Box::new(|| {
+                let mut v = Verifier::new(chains::composition(3, true, Semantics::default()));
+                let db = chains::database(v.composition_mut(), 1);
+                (v, db)
+            }),
+            chains::prop_integrity(3),
+        ),
+        (
+            "auditor_chain",
+            Box::new(|| {
+                let mut v = Verifier::new(chains::composition_with_auditor(
+                    3,
+                    6,
+                    true,
+                    Semantics::default(),
+                ));
+                let db = chains::database(v.composition_mut(), 1);
+                (v, db)
+            }),
+            chains::prop_integrity(3),
+        ),
+    ];
+
+    for (name, setup, property) in &setups {
+        for threads in [None, Some(2)] {
+            for reduction in [Reduction::Full, Reduction::Ample] {
+                let (mut v, db) = setup();
+                let opts = VerifyOptions {
+                    database: DatabaseMode::Fixed(db),
+                    fresh_values: Some(1),
+                    threads,
+                    reduction,
+                    ..VerifyOptions::default()
+                };
+                let report = v
+                    .check_str(property, &opts)
+                    .expect("scenario verification completes");
+                assert_run_invariants(
+                    &report,
+                    reduction,
+                    &format!("{name} threads={threads:?} reduction={reduction:?}"),
+                );
+            }
+        }
+    }
+}
+
+/// Asserts the report validates against the documented schema and carries
+/// the expected entry-point label, returning it for further checks.
+fn assert_labelled(reports: Vec<RunReport>, entry: &str, outcome: &str) -> RunReport {
+    assert_eq!(
+        reports.len(),
+        1,
+        "{entry}: exactly one final report per run"
+    );
+    let r = reports.into_iter().next().unwrap();
+    assert_eq!(r.entry_point, entry);
+    assert_eq!(r.outcome, outcome, "{entry}");
+    let json = Json::parse(&r.to_json()).expect("canonical JSON parses");
+    validate_run_report(&json).unwrap_or_else(|e| panic!("{entry}: schema violation: {e}"));
+    assert_eq!(json.get("schema").and_then(Json::as_str), Some(SCHEMA_NAME));
+    assert_eq!(
+        json.get("version").and_then(Json::as_u64),
+        Some(SCHEMA_VERSION)
+    );
+    assert_eq!(
+        RunReport::from_json(&r.to_json()).expect("round-trip parses"),
+        r,
+        "{entry}: JSON round-trip lost information"
+    );
+    r
+}
+
+#[test]
+fn every_entry_point_emits_a_labelled_report() {
+    // `check`: the bank-loan scenario.
+    let buf = Arc::new(BufferReporter::new());
+    {
+        let mut v = Verifier::new(bank_loan::composition(
+            true,
+            Semantics {
+                nested_send_skips_empty: true,
+                ..Semantics::default()
+            },
+        ));
+        let db = bank_loan::demo_database(v.composition_mut());
+        let opts = VerifyOptions {
+            database: DatabaseMode::Fixed(db),
+            fresh_values: Some(1),
+            reporter: ReporterHandle::new(buf.clone()),
+            ..VerifyOptions::default()
+        };
+        let report = v
+            .check_str(bank_loan::PROP_RATINGS_REFLECT_DB, &opts)
+            .expect("check completes");
+        assert!(report.outcome.holds());
+        let r = assert_labelled(buf.take_reports(), "check", "holds");
+        assert_eq!(r, report.telemetry, "reporter copy equals the Report copy");
+    }
+
+    // `check_modular`: the open officer composition from examples/modular_loan.
+    {
+        let mut b = CompositionBuilder::new();
+        b.channel("getRating", 1, QueueKind::Flat, "O", ENV);
+        b.channel("rating", 2, QueueKind::Flat, ENV, "O");
+        b.peer("O")
+            .database("customer", 2)
+            .state("rated", 2)
+            .input("check", 1)
+            .input_rule("check", &["ssn"], "exists id: customer(id, ssn)")
+            .send_rule("getRating", &["ssn"], "check(ssn)")
+            .state_insert_rule("rated", &["ssn", "r"], "?rating(ssn, r)");
+        let mut v = Verifier::new(b.build().expect("open composition"));
+        let mut db = Instance::empty(&v.composition().voc);
+        let c1 = v.composition_mut().symbols.intern("c1");
+        let s1 = v.composition_mut().symbols.intern("s1");
+        let customer = v.composition().voc.lookup("O.customer").unwrap();
+        db.relation_mut(customer).insert(Tuple::new(vec![c1, s1]));
+        let opts = VerifyOptions {
+            database: DatabaseMode::Fixed(db),
+            fresh_values: Some(1),
+            reporter: ReporterHandle::new(buf.clone()),
+            ..VerifyOptions::default()
+        };
+        let property = v
+            .parse_property(
+                "G (forall ssn, r: O.?rating(ssn, r) -> \
+                   (r = \"poor\" or r = \"fair\" or r = \"good\" or r = \"excellent\"))",
+            )
+            .unwrap();
+        let spec = v
+            .parse_env_spec(
+                "G (forall ssn, r: ENV.!rating(ssn, r) -> \
+                   (r = \"poor\" or r = \"fair\" or r = \"good\" or r = \"excellent\"))",
+            )
+            .unwrap();
+        let report = v
+            .check_modular(&property, &spec, &opts)
+            .expect("modular check completes");
+        assert!(report.outcome.holds());
+        let r = assert_labelled(buf.take_reports(), "check_modular", "holds");
+        assert_eq!(r, report.telemetry);
+    }
+
+    // The protocol entry points: the request/response composition from
+    // examples/protocol_check.
+    {
+        let mut b = CompositionBuilder::new();
+        b.channel("getRating", 1, QueueKind::Flat, "O", "CR");
+        b.channel("rating", 2, QueueKind::Flat, "CR", "O");
+        b.peer("O")
+            .database("customer", 1)
+            .input("check", 1)
+            .input_rule("check", &["ssn"], "customer(ssn)")
+            .send_rule("getRating", &["ssn"], "check(ssn)");
+        b.peer("CR").database("creditRating", 2).send_rule(
+            "rating",
+            &["ssn", "cat"],
+            "?getRating(ssn) and creditRating(ssn, cat)",
+        );
+        let mut v = Verifier::new(b.build().expect("composition"));
+        let mut db = Instance::empty(&v.composition().voc);
+        let s1 = v.composition_mut().symbols.intern("s1");
+        let fair = v.composition_mut().symbols.intern("fair");
+        let customer = v.composition().voc.lookup("O.customer").unwrap();
+        let credit = v.composition().voc.lookup("CR.creditRating").unwrap();
+        db.relation_mut(customer).insert(Tuple::new(vec![s1]));
+        db.relation_mut(credit).insert(Tuple::new(vec![s1, fair]));
+        let opts = VerifyOptions {
+            database: DatabaseMode::Fixed(db),
+            fresh_values: Some(1),
+            reporter: ReporterHandle::new(buf.clone()),
+            ..VerifyOptions::default()
+        };
+
+        // `protocol_data_agnostic`: G(getRating -> F rating), violated
+        // under lossy channels.
+        let response = DataAgnosticProtocol::new(
+            v.composition(),
+            &["getRating", "rating"],
+            automata_shapes::response(2, 0, 1),
+            Observer::AtRecipient,
+        )
+        .unwrap();
+        let report = v
+            .check_data_agnostic(&response, &opts)
+            .expect("data-agnostic check completes");
+        assert!(!report.outcome.holds());
+        let r = assert_labelled(buf.take_reports(), "protocol_data_agnostic", "violated");
+        assert_eq!(r, report.telemetry);
+
+        // `protocol_data_aware`: every rating message is database-backed.
+        let aware = DataAwareProtocol::new(
+            v.composition_mut(),
+            &[(
+                "rating_is_db_backed",
+                "forall ssn, cat: CR.!rating(ssn, cat) -> CR.creditRating(ssn, cat)",
+            )],
+            automata_shapes::universal(1),
+        )
+        .unwrap();
+        let aware = {
+            use ddws_automata::{Guard, Nba};
+            let mut nba = Nba::new(1, 1);
+            nba.add_initial(0);
+            nba.add_transition(0, Guard::require(0), 0);
+            nba.accepting[0] = true;
+            DataAwareProtocol {
+                symbols: aware.symbols,
+                guards: aware.guards,
+                automaton: nba,
+            }
+        };
+        let report = v
+            .check_data_aware(&aware, &opts)
+            .expect("data-aware check completes");
+        let label = if report.outcome.holds() {
+            "holds"
+        } else {
+            "violated"
+        };
+        let r = assert_labelled(buf.take_reports(), "protocol_data_aware", label);
+        assert_eq!(r, report.telemetry);
+    }
+}
