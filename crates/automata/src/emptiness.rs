@@ -10,9 +10,11 @@
 //! it directly on the on-the-fly product of a composition with a property
 //! automaton without materializing either.
 
-use ddws_telemetry::EngineTelemetry;
-use std::collections::{HashMap, HashSet};
+use crate::limits::{payload_string, EngineCheckpoint, Interrupted, LimitedResult, SearchLimits};
+use ddws_telemetry::{AbortReason, EngineTelemetry};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::Hash;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -154,92 +156,309 @@ pub fn find_accepting_lasso_budget<TS: TransitionSystem>(
     find_accepting_lasso_budget_with(ts, max_states, &EngineTelemetry::silent())
 }
 
-/// [`find_accepting_lasso_budget`] with a telemetry bundle: periodic
-/// progress snapshots through the gate (frontier/depth = DFS stack depth)
-/// and the `lasso_ns` span covering the inner red searches.
+/// [`find_accepting_lasso_budget`] with a telemetry bundle.
+///
+/// Compatibility wrapper over [`find_accepting_lasso_limits_with`] for
+/// callers that only budget states: interruption maps back to
+/// [`BudgetExceeded`], and a panic in the transition system propagates
+/// (the limits-based API catches it into a typed stop instead).
 pub fn find_accepting_lasso_budget_with<TS: TransitionSystem>(
     ts: &TS,
     max_states: u64,
     tel: &EngineTelemetry<'_>,
 ) -> SearchResult<TS::State> {
-    let mut stats = SearchStats::default();
-    let mut blue: HashSet<TS::State> = HashSet::new();
-    let mut red: HashSet<TS::State> = HashSet::new();
-    let mut reducer: Reducer<TS> = Reducer::new(ts.reduction_active());
+    match find_accepting_lasso_limits_with(ts, &SearchLimits::states(max_states), tel) {
+        Ok(found) => Ok(found),
+        Err(stop) => match stop.reason {
+            AbortReason::WorkerPanicked { payload, .. } => {
+                std::panic::resume_unwind(Box::new(payload))
+            }
+            _ => Err(BudgetExceeded {
+                states_visited: stop.stats.states_visited,
+                stats: stop.stats,
+            }),
+        },
+    }
+}
 
-    struct Frame<S> {
-        state: S,
-        succs: Arc<[S]>,
-        next: usize,
+/// Sequential nested-DFS search under the full [`SearchLimits`] contract:
+/// periodic progress snapshots through the gate (frontier/depth = DFS
+/// stack depth), the `lasso_ns` span covering the inner red searches, and
+/// graceful, checkpointed stops for budget/deadline/cancellation. A panic
+/// inside the transition system is caught and reported as
+/// [`AbortReason::WorkerPanicked`] with the partial stats (no checkpoint).
+pub fn find_accepting_lasso_limits_with<TS: TransitionSystem>(
+    ts: &TS,
+    limits: &SearchLimits,
+    tel: &EngineTelemetry<'_>,
+) -> LimitedResult<TS::State> {
+    let mut engine = SeqEngine::fresh(ts);
+    drive_seq_engine(&mut engine, limits, tel)
+}
+
+/// Continues a sequential checkpoint. The frozen frontier (blue/red sets,
+/// DFS stack, expansion memo, remaining initial states) is restored
+/// verbatim, so the continuation explores exactly the states the
+/// uninterrupted run would have — the verdict is identical by
+/// construction.
+pub(crate) fn resume_seq<TS: TransitionSystem>(
+    ts: &TS,
+    cp: SeqCheckpoint<TS::State>,
+    limits: &SearchLimits,
+    tel: &EngineTelemetry<'_>,
+) -> LimitedResult<TS::State> {
+    let mut engine = SeqEngine::thaw(ts, cp);
+    drive_seq_engine(&mut engine, limits, tel)
+}
+
+/// Runs an engine to completion or graceful stop, catching panics from
+/// the transition system (and the fault hook) into a typed interruption
+/// with the partial statistics preserved.
+fn drive_seq_engine<TS: TransitionSystem>(
+    engine: &mut SeqEngine<'_, TS>,
+    limits: &SearchLimits,
+    tel: &EngineTelemetry<'_>,
+) -> LimitedResult<TS::State> {
+    let run = std::panic::catch_unwind(AssertUnwindSafe(|| engine.run(limits, tel)));
+    match run {
+        Ok(Ok(lasso)) => Ok((lasso, engine.stats)),
+        Ok(Err(reason)) => {
+            let mut stats = engine.stats;
+            stats.truncated = true;
+            Err(Box::new(Interrupted {
+                reason,
+                stats,
+                checkpoint: Some(EngineCheckpoint::Seq(engine.freeze())),
+            }))
+        }
+        Err(payload) => {
+            let mut stats = engine.stats;
+            stats.truncated = true;
+            Err(Box::new(Interrupted {
+                reason: AbortReason::WorkerPanicked {
+                    worker: 0,
+                    payload: payload_string(payload),
+                },
+                stats,
+                checkpoint: None,
+            }))
+        }
+    }
+}
+
+/// A frozen sequential search: the exact engine state at a graceful stop.
+/// Opaque; resume with
+/// [`resume_accepting_lasso_with`](crate::limits::resume_accepting_lasso_with).
+#[derive(Clone, Debug)]
+pub struct SeqCheckpoint<S> {
+    blue: HashSet<S>,
+    red: HashSet<S>,
+    /// `(state, memoized expansion, next successor index)` per DFS frame.
+    stack: Vec<(S, Arc<[S]>, usize)>,
+    pending_inits: VecDeque<S>,
+    expansions: HashMap<S, Arc<[S]>>,
+    stats: SearchStats,
+}
+
+impl<S> SeqCheckpoint<S> {
+    pub(crate) fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+}
+
+struct Frame<S> {
+    state: S,
+    succs: Arc<[S]>,
+    next: usize,
+}
+
+/// The sequential CVWY engine with its whole mutable state in one place,
+/// so a graceful stop can freeze it into a [`SeqCheckpoint`] and a panic
+/// still leaves the partial statistics readable.
+struct SeqEngine<'ts, TS: TransitionSystem> {
+    ts: &'ts TS,
+    blue: HashSet<TS::State>,
+    red: HashSet<TS::State>,
+    stack: Vec<Frame<TS::State>>,
+    pending_inits: VecDeque<TS::State>,
+    reducer: Reducer<TS>,
+    stats: SearchStats,
+    /// Loop iterations, for the strided deadline check (starts at 0 so an
+    /// expired deadline aborts before any expansion).
+    ticks: u64,
+    /// 1-based expansion ordinal handed to the fault hook.
+    fault_tick: u64,
+}
+
+impl<'ts, TS: TransitionSystem> SeqEngine<'ts, TS> {
+    fn fresh(ts: &'ts TS) -> Self {
+        SeqEngine {
+            ts,
+            blue: HashSet::new(),
+            red: HashSet::new(),
+            stack: Vec::new(),
+            pending_inits: ts.initial_states().into(),
+            reducer: Reducer::new(ts.reduction_active()),
+            stats: SearchStats::default(),
+            ticks: 0,
+            fault_tick: 0,
+        }
     }
 
-    for init in ts.initial_states() {
-        if blue.contains(&init) {
-            continue;
-        }
-        blue.insert(init.clone());
-        stats.states_visited += 1;
-        reducer.enter(&init);
-        let mut stack: Vec<Frame<TS::State>> = vec![Frame {
-            succs: reducer.expand(ts, &init, &mut stats),
-            state: init,
-            next: 0,
-        }];
-        while let Some(frame) = stack.last_mut() {
-            if stats.states_visited > max_states {
-                stats.truncated = true;
-                return Err(BudgetExceeded {
-                    states_visited: stats.states_visited,
-                    stats,
-                });
+    fn thaw(ts: &'ts TS, cp: SeqCheckpoint<TS::State>) -> Self {
+        let mut reducer = Reducer::new(ts.reduction_active());
+        reducer.expansions = cp.expansions;
+        if reducer.active {
+            // The C3 on-stack set is exactly the set of stacked states.
+            for (state, _, _) in &cp.stack {
+                reducer.on_stack.insert(state.clone());
             }
-            if frame.next < frame.succs.len() {
-                let succ = frame.succs[frame.next].clone();
-                frame.next += 1;
-                stats.transitions_explored += 1;
-                if !blue.contains(&succ) {
-                    blue.insert(succ.clone());
-                    stats.states_visited += 1;
-                    if stats.states_visited & PROGRESS_STRIDE_MASK == 0 {
+        }
+        let mut stats = cp.stats;
+        stats.truncated = false;
+        SeqEngine {
+            ts,
+            blue: cp.blue,
+            red: cp.red,
+            stack: cp
+                .stack
+                .into_iter()
+                .map(|(state, succs, next)| Frame { state, succs, next })
+                .collect(),
+            pending_inits: cp.pending_inits,
+            reducer,
+            stats,
+            ticks: 0,
+            fault_tick: 0,
+        }
+    }
+
+    fn freeze(&mut self) -> SeqCheckpoint<TS::State> {
+        SeqCheckpoint {
+            blue: std::mem::take(&mut self.blue),
+            red: std::mem::take(&mut self.red),
+            stack: std::mem::take(&mut self.stack)
+                .into_iter()
+                .map(|f| (f.state, f.succs, f.next))
+                .collect(),
+            pending_inits: std::mem::take(&mut self.pending_inits),
+            expansions: std::mem::take(&mut self.reducer.expansions),
+            stats: self.stats,
+        }
+    }
+
+    /// Marks `state` blue-visited and pushes its (possibly reduced,
+    /// memoized) expansion; fires the fault hook with the expansion
+    /// ordinal first.
+    fn visit(&mut self, state: TS::State, limits: &SearchLimits) {
+        self.blue.insert(state.clone());
+        self.stats.states_visited += 1;
+        self.fault_tick += 1;
+        if let Some(hook) = &limits.fault {
+            hook(self.fault_tick);
+        }
+        self.reducer.enter(&state);
+        self.stack.push(Frame {
+            succs: self.reducer.expand(self.ts, &state, &mut self.stats),
+            state,
+            next: 0,
+        });
+    }
+
+    /// The blue DFS. Abort checks run once per loop iteration — always
+    /// with the DFS stack in a consistent, freezable position:
+    /// cancellation every iteration (one relaxed load), the deadline on
+    /// the progress stride, the state budget against the running count.
+    fn run(
+        &mut self,
+        limits: &SearchLimits,
+        tel: &EngineTelemetry<'_>,
+    ) -> Result<Option<Lasso<TS::State>>, AbortReason> {
+        let max_states = limits.state_cap();
+        loop {
+            if let Some(token) = &limits.cancel {
+                if token.is_cancelled() {
+                    return Err(AbortReason::Cancelled {
+                        reason: token.reason().unwrap_or_default(),
+                    });
+                }
+            }
+            if self.ticks & PROGRESS_STRIDE_MASK == 0 {
+                if let Some(deadline) = &limits.deadline {
+                    if deadline.passed() {
+                        return Err(AbortReason::DeadlineExceeded {
+                            limit_ns: deadline.budget_ns,
+                        });
+                    }
+                }
+            }
+            self.ticks += 1;
+            if self.stats.states_visited > max_states {
+                return Err(AbortReason::StateBudget { max_states });
+            }
+            if self.stack.is_empty() {
+                let Some(init) = self.pending_inits.pop_front() else {
+                    return Ok(None);
+                };
+                if !self.blue.contains(&init) {
+                    self.visit(init, limits);
+                }
+                continue;
+            }
+            let next_succ = {
+                let frame = self.stack.last_mut().expect("stack is non-empty");
+                if frame.next < frame.succs.len() {
+                    let succ = frame.succs[frame.next].clone();
+                    frame.next += 1;
+                    Some(succ)
+                } else {
+                    None
+                }
+            };
+            if let Some(succ) = next_succ {
+                self.stats.transitions_explored += 1;
+                if !self.blue.contains(&succ) {
+                    self.visit(succ, limits);
+                    if self.stats.states_visited & PROGRESS_STRIDE_MASK == 0 {
                         tel.maybe_emit(
-                            stats.states_visited,
-                            stack.len() as u64,
-                            stack.len() as u64,
-                            stats.ample_hits,
-                            stats.full_expansions,
+                            self.stats.states_visited,
+                            self.stack.len() as u64,
+                            self.stack.len() as u64,
+                            self.stats.ample_hits,
+                            self.stats.full_expansions,
                         );
                     }
-                    reducer.enter(&succ);
-                    stack.push(Frame {
-                        succs: reducer.expand(ts, &succ, &mut stats),
-                        state: succ,
-                        next: 0,
-                    });
                 }
             } else {
                 // Postorder.
-                let state = frame.state.clone();
-                if ts.is_accepting(&state) {
+                let state = self.stack.last().expect("stack is non-empty").state.clone();
+                if self.ts.is_accepting(&state) {
                     let red_start = Instant::now();
-                    let cycle = red_search(ts, &state, &mut red, &mut reducer, &mut stats);
-                    stats.lasso_ns += red_start.elapsed().as_nanos() as u64;
+                    let cycle = red_search(
+                        self.ts,
+                        &state,
+                        &mut self.red,
+                        &mut self.reducer,
+                        &mut self.stats,
+                    );
+                    self.stats.lasso_ns += red_start.elapsed().as_nanos() as u64;
                     if let Some(cycle) = cycle {
                         // The blue stack spells the path from the initial
                         // state to `state` (inclusive at the top).
-                        let prefix: Vec<TS::State> = stack
+                        let prefix: Vec<TS::State> = self
+                            .stack
                             .iter()
-                            .take(stack.len() - 1)
+                            .take(self.stack.len() - 1)
                             .map(|f| f.state.clone())
                             .collect();
-                        return Ok((Some(Lasso { prefix, cycle }), stats));
+                        return Ok(Some(Lasso { prefix, cycle }));
                     }
                 }
-                reducer.leave(&state);
-                stack.pop();
+                self.reducer.leave(&state);
+                self.stack.pop();
             }
         }
     }
-    Ok((None, stats))
 }
 
 /// Per-search partial-order-reduction bookkeeping for the sequential

@@ -33,6 +33,7 @@
 pub mod complement;
 pub mod emptiness;
 pub mod guard;
+pub mod limits;
 pub mod ltl;
 pub mod nba;
 pub mod parallel;
@@ -41,12 +42,18 @@ pub mod translate;
 
 pub use emptiness::{
     find_accepting_lasso, find_accepting_lasso_budget, find_accepting_lasso_budget_with,
-    BudgetExceeded, Expansion, Lasso, SearchStats, TransitionSystem,
+    find_accepting_lasso_limits_with, BudgetExceeded, Expansion, Lasso, SearchStats, SeqCheckpoint,
+    TransitionSystem,
 };
 pub use guard::{Guard, Letter};
+pub use limits::{
+    resume_accepting_lasso_with, Deadline, EngineCheckpoint, Interrupted, LimitedResult,
+    SearchLimits,
+};
 pub use ltl::Ltl;
 pub use nba::{Nba, StateId};
 pub use parallel::{
     find_accepting_lasso_budget_parallel, find_accepting_lasso_budget_parallel_with,
+    find_accepting_lasso_limits_parallel_with, ParCheckpoint,
 };
 pub use translate::ltl_to_nba;

@@ -34,12 +34,14 @@
 use crate::emptiness::{
     BudgetExceeded, Lasso, SearchResult, SearchStats, TransitionSystem, PROGRESS_STRIDE_MASK,
 };
-use ddws_telemetry::EngineTelemetry;
+use crate::limits::{payload_string, EngineCheckpoint, Interrupted, LimitedResult, SearchLimits};
+use ddws_telemetry::{AbortReason, EngineTelemetry};
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 #[cfg(doc)]
@@ -56,13 +58,27 @@ fn shard_of<S: Hash>(s: &S) -> usize {
     (h.finish() as usize) & (VISIT_SHARDS - 1)
 }
 
+/// Recovers a poisoned lock: a panicking worker may die while holding a
+/// shard or queue lock, and the surviving workers must still be able to
+/// drain and merge — the guarded structures stay structurally valid.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
 struct Frontier<S> {
     visited: Vec<Mutex<HashSet<S>>>,
     queues: Vec<Mutex<VecDeque<S>>>,
     /// States enqueued or being expanded; 0 ⇒ exploration is complete.
     pending: AtomicUsize,
     visited_count: AtomicU64,
-    over_budget: AtomicBool,
+    /// Raised on any abort (budget, deadline, cancel, worker panic); every
+    /// worker breaks out of its loop when it observes the flag.
+    aborted: AtomicBool,
+    /// The first abort reason recorded; later trips keep the flag raised
+    /// but do not overwrite the reason.
+    abort_reason: Mutex<Option<AbortReason>>,
+    /// Global 1-based expansion ordinal for the fault hook.
+    expansion_ticks: AtomicU64,
     max_states: u64,
 }
 
@@ -73,24 +89,36 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
             queues: (0..workers).map(|_| Mutex::default()).collect(),
             pending: AtomicUsize::new(0),
             visited_count: AtomicU64::new(0),
-            over_budget: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            abort_reason: Mutex::new(None),
+            expansion_ticks: AtomicU64::new(0),
             max_states,
         }
     }
 
-    /// Marks `s` visited; returns false if it already was. Trips the budget
+    /// Records an abort: first reason wins, flag stays raised.
+    fn trip(&self, reason: AbortReason) {
+        let mut slot = relock(&self.abort_reason);
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        self.aborted.store(true, Ordering::Relaxed);
+    }
+
+    /// Marks `s` visited; returns false if it already was. Trips the abort
     /// flag when the visited count passes `max_states` (mirroring the
     /// sequential engine's `states_visited > max_states` check).
     fn try_visit(&self, s: &S) -> bool {
-        let mut shard = self.visited[shard_of(s)]
-            .lock()
-            .expect("visited shard poisoned");
+        let mut shard = relock(&self.visited[shard_of(s)]);
         if !shard.insert(s.clone()) {
             return false;
         }
+        drop(shard);
         let count = self.visited_count.fetch_add(1, Ordering::Relaxed) + 1;
         if count > self.max_states {
-            self.over_budget.store(true, Ordering::Relaxed);
+            self.trip(AbortReason::StateBudget {
+                max_states: self.max_states,
+            });
         }
         true
     }
@@ -98,7 +126,7 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
     /// Enqueues `s` on worker `w`'s deque.
     fn push(&self, w: usize, s: S) {
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.queues[w].lock().expect("queue poisoned").push_back(s);
+        relock(&self.queues[w]).push_back(s);
     }
 
     /// Whether `s` has already been marked visited (no insertion).
@@ -109,30 +137,32 @@ impl<S: Clone + Eq + Hash> Frontier<S> {
     /// visited and falls back to a full expansion — every cycle therefore
     /// contains a fully expanded node, which is exactly the cycle proviso.
     fn already_visited(&self, s: &S) -> bool {
-        self.visited[shard_of(s)]
-            .lock()
-            .expect("visited shard poisoned")
-            .contains(s)
+        relock(&self.visited[shard_of(s)]).contains(s)
     }
 
     /// Pops local work, or steals from another worker (oldest first, so
     /// stolen work is the coarsest-grained available).
     fn pop(&self, w: usize) -> Option<S> {
-        if let Some(s) = self.queues[w].lock().expect("queue poisoned").pop_back() {
+        if let Some(s) = relock(&self.queues[w]).pop_back() {
             return Some(s);
         }
         let n = self.queues.len();
         for i in 1..n {
             let victim = (w + i) % n;
-            if let Some(s) = self.queues[victim]
-                .lock()
-                .expect("queue poisoned")
-                .pop_front()
-            {
+            if let Some(s) = relock(&self.queues[victim]).pop_front() {
                 return Some(s);
             }
         }
         None
+    }
+
+    /// Drains the visited shards into one vector (checkpoint capture).
+    fn drain_visited(&self) -> Vec<S> {
+        let mut all = Vec::with_capacity(self.visited_count.load(Ordering::Relaxed) as usize);
+        for shard in &self.visited {
+            all.extend(relock(shard).drain());
+        }
+        all
     }
 }
 
@@ -146,24 +176,59 @@ struct WorkerLog<S> {
     full_expansions: u64,
 }
 
-fn explore_worker<TS: TransitionSystem>(
+impl<S> WorkerLog<S> {
+    fn new() -> Self {
+        WorkerLog {
+            edges: Vec::new(),
+            transitions: 0,
+            expanded: 0,
+            ample_hits: 0,
+            full_expansions: 0,
+        }
+    }
+}
+
+/// The worker body. Writes into a caller-owned log so a panic (caught by
+/// the `catch_unwind` wrapper in [`run_exploration`]) still leaves the
+/// partial counters and edge records mergeable.
+///
+/// Abort checks at the loop top: the shared abort flag and the cancel
+/// token every iteration (one relaxed load each), the deadline on the
+/// progress stride — first checked on iteration 0, so an expired deadline
+/// stops the worker before it expands anything.
+fn explore_worker_into<TS: TransitionSystem>(
     ts: &TS,
     frontier: &Frontier<TS::State>,
     w: usize,
+    limits: &SearchLimits,
     tel: &EngineTelemetry<'_>,
-) -> WorkerLog<TS::State> {
+    log: &mut WorkerLog<TS::State>,
+) {
     let reduction = ts.reduction_active();
-    let mut log = WorkerLog {
-        edges: Vec::new(),
-        transitions: 0,
-        expanded: 0,
-        ample_hits: 0,
-        full_expansions: 0,
-    };
+    let mut ticks: u64 = 0;
     loop {
-        if frontier.over_budget.load(Ordering::Relaxed) {
+        if frontier.aborted.load(Ordering::Relaxed) {
             break;
         }
+        if let Some(token) = &limits.cancel {
+            if token.is_cancelled() {
+                frontier.trip(AbortReason::Cancelled {
+                    reason: token.reason().unwrap_or_default(),
+                });
+                break;
+            }
+        }
+        if ticks & PROGRESS_STRIDE_MASK == 0 {
+            if let Some(deadline) = &limits.deadline {
+                if deadline.passed() {
+                    frontier.trip(AbortReason::DeadlineExceeded {
+                        limit_ns: deadline.budget_ns,
+                    });
+                    break;
+                }
+            }
+        }
+        ticks += 1;
         let Some(state) = frontier.pop(w) else {
             if frontier.pending.load(Ordering::SeqCst) == 0 {
                 break;
@@ -174,6 +239,9 @@ fn explore_worker<TS: TransitionSystem>(
         // One expansion per dequeued state; worker-local counters only (the
         // shared atomics are touched once per ~1024 expansions below).
         log.expanded += 1;
+        if let Some(hook) = &limits.fault {
+            hook(frontier.expansion_ticks.fetch_add(1, Ordering::Relaxed) + 1);
+        }
         if log.expanded & PROGRESS_STRIDE_MASK == 0 {
             tel.maybe_emit(
                 frontier.visited_count.load(Ordering::Relaxed),
@@ -203,17 +271,18 @@ fn explore_worker<TS: TransitionSystem>(
         };
         log.transitions += succs.len() as u64;
         for succ in succs.iter() {
-            if frontier.over_budget.load(Ordering::Relaxed) {
+            if frontier.aborted.load(Ordering::Relaxed) {
                 break;
             }
             if frontier.try_visit(succ) {
                 frontier.push(w, succ.clone());
             }
         }
+        // The edge record lands even when the successor loop aborted early:
+        // resume treats recorded-but-unvisited targets as pending work.
         log.edges.push((state, succs));
         frontier.pending.fetch_sub(1, Ordering::SeqCst);
     }
-    log
 }
 
 /// Parallel counterpart of [`find_accepting_lasso_budget`]: same signature
@@ -231,64 +300,232 @@ pub fn find_accepting_lasso_budget_parallel<TS: TransitionSystem>(
     find_accepting_lasso_budget_parallel_with(ts, max_states, threads, &EngineTelemetry::silent())
 }
 
-/// [`find_accepting_lasso_budget_parallel`] with a telemetry bundle: each
-/// worker checks the progress gate on a coarse local-expansion stride
-/// (frontier = pending queue size, depth reported as 0 — the exploration
-/// is breadth-ordered), and the sequential analysis phase is timed into
-/// `lasso_ns`.
+/// [`find_accepting_lasso_budget_parallel`] with a telemetry bundle.
+///
+/// Compatibility wrapper over
+/// [`find_accepting_lasso_limits_parallel_with`] for callers that only
+/// budget states: interruption maps back to [`BudgetExceeded`], and a
+/// worker panic propagates (the limits-based API catches it into a typed
+/// stop instead).
 pub fn find_accepting_lasso_budget_parallel_with<TS: TransitionSystem>(
     ts: &TS,
     max_states: u64,
     threads: usize,
     tel: &EngineTelemetry<'_>,
 ) -> SearchResult<TS::State> {
+    match find_accepting_lasso_limits_parallel_with(
+        ts,
+        &SearchLimits::states(max_states),
+        threads,
+        tel,
+    ) {
+        Ok(found) => Ok(found),
+        Err(stop) => match stop.reason {
+            AbortReason::WorkerPanicked { payload, .. } => {
+                std::panic::resume_unwind(Box::new(payload))
+            }
+            _ => Err(BudgetExceeded {
+                states_visited: stop.stats.states_visited,
+                stats: stop.stats,
+            }),
+        },
+    }
+}
+
+/// Parallel lasso search under the full [`SearchLimits`] contract: each
+/// worker checks the progress gate on a coarse local-expansion stride
+/// (frontier = pending queue size, depth reported as 0 — the exploration
+/// is breadth-ordered), the sequential analysis phase is timed into
+/// `lasso_ns`, and any stop — budget, deadline, cancellation, or a
+/// panicking worker — drains the surviving workers, merges their partial
+/// statistics, and returns a typed [`Interrupted`] (with a resumable
+/// checkpoint for every reason except a panic).
+pub fn find_accepting_lasso_limits_parallel_with<TS: TransitionSystem>(
+    ts: &TS,
+    limits: &SearchLimits,
+    threads: usize,
+    tel: &EngineTelemetry<'_>,
+) -> LimitedResult<TS::State> {
     let workers = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         threads
     };
-
-    let frontier = Frontier::new(workers, max_states);
-    let initial = ts.initial_states();
-    for (i, init) in initial.iter().enumerate() {
+    let frontier = Frontier::new(workers, limits.state_cap());
+    for (i, init) in ts.initial_states().iter().enumerate() {
         if frontier.try_visit(init) {
             frontier.push(i % workers, init.clone());
         }
     }
+    run_exploration(
+        ts,
+        frontier,
+        workers,
+        limits,
+        tel,
+        SearchStats::default(),
+        Vec::new(),
+    )
+}
 
+/// A frozen parallel search: the merged visited set and edge relation at
+/// a graceful stop. Opaque; resume with
+/// [`resume_accepting_lasso_with`](crate::limits::resume_accepting_lasso_with).
+#[derive(Clone, Debug)]
+pub struct ParCheckpoint<S> {
+    visited: Vec<S>,
+    edges: EdgeList<S>,
+    workers: usize,
+    stats: SearchStats,
+}
+
+/// The materialized edge relation: each expanded state with its memoized
+/// successor slice.
+type EdgeList<S> = Vec<(S, Arc<[S]>)>;
+
+impl<S> ParCheckpoint<S> {
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    pub(crate) fn stats(&self) -> &SearchStats {
+        &self.stats
+    }
+}
+
+/// Continues a parallel checkpoint. The frontier is reconstructed from
+/// the frozen visited set and edge relation: every visited state without
+/// a recorded expansion is re-enqueued (covering states whose expansion
+/// an abort cut short), and every recorded-but-unvisited edge target is
+/// visited and enqueued. Re-expansion is idempotent — the visited set
+/// already contains everything the first run saw, so the reachable set
+/// (and hence the verdict) matches an uninterrupted run.
+pub(crate) fn resume_par<TS: TransitionSystem>(
+    ts: &TS,
+    cp: ParCheckpoint<TS::State>,
+    limits: &SearchLimits,
+    tel: &EngineTelemetry<'_>,
+) -> LimitedResult<TS::State> {
+    let workers = cp.workers.max(1);
+    let frontier = Frontier::new(workers, limits.state_cap());
+    frontier
+        .visited_count
+        .store(cp.visited.len() as u64, Ordering::Relaxed);
+    for s in &cp.visited {
+        relock(&frontier.visited[shard_of(s)]).insert(s.clone());
+    }
+    let expanded: HashSet<&TS::State> = cp.edges.iter().map(|(src, _)| src).collect();
+    let mut next_queue = 0usize;
+    for s in &cp.visited {
+        if !expanded.contains(s) {
+            frontier.push(next_queue % workers, s.clone());
+            next_queue += 1;
+        }
+    }
+    for (_, succs) in &cp.edges {
+        for t in succs.iter() {
+            if frontier.try_visit(t) {
+                frontier.push(next_queue % workers, t.clone());
+                next_queue += 1;
+            }
+        }
+    }
+    let mut prior_stats = cp.stats;
+    prior_stats.truncated = false;
+    run_exploration(ts, frontier, workers, limits, tel, prior_stats, cp.edges)
+}
+
+/// Spawns the workers (each body wrapped in `catch_unwind`; a panicking
+/// worker trips the abort flag and the survivors drain), joins them,
+/// merges stats, and either reports the abort or runs the sequential
+/// analysis phase over `prior_edges` plus the freshly recorded edges.
+#[allow(clippy::too_many_arguments)]
+fn run_exploration<TS: TransitionSystem>(
+    ts: &TS,
+    frontier: Frontier<TS::State>,
+    workers: usize,
+    limits: &SearchLimits,
+    tel: &EngineTelemetry<'_>,
+    prior_stats: SearchStats,
+    prior_edges: EdgeList<TS::State>,
+) -> LimitedResult<TS::State> {
     let mut logs: Vec<WorkerLog<TS::State>> = Vec::with_capacity(workers);
+    let run_one = |w: usize, log: &mut WorkerLog<TS::State>| {
+        let body = AssertUnwindSafe(|| explore_worker_into(ts, &frontier, w, limits, tel, log));
+        if let Err(payload) = std::panic::catch_unwind(body) {
+            frontier.trip(AbortReason::WorkerPanicked {
+                worker: w,
+                payload: payload_string(payload),
+            });
+        }
+    };
     if workers == 1 {
-        logs.push(explore_worker(ts, &frontier, 0, tel));
+        let mut log = WorkerLog::new();
+        run_one(0, &mut log);
+        logs.push(log);
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
-                    let frontier = &frontier;
-                    scope.spawn(move || explore_worker(ts, frontier, w, tel))
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        let mut log = WorkerLog::new();
+                        run_one(w, &mut log);
+                        log
+                    })
                 })
                 .collect();
-            for h in handles {
-                logs.push(h.join().expect("exploration worker panicked"));
+            for (w, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(log) => logs.push(log),
+                    // Unreachable in practice (the worker body catches its
+                    // own panics), but never let a join kill the process.
+                    Err(payload) => frontier.trip(AbortReason::WorkerPanicked {
+                        worker: w,
+                        payload: payload_string(payload),
+                    }),
+                }
             }
         });
     }
 
     // Shard merge: each worker's plain counters fold into one block here,
-    // at join — the exploration hot path never touches shared stats.
-    let mut stats = SearchStats {
-        states_visited: frontier.visited_count.load(Ordering::Relaxed),
-        transitions_explored: logs.iter().map(|l| l.transitions).sum(),
-        states_expanded: logs.iter().map(|l| l.expanded).sum(),
-        ample_hits: logs.iter().map(|l| l.ample_hits).sum(),
-        full_expansions: logs.iter().map(|l| l.full_expansions).sum(),
-        ..SearchStats::default()
-    };
-    if frontier.over_budget.load(Ordering::Relaxed) {
+    // at join — the exploration hot path never touches shared stats. On a
+    // resumed run `prior_stats` carries the checkpointed counters and the
+    // visited count (seeded into the frontier) already spans both legs.
+    let mut stats = prior_stats;
+    stats.states_visited = frontier.visited_count.load(Ordering::Relaxed);
+    stats.transitions_explored += logs.iter().map(|l| l.transitions).sum::<u64>();
+    stats.states_expanded += logs.iter().map(|l| l.expanded).sum::<u64>();
+    stats.ample_hits += logs.iter().map(|l| l.ample_hits).sum::<u64>();
+    stats.full_expansions += logs.iter().map(|l| l.full_expansions).sum::<u64>();
+
+    if frontier.aborted.load(Ordering::Relaxed) {
+        let reason = relock(&frontier.abort_reason)
+            .take()
+            .unwrap_or(AbortReason::StateBudget {
+                max_states: frontier.max_states,
+            });
         stats.truncated = true;
-        return Err(BudgetExceeded {
-            states_visited: stats.states_visited,
+        let checkpoint = if matches!(reason, AbortReason::WorkerPanicked { .. }) {
+            None
+        } else {
+            let mut edges = prior_edges;
+            for log in logs {
+                edges.extend(log.edges);
+            }
+            Some(EngineCheckpoint::Par(ParCheckpoint {
+                visited: frontier.drain_visited(),
+                edges,
+                workers,
+                stats,
+            }))
+        };
+        return Err(Box::new(Interrupted {
+            reason,
             stats,
-        });
+            checkpoint,
+        }));
     }
 
     // ---- Sequential analysis over the materialized graph. ----
@@ -303,30 +540,32 @@ pub fn find_accepting_lasso_budget_parallel_with<TS: TransitionSystem>(
             })
         };
     let mut adj: Vec<Vec<usize>> = Vec::new();
-    for log in &logs {
-        for (src, succs) in &log.edges {
-            let si = intern(src, &mut nodes, &mut index);
-            if adj.len() <= si {
-                adj.resize(nodes.len(), Vec::new());
-            }
-            let targets: Vec<usize> = succs
-                .iter()
-                .map(|t| intern(t, &mut nodes, &mut index))
-                .collect();
+    let all_edges = prior_edges
+        .iter()
+        .chain(logs.iter().flat_map(|l| l.edges.iter()));
+    for (src, succs) in all_edges {
+        let si = intern(src, &mut nodes, &mut index);
+        if adj.len() <= si {
             adj.resize(nodes.len(), Vec::new());
-            adj[si] = targets;
         }
+        let targets: Vec<usize> = succs
+            .iter()
+            .map(|t| intern(t, &mut nodes, &mut index))
+            .collect();
+        adj.resize(nodes.len(), Vec::new());
+        adj[si] = targets;
     }
     adj.resize(nodes.len(), Vec::new());
 
     let accepting: Vec<bool> = nodes.iter().map(|s| ts.is_accepting(s)).collect();
-    let init_ids: Vec<usize> = initial
+    let init_ids: Vec<usize> = ts
+        .initial_states()
         .iter()
         .filter_map(|s| index.get(s).copied())
         .collect();
 
     let Some((entry, cycle_ids)) = find_accepting_cycle(&adj, &accepting) else {
-        stats.lasso_ns = analysis_start.elapsed().as_nanos() as u64;
+        stats.lasso_ns += analysis_start.elapsed().as_nanos() as u64;
         return Ok((None, stats));
     };
     let prefix_ids = shortest_path_from_any(&adj, &init_ids, entry)
@@ -340,7 +579,7 @@ pub fn find_accepting_lasso_budget_parallel_with<TS: TransitionSystem>(
         .map(|&i| nodes[i].clone())
         .collect();
     let cycle: Vec<TS::State> = cycle_ids.iter().map(|&i| nodes[i].clone()).collect();
-    stats.lasso_ns = analysis_start.elapsed().as_nanos() as u64;
+    stats.lasso_ns += analysis_start.elapsed().as_nanos() as u64;
     Ok((Some(Lasso { prefix, cycle }), stats))
 }
 

@@ -17,20 +17,26 @@
 //!   rate) throttled by a lock-free time gate.
 //! * [`EngineTelemetry`] — the bundle of references an engine threads
 //!   through its search loop.
+//! * [`CancelToken`] / [`AbortReason`] — the run-control layer: cooperative
+//!   cancellation, the taxonomy of graceful stops, and the test-only
+//!   [`FaultHook`] the deterministic fault injector uses.
 //!
 //! The crate is dependency-free on purpose: every other crate in the
 //! workspace can use it without cycles.
 
 #![warn(missing_docs)]
 
+pub mod control;
 pub mod json;
 pub mod report;
 pub mod reporter;
 pub mod stats;
 
+pub use control::{AbortReason, CancelToken, FaultHook};
 pub use json::Json;
 pub use report::{
-    validate_run_report, Counters, PhaseTimes, RunReport, SCHEMA_NAME, SCHEMA_VERSION,
+    validate_run_report, Abort, Counters, PhaseTimes, RunReport, MIN_SCHEMA_VERSION, SCHEMA_NAME,
+    SCHEMA_VERSION,
 };
 pub use reporter::{
     BufferReporter, EngineTelemetry, HumanReporter, JsonLinesReporter, Progress, ProgressGate,

@@ -3,21 +3,32 @@
 //! # Schema and versioning policy
 //!
 //! A report is a single JSON object whose first two fields identify it:
-//! `"schema": "ddws.run-report"` and `"version": 1`. Within a version the
+//! `"schema": "ddws.run-report"` and `"version": 2`. Within a version the
 //! field set and serialization order are frozen, so two reports from runs
 //! with identical non-timing behaviour are byte-identical after
 //! [`RunReport::redacted`]. Additive changes (new counters, new phases)
 //! bump the version; consumers should accept any version they know and
 //! reject unknown schema names. [`validate_run_report`] checks a parsed
-//! document against the current version.
+//! document against every version this crate understands.
+//!
+//! **Version history.** v1 froze the field set through `phases` with the
+//! outcome vocabulary `holds | violated | budget_exceeded`. v2 adds an
+//! optional `abort` object (`reason`, `budget`, `spent`, `resumable`) —
+//! present exactly when the run stopped without a verdict — and widens the
+//! outcome vocabulary with `deadline_exceeded`, `cancelled` and
+//! `worker_panicked`. [`RunReport::from_json`] still accepts v1 documents
+//! (their `abort` is `None`).
 
+use crate::control::AbortReason;
 use crate::json::Json;
 use crate::stats::SearchStats;
 
 /// The schema identifier every run report carries.
 pub const SCHEMA_NAME: &str = "ddws.run-report";
 /// The current schema version (frozen field set; bump on change).
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+/// The oldest schema version [`RunReport::from_json`] still accepts.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Verdict-relevant counters, copied out of [`SearchStats`] at the end of
 /// a run.
@@ -83,6 +94,50 @@ pub struct PhaseTimes {
     pub total_ns: u64,
 }
 
+/// How a run that stopped without a verdict stopped (schema v2).
+///
+/// Present on a report exactly when its outcome is one of the abort labels
+/// (`budget_exceeded`, `deadline_exceeded`, `cancelled`,
+/// `worker_panicked`); absent on `holds` and `violated`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Abort {
+    /// The abort label, equal to the report's outcome (see
+    /// [`AbortReason::label`]).
+    pub reason: String,
+    /// The exhausted budget in the reason's native unit: states for
+    /// `budget_exceeded`, nanoseconds for `deadline_exceeded`, 0 for
+    /// externally imposed stops (see [`AbortReason::budget`]).
+    pub budget: u64,
+    /// What the run had spent when it stopped: states visited for
+    /// `budget_exceeded` / `cancelled` / `worker_panicked`, elapsed
+    /// nanoseconds for `deadline_exceeded`.
+    pub spent: u64,
+    /// Whether the run captured a checkpoint a caller can resume from.
+    pub resumable: bool,
+}
+
+impl Abort {
+    /// Builds the abort object for a reason, with `spent` filled from the
+    /// unit the reason's budget is denominated in.
+    pub fn new(
+        reason: &AbortReason,
+        states_visited: u64,
+        elapsed_ns: u64,
+        resumable: bool,
+    ) -> Abort {
+        let spent = match reason {
+            AbortReason::DeadlineExceeded { .. } => elapsed_ns,
+            _ => states_visited,
+        };
+        Abort {
+            reason: reason.label().to_string(),
+            budget: reason.budget(),
+            spent,
+            resumable,
+        }
+    }
+}
+
 /// The final report of one verification run.
 ///
 /// Emitted by every entry point — `Verifier::check`, `check_modular`, the
@@ -100,8 +155,12 @@ pub struct RunReport {
     pub reduction: String,
     /// The rule-evaluation mode: `"compiled"` or `"interpreted"`.
     pub rule_eval: String,
-    /// `"holds"`, `"violated"`, or `"budget_exceeded"`.
+    /// `"holds"`, `"violated"`, or one of the abort labels
+    /// (`"budget_exceeded"`, `"deadline_exceeded"`, `"cancelled"`,
+    /// `"worker_panicked"`).
     pub outcome: String,
+    /// The abort object; `Some` exactly when the outcome is an abort label.
+    pub abort: Option<Abort>,
     /// Universal valuations checked before the outcome was reached.
     pub valuations_checked: u64,
     /// Size of the verification domain.
@@ -119,11 +178,13 @@ impl RunReport {
         self.to_json_value().to_string()
     }
 
-    /// The report as a [`Json`] value, in canonical field order.
+    /// The report as a [`Json`] value, in canonical field order. The
+    /// `abort` field is serialized exactly when present, right after
+    /// `outcome`.
     pub fn to_json_value(&self) -> Json {
         let c = &self.counters;
         let p = &self.phases;
-        Json::Object(vec![
+        let mut fields = vec![
             ("schema".into(), Json::Str(SCHEMA_NAME.into())),
             ("version".into(), Json::UInt(SCHEMA_VERSION)),
             ("entry_point".into(), Json::Str(self.entry_point.clone())),
@@ -131,6 +192,19 @@ impl RunReport {
             ("reduction".into(), Json::Str(self.reduction.clone())),
             ("rule_eval".into(), Json::Str(self.rule_eval.clone())),
             ("outcome".into(), Json::Str(self.outcome.clone())),
+        ];
+        if let Some(a) = &self.abort {
+            fields.push((
+                "abort".into(),
+                Json::Object(vec![
+                    ("reason".into(), Json::Str(a.reason.clone())),
+                    ("budget".into(), Json::UInt(a.budget)),
+                    ("spent".into(), Json::UInt(a.spent)),
+                    ("resumable".into(), Json::Bool(a.resumable)),
+                ]),
+            ));
+        }
+        fields.extend([
             (
                 "valuations_checked".into(),
                 Json::UInt(self.valuations_checked),
@@ -172,7 +246,8 @@ impl RunReport {
                     ("total_ns".into(), Json::UInt(p.total_ns)),
                 ]),
             ),
-        ])
+        ]);
+        Json::Object(fields)
     }
 
     /// Parses and validates a report from its JSON encoding.
@@ -185,12 +260,19 @@ impl RunReport {
         let cu = |key: &str| -> u64 { c.get(key).and_then(Json::as_u64).unwrap() };
         let p = v.get("phases").unwrap();
         let pu = |key: &str| -> u64 { p.get(key).and_then(Json::as_u64).unwrap() };
+        let abort = v.get("abort").map(|a| Abort {
+            reason: a.get("reason").and_then(Json::as_str).unwrap().to_string(),
+            budget: a.get("budget").and_then(Json::as_u64).unwrap(),
+            spent: a.get("spent").and_then(Json::as_u64).unwrap(),
+            resumable: a.get("resumable").and_then(Json::as_bool).unwrap(),
+        });
         Ok(RunReport {
             entry_point: s("entry_point"),
             engine: s("engine"),
             reduction: s("reduction"),
             rule_eval: s("rule_eval"),
             outcome: s("outcome"),
+            abort,
             valuations_checked: u("valuations_checked"),
             domain_size: u("domain_size"),
             counters: Counters {
@@ -218,17 +300,27 @@ impl RunReport {
     }
 
     /// A copy with every timing field zeroed, for byte-comparison of the
-    /// deterministic remainder across repeat runs.
+    /// deterministic remainder across repeat runs. This zeroes the phase
+    /// timers and, when an `abort` object is present, its `spent` field
+    /// (which is wall-clock-dependent for deadline aborts and
+    /// schedule-dependent for parallel runs).
     pub fn redacted(&self) -> RunReport {
         let mut r = self.clone();
         r.phases = PhaseTimes::default();
+        if let Some(a) = &mut r.abort {
+            a.spent = 0;
+        }
         r
     }
 }
 
-/// Validates a parsed JSON document against run-report schema version
-/// [`SCHEMA_VERSION`]: schema name, version, every required field with the
-/// right type, and a closed outcome vocabulary.
+/// Validates a parsed JSON document against every run-report schema
+/// version this crate understands ([`MIN_SCHEMA_VERSION`] ..=
+/// [`SCHEMA_VERSION`]): schema name, version, every required field with
+/// the right type, a closed per-version outcome vocabulary, and — for v2
+/// documents — the coherence rule that the `abort` object is present
+/// exactly when the outcome is an abort label, with `abort.reason` equal
+/// to the outcome.
 pub fn validate_run_report(v: &Json) -> Result<(), String> {
     if !matches!(v, Json::Object(_)) {
         return Err("run report must be a JSON object".into());
@@ -237,18 +329,55 @@ pub fn validate_run_report(v: &Json) -> Result<(), String> {
         Some(SCHEMA_NAME) => {}
         other => return Err(format!("bad schema field: {other:?}")),
     }
-    match v.get("version").and_then(Json::as_u64) {
-        Some(SCHEMA_VERSION) => {}
+    let version = match v.get("version").and_then(Json::as_u64) {
+        Some(n) if (MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&n) => n,
         other => return Err(format!("unsupported schema version: {other:?}")),
-    }
+    };
     for key in ["entry_point", "engine", "reduction", "rule_eval", "outcome"] {
         if v.get(key).and_then(Json::as_str).is_none() {
             return Err(format!("missing or non-string field `{key}`"));
         }
     }
     let outcome = v.get("outcome").and_then(Json::as_str).unwrap();
-    if !matches!(outcome, "holds" | "violated" | "budget_exceeded") {
-        return Err(format!("unknown outcome `{outcome}`"));
+    let abortish = matches!(
+        outcome,
+        "budget_exceeded" | "deadline_exceeded" | "cancelled" | "worker_panicked"
+    );
+    let known = match version {
+        1 => matches!(outcome, "holds" | "violated" | "budget_exceeded"),
+        _ => matches!(outcome, "holds" | "violated") || abortish,
+    };
+    if !known {
+        return Err(format!("unknown outcome `{outcome}` for version {version}"));
+    }
+    match (version, v.get("abort"), abortish) {
+        (1, None, _) => {}
+        (1, Some(_), _) => return Err("v1 report carries an `abort` object".into()),
+        (_, None, false) => {}
+        (_, None, true) => {
+            return Err(format!("outcome `{outcome}` requires an `abort` object"));
+        }
+        (_, Some(_), false) => {
+            return Err(format!("outcome `{outcome}` forbids an `abort` object"));
+        }
+        (_, Some(a), true) => {
+            match a.get("reason").and_then(Json::as_str) {
+                Some(reason) if reason == outcome => {}
+                other => {
+                    return Err(format!(
+                        "abort.reason {other:?} does not match outcome `{outcome}`"
+                    ));
+                }
+            }
+            for key in ["budget", "spent"] {
+                if a.get(key).and_then(Json::as_u64).is_none() {
+                    return Err(format!("missing or non-integer abort field `{key}`"));
+                }
+            }
+            if a.get("resumable").and_then(Json::as_bool).is_none() {
+                return Err("missing or non-bool abort field `resumable`".into());
+            }
+        }
     }
     for key in ["valuations_checked", "domain_size"] {
         if v.get(key).and_then(Json::as_u64).is_none() {
@@ -306,6 +435,7 @@ mod tests {
             reduction: "ample".into(),
             rule_eval: "compiled".into(),
             outcome: "holds".into(),
+            abort: None,
             valuations_checked: 3,
             domain_size: 4,
             counters: Counters {
@@ -341,13 +471,26 @@ mod tests {
         assert_eq!(decoded.to_json(), encoded);
     }
 
+    fn aborted_sample() -> RunReport {
+        let mut r = sample();
+        r.outcome = "budget_exceeded".into();
+        r.abort = Some(Abort {
+            reason: "budget_exceeded".into(),
+            budget: 100,
+            spent: 108,
+            resumable: true,
+        });
+        r.counters.truncated = true;
+        r
+    }
+
     #[test]
     fn validation_rejects_tampered_documents() {
         let r = sample();
         assert!(validate_run_report(&r.to_json_value()).is_ok());
         let bad_schema = r.to_json().replace("ddws.run-report", "other.schema");
         assert!(RunReport::from_json(&bad_schema).is_err());
-        let bad_version = r.to_json().replace("\"version\":1", "\"version\":99");
+        let bad_version = r.to_json().replace("\"version\":2", "\"version\":99");
         assert!(RunReport::from_json(&bad_version).is_err());
         let bad_outcome = r.to_json().replace("\"holds\"", "\"maybe\"");
         assert!(RunReport::from_json(&bad_outcome).is_err());
@@ -356,11 +499,72 @@ mod tests {
     }
 
     #[test]
-    fn redaction_zeroes_exactly_the_phase_timers() {
+    fn abort_object_round_trips() {
+        let r = aborted_sample();
+        let encoded = r.to_json();
+        assert!(encoded.contains("\"abort\":{\"reason\":\"budget_exceeded\""));
+        let decoded = RunReport::from_json(&encoded).unwrap();
+        assert_eq!(decoded, r);
+        assert_eq!(decoded.to_json(), encoded);
+    }
+
+    #[test]
+    fn abort_and_outcome_must_cohere() {
+        // Abort-ish outcome without an abort object.
+        let mut r = aborted_sample();
+        r.abort = None;
+        assert!(validate_run_report(&r.to_json_value()).is_err());
+        // Abort object on a verdict outcome.
+        let mut r = aborted_sample();
+        r.outcome = "holds".into();
+        assert!(validate_run_report(&r.to_json_value()).is_err());
+        // Reason disagreeing with the outcome.
+        let mut r = aborted_sample();
+        r.abort.as_mut().unwrap().reason = "cancelled".into();
+        assert!(validate_run_report(&r.to_json_value()).is_err());
+        // Wrongly typed `resumable`.
+        let bad = aborted_sample()
+            .to_json()
+            .replace("\"resumable\":true", "\"resumable\":1");
+        assert!(RunReport::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn v1_documents_are_still_accepted() {
+        // A v1 report: version 1, no abort object, v1 outcome vocabulary.
+        let v1 = sample()
+            .to_json()
+            .replace("\"version\":2", "\"version\":1")
+            .replace("\"holds\"", "\"budget_exceeded\"");
+        let decoded = RunReport::from_json(&v1).unwrap();
+        assert_eq!(decoded.outcome, "budget_exceeded");
+        assert_eq!(decoded.abort, None);
+        // The v2-only outcome vocabulary is rejected under version 1...
+        let v1_new_outcome = sample()
+            .to_json()
+            .replace("\"version\":2", "\"version\":1")
+            .replace("\"holds\"", "\"cancelled\"");
+        assert!(RunReport::from_json(&v1_new_outcome).is_err());
+        // ...and so is a v1 document carrying an abort object.
+        let v1_with_abort = aborted_sample()
+            .to_json()
+            .replace("\"version\":2", "\"version\":1");
+        assert!(RunReport::from_json(&v1_with_abort).is_err());
+    }
+
+    #[test]
+    fn redaction_zeroes_exactly_the_timing_fields() {
         let mut r = sample();
         let red = r.redacted();
         assert_eq!(red.phases, PhaseTimes::default());
         r.phases = PhaseTimes::default();
+        assert_eq!(red, r);
+        // For aborted runs, `spent` is timing/schedule-dependent too.
+        let mut r = aborted_sample();
+        let red = r.redacted();
+        assert_eq!(red.abort.as_ref().unwrap().spent, 0);
+        r.phases = PhaseTimes::default();
+        r.abort.as_mut().unwrap().spent = 0;
         assert_eq!(red, r);
     }
 }

@@ -463,6 +463,7 @@ mod tests {
             reduction: "full".into(),
             rule_eval: "compiled".into(),
             outcome: "holds".into(),
+            abort: None,
             valuations_checked: 1,
             domain_size: 2,
             counters: Counters::default(),

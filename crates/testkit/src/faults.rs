@@ -1,0 +1,160 @@
+//! Deterministic fault injection for the search engines.
+//!
+//! A [`FaultPlan`] is one seeded, reproducible fault: panic at the Nth
+//! state expansion, cancel at the Nth expansion, or start with an
+//! already-expired deadline. [`FaultPlan::arm`] turns the plan into the
+//! run-control ingredients a verifier options struct accepts — a
+//! [`FaultHook`] that fires on the engines' global expansion ordinal
+//! and/or a pre-wired [`CancelToken`] — so a swarm test can drive the
+//! *production* abort paths (no test-only engine forks) and assert the
+//! robustness contract per fault: no deadlock, no process abort, exactly
+//! one valid run report, coherent merged statistics, and
+//! resume-after-fault agreeing with the unfaulted verdict.
+//!
+//! Plans are drawn from a seeded [`XorShift`], so a failing fault case is
+//! pinned by its seed alone.
+
+use crate::rng::XorShift;
+use ddws_telemetry::{CancelToken, FaultHook};
+use std::sync::Arc;
+
+/// The panic message every injected panic carries, so harnesses can tell
+/// injected faults from genuine engine bugs.
+pub const INJECTED_PANIC: &str = "testkit: injected fault";
+
+/// One deterministic fault. Expansion ordinals are 1-based and global
+/// across workers (the engines' fault hook contract), so a plan fires at
+/// the same logical point for every engine and thread count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlan {
+    /// Panic inside the transition-system expansion at the given ordinal.
+    Panic(u64),
+    /// Cancel the run's token at the given expansion ordinal.
+    Cancel(u64),
+    /// Start the run with an already-expired deadline.
+    DeadlineNow,
+}
+
+/// A [`FaultPlan`] turned into run-control ingredients. Wire `hook` into
+/// the options' fault hook, `token` into its cancel token, and set the
+/// deadline to zero when `deadline_now` is set.
+pub struct ArmedFault {
+    /// The expansion-ordinal hook (`None` for [`FaultPlan::DeadlineNow`]).
+    pub hook: Option<FaultHook>,
+    /// The token the hook cancels (`Some` only for [`FaultPlan::Cancel`]).
+    pub token: Option<CancelToken>,
+    /// Whether the run should start with an expired deadline.
+    pub deadline_now: bool,
+}
+
+impl FaultPlan {
+    /// Draws one plan: the fault kind uniformly, the trigger ordinal
+    /// uniformly in `[1, max_tick]`.
+    pub fn draw(rng: &mut XorShift, max_tick: u64) -> FaultPlan {
+        let tick = 1 + rng.below(max_tick.max(1));
+        match rng.below(3) {
+            0 => FaultPlan::Panic(tick),
+            1 => FaultPlan::Cancel(tick),
+            _ => FaultPlan::DeadlineNow,
+        }
+    }
+
+    /// Arms the plan. Each call builds fresh state, so one plan can be
+    /// armed once per engine under test.
+    pub fn arm(&self) -> ArmedFault {
+        match self {
+            FaultPlan::Panic(n) => {
+                let n = *n;
+                ArmedFault {
+                    hook: Some(Arc::new(move |tick| {
+                        if tick == n {
+                            panic!("{INJECTED_PANIC} (panic at expansion {n})");
+                        }
+                    })),
+                    token: None,
+                    deadline_now: false,
+                }
+            }
+            FaultPlan::Cancel(n) => {
+                let n = *n;
+                let token = CancelToken::new();
+                let hook_token = token.clone();
+                ArmedFault {
+                    hook: Some(Arc::new(move |tick| {
+                        if tick == n {
+                            hook_token.cancel(format!("injected cancel at expansion {n}"));
+                        }
+                    })),
+                    token: Some(token),
+                    deadline_now: false,
+                }
+            }
+            FaultPlan::DeadlineNow => ArmedFault {
+                hook: None,
+                token: None,
+                deadline_now: true,
+            },
+        }
+    }
+
+    /// The run-report outcome label this fault produces **if it fires**
+    /// (a search that finishes before the trigger ordinal reaches its
+    /// ordinary verdict instead).
+    pub fn outcome_label(&self) -> &'static str {
+        match self {
+            FaultPlan::Panic(_) => "worker_panicked",
+            FaultPlan::Cancel(_) => "cancelled",
+            FaultPlan::DeadlineNow => "deadline_exceeded",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draw_is_deterministic_and_covers_all_kinds() {
+        let plans: Vec<FaultPlan> = {
+            let mut rng = XorShift::new(11);
+            (0..60).map(|_| FaultPlan::draw(&mut rng, 20)).collect()
+        };
+        let replay: Vec<FaultPlan> = {
+            let mut rng = XorShift::new(11);
+            (0..60).map(|_| FaultPlan::draw(&mut rng, 20)).collect()
+        };
+        assert_eq!(plans, replay);
+        assert!(plans.iter().any(|p| matches!(p, FaultPlan::Panic(_))));
+        assert!(plans.iter().any(|p| matches!(p, FaultPlan::Cancel(_))));
+        assert!(plans.iter().any(|p| matches!(p, FaultPlan::DeadlineNow)));
+        for p in &plans {
+            if let FaultPlan::Panic(n) | FaultPlan::Cancel(n) = p {
+                assert!((1..=20).contains(n), "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn armed_cancel_trips_its_token_at_the_ordinal() {
+        let armed = FaultPlan::Cancel(3).arm();
+        let hook = armed.hook.unwrap();
+        let token = armed.token.unwrap();
+        hook(1);
+        hook(2);
+        assert!(!token.is_cancelled());
+        hook(3);
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason().unwrap(), "injected cancel at expansion 3");
+    }
+
+    #[test]
+    fn armed_panic_fires_only_at_the_ordinal() {
+        let armed = FaultPlan::Panic(2).arm();
+        let hook = armed.hook.unwrap();
+        hook(1);
+        hook(3);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(2))).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains(INJECTED_PANIC));
+    }
+}

@@ -12,7 +12,9 @@
 //!   suites keep running offline, behind each crate's `proptest` feature;
 //! * [`compgen`] (feature `compgen`, pulls in `ddws-model`) — random small
 //!   compositions and input-bounded properties for differential swarm
-//!   tests (e.g. `Reduction::Ample` vs `Reduction::Full`).
+//!   tests (e.g. `Reduction::Ample` vs `Reduction::Full`);
+//! * [`faults`] — seeded deterministic fault plans (panic-at-Nth-expansion,
+//!   cancel-at-Nth, deadline-now) for driving the engines' abort paths.
 //!
 //! Everything is deterministic: a test's case stream is derived from the
 //! test's name (via [`seed_from`]), so failures reproduce without recording
@@ -22,6 +24,7 @@
 
 #[cfg(feature = "compgen")]
 pub mod compgen;
+pub mod faults;
 pub mod gen;
 pub mod proptest;
 pub mod rng;

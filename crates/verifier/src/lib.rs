@@ -50,12 +50,14 @@ pub mod verify;
 
 pub use counterexample::{Counterexample, RunStep};
 pub use verify::{
-    DatabaseMode, Outcome, Reduction, Report, RuleEval, Verifier, VerifyError, VerifyOptions,
+    Checkpoint, DatabaseMode, Inconclusive, Outcome, Reduction, Report, RuleEval, Verifier,
+    VerifyError, VerifyOptions,
 };
 
 // Telemetry surface, re-exported so downstream users configure reporting
-// without depending on `ddws-telemetry` directly.
+// and run control without depending on `ddws-telemetry` directly.
 pub use ddws_telemetry::{
-    validate_run_report, BufferReporter, Counters, HumanReporter, JsonLinesReporter, PhaseTimes,
-    Progress, Reporter, ReporterHandle, RunReport, Silent, SCHEMA_NAME, SCHEMA_VERSION,
+    validate_run_report, Abort, AbortReason, BufferReporter, CancelToken, Counters, FaultHook,
+    HumanReporter, JsonLinesReporter, PhaseTimes, Progress, Reporter, ReporterHandle, RunReport,
+    Silent, MIN_SCHEMA_VERSION, SCHEMA_NAME, SCHEMA_VERSION,
 };

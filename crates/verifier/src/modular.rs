@@ -31,7 +31,8 @@
 use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
 use crate::product::{ProductSystem, SharedSearch};
 use crate::verify::{
-    build_counterexample, Outcome, Report, RuleEval, Verifier, VerifyError, VerifyOptions,
+    build_counterexample, Inconclusive, Outcome, Report, RuleEval, Verifier, VerifyError,
+    VerifyOptions,
 };
 use ddws_automata::emptiness::SearchStats;
 use ddws_automata::ltl_to_nba;
@@ -39,6 +40,7 @@ use ddws_logic::input_bounded::check_input_bounded_sentence;
 use ddws_logic::{Fo, LtlFo, LtlFoSentence, VarId};
 use ddws_model::Endpoint;
 use ddws_relational::{RelId, Value};
+use ddws_telemetry::AbortReason;
 use std::collections::{BTreeSet, HashMap};
 use std::time::Instant;
 
@@ -178,6 +180,7 @@ impl Verifier {
             RuleEval::Compiled => SharedSearch::compiled(self.composition()),
             RuleEval::Interpreted => SharedSearch::interpreted_metered(),
         };
+        let limits = meta.limits(opts);
         let mut stats = SearchStats::default();
         let valuations = canonical_valuations(&property.universal_vars, &constants, &fresh);
         let valuations_checked = valuations.len();
@@ -208,21 +211,47 @@ impl Verifier {
                 system = system.with_reduction(ind);
             }
             let tel = meta.engine_telemetry(opts, &shared);
-            let (lasso, s) = match crate::parallel::search_product(&system, opts, &tel) {
+            let (lasso, s) = match crate::parallel::search_product(&system, opts, &limits, &tel) {
                 Ok(found) => found,
-                Err(err) => {
-                    if let VerifyError::Budget(b) = &err {
-                        stats.absorb(&b.stats);
-                        shared.fold_into(&mut stats);
-                        meta.finish(
+                Err(stop) => {
+                    stats.absorb(&stop.stats);
+                    shared.fold_into(&mut stats);
+                    if let AbortReason::WorkerPanicked { worker, payload } = &stop.reason {
+                        let report = meta.finish_abort(
                             opts,
-                            "budget_exceeded",
+                            &stop.reason,
+                            false,
                             &stats,
                             domain.len(),
                             valuations_checked,
                         );
+                        return Err(VerifyError::WorkerPanicked {
+                            worker: *worker,
+                            payload: payload.clone(),
+                            report: Box::new(report),
+                        });
                     }
-                    return Err(err);
+                    // Modular checks never capture checkpoints: the spec
+                    // translation is cheap to redo, so a fresh call with
+                    // laxer limits is the resume path.
+                    let telemetry = meta.finish_abort(
+                        opts,
+                        &stop.reason,
+                        false,
+                        &stats,
+                        domain.len(),
+                        valuations_checked,
+                    );
+                    return Ok(Report {
+                        outcome: Outcome::Inconclusive(Box::new(Inconclusive {
+                            reason: stop.reason,
+                            checkpoint: None,
+                        })),
+                        stats,
+                        domain,
+                        valuations_checked,
+                        telemetry,
+                    });
                 }
             };
             stats.absorb(&s);

@@ -15,18 +15,69 @@
 
 use crate::counterexample::Counterexample;
 use crate::ground::{canonical_valuations, AtomRegistry};
-use crate::product::{ProductSystem, SharedSearch};
+use crate::product::{PState, ProductSystem, SharedSearch};
 use crate::verify::{
-    build_counterexample, Outcome, Report, RuleEval, Verifier, VerifyError, VerifyOptions,
+    build_counterexample, Inconclusive, Outcome, Report, RuleEval, Verifier, VerifyError,
+    VerifyOptions,
 };
 use ddws_automata::complement::{complement, complement_deterministic, complete};
 use ddws_automata::emptiness::SearchStats;
-use ddws_automata::Nba;
+use ddws_automata::{Interrupted, Nba, SearchLimits};
 use ddws_logic::input_bounded::check_input_bounded_fo;
 use ddws_protocol::{DataAgnosticProtocol, DataAwareProtocol};
 use ddws_relational::Value;
+use ddws_telemetry::AbortReason;
 use std::collections::BTreeSet;
 use std::time::Instant;
+
+/// Maps a graceful engine stop to the protocol entry points' exit: a
+/// `worker_panicked` error, or `Ok` with [`Outcome::Inconclusive`] —
+/// either way, exactly one abort report is emitted. Protocol checks never
+/// capture checkpoints (complementation and guard grounding are cheap to
+/// redo), so the abort is marked non-resumable and a fresh call with
+/// laxer limits is the resume path.
+fn protocol_abort(
+    reason: AbortReason,
+    stats: SearchStats,
+    meta: &crate::telemetry::RunMeta,
+    opts: &VerifyOptions,
+    domain: Vec<Value>,
+    valuations_checked: usize,
+) -> Result<Report, VerifyError> {
+    if let AbortReason::WorkerPanicked { worker, payload } = &reason {
+        let report = meta.finish_abort(
+            opts,
+            &reason,
+            false,
+            &stats,
+            domain.len(),
+            valuations_checked,
+        );
+        return Err(VerifyError::WorkerPanicked {
+            worker: *worker,
+            payload: payload.clone(),
+            report: Box::new(report),
+        });
+    }
+    let telemetry = meta.finish_abort(
+        opts,
+        &reason,
+        false,
+        &stats,
+        domain.len(),
+        valuations_checked,
+    );
+    Ok(Report {
+        outcome: Outcome::Inconclusive(Box::new(Inconclusive {
+            reason,
+            checkpoint: None,
+        })),
+        stats,
+        domain,
+        valuations_checked,
+        telemetry,
+    })
+}
 
 /// Complements a protocol automaton, preferring the deterministic
 /// construction.
@@ -82,16 +133,19 @@ impl Verifier {
         let violation_nba = complement_protocol(&protocol.automaton);
         meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
         let domain = self.protocol_domain(opts);
-        let (outcome, stats) =
-            match self.run_protocol_search(&violation_nba, atoms, &domain, &[], opts, &mut meta) {
-                Ok(found) => found,
-                Err(err) => {
-                    if let VerifyError::Budget(b) = &err {
-                        meta.finish(opts, "budget_exceeded", &b.stats, domain.len(), 1);
-                    }
-                    return Err(err);
-                }
-            };
+        let limits = meta.limits(opts);
+        let (outcome, stats) = match self.run_protocol_search(
+            &violation_nba,
+            atoms,
+            &domain,
+            &[],
+            &limits,
+            opts,
+            &mut meta,
+        ) {
+            Ok(found) => found,
+            Err(stop) => return protocol_abort(stop.reason, stop.stats, &meta, opts, domain, 1),
+        };
         let label = if outcome.holds() { "holds" } else { "violated" };
         let telemetry = meta.finish(opts, label, &stats, domain.len(), 1);
         Ok(Report {
@@ -148,6 +202,7 @@ impl Verifier {
         let violation_nba = complement_protocol(&protocol.automaton);
         meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
         let domain = self.protocol_domain(opts);
+        let limits = meta.limits(opts);
         let vars = protocol.free_vars();
         let (constants, fresh) = self.split_domain(&domain);
         let mut stats = SearchStats::default();
@@ -163,22 +218,21 @@ impl Verifier {
                 atoms,
                 &domain,
                 &vars.iter().map(|v| (*v, valuation[v])).collect::<Vec<_>>(),
+                &limits,
                 opts,
                 &mut meta,
             ) {
                 Ok(found) => found,
-                Err(err) => {
-                    if let VerifyError::Budget(b) = &err {
-                        stats.absorb(&b.stats);
-                        meta.finish(
-                            opts,
-                            "budget_exceeded",
-                            &stats,
-                            domain.len(),
-                            valuations_checked,
-                        );
-                    }
-                    return Err(err);
+                Err(stop) => {
+                    stats.absorb(&stop.stats);
+                    return protocol_abort(
+                        stop.reason,
+                        stats,
+                        &meta,
+                        opts,
+                        domain,
+                        valuations_checked,
+                    );
                 }
             };
             stats.absorb(&s);
@@ -215,17 +269,19 @@ impl Verifier {
 
     /// One product search against the complemented protocol. Returns the
     /// per-search outcome and stats (rule and phase meters from the
-    /// search-local `SharedSearch` already folded in — including into a
-    /// budget error's stats, so callers can aggregate either way).
+    /// search-local `SharedSearch` already folded in — including into an
+    /// interrupted stop's stats, so callers can aggregate either way).
+    #[allow(clippy::too_many_arguments)]
     fn run_protocol_search(
         &mut self,
         violation_nba: &Nba,
         atoms: AtomRegistry,
         domain: &[Value],
         valuation: &[(ddws_logic::VarId, Value)],
+        limits: &SearchLimits,
         opts: &VerifyOptions,
         meta: &mut crate::telemetry::RunMeta,
-    ) -> Result<(Outcome, SearchStats), VerifyError> {
+    ) -> Result<(Outcome, SearchStats), Box<Interrupted<PState>>> {
         let (base_db, universe) = self.database_setup_pub(&opts.database, domain);
         let comp = self.composition();
         let shared = match opts.rule_eval {
@@ -242,13 +298,13 @@ impl Verifier {
             &shared,
         );
         let tel = meta.engine_telemetry(opts, &shared);
-        let (lasso, mut stats) = match crate::parallel::search_product(&system, opts, &tel) {
+        let (lasso, mut stats) = match crate::parallel::search_product(&system, opts, limits, &tel)
+        {
             Ok(found) => found,
-            Err(VerifyError::Budget(mut b)) => {
-                shared.fold_into(&mut b.stats);
-                return Err(VerifyError::Budget(b));
+            Err(mut stop) => {
+                shared.fold_into(&mut stop.stats);
+                return Err(stop);
             }
-            Err(err) => return Err(err),
         };
         shared.fold_into(&mut stats);
         let outcome = match lasso {

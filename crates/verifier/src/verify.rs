@@ -5,17 +5,18 @@ use crate::domain::suggested_fresh_values;
 use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
 use crate::oracle::{FactUniverse, Oracle};
 use crate::product::{PState, ProductSystem, SharedSearch};
-use ddws_automata::emptiness::{BudgetExceeded, SearchStats};
-use ddws_automata::{ltl_to_nba, Ltl};
+use ddws_automata::emptiness::SearchStats;
+use ddws_automata::{ltl_to_nba, resume_accepting_lasso_with, EngineCheckpoint, Ltl};
 use ddws_logic::input_bounded::{check_input_bounded_sentence, IbOptions, IbViolation};
 use ddws_logic::parser::{parse_sentence, ParseError, Resolver};
 use ddws_logic::{LtlFo, LtlFoSentence, VarId};
 use ddws_model::builder::collect_constants;
 use ddws_model::{Composition, IndependenceOracle};
 use ddws_relational::{Instance, RelId, Value};
-use ddws_telemetry::{ReporterHandle, RunReport};
-use std::collections::BTreeSet;
+use ddws_telemetry::{AbortReason, CancelToken, FaultHook, ReporterHandle, RunReport};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the ∃-quantification over databases is handled.
@@ -66,7 +67,7 @@ pub enum RuleEval {
 }
 
 /// Verification options.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct VerifyOptions {
     /// Database handling.
     pub database: DatabaseMode,
@@ -75,6 +76,21 @@ pub struct VerifyOptions {
     pub fresh_values: Option<usize>,
     /// State budget for the product search.
     pub max_states: u64,
+    /// Wall-clock budget for the whole entry-point call. Armed once when
+    /// the run starts, so every valuation shares the same deadline
+    /// instant; checked on the engines' ~1024-state progress stride.
+    /// Exhaustion yields [`Outcome::Inconclusive`] with a resumable
+    /// checkpoint (for [`Verifier::check`]) — never a panic or a hang.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: cancel the token from any thread and
+    /// every engine worker stops at its next loop iteration, yielding
+    /// [`Outcome::Inconclusive`] with the recorded reason.
+    pub cancel_token: Option<CancelToken>,
+    /// Deterministic fault-injection hook, called once per state
+    /// expansion with a 1-based global ordinal. Test-only: the fault
+    /// swarm uses it to inject panics and cancellations at exact points;
+    /// leave `None` in production.
+    pub fault_hook: Option<FaultHook>,
     /// Product-search engine: `None` runs the sequential nested DFS
     /// (CVWY); `Some(n)` runs the parallel engine with `n` worker threads
     /// (`Some(0)` = all available cores). Verdicts are identical across
@@ -107,6 +123,9 @@ impl Default for VerifyOptions {
             database: DatabaseMode::AllDatabases,
             fresh_values: None,
             max_states: 5_000_000,
+            deadline: None,
+            cancel_token: None,
+            fault_hook: None,
             threads: None,
             require_input_bounded: true,
             ib_options: IbOptions::default(),
@@ -115,6 +134,25 @@ impl Default for VerifyOptions {
             reporter: ReporterHandle::default(),
             progress_interval: Some(Duration::from_secs(1)),
         }
+    }
+}
+
+// Manual: the fault hook is an opaque closure.
+impl fmt::Debug for VerifyOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VerifyOptions")
+            .field("database", &self.database)
+            .field("fresh_values", &self.fresh_values)
+            .field("max_states", &self.max_states)
+            .field("deadline", &self.deadline)
+            .field("cancel_token", &self.cancel_token.is_some())
+            .field("fault_hook", &self.fault_hook.is_some())
+            .field("threads", &self.threads)
+            .field("require_input_bounded", &self.require_input_bounded)
+            .field("reduction", &self.reduction)
+            .field("rule_eval", &self.rule_eval)
+            .field("progress_interval", &self.progress_interval)
+            .finish_non_exhaustive()
     }
 }
 
@@ -147,14 +185,31 @@ pub(crate) fn reduction_oracle(
 }
 
 /// Verification failure (as opposed to a property verdict).
+///
+/// Budget, deadline and cancellation stops are *not* errors — they return
+/// `Ok` with [`Outcome::Inconclusive`] so the caller still gets partial
+/// statistics, the emitted run report, and (when available) a resumable
+/// checkpoint.
 #[derive(Debug)]
 pub enum VerifyError {
     /// The property failed to parse.
     Parse(ParseError),
     /// The composition or property is outside the input-bounded fragment.
     NotInputBounded(Vec<IbViolation>),
-    /// The search exhausted its state budget.
-    Budget(BudgetExceeded),
+    /// A search worker panicked while expanding the product. The panic
+    /// was caught and isolated: surviving workers drained, their partial
+    /// statistics were merged, and exactly one abort report (attached
+    /// here) was emitted. There is no checkpoint — a panicking expansion
+    /// may have lost arbitrary in-flight work, so the run refuses to
+    /// pretend the frontier is coherent.
+    WorkerPanicked {
+        /// Index of the panicking worker (0 for the sequential engine).
+        worker: usize,
+        /// The stringified panic payload.
+        payload: String,
+        /// The `worker_panicked` run report, with partial counters.
+        report: Box<RunReport>,
+    },
     /// Unsupported configuration.
     Unsupported(String),
 }
@@ -170,7 +225,11 @@ impl fmt::Display for VerifyError {
                 }
                 Ok(())
             }
-            VerifyError::Budget(b) => write!(f, "{b}"),
+            VerifyError::WorkerPanicked {
+                worker, payload, ..
+            } => {
+                write!(f, "search worker {worker} panicked: {payload}")
+            }
             VerifyError::Unsupported(m) => write!(f, "{m}"),
         }
     }
@@ -192,12 +251,96 @@ pub enum Outcome {
     Holds,
     /// A violating run exists.
     Violated(Box<Counterexample>),
+    /// The search stopped before reaching a verdict: the state budget,
+    /// the deadline, or the cancel token was exhausted. The report still
+    /// carries the partial statistics, and [`Inconclusive::checkpoint`]
+    /// (when present) resumes the search from where it stopped.
+    Inconclusive(Box<Inconclusive>),
 }
 
 impl Outcome {
-    /// Whether the property holds.
+    /// Whether the property holds. `false` for both `Violated` and
+    /// `Inconclusive` — check [`Outcome::is_inconclusive`] before reading
+    /// `!holds()` as a violation.
     pub fn holds(&self) -> bool {
         matches!(self, Outcome::Holds)
+    }
+
+    /// Whether the search stopped without a verdict.
+    pub fn is_inconclusive(&self) -> bool {
+        matches!(self, Outcome::Inconclusive(_))
+    }
+}
+
+/// Why and where a search stopped without a verdict.
+#[derive(Debug)]
+pub struct Inconclusive {
+    /// The structured stop reason (budget, deadline, cancellation).
+    pub reason: AbortReason,
+    /// A resumable checkpoint. `Some` for [`Verifier::check`] and
+    /// [`Verifier::resume`] runs; `None` for the modular and protocol
+    /// entry points, whose per-run setup is cheap enough that a fresh
+    /// call with laxer limits is the resume path.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// A frozen `check` run: everything needed to continue the truncated
+/// product search and the untouched tail of the valuation loop.
+/// [`Verifier::resume`] with laxer limits reaches the same verdict a
+/// fresh, unlimited [`Verifier::check`] would.
+///
+/// The checkpoint pins the original run's search shape — engine
+/// (`threads`), reduction and rule-evaluation mode — because the frozen
+/// frontier's interned state ids are only meaningful to the
+/// [`SharedSearch`] captured alongside it. Budgets, deadline,
+/// cancellation and reporting come from the options passed to `resume`.
+pub struct Checkpoint {
+    property: LtlFoSentence,
+    observed: BTreeSet<RelId>,
+    domain: Vec<Value>,
+    base_db: Instance,
+    universe: FactUniverse,
+    /// Remaining universal-closure valuations, the interrupted one first.
+    valuations: Vec<HashMap<VarId, Value>>,
+    valuations_total: usize,
+    /// Keeps the interned configuration/oracle ids in `engine` valid.
+    shared: Arc<SharedSearch>,
+    engine: EngineCheckpoint<PState>,
+    /// Aggregate statistics of the valuations completed *before* the
+    /// interrupted one (the engine checkpoint carries the interrupted
+    /// leg's own counters and re-reports them cumulatively on resume).
+    stats_prior: SearchStats,
+    reduction: Reduction,
+    rule_eval: RuleEval,
+    threads: Option<usize>,
+}
+
+impl Checkpoint {
+    /// States the truncated search had visited when it stopped.
+    pub fn states_visited(&self) -> u64 {
+        self.stats_prior.states_visited + self.engine.states_visited()
+    }
+
+    /// Universal-closure valuations not yet fully checked.
+    pub fn valuations_remaining(&self) -> usize {
+        self.valuations.len()
+    }
+
+    /// The engine the checkpointed search ran (and will resume) with.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+}
+
+impl fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("states_visited", &self.states_visited())
+            .field("valuations_remaining", &self.valuations.len())
+            .field("threads", &self.threads)
+            .field("reduction", &self.reduction)
+            .field("rule_eval", &self.rule_eval)
+            .finish_non_exhaustive()
     }
 }
 
@@ -346,10 +489,14 @@ impl Verifier {
 
         let negated_body = ddws_logic::LtlFo::not(property.body.clone());
         let reduction = reduction_oracle(&self.comp, &property.body, &observed, opts);
-        let shared = match opts.rule_eval {
+        // Arc because an interrupted run's checkpoint must keep the
+        // interners alive: the frozen engine frontier stores interned
+        // configuration/oracle ids.
+        let shared = Arc::new(match opts.rule_eval {
             RuleEval::Compiled => SharedSearch::compiled(&self.comp),
             RuleEval::Interpreted => SharedSearch::interpreted_metered(),
-        };
+        });
+        let limits = meta.limits(opts);
         let mut stats = SearchStats::default();
         // Fresh values are interchangeable: check valuations only up to
         // renaming of the fresh part of the domain. Moreover, the paper
@@ -364,10 +511,10 @@ impl Verifier {
         let valuations =
             canonical_valuations(&property.universal_vars, &constants, fresh_for_closure);
         let valuations_checked = valuations.len();
-        for valuation in valuations {
+        for (vi, valuation) in valuations.iter().enumerate() {
             let mut atoms = AtomRegistry::new();
             let nba_start = Instant::now();
-            let ltl: Ltl = ground_ltlfo(&negated_body, &valuation, &mut atoms);
+            let ltl: Ltl = ground_ltlfo(&negated_body, valuation, &mut atoms);
             let nba = ltl_to_nba(&ltl);
             meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
             let mut system = ProductSystem::new(
@@ -377,22 +524,64 @@ impl Verifier {
                 system = system.with_reduction(ind);
             }
             let tel = meta.engine_telemetry(opts, &shared);
-            let (lasso, s) = match crate::parallel::search_product(&system, opts, &tel) {
+            let (lasso, s) = match crate::parallel::search_product(&system, opts, &limits, &tel) {
                 Ok(found) => found,
-                Err(err) => {
-                    // A budget abort still reports what the run saw so far.
-                    if let VerifyError::Budget(b) = &err {
-                        stats.absorb(&b.stats);
-                        shared.fold_into(&mut stats);
-                        meta.finish(
+                Err(stop) => {
+                    // A graceful stop still reports what the run saw so
+                    // far; the checkpoint (absent after a panic) freezes
+                    // the rest of the search for `Verifier::resume`.
+                    let stats_prior = stats;
+                    stats.absorb(&stop.stats);
+                    shared.fold_into(&mut stats);
+                    if let AbortReason::WorkerPanicked { worker, payload } = &stop.reason {
+                        let report = meta.finish_abort(
                             opts,
-                            "budget_exceeded",
+                            &stop.reason,
+                            false,
                             &stats,
                             domain.len(),
                             valuations_checked,
                         );
+                        return Err(VerifyError::WorkerPanicked {
+                            worker: *worker,
+                            payload: payload.clone(),
+                            report: Box::new(report),
+                        });
                     }
-                    return Err(err);
+                    let resumable = stop.checkpoint.is_some();
+                    let telemetry = meta.finish_abort(
+                        opts,
+                        &stop.reason,
+                        resumable,
+                        &stats,
+                        domain.len(),
+                        valuations_checked,
+                    );
+                    let checkpoint = stop.checkpoint.map(|engine| Checkpoint {
+                        property: property.clone(),
+                        observed: observed.clone(),
+                        domain: domain.clone(),
+                        base_db: base_db.clone(),
+                        universe: universe.clone(),
+                        valuations: valuations[vi..].to_vec(),
+                        valuations_total: valuations_checked,
+                        shared: Arc::clone(&shared),
+                        engine,
+                        stats_prior,
+                        reduction: opts.reduction,
+                        rule_eval: opts.rule_eval,
+                        threads: opts.threads,
+                    });
+                    return Ok(Report {
+                        outcome: Outcome::Inconclusive(Box::new(Inconclusive {
+                            reason: stop.reason,
+                            checkpoint,
+                        })),
+                        stats,
+                        domain,
+                        valuations_checked,
+                        telemetry,
+                    });
                 }
             };
             stats.absorb(&s);
@@ -406,7 +595,7 @@ impl Verifier {
                     &base_db,
                     &universe,
                     &property.universal_vars,
-                    &valuation,
+                    valuation,
                     lasso.prefix,
                     lasso.cycle,
                 );
@@ -440,6 +629,185 @@ impl Verifier {
     ) -> Result<Report, VerifyError> {
         let p = self.parse_property(property)?;
         self.check(&p, opts)
+    }
+
+    /// Continues a [`Checkpoint`] captured by an inconclusive
+    /// [`Verifier::check`] (or a previous `resume`) on the same
+    /// composition. The checkpoint pins the search shape — engine,
+    /// reduction, rule evaluation — while budgets, deadline, cancellation
+    /// and reporting come from `opts`. Note the state budget counts
+    /// *total* visited states of the interrupted search, so resuming with
+    /// the budget that tripped trips again immediately; raise it.
+    ///
+    /// A resumed search reaches the same verdict a fresh `check` with the
+    /// laxer limits would, with cumulative statistics, and emits exactly
+    /// one run report (entry point `"resume"`).
+    pub fn resume(
+        &mut self,
+        checkpoint: Checkpoint,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        let saved = self.save_masks();
+        let result = self.resume_inner(checkpoint, opts);
+        self.restore_masks(saved);
+        result
+    }
+
+    fn resume_inner(
+        &mut self,
+        cp: Checkpoint,
+        opts: &VerifyOptions,
+    ) -> Result<Report, VerifyError> {
+        // The frozen frontier's interned ids are only meaningful to the
+        // checkpointed SharedSearch, under the checkpointed engine and
+        // successor semantics — so those override whatever `opts` says.
+        let eff = VerifyOptions {
+            reduction: cp.reduction,
+            rule_eval: cp.rule_eval,
+            threads: cp.threads,
+            ..opts.clone()
+        };
+        let mut meta = crate::telemetry::RunMeta::new("resume", &eff);
+        let Checkpoint {
+            property,
+            observed,
+            domain,
+            base_db,
+            universe,
+            valuations,
+            valuations_total,
+            shared,
+            engine,
+            stats_prior,
+            ..
+        } = cp;
+        // Re-apply the masks the original check ran under (restored by
+        // `resume` afterwards, exactly as `check` does).
+        self.comp.observe_flags(&observed);
+        self.comp.freeze_unobserved(&observed);
+        let limits = meta.limits(&eff);
+        let negated_body = ddws_logic::LtlFo::not(property.body.clone());
+        let reduction = reduction_oracle(&self.comp, &property.body, &observed, &eff);
+        let valuations_checked = valuations_total;
+        let mut stats = stats_prior;
+        let mut engine_cp = Some(engine);
+        for (vi, valuation) in valuations.iter().enumerate() {
+            // Grounding and translation are deterministic, so rebuilding
+            // the automaton for the interrupted valuation reproduces the
+            // exact atom numbering and NBA states the frozen frontier's
+            // product states refer to.
+            let mut atoms = AtomRegistry::new();
+            let nba_start = Instant::now();
+            let ltl: Ltl = ground_ltlfo(&negated_body, valuation, &mut atoms);
+            let nba = ltl_to_nba(&ltl);
+            meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
+            let mut system = ProductSystem::new(
+                &self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared,
+            );
+            if let Some(ind) = &reduction {
+                system = system.with_reduction(ind);
+            }
+            let tel = meta.engine_telemetry(&eff, &shared);
+            let result = match engine_cp.take() {
+                // The interrupted valuation continues from the frozen
+                // frontier; the untouched tail runs fresh searches.
+                Some(e) => resume_accepting_lasso_with(&system, e, &limits, &tel),
+                None => crate::parallel::search_product(&system, &eff, &limits, &tel),
+            };
+            let (lasso, s) = match result {
+                Ok(found) => found,
+                Err(stop) => {
+                    let stats_prior = stats;
+                    stats.absorb(&stop.stats);
+                    shared.fold_into(&mut stats);
+                    if let AbortReason::WorkerPanicked { worker, payload } = &stop.reason {
+                        let report = meta.finish_abort(
+                            &eff,
+                            &stop.reason,
+                            false,
+                            &stats,
+                            domain.len(),
+                            valuations_checked,
+                        );
+                        return Err(VerifyError::WorkerPanicked {
+                            worker: *worker,
+                            payload: payload.clone(),
+                            report: Box::new(report),
+                        });
+                    }
+                    let resumable = stop.checkpoint.is_some();
+                    let telemetry = meta.finish_abort(
+                        &eff,
+                        &stop.reason,
+                        resumable,
+                        &stats,
+                        domain.len(),
+                        valuations_checked,
+                    );
+                    let checkpoint = stop.checkpoint.map(|engine| Checkpoint {
+                        property: property.clone(),
+                        observed: observed.clone(),
+                        domain: domain.clone(),
+                        base_db: base_db.clone(),
+                        universe: universe.clone(),
+                        valuations: valuations[vi..].to_vec(),
+                        valuations_total,
+                        shared: Arc::clone(&shared),
+                        engine,
+                        stats_prior,
+                        reduction: eff.reduction,
+                        rule_eval: eff.rule_eval,
+                        threads: eff.threads,
+                    });
+                    return Ok(Report {
+                        outcome: Outcome::Inconclusive(Box::new(Inconclusive {
+                            reason: stop.reason,
+                            checkpoint,
+                        })),
+                        stats,
+                        domain,
+                        valuations_checked,
+                        telemetry,
+                    });
+                }
+            };
+            // For the resumed valuation `s` spans both legs (the engines
+            // report cumulative counters after a resume); `stats` starts
+            // from the *completed* valuations only, so nothing is counted
+            // twice.
+            stats.absorb(&s);
+            shared.fold_into(&mut stats);
+            if let Some(lasso) = lasso {
+                let cex_start = Instant::now();
+                let cex = build_counterexample(
+                    &system,
+                    &base_db,
+                    &universe,
+                    &property.universal_vars,
+                    valuation,
+                    lasso.prefix,
+                    lasso.cycle,
+                );
+                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
+                let telemetry =
+                    meta.finish(&eff, "violated", &stats, domain.len(), valuations_checked);
+                return Ok(Report {
+                    outcome: Outcome::Violated(Box::new(cex)),
+                    stats,
+                    domain,
+                    valuations_checked,
+                    telemetry,
+                });
+            }
+        }
+        let telemetry = meta.finish(&eff, "holds", &stats, domain.len(), valuations_checked);
+        Ok(Report {
+            outcome: Outcome::Holds,
+            stats,
+            domain,
+            valuations_checked,
+            telemetry,
+        })
     }
 
     /// Replays a [`Counterexample`] returned by [`Verifier::check`] for

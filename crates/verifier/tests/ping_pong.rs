@@ -128,7 +128,7 @@ fn fixed_database_mode() {
 #[test]
 fn budget_is_enforced() {
     let mut v = Verifier::new(ping_pong(true));
-    let err = v
+    let report = v
         .check_str(
             "G (forall x: Bob.?ping(x) -> Alice.friend(x))",
             &VerifyOptions {
@@ -137,8 +137,56 @@ fn budget_is_enforced() {
                 ..VerifyOptions::default()
             },
         )
-        .unwrap_err();
-    assert!(matches!(err, ddws_verifier::VerifyError::Budget(_)));
+        .expect("a budget stop is a report, not an error");
+    match report.outcome {
+        ddws_verifier::Outcome::Inconclusive(inc) => {
+            assert!(matches!(
+                inc.reason,
+                ddws_verifier::AbortReason::StateBudget { max_states: 10 }
+            ));
+            let cp = inc.checkpoint.expect("budget stops are resumable");
+            assert!(cp.states_visited() >= 10);
+        }
+        other => panic!("expected an inconclusive outcome, got {other:?}"),
+    }
+    assert!(report.stats.truncated);
+    assert_eq!(report.telemetry.outcome, "budget_exceeded");
+    let abort = report.telemetry.abort.as_ref().expect("abort object");
+    assert_eq!(abort.budget, 10);
+    assert!(abort.resumable);
+}
+
+#[test]
+fn budget_stop_resumes_to_the_unbounded_verdict() {
+    let mut v = Verifier::new(ping_pong(true));
+    let property = "G (forall x: Bob.?ping(x) -> Alice.friend(x))";
+    let unbounded = VerifyOptions {
+        fresh_values: Some(2),
+        ..VerifyOptions::default()
+    };
+    let expected = v.check_str(property, &unbounded).unwrap();
+    for threads in [None, Some(2)] {
+        let bounded = VerifyOptions {
+            max_states: 10,
+            threads,
+            ..unbounded.clone()
+        };
+        let report = v.check_str(property, &bounded).unwrap();
+        let cp = match report.outcome {
+            ddws_verifier::Outcome::Inconclusive(inc) => inc.checkpoint.unwrap(),
+            other => panic!("expected an inconclusive outcome, got {other:?}"),
+        };
+        assert_eq!(cp.threads(), threads);
+        let resumed = v.resume(cp, &unbounded).unwrap();
+        assert_eq!(
+            resumed.outcome.holds(),
+            expected.outcome.holds(),
+            "threads={threads:?}: resume must agree with the unbounded run"
+        );
+        assert!(!resumed.outcome.is_inconclusive());
+        assert_eq!(resumed.telemetry.entry_point, "resume");
+        assert_eq!(resumed.valuations_checked, expected.valuations_checked);
+    }
 }
 
 #[test]

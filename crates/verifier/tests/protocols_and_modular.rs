@@ -113,7 +113,7 @@ fn response_protocol_fails_under_unfair_scheduling() {
                 .any(|s| s.config.received[req.index()]);
             assert!(delivered, "counterexample must contain an unanswered req");
         }
-        Outcome::Holds => panic!("expected violation"),
+        other => panic!("expected violation, got {other:?}"),
     }
 }
 

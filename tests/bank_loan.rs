@@ -91,7 +91,7 @@ fn the_pipeline_delivers_a_rating() {
                 cex.display(v.composition())
             );
         }
-        Outcome::Holds => panic!("expected a violation"),
+        other => panic!("expected a violation, got {other:?}"),
     }
 }
 

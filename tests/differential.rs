@@ -21,8 +21,8 @@ use ddws::scenarios::{bank_loan, chains, ecommerce, travel};
 use ddws_model::Semantics;
 use ddws_relational::Instance;
 use ddws_verifier::{
-    BufferReporter, DatabaseMode, Outcome, Reduction, ReporterHandle, RuleEval, RunReport,
-    Verifier, VerifyError, VerifyOptions,
+    AbortReason, BufferReporter, DatabaseMode, Outcome, Reduction, ReporterHandle, RuleEval,
+    RunReport, Verifier, VerifyOptions,
 };
 use std::sync::Arc;
 
@@ -337,19 +337,29 @@ fn run_reports_are_deterministic_and_round_trip() {
 
 #[test]
 fn budget_abort_still_emits_a_run_report() {
-    // A budget abort is an outcome, not an absence of one: the reporter
-    // must still receive exactly one final `RunReport`, labelled
-    // `budget_exceeded`, with the truncated partial counters attached.
+    // A budget abort is an outcome, not an absence of one: the check
+    // returns `Ok` with an `Inconclusive` verdict, and the reporter still
+    // receives exactly one final `RunReport`, labelled `budget_exceeded`,
+    // with the truncated partial counters and the abort object attached.
     let buf = Arc::new(BufferReporter::new());
     let mut v = Verifier::new(chains::composition(3, true, Semantics::default()));
     let db = chains::database(v.composition_mut(), 2);
     let mut opts = fixed_opts(db);
     opts.max_states = 60;
     opts.reporter = ReporterHandle::new(buf.clone());
-    let err = v
+    let report = v
         .check_str(&chains::prop_integrity(3), &opts)
-        .expect_err("the budget must trip");
-    assert!(matches!(err, VerifyError::Budget(_)));
+        .expect("a budget stop is a report, not an error");
+    match &report.outcome {
+        Outcome::Inconclusive(inc) => {
+            assert!(matches!(
+                inc.reason,
+                AbortReason::StateBudget { max_states: 60 }
+            ));
+            assert!(inc.checkpoint.is_some(), "budget stops are resumable");
+        }
+        other => panic!("expected an inconclusive outcome, got {other:?}"),
+    }
     let reports = buf.take_reports();
     assert_eq!(reports.len(), 1, "exactly one final report per run");
     let r = &reports[0];
@@ -357,12 +367,17 @@ fn budget_abort_still_emits_a_run_report() {
     assert_eq!(r.outcome, "budget_exceeded");
     assert!(r.counters.truncated, "partial counters must be flagged");
     assert!(r.counters.states_visited > 60);
+    let abort = r.abort.as_ref().expect("abort object attached");
+    assert_eq!(abort.reason, "budget_exceeded");
+    assert_eq!(abort.budget, 60);
+    assert_eq!(abort.spent, r.counters.states_visited);
+    assert!(abort.resumable);
 }
 
 #[test]
 fn budget_exceeded_at_every_thread_count() {
     // The 3-peer chain over 2 tokens reaches far more than 60 product
-    // states, so a 60-state budget must fail — promptly, on every engine,
+    // states, so a 60-state budget must trip — promptly, on every engine,
     // with overshoot at most one state per worker and partial statistics
     // flagged as truncated.
     const BUDGET: u64 = 60;
@@ -372,22 +387,34 @@ fn budget_exceeded_at_every_thread_count() {
         let mut opts = fixed_opts(db);
         opts.max_states = BUDGET;
         opts.threads = threads;
-        let err = v
+        let report = v
             .check_str(&chains::prop_integrity(3), &opts)
-            .expect_err("the budget must trip");
-        match err {
-            VerifyError::Budget(b) => {
-                let workers = threads.unwrap_or(1) as u64;
-                assert!(b.states_visited > BUDGET, "threads={threads:?}");
+            .expect("a budget stop is a report, not an error");
+        match &report.outcome {
+            Outcome::Inconclusive(inc) => {
                 assert!(
-                    b.states_visited <= BUDGET + workers + 1,
-                    "threads={threads:?}: overshoot too large ({} states)",
-                    b.states_visited
+                    matches!(inc.reason, AbortReason::StateBudget { max_states: BUDGET }),
+                    "threads={threads:?}: wrong reason {:?}",
+                    inc.reason
                 );
-                assert!(b.stats.truncated, "threads={threads:?}: stats not flagged");
-                assert_eq!(b.stats.states_visited, b.states_visited);
+                let workers = threads.unwrap_or(1) as u64;
+                let visited = report.stats.states_visited;
+                assert!(visited > BUDGET, "threads={threads:?}");
+                assert!(
+                    visited <= BUDGET + workers + 1,
+                    "threads={threads:?}: overshoot too large ({visited} states)"
+                );
+                assert!(
+                    report.stats.truncated,
+                    "threads={threads:?}: stats not flagged"
+                );
+                let cp = inc
+                    .checkpoint
+                    .as_ref()
+                    .expect("budget stops carry a checkpoint");
+                assert_eq!(cp.states_visited(), visited, "threads={threads:?}");
             }
-            other => panic!("threads={threads:?}: expected Budget, got {other}"),
+            other => panic!("threads={threads:?}: expected Inconclusive, got {other:?}"),
         }
     }
 }

@@ -1,0 +1,28 @@
+//! Deterministic fault-injection swarm (DESIGN.md §3.10).
+//!
+//! Each case draws a random small composition, one seeded fault plan
+//! (panic at the Nth expansion, cancel at the Nth, or an already-expired
+//! deadline), and one point of the engine × reduction matrix
+//! `{seq, par1, par2, par4} × {Full, Ample}`, then drives the
+//! *production* abort paths and asserts the robustness contract
+//! ([`common::assert_fault_contract`]): the run terminates, the process
+//! survives, exactly one schema-valid `RunReport` is emitted, merged
+//! counters stay coherent, injected panics surface as typed errors, and
+//! resuming a captured checkpoint without the fault agrees with an
+//! unfaulted baseline run.
+//!
+//! On failure the harness prints the failing sub-seed; pin it in
+//! tests/regressions.rs (`PINNED_FAULTS`) by feeding it to
+//! `XorShift::new` directly.
+
+mod common;
+
+use ddws_testkit::{gen, seed_from};
+
+#[test]
+fn fault_swarm_is_robust_across_the_engine_matrix() {
+    // Injected panics are expected noise here; keep the test output to
+    // the genuine failures.
+    common::silence_injected_panics();
+    gen::cases(240, seed_from("fault_swarm"), common::assert_fault_case);
+}

@@ -38,6 +38,23 @@ fn pinned_compiled_seeds_stay_green() {
     }
 }
 
+/// Sub-seeds pinned from the fault-injection swarm (`tests/faults.rs`).
+/// The first replays an injected worker panic inside the two-worker
+/// parallel engine under `Reduction::Full` (panic isolation: typed error,
+/// one report, survivors drain); the second replays an injected
+/// cancellation under `Reduction::Ample` whose checkpoint is resumed to
+/// the unfaulted verdict.
+const PINNED_FAULTS: &[u64] = &[0x19a9_236d_56a4_7241, 0xdd3a_2ffa_580f_7a17];
+
+#[test]
+fn pinned_fault_seeds_stay_green() {
+    common::silence_injected_panics();
+    for &seed in PINNED_FAULTS {
+        let mut rng = XorShift::new(seed);
+        common::assert_fault_case(&mut rng);
+    }
+}
+
 /// A pinned sub-seed whose case is violated under the sequential full
 /// search and shrinks substantially: the 14-element spec (two channels, a
 /// second relay's worth of rules, two database rows) minimizes to the
