@@ -385,7 +385,7 @@ impl<'ts, TS: TransitionSystem> SeqEngine<'ts, TS> {
             }
             if self.ticks & PROGRESS_STRIDE_MASK == 0 {
                 if let Some(deadline) = &limits.deadline {
-                    if deadline.passed() {
+                    if deadline.is_expired() {
                         return Err(AbortReason::DeadlineExceeded {
                             limit_ns: deadline.budget_ns,
                         });

@@ -47,8 +47,8 @@ pub use emptiness::{
 };
 pub use guard::{Guard, Letter};
 pub use limits::{
-    resume_accepting_lasso_with, Deadline, EngineCheckpoint, Interrupted, LimitedResult,
-    SearchLimits,
+    resume_accepting_lasso_with, wall_clock, Clock, ClockHandle, Deadline, EngineCheckpoint,
+    Interrupted, LimitedResult, ManualClock, SearchLimits, WallClock,
 };
 pub use ltl::Ltl;
 pub use nba::{Nba, StateId};

@@ -13,31 +13,115 @@
 use crate::emptiness::{resume_seq, Lasso, SearchStats, SeqCheckpoint, TransitionSystem};
 use crate::parallel::{resume_par, ParCheckpoint};
 use ddws_telemetry::{AbortReason, CancelToken, EngineTelemetry, FaultHook};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// A wall-clock deadline, remembering the budget it was derived from so
-/// abort reports can state the configured limit (an [`Instant`] alone
-/// cannot be turned back into a duration).
-#[derive(Clone, Copy, Debug)]
-pub struct Deadline {
-    /// The instant after which the engines stop.
-    pub at: Instant,
-    /// The originally configured budget, in nanoseconds.
-    pub budget_ns: u64,
+/// A monotonic nanosecond clock. The engines only ever *read* time, and
+/// only through this trait, so callers can substitute a virtual clock —
+/// the deterministic simulator advances one from its fault hook, which
+/// makes deadline expiry a pure function of the schedule instead of the
+/// machine's load.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Nanoseconds elapsed on this clock since its epoch.
+    fn now_ns(&self) -> u64;
 }
 
-impl Deadline {
-    /// A deadline `d` from now.
-    pub fn after(d: Duration) -> Deadline {
-        Deadline {
-            at: Instant::now() + d,
-            budget_ns: d.as_nanos() as u64,
+/// A shared, thread-safe clock handle.
+pub type ClockHandle = Arc<dyn Clock>;
+
+/// The real wall clock: nanoseconds since the first observation in this
+/// process (anchoring to a process epoch keeps the value comfortably
+/// inside `u64`).
+#[derive(Debug, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// The process-wide [`WallClock`] handle (one shared allocation).
+pub fn wall_clock() -> ClockHandle {
+    static WALL: OnceLock<ClockHandle> = OnceLock::new();
+    WALL.get_or_init(|| Arc::new(WallClock)).clone()
+}
+
+/// A manually advanced virtual clock for tests and the deterministic
+/// simulator. Time only moves when someone calls [`ManualClock::advance`]
+/// (or [`ManualClock::set`]), so deadline expiry under this clock is
+/// deterministic and instantaneous — no test ever sleeps real
+/// milliseconds to make a deadline pass.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A virtual clock starting at `start_ns`.
+    pub fn new(start_ns: u64) -> ManualClock {
+        ManualClock {
+            ns: AtomicU64::new(start_ns),
         }
     }
 
-    /// Whether the deadline has passed.
-    pub fn passed(&self) -> bool {
-        Instant::now() >= self.at
+    /// Advances the clock by `ns` nanoseconds (saturating).
+    pub fn advance(&self, ns: u64) {
+        // fetch_update over fetch_add so repeated advances saturate
+        // instead of wrapping back before armed deadlines.
+        let _ = self
+            .ns
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(ns))
+            });
+    }
+
+    /// Sets the clock to an absolute value.
+    pub fn set(&self, ns: u64) {
+        self.ns.store(ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Relaxed)
+    }
+}
+
+/// A deadline on some [`Clock`], remembering the budget it was derived
+/// from so abort reports can state the configured limit (an expiry
+/// instant alone cannot be turned back into a duration).
+#[derive(Clone, Debug)]
+pub struct Deadline {
+    /// The clock instant (in that clock's nanoseconds) after which the
+    /// engines stop.
+    pub at_ns: u64,
+    /// The originally configured budget, in nanoseconds.
+    pub budget_ns: u64,
+    /// The clock the deadline is measured on.
+    clock: ClockHandle,
+}
+
+impl Deadline {
+    /// A deadline `d` from now on the process wall clock.
+    pub fn after(d: Duration) -> Deadline {
+        Deadline::after_on(wall_clock(), d)
+    }
+
+    /// A deadline `d` from now on the given clock.
+    pub fn after_on(clock: ClockHandle, d: Duration) -> Deadline {
+        Deadline {
+            at_ns: clock.now_ns().saturating_add(d.as_nanos() as u64),
+            budget_ns: d.as_nanos() as u64,
+            clock,
+        }
+    }
+
+    /// Whether the deadline has passed on its clock.
+    pub fn is_expired(&self) -> bool {
+        self.clock.now_ns() >= self.at_ns
     }
 }
 
@@ -231,12 +315,15 @@ mod tests {
 
     #[test]
     fn expired_deadline_stops_both_engines_before_any_expansion() {
+        // Expire the deadline on a virtual clock: arm a 1 ns budget, tick
+        // the clock past it. No real time is involved.
         let g = chain(5000, false);
+        let clock = Arc::new(ManualClock::new(0));
+        let deadline = Deadline::after_on(clock.clone(), Duration::from_nanos(1));
+        clock.advance(2);
+        assert!(deadline.is_expired());
         let limits = SearchLimits {
-            deadline: Some(Deadline {
-                at: Instant::now() - Duration::from_millis(1),
-                budget_ns: 1,
-            }),
+            deadline: Some(deadline),
             ..SearchLimits::default()
         };
         for threads in [None, Some(2)] {

@@ -220,7 +220,7 @@ fn explore_worker_into<TS: TransitionSystem>(
         }
         if ticks & PROGRESS_STRIDE_MASK == 0 {
             if let Some(deadline) = &limits.deadline {
-                if deadline.passed() {
+                if deadline.is_expired() {
                     frontier.trip(AbortReason::DeadlineExceeded {
                         limit_ns: deadline.budget_ns,
                     });

@@ -1,0 +1,146 @@
+//! Channel perturbation under the paper's lossy-queue semantics.
+//!
+//! Two tools, both pure functions of their inputs:
+//!
+//! * [`perturb`] — picks one applicable queue perturbation (message loss
+//!   on a lossy channel, duplication, adjacent reorder) for the seeded
+//!   robustness walk. Loss is *semantic* — T3.4's lossy channels may
+//!   drop any in-flight message, so a loss-perturbed configuration stays
+//!   inside the system's reachable behaviour. Duplication and reorder
+//!   are *robustness* perturbations: not part of the semantics, but the
+//!   stack (successor computation, bounds, display) must stay
+//!   structurally sound on any bounded queue content.
+//! * [`loss_closure`] — checks the downward-closure property the lossy
+//!   semantics implies: every single-message loss applied to a reachable
+//!   configuration yields a configuration that is itself reachable
+//!   (modulo the `received` flag of the very last transition, since this
+//!   implementation resolves loss at enqueue time). Channels whose
+//!   sender-view relation (`!q`) appears in a rule body are skipped —
+//!   there a later sender step can observe the dropped tail, and the
+//!   closure argument does not apply.
+
+use ddws_model::{Composition, Config};
+use ddws_relational::{Instance, Value};
+use ddws_testkit::rng::XorShift;
+use std::collections::{HashSet, VecDeque};
+
+/// One applicable perturbation site: (kind, channel index, queue index).
+fn candidates(comp: &Composition, cfg: &Config) -> Vec<(&'static str, usize, usize)> {
+    let bound = comp.semantics.queue_bound;
+    let mut out = Vec::new();
+    for (qi, ch) in comp.channels.iter().enumerate() {
+        let len = cfg.queues[qi].len();
+        if ch.lossy {
+            for idx in 0..len {
+                out.push(("loss", qi, idx));
+            }
+        }
+        if len > 0 && len < bound {
+            for idx in 0..len {
+                out.push(("duplicate", qi, idx));
+            }
+        }
+        for idx in 0..len.saturating_sub(1) {
+            out.push(("reorder", qi, idx));
+        }
+    }
+    out
+}
+
+/// Applies one seeded queue perturbation to `cfg`, if any is applicable.
+/// Returns the perturbation's kind and the perturbed configuration.
+pub fn perturb(
+    comp: &Composition,
+    cfg: &Config,
+    rng: &mut XorShift,
+) -> Option<(&'static str, Config)> {
+    let sites = candidates(comp, cfg);
+    if sites.is_empty() {
+        return None;
+    }
+    let (kind, qi, idx) = sites[rng.below(sites.len() as u64) as usize];
+    let mut p = cfg.clone();
+    match kind {
+        "loss" => {
+            p.queues[qi].remove(idx);
+        }
+        "duplicate" => {
+            let m = p.queues[qi][idx].clone();
+            p.queues[qi].push_back(m);
+        }
+        "reorder" => {
+            p.queues[qi].swap(idx, idx + 1);
+        }
+        _ => unreachable!(),
+    }
+    Some((kind, p))
+}
+
+/// Enumerates the reachable configurations of `comp` over `db` (breadth
+/// first, capped at `cap` configurations) and checks the loss-closure
+/// invariant: dropping any single message from a lossy channel of a
+/// reachable configuration yields a reachable configuration — either
+/// verbatim, or after clearing that channel's `received` flag (the
+/// enqueue-time loss branch differs in exactly that flag when the drop
+/// undoes the most recent delivery).
+///
+/// Returns `(configs, candidates)`: the size of the enumerated set and
+/// the number of loss perturbations checked. When the cap is hit the
+/// check is skipped (`candidates == 0`) rather than reported as a
+/// failure — the invariant needs the *complete* reachable set. A
+/// violation returns a `closure:`-prefixed description.
+pub fn loss_closure(
+    comp: &Composition,
+    db: &Instance,
+    domain: &[Value],
+    cap: usize,
+) -> Result<(usize, usize), String> {
+    let movers = comp.movers();
+    let mut seen: HashSet<Config> = HashSet::new();
+    let mut frontier: VecDeque<Config> = VecDeque::new();
+    for c in comp.initial_configs(db, domain) {
+        if seen.insert(c.clone()) {
+            frontier.push_back(c);
+        }
+    }
+    while let Some(c) = frontier.pop_front() {
+        for &mover in &movers {
+            for s in comp.successors(db, domain, &c, mover) {
+                if seen.insert(s.clone()) {
+                    if seen.len() > cap {
+                        return Ok((seen.len(), 0));
+                    }
+                    frontier.push_back(s);
+                }
+            }
+        }
+    }
+
+    let mut candidates = 0usize;
+    for cfg in &seen {
+        for (qi, ch) in comp.channels.iter().enumerate() {
+            if !ch.lossy || comp.rule_mentioned.contains(&ch.out_rel) {
+                continue;
+            }
+            for idx in 0..cfg.queues[qi].len() {
+                candidates += 1;
+                let mut p = cfg.clone();
+                p.queues[qi].remove(idx);
+                if seen.contains(&p) {
+                    continue;
+                }
+                p.received[qi] = false;
+                if seen.contains(&p) {
+                    continue;
+                }
+                return Err(format!(
+                    "closure: loss-perturbed configuration unreachable \
+                     (channel {}, queue index {idx}, {} reachable configs)",
+                    ch.name,
+                    seen.len()
+                ));
+            }
+        }
+    }
+    Ok((seen.len(), candidates))
+}

@@ -1,0 +1,185 @@
+//! The canonical event trace (DESIGN.md §3.11).
+//!
+//! Every observable step of a simulation run is recorded as one
+//! [`SimEvent`]; the run's *canonical trace* is the newline-joined
+//! [`Display`](std::fmt::Display) rendering of the event list. The trace
+//! is the replay contract: it contains virtual-clock values, schedule
+//! decisions, and outcome labels, and **never** wall-clock readings,
+//! addresses, or anything else the host machine could perturb — so two
+//! runs from the same seed must produce byte-identical traces.
+
+use std::fmt;
+
+/// One observable simulation step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A verification job entered the scheduler.
+    JobSubmitted {
+        /// Job index.
+        job: usize,
+        /// Job kind (`compgen` or the fixed job's name).
+        kind: String,
+        /// The property under verification.
+        property: String,
+    },
+    /// The scheduler granted the job one time slice.
+    SliceStarted {
+        /// Job index.
+        job: usize,
+        /// 0-based slice ordinal within the job.
+        slice: u32,
+        /// Virtual clock at slice start, nanoseconds.
+        now_ns: u64,
+    },
+    /// The slice continued a checkpoint from an earlier preemption.
+    Resumed {
+        /// Job index.
+        job: usize,
+        /// Slice ordinal.
+        slice: u32,
+    },
+    /// The slice's fault hook injected a crash (worker panic).
+    CrashInjected {
+        /// Job index.
+        job: usize,
+        /// Slice ordinal.
+        slice: u32,
+    },
+    /// The slice ended; `outcome` is the run-report label
+    /// (`holds`, `violated`, `deadline_exceeded`, `cancelled`,
+    /// `budget_exceeded`, `worker_panicked`).
+    SliceEnded {
+        /// Job index.
+        job: usize,
+        /// Slice ordinal.
+        slice: u32,
+        /// Run-report outcome label.
+        outcome: String,
+        /// States visited by this slice's (partial) search.
+        states: u64,
+    },
+    /// The job reached a terminal verdict.
+    JobFinished {
+        /// Job index.
+        job: usize,
+        /// Terminal verdict label.
+        verdict: String,
+        /// Total slices consumed.
+        slices: u32,
+        /// Crash-induced fresh restarts.
+        restarts: u32,
+    },
+    /// The unfaulted oracle run for the job finished.
+    OracleFinished {
+        /// Job index.
+        job: usize,
+        /// Oracle verdict label.
+        verdict: String,
+    },
+    /// One step of the perturbed channel walk.
+    WalkStep {
+        /// Job index.
+        job: usize,
+        /// 0-based walk step.
+        step: u32,
+        /// Perturbation applied before stepping (`none`, `loss`,
+        /// `duplicate`, `reorder`).
+        perturbation: &'static str,
+        /// Total queued messages after the step.
+        queued: usize,
+    },
+    /// The loss-closure check completed on the job's composition.
+    ClosureChecked {
+        /// Job index.
+        job: usize,
+        /// Reachable configurations enumerated.
+        configs: usize,
+        /// Single-loss perturbations checked for reachability.
+        candidates: usize,
+    },
+    /// An invariant violation was detected (the run is a failure).
+    Violation {
+        /// Job index the violation is attributed to.
+        job: usize,
+        /// Stable-prefixed description (`divergence:`, `report:`, …).
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimEvent::JobSubmitted {
+                job,
+                kind,
+                property,
+            } => {
+                write!(f, "submit job={job} kind={kind} prop={property}")
+            }
+            SimEvent::SliceStarted { job, slice, now_ns } => {
+                write!(f, "slice job={job} n={slice} t={now_ns}")
+            }
+            SimEvent::Resumed { job, slice } => write!(f, "resume job={job} n={slice}"),
+            SimEvent::CrashInjected { job, slice } => write!(f, "crash job={job} n={slice}"),
+            SimEvent::SliceEnded {
+                job,
+                slice,
+                outcome,
+                states,
+            } => {
+                write!(
+                    f,
+                    "end job={job} n={slice} outcome={outcome} states={states}"
+                )
+            }
+            SimEvent::JobFinished {
+                job,
+                verdict,
+                slices,
+                restarts,
+            } => {
+                write!(
+                    f,
+                    "done job={job} verdict={verdict} slices={slices} restarts={restarts}"
+                )
+            }
+            SimEvent::OracleFinished { job, verdict } => {
+                write!(f, "oracle job={job} verdict={verdict}")
+            }
+            SimEvent::WalkStep {
+                job,
+                step,
+                perturbation,
+                queued,
+            } => {
+                write!(
+                    f,
+                    "walk job={job} step={step} perturb={perturbation} queued={queued}"
+                )
+            }
+            SimEvent::ClosureChecked {
+                job,
+                configs,
+                candidates,
+            } => {
+                write!(
+                    f,
+                    "closure job={job} configs={configs} candidates={candidates}"
+                )
+            }
+            SimEvent::Violation { job, detail } => {
+                write!(f, "violation job={job} {detail}")
+            }
+        }
+    }
+}
+
+/// Joins events into the canonical newline-separated trace.
+pub fn canonical_trace(events: &[SimEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        use fmt::Write;
+        let _ = writeln!(out, "{e}");
+    }
+    out
+}

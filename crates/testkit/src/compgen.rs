@@ -42,6 +42,7 @@ use ddws_relational::{Instance, Tuple};
 use std::fmt;
 
 /// One generated verification case.
+#[derive(Clone)]
 pub struct Case {
     /// The composition (closed, lossy-flat, input-bounded).
     pub composition: Composition,
@@ -152,12 +153,26 @@ impl CaseSpec {
     /// cut produced an ill-formed composition, so the minimizer can simply
     /// reject the cut.
     pub fn build(&self) -> Result<Case, String> {
+        self.build_with_channels(true)
+    }
+
+    /// Materializes the spec with every channel *perfect* (no message
+    /// loss). Everything else — structure, rules, database, property —
+    /// is identical to [`CaseSpec::build`], and the choice is a plain
+    /// argument rather than an RNG draw, so both variants of one spec
+    /// come from the same random stream. The lossy-vs-perfect
+    /// differential swarm compares the two verdicts.
+    pub fn build_lossless(&self) -> Result<Case, String> {
+        self.build_with_channels(false)
+    }
+
+    fn build_with_channels(&self, lossy: bool) -> Result<Case, String> {
         let mut b = CompositionBuilder::new();
         b.semantics(Semantics {
             queue_bound: self.queue_bound,
             ..Semantics::default()
         });
-        b.default_lossy(true);
+        b.default_lossy(lossy);
 
         let live: Vec<ChanSpec> = self
             .chans

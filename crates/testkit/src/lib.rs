@@ -14,7 +14,11 @@
 //!   compositions and input-bounded properties for differential swarm
 //!   tests (e.g. `Reduction::Ample` vs `Reduction::Full`);
 //! * [`faults`] — seeded deterministic fault plans (panic-at-Nth-expansion,
-//!   cancel-at-Nth, deadline-now) for driving the engines' abort paths.
+//!   cancel-at-Nth, deadline-now) for driving the engines' abort paths;
+//! * [`contract`] (feature `contract`, pulls in `ddws-verifier`) — the
+//!   shared robustness/report contract assertions used by the fault
+//!   swarm, the telemetry invariant suite, and the deterministic
+//!   simulator.
 //!
 //! Everything is deterministic: a test's case stream is derived from the
 //! test's name (via [`seed_from`]), so failures reproduce without recording
@@ -24,6 +28,8 @@
 
 #[cfg(feature = "compgen")]
 pub mod compgen;
+#[cfg(feature = "contract")]
+pub mod contract;
 pub mod faults;
 pub mod gen;
 pub mod proptest;

@@ -54,6 +54,11 @@ pub use verify::{
     VerifyError, VerifyOptions,
 };
 
+// Clock surface, re-exported so downstream users (and the deterministic
+// simulator) can inject virtual time into [`VerifyOptions::clock`]
+// without depending on `ddws-automata` directly.
+pub use ddws_automata::{wall_clock, Clock, ClockHandle, ManualClock, WallClock};
+
 // Telemetry surface, re-exported so downstream users configure reporting
 // and run control without depending on `ddws-telemetry` directly.
 pub use ddws_telemetry::{

@@ -54,7 +54,10 @@ impl RunMeta {
         RunMeta {
             entry,
             started: Instant::now(),
-            deadline: opts.deadline.map(Deadline::after),
+            deadline: opts.deadline.map(|d| match &opts.clock {
+                Some(clock) => Deadline::after_on(clock.clone(), d),
+                None => Deadline::after(d),
+            }),
             gate: opts.progress_interval.map(ProgressGate::new),
             nba_ns: 0,
             cex_ns: 0,
@@ -67,7 +70,7 @@ impl RunMeta {
     pub(crate) fn limits(&self, opts: &VerifyOptions) -> SearchLimits {
         SearchLimits {
             max_states: Some(opts.max_states),
-            deadline: self.deadline,
+            deadline: self.deadline.clone(),
             cancel: opts.cancel_token.clone(),
             fault: opts.fault_hook.clone(),
         }

@@ -6,7 +6,7 @@ use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
 use crate::oracle::{FactUniverse, Oracle};
 use crate::product::{PState, ProductSystem, SharedSearch};
 use ddws_automata::emptiness::SearchStats;
-use ddws_automata::{ltl_to_nba, resume_accepting_lasso_with, EngineCheckpoint, Ltl};
+use ddws_automata::{ltl_to_nba, resume_accepting_lasso_with, ClockHandle, EngineCheckpoint, Ltl};
 use ddws_logic::input_bounded::{check_input_bounded_sentence, IbOptions, IbViolation};
 use ddws_logic::parser::{parse_sentence, ParseError, Resolver};
 use ddws_logic::{LtlFo, LtlFoSentence, VarId};
@@ -82,6 +82,14 @@ pub struct VerifyOptions {
     /// Exhaustion yields [`Outcome::Inconclusive`] with a resumable
     /// checkpoint (for [`Verifier::check`]) — never a panic or a hang.
     pub deadline: Option<Duration>,
+    /// The clock the deadline is measured on. `None` uses the process
+    /// wall clock; the deterministic simulator injects a virtual
+    /// [`ManualClock`](ddws_automata::ManualClock) it advances from the
+    /// fault hook, making deadline expiry a pure function of the
+    /// schedule. Only deadline arithmetic reads this clock — phase
+    /// timers in reports stay on real time (and are zeroed by
+    /// `RunReport::redacted` for comparisons).
+    pub clock: Option<ClockHandle>,
     /// Cooperative cancellation: cancel the token from any thread and
     /// every engine worker stops at its next loop iteration, yielding
     /// [`Outcome::Inconclusive`] with the recorded reason.
@@ -124,6 +132,7 @@ impl Default for VerifyOptions {
             fresh_values: None,
             max_states: 5_000_000,
             deadline: None,
+            clock: None,
             cancel_token: None,
             fault_hook: None,
             threads: None,
@@ -145,6 +154,7 @@ impl fmt::Debug for VerifyOptions {
             .field("fresh_values", &self.fresh_values)
             .field("max_states", &self.max_states)
             .field("deadline", &self.deadline)
+            .field("clock", &self.clock.is_some())
             .field("cancel_token", &self.cancel_token.is_some())
             .field("fault_hook", &self.fault_hook.is_some())
             .field("threads", &self.threads)

@@ -4,21 +4,22 @@
 
 // Each including test binary uses a subset of these helpers.
 #![allow(dead_code)]
+#![allow(unused_imports)]
 
 use ddws_model::{CompiledRules, Config, EvalCtx, RuleCache};
+use ddws_testkit::compgen;
 use ddws_testkit::rng::XorShift;
-use ddws_testkit::{compgen, faults};
-use ddws_verifier::{
-    validate_run_report, BufferReporter, DatabaseMode, Outcome, Reduction, ReporterHandle,
-    RuleEval, Verifier, VerifyError, VerifyOptions,
-};
+use ddws_verifier::{DatabaseMode, Outcome, Reduction, RuleEval, Verifier, VerifyOptions};
 use std::collections::HashSet;
-use std::sync::Arc;
-use std::time::Duration;
 
-/// State budget for swarm cases: generous for the tiny generated
-/// compositions, so budget exhaustion stays the exception.
-pub const SWARM_BUDGET: u64 = 30_000;
+// The fault/report contract lives in the testkit now (feature `contract`)
+// so the fault swarm, the telemetry invariant suite, and the
+// deterministic simulator all assert one definition. Re-exported here so
+// the test binaries keep their `common::` spelling.
+pub use ddws_testkit::contract::{
+    assert_fault_case, assert_fault_contract, assert_labelled, fault_opts, report_contract,
+    silence_injected_panics, SWARM_BUDGET,
+};
 
 /// Runs `check` on a freshly drawn case; if it panics, delta-debugs the
 /// case down to a 1-minimal spec that still fails, prints it, and
@@ -114,218 +115,6 @@ pub fn case_agrees(case: &compgen::Case) {
             "verdict disagreement on `{}` (full: {f}, ample: {a})",
             case.property
         );
-    }
-}
-
-/// Installs a process-wide panic hook that swallows the testkit's
-/// *injected* panics (fault-swarm noise) and delegates every other panic
-/// to the previously installed hook. Installed once per process.
-pub fn silence_injected_panics() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let payload = info.payload();
-            let msg = payload
-                .downcast_ref::<String>()
-                .map(String::as_str)
-                .or_else(|| payload.downcast_ref::<&str>().copied())
-                .unwrap_or("");
-            if !msg.contains(faults::INJECTED_PANIC) {
-                prev(info);
-            }
-        }));
-    });
-}
-
-/// The swarm options every fault-contract run starts from.
-fn fault_opts(case: &compgen::Case, threads: Option<usize>, reduction: Reduction) -> VerifyOptions {
-    VerifyOptions {
-        database: DatabaseMode::Fixed(case.database.clone()),
-        fresh_values: Some(1),
-        max_states: SWARM_BUDGET,
-        threads,
-        reduction,
-        ..VerifyOptions::default()
-    }
-}
-
-/// Draws one case, one fault plan, and one engine/reduction point, then
-/// asserts the robustness contract ([`assert_fault_contract`]). Everything
-/// is derived from `rng`, so a printed sub-seed replays the full triple.
-pub fn assert_fault_case(rng: &mut XorShift) {
-    let case = compgen::case(rng);
-    let plan = faults::FaultPlan::draw(rng, 48);
-    let threads = [None, Some(1), Some(2), Some(4)][rng.below(4) as usize];
-    let reduction = if rng.bool() {
-        Reduction::Ample
-    } else {
-        Reduction::Full
-    };
-    assert_fault_contract(&case, &plan, threads, reduction);
-}
-
-/// The robustness contract for one armed fault (DESIGN.md §3.10):
-///
-/// * the run terminates (no deadlock) and never kills the process;
-/// * the reporter receives **exactly one** schema-valid [`RunReport`]
-///   whose merged counters stay coherent;
-/// * an injected panic surfaces as `VerifyError::WorkerPanicked` carrying
-///   the injected payload and the same report the reporter saw;
-/// * a cancellation / deadline / budget stop is an `Ok` report with an
-///   `Inconclusive` outcome labelled for its reason — never a fabricated
-///   verdict;
-/// * resuming a captured checkpoint *without* the fault reaches the same
-///   verdict as an unfaulted baseline run (when both are conclusive).
-///
-/// A fault is a *trigger*, not a guarantee: a search that finishes before
-/// the trigger ordinal (or before the next cancellation stride check)
-/// legitimately returns its ordinary verdict, which must then agree with
-/// the baseline.
-pub fn assert_fault_contract(
-    case: &compgen::Case,
-    plan: &faults::FaultPlan,
-    threads: Option<usize>,
-    reduction: Reduction,
-) {
-    let label = format!(
-        "threads={threads:?} reduction={reduction:?} plan={plan:?} `{}`",
-        case.property
-    );
-
-    // Unfaulted baseline verdict (`None` when the state budget trips).
-    let baseline = {
-        let mut v = Verifier::new(case.composition.clone());
-        let report = v
-            .check_str(&case.property, &fault_opts(case, threads, reduction))
-            .unwrap_or_else(|e| panic!("{label}: baseline run failed: {e}"));
-        match report.outcome {
-            Outcome::Holds => Some(true),
-            Outcome::Violated(_) => Some(false),
-            Outcome::Inconclusive(_) => None,
-        }
-    };
-
-    // The armed run.
-    let buf = Arc::new(BufferReporter::new());
-    let armed = plan.arm();
-    let mut v = Verifier::new(case.composition.clone());
-    let mut opts = fault_opts(case, threads, reduction);
-    opts.reporter = ReporterHandle::new(buf.clone());
-    opts.fault_hook = armed.hook;
-    opts.cancel_token = armed.token;
-    if armed.deadline_now {
-        opts.deadline = Some(Duration::ZERO);
-    }
-    let result = v.check_str(&case.property, &opts);
-
-    // Exactly one schema-valid report, whatever happened.
-    let reports = buf.take_reports();
-    assert_eq!(
-        reports.len(),
-        1,
-        "{label}: expected exactly one final report, got {}",
-        reports.len()
-    );
-    let r = &reports[0];
-    validate_run_report(&r.to_json_value())
-        .unwrap_or_else(|e| panic!("{label}: schema violation: {e}"));
-    assert_eq!(
-        r.counters.rule_cache_hits + r.counters.rule_cache_misses,
-        r.counters.rule_evals,
-        "{label}: merged rule counters are incoherent"
-    );
-
-    match result {
-        Err(VerifyError::WorkerPanicked {
-            payload, report, ..
-        }) => {
-            assert!(
-                matches!(plan, faults::FaultPlan::Panic(_)),
-                "{label}: unplanned worker panic: {payload}"
-            );
-            assert!(
-                payload.contains(faults::INJECTED_PANIC),
-                "{label}: foreign panic payload: {payload}"
-            );
-            assert_eq!(
-                &*report, r,
-                "{label}: attached report differs from the emitted one"
-            );
-            assert_eq!(r.outcome, "worker_panicked", "{label}");
-            assert!(r.counters.truncated, "{label}: stats not flagged truncated");
-            let abort = r
-                .abort
-                .as_ref()
-                .unwrap_or_else(|| panic!("{label}: abort object missing"));
-            assert!(
-                !abort.resumable,
-                "{label}: panic aborts must not claim resumability"
-            );
-        }
-        Err(e) => panic!("{label}: unexpected error: {e}"),
-        Ok(report) => match report.outcome {
-            Outcome::Holds => {
-                assert!(
-                    r.abort.is_none(),
-                    "{label}: conclusive run carries an abort object"
-                );
-                if let Some(b) = baseline {
-                    assert!(b, "{label}: faulted run holds, baseline violated");
-                }
-            }
-            Outcome::Violated(_) => {
-                assert!(
-                    r.abort.is_none(),
-                    "{label}: conclusive run carries an abort object"
-                );
-                if let Some(b) = baseline {
-                    assert!(!b, "{label}: faulted run violated, baseline holds");
-                }
-            }
-            Outcome::Inconclusive(inc) => {
-                assert_eq!(
-                    inc.reason.label(),
-                    r.outcome,
-                    "{label}: report label diverges from the abort reason"
-                );
-                assert!(
-                    r.outcome == plan.outcome_label() || r.outcome == "budget_exceeded",
-                    "{label}: unexpected abort label {}",
-                    r.outcome
-                );
-                assert!(
-                    r.counters.truncated,
-                    "{label}: abort counters not flagged truncated"
-                );
-                let abort = r
-                    .abort
-                    .as_ref()
-                    .unwrap_or_else(|| panic!("{label}: abort object missing"));
-                assert_eq!(
-                    abort.resumable,
-                    inc.checkpoint.is_some(),
-                    "{label}: resumability flag diverges from the checkpoint"
-                );
-                // Resume without the fault: must agree with the baseline.
-                if let Some(cp) = inc.checkpoint {
-                    let resumed = v
-                        .resume(cp, &fault_opts(case, threads, reduction))
-                        .unwrap_or_else(|e| panic!("{label}: resume failed: {e}"));
-                    match (&resumed.outcome, baseline) {
-                        (Outcome::Holds, Some(b)) => {
-                            assert!(b, "{label}: resume holds, baseline violated")
-                        }
-                        (Outcome::Violated(_), Some(b)) => {
-                            assert!(!b, "{label}: resume violated, baseline holds")
-                        }
-                        // The budget tripping (in either leg) leaves no
-                        // verdict to compare.
-                        _ => {}
-                    }
-                }
-            }
-        },
     }
 }
 

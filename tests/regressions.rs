@@ -55,6 +55,75 @@ fn pinned_fault_seeds_stay_green() {
     }
 }
 
+/// Seeds pinned from the whole-system simulation swarm (`tests/sim.rs`),
+/// fed to `ddws_sim::run_seed` directly. Each guards a hard-won schedule
+/// shape the swarm would only rediscover by luck:
+///
+/// * `SIM_CRASH_DURING_RESUME` — a job is preempted by the virtual-clock
+///   deadline, resumes its checkpoint, and the planned crash then lands
+///   *inside the resumed slice*: the checkpoint is discarded, the job
+///   restarts from scratch, and its verdict must still agree with the
+///   unfaulted oracle (the checkpoint-loss path of §3.11).
+/// * `SIM_LOSS_HEAVY` — the perturbed channel walk fires the in-transit
+///   loss perturbation at least four times, pinning T3.4's downward
+///   closure under sustained message loss.
+///
+/// Both must stay violation-free and replay byte-identically.
+const SIM_CRASH_DURING_RESUME: u64 = 62;
+const SIM_LOSS_HEAVY: u64 = 27;
+
+#[test]
+fn pinned_sim_seeds_stay_green() {
+    use ddws_sim::{run_seed, SimEvent, SimOptions};
+    common::silence_injected_panics();
+    let opts = SimOptions::default();
+
+    for (seed, what) in [
+        (SIM_CRASH_DURING_RESUME, "crash-during-resume"),
+        (SIM_LOSS_HEAVY, "loss-heavy"),
+    ] {
+        let run = run_seed(seed, &opts);
+        assert!(
+            run.violations.is_empty(),
+            "pinned sim seed {seed} ({what}) now violates: {:?}",
+            run.violations
+        );
+        let replay = run_seed(seed, &opts);
+        assert_eq!(
+            run.canonical_trace(),
+            replay.canonical_trace(),
+            "pinned sim seed {seed} ({what}) no longer replays deterministically"
+        );
+    }
+
+    // The pinned schedule shapes must persist, or the pins guard nothing.
+    let crashy = run_seed(SIM_CRASH_DURING_RESUME, &opts);
+    let crash_in_resumed_slice = crashy.events.iter().any(|e| {
+        let SimEvent::CrashInjected { job, slice } = e else {
+            return false;
+        };
+        crashy
+            .events
+            .iter()
+            .any(|r| matches!(r, SimEvent::Resumed { job: j, slice: s } if j == job && s == slice))
+    });
+    assert!(
+        crash_in_resumed_slice,
+        "seed {SIM_CRASH_DURING_RESUME} no longer crashes inside a resumed slice"
+    );
+
+    let lossy = run_seed(SIM_LOSS_HEAVY, &opts);
+    let losses = lossy
+        .events
+        .iter()
+        .filter(|e| matches!(e, SimEvent::WalkStep { perturbation, .. } if *perturbation == "loss"))
+        .count();
+    assert!(
+        losses >= 4,
+        "seed {SIM_LOSS_HEAVY} walk lost only {losses} messages (pinned ≥ 4)"
+    );
+}
+
 /// A pinned sub-seed whose case is violated under the sequential full
 /// search and shrinks substantially: the 14-element spec (two channels, a
 /// second relay's worth of rules, two database rows) minimizes to the

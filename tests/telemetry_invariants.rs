@@ -27,11 +27,11 @@ use ddws::scenarios::{bank_loan, chains, ecommerce, travel};
 use ddws_model::{builder::ENV, CompositionBuilder, QueueKind, Semantics};
 use ddws_protocol::{automata_shapes, DataAgnosticProtocol, DataAwareProtocol, Observer};
 use ddws_relational::{Instance, Tuple};
-use ddws_telemetry::{validate_run_report, Json};
+use ddws_telemetry::validate_run_report;
 use ddws_testkit::{compgen, gen, seed_from};
 use ddws_verifier::{
     BufferReporter, CancelToken, Counters, DatabaseMode, Outcome, Reduction, Report,
-    ReporterHandle, RunReport, Verifier, VerifyOptions, SCHEMA_NAME, SCHEMA_VERSION,
+    ReporterHandle, RunReport, Verifier, VerifyOptions,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -356,29 +356,10 @@ fn db_backed_protocol(v: &mut Verifier) -> DataAwareProtocol {
 
 /// Asserts the report validates against the documented schema and carries
 /// the expected entry-point label, returning it for further checks.
-fn assert_labelled(reports: Vec<RunReport>, entry: &str, outcome: &str) -> RunReport {
-    assert_eq!(
-        reports.len(),
-        1,
-        "{entry}: exactly one final report per run"
-    );
-    let r = reports.into_iter().next().unwrap();
-    assert_eq!(r.entry_point, entry);
-    assert_eq!(r.outcome, outcome, "{entry}");
-    let json = Json::parse(&r.to_json()).expect("canonical JSON parses");
-    validate_run_report(&json).unwrap_or_else(|e| panic!("{entry}: schema violation: {e}"));
-    assert_eq!(json.get("schema").and_then(Json::as_str), Some(SCHEMA_NAME));
-    assert_eq!(
-        json.get("version").and_then(Json::as_u64),
-        Some(SCHEMA_VERSION)
-    );
-    assert_eq!(
-        RunReport::from_json(&r.to_json()).expect("round-trip parses"),
-        r,
-        "{entry}: JSON round-trip lost information"
-    );
-    r
-}
+// One report per run, schema-valid, round-trippable, coherent counters,
+// pinned entry point and outcome label — shared with the fault swarm and
+// the deterministic simulator.
+use common::assert_labelled;
 
 #[test]
 fn every_entry_point_emits_a_labelled_report() {
