@@ -131,8 +131,10 @@ impl std::fmt::Display for BudgetExceeded {
 impl std::error::Error for BudgetExceeded {}
 
 /// The outcome of a budgeted lasso search: the witness (if any) plus the
-/// exploration statistics, or budget exhaustion.
-pub type SearchResult<S> = Result<(Option<Lasso<S>>, SearchStats), BudgetExceeded>;
+/// exploration statistics, or budget exhaustion. The error is boxed —
+/// [`BudgetExceeded`] carries the full [`SearchStats`] snapshot, and the
+/// exhaustion path is cold.
+pub type SearchResult<S> = Result<(Option<Lasso<S>>, SearchStats), Box<BudgetExceeded>>;
 
 /// Searches for an accepting lasso; `None` means the language is empty.
 pub fn find_accepting_lasso<TS: TransitionSystem>(ts: &TS) -> Option<Lasso<TS::State>> {
@@ -173,10 +175,10 @@ pub fn find_accepting_lasso_budget_with<TS: TransitionSystem>(
             AbortReason::WorkerPanicked { payload, .. } => {
                 std::panic::resume_unwind(Box::new(payload))
             }
-            _ => Err(BudgetExceeded {
+            _ => Err(Box::new(BudgetExceeded {
                 states_visited: stop.stats.states_visited,
                 stats: stop.stats,
-            }),
+            })),
         },
     }
 }

@@ -324,10 +324,10 @@ pub fn find_accepting_lasso_budget_parallel_with<TS: TransitionSystem>(
             AbortReason::WorkerPanicked { payload, .. } => {
                 std::panic::resume_unwind(Box::new(payload))
             }
-            _ => Err(BudgetExceeded {
+            _ => Err(Box::new(BudgetExceeded {
                 states_visited: stop.stats.states_visited,
                 stats: stop.stats,
-            }),
+            })),
         },
     }
 }

@@ -1,0 +1,379 @@
+//! E13: the succinct interned state representation — the same
+//! verification workloads under `StateRepr::Compact` (hash-consed,
+//! bit-packed configurations with interned footprints) and
+//! `StateRepr::Legacy` (the owned-`Config` oracle of record).
+//!
+//! The workload suite revisits the E8–E10 scenario families at the
+//! state-heavy scale E13 targets — the regime where the E10/E11 phase
+//! profiles showed successor generation and queue bookkeeping dominating
+//! `total_ns`:
+//!
+//! * `e8_nested_chain_{seq,par2}`: a 3-peer relay chain whose middle peer
+//!   accumulates an arity-2 `seen2` join of its private database with the
+//!   relayed tokens, shipping the whole extension downstream over a
+//!   `QueueKind::Nested` channel — configurations are dominated by wide
+//!   state extensions and relation-valued queue payloads, the exact
+//!   shapes hash-consing collapses to `u32` handles.
+//! * `e9_nested_chain_ample`: the same chain under `Reduction::Ample`,
+//!   pairing the representation change with partial-order reduction.
+//! * `e10_dense_chain_seq`: the chain with a phase rotor and an audit
+//!   rule on the accumulator peer, so rule-dense evaluation (footprint
+//!   construction per evaluation) rides on the heavy extensions.
+//!
+//! After the timing groups (run at reduced scale so the harness stays
+//! fast), the acceptance pass measures every workload at full scale under
+//! both representations, asserts the legacy-oracle differential on every
+//! cell (equal verdict and `states_visited` — the bench *fails* rather
+//! than skipping the oracle), asserts the aggregate `total_ns` speedup
+//! bar (≥5× at full scale, ≥2× in the `DDWS_BENCH_SMOKE=1` CI
+//! configuration), measures how much a truncated run's checkpoint
+//! shrinks, and writes the phase-by-phase before/after to
+//! `BENCH_E13.json` at the workspace root.
+
+use ddws_bench::harness::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddws_model::{Composition, CompositionBuilder, QueueKind, Semantics};
+use ddws_relational::{Instance, Tuple};
+use ddws_verifier::{
+    validate_run_report, DatabaseMode, Outcome, Reduction, Report, RuleEval, RunReport, StateRepr,
+    Verifier, VerifyOptions,
+};
+use std::time::Instant;
+
+const REPRS: [(&str, StateRepr); 2] = [
+    ("compact", StateRepr::Compact),
+    ("legacy", StateRepr::Legacy),
+];
+
+/// One suite cell: an E8/E9/E10-family scenario at E13 scale.
+#[derive(Clone, Copy)]
+struct Workload {
+    name: &'static str,
+    /// Private-database rows per peer; state extensions grow to `m²`.
+    m: usize,
+    /// Phase-rotor size on the accumulator peer (0 = no rotor).
+    ring: usize,
+    threads: Option<usize>,
+    reduction: Reduction,
+}
+
+const fn cell(
+    name: &'static str,
+    m: usize,
+    ring: usize,
+    threads: Option<usize>,
+    reduction: Reduction,
+) -> Workload {
+    Workload {
+        name,
+        m,
+        ring,
+        threads,
+        reduction,
+    }
+}
+
+/// The suite. Full scale is what `BENCH_E13.json` reports against the
+/// ≥5× bar; smoke scale keeps the CI job under a second per cell and is
+/// held to ≥2×.
+fn workloads(smoke: bool) -> Vec<Workload> {
+    if smoke {
+        vec![
+            cell("e8_nested_chain_seq", 3, 0, None, Reduction::Full),
+            cell("e8_nested_chain_par2", 3, 0, Some(2), Reduction::Full),
+            cell("e9_nested_chain_ample", 3, 0, None, Reduction::Ample),
+            cell("e10_dense_chain_seq", 3, 4, None, Reduction::Full),
+        ]
+    } else {
+        vec![
+            cell("e8_nested_chain_seq", 6, 0, None, Reduction::Full),
+            cell("e8_nested_chain_par2", 6, 0, Some(2), Reduction::Full),
+            cell("e9_nested_chain_ample", 5, 0, None, Reduction::Ample),
+            cell("e10_dense_chain_seq", 4, 6, None, Reduction::Full),
+        ]
+    }
+}
+
+/// The state-heavy relay chain: P0 emits tokens from its database over a
+/// nested channel, P1 joins them against its private `mine` rows into the
+/// arity-2 accumulator `seen2` and ships the whole extension downstream
+/// (again nested), P2 records what arrived. With `ring ≥ 2`, P1 also
+/// carries a phase rotor and a `mark` audit rule reading `seen2`, giving
+/// the rule-dense E10 shape on top of the heavy extensions.
+fn state_heavy(m: usize, ring: usize) -> (Composition, Instance, String) {
+    let mut b = CompositionBuilder::new();
+    b.semantics(Semantics::default());
+    b.default_lossy(true);
+    b.channel("hop", 1, QueueKind::Nested, "P0", "P1");
+    b.channel("rep", 2, QueueKind::Nested, "P1", "P2");
+    b.peer("P0")
+        .database("token", 1)
+        .input("emit", 1)
+        .input_rule("emit", &["x"], "token(x)")
+        .send_rule("hop", &["x"], "emit(x)");
+    b.peer("P1")
+        .database("mine", 1)
+        .state("seen2", 2)
+        .state_insert_rule("seen2", &["x", "y"], "mine(x) and ?hop(y)")
+        .send_rule("rep", &["x", "y"], "seen2(x, y)");
+    b.peer("P2")
+        .state("got", 2)
+        .state_insert_rule("got", &["x", "y"], "?rep(x, y)");
+    if ring >= 2 {
+        let all = (0..ring)
+            .map(|i| format!("phase(\"r{i}\")"))
+            .collect::<Vec<_>>()
+            .join(" or ");
+        let mut arms = vec![format!("(x = \"r0\" and not ({all}))")];
+        for i in 0..ring {
+            let others = (0..ring)
+                .filter(|&j| j != i)
+                .map(|j| format!("phase(\"r{j}\")"))
+                .collect::<Vec<_>>()
+                .join(" or ");
+            arms.push(format!(
+                "(x = \"r{}\" and phase(\"r{i}\") and not ({others}))",
+                (i + 1) % ring
+            ));
+        }
+        b.peer("P1")
+            .state("phase", 1)
+            .state_insert_rule("phase", &["x"], &arms.join(" or "))
+            .state_delete_rule("phase", &["x"], "phase(x)")
+            .state("mark", 1)
+            .state_insert_rule(
+                "mark",
+                &["x"],
+                "mine(x) and seen2(x, \"t0\") and phase(\"r0\")",
+            );
+    }
+    let mut comp = b.build().expect("state-heavy chain composition");
+    let mut db = Instance::empty(&comp.voc);
+    let token = comp.voc.lookup("P0.token").unwrap();
+    let mine = comp.voc.lookup("P1.mine").unwrap();
+    for i in 0..m {
+        let t = comp.symbols.intern(&format!("t{i}"));
+        db.relation_mut(token).insert(Tuple::new(vec![t]));
+        let a = comp.symbols.intern(&format!("a{i}"));
+        db.relation_mut(mine).insert(Tuple::new(vec![a]));
+    }
+    let prop = "G (forall x: P0.emit(x) -> P0.token(x))".to_string();
+    (comp, db, prop)
+}
+
+fn opts(db: Instance, w: &Workload, state_repr: StateRepr) -> VerifyOptions {
+    VerifyOptions {
+        database: DatabaseMode::Fixed(db),
+        fresh_values: Some(1),
+        threads: w.threads,
+        reduction: w.reduction,
+        rule_eval: RuleEval::Compiled,
+        state_repr,
+        ..VerifyOptions::default()
+    }
+}
+
+fn check(w: &Workload, state_repr: StateRepr) -> Report {
+    let (comp, db, prop) = state_heavy(w.m, w.ring);
+    let mut v = Verifier::new(comp);
+    let report = v.check_str(&prop, &opts(db, w, state_repr)).unwrap();
+    assert!(report.outcome.holds(), "{} must hold", w.name);
+    report
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_state_repr");
+    group.sample_size(10);
+
+    // Timing groups run the suite at smoke scale: the harness lines are
+    // for relative comparison; the full-scale numbers the acceptance bar
+    // is held to land in BENCH_E13.json.
+    for w in workloads(true) {
+        for (repr_name, state_repr) in REPRS {
+            group.bench_with_input(
+                BenchmarkId::new(w.name, repr_name),
+                &state_repr,
+                |b, &state_repr| b.iter(|| check(&w, state_repr).stats.states_visited),
+            );
+        }
+    }
+
+    group.finish();
+
+    acceptance();
+}
+
+/// Per-representation measurements of one workload cell.
+struct Cell {
+    median_ns: u128,
+    report: Report,
+}
+
+fn measure(w: &Workload, state_repr: StateRepr, samples: usize) -> Cell {
+    let mut ns: Vec<u128> = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let report = check(w, state_repr);
+        ns.push(start.elapsed().as_nanos());
+        last = Some(report);
+    }
+    ns.sort_unstable();
+    Cell {
+        median_ns: ns[ns.len() / 2],
+        report: last.expect("at least one sample"),
+    }
+}
+
+fn phase_json(cell: &Cell) -> String {
+    let s = &cell.report.stats;
+    format!(
+        "{{\n        \"median_ns\": {},\n        \"boot_ns\": {},\n        \
+         \"successor_ns\": {},\n        \"rule_eval_ns\": {},\n        \
+         \"lasso_ns\": {},\n        \"intern_calls\": {}\n      }}",
+        cell.median_ns, s.boot_ns, s.successor_ns, s.rule_eval_ns, s.lasso_ns, s.intern_calls
+    )
+}
+
+/// The E13 acceptance bar. Every cell runs under both representations —
+/// the legacy oracle is the differential, not an option — and the
+/// aggregate `total_ns` speedup must clear the bar: ≥5× at full scale,
+/// ≥2× at the reduced smoke scale CI runs (`DDWS_BENCH_SMOKE=1`).
+fn acceptance() {
+    let smoke = std::env::var("DDWS_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let bar = if smoke { 2.0 } else { 5.0 };
+    let samples = std::env::var("DDWS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3);
+
+    let mut rows = Vec::new();
+    let mut total_compact: u128 = 0;
+    let mut total_legacy: u128 = 0;
+    let mut bench_report: Option<RunReport> = None;
+    for w in workloads(smoke) {
+        let compact = measure(&w, StateRepr::Compact, samples);
+        let legacy = measure(&w, StateRepr::Legacy, samples);
+        // The legacy-oracle differential cell: both representations must
+        // agree exactly on the verdict and the explored graph. Every
+        // suite cell holds and runs either sequentially or under the
+        // parallel engine with full expansion, so `states_visited` is
+        // deterministic and must coincide.
+        assert_eq!(
+            (
+                compact.report.outcome.holds(),
+                compact.report.stats.states_visited
+            ),
+            (
+                legacy.report.outcome.holds(),
+                legacy.report.stats.states_visited
+            ),
+            "{}: compact and legacy runs diverged — representation bug",
+            w.name
+        );
+        let speedup = legacy.median_ns as f64 / compact.median_ns.max(1) as f64;
+        println!(
+            "e13_state_repr/acceptance/{}: compact={}ns legacy={}ns speedup={speedup:.2}x \
+             visited={}",
+            w.name, compact.median_ns, legacy.median_ns, compact.report.stats.states_visited
+        );
+        total_compact += compact.median_ns;
+        total_legacy += legacy.median_ns;
+        rows.push(format!(
+            "    \"{}\": {{\n      \"scenario\": {{\"m\": {}, \"ring\": {}, \
+             \"threads\": \"{}\", \"reduction\": \"{}\"}},\n      \
+             \"states_visited\": {},\n      \
+             \"differential\": \"verdict+states_visited equal\",\n      \
+             \"compact\": {},\n      \"legacy\": {},\n      \"speedup\": {speedup:.2}\n    }}",
+            w.name,
+            w.m,
+            w.ring,
+            match w.threads {
+                None => "seq".to_string(),
+                Some(n) => format!("par{n}"),
+            },
+            match w.reduction {
+                Reduction::Ample => "ample",
+                _ => "full",
+            },
+            compact.report.stats.states_visited,
+            phase_json(&compact),
+            phase_json(&legacy),
+        ));
+        bench_report.get_or_insert(compact.report.telemetry);
+    }
+
+    let total_speedup = total_legacy as f64 / total_compact.max(1) as f64;
+    println!(
+        "e13_state_repr/acceptance/total: compact={total_compact}ns legacy={total_legacy}ns \
+         speedup={total_speedup:.2}x (bar {bar:.1}x, {})",
+        if smoke { "smoke scale" } else { "full scale" }
+    );
+    assert!(
+        total_speedup >= bar,
+        "expected >={bar:.1}x compact speedup on suite total_ns, got {total_speedup:.2}x \
+         ({total_compact}ns vs {total_legacy}ns)"
+    );
+
+    // Checkpoint shrink: truncate the same search under both
+    // representations at the same state budget and compare what the
+    // frozen state store retains — the payload a scale-out frontier
+    // serializer would ship.
+    let (ck_m, ck_budget) = if smoke { (3, 500) } else { (5, 10_000) };
+    let ck_w = cell("checkpoint", ck_m, 0, None, Reduction::Full);
+    let mut ck_bytes = [0usize; 2];
+    for (i, (_, state_repr)) in REPRS.iter().enumerate() {
+        let (comp, db, prop) = state_heavy(ck_w.m, ck_w.ring);
+        let mut v = Verifier::new(comp);
+        let o = VerifyOptions {
+            max_states: ck_budget,
+            ..opts(db, &ck_w, *state_repr)
+        };
+        let report = v.check_str(&prop, &o).unwrap();
+        let Outcome::Inconclusive(inc) = &report.outcome else {
+            panic!("checkpoint run must truncate on its state budget");
+        };
+        let ck = inc.checkpoint.as_ref().expect("budget stop is resumable");
+        ck_bytes[i] = ck.approx_state_bytes();
+    }
+    let [ck_compact, ck_legacy] = ck_bytes;
+    let shrink = ck_legacy as f64 / ck_compact.max(1) as f64;
+    println!(
+        "e13_state_repr/acceptance/checkpoint: compact={ck_compact}B legacy={ck_legacy}B \
+         shrink={shrink:.2}x"
+    );
+    assert!(
+        ck_compact * 2 <= ck_legacy,
+        "expected the compact checkpoint to retain at most half the bytes, got {shrink:.2}x \
+         ({ck_compact}B vs {ck_legacy}B)"
+    );
+
+    // The bench harness is itself a reporting entry point (DESIGN.md
+    // §3.9): relabel one measured run's report, validate it against the
+    // schema, and keep it in the artifact.
+    let bench_report = RunReport {
+        entry_point: "bench".into(),
+        ..bench_report.expect("at least one compact sample")
+    };
+    let report_json = bench_report.to_json();
+    let parsed = ddws_telemetry::Json::parse(&report_json).expect("bench report JSON parses");
+    validate_run_report(&parsed).expect("bench report validates against the schema");
+
+    let json = format!(
+        "{{\n  \"experiment\": \"e13_state_repr\",\n  \"mode\": \"{}\",\n  \
+         \"samples\": {samples},\n  \"speedup_bar\": {bar:.1},\n  \"workloads\": {{\n{}\n  }},\n  \
+         \"total\": {{\n    \"compact_median_ns\": {total_compact},\n    \
+         \"legacy_median_ns\": {total_legacy},\n    \"speedup\": {total_speedup:.2}\n  }},\n  \
+         \"checkpoint\": {{\n    \"truncated_at_states\": {ck_budget},\n    \
+         \"compact_bytes\": {ck_compact},\n    \"legacy_bytes\": {ck_legacy},\n    \
+         \"shrink\": {shrink:.2}\n  }},\n  \"run_report\": {report_json}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_E13.json");
+    std::fs::write(path, json).expect("write BENCH_E13.json");
+    println!("e13_state_repr/acceptance: wrote {path}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

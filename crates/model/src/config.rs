@@ -94,6 +94,29 @@ impl Config {
         self.queues[c.index()].back()
     }
 
+    /// Approximate heap footprint in bytes — the checkpoint-size
+    /// accounting counterpart of
+    /// [`CompactConfig::approx_bytes`](crate::compact::CompactConfig::approx_bytes).
+    pub fn approx_bytes(&self) -> usize {
+        let tuple_bytes = |t: &Tuple| t.values().len() * 4 + 24;
+        let msg_bytes = |m: &Message| match m {
+            Message::Flat(t) => tuple_bytes(t),
+            Message::Nested(r) => r.iter().map(tuple_bytes).sum::<usize>() + 24,
+        };
+        std::mem::size_of::<Config>()
+            + self
+                .rel
+                .relations()
+                .map(|r| r.iter().map(tuple_bytes).sum::<usize>() + 24)
+                .sum::<usize>()
+            + self
+                .queues
+                .iter()
+                .map(|q| q.iter().map(msg_bytes).sum::<usize>() + 24)
+                .sum::<usize>()
+            + 3 * self.received.len()
+    }
+
     /// Renders the configuration for counterexample output.
     pub fn display<'a>(
         &'a self,

@@ -186,6 +186,16 @@ impl IndependenceOracle {
     /// refinement (e.g. queue-state-conditional independence) stays a
     /// drop-in replacement.
     pub fn ample_mover(&self, _cfg: &Config) -> Option<Mover> {
+        self.ample_mover_static()
+    }
+
+    /// The configuration-independent form of [`ample_mover`]: with static
+    /// footprints the ample choice never inspects the configuration, so
+    /// representation-agnostic callers (the compact state path never
+    /// materializes a [`Config`]) use this directly.
+    ///
+    /// [`ample_mover`]: Self::ample_mover
+    pub fn ample_mover_static(&self) -> Option<Mover> {
         if !self.enabled {
             return None;
         }

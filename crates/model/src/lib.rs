@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 pub mod builder;
+pub mod compact;
 pub mod composition;
 pub mod config;
 pub mod independence;
@@ -35,6 +36,7 @@ pub mod step;
 pub mod view;
 
 pub use builder::{BuildError, CompositionBuilder, PeerBuilder};
+pub use compact::{CompactConfig, CompactView, StatePool};
 pub use composition::{
     Channel, ChannelId, ChannelRole, Composition, Endpoint, Mover, Peer, PeerId, QueueKind,
     Semantics,

@@ -25,7 +25,7 @@
 //! the interpreter available as the oracle of record.
 
 use crate::composition::{Composition, PeerId};
-use crate::view::{ReadSlot, RuleView};
+use crate::view::{EvalView, ReadSlot};
 use ddws_logic::{compile_rule, eval_plan, satisfying_valuations, Fo, Plan, VarId};
 use ddws_relational::Value;
 use std::collections::HashMap;
@@ -220,15 +220,18 @@ pub struct EvalCtx<'a> {
 }
 
 impl EvalCtx<'_> {
-    /// Evaluates one rule body over `view`, through plans and the cache
-    /// when available. Returns the head tuples in sorted order — identical
-    /// for both engines (the swarm differential pins this).
-    pub fn eval_rule(
+    /// Evaluates one rule body over `view` — the legacy [`RuleView`] or the
+    /// compact representation's view — through plans and the cache when
+    /// available. Returns the head tuples in sorted order — identical for
+    /// both engines (the swarm differential pins this).
+    ///
+    /// [`RuleView`]: crate::view::RuleView
+    pub fn eval_rule<V: EvalView + ?Sized>(
         &self,
         rule: RuleRef,
         head: &[VarId],
         body: &Fo,
-        view: &RuleView<'_>,
+        view: &V,
     ) -> Extension {
         let start = self.cache.map(|_| Instant::now());
         let result = self.eval_inner(rule, head, body, view);
@@ -241,12 +244,12 @@ impl EvalCtx<'_> {
         result
     }
 
-    fn eval_inner(
+    fn eval_inner<V: EvalView + ?Sized>(
         &self,
         rule: RuleRef,
         head: &[VarId],
         body: &Fo,
-        view: &RuleView<'_>,
+        view: &V,
     ) -> Extension {
         let Some((id, plan)) = self.compiled.and_then(|c| c.plan(rule)) else {
             // Interpreted evaluation: nothing is memoizable, so a metered
@@ -259,7 +262,7 @@ impl EvalCtx<'_> {
         let Some(cache) = self.cache else {
             return Arc::new(eval_plan(plan, view));
         };
-        match view.0.footprint(plan.reads()) {
+        match view.eval_footprint(plan.reads()) {
             Some(key) => {
                 if let Some(hit) = cache.get(id, &key) {
                     cache.hits.fetch_add(1, Ordering::Relaxed);

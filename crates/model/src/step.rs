@@ -434,8 +434,9 @@ impl Composition {
     }
 }
 
-/// All messages the environment can emit on a channel.
-fn env_messages(
+/// All messages the environment can emit on a channel (shared with the
+/// compact stepper, which interns them once per channel).
+pub(crate) fn env_messages(
     kind: QueueKind,
     arity: usize,
     domain: &[Value],
@@ -486,7 +487,7 @@ fn all_tuples(domain: &[Value], arity: usize) -> Vec<Tuple> {
     out.into_iter().map(Tuple::from).collect()
 }
 
-fn to_relation(tuples: &[Vec<Value>]) -> Relation {
+pub(crate) fn to_relation(tuples: &[Vec<Value>]) -> Relation {
     Relation::from_tuples(tuples.iter().map(|t| Tuple::from(t.as_slice())))
 }
 
@@ -494,7 +495,7 @@ fn to_relation(tuples: &[Vec<Value>]) -> Relation {
 /// into the output once, a 64-bit fingerprint pre-screens for duplicates,
 /// and only fingerprint collisions pay an exact comparison (against the
 /// already-kept item — never a deep copy).
-fn dedup_preserving_order<T: Hash + Eq>(items: Vec<T>) -> Vec<T> {
+pub(crate) fn dedup_preserving_order<T: Hash + Eq>(items: Vec<T>) -> Vec<T> {
     if items.len() <= 1 {
         return items;
     }

@@ -115,6 +115,22 @@ pub enum ReadSlot {
     Ext(Vec<Vec<Value>>),
     /// A propositional read (queue-empty, bookkeeping flags, move markers).
     Flag(bool),
+    /// A hash-consed extension handle from the compact state pool
+    /// ([`crate::compact::StatePool`]): handle equality is content equality
+    /// within one pool, so a handle is as exact a key as the materialized
+    /// extension — at four bytes.
+    Interned(u32),
+}
+
+/// A snapshot view usable by [`EvalCtx`](crate::plan::EvalCtx): a
+/// [`Structure`] that can additionally materialize the read footprint of a
+/// compiled plan for footprint-keyed rule memoization.
+pub trait EvalView: Structure {
+    /// Materializes everything evaluation over `reads` can observe, one
+    /// slot per relation in the order given; `None` when some relation
+    /// cannot be materialized (lazily decided database facts) — such
+    /// evaluations must not be memoized.
+    fn eval_footprint(&self, reads: &[RelId]) -> Option<Vec<ReadSlot>>;
 }
 
 impl SnapshotView<'_> {
@@ -308,5 +324,11 @@ impl Structure for RuleView<'_> {
 
     fn scan(&self, rel: RelId) -> Option<Vec<Vec<Value>>> {
         self.0.scan(rel)
+    }
+}
+
+impl EvalView for RuleView<'_> {
+    fn eval_footprint(&self, reads: &[RelId]) -> Option<Vec<ReadSlot>> {
+        self.0.footprint(reads)
     }
 }

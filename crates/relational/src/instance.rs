@@ -48,6 +48,11 @@ impl Instance {
         }
     }
 
+    /// Iterates the relations in [`RelId`] order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.rels.iter()
+    }
+
     /// The relation interpreting `id`.
     pub fn relation(&self, id: RelId) -> &Relation {
         &self.rels[id.index()]

@@ -23,12 +23,14 @@
 
 #![warn(missing_docs)]
 pub mod instance;
+pub mod intern;
 pub mod relation;
 pub mod tuple;
 pub mod value;
 pub mod vocabulary;
 
 pub use instance::Instance;
+pub use intern::{Interner, PackSpec};
 pub use relation::Relation;
 pub use tuple::Tuple;
 pub use value::{Symbols, Value};

@@ -17,7 +17,10 @@
 //! * `report:` — every slice emits exactly one schema-valid, coherent
 //!   [`RunReport`] ([`contract::report_contract`]);
 //! * `divergence:` — a job's terminal verdict must agree with an
-//!   unfaulted oracle run of the same case and budget;
+//!   unfaulted oracle run of the same case and budget under the legacy
+//!   state representation (jobs themselves draw compact or legacy states
+//!   per seed, so half the corpus is a cross-representation differential
+//!   with crash/resume in the loop);
 //! * `panic:` — only planned crashes may panic, with the injected
 //!   payload, and the attached report must match the emitted one;
 //! * `deadlock:` — every job terminates within the slice bound;
@@ -35,7 +38,7 @@ use ddws_testkit::rng::XorShift;
 use ddws_testkit::{compgen, contract, faults};
 use ddws_verifier::{
     BufferReporter, CancelToken, Checkpoint, DatabaseMode, FaultHook, Outcome, Reduction,
-    ReporterHandle, RuleEval, RunReport, Verifier, VerifyError, VerifyOptions,
+    ReporterHandle, RuleEval, RunReport, StateRepr, Verifier, VerifyError, VerifyOptions,
 };
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -125,6 +128,9 @@ pub struct JobRecord {
     /// The compgen spec the job was built from (None for fixed jobs) —
     /// the shrinker's substrate.
     pub spec: Option<compgen::CaseSpec>,
+    /// The state representation the job's searches ran under (held
+    /// across every slice, resume, and restart of the job).
+    pub state_repr: StateRepr,
     /// Terminal verdict label.
     pub verdict: String,
     /// The unfaulted oracle's verdict label.
@@ -254,6 +260,7 @@ struct Job {
     verifier: Verifier,
     reduction: Reduction,
     rule_eval: RuleEval,
+    state_repr: StateRepr,
     /// Planned crash / cancellation: (slice, expansion ordinal).
     crash: Option<(u32, u64)>,
     cancel: Option<(u32, u64)>,
@@ -277,6 +284,7 @@ impl Job {
             threads: None, // sequential: byte-identical traces and stats
             reduction: self.reduction,
             rule_eval: self.rule_eval,
+            state_repr: self.state_repr,
             progress_interval: None,
             ..VerifyOptions::default()
         }
@@ -377,6 +385,16 @@ fn run_impl(
             property,
             reduction: plan.reduction,
             rule_eval: plan.rule_eval,
+            // Drawn from the walk seed's parity bit rather than a fresh
+            // `rng.bool()`: the RNG stream is untouched, so every pinned
+            // schedule from before representations existed replays
+            // unchanged. The bit is *reused*, not consumed — the walk
+            // itself keeps its full seed.
+            state_repr: if plan.walk_seed & 1 == 0 {
+                StateRepr::Compact
+            } else {
+                StateRepr::Legacy
+            },
             crash: plan.crash,
             cancel: plan.cancel,
             walk_seed: plan.walk_seed,
@@ -411,6 +429,7 @@ fn run_impl(
                 kind: j.kind,
                 property: j.property,
                 spec: j.spec,
+                state_repr: j.state_repr,
                 verdict: j.verdict.unwrap_or_else(|| "unknown".to_string()),
                 oracle: j.oracle,
                 slices: j.slices,
@@ -623,10 +642,14 @@ fn finish_job(
     });
 
     // Unfaulted oracle: same case, same engine shape, same final budget,
-    // no clock, no deadline, no faults.
+    // no clock, no deadline, no faults — and always the *legacy* state
+    // representation, the representation of record. A job that drew
+    // `StateRepr::Compact` therefore has its sliced, faulted, interned
+    // run cross-checked against the uninterned baseline.
     let mut v = Verifier::new(job.composition.clone());
     let mut oracle_opts = job.base_opts();
     oracle_opts.max_states = job.budget;
+    oracle_opts.state_repr = StateRepr::Legacy;
     let oracle = match v.check_str(&job.property, &oracle_opts) {
         Ok(r) => match &r.outcome {
             Outcome::Inconclusive(inc) => inc.reason.label().to_string(),

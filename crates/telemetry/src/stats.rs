@@ -23,6 +23,11 @@
 /// * **Rule evaluation** — `rule_evals` counts metered rule evaluations;
 ///   `rule_cache_hits + rule_cache_misses == rule_evals` whenever the
 ///   footprint cache is metering (both engines meter by default).
+/// * **State interning** — `intern_calls`, `intern_hits`, `intern_misses`
+///   meter the compact representation's hash-cons tables (extension pool
+///   plus the configuration interner); `intern_hits + intern_misses ==
+///   intern_calls` always, and all three are zero under the legacy
+///   representation.
 /// * **Phase timers** — nanosecond spans for boot enumeration
 ///   (`boot_ns`), successor generation (`successor_ns`), rule evaluation
 ///   inside successor generation (`rule_eval_ns`), and SCC/lasso
@@ -48,6 +53,13 @@ pub struct SearchStats {
     pub rule_cache_hits: u64,
     /// Footprint-cache misses (including unmemoizable evaluations).
     pub rule_cache_misses: u64,
+    /// Hash-cons intern calls under the compact state representation
+    /// (zero under the legacy representation).
+    pub intern_calls: u64,
+    /// Intern calls answered from the tables.
+    pub intern_hits: u64,
+    /// Intern calls that created fresh entries.
+    pub intern_misses: u64,
     /// Nanoseconds spent evaluating rules (inside boot + successor spans).
     pub rule_eval_ns: u64,
     /// Nanoseconds spent enumerating initial (boot) configurations.
@@ -77,6 +89,9 @@ impl SearchStats {
         self.rule_evals += other.rule_evals;
         self.rule_cache_hits += other.rule_cache_hits;
         self.rule_cache_misses += other.rule_cache_misses;
+        self.intern_calls += other.intern_calls;
+        self.intern_hits += other.intern_hits;
+        self.intern_misses += other.intern_misses;
         self.rule_eval_ns += other.rule_eval_ns;
         self.boot_ns += other.boot_ns;
         self.successor_ns += other.successor_ns;
@@ -100,6 +115,9 @@ mod tests {
             rule_evals: 6,
             rule_cache_hits: 7,
             rule_cache_misses: 8,
+            intern_calls: 13,
+            intern_hits: 14,
+            intern_misses: 15,
             rule_eval_ns: 9,
             boot_ns: 10,
             successor_ns: 11,
@@ -115,6 +133,9 @@ mod tests {
             rule_evals: 600,
             rule_cache_hits: 700,
             rule_cache_misses: 800,
+            intern_calls: 1300,
+            intern_hits: 1400,
+            intern_misses: 1500,
             rule_eval_ns: 900,
             boot_ns: 1000,
             successor_ns: 1100,
@@ -133,6 +154,9 @@ mod tests {
                 rule_evals: 606,
                 rule_cache_hits: 707,
                 rule_cache_misses: 808,
+                intern_calls: 1313,
+                intern_hits: 1414,
+                intern_misses: 1515,
                 rule_eval_ns: 909,
                 boot_ns: 1010,
                 successor_ns: 1111,

@@ -15,6 +15,7 @@
 
 use ddws_logic::LtlFoSentence;
 use ddws_model::Composition;
+use ddws_relational::Value;
 
 /// Heuristic number of fresh domain values: one per universally quantified
 /// property variable, plus the largest input/flat-channel arity (so a rule
@@ -36,6 +37,22 @@ pub fn suggested_fresh_values(comp: &Composition, property: &LtlFoSentence) -> u
         .max()
         .unwrap_or(0);
     (property.universal_vars.len() + max_input_arity.max(max_flat_arity)).max(2)
+}
+
+/// The value capacity the compact representation's bit-packing must cover:
+/// one past the largest [`Value`] index any reachable extension can hold.
+///
+/// Over the input-bounded fragment every value a run manipulates comes
+/// from the closed verification domain (rule and property constants plus
+/// the database active domain plus the fresh values — all interned before
+/// the search starts), so the maximum of the domain's indices and the
+/// symbol table's length bounds every packable index. The symbol-table
+/// term is a belt-and-braces floor for callers that interned symbols
+/// outside the domain; it costs at most a bit or two of width.
+pub fn packing_capacity(comp: &Composition, domain: &[Value]) -> usize {
+    let max_domain = domain.iter().map(|v| v.index()).max().unwrap_or(0);
+    let max_symbol = comp.symbols.len().saturating_sub(1);
+    max_domain.max(max_symbol) + 1
 }
 
 #[cfg(test)]

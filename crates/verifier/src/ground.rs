@@ -75,11 +75,20 @@ impl AtomRegistry {
         mover: Option<Mover>,
         domain: &[Value],
     ) -> Letter {
-        let view = SnapshotView::new(comp, db, config, mover, domain);
+        self.letter_view(&SnapshotView::new(comp, db, config, mover, domain))
+    }
+
+    /// Evaluates every atom over an arbitrary snapshot [`Structure`] — the
+    /// legacy [`SnapshotView`] or the compact representation's
+    /// [`CompactView`](ddws_model::CompactView), which answers atom
+    /// lookups from packed codes without materializing a [`Config`].
+    ///
+    /// [`Structure`]: ddws_logic::Structure
+    pub fn letter_view<S: ddws_logic::Structure + ?Sized>(&self, view: &S) -> Letter {
         let mut val = Valuation::with_capacity(0);
         let mut letter: Letter = 0;
         for (i, atom) in self.atoms.iter().enumerate() {
-            if ddws_logic::eval_fo(atom, &view, &mut val) {
+            if ddws_logic::eval_fo(atom, view, &mut val) {
                 letter |= 1 << i;
             }
         }

@@ -50,8 +50,8 @@ pub mod verify;
 
 pub use counterexample::{Counterexample, RunStep};
 pub use verify::{
-    Checkpoint, DatabaseMode, Inconclusive, Outcome, Reduction, Report, RuleEval, Verifier,
-    VerifyError, VerifyOptions,
+    Checkpoint, DatabaseMode, Inconclusive, Outcome, Reduction, Report, RuleEval, StateRepr,
+    Verifier, VerifyError, VerifyOptions,
 };
 
 // Clock surface, re-exported so downstream users (and the deterministic

@@ -29,10 +29,9 @@
 //! checker rejects the others.
 
 use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
-use crate::product::{ProductSystem, SharedSearch};
+use crate::product::ProductSystem;
 use crate::verify::{
-    build_counterexample, Inconclusive, Outcome, Report, RuleEval, Verifier, VerifyError,
-    VerifyOptions,
+    build_counterexample, Inconclusive, Outcome, Report, Verifier, VerifyError, VerifyOptions,
 };
 use ddws_automata::emptiness::SearchStats;
 use ddws_automata::ltl_to_nba;
@@ -176,10 +175,12 @@ impl Verifier {
         let combined = LtlFo::And(vec![translated.body.clone(), property.body.clone()]);
         let reduction =
             crate::verify::reduction_oracle(self.composition(), &combined, &observed, opts);
-        let shared = match opts.rule_eval {
-            RuleEval::Compiled => SharedSearch::compiled(self.composition()),
-            RuleEval::Interpreted => SharedSearch::interpreted_metered(),
-        };
+        let shared = crate::verify::build_shared(
+            self.composition(),
+            opts.rule_eval,
+            opts.state_repr,
+            &domain,
+        );
         let limits = meta.limits(opts);
         let mut stats = SearchStats::default();
         let valuations = canonical_valuations(&property.universal_vars, &constants, &fresh);

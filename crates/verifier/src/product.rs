@@ -25,9 +25,10 @@ use crate::ground::AtomRegistry;
 use crate::oracle::{FactUniverse, Oracle, RecordingDb};
 use ddws_automata::{Expansion, Nba, TransitionSystem};
 use ddws_model::{
-    CompiledRules, Composition, Config, EvalCtx, IndependenceOracle, Mover, RuleCache,
+    CompactConfig, CompactView, CompiledRules, Composition, Config, EvalCtx, IndependenceOracle,
+    Mover, RuleCache, StatePool,
 };
-use ddws_relational::{Instance, Value};
+use ddws_relational::{Instance, Interner as MeteredInterner, Value};
 use ddws_telemetry::{RuleMeterSource, SearchStats};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -131,6 +132,20 @@ impl<T: Hash + Eq> Interner<T> {
             .expect("interner shard poisoned");
         Arc::clone(&shard.items[(id >> SHARD_BITS) as usize])
     }
+
+    fn approx_bytes(&self, cost: impl Fn(&T) -> usize) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("interner shard poisoned")
+                    .items
+                    .iter()
+                    .map(|item| cost(item))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
 }
 
 /// A sharded `HashMap` cache; values are cloned out under a read lock.
@@ -170,6 +185,16 @@ impl<K: Hash + Eq, V: Clone> ShardedMap<K, V> {
 /// expansion forks on an undecided database fact.
 type StepResult = Result<Arc<[u32]>, usize>;
 
+/// The compact state space of one run: the extension pool (hash-consed
+/// relation instances and queue contents, bit-packed where the domain
+/// allows) plus the configuration interner mapping [`CompactConfig`]s to
+/// the dense ids [`PState`] carries. Both layers meter hits and misses, so
+/// `SearchStats`' intern counters satisfy `hits + misses == calls` exactly.
+pub(crate) struct CompactSpace {
+    pub(crate) pool: StatePool,
+    pub(crate) configs: MeteredInterner<CompactConfig>,
+}
+
 /// Search state shared across the valuations of one `check` call: the
 /// configuration/oracle interners and the composition-step cache. Steps
 /// depend only on (config, mover, oracle) — not on the property valuation —
@@ -178,6 +203,10 @@ type StepResult = Result<Arc<[u32]>, usize>;
 #[derive(Default)]
 pub struct SharedSearch {
     configs: Interner<Config>,
+    /// Compact state space; `Some` routes configurations through the
+    /// hash-cons pool and leaves the legacy `configs` interner unused
+    /// (`VerifyOptions::state_repr`).
+    compact: Option<CompactSpace>,
     oracles: Interner<Oracle>,
     /// (config, mover, oracle) → successor configs (or fork fact).
     steps: ShardedMap<(u32, Mover, u32), StepResult>,
@@ -209,8 +238,9 @@ impl SharedSearch {
     /// of [`crate::VerifyOptions`]).
     ///
     /// One `SharedSearch` serves one verification run: the memo table's
-    /// soundness requires the quantification domain to stay fixed for its
-    /// lifetime.
+    /// soundness requires the quantification domain — and, in compact
+    /// mode, the fixed database, whose footprint handle the state pool
+    /// caches — to stay fixed for its lifetime.
     pub fn compiled(comp: &Composition) -> Self {
         let compiled = CompiledRules::new(comp);
         let rule_cache = RuleCache::new(&compiled);
@@ -228,6 +258,57 @@ impl SharedSearch {
         SharedSearch {
             rule_cache: Some(RuleCache::timing_only()),
             ..Default::default()
+        }
+    }
+
+    /// Switches this shared state to the compact (hash-consed, bit-packed)
+    /// configuration representation. `value_capacity` must be one past the
+    /// largest [`Value`] index any reachable extension can hold — the
+    /// verifier derives it with
+    /// [`domain::packing_capacity`](crate::domain::packing_capacity) from
+    /// the closed input-bounded domain.
+    ///
+    /// Like the rule engine, the representation is fixed for the lifetime
+    /// of the shared state: configuration ids from one representation are
+    /// meaningless in the other.
+    pub fn with_compact(mut self, comp: &Composition, value_capacity: usize) -> Self {
+        self.compact = Some(CompactSpace {
+            pool: StatePool::new(comp, value_capacity),
+            configs: MeteredInterner::new(),
+        });
+        self
+    }
+
+    /// Whether this shared state uses the compact representation.
+    pub fn is_compact(&self) -> bool {
+        self.compact.is_some()
+    }
+
+    /// Intern-table counters: (calls, hits, misses) summed over the
+    /// extension pool and the configuration interner. All zero under the
+    /// legacy representation.
+    pub fn intern_stats(&self) -> (u64, u64, u64) {
+        match &self.compact {
+            Some(space) => {
+                let hits = space.pool.intern_hits() + space.configs.hits();
+                let misses = space.pool.intern_misses() + space.configs.misses();
+                (hits + misses, hits, misses)
+            }
+            None => (0, 0, 0),
+        }
+    }
+
+    /// Approximate heap bytes held by the state store — interned
+    /// configurations plus (in compact mode) the extension pool. This is
+    /// the dominant term of a checkpoint's retained memory, since
+    /// [`EngineCheckpoint`](ddws_automata::EngineCheckpoint) frontiers and
+    /// visited sets store dense ids.
+    pub fn approx_state_bytes(&self) -> usize {
+        match &self.compact {
+            Some(space) => {
+                space.pool.approx_bytes() + space.configs.approx_bytes(CompactConfig::approx_bytes)
+            }
+            None => self.configs.approx_bytes(Config::approx_bytes),
         }
     }
 
@@ -264,6 +345,10 @@ impl SharedSearch {
         }
         stats.boot_ns = self.boot_ns.load(Ordering::Relaxed);
         stats.successor_ns = self.step_ns.load(Ordering::Relaxed);
+        let (calls, hits, misses) = self.intern_stats();
+        stats.intern_calls = calls;
+        stats.intern_hits = hits;
+        stats.intern_misses = misses;
     }
 }
 
@@ -337,9 +422,15 @@ impl<'a> ProductSystem<'a> {
         self
     }
 
-    /// Resolves an interned configuration.
+    /// Resolves an interned configuration, materializing it from the
+    /// compact pool when that representation is active. Hot paths never
+    /// call this in compact mode (letters and steps work on handles); it
+    /// serves counterexample reconstruction and display.
     pub fn config(&self, id: u32) -> Arc<Config> {
-        self.shared.configs.get(id)
+        match &self.shared.compact {
+            Some(space) => Arc::new(space.pool.expand(self.comp, &space.configs.resolve(id))),
+            None => self.shared.configs.get(id),
+        }
     }
 
     /// Resolves an interned oracle.
@@ -363,12 +454,29 @@ impl<'a> ProductSystem<'a> {
         let start = Instant::now();
         let o = self.oracle(oracle);
         let db = RecordingDb::new(self.base_db, self.universe, &o);
-        let configs = self
-            .comp
-            .initial_configs_with(&db, self.domain, self.shared.eval_ctx());
-        let result = match db.undecided_hit() {
-            Some(fact) => Err(fact),
-            None => Ok(configs.into_iter().map(|c| self.intern_config(c)).collect()),
+        let result = match &self.shared.compact {
+            Some(space) => {
+                let configs =
+                    space
+                        .pool
+                        .initial_configs(self.comp, &db, self.domain, self.shared.eval_ctx());
+                match db.undecided_hit() {
+                    Some(fact) => Err(fact),
+                    None => Ok(configs
+                        .into_iter()
+                        .map(|c| space.configs.intern(c))
+                        .collect()),
+                }
+            }
+            None => {
+                let configs =
+                    self.comp
+                        .initial_configs_with(&db, self.domain, self.shared.eval_ctx());
+                match db.undecided_hit() {
+                    Some(fact) => Err(fact),
+                    None => Ok(configs.into_iter().map(|c| self.intern_config(c)).collect()),
+                }
+            }
         };
         self.shared.boots.insert(oracle, result.clone());
         self.shared
@@ -385,14 +493,37 @@ impl<'a> ProductSystem<'a> {
         }
         let start = Instant::now();
         let o = self.oracle(oracle);
-        let cfg = self.config(config);
         let db = RecordingDb::new(self.base_db, self.universe, &o);
-        let next = self
-            .comp
-            .successors_with(&db, self.domain, &cfg, mover, self.shared.eval_ctx());
-        let result = match db.undecided_hit() {
-            Some(fact) => Err(fact),
-            None => Ok(next.into_iter().map(|c| self.intern_config(c)).collect()),
+        let result = match &self.shared.compact {
+            Some(space) => {
+                let cc = space.configs.resolve(config);
+                let next = space.pool.successors(
+                    self.comp,
+                    &db,
+                    self.domain,
+                    &cc,
+                    mover,
+                    self.shared.eval_ctx(),
+                );
+                match db.undecided_hit() {
+                    Some(fact) => Err(fact),
+                    None => Ok(next.into_iter().map(|c| space.configs.intern(c)).collect()),
+                }
+            }
+            None => {
+                let cfg = self.config(config);
+                let next = self.comp.successors_with(
+                    &db,
+                    self.domain,
+                    &cfg,
+                    mover,
+                    self.shared.eval_ctx(),
+                );
+                match db.undecided_hit() {
+                    Some(fact) => Err(fact),
+                    None => Ok(next.into_iter().map(|c| self.intern_config(c)).collect()),
+                }
+            }
         };
         self.shared.steps.insert(key, result.clone());
         self.shared
@@ -504,14 +635,31 @@ impl ProductSystem<'_> {
                 q,
                 oracle,
             } => {
-                // 1. The letter of this snapshot.
+                // 1. The letter of this snapshot (read off the compact
+                //    handles directly when that representation is active —
+                //    the per-(config, mover) hot path must not expand).
                 let letter = {
                     let o = self.oracle(oracle);
-                    let cfg = self.config(config);
                     let db = RecordingDb::new(self.base_db, self.universe, &o);
-                    let letter = self
-                        .atoms
-                        .letter(self.comp, &db, &cfg, Some(mover), self.domain);
+                    let letter = match &self.shared.compact {
+                        Some(space) => {
+                            let cc = space.configs.resolve(config);
+                            let view = CompactView::new(
+                                &space.pool,
+                                self.comp,
+                                &db,
+                                &cc,
+                                Some(mover),
+                                self.domain,
+                            );
+                            self.atoms.letter_view(&view)
+                        }
+                        None => {
+                            let cfg = self.config(config);
+                            self.atoms
+                                .letter(self.comp, &db, &cfg, Some(mover), self.domain)
+                        }
+                    };
                     if let Some(fact) = db.undecided_hit() {
                         return (self.fork(*s, oracle, fact), false);
                     }
@@ -535,9 +683,12 @@ impl ProductSystem<'_> {
                 let mut out =
                     Vec::with_capacity(next_configs.len() * movers.len() * q_targets.len());
                 for &cid in next_configs.iter() {
+                    // Ample eligibility is configuration-independent
+                    // (static footprints), so neither representation
+                    // materializes the successor here.
                     let ample_mover = reduce
                         .filter(|_| movers.len() > 1)
-                        .and_then(|ind| ind.ample_mover(&self.config(cid)));
+                        .and_then(IndependenceOracle::ample_mover_static);
                     let sched: &[Mover] = match &ample_mover {
                         Some(m) => {
                             ample = true;

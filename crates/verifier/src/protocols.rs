@@ -15,10 +15,9 @@
 
 use crate::counterexample::Counterexample;
 use crate::ground::{canonical_valuations, AtomRegistry};
-use crate::product::{PState, ProductSystem, SharedSearch};
+use crate::product::{PState, ProductSystem};
 use crate::verify::{
-    build_counterexample, Inconclusive, Outcome, Report, RuleEval, Verifier, VerifyError,
-    VerifyOptions,
+    build_counterexample, Inconclusive, Outcome, Report, Verifier, VerifyError, VerifyOptions,
 };
 use ddws_automata::complement::{complement, complement_deterministic, complete};
 use ddws_automata::emptiness::SearchStats;
@@ -284,10 +283,7 @@ impl Verifier {
     ) -> Result<(Outcome, SearchStats), Box<Interrupted<PState>>> {
         let (base_db, universe) = self.database_setup_pub(&opts.database, domain);
         let comp = self.composition();
-        let shared = match opts.rule_eval {
-            RuleEval::Compiled => SharedSearch::compiled(comp),
-            RuleEval::Interpreted => SharedSearch::interpreted_metered(),
-        };
+        let shared = crate::verify::build_shared(comp, opts.rule_eval, opts.state_repr, domain);
         let system = ProductSystem::new(
             comp,
             &base_db,

@@ -66,6 +66,25 @@ pub enum RuleEval {
     Interpreted,
 }
 
+/// Which representation the search stores configurations in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum StateRepr {
+    /// Hash-consed, bit-packed configurations ([`ddws_model::compact`]):
+    /// relation instances and queue contents intern to dense handles over
+    /// the closed input-bounded domain, successor generation works
+    /// handle-to-handle without materializing [`Config`]s, and footprint
+    /// keys shrink to per-relation handles. Verdicts, successor sequences
+    /// and expansion counts are identical to [`StateRepr::Legacy`]; the
+    /// representation-equivalence swarm pins this tuple for tuple.
+    ///
+    /// [`Config`]: ddws_model::Config
+    #[default]
+    Compact,
+    /// The original owned-`Config` representation — the oracle of record
+    /// the differential harness compares the compact path against.
+    Legacy,
+}
+
 /// Verification options.
 #[derive(Clone)]
 pub struct VerifyOptions {
@@ -115,6 +134,8 @@ pub struct VerifyOptions {
     pub reduction: Reduction,
     /// Rule-evaluation engine (default [`RuleEval::Compiled`]).
     pub rule_eval: RuleEval,
+    /// Configuration representation (default [`StateRepr::Compact`]).
+    pub state_repr: StateRepr,
     /// Where telemetry goes: progress snapshots while the search runs and
     /// one [`RunReport`] when it finishes. Defaults to the silent reporter,
     /// which costs one branch per ~1024 expanded states on the hot path.
@@ -140,6 +161,7 @@ impl Default for VerifyOptions {
             ib_options: IbOptions::default(),
             reduction: Reduction::default(),
             rule_eval: RuleEval::default(),
+            state_repr: StateRepr::default(),
             reporter: ReporterHandle::default(),
             progress_interval: Some(Duration::from_secs(1)),
         }
@@ -161,8 +183,31 @@ impl fmt::Debug for VerifyOptions {
             .field("require_input_bounded", &self.require_input_bounded)
             .field("reduction", &self.reduction)
             .field("rule_eval", &self.rule_eval)
+            .field("state_repr", &self.state_repr)
             .field("progress_interval", &self.progress_interval)
             .finish_non_exhaustive()
+    }
+}
+
+/// Builds the shared search state for one run: rule engine per
+/// `rule_eval`, configuration representation per `state_repr` (the compact
+/// pool's packing widths are sized from the closed verification domain,
+/// which must be fully interned before this is called).
+pub(crate) fn build_shared(
+    comp: &Composition,
+    rule_eval: RuleEval,
+    state_repr: StateRepr,
+    domain: &[Value],
+) -> SharedSearch {
+    let shared = match rule_eval {
+        RuleEval::Compiled => SharedSearch::compiled(comp),
+        RuleEval::Interpreted => SharedSearch::interpreted_metered(),
+    };
+    match state_repr {
+        StateRepr::Compact => {
+            shared.with_compact(comp, crate::domain::packing_capacity(comp, domain))
+        }
+        StateRepr::Legacy => shared,
     }
 }
 
@@ -322,6 +367,7 @@ pub struct Checkpoint {
     stats_prior: SearchStats,
     reduction: Reduction,
     rule_eval: RuleEval,
+    state_repr: StateRepr,
     threads: Option<usize>,
 }
 
@@ -340,6 +386,16 @@ impl Checkpoint {
     pub fn threads(&self) -> Option<usize> {
         self.threads
     }
+
+    /// Approximate heap bytes the checkpoint retains for the frozen state
+    /// store — interned configurations plus, under the compact
+    /// representation, the extension pool. This is the dominant term of a
+    /// checkpoint's memory and the payload a scale-out frontier
+    /// serializer would ship, so it is what the E13 bench tracks when it
+    /// asserts compact checkpoints shrink.
+    pub fn approx_state_bytes(&self) -> usize {
+        self.shared.approx_state_bytes()
+    }
 }
 
 impl fmt::Debug for Checkpoint {
@@ -350,6 +406,7 @@ impl fmt::Debug for Checkpoint {
             .field("threads", &self.threads)
             .field("reduction", &self.reduction)
             .field("rule_eval", &self.rule_eval)
+            .field("state_repr", &self.state_repr)
             .finish_non_exhaustive()
     }
 }
@@ -502,10 +559,12 @@ impl Verifier {
         // Arc because an interrupted run's checkpoint must keep the
         // interners alive: the frozen engine frontier stores interned
         // configuration/oracle ids.
-        let shared = Arc::new(match opts.rule_eval {
-            RuleEval::Compiled => SharedSearch::compiled(&self.comp),
-            RuleEval::Interpreted => SharedSearch::interpreted_metered(),
-        });
+        let shared = Arc::new(build_shared(
+            &self.comp,
+            opts.rule_eval,
+            opts.state_repr,
+            &domain,
+        ));
         let limits = meta.limits(opts);
         let mut stats = SearchStats::default();
         // Fresh values are interchangeable: check valuations only up to
@@ -580,6 +639,7 @@ impl Verifier {
                         stats_prior,
                         reduction: opts.reduction,
                         rule_eval: opts.rule_eval,
+                        state_repr: opts.state_repr,
                         threads: opts.threads,
                     });
                     return Ok(Report {
@@ -674,6 +734,7 @@ impl Verifier {
         let eff = VerifyOptions {
             reduction: cp.reduction,
             rule_eval: cp.rule_eval,
+            state_repr: cp.state_repr,
             threads: cp.threads,
             ..opts.clone()
         };
@@ -767,6 +828,7 @@ impl Verifier {
                         stats_prior,
                         reduction: eff.reduction,
                         rule_eval: eff.rule_eval,
+                        state_repr: eff.state_repr,
                         threads: eff.threads,
                     });
                     return Ok(Report {

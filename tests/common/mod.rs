@@ -6,10 +6,12 @@
 #![allow(dead_code)]
 #![allow(unused_imports)]
 
-use ddws_model::{CompiledRules, Config, EvalCtx, RuleCache};
+use ddws_model::{CompiledRules, Config, EvalCtx, RuleCache, StatePool};
 use ddws_testkit::compgen;
 use ddws_testkit::rng::XorShift;
-use ddws_verifier::{DatabaseMode, Outcome, Reduction, RuleEval, Verifier, VerifyOptions};
+use ddws_verifier::{
+    DatabaseMode, Outcome, Reduction, RuleEval, StateRepr, Verifier, VerifyOptions,
+};
 use std::collections::HashSet;
 
 // The fault/report contract lives in the testkit now (feature `contract`)
@@ -246,6 +248,201 @@ pub fn compiled_agrees(case: &compgen::Case) {
                      disagreement on `{}` (compiled: {cv}, interpreted: {iv})",
                     case.property
                 );
+            }
+        }
+    }
+}
+
+/// Draws one case and asserts that the compact (interned, bit-packed)
+/// state representation is observationally identical to the legacy
+/// `Config` representation on it:
+///
+/// 1. **tuple-for-tuple** — over a bounded breadth-first exploration of
+///    the composition, `StatePool::successors` expanded back to `Config`s
+///    returns *exactly* the successor list the legacy stepper returns,
+///    order included, for every (configuration, mover). Each side drives
+///    its own compiled-kernel cache, and the hit/miss totals must match:
+///    the interned footprints have to key the rule cache exactly as the
+///    legacy `Ext` footprints do;
+/// 2. **verdicts** — `StateRepr::Compact` and `StateRepr::Legacy` agree
+///    across `{seq, par2} × {Full, Ample} × {Compiled, Interpreted}`, and
+///    `states_expanded` is equal wherever the engine is deterministic:
+///    always for the sequential nested DFS, and for par2 under `Full`
+///    (the parallel engine explores the whole graph, marking each state
+///    visited before it is enqueued, so each is expanded exactly once).
+///    Under par2 + `Ample` the C3 `already_visited` probe races, so only
+///    the verdict is compared there;
+/// 3. **counterexamples replay** — a violation found under the compact
+///    representation must replay under the legacy interpreted stepper
+///    (`replay_counterexample`), keeping legacy the oracle of record.
+pub fn assert_repr_agrees(rng: &mut XorShift) {
+    repr_agrees(&compgen::case(rng));
+}
+
+/// [`assert_repr_agrees`] on an already-materialized case (the form the
+/// shrinker re-runs).
+pub fn repr_agrees(case: &compgen::Case) {
+    // --- 1. Tuple-for-tuple successor agreement on the composition. ---
+    let mut v = Verifier::new(case.composition.clone());
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(case.database.clone()),
+        fresh_values: Some(1),
+        max_states: SWARM_BUDGET,
+        ..VerifyOptions::default()
+    };
+    let prop = v
+        .parse_property(&case.property)
+        .expect("generated property parses");
+    let domain = v.domain_for(&prop, &opts);
+    let comp = v.composition();
+    let pool = StatePool::new(comp, ddws_verifier::domain::packing_capacity(comp, &domain));
+    let compiled_l = CompiledRules::new(comp);
+    let cache_l = RuleCache::new(&compiled_l);
+    let ctx_l = EvalCtx {
+        compiled: Some(&compiled_l),
+        cache: Some(&cache_l),
+    };
+    let compiled_c = CompiledRules::new(comp);
+    let cache_c = RuleCache::new(&compiled_c);
+    let ctx_c = EvalCtx {
+        compiled: Some(&compiled_c),
+        cache: Some(&cache_c),
+    };
+    let frontier = comp.initial_configs_with(&case.database, &domain, ctx_l);
+    let compact_init: Vec<Config> = pool
+        .initial_configs(comp, &case.database, &domain, ctx_c)
+        .iter()
+        .map(|cc| pool.expand(comp, cc))
+        .collect();
+    assert_eq!(
+        frontier, compact_init,
+        "initial configurations differ between representations on `{}`",
+        case.property
+    );
+    let mut frontier = frontier;
+    let mut seen: HashSet<Config> = frontier.iter().cloned().collect();
+    for _ in 0..3 {
+        let mut next = Vec::new();
+        for cfg in &frontier {
+            let cc = pool.compact(comp, cfg);
+            for mover in comp.movers() {
+                let legacy = comp.successors_with(&case.database, &domain, cfg, mover, ctx_l);
+                let compact: Vec<Config> = pool
+                    .successors(comp, &case.database, &domain, &cc, mover, ctx_c)
+                    .iter()
+                    .map(|s| pool.expand(comp, s))
+                    .collect();
+                assert_eq!(
+                    legacy, compact,
+                    "successor sets differ for mover {mover:?} on `{}`",
+                    case.property
+                );
+                for c in legacy {
+                    if seen.insert(c.clone()) {
+                        next.push(c);
+                    }
+                }
+            }
+        }
+        next.truncate(24);
+        frontier = next;
+    }
+    assert_eq!(
+        (cache_l.hits(), cache_l.misses()),
+        (cache_c.hits(), cache_c.misses()),
+        "rule-cache hit/miss totals diverge between representations on `{}` \
+         (interned footprints must key the cache exactly as legacy Ext \
+         footprints do)",
+        case.property
+    );
+    // Construction pre-interns the two empty extensions (2 misses); any
+    // actual traversal must intern beyond that.
+    if !seen.is_empty() {
+        assert!(
+            pool.intern_hits() + pool.intern_misses() > 2,
+            "the compact stepper did not touch the interner on `{}`",
+            case.property
+        );
+    }
+
+    // --- 2 & 3. Verdict + expansion agreement across the matrix. ---
+    let run = |threads: Option<usize>,
+               reduction: Reduction,
+               rule_eval: RuleEval,
+               state_repr: StateRepr|
+     -> Result<(bool, u64), u64> {
+        let mut v = Verifier::new(case.composition.clone());
+        let opts = VerifyOptions {
+            database: DatabaseMode::Fixed(case.database.clone()),
+            fresh_values: Some(1),
+            max_states: SWARM_BUDGET,
+            threads,
+            reduction,
+            rule_eval,
+            state_repr,
+            ..VerifyOptions::default()
+        };
+        let prop = v
+            .parse_property(&case.property)
+            .expect("generated property parses");
+        let report = v.check(&prop, &opts).unwrap_or_else(|e| {
+            panic!(
+                "generator produced an unverifiable case `{}`: {e}",
+                case.property
+            )
+        });
+        if state_repr == StateRepr::Compact {
+            if let Outcome::Violated(cex) = &report.outcome {
+                v.replay_counterexample(&prop, cex, &opts)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "threads={threads:?} reduction={reduction:?} \
+                             rule_eval={rule_eval:?}: compact counterexample \
+                             does not replay on `{}`: {e}",
+                            case.property
+                        )
+                    });
+            }
+        }
+        match report.outcome {
+            Outcome::Holds => Ok((true, report.stats.states_expanded)),
+            Outcome::Violated(_) => Ok((false, report.stats.states_expanded)),
+            Outcome::Inconclusive(_) => Err(report.stats.states_visited),
+        }
+    };
+    for threads in [None, Some(2)] {
+        for reduction in [Reduction::Full, Reduction::Ample] {
+            for rule_eval in [RuleEval::Compiled, RuleEval::Interpreted] {
+                let c = run(threads, reduction, rule_eval, StateRepr::Compact);
+                let l = run(threads, reduction, rule_eval, StateRepr::Legacy);
+                assert_eq!(
+                    c.is_ok(),
+                    l.is_ok(),
+                    "threads={threads:?} reduction={reduction:?} \
+                     rule_eval={rule_eval:?}: budget outcome differs between \
+                     representations on `{}` (compact: {c:?}, legacy: {l:?})",
+                    case.property
+                );
+                if let (Ok((cv, ce)), Ok((lv, le))) = (c, l) {
+                    assert_eq!(
+                        cv, lv,
+                        "threads={threads:?} reduction={reduction:?} \
+                         rule_eval={rule_eval:?}: verdict disagreement on `{}` \
+                         (compact: {cv}, legacy: {lv})",
+                        case.property
+                    );
+                    let deterministic = threads.is_none() || reduction == Reduction::Full;
+                    if deterministic {
+                        assert_eq!(
+                            ce, le,
+                            "threads={threads:?} reduction={reduction:?} \
+                             rule_eval={rule_eval:?}: states_expanded differs \
+                             between representations on `{}` (compact: {ce}, \
+                             legacy: {le})",
+                            case.property
+                        );
+                    }
+                }
             }
         }
     }

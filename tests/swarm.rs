@@ -19,6 +19,19 @@ fn full_and_ample_agree_on_200_random_cases() {
 }
 
 #[test]
+fn compact_and_legacy_representations_agree_on_200_random_cases() {
+    // Interned bit-packed states vs. the legacy `Config` representation:
+    // identical successor lists (tuple-for-tuple through compact/expand),
+    // identical rule-cache hit/miss totals, and identical verdicts across
+    // {seq, par2} × {Full, Ample} × {Compiled, Interpreted} — with
+    // `states_expanded` equal wherever the engine is deterministic, and
+    // every compact counterexample replaying under the legacy stepper.
+    gen::cases(200, seed_from("swarm_compact_vs_legacy"), |rng| {
+        common::shrink_on_failure(rng, common::repr_agrees);
+    });
+}
+
+#[test]
 fn compiled_and_interpreted_agree_on_200_random_cases() {
     // Compiled rule kernels vs. the FO interpreter: identical rule
     // extensions (tuple-for-tuple successor agreement) and identical

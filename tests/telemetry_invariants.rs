@@ -31,7 +31,7 @@ use ddws_telemetry::validate_run_report;
 use ddws_testkit::{compgen, gen, seed_from};
 use ddws_verifier::{
     BufferReporter, CancelToken, Counters, DatabaseMode, Outcome, Reduction, Report,
-    ReporterHandle, RunReport, Verifier, VerifyOptions,
+    ReporterHandle, RunReport, StateRepr, Verifier, VerifyOptions,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -166,6 +166,136 @@ fn stats_invariants_hold_on_200_swarm_cases() {
                     );
                 }
             }
+        }
+    });
+}
+
+fn run_case_repr(
+    case: &compgen::Case,
+    threads: Option<usize>,
+    reduction: Reduction,
+    state_repr: StateRepr,
+) -> Option<Report> {
+    let mut v = Verifier::new(case.composition.clone());
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(case.database.clone()),
+        fresh_values: Some(1),
+        max_states: common::SWARM_BUDGET,
+        threads,
+        reduction,
+        state_repr,
+        ..VerifyOptions::default()
+    };
+    match v.check_str(&case.property, &opts) {
+        Ok(r) if r.outcome.is_inconclusive() => None,
+        Ok(r) => Some(r),
+        Err(e) => panic!("unverifiable case `{}`: {e}", case.property),
+    }
+}
+
+/// The interning meters' invariants (DESIGN.md §3.12):
+///
+/// * `intern_hits + intern_misses == intern_calls` on every compact run —
+///   each intern call books exactly one table outcome — and all three are
+///   zero under `StateRepr::Legacy`;
+/// * the interner's sharded merge is exact where the representation is
+///   deterministic: each distinct extension or configuration books exactly
+///   one miss regardless of scheduling (a concurrent intern race books the
+///   loser a *hit*), so under `Reduction::Full` — where the explored
+///   graph is worker-count-independent — `intern_misses` is identical
+///   across par1 / par2 / par4. (`intern_calls`/`intern_hits` may differ
+///   by benign step-cache races: two workers both computing a not-yet-
+///   cached expansion both intern its successors.);
+/// * the representation never leaks into reporting: on deterministic
+///   (sequential) runs the `redacted()` run reports of a compact and a
+///   legacy check are byte-identical — interned states must change how
+///   the search stores configurations, not what it reports.
+#[test]
+fn interner_counters_are_coherent_and_invisible_to_reports() {
+    gen::cases(60, seed_from("telemetry_intern_invariants"), |rng| {
+        let case = compgen::case(rng);
+
+        let compact_par: Vec<Option<Report>> = [Some(1), Some(2), Some(4)]
+            .into_iter()
+            .map(|t| run_case_repr(&case, t, Reduction::Full, StateRepr::Compact))
+            .collect();
+        let compact_seq = run_case_repr(&case, None, Reduction::Full, StateRepr::Compact);
+        let legacy_seq = run_case_repr(&case, None, Reduction::Full, StateRepr::Legacy);
+
+        for (label, report) in [
+            ("seq", &compact_seq),
+            ("par1", &compact_par[0]),
+            ("par2", &compact_par[1]),
+            ("par4", &compact_par[2]),
+        ] {
+            if let Some(r) = report {
+                assert_eq!(
+                    r.stats.intern_hits + r.stats.intern_misses,
+                    r.stats.intern_calls,
+                    "{label}: every intern call books exactly one outcome on `{}`",
+                    case.property
+                );
+                // A zero-valuation check never boots a search; any actual
+                // exploration must have interned its states.
+                if r.stats.states_visited > 0 {
+                    assert!(
+                        r.stats.intern_calls > 0,
+                        "{label}: a compact search never touched the interner on `{}`",
+                        case.property
+                    );
+                }
+            }
+        }
+        if let Some(r) = &legacy_seq {
+            assert_eq!(
+                (
+                    r.stats.intern_calls,
+                    r.stats.intern_hits,
+                    r.stats.intern_misses
+                ),
+                (0, 0, 0),
+                "legacy run books intern traffic on `{}`",
+                case.property
+            );
+        }
+
+        // Sharded-merge exactness across worker counts: the distinct-entry
+        // count (== misses) never depends on scheduling.
+        let completed: Vec<&Report> = compact_par.iter().flatten().collect();
+        for pair in completed.windows(2) {
+            let (a, b) = (&pair[0].stats, &pair[1].stats);
+            assert_eq!(
+                a.intern_misses, b.intern_misses,
+                "distinct interned entries diverge across worker counts on `{}`",
+                case.property
+            );
+        }
+        // And the sequential run books exactly the same distinct entries
+        // as any parallel run (both explore the full reachable product).
+        if let (Some(s), Some(p)) = (&compact_seq, completed.first()) {
+            if s.outcome.holds() {
+                assert_eq!(
+                    s.stats.intern_misses, p.stats.intern_misses,
+                    "seq/par distinct interned entries diverge on `{}`",
+                    case.property
+                );
+            }
+        }
+
+        // Representation-blind reporting: identical redacted reports.
+        if let (Some(c), Some(l)) = (&compact_seq, &legacy_seq) {
+            let (c, l) = (c.telemetry.redacted(), l.telemetry.redacted());
+            assert_eq!(
+                c, l,
+                "redacted reports differ between representations on `{}`",
+                case.property
+            );
+            assert_eq!(
+                format!("{:?}", c.to_json_value()),
+                format!("{:?}", l.to_json_value()),
+                "serialized redacted reports differ between representations on `{}`",
+                case.property
+            );
         }
     });
 }
