@@ -27,7 +27,11 @@ use ddws_verifier::{
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-const ENGINES: [(&str, Option<usize>); 2] = [("seq", None), ("par2", Some(2))];
+const ENGINES: [(&str, Option<usize>, Option<usize>); 3] = [
+    ("seq", None, None),
+    ("par2", Some(2), None),
+    ("vt2", None, Some(2)),
+];
 
 /// The rule-dense scenario shape, matching E10.
 const PEERS: usize = 3;
@@ -46,11 +50,17 @@ enum Config {
     JsonLines,
 }
 
-fn options(db: ddws_relational::Instance, threads: Option<usize>, config: Config) -> VerifyOptions {
+fn options(
+    db: ddws_relational::Instance,
+    threads: Option<usize>,
+    valuation_threads: Option<usize>,
+    config: Config,
+) -> VerifyOptions {
     let mut opts = VerifyOptions {
         database: DatabaseMode::Fixed(db),
         fresh_values: Some(1),
         threads,
+        valuation_threads,
         ..VerifyOptions::default()
     };
     match config {
@@ -66,7 +76,11 @@ fn options(db: ddws_relational::Instance, threads: Option<usize>, config: Config
     opts
 }
 
-fn check_rule_dense(threads: Option<usize>, config: Config) -> Report {
+fn check_rule_dense(
+    threads: Option<usize>,
+    valuation_threads: Option<usize>,
+    config: Config,
+) -> Report {
     let mut v = Verifier::new(chains::rule_dense_composition(
         PEERS,
         RING,
@@ -77,7 +91,7 @@ fn check_rule_dense(threads: Option<usize>, config: Config) -> Report {
     let report = v
         .check_str(
             &chains::prop_integrity(PEERS),
-            &options(db, threads, config),
+            &options(db, threads, valuation_threads, config),
         )
         .unwrap();
     assert!(report.outcome.holds());
@@ -88,7 +102,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e11_telemetry_overhead");
     group.sample_size(10);
 
-    for (engine, threads) in ENGINES {
+    for (engine, threads, vt) in ENGINES {
         for (label, config) in [
             ("off", Config::Off),
             ("silent", Config::Silent),
@@ -96,9 +110,9 @@ fn bench(c: &mut Criterion) {
         ] {
             group.bench_with_input(
                 BenchmarkId::new("rule_dense_holds", format!("{engine}/{label}")),
-                &(threads, config),
-                |b, &(threads, config)| {
-                    b.iter(|| check_rule_dense(threads, config).stats.states_visited)
+                &(threads, vt, config),
+                |b, &(threads, vt, config)| {
+                    b.iter(|| check_rule_dense(threads, vt, config).stats.states_visited)
                 },
             );
         }
@@ -119,16 +133,16 @@ fn acceptance() {
         .unwrap_or(5);
     let mut rows = Vec::new();
     let mut bench_report: Option<RunReport> = None;
-    for (engine, threads) in ENGINES {
+    for (engine, threads, vt) in ENGINES {
         let mut off_ns: Vec<u128> = Vec::with_capacity(samples);
         let mut silent_ns: Vec<u128> = Vec::with_capacity(samples);
         for _ in 0..samples {
             let start = Instant::now();
-            std::hint::black_box(check_rule_dense(threads, Config::Off));
+            std::hint::black_box(check_rule_dense(threads, vt, Config::Off));
             off_ns.push(start.elapsed().as_nanos());
 
             let start = Instant::now();
-            let report = check_rule_dense(threads, Config::Silent);
+            let report = check_rule_dense(threads, vt, Config::Silent);
             silent_ns.push(start.elapsed().as_nanos());
             bench_report.get_or_insert(report.telemetry);
         }

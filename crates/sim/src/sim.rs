@@ -131,6 +131,9 @@ pub struct JobRecord {
     /// The state representation the job's searches ran under (held
     /// across every slice, resume, and restart of the job).
     pub state_repr: StateRepr,
+    /// The outer valuation-shard count the job's searches ran under
+    /// (drawn from the walk seed; `None` is the unsharded loop).
+    pub valuation_threads: Option<usize>,
     /// Terminal verdict label.
     pub verdict: String,
     /// The unfaulted oracle's verdict label.
@@ -261,6 +264,9 @@ struct Job {
     reduction: Reduction,
     rule_eval: RuleEval,
     state_repr: StateRepr,
+    /// Outer valuation shards the job's checks run under (held across
+    /// every slice, resume, and restart — a checkpoint pins it).
+    valuation_threads: Option<usize>,
     /// Planned crash / cancellation: (slice, expansion ordinal).
     crash: Option<(u32, u64)>,
     cancel: Option<(u32, u64)>,
@@ -282,6 +288,10 @@ impl Job {
             fresh_values: Some(1),
             max_states: self.budget,
             threads: None, // sequential: byte-identical traces and stats
+            // Outer sharding stays deterministic under the sim's manual
+            // clock (the scheduler's cooperative mode), so multi-shard
+            // checkpoint/resume is swarm-covered without losing replay.
+            valuation_threads: self.valuation_threads,
             reduction: self.reduction,
             rule_eval: self.rule_eval,
             state_repr: self.state_repr,
@@ -395,6 +405,16 @@ fn run_impl(
             } else {
                 StateRepr::Legacy
             },
+            // Same reuse trick, bits 1-2: outer valuation shards. The
+            // verdict is shard-independent (deterministic winner rule), so
+            // the oracle cross-check below doubles as a determinism check
+            // for the shard scheduler's cooperative mode.
+            valuation_threads: match (plan.walk_seed >> 1) & 3 {
+                0 => None,
+                1 => Some(1),
+                2 => Some(2),
+                _ => Some(3),
+            },
             crash: plan.crash,
             cancel: plan.cancel,
             walk_seed: plan.walk_seed,
@@ -430,6 +450,7 @@ fn run_impl(
                 property: j.property,
                 spec: j.spec,
                 state_repr: j.state_repr,
+                valuation_threads: j.valuation_threads,
                 verdict: j.verdict.unwrap_or_else(|| "unknown".to_string()),
                 oracle: j.oracle,
                 slices: j.slices,
@@ -650,6 +671,10 @@ fn finish_job(
     let mut oracle_opts = job.base_opts();
     oracle_opts.max_states = job.budget;
     oracle_opts.state_repr = StateRepr::Legacy;
+    // The oracle is the unsharded baseline: a job that drew outer shards
+    // has its faulted, sharded run cross-checked against the sequential
+    // valuation loop.
+    oracle_opts.valuation_threads = None;
     let oracle = match v.check_str(&job.property, &oracle_opts) {
         Ok(r) => match &r.outcome {
             Outcome::Inconclusive(inc) => inc.reason.label().to_string(),

@@ -27,12 +27,29 @@ pub struct CancelToken {
 struct CancelInner {
     flag: AtomicBool,
     reason: Mutex<Option<String>>,
+    /// Parent link for scoped child tokens (see [`CancelToken::child`]).
+    parent: Option<CancelToken>,
 }
 
 impl CancelToken {
     /// A fresh, un-cancelled token.
     pub fn new() -> CancelToken {
         CancelToken::default()
+    }
+
+    /// A scoped child token: cancelling the child does *not* cancel the
+    /// parent, but a cancelled parent is observed through the child. The
+    /// valuation scheduler hands each shard task a child of the caller's
+    /// token so a first-violation cancel can stop the losing shards
+    /// without raising the caller-visible flag.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                reason: Mutex::new(None),
+                parent: Some(self.clone()),
+            }),
+        }
     }
 
     /// Raises the flag. The first caller's `reason` wins; later calls keep
@@ -50,19 +67,33 @@ impl CancelToken {
         self.inner.flag.store(true, Ordering::Release);
     }
 
-    /// Whether the token has been cancelled. One relaxed load — safe to
-    /// call on a search hot path.
+    /// Whether the token (or any ancestor, for child tokens) has been
+    /// cancelled. One relaxed load per link — safe to call on a search
+    /// hot path; the chain is one deep in practice.
     pub fn is_cancelled(&self) -> bool {
-        self.inner.flag.load(Ordering::Relaxed)
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        match &self.inner.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
     }
 
-    /// The recorded cancellation reason, if any.
+    /// The recorded cancellation reason, if any: this token's own reason
+    /// if set, otherwise the nearest cancelled ancestor's.
     pub fn reason(&self) -> Option<String> {
-        self.inner
+        let own = self
+            .inner
             .reason
             .lock()
             .unwrap_or_else(|poison| poison.into_inner())
-            .clone()
+            .clone();
+        match (own, &self.inner.parent) {
+            (Some(reason), _) => Some(reason),
+            (None, Some(parent)) => parent.reason(),
+            (None, None) => None,
+        }
     }
 }
 
@@ -171,6 +202,33 @@ mod tests {
         c.cancel("via clone");
         assert!(t.is_cancelled());
         assert_eq!(t.reason().as_deref(), Some("via clone"));
+    }
+
+    #[test]
+    fn child_observes_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        child.cancel("shard superseded");
+        assert!(child.is_cancelled());
+        assert!(!parent.is_cancelled(), "child cancel must stay scoped");
+        assert_eq!(child.reason().as_deref(), Some("shard superseded"));
+        assert_eq!(parent.reason(), None);
+
+        let parent = CancelToken::new();
+        let child = parent.child();
+        parent.cancel("caller abort");
+        assert!(child.is_cancelled(), "parent cancel flows to children");
+        assert_eq!(child.reason().as_deref(), Some("caller abort"));
+    }
+
+    #[test]
+    fn child_own_reason_shadows_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.cancel("mine");
+        parent.cancel("theirs");
+        assert_eq!(child.reason().as_deref(), Some("mine"));
     }
 
     #[test]

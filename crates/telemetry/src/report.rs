@@ -16,8 +16,13 @@
 //! optional `abort` object (`reason`, `budget`, `spent`, `resumable`) —
 //! present exactly when the run stopped without a verdict — and widens the
 //! outcome vocabulary with `deadline_exceeded`, `cancelled` and
-//! `worker_panicked`. [`RunReport::from_json`] still accepts v1 documents
-//! (their `abort` is `None`).
+//! `worker_panicked`. v3 adds the grounded-NBA cache counters
+//! (`nba_cache_hits`, `nba_cache_misses`) introduced by valuation-level
+//! sharding, and widens [`RunReport::redacted`] to also zero the cache
+//! meters (rule and NBA), which are schedule-dependent when superseded
+//! shards contribute partial work. [`RunReport::from_json`] still accepts
+//! v1 and v2 documents (their `abort` / NBA counters default to
+//! `None` / 0).
 
 use crate::control::AbortReason;
 use crate::json::Json;
@@ -26,7 +31,7 @@ use crate::stats::SearchStats;
 /// The schema identifier every run report carries.
 pub const SCHEMA_NAME: &str = "ddws.run-report";
 /// The current schema version (frozen field set; bump on change).
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 /// The oldest schema version [`RunReport::from_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
@@ -50,6 +55,12 @@ pub struct Counters {
     pub rule_cache_hits: u64,
     /// Footprint-cache misses.
     pub rule_cache_misses: u64,
+    /// Grounded-NBA cache hits (schema v3; 0 when parsed from older
+    /// documents).
+    pub nba_cache_hits: u64,
+    /// Grounded-NBA cache misses — distinct grounded formula shapes
+    /// translated (schema v3; 0 when parsed from older documents).
+    pub nba_cache_misses: u64,
     /// Whether any contributing search aborted on its state budget.
     pub truncated: bool,
 }
@@ -66,6 +77,8 @@ impl Counters {
             rule_evals: stats.rule_evals,
             rule_cache_hits: stats.rule_cache_hits,
             rule_cache_misses: stats.rule_cache_misses,
+            nba_cache_hits: stats.nba_cache_hits,
+            nba_cache_misses: stats.nba_cache_misses,
             truncated: stats.truncated,
         }
     }
@@ -224,6 +237,8 @@ impl RunReport {
                     ("rule_evals".into(), Json::UInt(c.rule_evals)),
                     ("rule_cache_hits".into(), Json::UInt(c.rule_cache_hits)),
                     ("rule_cache_misses".into(), Json::UInt(c.rule_cache_misses)),
+                    ("nba_cache_hits".into(), Json::UInt(c.nba_cache_hits)),
+                    ("nba_cache_misses".into(), Json::UInt(c.nba_cache_misses)),
                     ("truncated".into(), Json::Bool(c.truncated)),
                 ]),
             ),
@@ -284,6 +299,12 @@ impl RunReport {
                 rule_evals: cu("rule_evals"),
                 rule_cache_hits: cu("rule_cache_hits"),
                 rule_cache_misses: cu("rule_cache_misses"),
+                // v1/v2 documents predate the NBA cache counters.
+                nba_cache_hits: c.get("nba_cache_hits").and_then(Json::as_u64).unwrap_or(0),
+                nba_cache_misses: c
+                    .get("nba_cache_misses")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 truncated: c.get("truncated").and_then(Json::as_bool).unwrap(),
             },
             phases: PhaseTimes {
@@ -299,14 +320,23 @@ impl RunReport {
         })
     }
 
-    /// A copy with every timing field zeroed, for byte-comparison of the
-    /// deterministic remainder across repeat runs. This zeroes the phase
-    /// timers and, when an `abort` object is present, its `spent` field
-    /// (which is wall-clock-dependent for deadline aborts and
-    /// schedule-dependent for parallel runs).
+    /// A copy with every timing and schedule-dependent field zeroed, for
+    /// byte-comparison of the deterministic remainder across repeat runs.
+    /// This zeroes the phase timers, the cache meters (`rule_evals`,
+    /// `rule_cache_hits/misses`, `nba_cache_hits/misses` — the rule cache
+    /// is shared across parallel workers and valuation shards, so the
+    /// hit/miss split depends on the schedule, and a superseded shard's
+    /// partial evaluations land in the run-wide totals), and, when an
+    /// `abort` object is present, its `spent` field (wall-clock-dependent
+    /// for deadline aborts, schedule-dependent for parallel runs).
     pub fn redacted(&self) -> RunReport {
         let mut r = self.clone();
         r.phases = PhaseTimes::default();
+        r.counters.rule_evals = 0;
+        r.counters.rule_cache_hits = 0;
+        r.counters.rule_cache_misses = 0;
+        r.counters.nba_cache_hits = 0;
+        r.counters.nba_cache_misses = 0;
         if let Some(a) = &mut r.abort {
             a.spent = 0;
         }
@@ -401,6 +431,13 @@ pub fn validate_run_report(v: &Json) -> Result<(), String> {
             return Err(format!("missing or non-integer counter `{key}`"));
         }
     }
+    if version >= 3 {
+        for key in ["nba_cache_hits", "nba_cache_misses"] {
+            if counters.get(key).and_then(Json::as_u64).is_none() {
+                return Err(format!("missing or non-integer counter `{key}`"));
+            }
+        }
+    }
     if counters.get("truncated").and_then(Json::as_bool).is_none() {
         return Err("missing or non-bool counter `truncated`".into());
     }
@@ -447,6 +484,8 @@ mod tests {
                 rule_evals: 9,
                 rule_cache_hits: 7,
                 rule_cache_misses: 2,
+                nba_cache_hits: 2,
+                nba_cache_misses: 1,
                 truncated: false,
             },
             phases: PhaseTimes {
@@ -490,7 +529,7 @@ mod tests {
         assert!(validate_run_report(&r.to_json_value()).is_ok());
         let bad_schema = r.to_json().replace("ddws.run-report", "other.schema");
         assert!(RunReport::from_json(&bad_schema).is_err());
-        let bad_version = r.to_json().replace("\"version\":2", "\"version\":99");
+        let bad_version = r.to_json().replace("\"version\":3", "\"version\":99");
         assert!(RunReport::from_json(&bad_version).is_err());
         let bad_outcome = r.to_json().replace("\"holds\"", "\"maybe\"");
         assert!(RunReport::from_json(&bad_outcome).is_err());
@@ -534,7 +573,7 @@ mod tests {
         // A v1 report: version 1, no abort object, v1 outcome vocabulary.
         let v1 = sample()
             .to_json()
-            .replace("\"version\":2", "\"version\":1")
+            .replace("\"version\":3", "\"version\":1")
             .replace("\"holds\"", "\"budget_exceeded\"");
         let decoded = RunReport::from_json(&v1).unwrap();
         assert_eq!(decoded.outcome, "budget_exceeded");
@@ -542,14 +581,33 @@ mod tests {
         // The v2-only outcome vocabulary is rejected under version 1...
         let v1_new_outcome = sample()
             .to_json()
-            .replace("\"version\":2", "\"version\":1")
+            .replace("\"version\":3", "\"version\":1")
             .replace("\"holds\"", "\"cancelled\"");
         assert!(RunReport::from_json(&v1_new_outcome).is_err());
         // ...and so is a v1 document carrying an abort object.
         let v1_with_abort = aborted_sample()
             .to_json()
-            .replace("\"version\":2", "\"version\":1");
+            .replace("\"version\":3", "\"version\":1");
         assert!(RunReport::from_json(&v1_with_abort).is_err());
+    }
+
+    #[test]
+    fn v2_documents_are_still_accepted() {
+        // A v2 report: version 2, abort object allowed, no NBA counters.
+        let v2 = aborted_sample()
+            .to_json()
+            .replace("\"version\":3", "\"version\":2")
+            .replace("\"nba_cache_hits\":2,\"nba_cache_misses\":1,", "");
+        let decoded = RunReport::from_json(&v2).unwrap();
+        assert_eq!(decoded.outcome, "budget_exceeded");
+        assert!(decoded.abort.is_some());
+        assert_eq!(decoded.counters.nba_cache_hits, 0);
+        assert_eq!(decoded.counters.nba_cache_misses, 0);
+        // A v3 document missing the NBA counters is rejected.
+        let v3_missing = aborted_sample()
+            .to_json()
+            .replace("\"nba_cache_hits\":2,\"nba_cache_misses\":1,", "");
+        assert!(RunReport::from_json(&v3_missing).is_err());
     }
 
     #[test]
@@ -558,12 +616,26 @@ mod tests {
         let red = r.redacted();
         assert_eq!(red.phases, PhaseTimes::default());
         r.phases = PhaseTimes::default();
+        r.counters.rule_evals = 0;
+        r.counters.rule_cache_hits = 0;
+        r.counters.rule_cache_misses = 0;
+        r.counters.nba_cache_hits = 0;
+        r.counters.nba_cache_misses = 0;
         assert_eq!(red, r);
+        // Traversal counters survive redaction — they are the
+        // deterministic remainder the differential suite compares.
+        assert_eq!(red.counters.states_visited, 10);
+        assert_eq!(red.counters.transitions_explored, 20);
         // For aborted runs, `spent` is timing/schedule-dependent too.
         let mut r = aborted_sample();
         let red = r.redacted();
         assert_eq!(red.abort.as_ref().unwrap().spent, 0);
         r.phases = PhaseTimes::default();
+        r.counters.rule_evals = 0;
+        r.counters.rule_cache_hits = 0;
+        r.counters.rule_cache_misses = 0;
+        r.counters.nba_cache_hits = 0;
+        r.counters.nba_cache_misses = 0;
         r.abort.as_mut().unwrap().spent = 0;
         assert_eq!(red, r);
     }

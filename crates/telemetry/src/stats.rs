@@ -60,6 +60,13 @@ pub struct SearchStats {
     pub intern_hits: u64,
     /// Intern calls that created fresh entries.
     pub intern_misses: u64,
+    /// Grounded-NBA cache lookups answered from the cache (a valuation
+    /// whose grounded LTL shape was already translated). Zero for entry
+    /// points that translate no property automaton.
+    pub nba_cache_hits: u64,
+    /// Grounded-NBA cache lookups that ran `ltl_to_nba`; equals the number
+    /// of distinct grounded formula shapes, independent of shard schedule.
+    pub nba_cache_misses: u64,
     /// Nanoseconds spent evaluating rules (inside boot + successor spans).
     pub rule_eval_ns: u64,
     /// Nanoseconds spent enumerating initial (boot) configurations.
@@ -92,6 +99,8 @@ impl SearchStats {
         self.intern_calls += other.intern_calls;
         self.intern_hits += other.intern_hits;
         self.intern_misses += other.intern_misses;
+        self.nba_cache_hits += other.nba_cache_hits;
+        self.nba_cache_misses += other.nba_cache_misses;
         self.rule_eval_ns += other.rule_eval_ns;
         self.boot_ns += other.boot_ns;
         self.successor_ns += other.successor_ns;
@@ -118,6 +127,8 @@ mod tests {
             intern_calls: 13,
             intern_hits: 14,
             intern_misses: 15,
+            nba_cache_hits: 16,
+            nba_cache_misses: 17,
             rule_eval_ns: 9,
             boot_ns: 10,
             successor_ns: 11,
@@ -136,6 +147,8 @@ mod tests {
             intern_calls: 1300,
             intern_hits: 1400,
             intern_misses: 1500,
+            nba_cache_hits: 1600,
+            nba_cache_misses: 1700,
             rule_eval_ns: 900,
             boot_ns: 1000,
             successor_ns: 1100,
@@ -157,6 +170,8 @@ mod tests {
                 intern_calls: 1313,
                 intern_hits: 1414,
                 intern_misses: 1515,
+                nba_cache_hits: 1616,
+                nba_cache_misses: 1717,
                 rule_eval_ns: 909,
                 boot_ns: 1010,
                 successor_ns: 1111,

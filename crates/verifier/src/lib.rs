@@ -45,6 +45,7 @@ pub mod parallel;
 pub mod product;
 pub mod protocols;
 pub mod reduction;
+mod scheduler;
 mod telemetry;
 pub mod verify;
 

@@ -34,7 +34,6 @@ use crate::verify::{
     build_counterexample, Inconclusive, Outcome, Report, Verifier, VerifyError, VerifyOptions,
 };
 use ddws_automata::emptiness::SearchStats;
-use ddws_automata::ltl_to_nba;
 use ddws_logic::input_bounded::check_input_bounded_sentence;
 use ddws_logic::{Fo, LtlFo, LtlFoSentence, VarId};
 use ddws_model::Endpoint;
@@ -182,112 +181,171 @@ impl Verifier {
             &domain,
         );
         let limits = meta.limits(opts);
-        let mut stats = SearchStats::default();
         let valuations = canonical_valuations(&property.universal_vars, &constants, &fresh);
         let valuations_checked = valuations.len();
-        for valuation in valuations {
+
+        // Dispatch the property valuations through the shard scheduler,
+        // exactly as `check` does: the spec conjunction is re-grounded per
+        // valuation (its atoms get identical ids — grounding is
+        // deterministic), and the combined formula is the NBA-cache key,
+        // so property valuations sharing a grounded shape translate once.
+        let shards = crate::scheduler::effective_shards(opts);
+        let task_opts = VerifyOptions {
+            threads: crate::scheduler::inner_threads(opts, shards),
+            ..opts.clone()
+        };
+        let cache = crate::scheduler::NbaCache::new();
+        let deterministic = crate::scheduler::deterministic_mode(opts);
+        let tasks: Vec<_> = valuations.iter().cloned().map(|v| (v, None)).collect();
+        let comp = self.composition();
+        let meta_ref: &crate::telemetry::RunMeta = &meta;
+        let runner = |valuation: &HashMap<VarId, Value>,
+                      _resume: Option<ddws_automata::EngineCheckpoint<crate::product::PState>>,
+                      limits: &ddws_automata::SearchLimits|
+         -> crate::scheduler::TaskOutput {
             let mut atoms = AtomRegistry::new();
             let nba_start = Instant::now();
             let mut conjuncts: Vec<ddws_automata::Ltl> = Vec::new();
             for spec_val in &spec_valuations {
                 conjuncts.push(ground_ltlfo(&translated.body, spec_val, &mut atoms));
             }
-            conjuncts.push(ground_ltlfo(&negated_property, &valuation, &mut atoms));
+            conjuncts.push(ground_ltlfo(&negated_property, valuation, &mut atoms));
             let ltl = conjuncts
                 .into_iter()
                 .reduce(ddws_automata::Ltl::and)
                 .expect("at least the negated property");
-            let nba = ltl_to_nba(&ltl);
-            meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
-            let mut system = ProductSystem::new(
-                self.composition(),
-                &base_db,
-                &universe,
-                &domain,
-                &nba,
-                &atoms,
-                &shared,
-            );
+            let nba = cache.translate(&ltl);
+            cache.add_ns(nba_start.elapsed().as_nanos() as u64);
+            let mut system =
+                ProductSystem::new(comp, &base_db, &universe, &domain, &nba, &atoms, &shared);
             if let Some(ind) = &reduction {
                 system = system.with_reduction(ind);
             }
-            let tel = meta.engine_telemetry(opts, &shared);
-            let (lasso, s) = match crate::parallel::search_product(&system, opts, &limits, &tel) {
-                Ok(found) => found,
-                Err(stop) => {
-                    stats.absorb(&stop.stats);
-                    shared.fold_into(&mut stats);
-                    if let AbortReason::WorkerPanicked { worker, payload } = &stop.reason {
-                        let report = meta.finish_abort(
-                            opts,
-                            &stop.reason,
-                            false,
-                            &stats,
-                            domain.len(),
-                            valuations_checked,
-                        );
-                        return Err(VerifyError::WorkerPanicked {
-                            worker: *worker,
-                            payload: payload.clone(),
-                            report: Box::new(report),
-                        });
+            let tel = meta_ref.engine_telemetry(&task_opts, &shared);
+            match crate::parallel::search_product(&system, &task_opts, limits, &tel) {
+                Ok((None, stats)) => crate::scheduler::TaskOutput {
+                    stats,
+                    verdict: crate::scheduler::TaskVerdict::Holds,
+                },
+                Ok((Some(lasso), stats)) => {
+                    let cex_start = Instant::now();
+                    let cex = build_counterexample(
+                        &system,
+                        &base_db,
+                        &universe,
+                        &property.universal_vars,
+                        valuation,
+                        lasso.prefix,
+                        lasso.cycle,
+                    );
+                    crate::scheduler::TaskOutput {
+                        stats,
+                        verdict: crate::scheduler::TaskVerdict::Violated {
+                            cex: Box::new(cex),
+                            cex_ns: cex_start.elapsed().as_nanos() as u64,
+                        },
                     }
-                    // Modular checks never capture checkpoints: the spec
-                    // translation is cheap to redo, so a fresh call with
-                    // laxer limits is the resume path.
-                    let telemetry = meta.finish_abort(
+                }
+                Err(stop) => crate::scheduler::TaskOutput {
+                    stats: stop.stats,
+                    verdict: crate::scheduler::TaskVerdict::Stopped {
+                        reason: stop.reason,
+                        checkpoint: stop.checkpoint,
+                    },
+                },
+            }
+        };
+        let outcome =
+            crate::scheduler::run_valuation_shards(tasks, shards, &limits, deterministic, runner);
+        meta.nba_ns += cache.ns();
+        let fold = |batch: &SearchStats| -> SearchStats {
+            let mut stats = *batch;
+            shared.fold_into(&mut stats);
+            stats.nba_cache_hits = cache.hits();
+            stats.nba_cache_misses = cache.misses();
+            stats
+        };
+        match outcome {
+            crate::scheduler::ShardOutcome::AllHold { stats, per_shard } => {
+                let stats = fold(&stats);
+                let telemetry =
+                    meta.finish(opts, "holds", &stats, domain.len(), valuations_checked);
+                Ok(Report {
+                    outcome: Outcome::Holds,
+                    stats,
+                    domain,
+                    valuations_checked,
+                    shard_valuations: per_shard,
+                    telemetry,
+                })
+            }
+            crate::scheduler::ShardOutcome::Violated {
+                index: _,
+                cex,
+                cex_ns,
+                stats,
+                per_shard,
+            } => {
+                let stats = fold(&stats);
+                meta.cex_ns += cex_ns;
+                let telemetry =
+                    meta.finish(opts, "violated", &stats, domain.len(), valuations_checked);
+                Ok(Report {
+                    outcome: Outcome::Violated(cex),
+                    stats,
+                    domain,
+                    valuations_checked,
+                    shard_valuations: per_shard,
+                    telemetry,
+                })
+            }
+            crate::scheduler::ShardOutcome::Stopped {
+                reason,
+                stats,
+                per_shard,
+                ..
+            } => {
+                let stats = fold(&stats);
+                if let AbortReason::WorkerPanicked { worker, payload } = &reason {
+                    let report = meta.finish_abort(
                         opts,
-                        &stop.reason,
+                        &reason,
                         false,
                         &stats,
                         domain.len(),
                         valuations_checked,
                     );
-                    return Ok(Report {
-                        outcome: Outcome::Inconclusive(Box::new(Inconclusive {
-                            reason: stop.reason,
-                            checkpoint: None,
-                        })),
-                        stats,
-                        domain,
-                        valuations_checked,
-                        telemetry,
+                    return Err(VerifyError::WorkerPanicked {
+                        worker: *worker,
+                        payload: payload.clone(),
+                        report: Box::new(report),
                     });
                 }
-            };
-            stats.absorb(&s);
-            shared.fold_into(&mut stats);
-            if let Some(lasso) = lasso {
-                let cex_start = Instant::now();
-                let cex = build_counterexample(
-                    &system,
-                    &base_db,
-                    &universe,
-                    &property.universal_vars,
-                    &valuation,
-                    lasso.prefix,
-                    lasso.cycle,
+                // Modular checks never capture checkpoints: the spec
+                // translation is cheap to redo, so a fresh call with laxer
+                // limits is the resume path — the scheduler's legs are
+                // dropped.
+                let telemetry = meta.finish_abort(
+                    opts,
+                    &reason,
+                    false,
+                    &stats,
+                    domain.len(),
+                    valuations_checked,
                 );
-                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
-                let telemetry =
-                    meta.finish(opts, "violated", &stats, domain.len(), valuations_checked);
-                return Ok(Report {
-                    outcome: Outcome::Violated(Box::new(cex)),
+                Ok(Report {
+                    outcome: Outcome::Inconclusive(Box::new(Inconclusive {
+                        reason,
+                        checkpoint: None,
+                    })),
                     stats,
                     domain,
                     valuations_checked,
+                    shard_valuations: per_shard,
                     telemetry,
-                });
+                })
             }
         }
-        let telemetry = meta.finish(opts, "holds", &stats, domain.len(), valuations_checked);
-        Ok(Report {
-            outcome: Outcome::Holds,
-            stats,
-            domain,
-            valuations_checked,
-            telemetry,
-        })
     }
 
     /// Parses an environment spec (same syntax as properties; atoms over

@@ -15,16 +15,19 @@
 
 use crate::counterexample::Counterexample;
 use crate::ground::{canonical_valuations, AtomRegistry};
-use crate::product::{PState, ProductSystem};
+use crate::oracle::FactUniverse;
+use crate::product::{ProductSystem, SharedSearch};
 use crate::verify::{
     build_counterexample, Inconclusive, Outcome, Report, Verifier, VerifyError, VerifyOptions,
 };
 use ddws_automata::complement::{complement, complement_deterministic, complete};
 use ddws_automata::emptiness::SearchStats;
-use ddws_automata::{Interrupted, Nba, SearchLimits};
+use ddws_automata::{Nba, SearchLimits};
 use ddws_logic::input_bounded::check_input_bounded_fo;
+use ddws_logic::VarId;
+use ddws_model::Composition;
 use ddws_protocol::{DataAgnosticProtocol, DataAwareProtocol};
-use ddws_relational::Value;
+use ddws_relational::{Instance, Value};
 use ddws_telemetry::AbortReason;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -35,6 +38,7 @@ use std::time::Instant;
 /// capture checkpoints (complementation and guard grounding are cheap to
 /// redo), so the abort is marked non-resumable and a fresh call with
 /// laxer limits is the resume path.
+#[allow(clippy::too_many_arguments)]
 fn protocol_abort(
     reason: AbortReason,
     stats: SearchStats,
@@ -42,6 +46,7 @@ fn protocol_abort(
     opts: &VerifyOptions,
     domain: Vec<Value>,
     valuations_checked: usize,
+    shard_valuations: Vec<u64>,
 ) -> Result<Report, VerifyError> {
     if let AbortReason::WorkerPanicked { worker, payload } = &reason {
         let report = meta.finish_abort(
@@ -74,8 +79,74 @@ fn protocol_abort(
         stats,
         domain,
         valuations_checked,
+        shard_valuations,
         telemetry,
     })
+}
+
+/// One product search against the complemented protocol automaton, shaped
+/// as a scheduler task: no meters are folded (the caller folds the
+/// run-wide [`SharedSearch`] once at the end) and counterexample
+/// construction time rides in the verdict, merged into the run's phase
+/// only if this task wins.
+#[allow(clippy::too_many_arguments)]
+fn protocol_search_task(
+    comp: &Composition,
+    violation_nba: &Nba,
+    atoms: AtomRegistry,
+    base_db: &Instance,
+    universe: &FactUniverse,
+    domain: &[Value],
+    shared: &SharedSearch,
+    valuation: &[(VarId, Value)],
+    limits: &SearchLimits,
+    opts: &VerifyOptions,
+    meta: &crate::telemetry::RunMeta,
+) -> crate::scheduler::TaskOutput {
+    let system = ProductSystem::new(
+        comp,
+        base_db,
+        universe,
+        domain,
+        violation_nba,
+        &atoms,
+        shared,
+    );
+    let tel = meta.engine_telemetry(opts, shared);
+    match crate::parallel::search_product(&system, opts, limits, &tel) {
+        Ok((None, stats)) => crate::scheduler::TaskOutput {
+            stats,
+            verdict: crate::scheduler::TaskVerdict::Holds,
+        },
+        Ok((Some(lasso), stats)) => {
+            let cex_start = Instant::now();
+            let vars: Vec<VarId> = valuation.iter().map(|(v, _)| *v).collect();
+            let map: std::collections::HashMap<VarId, Value> = valuation.iter().copied().collect();
+            let cex: Counterexample = build_counterexample(
+                &system,
+                base_db,
+                universe,
+                &vars,
+                &map,
+                lasso.prefix,
+                lasso.cycle,
+            );
+            crate::scheduler::TaskOutput {
+                stats,
+                verdict: crate::scheduler::TaskVerdict::Violated {
+                    cex: Box::new(cex),
+                    cex_ns: cex_start.elapsed().as_nanos() as u64,
+                },
+            }
+        }
+        Err(stop) => crate::scheduler::TaskOutput {
+            stats: stop.stats,
+            verdict: crate::scheduler::TaskVerdict::Stopped {
+                reason: stop.reason,
+                checkpoint: stop.checkpoint,
+            },
+        },
+    }
 }
 
 /// Complements a protocol automaton, preferring the deterministic
@@ -133,27 +204,48 @@ impl Verifier {
         meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
         let domain = self.protocol_domain(opts);
         let limits = meta.limits(opts);
-        let (outcome, stats) = match self.run_protocol_search(
+        let (base_db, universe) = self.database_setup_pub(&opts.database, &domain);
+        let comp = self.composition();
+        let shared = crate::verify::build_shared(comp, opts.rule_eval, opts.state_repr, &domain);
+        let out = protocol_search_task(
+            comp,
             &violation_nba,
             atoms,
+            &base_db,
+            &universe,
             &domain,
+            &shared,
             &[],
             &limits,
             opts,
-            &mut meta,
-        ) {
-            Ok(found) => found,
-            Err(stop) => return protocol_abort(stop.reason, stop.stats, &meta, opts, domain, 1),
-        };
-        let label = if outcome.holds() { "holds" } else { "violated" };
-        let telemetry = meta.finish(opts, label, &stats, domain.len(), 1);
-        Ok(Report {
-            outcome,
-            stats,
-            domain,
-            valuations_checked: 1,
-            telemetry,
-        })
+            &meta,
+        );
+        let mut stats = out.stats;
+        shared.fold_into(&mut stats);
+        match out.verdict {
+            crate::scheduler::TaskVerdict::Stopped { reason, .. } => {
+                protocol_abort(reason, stats, &meta, opts, domain, 1, vec![1])
+            }
+            verdict => {
+                let outcome = match verdict {
+                    crate::scheduler::TaskVerdict::Violated { cex, cex_ns } => {
+                        meta.cex_ns += cex_ns;
+                        Outcome::Violated(cex)
+                    }
+                    _ => Outcome::Holds,
+                };
+                let label = if outcome.holds() { "holds" } else { "violated" };
+                let telemetry = meta.finish(opts, label, &stats, domain.len(), 1);
+                Ok(Report {
+                    outcome,
+                    stats,
+                    domain,
+                    valuations_checked: 1,
+                    shard_valuations: vec![1],
+                    telemetry,
+                })
+            }
+        }
     }
 
     /// Checks a data-aware conversation protocol with observer-at-recipient
@@ -204,57 +296,101 @@ impl Verifier {
         let limits = meta.limits(opts);
         let vars = protocol.free_vars();
         let (constants, fresh) = self.split_domain(&domain);
-        let mut stats = SearchStats::default();
-        let mut valuations_checked = 0usize;
-        for valuation in canonical_valuations(&vars, &constants, &fresh) {
-            valuations_checked += 1;
+        let valuations = canonical_valuations(&vars, &constants, &fresh);
+        let total = valuations.len();
+
+        // One database setup and one `SharedSearch` span the whole run —
+        // the guard valuations share the rule-footprint and interner
+        // caches — and the valuations dispatch through the shard
+        // scheduler. The deterministic winner rule keeps
+        // `valuations_checked` exact under early cancel: a violation or
+        // stop at winner index `w` reports `w + 1` attempted valuations,
+        // exactly as the sequential loop did.
+        let (base_db, universe) = self.database_setup_pub(&opts.database, &domain);
+        let comp = self.composition();
+        let shared = crate::verify::build_shared(comp, opts.rule_eval, opts.state_repr, &domain);
+        let shards = crate::scheduler::effective_shards(opts);
+        let task_opts = VerifyOptions {
+            threads: crate::scheduler::inner_threads(opts, shards),
+            ..opts.clone()
+        };
+        let deterministic = crate::scheduler::deterministic_mode(opts);
+        let tasks: Vec<_> = valuations.into_iter().map(|v| (v, None)).collect();
+        let meta_ref: &crate::telemetry::RunMeta = &meta;
+        let runner = |valuation: &std::collections::HashMap<VarId, Value>,
+                      _resume: Option<ddws_automata::EngineCheckpoint<crate::product::PState>>,
+                      limits: &SearchLimits|
+         -> crate::scheduler::TaskOutput {
             let mut atoms = AtomRegistry::new();
             for g in &protocol.guards {
                 atoms.push(g.substitute(&|v| valuation.get(&v).copied()));
             }
-            let (outcome, s) = match self.run_protocol_search(
+            protocol_search_task(
+                comp,
                 &violation_nba,
                 atoms,
+                &base_db,
+                &universe,
                 &domain,
+                &shared,
                 &vars.iter().map(|v| (*v, valuation[v])).collect::<Vec<_>>(),
-                &limits,
-                opts,
-                &mut meta,
-            ) {
-                Ok(found) => found,
-                Err(stop) => {
-                    stats.absorb(&stop.stats);
-                    return protocol_abort(
-                        stop.reason,
-                        stats,
-                        &meta,
-                        opts,
-                        domain,
-                        valuations_checked,
-                    );
-                }
-            };
-            stats.absorb(&s);
-            if let Outcome::Violated(cex) = outcome {
+                limits,
+                &task_opts,
+                meta_ref,
+            )
+        };
+        let outcome =
+            crate::scheduler::run_valuation_shards(tasks, shards, &limits, deterministic, runner);
+        let fold = |batch: &SearchStats| -> SearchStats {
+            let mut stats = *batch;
+            shared.fold_into(&mut stats);
+            stats
+        };
+        match outcome {
+            crate::scheduler::ShardOutcome::AllHold { stats, per_shard } => {
+                let stats = fold(&stats);
+                let telemetry = meta.finish(opts, "holds", &stats, domain.len(), total);
+                Ok(Report {
+                    outcome: Outcome::Holds,
+                    stats,
+                    domain,
+                    valuations_checked: total,
+                    shard_valuations: per_shard,
+                    telemetry,
+                })
+            }
+            crate::scheduler::ShardOutcome::Violated {
+                index,
+                cex,
+                cex_ns,
+                stats,
+                per_shard,
+            } => {
+                let stats = fold(&stats);
+                meta.cex_ns += cex_ns;
+                let valuations_checked = index + 1;
                 let telemetry =
                     meta.finish(opts, "violated", &stats, domain.len(), valuations_checked);
-                return Ok(Report {
+                Ok(Report {
                     outcome: Outcome::Violated(cex),
                     stats,
                     domain,
                     valuations_checked,
+                    shard_valuations: per_shard,
                     telemetry,
-                });
+                })
+            }
+            crate::scheduler::ShardOutcome::Stopped {
+                index,
+                reason,
+                stats,
+                per_shard,
+                ..
+            } => {
+                let stats = fold(&stats);
+                protocol_abort(reason, stats, &meta, opts, domain, index + 1, per_shard)
             }
         }
-        let telemetry = meta.finish(opts, "holds", &stats, domain.len(), valuations_checked);
-        Ok(Report {
-            outcome: Outcome::Holds,
-            stats,
-            domain,
-            valuations_checked,
-            telemetry,
-        })
     }
 
     /// Domain for protocol checks: rule constants plus fresh values.
@@ -264,65 +400,5 @@ impl Verifier {
             body: ddws_logic::LtlFo::tt(),
         };
         self.domain_for(&trivially_closed, opts)
-    }
-
-    /// One product search against the complemented protocol. Returns the
-    /// per-search outcome and stats (rule and phase meters from the
-    /// search-local `SharedSearch` already folded in — including into an
-    /// interrupted stop's stats, so callers can aggregate either way).
-    #[allow(clippy::too_many_arguments)]
-    fn run_protocol_search(
-        &mut self,
-        violation_nba: &Nba,
-        atoms: AtomRegistry,
-        domain: &[Value],
-        valuation: &[(ddws_logic::VarId, Value)],
-        limits: &SearchLimits,
-        opts: &VerifyOptions,
-        meta: &mut crate::telemetry::RunMeta,
-    ) -> Result<(Outcome, SearchStats), Box<Interrupted<PState>>> {
-        let (base_db, universe) = self.database_setup_pub(&opts.database, domain);
-        let comp = self.composition();
-        let shared = crate::verify::build_shared(comp, opts.rule_eval, opts.state_repr, domain);
-        let system = ProductSystem::new(
-            comp,
-            &base_db,
-            &universe,
-            domain,
-            violation_nba,
-            &atoms,
-            &shared,
-        );
-        let tel = meta.engine_telemetry(opts, &shared);
-        let (lasso, mut stats) = match crate::parallel::search_product(&system, opts, limits, &tel)
-        {
-            Ok(found) => found,
-            Err(mut stop) => {
-                shared.fold_into(&mut stop.stats);
-                return Err(stop);
-            }
-        };
-        shared.fold_into(&mut stats);
-        let outcome = match lasso {
-            None => Outcome::Holds,
-            Some(lasso) => {
-                let cex_start = Instant::now();
-                let vars: Vec<ddws_logic::VarId> = valuation.iter().map(|(v, _)| *v).collect();
-                let map: std::collections::HashMap<ddws_logic::VarId, Value> =
-                    valuation.iter().copied().collect();
-                let cex: Counterexample = build_counterexample(
-                    &system,
-                    &base_db,
-                    &universe,
-                    &vars,
-                    &map,
-                    lasso.prefix,
-                    lasso.cycle,
-                );
-                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
-                Outcome::Violated(Box::new(cex))
-            }
-        };
-        Ok((outcome, stats))
     }
 }

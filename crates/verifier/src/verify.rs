@@ -6,7 +6,7 @@ use crate::ground::{canonical_valuations, ground_ltlfo, AtomRegistry};
 use crate::oracle::{FactUniverse, Oracle};
 use crate::product::{PState, ProductSystem, SharedSearch};
 use ddws_automata::emptiness::SearchStats;
-use ddws_automata::{ltl_to_nba, resume_accepting_lasso_with, ClockHandle, EngineCheckpoint, Ltl};
+use ddws_automata::{resume_accepting_lasso_with, ClockHandle, EngineCheckpoint, Ltl};
 use ddws_logic::input_bounded::{check_input_bounded_sentence, IbOptions, IbViolation};
 use ddws_logic::parser::{parse_sentence, ParseError, Resolver};
 use ddws_logic::{LtlFo, LtlFoSentence, VarId};
@@ -123,6 +123,17 @@ pub struct VerifyOptions {
     /// (`Some(0)` = all available cores). Verdicts are identical across
     /// engines; counterexamples may differ (see `crate::parallel`).
     pub threads: Option<usize>,
+    /// Outer valuation shards: `None` walks the universal closure
+    /// sequentially (the classic loop); `Some(n)` dispatches canonical
+    /// valuations to `n` outer workers (`Some(0)` = all available cores),
+    /// splitting the `threads` budget between outer shards and each inner
+    /// product search. The first-violation cancel uses a deterministic
+    /// winner rule — the lowest valuation index that does not hold — so
+    /// verdict, counterexample, and redacted run report are identical
+    /// across shard counts and schedules (see `DESIGN.md` §3.13). Under a
+    /// fault hook or virtual clock the scheduler degrades to a
+    /// deterministic cooperative round-robin on the calling thread.
+    pub valuation_threads: Option<usize>,
     /// Enforce input-boundedness of the composition and property before
     /// checking (the hypothesis of Theorem 3.4). Disable only for
     /// experiments outside the decidable regime.
@@ -157,6 +168,7 @@ impl Default for VerifyOptions {
             cancel_token: None,
             fault_hook: None,
             threads: None,
+            valuation_threads: None,
             require_input_bounded: true,
             ib_options: IbOptions::default(),
             reduction: Reduction::default(),
@@ -180,6 +192,7 @@ impl fmt::Debug for VerifyOptions {
             .field("cancel_token", &self.cancel_token.is_some())
             .field("fault_hook", &self.fault_hook.is_some())
             .field("threads", &self.threads)
+            .field("valuation_threads", &self.valuation_threads)
             .field("require_input_bounded", &self.require_input_bounded)
             .field("reduction", &self.reduction)
             .field("rule_eval", &self.rule_eval)
@@ -340,41 +353,56 @@ pub struct Inconclusive {
 }
 
 /// A frozen `check` run: everything needed to continue the truncated
-/// product search and the untouched tail of the valuation loop.
+/// product search(es) and the untouched tail of the valuation loop.
 /// [`Verifier::resume`] with laxer limits reaches the same verdict a
 /// fresh, unlimited [`Verifier::check`] would.
 ///
 /// The checkpoint pins the original run's search shape — engine
-/// (`threads`), reduction and rule-evaluation mode — because the frozen
-/// frontier's interned state ids are only meaningful to the
-/// [`SharedSearch`] captured alongside it. Budgets, deadline,
-/// cancellation and reporting come from the options passed to `resume`.
+/// (`threads`), outer shards (`valuation_threads`), reduction and
+/// rule-evaluation mode — because the frozen frontiers' interned state
+/// ids are only meaningful to the [`SharedSearch`] captured alongside
+/// them. Budgets, deadline, cancellation and reporting come from the
+/// options passed to `resume`.
+///
+/// Under valuation sharding a graceful stop can leave *several* shards
+/// mid-search; each one is preserved as a leg in [`Checkpoint::shard_legs`]
+/// and `resume` drains all of them plus the untouched tail.
 pub struct Checkpoint {
     property: LtlFoSentence,
     observed: BTreeSet<RelId>,
     domain: Vec<Value>,
     base_db: Instance,
     universe: FactUniverse,
-    /// Remaining universal-closure valuations, the interrupted one first.
+    /// Remaining universal-closure valuations, ascending original order,
+    /// the winning (stop-deciding) one first.
     valuations: Vec<HashMap<VarId, Value>>,
     valuations_total: usize,
-    /// Keeps the interned configuration/oracle ids in `engine` valid.
+    /// Keeps the interned configuration/oracle ids in the legs valid.
     shared: Arc<SharedSearch>,
-    engine: EngineCheckpoint<PState>,
-    /// Aggregate statistics of the valuations completed *before* the
-    /// interrupted one (the engine checkpoint carries the interrupted
-    /// leg's own counters and re-reports them cumulatively on resume).
+    /// In-flight per-shard engine frontiers, as (position within
+    /// `valuations`, frozen frontier) pairs; the winner's leg first.
+    legs: Vec<(usize, EngineCheckpoint<PState>)>,
+    /// Aggregate statistics of the valuations *fully completed* by the
+    /// interrupted run (below and above the winner; each leg carries its
+    /// own counters and re-reports them cumulatively on resume).
     stats_prior: SearchStats,
     reduction: Reduction,
     rule_eval: RuleEval,
     state_repr: StateRepr,
     threads: Option<usize>,
+    valuation_threads: Option<usize>,
 }
 
 impl Checkpoint {
-    /// States the truncated search had visited when it stopped.
+    /// States the truncated search had visited when it stopped: fully
+    /// completed valuations plus every in-flight leg.
     pub fn states_visited(&self) -> u64 {
-        self.stats_prior.states_visited + self.engine.states_visited()
+        self.stats_prior.states_visited
+            + self
+                .legs
+                .iter()
+                .map(|(_, e)| e.states_visited())
+                .sum::<u64>()
     }
 
     /// Universal-closure valuations not yet fully checked.
@@ -382,9 +410,21 @@ impl Checkpoint {
         self.valuations.len()
     }
 
+    /// In-flight per-shard engine frontiers preserved by the stop. `1`
+    /// for unsharded runs; up to `valuation_threads` after a global stop
+    /// (deadline, cancellation) caught several shards mid-search.
+    pub fn shard_legs(&self) -> usize {
+        self.legs.len()
+    }
+
     /// The engine the checkpointed search ran (and will resume) with.
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The outer shard count the run was (and will be) dispatched with.
+    pub fn valuation_threads(&self) -> Option<usize> {
+        self.valuation_threads
     }
 
     /// Approximate heap bytes the checkpoint retains for the frozen state
@@ -403,7 +443,9 @@ impl fmt::Debug for Checkpoint {
         f.debug_struct("Checkpoint")
             .field("states_visited", &self.states_visited())
             .field("valuations_remaining", &self.valuations.len())
+            .field("shard_legs", &self.legs.len())
             .field("threads", &self.threads)
+            .field("valuation_threads", &self.valuation_threads)
             .field("reduction", &self.reduction)
             .field("rule_eval", &self.rule_eval)
             .field("state_repr", &self.state_repr)
@@ -422,6 +464,11 @@ pub struct Report {
     pub domain: Vec<Value>,
     /// Number of universal-closure valuations examined.
     pub valuations_checked: usize,
+    /// Valuations started per outer shard slot (one entry per shard;
+    /// `[valuations_checked]` for unsharded runs). Counts are
+    /// schedule-dependent under `valuation_threads > 1` with real
+    /// threads, deterministic under the cooperative scheduler.
+    pub shard_valuations: Vec<u64>,
     /// The run report also emitted through [`VerifyOptions::reporter`]
     /// (same counters as `stats`, plus phase timers and run labels).
     pub telemetry: RunReport,
@@ -554,8 +601,6 @@ impl Verifier {
         let domain = self.domain_for(property, opts);
         let (base_db, universe) = self.database_setup(&opts.database, &domain);
 
-        let negated_body = ddws_logic::LtlFo::not(property.body.clone());
-        let reduction = reduction_oracle(&self.comp, &property.body, &observed, opts);
         // Arc because an interrupted run's checkpoint must keep the
         // interners alive: the frozen engine frontier stores interned
         // configuration/oracle ids.
@@ -565,8 +610,6 @@ impl Verifier {
             opts.state_repr,
             &domain,
         ));
-        let limits = meta.limits(opts);
-        let mut stats = SearchStats::default();
         // Fresh values are interchangeable: check valuations only up to
         // renaming of the fresh part of the domain. Moreover, the paper
         // quantifies the universal closure over the *run's* active domain
@@ -579,116 +622,23 @@ impl Verifier {
         let fresh_for_closure: &[Value] = if fixed_closed { &[] } else { &fresh };
         let valuations =
             canonical_valuations(&property.universal_vars, &constants, fresh_for_closure);
-        let valuations_checked = valuations.len();
-        for (vi, valuation) in valuations.iter().enumerate() {
-            let mut atoms = AtomRegistry::new();
-            let nba_start = Instant::now();
-            let ltl: Ltl = ground_ltlfo(&negated_body, valuation, &mut atoms);
-            let nba = ltl_to_nba(&ltl);
-            meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
-            let mut system = ProductSystem::new(
-                &self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared,
-            );
-            if let Some(ind) = &reduction {
-                system = system.with_reduction(ind);
-            }
-            let tel = meta.engine_telemetry(opts, &shared);
-            let (lasso, s) = match crate::parallel::search_product(&system, opts, &limits, &tel) {
-                Ok(found) => found,
-                Err(stop) => {
-                    // A graceful stop still reports what the run saw so
-                    // far; the checkpoint (absent after a panic) freezes
-                    // the rest of the search for `Verifier::resume`.
-                    let stats_prior = stats;
-                    stats.absorb(&stop.stats);
-                    shared.fold_into(&mut stats);
-                    if let AbortReason::WorkerPanicked { worker, payload } = &stop.reason {
-                        let report = meta.finish_abort(
-                            opts,
-                            &stop.reason,
-                            false,
-                            &stats,
-                            domain.len(),
-                            valuations_checked,
-                        );
-                        return Err(VerifyError::WorkerPanicked {
-                            worker: *worker,
-                            payload: payload.clone(),
-                            report: Box::new(report),
-                        });
-                    }
-                    let resumable = stop.checkpoint.is_some();
-                    let telemetry = meta.finish_abort(
-                        opts,
-                        &stop.reason,
-                        resumable,
-                        &stats,
-                        domain.len(),
-                        valuations_checked,
-                    );
-                    let checkpoint = stop.checkpoint.map(|engine| Checkpoint {
-                        property: property.clone(),
-                        observed: observed.clone(),
-                        domain: domain.clone(),
-                        base_db: base_db.clone(),
-                        universe: universe.clone(),
-                        valuations: valuations[vi..].to_vec(),
-                        valuations_total: valuations_checked,
-                        shared: Arc::clone(&shared),
-                        engine,
-                        stats_prior,
-                        reduction: opts.reduction,
-                        rule_eval: opts.rule_eval,
-                        state_repr: opts.state_repr,
-                        threads: opts.threads,
-                    });
-                    return Ok(Report {
-                        outcome: Outcome::Inconclusive(Box::new(Inconclusive {
-                            reason: stop.reason,
-                            checkpoint,
-                        })),
-                        stats,
-                        domain,
-                        valuations_checked,
-                        telemetry,
-                    });
-                }
-            };
-            stats.absorb(&s);
-            // The rule-evaluation and phase counters live in `shared` (they
-            // span valuations), so they overwrite rather than accumulate.
-            shared.fold_into(&mut stats);
-            if let Some(lasso) = lasso {
-                let cex_start = Instant::now();
-                let cex = build_counterexample(
-                    &system,
-                    &base_db,
-                    &universe,
-                    &property.universal_vars,
-                    valuation,
-                    lasso.prefix,
-                    lasso.cycle,
-                );
-                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
-                let telemetry =
-                    meta.finish(opts, "violated", &stats, domain.len(), valuations_checked);
-                return Ok(Report {
-                    outcome: Outcome::Violated(Box::new(cex)),
-                    stats,
-                    domain,
-                    valuations_checked,
-                    telemetry,
-                });
-            }
-        }
-        let telemetry = meta.finish(opts, "holds", &stats, domain.len(), valuations_checked);
-        Ok(Report {
-            outcome: Outcome::Holds,
-            stats,
-            domain,
-            valuations_checked,
-            telemetry,
-        })
+        let valuations_total = valuations.len();
+        self.run_universal_closure(
+            &mut meta,
+            opts,
+            ClosureRun {
+                property,
+                observed: &observed,
+                domain,
+                base_db,
+                universe,
+                shared,
+                valuations,
+                legs: Vec::new(),
+                stats_base: SearchStats::default(),
+                valuations_total,
+            },
+        )
     }
 
     /// Convenience: parse then check.
@@ -736,6 +686,7 @@ impl Verifier {
             rule_eval: cp.rule_eval,
             state_repr: cp.state_repr,
             threads: cp.threads,
+            valuation_threads: cp.valuation_threads,
             ..opts.clone()
         };
         let mut meta = crate::telemetry::RunMeta::new("resume", &eff);
@@ -748,7 +699,7 @@ impl Verifier {
             valuations,
             valuations_total,
             shared,
-            engine,
+            legs,
             stats_prior,
             ..
         } = cp;
@@ -756,130 +707,22 @@ impl Verifier {
         // `resume` afterwards, exactly as `check` does).
         self.comp.observe_flags(&observed);
         self.comp.freeze_unobserved(&observed);
-        let limits = meta.limits(&eff);
-        let negated_body = ddws_logic::LtlFo::not(property.body.clone());
-        let reduction = reduction_oracle(&self.comp, &property.body, &observed, &eff);
-        let valuations_checked = valuations_total;
-        let mut stats = stats_prior;
-        let mut engine_cp = Some(engine);
-        for (vi, valuation) in valuations.iter().enumerate() {
-            // Grounding and translation are deterministic, so rebuilding
-            // the automaton for the interrupted valuation reproduces the
-            // exact atom numbering and NBA states the frozen frontier's
-            // product states refer to.
-            let mut atoms = AtomRegistry::new();
-            let nba_start = Instant::now();
-            let ltl: Ltl = ground_ltlfo(&negated_body, valuation, &mut atoms);
-            let nba = ltl_to_nba(&ltl);
-            meta.nba_ns += nba_start.elapsed().as_nanos() as u64;
-            let mut system = ProductSystem::new(
-                &self.comp, &base_db, &universe, &domain, &nba, &atoms, &shared,
-            );
-            if let Some(ind) = &reduction {
-                system = system.with_reduction(ind);
-            }
-            let tel = meta.engine_telemetry(&eff, &shared);
-            let result = match engine_cp.take() {
-                // The interrupted valuation continues from the frozen
-                // frontier; the untouched tail runs fresh searches.
-                Some(e) => resume_accepting_lasso_with(&system, e, &limits, &tel),
-                None => crate::parallel::search_product(&system, &eff, &limits, &tel),
-            };
-            let (lasso, s) = match result {
-                Ok(found) => found,
-                Err(stop) => {
-                    let stats_prior = stats;
-                    stats.absorb(&stop.stats);
-                    shared.fold_into(&mut stats);
-                    if let AbortReason::WorkerPanicked { worker, payload } = &stop.reason {
-                        let report = meta.finish_abort(
-                            &eff,
-                            &stop.reason,
-                            false,
-                            &stats,
-                            domain.len(),
-                            valuations_checked,
-                        );
-                        return Err(VerifyError::WorkerPanicked {
-                            worker: *worker,
-                            payload: payload.clone(),
-                            report: Box::new(report),
-                        });
-                    }
-                    let resumable = stop.checkpoint.is_some();
-                    let telemetry = meta.finish_abort(
-                        &eff,
-                        &stop.reason,
-                        resumable,
-                        &stats,
-                        domain.len(),
-                        valuations_checked,
-                    );
-                    let checkpoint = stop.checkpoint.map(|engine| Checkpoint {
-                        property: property.clone(),
-                        observed: observed.clone(),
-                        domain: domain.clone(),
-                        base_db: base_db.clone(),
-                        universe: universe.clone(),
-                        valuations: valuations[vi..].to_vec(),
-                        valuations_total,
-                        shared: Arc::clone(&shared),
-                        engine,
-                        stats_prior,
-                        reduction: eff.reduction,
-                        rule_eval: eff.rule_eval,
-                        state_repr: eff.state_repr,
-                        threads: eff.threads,
-                    });
-                    return Ok(Report {
-                        outcome: Outcome::Inconclusive(Box::new(Inconclusive {
-                            reason: stop.reason,
-                            checkpoint,
-                        })),
-                        stats,
-                        domain,
-                        valuations_checked,
-                        telemetry,
-                    });
-                }
-            };
-            // For the resumed valuation `s` spans both legs (the engines
-            // report cumulative counters after a resume); `stats` starts
-            // from the *completed* valuations only, so nothing is counted
-            // twice.
-            stats.absorb(&s);
-            shared.fold_into(&mut stats);
-            if let Some(lasso) = lasso {
-                let cex_start = Instant::now();
-                let cex = build_counterexample(
-                    &system,
-                    &base_db,
-                    &universe,
-                    &property.universal_vars,
-                    valuation,
-                    lasso.prefix,
-                    lasso.cycle,
-                );
-                meta.cex_ns += cex_start.elapsed().as_nanos() as u64;
-                let telemetry =
-                    meta.finish(&eff, "violated", &stats, domain.len(), valuations_checked);
-                return Ok(Report {
-                    outcome: Outcome::Violated(Box::new(cex)),
-                    stats,
-                    domain,
-                    valuations_checked,
-                    telemetry,
-                });
-            }
-        }
-        let telemetry = meta.finish(&eff, "holds", &stats, domain.len(), valuations_checked);
-        Ok(Report {
-            outcome: Outcome::Holds,
-            stats,
-            domain,
-            valuations_checked,
-            telemetry,
-        })
+        self.run_universal_closure(
+            &mut meta,
+            &eff,
+            ClosureRun {
+                property: &property,
+                observed: &observed,
+                domain,
+                base_db,
+                universe,
+                shared,
+                valuations,
+                legs,
+                stats_base: stats_prior,
+                valuations_total,
+            },
+        )
     }
 
     /// Replays a [`Counterexample`] returned by [`Verifier::check`] for
@@ -993,6 +836,258 @@ impl Verifier {
                     Instance::empty(&self.comp.voc),
                     FactUniverse::new(&self.comp.voc, &db_rels, domain),
                 )
+            }
+        }
+    }
+}
+
+/// One batch of universal-closure valuations to dispatch through the shard
+/// scheduler — the shared shape between `check` (a fresh batch, no legs)
+/// and `resume` (the checkpoint's remaining batch with in-flight legs).
+struct ClosureRun<'a> {
+    property: &'a LtlFoSentence,
+    observed: &'a BTreeSet<RelId>,
+    domain: Vec<Value>,
+    base_db: Instance,
+    universe: FactUniverse,
+    shared: Arc<SharedSearch>,
+    /// The valuations to dispatch, in canonical order (for `resume`: the
+    /// checkpoint's remaining valuations, interrupted winner first).
+    valuations: Vec<HashMap<VarId, Value>>,
+    /// Frozen engine frontiers to thaw, as (position into `valuations`,
+    /// frontier) pairs. Empty for a fresh `check`.
+    legs: Vec<(usize, EngineCheckpoint<PState>)>,
+    /// Statistics of valuations completed before this batch (a resumed
+    /// run's prior legs); the batch's counters are absorbed on top.
+    stats_base: SearchStats,
+    /// Size of the full universal closure, reported as
+    /// [`Report::valuations_checked`] regardless of where this batch
+    /// starts.
+    valuations_total: usize,
+}
+
+impl Verifier {
+    /// Runs one batch of universal-closure valuations through the shard
+    /// scheduler ([`crate::scheduler`]) and maps the classified outcome to
+    /// a [`Report`].
+    ///
+    /// This is the convergence point of `check` and `resume`: the outer
+    /// worker pool, the first-violation cancel with the deterministic
+    /// winner rule, the grounded-NBA cache, and multi-leg checkpointing
+    /// all live here. Grounding and translation are deterministic, so
+    /// rebuilding the automaton for a resumed valuation reproduces the
+    /// exact atom numbering and NBA states its frozen frontier refers to.
+    #[allow(clippy::too_many_lines)]
+    fn run_universal_closure(
+        &self,
+        meta: &mut crate::telemetry::RunMeta,
+        opts: &VerifyOptions,
+        run: ClosureRun<'_>,
+    ) -> Result<Report, VerifyError> {
+        let ClosureRun {
+            property,
+            observed,
+            domain,
+            base_db,
+            universe,
+            shared,
+            valuations,
+            legs,
+            stats_base,
+            valuations_total,
+        } = run;
+        let negated_body = ddws_logic::LtlFo::not(property.body.clone());
+        let reduction = reduction_oracle(&self.comp, &property.body, observed, opts);
+        let shards = crate::scheduler::effective_shards(opts);
+        // The inner engines split the remaining thread budget so
+        // `opts.threads` bounds total engine parallelism, not
+        // per-valuation parallelism.
+        let task_opts = VerifyOptions {
+            threads: crate::scheduler::inner_threads(opts, shards),
+            ..opts.clone()
+        };
+        let cache = crate::scheduler::NbaCache::new();
+        let limits = meta.limits(opts);
+        let deterministic = crate::scheduler::deterministic_mode(opts);
+        let mut resumes: Vec<Option<EngineCheckpoint<PState>>> =
+            valuations.iter().map(|_| None).collect();
+        for (pos, engine) in legs {
+            resumes[pos] = Some(engine);
+        }
+        let tasks: Vec<crate::scheduler::ValuationTask> =
+            valuations.iter().cloned().zip(resumes).collect();
+        let comp = &self.comp;
+        let meta_ref: &crate::telemetry::RunMeta = meta;
+        let runner = |valuation: &HashMap<VarId, Value>,
+                      resume: Option<EngineCheckpoint<PState>>,
+                      limits: &ddws_automata::SearchLimits|
+         -> crate::scheduler::TaskOutput {
+            let mut atoms = AtomRegistry::new();
+            let nba_start = Instant::now();
+            let ltl: Ltl = ground_ltlfo(&negated_body, valuation, &mut atoms);
+            let nba = cache.translate(&ltl);
+            cache.add_ns(nba_start.elapsed().as_nanos() as u64);
+            let mut system =
+                ProductSystem::new(comp, &base_db, &universe, &domain, &nba, &atoms, &shared);
+            if let Some(ind) = &reduction {
+                system = system.with_reduction(ind);
+            }
+            let tel = meta_ref.engine_telemetry(&task_opts, &shared);
+            let result = match resume {
+                // The interrupted valuation continues from its frozen
+                // frontier; the untouched tail runs fresh searches.
+                Some(engine) => resume_accepting_lasso_with(&system, engine, limits, &tel),
+                None => crate::parallel::search_product(&system, &task_opts, limits, &tel),
+            };
+            match result {
+                Ok((None, stats)) => crate::scheduler::TaskOutput {
+                    stats,
+                    verdict: crate::scheduler::TaskVerdict::Holds,
+                },
+                Ok((Some(lasso), stats)) => {
+                    let cex_start = Instant::now();
+                    let cex = build_counterexample(
+                        &system,
+                        &base_db,
+                        &universe,
+                        &property.universal_vars,
+                        valuation,
+                        lasso.prefix,
+                        lasso.cycle,
+                    );
+                    crate::scheduler::TaskOutput {
+                        stats,
+                        verdict: crate::scheduler::TaskVerdict::Violated {
+                            cex: Box::new(cex),
+                            cex_ns: cex_start.elapsed().as_nanos() as u64,
+                        },
+                    }
+                }
+                Err(stop) => crate::scheduler::TaskOutput {
+                    stats: stop.stats,
+                    verdict: crate::scheduler::TaskVerdict::Stopped {
+                        reason: stop.reason,
+                        checkpoint: stop.checkpoint,
+                    },
+                },
+            }
+        };
+        let outcome =
+            crate::scheduler::run_valuation_shards(tasks, shards, &limits, deterministic, runner);
+        meta.nba_ns += cache.ns();
+        let fold = |batch: &SearchStats| -> SearchStats {
+            let mut stats = stats_base;
+            stats.absorb(batch);
+            // The rule-evaluation and phase counters live in `shared` (they
+            // span valuations and shards), so they overwrite rather than
+            // accumulate.
+            shared.fold_into(&mut stats);
+            stats.nba_cache_hits = cache.hits();
+            stats.nba_cache_misses = cache.misses();
+            stats
+        };
+        match outcome {
+            crate::scheduler::ShardOutcome::AllHold { stats, per_shard } => {
+                let stats = fold(&stats);
+                let telemetry = meta.finish(opts, "holds", &stats, domain.len(), valuations_total);
+                Ok(Report {
+                    outcome: Outcome::Holds,
+                    stats,
+                    domain,
+                    valuations_checked: valuations_total,
+                    shard_valuations: per_shard,
+                    telemetry,
+                })
+            }
+            crate::scheduler::ShardOutcome::Violated {
+                index: _,
+                cex,
+                cex_ns,
+                stats,
+                per_shard,
+            } => {
+                let stats = fold(&stats);
+                meta.cex_ns += cex_ns;
+                let telemetry =
+                    meta.finish(opts, "violated", &stats, domain.len(), valuations_total);
+                Ok(Report {
+                    outcome: Outcome::Violated(cex),
+                    stats,
+                    domain,
+                    valuations_checked: valuations_total,
+                    shard_valuations: per_shard,
+                    telemetry,
+                })
+            }
+            crate::scheduler::ShardOutcome::Stopped {
+                index: _,
+                reason,
+                stats,
+                stats_prior,
+                remaining,
+                legs,
+                per_shard,
+            } => {
+                let stats = fold(&stats);
+                if let AbortReason::WorkerPanicked { worker, payload } = &reason {
+                    let report = meta.finish_abort(
+                        opts,
+                        &reason,
+                        false,
+                        &stats,
+                        domain.len(),
+                        valuations_total,
+                    );
+                    return Err(VerifyError::WorkerPanicked {
+                        worker: *worker,
+                        payload: payload.clone(),
+                        report: Box::new(report),
+                    });
+                }
+                // Anything left to verify makes the stop resumable — even
+                // with no in-flight legs, the remaining valuations rerun
+                // as fresh searches (that is exactly what resume does for
+                // the untouched tail).
+                let resumable = !remaining.is_empty();
+                let telemetry = meta.finish_abort(
+                    opts,
+                    &reason,
+                    resumable,
+                    &stats,
+                    domain.len(),
+                    valuations_total,
+                );
+                let checkpoint = if resumable {
+                    let mut prior = stats_base;
+                    prior.absorb(&stats_prior);
+                    Some(Checkpoint {
+                        property: property.clone(),
+                        observed: observed.clone(),
+                        domain: domain.clone(),
+                        base_db,
+                        universe,
+                        valuations: remaining.iter().map(|&i| valuations[i].clone()).collect(),
+                        valuations_total,
+                        shared: Arc::clone(&shared),
+                        legs,
+                        stats_prior: prior,
+                        reduction: opts.reduction,
+                        rule_eval: opts.rule_eval,
+                        state_repr: opts.state_repr,
+                        threads: opts.threads,
+                        valuation_threads: opts.valuation_threads,
+                    })
+                } else {
+                    None
+                };
+                Ok(Report {
+                    outcome: Outcome::Inconclusive(Box::new(Inconclusive { reason, checkpoint })),
+                    stats,
+                    domain,
+                    valuations_checked: valuations_total,
+                    shard_valuations: per_shard,
+                    telemetry,
+                })
             }
         }
     }

@@ -335,6 +335,162 @@ fn run_reports_are_deterministic_and_round_trip() {
     }
 }
 
+/// The outer valuation-shard matrix: unsharded, and 1/2/4 shard slots.
+const VALUATION_SHARDS: [Option<usize>; 4] = [None, Some(1), Some(2), Some(4)];
+
+fn chains_closure_setup() -> (Verifier, VerifyOptions) {
+    let mut v = Verifier::new(chains::composition(3, true, Semantics::default()));
+    let db = chains::database(v.composition_mut(), 2);
+    (v, fixed_opts(db))
+}
+
+/// The closure property: two universal valuations (one per token), so the
+/// outer shard scheduler has real work to split.
+const CHAINS_CLOSURE_HOLDS: &str = "forall x: G (P1.?hop0(x) -> P0.token(x))";
+const CHAINS_CLOSURE_VIOLATED: &str = "forall x: G (P1.?hop0(x) -> false)";
+
+#[test]
+fn valuation_shards_agree_across_the_matrix() {
+    // {vt1, vt2, vt4} cells over the engine × reduction × representation
+    // matrix: the verdict is shard-count-independent, counterexamples
+    // replay, and the per-shard dispatch counts sum to the batch.
+    use ddws_verifier::StateRepr;
+    for (property, expect_holds) in [
+        (CHAINS_CLOSURE_HOLDS, true),
+        (CHAINS_CLOSURE_VIOLATED, false),
+    ] {
+        for valuation_threads in VALUATION_SHARDS {
+            for threads in [None, Some(2)] {
+                for reduction in REDUCTIONS {
+                    for state_repr in [StateRepr::Legacy, StateRepr::Compact] {
+                        let (mut v, mut opts) = chains_closure_setup();
+                        opts.valuation_threads = valuation_threads;
+                        opts.threads = threads;
+                        opts.reduction = reduction;
+                        opts.state_repr = state_repr;
+                        let prop = v.parse_property(property).expect("property parses");
+                        let report = v.check(&prop, &opts).expect("verification completes");
+                        let cell = format!(
+                            "vt={valuation_threads:?} threads={threads:?} \
+                             reduction={reduction:?} repr={state_repr:?}"
+                        );
+                        assert_eq!(report.outcome.holds(), expect_holds, "{cell}");
+                        assert_eq!(
+                            report.shard_valuations.len(),
+                            valuation_threads.unwrap_or(1).max(1),
+                            "{cell}: one dispatch counter per shard slot"
+                        );
+                        if expect_holds {
+                            // Every valuation was dispatched exactly once.
+                            assert_eq!(
+                                report.shard_valuations.iter().sum::<u64>(),
+                                report.valuations_checked as u64,
+                                "{cell}: dispatch counts must sum to the batch"
+                            );
+                        }
+                        if let Outcome::Violated(cex) = &report.outcome {
+                            v.replay_counterexample(&prop, cex, &opts)
+                                .unwrap_or_else(|e| {
+                                    panic!("{cell}: counterexample does not replay: {e}")
+                                });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn valuation_shard_reports_are_byte_identical() {
+    // The determinism contract of the shard scheduler's winner rule:
+    // verdict, counters, and the whole redacted run report are
+    // byte-identical across outer shard counts — a violation or budget
+    // stop reports exactly the statistics the sequential valuation loop
+    // would have, however many shards raced.
+    for (property, expect_holds) in [
+        (CHAINS_CLOSURE_HOLDS, true),
+        (CHAINS_CLOSURE_VIOLATED, false),
+    ] {
+        let run = |valuation_threads: Option<usize>| {
+            let (mut v, mut opts) = chains_closure_setup();
+            opts.valuation_threads = valuation_threads;
+            v.check_str(property, &opts)
+                .expect("verification completes")
+        };
+        let baseline = run(None);
+        assert_eq!(baseline.outcome.holds(), expect_holds);
+        for valuation_threads in [Some(1), Some(2), Some(4)] {
+            let report = run(valuation_threads);
+            assert_eq!(
+                report.outcome.holds(),
+                expect_holds,
+                "vt={valuation_threads:?}"
+            );
+            assert_eq!(
+                report.stats.states_visited, baseline.stats.states_visited,
+                "vt={valuation_threads:?}: traversal counters drifted"
+            );
+            assert_eq!(
+                report.telemetry.redacted().to_json(),
+                baseline.telemetry.redacted().to_json(),
+                "vt={valuation_threads:?}: redacted report drifted from the \
+                 unsharded baseline on {property:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_shard_checkpoint_resumes_to_the_verdict() {
+    // A budget stop under cooperative sharding (deterministic mode: a
+    // virtual clock is injected) freezes *several* in-flight legs — the
+    // winner plus the superseded parked shards — and `resume` drains them
+    // all to the unfaulted verdict with exact cumulative statistics.
+    use ddws_verifier::ManualClock;
+    let mut v = Verifier::new(chains::composition(4, true, Semantics::default()));
+    let db = chains::database(v.composition_mut(), 4);
+    let mut opts = fixed_opts(db);
+    opts.valuation_threads = Some(2);
+    opts.clock = Some(Arc::new(ManualClock::new(0)));
+    opts.max_states = 2000;
+    let prop = "forall x: G (P1.?hop0(x) -> P0.token(x))";
+
+    let report = v.check_str(prop, &opts).expect("a budget stop is a report");
+    let cp = match report.outcome {
+        Outcome::Inconclusive(inc) => {
+            assert!(matches!(
+                inc.reason,
+                AbortReason::StateBudget { max_states: 2000 }
+            ));
+            inc.checkpoint.expect("budget stops are resumable")
+        }
+        other => panic!("expected a budget stop, got {other:?}"),
+    };
+    assert!(
+        cp.shard_legs() >= 2,
+        "expected the winner plus at least one superseded parked shard, \
+         got {} legs",
+        cp.shard_legs()
+    );
+
+    opts.max_states = 1_000_000;
+    let resumed = v.resume(cp, &opts).expect("resume completes");
+    assert!(resumed.outcome.holds(), "the chain property holds");
+    assert_eq!(resumed.valuations_checked, 4);
+
+    // The unsharded, unsliced baseline agrees on verdict and traversal.
+    let mut v2 = Verifier::new(chains::composition(4, true, Semantics::default()));
+    let db2 = chains::database(v2.composition_mut(), 4);
+    let base_opts = fixed_opts(db2);
+    let baseline = v2.check_str(prop, &base_opts).expect("baseline completes");
+    assert!(baseline.outcome.holds());
+    assert_eq!(
+        resumed.stats.states_visited, baseline.stats.states_visited,
+        "a multi-leg resume revisits nothing and skips nothing"
+    );
+}
+
 #[test]
 fn budget_abort_still_emits_a_run_report() {
     // A budget abort is an outcome, not an absence of one: the check

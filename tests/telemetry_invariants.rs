@@ -37,12 +37,22 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn run_case(case: &compgen::Case, threads: Option<usize>, reduction: Reduction) -> Option<Report> {
+    run_case_sharded(case, threads, None, reduction)
+}
+
+fn run_case_sharded(
+    case: &compgen::Case,
+    threads: Option<usize>,
+    valuation_threads: Option<usize>,
+    reduction: Reduction,
+) -> Option<Report> {
     let mut v = Verifier::new(case.composition.clone());
     let opts = VerifyOptions {
         database: DatabaseMode::Fixed(case.database.clone()),
         fresh_values: Some(1),
         max_states: common::SWARM_BUDGET,
         threads,
+        valuation_threads,
         reduction,
         ..VerifyOptions::default()
     };
@@ -109,6 +119,7 @@ fn stats_invariants_hold_on_200_swarm_cases() {
             .map(|t| run_case(&case, t, Reduction::Full))
             .collect();
         let par2_ample = run_case(&case, Some(2), Reduction::Ample);
+        let vt2_full = run_case_sharded(&case, None, Some(2), Reduction::Full);
 
         let labelled = [
             ("seq/full", Reduction::Full, &seq_full),
@@ -117,6 +128,7 @@ fn stats_invariants_hold_on_200_swarm_cases() {
             ("par2/full", Reduction::Full, &par_full[1]),
             ("par4/full", Reduction::Full, &par_full[2]),
             ("par2/ample", Reduction::Ample, &par2_ample),
+            ("vt2/full", Reduction::Full, &vt2_full),
         ];
         for (label, reduction, report) in labelled {
             if let Some(r) = report {
@@ -137,6 +149,28 @@ fn stats_invariants_hold_on_200_swarm_cases() {
             assert_eq!(
                 a.transitions_explored, b.transitions_explored,
                 "`{}`",
+                case.property
+            );
+        }
+
+        // Outer sharding moves valuations between workers, never work
+        // between searches: with the same (sequential) inner engine, the
+        // sharded closure's merged traversal counters must equal the
+        // unsharded loop's exactly — on `Holds` because every valuation
+        // runs to completion either way, and on `Violated` because the
+        // deterministic winner rule books the same prefix-plus-winner
+        // stats at any shard count.
+        if let (Some(sf), Some(vt)) = (&seq_full, &vt2_full) {
+            assert_eq!(
+                sf.outcome.holds(),
+                vt.outcome.holds(),
+                "sharded closure verdict diverges on `{}`",
+                case.property
+            );
+            assert_eq!(
+                (sf.stats.states_visited, sf.stats.transitions_explored),
+                (vt.stats.states_visited, vt.stats.transitions_explored),
+                "sharded closure traversal diverges on `{}`",
                 case.property
             );
         }
