@@ -1,0 +1,37 @@
+//! # `ddws-server` — verification as a service
+//!
+//! A long-running, multi-tenant front end for the `ddws` verifier
+//! (DESIGN.md §3.14):
+//!
+//! * [`wire`] — the versioned, length-prefixed canonical-JSON protocol:
+//!   `submit_job` / `job_status` / `cancel_job` / `fetch_result` /
+//!   `stream_telemetry` envelopes with a stable error-code registry.
+//!   Decoding is total — malformed input yields typed errors, never
+//!   panics.
+//! * [`queue`] — the bounded, admission-controlled job table and the
+//!   round-robin run queue (reject-with-`queue_full` when at capacity).
+//! * [`service`] — the preemptive scheduler: each quantum runs one
+//!   state-budget slice through `SearchLimits`, parks the resulting
+//!   `Inconclusive` checkpoint, and requeues FIFO, so one pathological
+//!   composition cannot starve the fleet. Runs on real threads under
+//!   `WallClock` ([`Server::run_workers`]) or fully in-process under a
+//!   [`ManualClock`](ddws_verifier::ManualClock) with externally driven
+//!   quanta — the deterministic mode the PR 6 simulator replays
+//!   byte-for-byte.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod service;
+pub mod wire;
+
+pub use queue::{JobQueue, JobState};
+pub use service::{
+    redacted_reports, roundtrip, scenario, JobSummary, Server, ServerConfig, ServiceEvent,
+    WorkerPool, SCENARIOS,
+};
+pub use wire::{
+    decode_request, decode_response, deframe, encode_request, encode_request_versioned,
+    encode_response, frame, CexDigest, ErrorCode, JobOptions, JobSnapshot, JobSpec, Request,
+    Response, WireError, ERROR_CODES, MAX_FRAME_LEN, MIN_WIRE_VERSION, WIRE_SCHEMA, WIRE_VERSION,
+};

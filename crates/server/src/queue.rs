@@ -1,0 +1,228 @@
+//! The bounded, admission-controlled job queue and the per-job records.
+//!
+//! Admission control is a hard capacity on *active* (non-terminal) jobs:
+//! a `submit_job` beyond it is rejected with
+//! [`ErrorCode::QueueFull`](crate::wire::ErrorCode::QueueFull) rather
+//! than buffered — back-pressure is the client's problem, by design.
+//!
+//! Scheduling is strict round-robin over a FIFO run queue of job ids.
+//! A worker pops the head, runs **one quantum** (a state-budget slice,
+//! see [`crate::service`]), and pushes the job back to the tail if it
+//! parked. The FIFO invariant is the fairness law the service tests
+//! enforce: between two consecutive slices of any job, every other
+//! runnable job runs at most once — so no job can delay another's
+//! completion by more than one full round of quanta, no matter how
+//! pathological its composition is.
+
+use crate::wire::{CexDigest, ErrorCode, JobOptions, WireError};
+use ddws_relational::Instance;
+use ddws_telemetry::{CancelToken, RunReport, StreamReporter};
+use ddws_verifier::{Checkpoint, Verifier};
+use std::collections::VecDeque;
+
+/// The scheduling state of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, no slice run yet.
+    Queued,
+    /// A worker is executing a slice right now.
+    Running,
+    /// Preempted between slices; the checkpoint is parked in the queue.
+    Parked,
+    /// Terminal: the job ran to a verdict (`holds`, `violated`, or
+    /// `budget_exceeded` — see the job's verdict label).
+    Done,
+    /// Terminal: cancelled before reaching a verdict; any parked
+    /// checkpoint was discarded.
+    Cancelled,
+    /// Terminal: the service failed the job (bad property, worker panic).
+    Failed,
+}
+
+impl JobState {
+    /// The stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Parked => "parked",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "parked" => JobState::Parked,
+            "done" => JobState::Done,
+            "cancelled" => JobState::Cancelled,
+            "failed" => JobState::Failed,
+            _ => return None,
+        })
+    }
+
+    /// Whether the state is terminal (no further slices will run).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// The executable part of a job: what a worker takes off the queue for
+/// one slice. Between slices the parked [`Checkpoint`] (the PR 8
+/// multi-leg `EngineCheckpoint` set) lives here.
+pub(crate) struct JobWork {
+    /// The job's own verifier (owns the composition).
+    pub verifier: Verifier,
+    /// The property source text.
+    pub property: String,
+    /// The fixed database the job verifies against.
+    pub database: Instance,
+    /// The parked search, absent before the first slice.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// One job's full record.
+pub struct JobEntry {
+    /// The wire-visible job id.
+    pub id: u64,
+    /// Scheduling state.
+    pub state: JobState,
+    /// Quanta executed so far.
+    pub slices: u64,
+    /// Cumulative visited states across slices.
+    pub states_visited: u64,
+    /// Terminal verdict label, once terminal.
+    pub verdict: Option<String>,
+    /// The final slice's run report, once terminal (absent for jobs
+    /// cancelled before any slice completed).
+    pub report: Option<RunReport>,
+    /// Counterexample digest on a `violated` verdict.
+    pub counterexample: Option<CexDigest>,
+    /// The per-job limits from `submit_job`.
+    pub options: JobOptions,
+    /// The job's cancel token, threaded into every slice.
+    pub cancel: CancelToken,
+    /// Whether a `cancel_job` arrived (observed between or during slices).
+    pub cancel_requested: bool,
+    /// Whether the cancel discarded a parked checkpoint.
+    pub discarded_checkpoint: bool,
+    /// The per-job telemetry stream (`stream_telemetry` drains it).
+    pub stream: StreamReporter,
+    /// Scheduler step count at admission (fairness accounting).
+    pub submitted_step: u64,
+    /// Scheduler step count at the terminal transition.
+    pub completed_step: Option<u64>,
+    pub(crate) work: Option<JobWork>,
+}
+
+/// The bounded job table plus the round-robin run queue.
+pub struct JobQueue {
+    capacity: usize,
+    jobs: Vec<JobEntry>,
+    run_queue: VecDeque<u64>,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` active jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            capacity: capacity.max(1),
+            jobs: Vec::new(),
+            run_queue: VecDeque::new(),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of active (non-terminal) jobs.
+    pub fn active(&self) -> usize {
+        self.jobs.iter().filter(|j| !j.state.is_terminal()).count()
+    }
+
+    /// All job records, in admission order.
+    pub fn jobs(&self) -> &[JobEntry] {
+        &self.jobs
+    }
+
+    /// Admits a job, or rejects it with `queue_full`.
+    pub(crate) fn submit(
+        &mut self,
+        work: JobWork,
+        options: JobOptions,
+        step: u64,
+    ) -> Result<u64, WireError> {
+        if self.active() >= self.capacity {
+            return Err(WireError::new(
+                ErrorCode::QueueFull,
+                format!(
+                    "{} active jobs at capacity {}",
+                    self.active(),
+                    self.capacity
+                ),
+            ));
+        }
+        let id = self.jobs.len() as u64;
+        self.jobs.push(JobEntry {
+            id,
+            state: JobState::Queued,
+            slices: 0,
+            states_visited: 0,
+            verdict: None,
+            report: None,
+            counterexample: None,
+            options,
+            cancel: CancelToken::new(),
+            cancel_requested: false,
+            discarded_checkpoint: false,
+            stream: StreamReporter::new(),
+            submitted_step: step,
+            completed_step: None,
+            work: Some(work),
+        });
+        self.run_queue.push_back(id);
+        Ok(id)
+    }
+
+    /// Borrows a job by id.
+    pub fn job(&self, id: u64) -> Option<&JobEntry> {
+        self.jobs.get(id as usize)
+    }
+
+    /// Mutably borrows a job by id.
+    pub(crate) fn job_mut(&mut self, id: u64) -> Option<&mut JobEntry> {
+        self.jobs.get_mut(id as usize)
+    }
+
+    /// Pops the next runnable job id off the round-robin queue, skipping
+    /// ids that went terminal (cancelled) while queued.
+    pub(crate) fn next_runnable(&mut self) -> Option<u64> {
+        while let Some(id) = self.run_queue.pop_front() {
+            if !self.jobs[id as usize].state.is_terminal() {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Returns a parked job to the tail of the round-robin queue.
+    pub(crate) fn requeue(&mut self, id: u64) {
+        self.run_queue.push_back(id);
+    }
+
+    /// Whether any job is waiting for a quantum.
+    pub fn has_runnable(&self) -> bool {
+        self.run_queue
+            .iter()
+            .any(|&id| !self.jobs[id as usize].state.is_terminal())
+    }
+}

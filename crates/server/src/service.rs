@@ -1,0 +1,1041 @@
+//! The verification service: request dispatch, the preemptive scheduler,
+//! and the two execution modes.
+//!
+//! ## Scheduling contract
+//!
+//! A job runs as a sequence of *slices*, each a state-budget quantum
+//! through the PR 5 `SearchLimits` machinery: slice `n + 1` resumes the
+//! [`Checkpoint`] slice `n` parked (`Verifier::resume_slice`), with the
+//! cap raised by [`ServerConfig::quantum_states`] *additional* visited
+//! states, clamped to the job's own budget. A slice therefore ends in
+//! exactly one of:
+//!
+//! * a verdict (`holds` / `violated`) — terminal;
+//! * a state-budget stop at the synthetic slice cap — **parked**, the
+//!   checkpoint goes back to the tail of the round-robin queue;
+//! * a state-budget stop at the job's budget — terminal
+//!   `budget_exceeded`;
+//! * a cancellation — terminal `cancelled`, checkpoint discarded;
+//! * a failure (unparseable property, worker panic) — terminal `failed`.
+//!
+//! Strict FIFO requeueing is the fairness law: between two consecutive
+//! slices of any job, every other runnable job runs at most once.
+//!
+//! ## Execution modes
+//!
+//! *Wall mode* (`clock: None`): [`Server::run_workers`] spawns real
+//! threads that loop [`Server::step`] under `WallClock`. *Deterministic
+//! mode* (`clock: Some(manual)`): the caller drives `step` from one
+//! thread; every slice advances the [`ManualClock`] one `tick_ns` per
+//! state expansion through the fault hook, so the whole server — wire
+//! traffic included — is a pure function of the request sequence, and
+//! the canonical event log plus redacted reports replay byte-identically
+//! (the PR 6 simulator drives exactly this mode).
+
+use crate::queue::{JobQueue, JobState, JobWork};
+use crate::wire::{
+    decode_request, encode_response, CexDigest, ErrorCode, JobOptions, JobSnapshot, JobSpec,
+    Request, Response, WireError,
+};
+use ddws_model::{CompositionBuilder, QueueKind};
+use ddws_relational::Instance;
+use ddws_telemetry::{Json, TelemetryEvent};
+use ddws_testkit::compgen::{Case, CaseSpec, ChanSpec};
+use ddws_verifier::{
+    AbortReason, Checkpoint, ClockHandle, DatabaseMode, FaultHook, ManualClock, Outcome, Report,
+    ReporterHandle, RunReport, Verifier, VerifyOptions,
+};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Service configuration.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Admission cap on active jobs.
+    pub capacity: usize,
+    /// The per-slice quantum: additional visited states per quantum.
+    pub quantum_states: u64,
+    /// `Some` switches the service into deterministic mode: slices run
+    /// under this virtual clock, advanced `tick_ns` per state expansion.
+    pub clock: Option<Arc<ManualClock>>,
+    /// Virtual nanoseconds per state expansion (deterministic mode).
+    pub tick_ns: u64,
+    /// Progress-snapshot interval for wall mode (`None` disables).
+    /// Deterministic mode never emits snapshots — the progress gate reads
+    /// wall time, which would break replay.
+    pub progress_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            capacity: 64,
+            quantum_states: 1024,
+            clock: None,
+            tick_ns: 64,
+            progress_interval: Some(Duration::from_millis(25)),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A deterministic-mode configuration over a fresh [`ManualClock`].
+    pub fn deterministic(capacity: usize, quantum_states: u64) -> ServerConfig {
+        ServerConfig {
+            capacity,
+            quantum_states,
+            clock: Some(Arc::new(ManualClock::new(0))),
+            tick_ns: 64,
+            progress_interval: None,
+        }
+    }
+}
+
+/// One entry of the canonical service event log. The log records every
+/// state transition the scheduler and the dispatcher make; its rendering
+/// ([`Server::canonical_log`]) is the replay unit of the deterministic
+/// service tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceEvent {
+    /// A `submit_job`, accepted or rejected.
+    Submit {
+        /// Assigned id on acceptance.
+        job: Option<u64>,
+        /// `"spec"` or the scenario name.
+        kind: String,
+        /// Rejection code, when rejected.
+        code: Option<ErrorCode>,
+    },
+    /// One scheduler quantum.
+    Slice {
+        /// The job.
+        job: u64,
+        /// 1-based slice ordinal.
+        n: u64,
+        /// The effective state cap of the slice.
+        cap: u64,
+        /// `parked`, `holds`, `violated`, `cancelled`, `budget_exceeded`,
+        /// or `failed`.
+        outcome: String,
+        /// Cumulative visited states after the slice.
+        states: u64,
+    },
+    /// A `cancel_job`.
+    Cancel {
+        /// The job.
+        job: u64,
+        /// `"cancelled"`, `"cancelled (checkpoint discarded)"`,
+        /// `"pending"` (job was mid-slice), or an error-code name.
+        outcome: String,
+    },
+    /// A `job_status` poll.
+    Status {
+        /// The job.
+        job: u64,
+        /// The reported state, or an error-code name.
+        state: String,
+    },
+    /// A `fetch_result`.
+    Fetch {
+        /// The job.
+        job: u64,
+        /// The verdict label, or an error-code name.
+        outcome: String,
+    },
+    /// A `stream_telemetry` drain.
+    Telemetry {
+        /// The job.
+        job: u64,
+        /// Progress snapshots drained.
+        snapshots: u64,
+        /// Run reports drained.
+        reports: u64,
+    },
+}
+
+impl fmt::Display for ServiceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceEvent::Submit { job, kind, code } => match (job, code) {
+                (Some(j), _) => write!(f, "submit kind={kind} -> accepted job={j}"),
+                (None, Some(c)) => write!(f, "submit kind={kind} -> rejected {}", c.name()),
+                (None, None) => write!(f, "submit kind={kind} -> rejected"),
+            },
+            ServiceEvent::Slice {
+                job,
+                n,
+                cap,
+                outcome,
+                states,
+            } => write!(
+                f,
+                "slice job={job} n={n} cap={cap} -> {outcome} states={states}"
+            ),
+            ServiceEvent::Cancel { job, outcome } => write!(f, "cancel job={job} -> {outcome}"),
+            ServiceEvent::Status { job, state } => write!(f, "status job={job} -> {state}"),
+            ServiceEvent::Fetch { job, outcome } => write!(f, "fetch job={job} -> {outcome}"),
+            ServiceEvent::Telemetry {
+                job,
+                snapshots,
+                reports,
+            } => write!(
+                f,
+                "telemetry job={job} snapshots={snapshots} reports={reports}"
+            ),
+        }
+    }
+}
+
+struct ServerState {
+    queue: JobQueue,
+    steps: u64,
+    log: Vec<ServiceEvent>,
+}
+
+/// The verification service. Cheap to share: wrap in an [`Arc`] and hand
+/// clones to worker threads ([`Server::run_workers`]) or drive it
+/// single-threaded in deterministic mode.
+pub struct Server {
+    config: ServerConfig,
+    state: Mutex<ServerState>,
+}
+
+impl Server {
+    /// A fresh service.
+    pub fn new(config: ServerConfig) -> Server {
+        let capacity = config.capacity;
+        Server {
+            config,
+            state: Mutex::new(ServerState {
+                queue: JobQueue::new(capacity),
+                steps: 0,
+                log: Vec::new(),
+            }),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Handles one request frame and returns the response frame. Decode
+    /// failures answer with an `error` envelope (correlation id 0 — a
+    /// frame that does not parse has no trustworthy id).
+    pub fn handle_frame(&self, buf: &[u8]) -> Vec<u8> {
+        match decode_request(buf) {
+            Ok((id, req, _)) => encode_response(id, &self.dispatch(&req)),
+            Err(err) => encode_response(0, &Response::Error(err)),
+        }
+    }
+
+    /// Handles one decoded request.
+    pub fn dispatch(&self, req: &Request) -> Response {
+        match req {
+            Request::SubmitJob { spec, options } => self.submit(spec, options),
+            Request::JobStatus { job } => self.status(*job),
+            Request::CancelJob { job } => self.cancel(*job),
+            Request::FetchResult { job } => self.fetch(*job),
+            Request::StreamTelemetry { job } => self.telemetry(*job),
+        }
+    }
+
+    fn submit(&self, spec: &JobSpec, options: &JobOptions) -> Response {
+        let kind = match spec {
+            JobSpec::Spec(_) => "spec".to_string(),
+            JobSpec::Scenario(name) => name.clone(),
+        };
+        let built = match spec {
+            JobSpec::Spec(cs) => cs
+                .build()
+                .map_err(|e| WireError::new(ErrorCode::SpecInvalid, e)),
+            JobSpec::Scenario(name) => scenario(name).ok_or_else(|| {
+                WireError::new(
+                    ErrorCode::UnknownScenario,
+                    format!("no scenario {name:?} (registry: {SCENARIOS:?})"),
+                )
+            }),
+        };
+        let mut st = self.state.lock().unwrap();
+        let outcome = built.and_then(|case| {
+            let work = JobWork {
+                verifier: Verifier::new(case.composition),
+                property: case.property,
+                database: case.database,
+                checkpoint: None,
+            };
+            let step = st.steps;
+            st.queue.submit(work, options.clone(), step)
+        });
+        match outcome {
+            Ok(id) => {
+                st.log.push(ServiceEvent::Submit {
+                    job: Some(id),
+                    kind,
+                    code: None,
+                });
+                Response::Accepted { job: id }
+            }
+            Err(err) => {
+                st.log.push(ServiceEvent::Submit {
+                    job: None,
+                    kind,
+                    code: Some(err.code),
+                });
+                Response::Error(err)
+            }
+        }
+    }
+
+    fn snapshot_of(entry: &crate::queue::JobEntry) -> JobSnapshot {
+        JobSnapshot {
+            job: entry.id,
+            state: entry.state,
+            slices: entry.slices,
+            states_visited: entry.states_visited,
+        }
+    }
+
+    fn status(&self, job: u64) -> Response {
+        let mut st = self.state.lock().unwrap();
+        match st.queue.job(job) {
+            Some(entry) => {
+                let sn = Self::snapshot_of(entry);
+                st.log.push(ServiceEvent::Status {
+                    job,
+                    state: sn.state.as_str().to_string(),
+                });
+                Response::Status(sn)
+            }
+            None => {
+                st.log.push(ServiceEvent::Status {
+                    job,
+                    state: ErrorCode::UnknownJob.name().to_string(),
+                });
+                Response::Error(WireError::new(
+                    ErrorCode::UnknownJob,
+                    format!("no job {job}"),
+                ))
+            }
+        }
+    }
+
+    fn cancel(&self, job: u64) -> Response {
+        let mut st = self.state.lock().unwrap();
+        let step = st.steps;
+        let Some(entry) = st.queue.job_mut(job) else {
+            st.log.push(ServiceEvent::Cancel {
+                job,
+                outcome: ErrorCode::UnknownJob.name().to_string(),
+            });
+            return Response::Error(WireError::new(
+                ErrorCode::UnknownJob,
+                format!("no job {job}"),
+            ));
+        };
+        if entry.state.is_terminal() {
+            let code = ErrorCode::JobTerminal;
+            let msg = format!("job {job} is already {}", entry.state.as_str());
+            st.log.push(ServiceEvent::Cancel {
+                job,
+                outcome: code.name().to_string(),
+            });
+            return Response::Error(WireError::new(code, msg));
+        }
+        entry.cancel.cancel("client cancel");
+        entry.cancel_requested = true;
+        let outcome = if entry.state == JobState::Running {
+            // A worker owns the slice; it observes the token and
+            // terminalizes the job when the slice stops.
+            "pending".to_string()
+        } else {
+            let had_checkpoint = entry.work.as_ref().is_some_and(|w| w.checkpoint.is_some());
+            entry.discarded_checkpoint = had_checkpoint;
+            entry.work = None;
+            entry.state = JobState::Cancelled;
+            entry.verdict = Some("cancelled".to_string());
+            entry.completed_step = Some(step);
+            if had_checkpoint {
+                "cancelled (checkpoint discarded)".to_string()
+            } else {
+                "cancelled".to_string()
+            }
+        };
+        st.log.push(ServiceEvent::Cancel {
+            job,
+            outcome: outcome.clone(),
+        });
+        Response::Cancelled { job }
+    }
+
+    fn fetch(&self, job: u64) -> Response {
+        let mut st = self.state.lock().unwrap();
+        let Some(entry) = st.queue.job(job) else {
+            st.log.push(ServiceEvent::Fetch {
+                job,
+                outcome: ErrorCode::UnknownJob.name().to_string(),
+            });
+            return Response::Error(WireError::new(
+                ErrorCode::UnknownJob,
+                format!("no job {job}"),
+            ));
+        };
+        if !entry.state.is_terminal() {
+            let code = ErrorCode::JobNotTerminal;
+            let msg = format!("job {job} is {}", entry.state.as_str());
+            st.log.push(ServiceEvent::Fetch {
+                job,
+                outcome: code.name().to_string(),
+            });
+            return Response::Error(WireError::new(code, msg));
+        }
+        let verdict = entry.verdict.clone().unwrap_or_else(|| "failed".into());
+        let resp = Response::Result {
+            snapshot: Self::snapshot_of(entry),
+            verdict: verdict.clone(),
+            report: entry.report.clone(),
+            counterexample: entry.counterexample.clone(),
+        };
+        st.log.push(ServiceEvent::Fetch {
+            job,
+            outcome: verdict,
+        });
+        resp
+    }
+
+    fn telemetry(&self, job: u64) -> Response {
+        let mut st = self.state.lock().unwrap();
+        let Some(entry) = st.queue.job(job) else {
+            return Response::Error(WireError::new(
+                ErrorCode::UnknownJob,
+                format!("no job {job}"),
+            ));
+        };
+        let mut snapshots = Vec::new();
+        let mut reports = Vec::new();
+        for ev in entry.stream.drain() {
+            match ev {
+                TelemetryEvent::Progress(p) => snapshots.push(p),
+                TelemetryEvent::Report(r) => reports.push(*r),
+            }
+        }
+        st.log.push(ServiceEvent::Telemetry {
+            job,
+            snapshots: snapshots.len() as u64,
+            reports: reports.len() as u64,
+        });
+        Response::Telemetry {
+            job,
+            snapshots,
+            reports,
+        }
+    }
+
+    /// Runs one scheduler quantum: pops the round-robin head, executes one
+    /// slice, and parks or terminalizes the job. Returns `false` when no
+    /// job is runnable.
+    pub fn step(&self) -> bool {
+        // Claim a job and take its work out of the table, so the (long)
+        // slice runs without the service lock.
+        let (id, mut work, options, cancel, stream) = {
+            let mut st = self.state.lock().unwrap();
+            let Some(id) = st.queue.next_runnable() else {
+                return false;
+            };
+            st.steps += 1;
+            let entry = st.queue.job_mut(id).expect("runnable job exists");
+            entry.state = JobState::Running;
+            let work = entry.work.take().expect("runnable job has work");
+            (
+                id,
+                work,
+                entry.options.clone(),
+                entry.cancel.clone(),
+                entry.stream.clone(),
+            )
+        };
+
+        // The cap is measured against the in-flight valuation's own
+        // count, not the run-wide sum: `max_states` budgets are per
+        // universal-closure valuation, and the sliced run must converge
+        // to the verdict of a one-shot check under `budget` (the oracle
+        // the tests compare against).
+        let visited = work
+            .checkpoint
+            .as_ref()
+            .map_or(0, Checkpoint::frontier_states);
+        let budget = options.budget.max(1);
+        let cap = Verifier::slice_cap(visited, self.config.quantum_states).min(budget);
+        let quantum = cap.saturating_sub(visited);
+
+        let vopts = self.slice_options(&options, &work.database, &cancel, &stream);
+        let result = if quantum == 0 {
+            // The previous slice consumed the whole budget exactly at its
+            // synthetic cap; nothing is left to run.
+            Err(None)
+        } else {
+            match work.checkpoint.take() {
+                None => work.verifier.check_slice(&work.property, &vopts, cap),
+                Some(cp) => work.verifier.resume_slice(cp, &vopts, quantum),
+            }
+            .map_err(Some)
+        };
+
+        let mut st = self.state.lock().unwrap();
+        let step = st.steps;
+        let entry = st.queue.job_mut(id).expect("job exists");
+        let n = entry.slices + 1;
+        let outcome_label;
+        match result {
+            Err(None) => {
+                entry.state = JobState::Done;
+                entry.verdict = Some("budget_exceeded".to_string());
+                entry.completed_step = Some(step);
+                outcome_label = "budget_exceeded".to_string();
+            }
+            Err(Some(e)) => {
+                entry.slices = n;
+                entry.state = JobState::Failed;
+                entry.verdict = Some("failed".to_string());
+                entry.completed_step = Some(step);
+                outcome_label = format!("failed ({e})");
+            }
+            Ok(report) => {
+                entry.slices = n;
+                entry.states_visited = report.stats.states_visited;
+                outcome_label = Self::integrate_slice(entry, &mut work, report, cap, budget, step);
+                if entry.state == JobState::Parked {
+                    entry.work = Some(work);
+                    st.queue.requeue(id);
+                }
+            }
+        }
+        let states = st.queue.job(id).expect("job exists").states_visited;
+        st.log.push(ServiceEvent::Slice {
+            job: id,
+            n,
+            cap,
+            outcome: outcome_label,
+            states,
+        });
+        true
+    }
+
+    /// Classifies one finished slice and moves the job record; returns
+    /// the slice outcome label. Parking is signalled via
+    /// `JobState::Parked` (the caller re-attaches `work` and requeues).
+    fn integrate_slice(
+        entry: &mut crate::queue::JobEntry,
+        work: &mut JobWork,
+        report: Report,
+        cap: u64,
+        budget: u64,
+        step: u64,
+    ) -> String {
+        match report.outcome {
+            Outcome::Holds => {
+                entry.state = JobState::Done;
+                entry.verdict = Some("holds".to_string());
+                entry.report = Some(report.telemetry);
+                entry.completed_step = Some(step);
+                "holds".to_string()
+            }
+            Outcome::Violated(ref cex) => {
+                let comp = work.verifier.composition();
+                entry.counterexample = Some(CexDigest {
+                    values: cex
+                        .valuation
+                        .iter()
+                        .map(|&(_, v)| comp.symbols.name(v).to_string())
+                        .collect(),
+                    prefix_len: cex.prefix.len() as u64,
+                    cycle_len: cex.cycle.len() as u64,
+                });
+                entry.state = JobState::Done;
+                entry.verdict = Some("violated".to_string());
+                entry.report = Some(report.telemetry);
+                entry.completed_step = Some(step);
+                "violated".to_string()
+            }
+            Outcome::Inconclusive(inc) => match inc.reason {
+                AbortReason::StateBudget { max_states }
+                    if max_states == cap && cap < budget && inc.checkpoint.is_some() =>
+                {
+                    if entry.cancel_requested {
+                        // The cancel raced the end of the slice: the token
+                        // was raised after the last cancellation check.
+                        // Honor it now and drop the checkpoint.
+                        entry.discarded_checkpoint = true;
+                        entry.state = JobState::Cancelled;
+                        entry.verdict = Some("cancelled".to_string());
+                        entry.report = Some(report.telemetry);
+                        entry.completed_step = Some(step);
+                        "cancelled (checkpoint discarded)".to_string()
+                    } else {
+                        work.checkpoint = inc.checkpoint;
+                        entry.state = JobState::Parked;
+                        "parked".to_string()
+                    }
+                }
+                AbortReason::StateBudget { .. } => {
+                    // The cap was the job's own budget (or the engine
+                    // could not checkpoint): the job is out of states.
+                    entry.state = JobState::Done;
+                    entry.verdict = Some("budget_exceeded".to_string());
+                    entry.report = Some(report.telemetry);
+                    entry.completed_step = Some(step);
+                    "budget_exceeded".to_string()
+                }
+                AbortReason::Cancelled { .. } => {
+                    entry.discarded_checkpoint = inc.checkpoint.is_some();
+                    entry.state = JobState::Cancelled;
+                    entry.verdict = Some("cancelled".to_string());
+                    entry.report = Some(report.telemetry);
+                    entry.completed_step = Some(step);
+                    "cancelled".to_string()
+                }
+                AbortReason::DeadlineExceeded { .. } if inc.checkpoint.is_some() => {
+                    // The service arms no deadlines, but a client-supplied
+                    // clock skew could still trip one: park and retry.
+                    work.checkpoint = inc.checkpoint;
+                    entry.state = JobState::Parked;
+                    "parked".to_string()
+                }
+                AbortReason::DeadlineExceeded { .. } | AbortReason::WorkerPanicked { .. } => {
+                    entry.state = JobState::Failed;
+                    entry.verdict = Some("failed".to_string());
+                    entry.report = Some(report.telemetry);
+                    entry.completed_step = Some(step);
+                    "failed".to_string()
+                }
+            },
+        }
+    }
+
+    fn slice_options(
+        &self,
+        options: &JobOptions,
+        database: &Instance,
+        cancel: &ddws_verifier::CancelToken,
+        stream: &ddws_telemetry::StreamReporter,
+    ) -> VerifyOptions {
+        let fault_hook: Option<FaultHook> = self.config.clock.as_ref().map(|clock| {
+            let clock = clock.clone();
+            let tick_ns = self.config.tick_ns;
+            Arc::new(move |_tick: u64| clock.advance(tick_ns)) as FaultHook
+        });
+        VerifyOptions {
+            database: DatabaseMode::Fixed(database.clone()),
+            fresh_values: options.fresh_values,
+            clock: self.config.clock.as_ref().map(|c| c.clone() as ClockHandle),
+            cancel_token: Some(cancel.clone()),
+            fault_hook,
+            valuation_threads: options.valuation_threads,
+            reporter: ReporterHandle::new(Arc::new(stream.clone())),
+            progress_interval: if self.config.clock.is_some() {
+                None
+            } else {
+                self.config.progress_interval
+            },
+            ..VerifyOptions::default()
+        }
+    }
+
+    /// Drives [`Server::step`] until no job is runnable. Deterministic
+    /// mode's "run to quiescence" helper; returns the number of quanta.
+    pub fn drain(&self) -> u64 {
+        let mut quanta = 0;
+        while self.step() {
+            quanta += 1;
+        }
+        quanta
+    }
+
+    /// Whether any job is waiting for a quantum.
+    pub fn has_runnable(&self) -> bool {
+        self.state.lock().unwrap().queue.has_runnable()
+    }
+
+    /// Scheduler quanta executed so far.
+    pub fn steps(&self) -> u64 {
+        self.state.lock().unwrap().steps
+    }
+
+    /// A summary row per job, in admission order.
+    pub fn jobs(&self) -> Vec<JobSummary> {
+        let st = self.state.lock().unwrap();
+        st.queue
+            .jobs()
+            .iter()
+            .map(|j| JobSummary {
+                job: j.id,
+                state: j.state,
+                slices: j.slices,
+                states_visited: j.states_visited,
+                verdict: j.verdict.clone(),
+                counterexample: j.counterexample.clone(),
+                submitted_step: j.submitted_step,
+                completed_step: j.completed_step,
+                discarded_checkpoint: j.discarded_checkpoint,
+            })
+            .collect()
+    }
+
+    /// The redacted final report of a terminal job, if one exists.
+    pub fn redacted_report(&self, job: u64) -> Option<RunReport> {
+        let st = self.state.lock().unwrap();
+        st.queue
+            .job(job)
+            .and_then(|j| j.report.as_ref().map(RunReport::redacted))
+    }
+
+    /// Renders the canonical event log: one line per [`ServiceEvent`],
+    /// newline-terminated. In deterministic mode this replays
+    /// byte-identically from the same request/step sequence.
+    pub fn canonical_log(&self) -> String {
+        let st = self.state.lock().unwrap();
+        let mut out = String::new();
+        for ev in &st.log {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Spawns `n` worker threads looping [`Server::step`] (wall mode).
+    pub fn run_workers(self: &Arc<Server>, n: usize) -> WorkerPool {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handles = (0..n.max(1))
+            .map(|_| {
+                let server = Arc::clone(self);
+                let shutdown = Arc::clone(&shutdown);
+                std::thread::spawn(move || loop {
+                    if server.step() {
+                        continue;
+                    }
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                })
+            })
+            .collect();
+        WorkerPool { shutdown, handles }
+    }
+}
+
+/// A running wall-mode worker pool; see [`Server::run_workers`].
+pub struct WorkerPool {
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Signals shutdown and joins every worker. Workers finish draining
+    /// the run queue first: shutdown only lands when no job is runnable.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Release);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// One row of [`Server::jobs`].
+#[derive(Clone, Debug)]
+pub struct JobSummary {
+    /// The job id.
+    pub job: u64,
+    /// Scheduling state.
+    pub state: JobState,
+    /// Quanta executed.
+    pub slices: u64,
+    /// Cumulative visited states.
+    pub states_visited: u64,
+    /// Terminal verdict label.
+    pub verdict: Option<String>,
+    /// Counterexample digest on `violated`.
+    pub counterexample: Option<CexDigest>,
+    /// Scheduler step count at admission.
+    pub submitted_step: u64,
+    /// Scheduler step count at the terminal transition.
+    pub completed_step: Option<u64>,
+    /// Whether a cancel discarded a parked checkpoint.
+    pub discarded_checkpoint: bool,
+}
+
+// ---------------------------------------------------------------------
+// Scenario registry
+// ---------------------------------------------------------------------
+
+/// Names `submit_job` may reference instead of an inline spec.
+pub const SCENARIOS: &[&str] = &["req_resp", "drop_audit", "starver"];
+
+/// Resolves a named scenario to a verification case.
+///
+/// * `req_resp` — the two-peer request/response composition; its guard
+///   property holds.
+/// * `drop_audit` — the same composition with an unsatisfiable audit
+///   property; violated within a few hundred states.
+/// * `starver` — a three-relay ring with arity-2 channels and queue
+///   bound 2: a budget-explosive product the fairness tests use as the
+///   pathological tenant.
+pub fn scenario(name: &str) -> Option<Case> {
+    match name {
+        "req_resp" => Some(req_resp("G (forall x: Bob.?ping(x) -> Alice.friend(x))")),
+        "drop_audit" => Some(req_resp("G (forall x: Bob.?ping(x) -> false)")),
+        "starver" => Some(starver()),
+        _ => None,
+    }
+}
+
+/// The doc-comment composition: Alice pings friends, Bob records them.
+fn req_resp(property: &str) -> Case {
+    let mut b = CompositionBuilder::new();
+    b.channel("ping", 1, QueueKind::Flat, "Alice", "Bob");
+    b.peer("Alice")
+        .database("friend", 1)
+        .input("greet", 1)
+        .input_rule("greet", &["x"], "friend(x)")
+        .send_rule("ping", &["x"], "greet(x)");
+    b.peer("Bob")
+        .state("seen", 1)
+        .state_insert_rule("seen", &["x"], "?ping(x)");
+    let mut composition = b.build().expect("req_resp composition");
+    let mut database = Instance::empty(&composition.voc);
+    let friend = composition.voc.lookup("Alice.friend").expect("friend");
+    let a = composition.symbols.intern("a");
+    database
+        .relation_mut(friend)
+        .insert(ddws_relational::Tuple::new(vec![a]));
+    Case {
+        composition,
+        database,
+        property: property.to_string(),
+    }
+}
+
+/// The pathological tenant: a compgen-shaped three-relay ring whose
+/// product comfortably exceeds any slice budget, with a property that
+/// holds — so it never short-circuits on a violation and keeps consuming
+/// quanta until its own budget runs out.
+fn starver() -> Case {
+    let spec = CaseSpec {
+        queue_bound: 2,
+        relays: vec![0, 1, 2],
+        chans: vec![
+            ChanSpec {
+                index: 0,
+                arity: 1,
+                sender: 0,
+                receiver: 1,
+                send_rule: true,
+                receive_rule: true,
+            },
+            ChanSpec {
+                index: 1,
+                arity: 2,
+                sender: 1,
+                receiver: 2,
+                send_rule: true,
+                receive_rule: true,
+            },
+            ChanSpec {
+                index: 2,
+                arity: 2,
+                sender: 2,
+                receiver: 0,
+                send_rule: true,
+                receive_rule: true,
+            },
+        ],
+        auditor: None,
+        db_rows: vec![(0, "a"), (0, "b"), (1, "a"), (1, "b"), (2, "a"), (2, "b")],
+        property: "G (forall x: W1.?c0(x) -> W0.d(x))".to_string(),
+    };
+    spec.build().expect("starver composition")
+}
+
+/// A convenience used by benches and docs: submits over the wire and
+/// returns the decoded response. (Production clients speak frames; tests
+/// mostly go through [`Server::handle_frame`] directly.)
+pub fn roundtrip(server: &Server, id: u64, req: &Request) -> Response {
+    let frame = crate::wire::encode_request(id, req);
+    let bytes = server.handle_frame(&frame);
+    let (rid, resp, _) = crate::wire::decode_response(&bytes).expect("server frames decode");
+    assert_eq!(rid, id, "correlation id echoes");
+    resp
+}
+
+/// Serializes the redacted reports of every terminal job, in job order —
+/// the report half of the deterministic replay unit.
+pub fn redacted_reports(server: &Server) -> String {
+    let mut out = String::new();
+    for row in server.jobs() {
+        if let Some(report) = server.redacted_report(row.job) {
+            out.push_str(
+                &Json::parse(&report.to_json())
+                    .expect("report JSON")
+                    .to_string(),
+            );
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Request;
+
+    fn submit_scenario(server: &Server, id: u64, name: &str, budget: u64) -> u64 {
+        let resp = roundtrip(
+            server,
+            id,
+            &Request::SubmitJob {
+                spec: JobSpec::Scenario(name.to_string()),
+                options: JobOptions {
+                    budget,
+                    ..JobOptions::default()
+                },
+            },
+        );
+        match resp {
+            Response::Accepted { job } => job,
+            other => panic!("submit rejected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn req_resp_runs_to_holds_across_slices() {
+        let server = Server::new(ServerConfig::deterministic(8, 64));
+        let job = submit_scenario(&server, 1, "req_resp", 100_000);
+        let quanta = server.drain();
+        assert!(quanta >= 1);
+        let row = &server.jobs()[job as usize];
+        assert_eq!(row.state, JobState::Done);
+        assert_eq!(row.verdict.as_deref(), Some("holds"));
+        match roundtrip(&server, 2, &Request::FetchResult { job }) {
+            Response::Result {
+                verdict, report, ..
+            } => {
+                assert_eq!(verdict, "holds");
+                assert!(report.is_some());
+            }
+            other => panic!("unexpected fetch response: {other:?}"),
+        }
+        // Every slice streamed exactly one run report.
+        match roundtrip(&server, 3, &Request::StreamTelemetry { job }) {
+            Response::Telemetry { reports, .. } => {
+                assert_eq!(reports.len() as u64, row.slices);
+            }
+            other => panic!("unexpected telemetry response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_audit_is_violated_with_a_digest() {
+        let server = Server::new(ServerConfig::deterministic(8, 128));
+        let job = submit_scenario(&server, 1, "drop_audit", 100_000);
+        server.drain();
+        let row = &server.jobs()[job as usize];
+        assert_eq!(row.verdict.as_deref(), Some("violated"));
+        assert!(row.counterexample.is_some());
+    }
+
+    #[test]
+    fn cancel_discards_a_parked_checkpoint() {
+        let server = Server::new(ServerConfig::deterministic(8, 32));
+        let job = submit_scenario(&server, 1, "starver", 1_000_000);
+        assert!(server.step());
+        let row = &server.jobs()[job as usize];
+        assert_eq!(row.state, JobState::Parked);
+        match roundtrip(&server, 2, &Request::CancelJob { job }) {
+            Response::Cancelled { job: j } => assert_eq!(j, job),
+            other => panic!("unexpected cancel response: {other:?}"),
+        }
+        let row = &server.jobs()[job as usize];
+        assert_eq!(row.state, JobState::Cancelled);
+        assert!(row.discarded_checkpoint);
+        assert!(!server.step(), "cancelled job must not run again");
+        // Cancelling a terminal job is a registry error.
+        match roundtrip(&server, 3, &Request::CancelJob { job }) {
+            Response::Error(err) => assert_eq!(err.code, ErrorCode::JobTerminal),
+            other => panic!("unexpected second cancel response: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_terminal() {
+        let server = Server::new(ServerConfig::deterministic(8, 64));
+        let job = submit_scenario(&server, 1, "starver", 200);
+        server.drain();
+        let row = &server.jobs()[job as usize];
+        assert_eq!(row.state, JobState::Done);
+        assert_eq!(row.verdict.as_deref(), Some("budget_exceeded"));
+        // The engines check the budget after admitting a state, so a
+        // stopped run overshoots its cap by at most one.
+        assert!(row.states_visited <= 201);
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full() {
+        let server = Server::new(ServerConfig::deterministic(1, 64));
+        submit_scenario(&server, 1, "starver", 1_000_000);
+        let resp = roundtrip(
+            &server,
+            2,
+            &Request::SubmitJob {
+                spec: JobSpec::Scenario("req_resp".to_string()),
+                options: JobOptions::default(),
+            },
+        );
+        match resp {
+            Response::Error(err) => assert_eq!(err.code, ErrorCode::QueueFull),
+            other => panic!("expected queue_full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_every_runnable_job() {
+        let server = Server::new(ServerConfig::deterministic(8, 64));
+        let starver = submit_scenario(&server, 1, "starver", 50_000);
+        let small = submit_scenario(&server, 2, "req_resp", 50_000);
+        server.drain();
+        let rows = server.jobs();
+        assert!(rows[small as usize].state.is_terminal());
+        assert!(rows[starver as usize].state.is_terminal());
+        // The starver was submitted first, but the small job's completion
+        // step is bounded by one round per own slice.
+        let total = rows.len() as u64;
+        let small_row = &rows[small as usize];
+        assert!(
+            small_row.completed_step.unwrap() <= small_row.slices * total + total,
+            "fairness bound violated: {small_row:?}"
+        );
+    }
+
+    #[test]
+    fn wall_mode_workers_drain_the_queue() {
+        let server = Arc::new(Server::new(ServerConfig::default()));
+        let jobs: Vec<u64> = (0..4)
+            .map(|i| {
+                submit_scenario(
+                    &server,
+                    i,
+                    if i % 2 == 0 { "req_resp" } else { "drop_audit" },
+                    100_000,
+                )
+            })
+            .collect();
+        let pool = server.run_workers(2);
+        pool.shutdown();
+        for job in jobs {
+            let row = &server.jobs()[job as usize];
+            assert!(row.state.is_terminal(), "job {job} not terminal: {row:?}");
+        }
+    }
+}

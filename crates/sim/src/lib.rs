@@ -30,9 +30,13 @@
 
 pub mod channel;
 pub mod event;
+pub mod service;
 pub mod sim;
 
 pub use event::{canonical_trace, SimEvent};
+pub use service::{
+    fairness_violations, run_service_seed, ServiceJob, ServiceRun, ServiceSimOptions,
+};
 pub use sim::{
     run_seed, run_with_case_override, run_with_jobs, shrink_first_violation, JobRecord, JobSource,
     ShrunkFailure, SimBug, SimOptions, SimRun,

@@ -1,0 +1,477 @@
+//! Deterministic service-level simulation: seeded in-process clients
+//! driving a [`ddws_server::Server`] event loop under `ManualClock`.
+//!
+//! This folds the PR 9 verification service into the whole-system DES
+//! (DESIGN.md §3.11 pillars): the run is a **pure function of one `u64`
+//! seed** — N simulated clients draw compgen jobs, submit them over real
+//! wire frames, and the harness interleaves frame delivery, scheduler
+//! quanta, status polls, telemetry drains, and planned cancellations
+//! from the seed's RNG stream. Nothing reads wall time: slices advance
+//! the server's `ManualClock` one tick per state expansion, so the
+//! canonical service event log and every redacted run report replay
+//! byte-identically from the seed.
+//!
+//! Invariants are *recorded*, not asserted (the violation list):
+//!
+//! * **termination** — every submitted job reaches a terminal state
+//!   within the quantum bound;
+//! * **oracle agreement** — every served verdict (and, on `violated`,
+//!   the counterexample digest) equals a direct one-shot unsharded
+//!   `Verifier` run with the same budget;
+//! * **telemetry conservation** — each executed slice streams exactly
+//!   one schema-valid run report, none lost, none duplicated;
+//! * **fairness** — strict round-robin: between two consecutive slices
+//!   of any job, every other job runs at most once, so a pathological
+//!   tenant (the `starver` scenario) delays nobody by more than one
+//!   full round of quanta.
+
+use ddws_server::{
+    decode_response, encode_request, CexDigest, JobOptions, JobSpec, Request, Response, Server,
+    ServerConfig,
+};
+use ddws_testkit::compgen::{self, CaseSpec};
+use ddws_testkit::contract;
+use ddws_testkit::rng::XorShift;
+use ddws_verifier::{AbortReason, DatabaseMode, Outcome, RunReport, Verifier, VerifyOptions};
+
+/// Parameters of one service simulation.
+#[derive(Clone, Debug)]
+pub struct ServiceSimOptions {
+    /// Simulated clients.
+    pub clients: usize,
+    /// Compgen jobs drawn per client.
+    pub jobs_per_client: usize,
+    /// The scheduler quantum (additional states per slice).
+    pub quantum_states: u64,
+    /// Per-job total state budget.
+    pub budget: u64,
+    /// Queue admission capacity.
+    pub capacity: usize,
+    /// Queue the budget-explosive `starver` scenario first (client 0).
+    pub starver: bool,
+    /// Plan one seeded cancellation of a compgen job after ≥1 slice.
+    pub cancel_one: bool,
+    /// Safety bound on scheduler quanta before declaring deadlock.
+    pub max_quanta: u64,
+}
+
+impl Default for ServiceSimOptions {
+    fn default() -> ServiceSimOptions {
+        ServiceSimOptions {
+            clients: 3,
+            jobs_per_client: 2,
+            quantum_states: 256,
+            budget: 20_000,
+            capacity: 16,
+            starver: false,
+            cancel_one: true,
+            max_quanta: 50_000,
+        }
+    }
+}
+
+/// One submitted job's record, service-side state joined with the
+/// client-side bookkeeping and the oracle's answer.
+#[derive(Clone, Debug)]
+pub struct ServiceJob {
+    /// Submitting client.
+    pub client: usize,
+    /// Wire job id.
+    pub job: u64,
+    /// The compgen spec (absent for scenario jobs).
+    pub spec: Option<CaseSpec>,
+    /// The scenario name (absent for spec jobs).
+    pub scenario: Option<String>,
+    /// The served verdict label.
+    pub verdict: Option<String>,
+    /// The oracle's verdict label (not run for cancelled jobs).
+    pub oracle: Option<String>,
+    /// Served counterexample digest, on `violated`.
+    pub counterexample: Option<CexDigest>,
+    /// Oracle counterexample digest, on `violated`.
+    pub oracle_counterexample: Option<CexDigest>,
+    /// Slices executed.
+    pub slices: u64,
+    /// Cumulative visited states.
+    pub states_visited: u64,
+    /// Scheduler step at admission.
+    pub submitted_step: u64,
+    /// Scheduler step at the terminal transition.
+    pub completed_step: Option<u64>,
+    /// Whether the job was cancelled.
+    pub cancelled: bool,
+    /// Whether the cancel discarded a parked checkpoint.
+    pub discarded_checkpoint: bool,
+    /// Run reports drained from the job's telemetry stream.
+    pub reports: u64,
+}
+
+/// The result of one seeded service simulation.
+#[derive(Clone, Debug)]
+pub struct ServiceRun {
+    /// The driving seed.
+    pub seed: u64,
+    /// The server's canonical event log (the replay unit).
+    pub trace: String,
+    /// Redacted final reports of every terminal job, in job order (the
+    /// other half of the replay unit).
+    pub redacted_reports: String,
+    /// Per-job records, in admission order.
+    pub jobs: Vec<ServiceJob>,
+    /// Recorded invariant violations (empty on a healthy run).
+    pub violations: Vec<String>,
+    /// Scheduler quanta executed.
+    pub quanta: u64,
+}
+
+/// The oracle: a direct, one-shot, unsharded run of the same case under
+/// the same total budget. Returns the verdict label and, on `violated`,
+/// the counterexample digest.
+fn oracle_verdict(
+    case: &compgen::Case,
+    options: &JobOptions,
+) -> Result<(String, Option<CexDigest>), String> {
+    let mut verifier = Verifier::new(case.composition.clone());
+    let opts = VerifyOptions {
+        database: DatabaseMode::Fixed(case.database.clone()),
+        fresh_values: options.fresh_values,
+        max_states: options.budget,
+        valuation_threads: Some(1),
+        ..VerifyOptions::default()
+    };
+    let report = verifier
+        .check_str(&case.property, &opts)
+        .map_err(|e| format!("oracle failed: {e}"))?;
+    Ok(match report.outcome {
+        Outcome::Holds => ("holds".to_string(), None),
+        Outcome::Violated(cex) => {
+            let digest = CexDigest {
+                values: cex
+                    .valuation
+                    .iter()
+                    .map(|&(_, v)| case.composition.symbols.name(v).to_string())
+                    .collect(),
+                prefix_len: cex.prefix.len() as u64,
+                cycle_len: cex.cycle.len() as u64,
+            };
+            ("violated".to_string(), Some(digest))
+        }
+        Outcome::Inconclusive(inc) => match inc.reason {
+            AbortReason::StateBudget { .. } => ("budget_exceeded".to_string(), None),
+            other => (format!("aborted ({})", other.label()), None),
+        },
+    })
+}
+
+/// Runs one seeded service simulation. Everything — job draws, request
+/// interleaving, cancellation timing — derives from `seed`.
+pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
+    let mut rng = XorShift::new(seed ^ 0x5e17_1ce0_5e17_1ce0);
+    let server = Server::new(ServerConfig::deterministic(
+        opts.capacity,
+        opts.quantum_states,
+    ));
+
+    // -------------------------------------------------------------
+    // Draw phase: the job corpus, in client-submission order.
+    // -------------------------------------------------------------
+    let mut pending: Vec<(usize, JobSpec, JobOptions)> = Vec::new();
+    if opts.starver {
+        pending.push((
+            0,
+            JobSpec::Scenario("starver".to_string()),
+            JobOptions {
+                budget: opts.budget,
+                ..JobOptions::default()
+            },
+        ));
+    }
+    for client in 0..opts.clients {
+        for _ in 0..opts.jobs_per_client {
+            let spec = compgen::spec(&mut rng);
+            pending.push((
+                client,
+                JobSpec::Spec(spec),
+                JobOptions {
+                    budget: opts.budget,
+                    ..JobOptions::default()
+                },
+            ));
+        }
+    }
+    // One planned cancellation: a compgen job (never the starver, whose
+    // point is to stay pathological) after 1–3 slices.
+    let cancel_plan: Option<(usize, u64)> = if opts.cancel_one && !pending.is_empty() {
+        let first_compgen = usize::from(opts.starver);
+        let idx = first_compgen + rng.below((pending.len() - first_compgen) as u64) as usize;
+        Some((idx, 1 + rng.below(3)))
+    } else {
+        None
+    };
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut jobs: Vec<ServiceJob> = Vec::new();
+    let mut next_request_id: u64 = 1;
+    let send = |server: &Server, req: &Request, id: &mut u64| -> Response {
+        let frame = encode_request(*id, req);
+        let bytes = server.handle_frame(&frame);
+        let (rid, resp, _) = decode_response(&bytes).expect("server frames decode");
+        assert_eq!(rid, *id, "correlation id echoes");
+        *id += 1;
+        resp
+    };
+
+    // -------------------------------------------------------------
+    // Interleaving phase: submissions, quanta, polls, cancellations —
+    // all drawn from the seed.
+    // -------------------------------------------------------------
+    let mut submitted = 0usize;
+    let mut quanta = 0u64;
+    let mut cancel_sent = false;
+    loop {
+        let runnable = server.has_runnable();
+        let can_submit = submitted < pending.len();
+        if !runnable && !can_submit {
+            break;
+        }
+        if quanta >= opts.max_quanta {
+            violations.push(format!(
+                "deadlock: {} quanta without quiescence",
+                opts.max_quanta
+            ));
+            break;
+        }
+
+        // A planned cancel fires as soon as its target has run enough
+        // slices (and before the next quantum, so it lands on a *parked*
+        // checkpoint).
+        if let Some((idx, after_slices)) = cancel_plan {
+            if !cancel_sent && idx < jobs.len() {
+                let job = &jobs[idx];
+                let rows = server.jobs();
+                let row = &rows[job.job as usize];
+                if !row.state.is_terminal() && row.slices >= after_slices {
+                    send(
+                        &server,
+                        &Request::CancelJob { job: job.job },
+                        &mut next_request_id,
+                    );
+                    cancel_sent = true;
+                    continue;
+                }
+            }
+        }
+
+        // Bias toward submitting early (front-loads contention), then
+        // interleave quanta with occasional wire polls.
+        if can_submit && (!runnable || rng.chance(2, 5)) {
+            let (client, spec, options) = pending[submitted].clone();
+            let resp = send(
+                &server,
+                &Request::SubmitJob {
+                    spec: spec.clone(),
+                    options: options.clone(),
+                },
+                &mut next_request_id,
+            );
+            match resp {
+                Response::Accepted { job } => {
+                    jobs.push(ServiceJob {
+                        client,
+                        job,
+                        spec: match &spec {
+                            JobSpec::Spec(cs) => Some(cs.clone()),
+                            JobSpec::Scenario(_) => None,
+                        },
+                        scenario: match &spec {
+                            JobSpec::Scenario(name) => Some(name.clone()),
+                            JobSpec::Spec(_) => None,
+                        },
+                        verdict: None,
+                        oracle: None,
+                        counterexample: None,
+                        oracle_counterexample: None,
+                        slices: 0,
+                        states_visited: 0,
+                        submitted_step: 0,
+                        completed_step: None,
+                        cancelled: false,
+                        discarded_checkpoint: false,
+                        reports: 0,
+                    });
+                }
+                Response::Error(err) => violations.push(format!(
+                    "submission {submitted} rejected below capacity: {err}"
+                )),
+                other => violations.push(format!("unexpected submit response: {other:?}")),
+            }
+            submitted += 1;
+            continue;
+        }
+
+        if runnable {
+            // Occasionally poke the wire mid-flight; the responses land
+            // in the canonical log, widening the replay surface.
+            if !jobs.is_empty() && rng.chance(1, 8) {
+                let j = jobs[rng.below(jobs.len() as u64) as usize].job;
+                send(
+                    &server,
+                    &Request::JobStatus { job: j },
+                    &mut next_request_id,
+                );
+            }
+            if !jobs.is_empty() && rng.chance(1, 8) {
+                let pick = rng.below(jobs.len() as u64) as usize;
+                let target = &mut jobs[pick];
+                if let Response::Telemetry { reports, .. } = send(
+                    &server,
+                    &Request::StreamTelemetry { job: target.job },
+                    &mut next_request_id,
+                ) {
+                    target.reports += reports.len() as u64;
+                    check_reports(&reports, target.job, &mut violations);
+                }
+            }
+            server.step();
+            quanta += 1;
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Collection phase: fetch every result over the wire, drain the
+    // remaining telemetry, and interrogate the oracle.
+    // -------------------------------------------------------------
+    let rows = server.jobs();
+    for job in &mut jobs {
+        let row = &rows[job.job as usize];
+        job.slices = row.slices;
+        job.states_visited = row.states_visited;
+        job.submitted_step = row.submitted_step;
+        job.completed_step = row.completed_step;
+        job.discarded_checkpoint = row.discarded_checkpoint;
+        if !row.state.is_terminal() {
+            violations.push(format!("job {} not terminal: {:?}", job.job, row.state));
+            continue;
+        }
+        if let Response::Telemetry { reports, .. } = send(
+            &server,
+            &Request::StreamTelemetry { job: job.job },
+            &mut next_request_id,
+        ) {
+            job.reports += reports.len() as u64;
+            check_reports(&reports, job.job, &mut violations);
+        }
+        match send(
+            &server,
+            &Request::FetchResult { job: job.job },
+            &mut next_request_id,
+        ) {
+            Response::Result {
+                verdict,
+                counterexample,
+                ..
+            } => {
+                job.cancelled = verdict == "cancelled";
+                job.verdict = Some(verdict);
+                job.counterexample = counterexample;
+            }
+            other => violations.push(format!("fetch({}) answered {other:?}", job.job)),
+        }
+        // Telemetry conservation: one report per executed slice. A
+        // cancel that lands between slices terminalizes without a final
+        // slice, so the bound is exact for uncancelled jobs.
+        if !job.cancelled && job.reports != job.slices {
+            violations.push(format!(
+                "job {}: {} slices but {} streamed reports",
+                job.job, job.slices, job.reports
+            ));
+        }
+
+        if job.cancelled {
+            continue;
+        }
+        let case = match (&job.spec, &job.scenario) {
+            (Some(spec), _) => spec.build().expect("submitted spec builds"),
+            (None, Some(name)) => ddws_server::scenario(name).expect("known scenario"),
+            (None, None) => unreachable!("job has a source"),
+        };
+        let options = JobOptions {
+            budget: opts.budget,
+            ..JobOptions::default()
+        };
+        match oracle_verdict(&case, &options) {
+            Ok((verdict, digest)) => {
+                if job.verdict.as_deref() != Some(verdict.as_str()) {
+                    violations.push(format!(
+                        "job {}: served {:?}, oracle {verdict:?}",
+                        job.job, job.verdict
+                    ));
+                }
+                if digest != job.counterexample {
+                    violations.push(format!(
+                        "job {}: served counterexample {:?}, oracle {:?}",
+                        job.job, job.counterexample, digest
+                    ));
+                }
+                job.oracle = Some(verdict);
+                job.oracle_counterexample = digest;
+            }
+            Err(e) => violations.push(format!("job {}: {e}", job.job)),
+        }
+    }
+
+    // Fairness: the strict round-robin law, checked on the slice events
+    // of the canonical log.
+    let trace = server.canonical_log();
+    violations.extend(fairness_violations(&trace));
+
+    ServiceRun {
+        seed,
+        redacted_reports: ddws_server::redacted_reports(&server),
+        trace,
+        jobs,
+        violations,
+        quanta,
+    }
+}
+
+/// Schema-validates a batch of streamed slice reports.
+fn check_reports(reports: &[RunReport], job: u64, violations: &mut Vec<String>) {
+    for r in reports {
+        let slice = std::slice::from_ref(r);
+        if let Err(e) = contract::report_contract(slice, &format!("job {job} slice report")) {
+            violations.push(e);
+        }
+    }
+}
+
+/// The strict round-robin fairness law, on the canonical log: between
+/// two consecutive `slice` events of any job, every other job appears at
+/// most once — i.e. nobody waits more than one full round of quanta.
+pub fn fairness_violations(trace: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    let slices: Vec<u64> = trace
+        .lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("slice job=")?;
+            rest.split_whitespace().next()?.parse().ok()
+        })
+        .collect();
+    let mut last_seen: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for (i, &job) in slices.iter().enumerate() {
+        if let Some(&prev) = last_seen.get(&job) {
+            let between = &slices[prev + 1..i];
+            let mut seen = std::collections::HashSet::new();
+            for &other in between {
+                if !seen.insert(other) {
+                    violations.push(format!(
+                        "fairness: job {other} ran twice between consecutive slices of job {job} \
+                         (positions {prev}..{i})"
+                    ));
+                }
+            }
+        }
+        last_seen.insert(job, i);
+    }
+    violations
+}

@@ -40,6 +40,6 @@ pub use report::{
 };
 pub use reporter::{
     BufferReporter, EngineTelemetry, HumanReporter, JsonLinesReporter, Progress, ProgressGate,
-    Reporter, ReporterHandle, RuleMeterSource, Silent, SILENT,
+    Reporter, ReporterHandle, RuleMeterSource, Silent, StreamReporter, TelemetryEvent, SILENT,
 };
 pub use stats::SearchStats;

@@ -260,6 +260,69 @@ impl Reporter for BufferReporter {
     }
 }
 
+/// One event captured by a [`StreamReporter`], in emission order: a
+/// periodic progress snapshot or the final run report of an entry point.
+#[derive(Clone, Debug)]
+pub enum TelemetryEvent {
+    /// A periodic [`Progress`] snapshot.
+    Progress(Progress),
+    /// A final [`RunReport`] (boxed: a report is an order of magnitude
+    /// larger than a progress snapshot).
+    Report(Box<RunReport>),
+}
+
+/// A reporter that appends every event to a shared, drainable queue — the
+/// streaming backend for serving per-job telemetry over a wire protocol.
+///
+/// Unlike [`BufferReporter`] (which snapshots for test assertions), this
+/// sink is built for *consumption*: the producer side is handed to the
+/// engines via [`ReporterHandle`], a clone stays with the server, and
+/// [`StreamReporter::drain`] moves everything emitted since the last
+/// drain to the caller. Events never interleave across clones — both
+/// sides share one queue.
+#[derive(Clone, Default)]
+pub struct StreamReporter {
+    events: Arc<Mutex<Vec<TelemetryEvent>>>,
+}
+
+impl StreamReporter {
+    /// An empty stream.
+    pub fn new() -> StreamReporter {
+        StreamReporter::default()
+    }
+
+    /// Moves every event emitted since the last drain to the caller.
+    pub fn drain(&self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut *self.events.lock().unwrap())
+    }
+
+    /// Number of undrained events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether the stream has no undrained events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Reporter for StreamReporter {
+    fn progress(&self, snapshot: &Progress) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(TelemetryEvent::Progress(*snapshot));
+    }
+
+    fn report(&self, report: &RunReport) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(TelemetryEvent::Report(Box::new(report.clone())));
+    }
+}
+
 /// A lock-free time gate throttling progress emission.
 ///
 /// Workers call [`ProgressGate::due`] from their search loops (typically

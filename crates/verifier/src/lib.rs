@@ -65,5 +65,5 @@ pub use ddws_automata::{wall_clock, Clock, ClockHandle, ManualClock, WallClock};
 pub use ddws_telemetry::{
     validate_run_report, Abort, AbortReason, BufferReporter, CancelToken, Counters, FaultHook,
     HumanReporter, JsonLinesReporter, PhaseTimes, Progress, Reporter, ReporterHandle, RunReport,
-    Silent, MIN_SCHEMA_VERSION, SCHEMA_NAME, SCHEMA_VERSION,
+    Silent, StreamReporter, TelemetryEvent, MIN_SCHEMA_VERSION, SCHEMA_NAME, SCHEMA_VERSION,
 };

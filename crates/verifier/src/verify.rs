@@ -410,6 +410,22 @@ impl Checkpoint {
         self.valuations.len()
     }
 
+    /// States visited by the deepest in-flight leg alone — the count the
+    /// engine's `max_states` cap is measured against on resume. The cap
+    /// is **per universal-closure valuation** (a fresh valuation starts
+    /// from zero; fully completed valuations consume none of the next
+    /// one's budget), so schedulers sizing the next slice's cap must add
+    /// their quantum to this, not to the run-wide
+    /// [`Checkpoint::states_visited`] sum — see
+    /// [`Verifier::resume_slice`].
+    pub fn frontier_states(&self) -> u64 {
+        self.legs
+            .iter()
+            .map(|(_, e)| e.states_visited())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// In-flight per-shard engine frontiers preserved by the stop. `1`
     /// for unsharded runs; up to `valuation_threads` after a global stop
     /// (deadline, cancellation) caught several shards mid-search.
@@ -649,6 +665,57 @@ impl Verifier {
     ) -> Result<Report, VerifyError> {
         let p = self.parse_property(property)?;
         self.check(&p, opts)
+    }
+
+    /// Runs the *first* slice of a preemptible check: a fresh search
+    /// capped at `quantum` visited states. A slice that trips the cap
+    /// returns [`Outcome::Inconclusive`] with a parked [`Checkpoint`];
+    /// feed it to [`Verifier::resume_slice`] with the next quantum.
+    /// `opts.max_states` is ignored — callers enforce their own total
+    /// budget by choosing the cap via [`Verifier::slice_cap`].
+    pub fn check_slice(
+        &mut self,
+        property: &str,
+        opts: &VerifyOptions,
+        quantum: u64,
+    ) -> Result<Report, VerifyError> {
+        let eff = VerifyOptions {
+            max_states: quantum.max(1),
+            ..opts.clone()
+        };
+        self.check_str(property, &eff)
+    }
+
+    /// Runs one more slice of a parked search: resumes `checkpoint` with
+    /// the state budget raised by `quantum` *additional* states beyond
+    /// what the in-flight leg has already visited (the budget counts a
+    /// valuation's total visited states, so the previous cap would trip
+    /// again immediately). The cap derives from
+    /// [`Checkpoint::frontier_states`], not the run-wide visited sum: a
+    /// `max_states` budget is per universal-closure valuation, and a
+    /// sliced run must converge to the verdict of a one-shot
+    /// [`Verifier::check`] under the same budget.
+    pub fn resume_slice(
+        &mut self,
+        checkpoint: Checkpoint,
+        opts: &VerifyOptions,
+        quantum: u64,
+    ) -> Result<Report, VerifyError> {
+        let eff = VerifyOptions {
+            max_states: Self::slice_cap(checkpoint.frontier_states(), quantum),
+            ..opts.clone()
+        };
+        self.resume(checkpoint, &eff)
+    }
+
+    /// The effective state cap of a slice that has already visited
+    /// `visited` states and may visit `quantum` more — the value a
+    /// [`crate::AbortReason::StateBudget`] stop of that slice reports,
+    /// which is how a scheduler tells a *parked* slice (cap was the
+    /// synthetic slice cap) from a genuinely exhausted budget (cap was
+    /// the job's own limit).
+    pub fn slice_cap(visited: u64, quantum: u64) -> u64 {
+        visited.saturating_add(quantum.max(1))
     }
 
     /// Continues a [`Checkpoint`] captured by an inconclusive

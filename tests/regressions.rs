@@ -255,3 +255,79 @@ fn pinned_shrinkable_seed_minimizes_to_its_core() {
         "minimized spec must still violate"
     );
 }
+
+/// Pinned seeds for the service swarm (`tests/server_sim.rs`). Unlike
+/// the sub-seed pins above, these are fed to
+/// [`ddws_sim::run_service_seed`] whole — the seed fixes the entire
+/// schedule (job draws, wire interleaving, cancellation timing), so the
+/// replay needs no further derivation.
+///
+/// `SERVER_CANCEL_MID_RUN`: the planned `cancel_job` lands on job 4
+/// after three executed slices, so the cancel hits a *parked*
+/// checkpoint — the service must discard it, answer `cancelled` on the
+/// wire, and leave every other job's verdict oracle-exact.
+const SERVER_CANCEL_MID_RUN: u64 = 6;
+
+/// `SERVER_VIOLATION_ACROSS_SLICES`: job 1 parks repeatedly and resumes
+/// across four quanta before reaching `violated`; the counterexample
+/// digest served over the wire must equal the digest of the direct
+/// one-shot oracle run (enforced inside `run_service_seed`, pinned here
+/// by shape so the resume-to-violation path stays covered).
+const SERVER_VIOLATION_ACROSS_SLICES: u64 = 21;
+
+#[test]
+fn pinned_server_cancel_seed_stays_green() {
+    let opts = ddws_sim::ServiceSimOptions {
+        quantum_states: 64,
+        budget: 4_096,
+        ..ddws_sim::ServiceSimOptions::default()
+    };
+    let run = ddws_sim::run_service_seed(SERVER_CANCEL_MID_RUN, &opts);
+    assert_eq!(
+        run.violations,
+        Vec::<String>::new(),
+        "seed {SERVER_CANCEL_MID_RUN} violated"
+    );
+    let cancelled: Vec<_> = run.jobs.iter().filter(|j| j.cancelled).collect();
+    assert_eq!(cancelled.len(), 1, "exactly one planned cancel");
+    let job = cancelled[0];
+    assert_eq!(job.verdict.as_deref(), Some("cancelled"));
+    assert!(
+        job.slices >= 1,
+        "cancel no longer lands mid-run (0 slices executed)"
+    );
+    assert!(
+        job.discarded_checkpoint,
+        "cancel no longer discards a parked checkpoint"
+    );
+    assert!(job.counterexample.is_none());
+}
+
+#[test]
+fn pinned_server_violation_seed_stays_green() {
+    let opts = ddws_sim::ServiceSimOptions {
+        quantum_states: 48,
+        budget: 20_000,
+        cancel_one: false,
+        ..ddws_sim::ServiceSimOptions::default()
+    };
+    let run = ddws_sim::run_service_seed(SERVER_VIOLATION_ACROSS_SLICES, &opts);
+    assert_eq!(
+        run.violations,
+        Vec::<String>::new(),
+        "seed {SERVER_VIOLATION_ACROSS_SLICES} violated"
+    );
+    let job = run
+        .jobs
+        .iter()
+        .find(|j| j.verdict.as_deref() == Some("violated") && j.slices >= 2)
+        .expect("seed no longer resumes a parked job to a violation");
+    // Oracle agreement is recorded inside the run; pin the digest shape
+    // too so a silent re-draw of the corpus can't hollow the test out.
+    let cex = job
+        .counterexample
+        .as_ref()
+        .expect("violated job has a digest");
+    assert_eq!(job.oracle_counterexample.as_ref(), Some(cex));
+    assert!(cex.cycle_len > 0, "lasso digest lost its cycle");
+}

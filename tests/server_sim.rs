@@ -1,0 +1,170 @@
+//! Deterministic service swarm (DESIGN.md §3.14).
+//!
+//! Each case is one seeded [`ddws_sim::run_service_seed`] run: N
+//! simulated clients submit compgen verification jobs to an in-process
+//! [`ddws_server::Server`] under `ManualClock`, all traffic over real
+//! wire frames, the scheduler driven quantum-by-quantum from the seed.
+//! Inside the run every invariant is recorded as a violation:
+//!
+//! * every submitted job reaches a terminal state;
+//! * every served verdict (and counterexample digest) equals a direct
+//!   one-shot unsharded `Verifier` oracle with the same budget;
+//! * each executed slice streams exactly one schema-valid run report;
+//! * strict round-robin fairness on the canonical slice trace.
+//!
+//! On top of the recorded invariants this file asserts the replay law —
+//! the canonical service log *and* the redacted final reports are
+//! byte-identical across repeated runs of one seed — and the starvation
+//! bound: with a budget-explosive tenant queued *first*, every other
+//! job still completes within one extra round of quanta per slice.
+
+use ddws_sim::{fairness_violations, run_service_seed, ServiceRun, ServiceSimOptions};
+use ddws_testkit::seed_from;
+
+/// Swarm size. Each run is itself a multi-job service schedule, so this
+/// is ~`SWARM_SEEDS × (clients × jobs_per_client + 1)` verified jobs.
+const SWARM_SEEDS: u64 = 12;
+
+fn fail_run(run: &ServiceRun) -> ! {
+    eprintln!("service seed {} violated:", run.seed);
+    for v in &run.violations {
+        eprintln!("  {v}");
+    }
+    eprintln!("canonical trace:\n{}", run.trace);
+    panic!(
+        "service seed {}: {} violation(s)",
+        run.seed,
+        run.violations.len()
+    );
+}
+
+/// The swarm: violation-free runs, terminal jobs, oracle agreement —
+/// all recorded inside [`run_service_seed`] and asserted empty here.
+#[test]
+fn service_swarm_is_violation_free() {
+    let opts = ServiceSimOptions::default();
+    let base = seed_from("server_sim::swarm");
+    for i in 0..SWARM_SEEDS {
+        let run = run_service_seed(base.wrapping_add(i), &opts);
+        if !run.violations.is_empty() {
+            fail_run(&run);
+        }
+        assert!(!run.jobs.is_empty(), "seed {}: no jobs submitted", run.seed);
+        for job in &run.jobs {
+            assert!(
+                job.verdict.is_some(),
+                "seed {}: job {} fetched no verdict",
+                run.seed,
+                job.job
+            );
+        }
+    }
+}
+
+/// The replay law: one seed, two runs, byte-identical canonical trace
+/// and byte-identical redacted final reports.
+#[test]
+fn service_replay_is_byte_identical() {
+    let opts = ServiceSimOptions::default();
+    let seed = seed_from("server_sim::replay");
+    let first = run_service_seed(seed, &opts);
+    if !first.violations.is_empty() {
+        fail_run(&first);
+    }
+    let second = run_service_seed(seed, &opts);
+    assert_eq!(
+        first.trace, second.trace,
+        "seed {seed}: canonical service log diverged between replays"
+    );
+    assert_eq!(
+        first.redacted_reports, second.redacted_reports,
+        "seed {seed}: redacted reports diverged between replays"
+    );
+    assert!(!first.trace.is_empty(), "seed {seed}: empty trace");
+    assert!(
+        !first.redacted_reports.is_empty(),
+        "seed {seed}: no redacted reports"
+    );
+}
+
+/// The fairness law, adversarially: the budget-explosive `starver`
+/// scenario is queued *first*, ahead of every compgen job. Round-robin
+/// preemption must still complete every other job, each within one
+/// extra round of quanta per slice of its own work.
+#[test]
+fn starver_cannot_delay_the_fleet() {
+    let opts = ServiceSimOptions {
+        starver: true,
+        cancel_one: false,
+        ..ServiceSimOptions::default()
+    };
+    let run = run_service_seed(seed_from("server_sim::starver"), &opts);
+    if !run.violations.is_empty() {
+        fail_run(&run);
+    }
+
+    let total_jobs = run.jobs.len() as u64;
+    let starver = &run.jobs[0];
+    assert_eq!(starver.scenario.as_deref(), Some("starver"));
+    assert!(
+        starver.slices > 1,
+        "starver finished in {} slice(s) — not pathological enough to starve anyone",
+        starver.slices
+    );
+    for job in &run.jobs[1..] {
+        let done = job
+            .completed_step
+            .unwrap_or_else(|| panic!("seed {}: job {} never completed", run.seed, job.job));
+        // Strict round-robin: every slice of this job waits at most one
+        // full round (≤ total_jobs quanta), plus one round of submission
+        // slack — so completion is bounded by (slices + 1) × total_jobs.
+        let bound = (job.slices + 1) * total_jobs + job.submitted_step;
+        assert!(
+            done <= bound,
+            "seed {}: job {} took until step {done} (bound {bound}: {} slices × {total_jobs} jobs)",
+            run.seed,
+            job.job,
+            job.slices
+        );
+    }
+    // And the trace-level law holds verbatim on this schedule too.
+    assert!(fairness_violations(&run.trace).is_empty());
+}
+
+/// The planned mid-run cancellation leaves exactly one cancelled job,
+/// with its parked checkpoint discarded, and nothing else disturbed.
+#[test]
+fn seeded_cancellation_is_clean() {
+    let opts = ServiceSimOptions {
+        // A small quantum against the default budget forces parking, so
+        // the cancel lands on a parked checkpoint.
+        quantum_states: 64,
+        budget: 4_096,
+        ..ServiceSimOptions::default()
+    };
+    let base = seed_from("server_sim::cancel");
+    let mut saw_discard = false;
+    for i in 0..SWARM_SEEDS {
+        let run = run_service_seed(base.wrapping_add(i), &opts);
+        if !run.violations.is_empty() {
+            fail_run(&run);
+        }
+        let cancelled: Vec<_> = run.jobs.iter().filter(|j| j.cancelled).collect();
+        assert!(
+            cancelled.len() <= 1,
+            "seed {}: {} cancelled jobs from one planned cancel",
+            run.seed,
+            cancelled.len()
+        );
+        for job in cancelled {
+            assert_eq!(job.verdict.as_deref(), Some("cancelled"));
+            assert!(job.counterexample.is_none());
+            saw_discard |= job.discarded_checkpoint;
+        }
+    }
+    assert!(
+        saw_discard,
+        "no seed in the swarm cancelled a job with a parked checkpoint — \
+         widen the swarm or shrink the quantum"
+    );
+}
