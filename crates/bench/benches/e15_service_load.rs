@@ -78,6 +78,7 @@ fn run_job(server: &Server, spec: JobSpec) -> (u64, String, Duration) {
                 budget: JOB_BUDGET,
                 ..JobOptions::default()
             },
+            submit_token: None,
         },
     ) {
         Response::Accepted { job } => job,
@@ -131,6 +132,7 @@ fn run_cell(cell: &Cell, workers: usize, seed: u64) -> CellRun {
                         budget: JOB_BUDGET,
                         ..JobOptions::default()
                     },
+                    submit_token: None,
                 },
             );
             match submit {

@@ -1,0 +1,401 @@
+//! The client retry layer: sessions that survive a lossy, reordering,
+//! overloaded wire.
+//!
+//! A [`ClientSession`] speaks the ordinary [`crate::wire`] frames
+//! through any [`Transport`] and owns the whole retry discipline so
+//! callers never see a transient failure:
+//!
+//! * **Loss** — a `None` from [`Transport::call`] (request or response
+//!   vanished) retries after seeded full-jitter exponential backoff.
+//! * **Corruption** — an undecodable response, or a typed transport
+//!   error (`1xx`) proving the request arrived mangled, retries the
+//!   same way. Nothing the wire does can make the session panic.
+//! * **Reordering** — a response whose correlation id is not the
+//!   attempt's own is stale (a displaced duplicate); it is discarded
+//!   and the attempt retried.
+//! * **Overload** — `queue_full` honors the server's `retry_after_ns`
+//!   back-pressure hint before the next attempt; `job_not_terminal` on
+//!   a fetch retries until the job settles, turning `fetch_result`
+//!   into a bounded poll.
+//!
+//! Retried submits are **idempotent**: [`ClientSession::submit`] draws
+//! one random `submit_token` per logical submission and reuses it on
+//! every attempt, so a lost ack collapses onto the original job inside
+//! the server's dedup window — the service runs the job once and every
+//! ack names the same id.
+//!
+//! The only randomness is the session's own seeded
+//! [`XorShift`], so a client's full retry schedule — backoffs and
+//! tokens — is a pure function of its seed, and the deterministic sim
+//! can replay hostile-wire scenarios byte-identically.
+
+use crate::wire::{
+    decode_response, encode_request, ErrorCode, JobOptions, JobSpec, Request, Response, WireError,
+};
+use ddws_testkit::rng::XorShift;
+use std::fmt;
+
+/// How a session reaches the service. `call` sends one request frame
+/// and returns the response frame, or `None` when either direction was
+/// lost. `wait` spends `ns` nanoseconds of backoff — a wall client
+/// sleeps, the deterministic sim advances virtual time and lets the
+/// server run.
+pub trait Transport {
+    /// Sends a frame; `None` models a lost request or response.
+    fn call(&mut self, frame: &[u8]) -> Option<Vec<u8>>;
+    /// Spends `ns` nanoseconds before the next attempt.
+    fn wait(&mut self, ns: u64);
+}
+
+/// Retry limits and backoff shape.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Attempts per logical request before giving up.
+    pub max_attempts: u32,
+    /// First backoff's upper bound; doubles per retry (full jitter
+    /// draws uniformly below the doubled cap).
+    pub base_backoff_ns: u64,
+    /// Backoff cap.
+    pub max_backoff_ns: u64,
+    /// Per-request deadline on total waited nanoseconds (`None` for
+    /// attempts-only bounding).
+    pub deadline_ns: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 16,
+            base_backoff_ns: 1_000_000,
+            max_backoff_ns: 1_000_000_000,
+            deadline_ns: None,
+        }
+    }
+}
+
+/// Why a logical request ultimately failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Every attempt was lost, stale, or retryably rejected.
+    Exhausted {
+        /// How many attempts the policy allowed.
+        attempts: u32,
+    },
+    /// The per-request deadline elapsed before an answer arrived.
+    DeadlineExceeded {
+        /// Total nanoseconds waited when the deadline tripped.
+        waited_ns: u64,
+    },
+    /// The service answered a typed, non-retryable error (unknown job,
+    /// invalid spec, poisoned job, evicted result, …).
+    Service(WireError),
+    /// The service answered a response kind the request cannot produce.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Exhausted { attempts } => {
+                write!(f, "request exhausted its {attempts} attempts")
+            }
+            ClientError::DeadlineExceeded { waited_ns } => {
+                write!(
+                    f,
+                    "request deadline exceeded after {waited_ns}ns of backoff"
+                )
+            }
+            ClientError::Service(err) => write!(f, "service error: {err}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// One client's retry session; see the module docs.
+pub struct ClientSession {
+    rng: XorShift,
+    policy: RetryPolicy,
+    next_id: u64,
+}
+
+impl ClientSession {
+    /// A session with its own seeded retry schedule.
+    pub fn new(seed: u64, policy: RetryPolicy) -> ClientSession {
+        ClientSession {
+            rng: XorShift::new(seed ^ 0xc11e_57a5_c11e_57a5),
+            policy,
+            next_id: 1,
+        }
+    }
+
+    /// Submits a job idempotently: one `submit_token` is drawn for the
+    /// logical submission and reused across retries, so however many
+    /// attempts the wire eats, exactly one job runs and every ack names
+    /// its id.
+    pub fn submit(
+        &mut self,
+        transport: &mut impl Transport,
+        spec: JobSpec,
+        options: JobOptions,
+    ) -> Result<u64, ClientError> {
+        let token = self.rng.next_u64();
+        let req = Request::SubmitJob {
+            spec,
+            options,
+            submit_token: Some(token),
+        };
+        match self.request(transport, &req)? {
+            Response::Accepted { job } => Ok(job),
+            other => Err(ClientError::Protocol(format!(
+                "submit_job answered {other:?}"
+            ))),
+        }
+    }
+
+    /// Sends one logical request through the retry discipline.
+    pub fn request(
+        &mut self,
+        transport: &mut impl Transport,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
+        let mut waited_ns: u64 = 0;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let backoff = self.backoff(attempt);
+                self.pace(transport, backoff, &mut waited_ns)?;
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            let frame = encode_request(id, req);
+            let Some(bytes) = transport.call(&frame) else {
+                continue; // lost in either direction
+            };
+            let Ok((rid, resp, _)) = decode_response(&bytes) else {
+                continue; // response corrupted in flight
+            };
+            if rid != id {
+                // A stale or displaced response (reordered wire, or the
+                // server's id-0 answer to a request corrupted beyond
+                // recognition): the answer to *this* attempt is gone.
+                continue;
+            }
+            match resp {
+                Response::Error(err) if err.code.code() < 200 => {
+                    // A transport-class rejection: the request arrived
+                    // mangled but still carried a readable id.
+                    continue;
+                }
+                Response::Error(err)
+                    if matches!(err.code, ErrorCode::QueueFull | ErrorCode::JobNotTerminal) =>
+                {
+                    if let Some(hint) = err.retry_after_ns {
+                        self.pace(transport, hint, &mut waited_ns)?;
+                    }
+                    continue;
+                }
+                Response::Error(err) => return Err(ClientError::Service(err)),
+                other => return Ok(other),
+            }
+        }
+        Err(ClientError::Exhausted {
+            attempts: self.policy.max_attempts,
+        })
+    }
+
+    /// Spends `ns` of wait, enforcing the per-request deadline first.
+    fn pace(
+        &mut self,
+        transport: &mut impl Transport,
+        ns: u64,
+        waited_ns: &mut u64,
+    ) -> Result<(), ClientError> {
+        *waited_ns = waited_ns.saturating_add(ns);
+        if let Some(deadline) = self.policy.deadline_ns {
+            if *waited_ns > deadline {
+                return Err(ClientError::DeadlineExceeded {
+                    waited_ns: *waited_ns,
+                });
+            }
+        }
+        transport.wait(ns);
+        Ok(())
+    }
+
+    /// Full-jitter exponential backoff: uniform in `[1, cap]` where the
+    /// cap doubles per retry up to `max_backoff_ns`.
+    fn backoff(&mut self, attempt: u32) -> u64 {
+        let doublings = attempt.saturating_sub(1).min(32);
+        let cap = self
+            .policy
+            .base_backoff_ns
+            .saturating_mul(1u64 << doublings)
+            .min(self.policy.max_backoff_ns)
+            .max(1);
+        1 + self.rng.below(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Server, ServerConfig};
+
+    /// An in-process transport that drops some responses after the
+    /// server has already acted (lost acks) and lets the server run one
+    /// quantum per backoff wait.
+    struct FlakyTransport {
+        server: Server,
+        calls: u64,
+        /// Drop the response of every call where `calls % drop_in == 1`
+        /// (0 disables).
+        drop_in: u64,
+    }
+
+    impl Transport for FlakyTransport {
+        fn call(&mut self, frame: &[u8]) -> Option<Vec<u8>> {
+            self.calls += 1;
+            let resp = self.server.handle_frame(frame);
+            if self.drop_in > 0 && self.calls % self.drop_in == 1 {
+                None
+            } else {
+                Some(resp)
+            }
+        }
+
+        fn wait(&mut self, _ns: u64) {
+            self.server.step();
+        }
+    }
+
+    fn flaky(config: ServerConfig, drop_in: u64) -> FlakyTransport {
+        FlakyTransport {
+            server: Server::new(config),
+            calls: 0,
+            drop_in,
+        }
+    }
+
+    #[test]
+    fn lost_acks_resubmit_onto_the_same_job() {
+        // Every other response is dropped *after* the server acted, so
+        // the first submit's ack is lost. The retry reuses the token and
+        // collapses onto the original job.
+        let mut t = flaky(ServerConfig::deterministic(8, 64), 2);
+        let mut session = ClientSession::new(42, RetryPolicy::default());
+        let job = session
+            .submit(
+                &mut t,
+                JobSpec::Scenario("req_resp".to_string()),
+                JobOptions {
+                    budget: 100_000,
+                    ..JobOptions::default()
+                },
+            )
+            .expect("submit retries through lost acks");
+        assert_eq!(t.server.jobs().len(), 1, "dedup ran exactly one job");
+        assert_eq!(job, t.server.jobs()[0].job);
+        assert!(t.server.canonical_log().contains("-> dedup job=0"));
+    }
+
+    #[test]
+    fn fetch_polls_until_the_job_settles() {
+        let mut t = flaky(ServerConfig::deterministic(8, 64), 0);
+        let mut session = ClientSession::new(
+            7,
+            RetryPolicy {
+                max_attempts: 64,
+                ..RetryPolicy::default()
+            },
+        );
+        let job = session
+            .submit(
+                &mut t,
+                JobSpec::Scenario("req_resp".to_string()),
+                JobOptions {
+                    budget: 100_000,
+                    ..JobOptions::default()
+                },
+            )
+            .unwrap();
+        // No drain: the fetch's job_not_terminal retries drive the
+        // server through its quanta via `wait`.
+        match session.request(&mut t, &Request::FetchResult { job }) {
+            Ok(Response::Result { verdict, .. }) => assert_eq!(verdict, "holds"),
+            other => panic!("fetch should settle: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_full_backs_off_until_capacity_frees() {
+        let mut t = flaky(ServerConfig::deterministic(1, 128), 0);
+        let mut session = ClientSession::new(
+            11,
+            RetryPolicy {
+                max_attempts: 64,
+                ..RetryPolicy::default()
+            },
+        );
+        let first = session
+            .submit(
+                &mut t,
+                JobSpec::Scenario("drop_audit".to_string()),
+                JobOptions {
+                    budget: 100_000,
+                    ..JobOptions::default()
+                },
+            )
+            .unwrap();
+        // Capacity 1: the second submit is rejected with a retry hint
+        // until the first job's violation frees the slot.
+        let second = session
+            .submit(
+                &mut t,
+                JobSpec::Scenario("req_resp".to_string()),
+                JobOptions {
+                    budget: 100_000,
+                    ..JobOptions::default()
+                },
+            )
+            .expect("backoff outlasts the occupying job");
+        assert_ne!(first, second);
+        assert!(t.server.canonical_log().contains("rejected queue_full"));
+    }
+
+    #[test]
+    fn deadlines_bound_total_retry_time() {
+        struct BlackHole;
+        impl Transport for BlackHole {
+            fn call(&mut self, _frame: &[u8]) -> Option<Vec<u8>> {
+                None
+            }
+            fn wait(&mut self, _ns: u64) {}
+        }
+        let mut session = ClientSession::new(
+            3,
+            RetryPolicy {
+                max_attempts: 10_000,
+                deadline_ns: Some(5_000_000),
+                ..RetryPolicy::default()
+            },
+        );
+        match session.request(&mut BlackHole, &Request::JobStatus { job: 0 }) {
+            Err(ClientError::DeadlineExceeded { waited_ns }) => {
+                assert!(waited_ns > 5_000_000);
+            }
+            other => panic!("expected deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn typed_service_errors_are_not_retried() {
+        let mut t = flaky(ServerConfig::deterministic(8, 64), 0);
+        let mut session = ClientSession::new(5, RetryPolicy::default());
+        match session.request(&mut t, &Request::JobStatus { job: 99 }) {
+            Err(ClientError::Service(err)) => assert_eq!(err.code, ErrorCode::UnknownJob),
+            other => panic!("expected service error, got {other:?}"),
+        }
+        assert_eq!(t.calls, 1, "non-retryable errors answer in one attempt");
+    }
+}

@@ -18,18 +18,30 @@
 //!   [`ManualClock`](ddws_verifier::ManualClock) with externally driven
 //!   quanta — the deterministic mode the PR 6 simulator replays
 //!   byte-for-byte.
+//! * [`supervisor`] — worker-slice supervision: a crashed quantum
+//!   re-dispatches from the checkpoint cloned before the slice (a crash
+//!   loses at most one quantum, never the job), repeat crashers are
+//!   quarantined as `job_poisoned`, and a seeded [`CrashInjector`]
+//!   makes chaos runs a pure function of their seed.
+//! * [`client`] — the retry layer: per-request deadlines, seeded
+//!   full-jitter exponential backoff, and idempotent resubmission keyed
+//!   by `submit_token`, against any [`client::Transport`].
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod queue;
 pub mod service;
+pub mod supervisor;
 pub mod wire;
 
-pub use queue::{JobQueue, JobState};
+pub use client::{ClientError, ClientSession, RetryPolicy, Transport};
+pub use queue::{JobQueue, JobState, DEDUP_WINDOW};
 pub use service::{
     redacted_reports, roundtrip, scenario, JobSummary, Server, ServerConfig, ServiceEvent,
     WorkerPool, SCENARIOS,
 };
+pub use supervisor::{CrashInjector, SliceOutcome, DEFAULT_CRASH_QUARANTINE};
 pub use wire::{
     decode_request, decode_response, deframe, encode_request, encode_request_versioned,
     encode_response, frame, CexDigest, ErrorCode, JobOptions, JobSnapshot, JobSpec, Request,

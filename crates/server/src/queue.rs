@@ -13,12 +13,29 @@
 //! runnable job runs at most once — so no job can delay another's
 //! completion by more than one full round of quanta, no matter how
 //! pathological its composition is.
+//!
+//! Two bounded side tables keep hostile or unlucky clients from growing
+//! the service without limit:
+//!
+//! * the **dedup window** — the last [`DEDUP_WINDOW`] `submit_token`s
+//!   with their job ids. A `submit_job` whose token is in the window
+//!   answers the *original* job id instead of enqueueing again, so a
+//!   client retrying a lost ack cannot double-submit. Entries age out
+//!   FIFO; a token resubmitted after falling out of the window enqueues
+//!   a fresh job (at-most-once per window, by design).
+//! * the **retention store** — terminal results (report +
+//!   counterexample) are kept under a capacity + TTL policy with LRU
+//!   eviction ([`JobQueue::evict_results`]); a `fetch_result` after
+//!   eviction answers the typed `result_evicted`, never a hang.
 
 use crate::wire::{CexDigest, ErrorCode, JobOptions, WireError};
 use ddws_relational::Instance;
 use ddws_telemetry::{CancelToken, RunReport, StreamReporter};
 use ddws_verifier::{Checkpoint, Verifier};
 use std::collections::VecDeque;
+
+/// How many recent `submit_token`s the dedup window remembers.
+pub const DEDUP_WINDOW: usize = 64;
 
 /// The scheduling state of a job.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,6 +130,13 @@ pub struct JobEntry {
     pub cancel_requested: bool,
     /// Whether the cancel discarded a parked checkpoint.
     pub discarded_checkpoint: bool,
+    /// Crashed slices the supervisor absorbed and re-dispatched.
+    pub crash_recoveries: u64,
+    /// Whether the retention store evicted this job's result (report and
+    /// counterexample dropped; `fetch_result` answers `result_evicted`).
+    pub evicted: bool,
+    /// The idempotency token the submit carried, if any.
+    pub submit_token: Option<u64>,
     /// The per-job telemetry stream (`stream_telemetry` drains it).
     pub stream: StreamReporter,
     /// Scheduler step count at admission (fairness accounting).
@@ -122,11 +146,16 @@ pub struct JobEntry {
     pub(crate) work: Option<JobWork>,
 }
 
-/// The bounded job table plus the round-robin run queue.
+/// The bounded job table plus the round-robin run queue, the dedup
+/// window, and the retention store's LRU order.
 pub struct JobQueue {
     capacity: usize,
     jobs: Vec<JobEntry>,
     run_queue: VecDeque<u64>,
+    /// `(submit_token, job)` pairs, oldest first, at most [`DEDUP_WINDOW`].
+    dedup: VecDeque<(u64, u64)>,
+    /// Retained terminal results as `(job, last_touch_ns)`, LRU first.
+    retained: VecDeque<(u64, u64)>,
 }
 
 impl JobQueue {
@@ -136,6 +165,8 @@ impl JobQueue {
             capacity: capacity.max(1),
             jobs: Vec::new(),
             run_queue: VecDeque::new(),
+            dedup: VecDeque::new(),
+            retained: VecDeque::new(),
         }
     }
 
@@ -154,12 +185,24 @@ impl JobQueue {
         &self.jobs
     }
 
-    /// Admits a job, or rejects it with `queue_full`.
+    /// Looks a `submit_token` up in the dedup window.
+    pub fn dedup_lookup(&self, token: u64) -> Option<u64> {
+        self.dedup
+            .iter()
+            .rev()
+            .find(|&&(t, _)| t == token)
+            .map(|&(_, job)| job)
+    }
+
+    /// Admits a job, or rejects it with `queue_full`. A token already in
+    /// the dedup window is the *caller's* business ([`Self::dedup_lookup`]
+    /// first); this records the token unconditionally.
     pub(crate) fn submit(
         &mut self,
         work: JobWork,
         options: JobOptions,
         step: u64,
+        submit_token: Option<u64>,
     ) -> Result<u64, WireError> {
         if self.active() >= self.capacity {
             return Err(WireError::new(
@@ -184,12 +227,21 @@ impl JobQueue {
             cancel: CancelToken::new(),
             cancel_requested: false,
             discarded_checkpoint: false,
+            crash_recoveries: 0,
+            evicted: false,
+            submit_token,
             stream: StreamReporter::new(),
             submitted_step: step,
             completed_step: None,
             work: Some(work),
         });
         self.run_queue.push_back(id);
+        if let Some(token) = submit_token {
+            if self.dedup.len() == DEDUP_WINDOW {
+                self.dedup.pop_front();
+            }
+            self.dedup.push_back((token, id));
+        }
         Ok(id)
     }
 
@@ -224,5 +276,54 @@ impl JobQueue {
         self.run_queue
             .iter()
             .any(|&id| !self.jobs[id as usize].state.is_terminal())
+    }
+
+    /// Enters a freshly terminal job's result into the retention store
+    /// (most-recently-used position).
+    pub(crate) fn retain_result(&mut self, id: u64, now_ns: u64) {
+        self.retained.push_back((id, now_ns));
+    }
+
+    /// Refreshes a retained result's LRU position and TTL clock (a
+    /// successful `fetch_result` counts as a use). No-op for ids the
+    /// store no longer holds.
+    pub(crate) fn touch_result(&mut self, id: u64, now_ns: u64) {
+        if let Some(pos) = self.retained.iter().position(|&(j, _)| j == id) {
+            self.retained.remove(pos);
+            self.retained.push_back((id, now_ns));
+        }
+    }
+
+    /// Applies the retention policy: drops results whose TTL expired,
+    /// then evicts from the LRU end until at most `capacity` results
+    /// remain. Evicted jobs lose their report and counterexample and are
+    /// marked [`JobEntry::evicted`]; returns the evicted ids in eviction
+    /// order.
+    pub(crate) fn evict_results(&mut self, now_ns: u64, capacity: usize, ttl_ns: u64) -> Vec<u64> {
+        let mut evicted = Vec::new();
+        self.retained.retain(|&(id, touched)| {
+            if now_ns.saturating_sub(touched) >= ttl_ns {
+                evicted.push(id);
+                false
+            } else {
+                true
+            }
+        });
+        while self.retained.len() > capacity {
+            let (id, _) = self.retained.pop_front().expect("non-empty store");
+            evicted.push(id);
+        }
+        for &id in &evicted {
+            let entry = &mut self.jobs[id as usize];
+            entry.report = None;
+            entry.counterexample = None;
+            entry.evicted = true;
+        }
+        evicted
+    }
+
+    /// Number of results the retention store currently holds.
+    pub fn retained_results(&self) -> usize {
+        self.retained.len()
     }
 }

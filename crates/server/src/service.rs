@@ -31,8 +31,23 @@
 //! traffic included — is a pure function of the request sequence, and
 //! the canonical event log plus redacted reports replay byte-identically
 //! (the PR 6 simulator drives exactly this mode).
+//!
+//! ## Robustness
+//!
+//! Every slice runs under the [`crate::supervisor`]: a crashed quantum
+//! re-dispatches from the checkpoint cloned before the slice — a crash
+//! loses at most one quantum, never the job — and a job whose slices
+//! crash [`ServerConfig::crash_quarantine`] times in total goes
+//! terminal as the typed `job_poisoned`. Overload degrades gracefully
+//! instead of failing strangely: `queue_full` rejections carry a
+//! `retry_after_ns` hint derived from observed slice throughput,
+//! duplicate submits inside the dedup window collapse onto the original
+//! job id, and terminal results live in a bounded TTL + LRU retention
+//! store whose evictions answer `fetch_result` with the typed
+//! `result_evicted`.
 
 use crate::queue::{JobQueue, JobState, JobWork};
+use crate::supervisor::{supervise_slice, CrashInjector, SliceOutcome, DEFAULT_CRASH_QUARANTINE};
 use crate::wire::{
     decode_request, encode_response, CexDigest, ErrorCode, JobOptions, JobSnapshot, JobSpec,
     Request, Response, WireError,
@@ -41,14 +56,15 @@ use ddws_model::{CompositionBuilder, QueueKind};
 use ddws_relational::Instance;
 use ddws_telemetry::{Json, TelemetryEvent};
 use ddws_testkit::compgen::{Case, CaseSpec, ChanSpec};
+use ddws_testkit::faults::INJECTED_PANIC;
 use ddws_verifier::{
-    AbortReason, Checkpoint, ClockHandle, DatabaseMode, FaultHook, ManualClock, Outcome, Report,
-    ReporterHandle, RunReport, Verifier, VerifyOptions,
+    AbortReason, Checkpoint, Clock, ClockHandle, DatabaseMode, FaultHook, ManualClock, Outcome,
+    Report, ReporterHandle, RunReport, Verifier, VerifyOptions,
 };
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Service configuration.
 #[derive(Clone)]
@@ -66,6 +82,19 @@ pub struct ServerConfig {
     /// Deterministic mode never emits snapshots — the progress gate reads
     /// wall time, which would break replay.
     pub progress_interval: Option<Duration>,
+    /// Total crashed slices before a job is quarantined as a poison job
+    /// (terminal `job_poisoned`; `fetch_result` answers the typed
+    /// error). Clamped to at least 1.
+    pub crash_quarantine: u64,
+    /// Retention-store capacity: how many terminal results (report +
+    /// counterexample) are kept before LRU eviction.
+    pub retain_results: usize,
+    /// Retention TTL: a result untouched this long is evicted (virtual
+    /// nanoseconds in deterministic mode, wall nanoseconds otherwise).
+    pub result_ttl_ns: u64,
+    /// Seeded worker-crash injection for chaos runs. `None` in
+    /// production — the supervisor then only sees genuine crashes.
+    pub crash_injector: Option<Arc<CrashInjector>>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +105,10 @@ impl Default for ServerConfig {
             clock: None,
             tick_ns: 64,
             progress_interval: Some(Duration::from_millis(25)),
+            crash_quarantine: DEFAULT_CRASH_QUARANTINE,
+            retain_results: 1024,
+            result_ttl_ns: 3_600_000_000_000,
+            crash_injector: None,
         }
     }
 }
@@ -89,6 +122,7 @@ impl ServerConfig {
             clock: Some(Arc::new(ManualClock::new(0))),
             tick_ns: 64,
             progress_interval: None,
+            ..ServerConfig::default()
         }
     }
 }
@@ -107,6 +141,9 @@ pub enum ServiceEvent {
         kind: String,
         /// Rejection code, when rejected.
         code: Option<ErrorCode>,
+        /// Whether the accept deduplicated onto an existing job via its
+        /// `submit_token` (no new job was enqueued).
+        dedup: bool,
     },
     /// One scheduler quantum.
     Slice {
@@ -153,12 +190,24 @@ pub enum ServiceEvent {
         /// Run reports drained.
         reports: u64,
     },
+    /// A retention-store eviction (TTL expiry or LRU capacity); the
+    /// job's report and counterexample were dropped.
+    Evict {
+        /// The job whose result was evicted.
+        job: u64,
+    },
 }
 
 impl fmt::Display for ServiceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceEvent::Submit { job, kind, code } => match (job, code) {
+            ServiceEvent::Submit {
+                job,
+                kind,
+                code,
+                dedup,
+            } => match (job, code) {
+                (Some(j), _) if *dedup => write!(f, "submit kind={kind} -> dedup job={j}"),
                 (Some(j), _) => write!(f, "submit kind={kind} -> accepted job={j}"),
                 (None, Some(c)) => write!(f, "submit kind={kind} -> rejected {}", c.name()),
                 (None, None) => write!(f, "submit kind={kind} -> rejected"),
@@ -184,6 +233,7 @@ impl fmt::Display for ServiceEvent {
                 f,
                 "telemetry job={job} snapshots={snapshots} reports={reports}"
             ),
+            ServiceEvent::Evict { job } => write!(f, "evict job={job} -> result_evicted"),
         }
     }
 }
@@ -192,6 +242,11 @@ struct ServerState {
     queue: JobQueue,
     steps: u64,
     log: Vec<ServiceEvent>,
+    /// Nanoseconds of completed (non-crashed) slices — virtual in
+    /// deterministic mode, wall otherwise — for the back-pressure hint.
+    slice_ns_total: u64,
+    /// Completed slices behind `slice_ns_total`.
+    slices_timed: u64,
 }
 
 /// The verification service. Cheap to share: wrap in an [`Arc`] and hand
@@ -200,6 +255,8 @@ struct ServerState {
 pub struct Server {
     config: ServerConfig,
     state: Mutex<ServerState>,
+    /// Wall anchor for the retention clock outside deterministic mode.
+    started: Instant,
 }
 
 impl Server {
@@ -212,7 +269,19 @@ impl Server {
                 queue: JobQueue::new(capacity),
                 steps: 0,
                 log: Vec::new(),
+                slice_ns_total: 0,
+                slices_timed: 0,
             }),
+            started: Instant::now(),
+        }
+    }
+
+    /// The retention clock: virtual nanoseconds in deterministic mode,
+    /// wall nanoseconds since server start otherwise.
+    fn now_ns(&self) -> u64 {
+        match &self.config.clock {
+            Some(clock) => clock.now_ns(),
+            None => self.started.elapsed().as_nanos() as u64,
         }
     }
 
@@ -234,7 +303,11 @@ impl Server {
     /// Handles one decoded request.
     pub fn dispatch(&self, req: &Request) -> Response {
         match req {
-            Request::SubmitJob { spec, options } => self.submit(spec, options),
+            Request::SubmitJob {
+                spec,
+                options,
+                submit_token,
+            } => self.submit(spec, options, *submit_token),
             Request::JobStatus { job } => self.status(*job),
             Request::CancelJob { job } => self.cancel(*job),
             Request::FetchResult { job } => self.fetch(*job),
@@ -242,7 +315,7 @@ impl Server {
         }
     }
 
-    fn submit(&self, spec: &JobSpec, options: &JobOptions) -> Response {
+    fn submit(&self, spec: &JobSpec, options: &JobOptions, submit_token: Option<u64>) -> Response {
         let kind = match spec {
             JobSpec::Spec(_) => "spec".to_string(),
             JobSpec::Scenario(name) => name.clone(),
@@ -259,6 +332,20 @@ impl Server {
             }),
         };
         let mut st = self.state.lock().unwrap();
+        // Idempotent resubmit: a token still in the dedup window answers
+        // the original job id — a client retrying a lost ack cannot
+        // double-submit, even when the queue is otherwise full.
+        if let Some(token) = submit_token {
+            if let Some(id) = st.queue.dedup_lookup(token) {
+                st.log.push(ServiceEvent::Submit {
+                    job: Some(id),
+                    kind,
+                    code: None,
+                    dedup: true,
+                });
+                return Response::Accepted { job: id };
+            }
+        }
         let outcome = built.and_then(|case| {
             let work = JobWork {
                 verifier: Verifier::new(case.composition),
@@ -267,7 +354,7 @@ impl Server {
                 checkpoint: None,
             };
             let step = st.steps;
-            st.queue.submit(work, options.clone(), step)
+            st.queue.submit(work, options.clone(), step, submit_token)
         });
         match outcome {
             Ok(id) => {
@@ -275,18 +362,40 @@ impl Server {
                     job: Some(id),
                     kind,
                     code: None,
+                    dedup: false,
                 });
                 Response::Accepted { job: id }
             }
             Err(err) => {
+                let err = if err.code == ErrorCode::QueueFull {
+                    err.with_retry_after(Self::retry_after_hint(&st, &self.config))
+                } else {
+                    err
+                };
                 st.log.push(ServiceEvent::Submit {
                     job: None,
                     kind,
                     code: Some(err.code),
+                    dedup: false,
                 });
                 Response::Error(err)
             }
         }
+    }
+
+    /// The back-pressure hint attached to `queue_full`: the observed
+    /// (or, before any slice completed, the configured) per-slice
+    /// nanoseconds times one full round of quanta over the active jobs —
+    /// roughly when the round-robin queue will next have drained one
+    /// admission slot's worth of work.
+    fn retry_after_hint(st: &ServerState, config: &ServerConfig) -> u64 {
+        let per_slice = st
+            .slice_ns_total
+            .checked_div(st.slices_timed)
+            .unwrap_or_else(|| config.quantum_states.saturating_mul(config.tick_ns));
+        per_slice
+            .saturating_mul(st.queue.active() as u64 + 1)
+            .max(1)
     }
 
     fn snapshot_of(entry: &crate::queue::JobEntry) -> JobSnapshot {
@@ -371,7 +480,11 @@ impl Server {
     }
 
     fn fetch(&self, job: u64) -> Response {
+        let now = self.now_ns();
         let mut st = self.state.lock().unwrap();
+        // The TTL sweep rides on every fetch, so expiry is observable
+        // without waiting for the next job completion.
+        self.sweep_retention(&mut st, now);
         let Some(entry) = st.queue.job(job) else {
             st.log.push(ServiceEvent::Fetch {
                 job,
@@ -391,6 +504,25 @@ impl Server {
             });
             return Response::Error(WireError::new(code, msg));
         }
+        if entry.verdict.as_deref() == Some("job_poisoned") {
+            let msg = format!(
+                "job {job} crashed {} times and was quarantined",
+                entry.crash_recoveries
+            );
+            st.log.push(ServiceEvent::Fetch {
+                job,
+                outcome: ErrorCode::JobPoisoned.name().to_string(),
+            });
+            return Response::Error(WireError::new(ErrorCode::JobPoisoned, msg));
+        }
+        if entry.evicted {
+            let msg = format!("job {job}'s result left the retention store");
+            st.log.push(ServiceEvent::Fetch {
+                job,
+                outcome: ErrorCode::ResultEvicted.name().to_string(),
+            });
+            return Response::Error(WireError::new(ErrorCode::ResultEvicted, msg));
+        }
         let verdict = entry.verdict.clone().unwrap_or_else(|| "failed".into());
         let resp = Response::Result {
             snapshot: Self::snapshot_of(entry),
@@ -398,11 +530,23 @@ impl Server {
             report: entry.report.clone(),
             counterexample: entry.counterexample.clone(),
         };
+        st.queue.touch_result(job, now);
         st.log.push(ServiceEvent::Fetch {
             job,
             outcome: verdict,
         });
         resp
+    }
+
+    /// Applies the retention policy and logs the evictions.
+    fn sweep_retention(&self, st: &mut ServerState, now_ns: u64) {
+        for evicted in st.queue.evict_results(
+            now_ns,
+            self.config.retain_results,
+            self.config.result_ttl_ns,
+        ) {
+            st.log.push(ServiceEvent::Evict { job: evicted });
+        }
     }
 
     fn telemetry(&self, job: u64) -> Response {
@@ -470,49 +614,110 @@ impl Server {
         let cap = Verifier::slice_cap(visited, self.config.quantum_states).min(budget);
         let quantum = cap.saturating_sub(visited);
 
-        let vopts = self.slice_options(&options, &work.database, &cancel, &stream);
+        // The recovery point: on a crash the job re-dispatches from the
+        // checkpoint as it was *before* the slice, so a crash costs at
+        // most one quantum of work (`None` before the first slice — the
+        // job then simply restarts from scratch).
+        let recovery = work.checkpoint.clone();
+        let crash_tick = self
+            .config
+            .crash_injector
+            .as_ref()
+            .and_then(|injector| injector.draw());
+        let vopts = self.slice_options(&options, &work.database, &cancel, &stream, crash_tick);
+        let slice_started = Instant::now();
         let result = if quantum == 0 {
             // The previous slice consumed the whole budget exactly at its
             // synthetic cap; nothing is left to run.
-            Err(None)
+            None
         } else {
-            match work.checkpoint.take() {
+            Some(supervise_slice(|| match work.checkpoint.take() {
                 None => work.verifier.check_slice(&work.property, &vopts, cap),
                 Some(cp) => work.verifier.resume_slice(cp, &vopts, quantum),
-            }
-            .map_err(Some)
+            }))
         };
 
         let mut st = self.state.lock().unwrap();
         let step = st.steps;
+        let quarantine = self.config.crash_quarantine.max(1);
         let entry = st.queue.job_mut(id).expect("job exists");
         let n = entry.slices + 1;
         let outcome_label;
+        let mut slice_ns = None;
         match result {
-            Err(None) => {
+            None => {
                 entry.state = JobState::Done;
                 entry.verdict = Some("budget_exceeded".to_string());
                 entry.completed_step = Some(step);
                 outcome_label = "budget_exceeded".to_string();
             }
-            Err(Some(e)) => {
+            Some(SliceOutcome::Failed(e)) => {
                 entry.slices = n;
                 entry.state = JobState::Failed;
                 entry.verdict = Some("failed".to_string());
                 entry.completed_step = Some(step);
                 outcome_label = format!("failed ({e})");
             }
-            Ok(report) => {
+            Some(SliceOutcome::Crashed { .. }) => {
+                // The engine streamed exactly one abort report for the
+                // crashed slice, so counting it keeps the telemetry
+                // conservation law (`reports == slices`) intact. The
+                // job's cumulative states stay at their pre-slice value:
+                // the crashed quantum's work is lost, nothing else.
                 entry.slices = n;
+                entry.crash_recoveries += 1;
+                let k = entry.crash_recoveries;
+                if entry.cancel_requested {
+                    entry.discarded_checkpoint = recovery.is_some();
+                    entry.state = JobState::Cancelled;
+                    entry.verdict = Some("cancelled".to_string());
+                    entry.completed_step = Some(step);
+                    outcome_label = "cancelled (crashed slice)".to_string();
+                } else if k >= quarantine {
+                    entry.state = JobState::Failed;
+                    entry.verdict = Some("job_poisoned".to_string());
+                    entry.completed_step = Some(step);
+                    outcome_label = format!("job_poisoned ({k} crashes)");
+                } else {
+                    work.checkpoint = recovery;
+                    entry.state = JobState::Parked;
+                    entry.work = Some(work);
+                    st.queue.requeue(id);
+                    outcome_label = format!("crashed (recovery {k}/{quarantine})");
+                }
+            }
+            Some(SliceOutcome::Finished(report)) => {
+                entry.slices = n;
+                let gained = report
+                    .stats
+                    .states_visited
+                    .saturating_sub(entry.states_visited);
                 entry.states_visited = report.stats.states_visited;
-                outcome_label = Self::integrate_slice(entry, &mut work, report, cap, budget, step);
+                slice_ns = Some(match &self.config.clock {
+                    Some(_) => gained.max(1).saturating_mul(self.config.tick_ns),
+                    None => slice_started.elapsed().as_nanos() as u64,
+                });
+                outcome_label = Self::integrate_slice(entry, &mut work, *report, cap, budget, step);
                 if entry.state == JobState::Parked {
                     entry.work = Some(work);
                     st.queue.requeue(id);
                 }
             }
         }
-        let states = st.queue.job(id).expect("job exists").states_visited;
+
+        // Stamp the supervision counter onto the terminal report, log
+        // the slice, and run the result through the retention policy.
+        let entry = st.queue.job_mut(id).expect("job exists");
+        let recoveries = entry.crash_recoveries;
+        if let Some(report) = entry.report.as_mut() {
+            report.counters.crash_recoveries = recoveries;
+        }
+        let states = entry.states_visited;
+        let retain = entry.state.is_terminal() && entry.report.is_some();
+        if let Some(ns) = slice_ns {
+            st.slice_ns_total += ns;
+            st.slices_timed += 1;
+        }
         st.log.push(ServiceEvent::Slice {
             job: id,
             n,
@@ -520,6 +725,11 @@ impl Server {
             outcome: outcome_label,
             states,
         });
+        if retain {
+            let now = self.now_ns();
+            st.queue.retain_result(id, now);
+            self.sweep_retention(&mut st, now);
+        }
         true
     }
 
@@ -620,12 +830,26 @@ impl Server {
         database: &Instance,
         cancel: &ddws_verifier::CancelToken,
         stream: &ddws_telemetry::StreamReporter,
+        crash_tick: Option<u64>,
     ) -> VerifyOptions {
-        let fault_hook: Option<FaultHook> = self.config.clock.as_ref().map(|clock| {
-            let clock = clock.clone();
-            let tick_ns = self.config.tick_ns;
-            Arc::new(move |_tick: u64| clock.advance(tick_ns)) as FaultHook
-        });
+        // One hook serves both duties: deterministic mode advances the
+        // virtual clock every expansion, and an injected crash panics at
+        // its drawn ordinal *inside* the engine's expansion path — the
+        // same path a genuine worker bug would take.
+        let clock_hook = self.config.clock.clone();
+        let tick_ns = self.config.tick_ns;
+        let fault_hook: Option<FaultHook> = if clock_hook.is_some() || crash_tick.is_some() {
+            Some(Arc::new(move |tick: u64| {
+                if let Some(clock) = &clock_hook {
+                    clock.advance(tick_ns);
+                }
+                if crash_tick == Some(tick) {
+                    panic!("{INJECTED_PANIC} (injected worker crash at expansion {tick})");
+                }
+            }) as FaultHook)
+        } else {
+            None
+        };
         VerifyOptions {
             database: DatabaseMode::Fixed(database.clone()),
             fresh_values: options.fresh_values,
@@ -679,8 +903,15 @@ impl Server {
                 submitted_step: j.submitted_step,
                 completed_step: j.completed_step,
                 discarded_checkpoint: j.discarded_checkpoint,
+                crash_recoveries: j.crash_recoveries,
+                evicted: j.evicted,
             })
             .collect()
+    }
+
+    /// Number of results the retention store currently holds.
+    pub fn retained_results(&self) -> usize {
+        self.state.lock().unwrap().queue.retained_results()
     }
 
     /// The redacted final report of a terminal job, if one exists.
@@ -764,6 +995,10 @@ pub struct JobSummary {
     pub completed_step: Option<u64>,
     /// Whether a cancel discarded a parked checkpoint.
     pub discarded_checkpoint: bool,
+    /// Crashed slices the supervisor absorbed and re-dispatched.
+    pub crash_recoveries: u64,
+    /// Whether the retention store evicted this job's result.
+    pub evicted: bool,
 }
 
 // ---------------------------------------------------------------------
@@ -901,6 +1136,7 @@ mod tests {
                     budget,
                     ..JobOptions::default()
                 },
+                submit_token: None,
             },
         );
         match resp {
@@ -991,6 +1227,7 @@ mod tests {
             &Request::SubmitJob {
                 spec: JobSpec::Scenario("req_resp".to_string()),
                 options: JobOptions::default(),
+                submit_token: None,
             },
         );
         match resp {
@@ -1016,6 +1253,170 @@ mod tests {
             small_row.completed_step.unwrap() <= small_row.slices * total + total,
             "fairness bound violated: {small_row:?}"
         );
+    }
+
+    #[test]
+    fn crashed_slices_redispatch_and_converge() {
+        // A clean run pins the oracle verdict…
+        let clean = Server::new(ServerConfig::deterministic(8, 4));
+        let job = submit_scenario(&clean, 1, "drop_audit", 100_000);
+        clean.drain();
+        let oracle = clean.jobs()[job as usize].clone();
+        assert_eq!(oracle.verdict.as_deref(), Some("violated"));
+        assert!(oracle.slices >= 2, "small quantum forces several slices");
+
+        // …then a chaos run crashes roughly every other slice. The
+        // supervisor re-dispatches each crash from the pre-slice
+        // checkpoint, so the verdict and digest are untouched.
+        let chaos_cfg = ServerConfig {
+            crash_injector: Some(Arc::new(CrashInjector::new(3, 2, 4))),
+            crash_quarantine: 10_000,
+            ..ServerConfig::deterministic(8, 4)
+        };
+        let chaos = Server::new(chaos_cfg);
+        let job = submit_scenario(&chaos, 1, "drop_audit", 100_000);
+        chaos.drain();
+        let row = chaos.jobs()[job as usize].clone();
+        assert_eq!(row.verdict, oracle.verdict);
+        assert_eq!(row.counterexample, oracle.counterexample);
+        assert!(
+            row.crash_recoveries >= 1,
+            "seed 3 must crash at least once: {row:?}"
+        );
+        // The final report carries the supervision counter.
+        let report = chaos.redacted_report(job).expect("terminal report");
+        assert_eq!(report.counters.crash_recoveries, row.crash_recoveries);
+        assert!(chaos.canonical_log().contains("crashed (recovery 1/"));
+    }
+
+    #[test]
+    fn crash_looping_jobs_are_quarantined_as_poisoned() {
+        // Crash every slice at the first expansion: the job can never
+        // progress and hits the quarantine threshold.
+        let config = ServerConfig {
+            crash_injector: Some(Arc::new(CrashInjector::new(1, 1, 1))),
+            crash_quarantine: 3,
+            ..ServerConfig::deterministic(8, 64)
+        };
+        let server = Server::new(config);
+        let job = submit_scenario(&server, 1, "req_resp", 100_000);
+        server.drain();
+        let row = &server.jobs()[job as usize];
+        assert_eq!(row.state, JobState::Failed);
+        assert_eq!(row.verdict.as_deref(), Some("job_poisoned"));
+        assert_eq!(row.crash_recoveries, 3);
+        assert_eq!(row.slices, 3);
+        match roundtrip(&server, 2, &Request::FetchResult { job }) {
+            Response::Error(err) => assert_eq!(err.code, ErrorCode::JobPoisoned),
+            other => panic!("expected job_poisoned, got {other:?}"),
+        }
+        assert!(server.canonical_log().contains("job_poisoned (3 crashes)"));
+    }
+
+    #[test]
+    fn duplicate_submit_tokens_collapse_onto_one_job() {
+        let server = Server::new(ServerConfig::deterministic(8, 64));
+        let req = Request::SubmitJob {
+            spec: JobSpec::Scenario("req_resp".to_string()),
+            options: JobOptions::default(),
+            submit_token: Some(0xfeed),
+        };
+        let first = match roundtrip(&server, 1, &req) {
+            Response::Accepted { job } => job,
+            other => panic!("submit rejected: {other:?}"),
+        };
+        let second = match roundtrip(&server, 2, &req) {
+            Response::Accepted { job } => job,
+            other => panic!("duplicate submit rejected: {other:?}"),
+        };
+        assert_eq!(first, second);
+        assert_eq!(server.jobs().len(), 1, "one job despite two submits");
+        assert!(server.canonical_log().contains("-> dedup job=0"));
+    }
+
+    #[test]
+    fn lru_eviction_answers_fetch_with_result_evicted() {
+        let config = ServerConfig {
+            retain_results: 1,
+            ..ServerConfig::deterministic(8, 64)
+        };
+        let server = Server::new(config);
+        let first = submit_scenario(&server, 1, "req_resp", 100_000);
+        let second = submit_scenario(&server, 2, "drop_audit", 100_000);
+        server.drain();
+        // Capacity 1: the second completion evicted the first result.
+        assert_eq!(server.retained_results(), 1);
+        assert!(server.jobs()[first as usize].evicted);
+        match roundtrip(&server, 3, &Request::FetchResult { job: first }) {
+            Response::Error(err) => assert_eq!(err.code, ErrorCode::ResultEvicted),
+            other => panic!("expected result_evicted, got {other:?}"),
+        }
+        match roundtrip(&server, 4, &Request::FetchResult { job: second }) {
+            Response::Result { verdict, .. } => assert_eq!(verdict, "violated"),
+            other => panic!("survivor must fetch: {other:?}"),
+        }
+        assert!(server
+            .canonical_log()
+            .contains(&format!("evict job={first} -> result_evicted")));
+    }
+
+    #[test]
+    fn ttl_expiry_evicts_on_the_next_fetch() {
+        let config = ServerConfig {
+            result_ttl_ns: 1_000,
+            ..ServerConfig::deterministic(8, 64)
+        };
+        let clock = config.clock.clone().unwrap();
+        let server = Server::new(config);
+        let job = submit_scenario(&server, 1, "req_resp", 100_000);
+        server.drain();
+        match roundtrip(&server, 2, &Request::FetchResult { job }) {
+            Response::Result { .. } => {}
+            other => panic!("fresh result must fetch: {other:?}"),
+        }
+        clock.advance(10_000);
+        match roundtrip(&server, 3, &Request::FetchResult { job }) {
+            Response::Error(err) => assert_eq!(err.code, ErrorCode::ResultEvicted),
+            other => panic!("expected result_evicted after TTL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_full_carries_a_retry_after_hint() {
+        let server = Server::new(ServerConfig::deterministic(1, 64));
+        submit_scenario(&server, 1, "starver", 1_000_000);
+        let resp = roundtrip(
+            &server,
+            2,
+            &Request::SubmitJob {
+                spec: JobSpec::Scenario("req_resp".to_string()),
+                options: JobOptions::default(),
+                submit_token: None,
+            },
+        );
+        match resp {
+            Response::Error(err) => {
+                assert_eq!(err.code, ErrorCode::QueueFull);
+                let hint = err.retry_after_ns.expect("queue_full carries a hint");
+                assert!(hint >= 1);
+            }
+            other => panic!("expected queue_full, got {other:?}"),
+        }
+        // After a slice ran, the hint tracks observed throughput.
+        server.step();
+        let resp = roundtrip(
+            &server,
+            3,
+            &Request::SubmitJob {
+                spec: JobSpec::Scenario("req_resp".to_string()),
+                options: JobOptions::default(),
+                submit_token: None,
+            },
+        );
+        match resp {
+            Response::Error(err) => assert!(err.retry_after_ns.unwrap() >= 1),
+            other => panic!("expected queue_full, got {other:?}"),
+        }
     }
 
     #[test]

@@ -15,8 +15,12 @@
 //!   `[`[`MIN_WIRE_VERSION`]`, `[`WIRE_VERSION`]`]`; anything else is
 //!   rejected with [`ErrorCode::UnsupportedVersion`]. Version 1 lacked
 //!   `stream_telemetry`/`telemetry` messages and the `options` object of
-//!   `submit_job`; version-2 decoders fill the v1 gaps with defaults, so
-//!   v1 frames parse unchanged.
+//!   `submit_job`; version 3 adds the optional `submit_token` field of
+//!   `submit_job` (idempotent resubmission), the optional
+//!   `retry_after_ns` field of `error` envelopes (back-pressure hint on
+//!   `queue_full`), and the 2xx codes `job_poisoned` / `result_evicted`.
+//!   Decoders fill the gaps of older versions with defaults, so v1 and
+//!   v2 frames parse unchanged.
 //! * `id` — a client-chosen correlation id, echoed on the response.
 //! * `type` — the message type; remaining keys are the message body.
 //!
@@ -30,7 +34,7 @@ use ddws_testkit::compgen::{AuditorSpec, CaseSpec, ChanSpec};
 /// The envelope's `schema` value.
 pub const WIRE_SCHEMA: &str = "ddws.wire";
 /// The current protocol version, written by every encoder.
-pub const WIRE_VERSION: u64 = 2;
+pub const WIRE_VERSION: u64 = 3;
 /// The oldest protocol version decoders still accept.
 pub const MIN_WIRE_VERSION: u64 = 1;
 /// Hard cap on a frame's payload length; longer frames are rejected with
@@ -53,6 +57,11 @@ pub enum ErrorCode {
     UnknownRequest,
     /// The message body is missing or mistypes a field.
     InvalidRequest,
+    /// An `error` envelope carried a code outside the registry. Produced
+    /// by *decoders* only — a frame with an unregistered code still
+    /// parses into this typed error rather than failing, so a newer
+    /// peer's codes degrade gracefully instead of breaking the session.
+    UnknownErrorCode,
     /// Admission control: the job queue is at capacity.
     QueueFull,
     /// No job with the given id.
@@ -65,6 +74,12 @@ pub enum ErrorCode {
     SpecInvalid,
     /// `submit_job` named a scenario the server does not know.
     UnknownScenario,
+    /// The job crashed its slice too many times and was quarantined by
+    /// the supervisor (see `crate::supervisor`); terminal.
+    JobPoisoned,
+    /// `fetch_result` on a job whose result the retention store already
+    /// evicted (TTL or LRU); terminal, the verdict is gone.
+    ResultEvicted,
     /// The service failed internally (worker panic, unparseable property).
     Internal,
 }
@@ -77,12 +92,15 @@ pub const ERROR_CODES: &[ErrorCode] = &[
     ErrorCode::UnsupportedVersion,
     ErrorCode::UnknownRequest,
     ErrorCode::InvalidRequest,
+    ErrorCode::UnknownErrorCode,
     ErrorCode::QueueFull,
     ErrorCode::UnknownJob,
     ErrorCode::JobNotTerminal,
     ErrorCode::JobTerminal,
     ErrorCode::SpecInvalid,
     ErrorCode::UnknownScenario,
+    ErrorCode::JobPoisoned,
+    ErrorCode::ResultEvicted,
     ErrorCode::Internal,
 ];
 
@@ -96,12 +114,15 @@ impl ErrorCode {
             ErrorCode::UnsupportedVersion => 103,
             ErrorCode::UnknownRequest => 104,
             ErrorCode::InvalidRequest => 105,
+            ErrorCode::UnknownErrorCode => 106,
             ErrorCode::QueueFull => 200,
             ErrorCode::UnknownJob => 201,
             ErrorCode::JobNotTerminal => 202,
             ErrorCode::JobTerminal => 203,
             ErrorCode::SpecInvalid => 204,
             ErrorCode::UnknownScenario => 205,
+            ErrorCode::JobPoisoned => 206,
+            ErrorCode::ResultEvicted => 207,
             ErrorCode::Internal => 300,
         }
     }
@@ -115,12 +136,15 @@ impl ErrorCode {
             ErrorCode::UnsupportedVersion => "unsupported_version",
             ErrorCode::UnknownRequest => "unknown_request",
             ErrorCode::InvalidRequest => "invalid_request",
+            ErrorCode::UnknownErrorCode => "unknown_error_code",
             ErrorCode::QueueFull => "queue_full",
             ErrorCode::UnknownJob => "unknown_job",
             ErrorCode::JobNotTerminal => "job_not_terminal",
             ErrorCode::JobTerminal => "job_terminal",
             ErrorCode::SpecInvalid => "spec_invalid",
             ErrorCode::UnknownScenario => "unknown_scenario",
+            ErrorCode::JobPoisoned => "job_poisoned",
+            ErrorCode::ResultEvicted => "result_evicted",
             ErrorCode::Internal => "internal",
         }
     }
@@ -138,6 +162,11 @@ pub struct WireError {
     pub code: ErrorCode,
     /// Diagnostic detail (not part of the protocol contract).
     pub message: String,
+    /// Back-pressure hint (protocol version ≥ 3): how long the client
+    /// should wait before retrying, in nanoseconds. Set on `queue_full`
+    /// rejections from the server's observed slice throughput; absent
+    /// everywhere else.
+    pub retry_after_ns: Option<u64>,
 }
 
 impl WireError {
@@ -146,7 +175,14 @@ impl WireError {
         WireError {
             code,
             message: message.into(),
+            retry_after_ns: None,
         }
+    }
+
+    /// Attaches a `retry_after_ns` back-pressure hint.
+    pub fn with_retry_after(mut self, ns: u64) -> WireError {
+        self.retry_after_ns = Some(ns);
+        self
     }
 }
 
@@ -206,6 +242,11 @@ pub enum Request {
         spec: JobSpec,
         /// Per-job limits.
         options: JobOptions,
+        /// Client-chosen idempotency key (protocol version ≥ 3). Two
+        /// `submit_job` frames with the same token within the server's
+        /// dedup window enqueue **one** job and answer the same id, so
+        /// a client retrying a lost ack cannot double-submit.
+        submit_token: Option<u64>,
     },
     /// Poll a job's scheduling state.
     JobStatus {
@@ -394,6 +435,17 @@ fn get_array<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], WireError> {
     match v.get(key) {
         Some(Json::Array(items)) => Ok(items),
         _ => Err(invalid(format!("missing or non-array `{key}`"))),
+    }
+}
+
+/// `None` when the key is absent or `null`; otherwise the integer.
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, WireError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| invalid(format!("non-integer `{key}`"))),
     }
 }
 
@@ -664,10 +716,15 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
 
 /// Encodes a request at an explicit protocol version (compatibility
 /// tests). Version 1 omits the `options` object of `submit_job` — that
-/// field did not exist — and cannot express `stream_telemetry`.
+/// field did not exist — and cannot express `stream_telemetry`; versions
+/// below 3 omit `submit_token`.
 pub fn encode_request_versioned(version: u64, id: u64, req: &Request) -> Vec<u8> {
     let json = match req {
-        Request::SubmitJob { spec, options } => {
+        Request::SubmitJob {
+            spec,
+            options,
+            submit_token,
+        } => {
             let mut fields = match spec {
                 JobSpec::Spec(cs) => body(vec![("spec", case_spec_json(cs))]),
                 JobSpec::Scenario(name) => body(vec![("scenario", s(name.clone()))]),
@@ -680,6 +737,15 @@ pub fn encode_request_versioned(version: u64, id: u64, req: &Request) -> Vec<u8>
                         ("fresh_values", opt_u64_json(options.fresh_values)),
                         ("valuation_threads", opt_u64_json(options.valuation_threads)),
                     ]),
+                ));
+            }
+            if version >= 3 {
+                fields.push((
+                    "submit_token".to_string(),
+                    match submit_token {
+                        Some(t) => Json::UInt(*t),
+                        None => Json::Null,
+                    },
                 ));
             }
             envelope(version, id, "submit_job", fields)
@@ -769,16 +835,17 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
                 ),
             ]),
         ),
-        Response::Error(err) => envelope(
-            WIRE_VERSION,
-            id,
-            "error",
-            body(vec![
+        Response::Error(err) => {
+            let mut fields = vec![
                 ("code", Json::UInt(err.code.code())),
                 ("error", s(err.code.name())),
                 ("message", s(err.message.clone())),
-            ]),
-        ),
+            ];
+            if let Some(ns) = err.retry_after_ns {
+                fields.push(("retry_after_ns", Json::UInt(ns)));
+            }
+            envelope(WIRE_VERSION, id, "error", body(fields))
+        }
     };
     frame(json.to_string().as_bytes())
 }
@@ -842,7 +909,12 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Request, usize), WireError> {
                     valuation_threads: opt_usize(o, "valuation_threads")?,
                 },
             };
-            Request::SubmitJob { spec, options }
+            Request::SubmitJob {
+                spec,
+                options,
+                // Pre-v3 frames have no token; absent means "no dedup".
+                submit_token: opt_u64(&json, "submit_token")?,
+            }
         }
         "job_status" => Request::JobStatus {
             job: get_u64(&json, "job")?,
@@ -902,10 +974,23 @@ pub fn decode_response(buf: &[u8]) -> Result<(u64, Response, usize), WireError> 
         },
         "error" => {
             let code = get_u64(&json, "code")?;
+            // Unregistered codes decode to the typed `unknown_error_code`
+            // rather than failing: a newer peer's vocabulary degrades
+            // gracefully instead of killing the session.
+            let (code, message) = match ErrorCode::from_code(code) {
+                Some(c) => (c, get_str(&json, "message")?.to_string()),
+                None => (
+                    ErrorCode::UnknownErrorCode,
+                    format!(
+                        "unregistered error code {code}: {}",
+                        get_str(&json, "message").unwrap_or("")
+                    ),
+                ),
+            };
             Response::Error(WireError {
-                code: ErrorCode::from_code(code)
-                    .ok_or_else(|| invalid(format!("unregistered error code {code}")))?,
-                message: get_str(&json, "message")?.to_string(),
+                code,
+                message,
+                retry_after_ns: opt_u64(&json, "retry_after_ns")?,
             })
         }
         other => {
@@ -927,6 +1012,7 @@ mod tests {
         let req = Request::SubmitJob {
             spec: JobSpec::Scenario("req_resp".into()),
             options: JobOptions::default(),
+            submit_token: Some(41),
         };
         let bytes = encode_request(7, &req);
         let (id, back, consumed) = decode_request(&bytes).expect("decodes");
@@ -942,12 +1028,62 @@ mod tests {
                 budget: 999,
                 ..JobOptions::default()
             },
+            submit_token: Some(5),
         };
         let bytes = encode_request_versioned(1, 3, &req);
         let (_, back, _) = decode_request(&bytes).expect("v1 frame decodes");
         match back {
-            Request::SubmitJob { options, .. } => assert_eq!(options, JobOptions::default()),
+            Request::SubmitJob {
+                options,
+                submit_token,
+                ..
+            } => {
+                assert_eq!(options, JobOptions::default());
+                // v1/v2 frames cannot carry a token.
+                assert_eq!(submit_token, None);
+            }
             other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregistered_error_codes_decode_to_the_typed_fallback() {
+        // Hand-build an error envelope with a code from the future.
+        let payload = "{\"schema\":\"ddws.wire\",\"version\":3,\"id\":9,\"type\":\"error\",\
+                       \"code\":999,\"error\":\"from_the_future\",\"message\":\"novel failure\"}";
+        let bytes = frame(payload.as_bytes());
+        let (id, resp, _) = decode_response(&bytes).expect("unknown code still decodes");
+        assert_eq!(id, 9);
+        match resp {
+            Response::Error(err) => {
+                assert_eq!(err.code, ErrorCode::UnknownErrorCode);
+                assert!(err.message.contains("999"));
+                assert!(err.message.contains("novel failure"));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_after_hint_round_trips_and_stays_optional() {
+        let err = WireError::new(ErrorCode::QueueFull, "full").with_retry_after(12_345);
+        let bytes = encode_response(4, &Response::Error(err.clone()));
+        let (_, back, _) = decode_response(&bytes).expect("decodes");
+        match back {
+            Response::Error(e) => {
+                assert_eq!(e, err);
+                assert_eq!(e.retry_after_ns, Some(12_345));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Without the hint the field is absent and decodes to None.
+        let plain = WireError::new(ErrorCode::UnknownJob, "no job 7");
+        let bytes = encode_response(5, &Response::Error(plain.clone()));
+        assert!(!String::from_utf8_lossy(&bytes).contains("retry_after_ns"));
+        let (_, back, _) = decode_response(&bytes).expect("decodes");
+        match back {
+            Response::Error(e) => assert_eq!(e.retry_after_ns, None),
+            other => panic!("unexpected response {other:?}"),
         }
     }
 

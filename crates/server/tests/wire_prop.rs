@@ -68,10 +68,19 @@ fn arb_spec() -> impl Strategy<Value = JobSpec> {
     ]
 }
 
+fn arb_token() -> impl Strategy<Value = Option<u64>> {
+    (0u64..2, 0u64..u64::MAX).prop_map(|(some, v)| (some == 1).then_some(v))
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (arb_spec(), arb_options())
-            .prop_map(|(spec, options)| Request::SubmitJob { spec, options }),
+        (arb_spec(), arb_options(), arb_token()).prop_map(|(spec, options, submit_token)| {
+            Request::SubmitJob {
+                spec,
+                options,
+                submit_token,
+            }
+        }),
         (0u64..1_000).prop_map(|job| Request::JobStatus { job }),
         (0u64..1_000).prop_map(|job| Request::CancelJob { job }),
         (0u64..1_000).prop_map(|job| Request::FetchResult { job }),
@@ -251,19 +260,30 @@ proptest! {
     }
 
     /// Every supported version decodes; a version-1 `submit_job` (which
-    /// could not carry options) decodes to the documented defaults.
+    /// could carry neither options nor a `submit_token`) decodes to the
+    /// documented defaults.
     #[test]
-    fn versions_are_compatible(spec in arb_spec(), options in arb_options(), job in 0u64..1_000) {
-        // Version 1: submit without options; polls unchanged.
+    fn versions_are_compatible(
+        spec in arb_spec(),
+        options in arb_options(),
+        token in arb_token(),
+        job in 0u64..1_000,
+    ) {
+        // Version 1: submit without options or token; polls unchanged.
         let v1 = encode_request_versioned(1, 3, &Request::SubmitJob {
             spec: spec.clone(),
             options: options.clone(),
+            submit_token: token,
         });
         let (_, decoded, _) = decode_request(&v1)
             .map_err(|e| TestCaseError::fail(format!("v1 submit rejected: {e}")))?;
         prop_assert_eq!(
             decoded,
-            Request::SubmitJob { spec: spec.clone(), options: JobOptions::default() }
+            Request::SubmitJob {
+                spec: spec.clone(),
+                options: JobOptions::default(),
+                submit_token: None,
+            }
         );
         for req in [
             Request::JobStatus { job },
@@ -277,14 +297,64 @@ proptest! {
                 prop_assert_eq!(&decoded, &req);
             }
         }
-        // The current version round-trips the options verbatim.
+        // The current version round-trips options and token verbatim.
         let v2 = encode_request_versioned(WIRE_VERSION, 4, &Request::SubmitJob {
             spec: spec.clone(),
             options: options.clone(),
+            submit_token: token,
         });
         let (_, decoded, _) = decode_request(&v2)
             .map_err(|e| TestCaseError::fail(format!("v{WIRE_VERSION} rejected: {e}")))?;
-        prop_assert_eq!(decoded, Request::SubmitJob { spec, options });
+        prop_assert_eq!(decoded, Request::SubmitJob { spec, options, submit_token: token });
+    }
+
+    /// The `retry_after_ns` back-pressure hint survives the error
+    /// envelope exactly — present round-trips the value, absent stays
+    /// absent.
+    #[test]
+    fn retry_after_hints_round_trip(hint in arb_token(), n in 0u64..1_000) {
+        let mut err = WireError::new(ErrorCode::QueueFull, format!("full {n}"));
+        if let Some(ns) = hint {
+            err = err.with_retry_after(ns);
+        }
+        let bytes = encode_response(n, &Response::Error(err.clone()));
+        let (_, decoded, _) = decode_response(&bytes)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        match decoded {
+            Response::Error(back) => {
+                prop_assert_eq!(back.code, ErrorCode::QueueFull);
+                prop_assert_eq!(back.retry_after_ns, hint);
+            }
+            other => prop_assert!(false, "unexpected response: {other:?}"),
+        }
+    }
+
+    /// Splicing an *unregistered* numeric code into an error envelope
+    /// decodes to the typed `unknown_error_code` fallback — a peer
+    /// speaking a newer protocol revision cannot panic this side or get
+    /// its error silently dropped.
+    #[test]
+    fn unregistered_error_codes_decode_typed(bogus in 1_000u64..1_000_000, n in 0u64..1_000) {
+        let good = encode_response(n, &Response::Error(WireError::new(
+            ErrorCode::Internal,
+            "future error".to_string(),
+        )));
+        let (payload, _) = deframe(&good).expect("self-encoded frame");
+        let text = std::str::from_utf8(payload).expect("canonical JSON is UTF-8");
+        let spliced = text.replace(
+            &format!("\"code\":{}", ErrorCode::Internal.code()),
+            &format!("\"code\":{bogus}"),
+        );
+        prop_assert!(spliced != text, "splice must hit the code field");
+        let (_, decoded, _) = decode_response(&frame(spliced.as_bytes()))
+            .map_err(|e| TestCaseError::fail(format!("fallback failed: {e}")))?;
+        match decoded {
+            Response::Error(err) => {
+                prop_assert_eq!(err.code, ErrorCode::UnknownErrorCode);
+                prop_assert!(err.message.contains(&bogus.to_string()));
+            }
+            other => prop_assert!(false, "unexpected response: {other:?}"),
+        }
     }
 
     /// Versions outside the supported window are `unsupported_version`,
@@ -352,4 +422,30 @@ fn error_code_registry_is_consistent() {
         assert_eq!(ErrorCode::from_code(ec.code()), Some(ec));
     }
     assert_eq!(ErrorCode::from_code(0), None);
+}
+
+/// Every registered error code survives the wire exactly: code, name,
+/// message, and (where attached) the retry hint all round-trip through
+/// an error envelope. Exhaustive over the registry, not sampled — a new
+/// code that forgets its decode arm fails here, not in production.
+#[test]
+fn every_error_code_round_trips_through_the_envelope() {
+    for &ec in ERROR_CODES {
+        let err = WireError::new(ec, format!("probe {}", ec.name())).with_retry_after(42);
+        let bytes = encode_response(9, &Response::Error(err));
+        let (rid, decoded, consumed) = decode_response(&bytes)
+            .unwrap_or_else(|e| panic!("{} failed to decode: {e}", ec.name()));
+        assert_eq!(rid, 9);
+        assert_eq!(consumed, bytes.len());
+        match decoded {
+            Response::Error(back) => {
+                assert_eq!(back.code, ec, "{} code drifted", ec.name());
+                assert_eq!(back.message, format!("probe {}", ec.name()));
+                assert_eq!(back.retry_after_ns, Some(42));
+                // Re-encoding is byte-identical (canonical JSON).
+                assert_eq!(encode_response(9, &Response::Error(back)), bytes);
+            }
+            other => panic!("{} decoded as {other:?}", ec.name()),
+        }
+    }
 }

@@ -35,7 +35,9 @@ pub mod sim;
 
 pub use event::{canonical_trace, SimEvent};
 pub use service::{
-    fairness_violations, run_service_seed, ServiceJob, ServiceRun, ServiceSimOptions,
+    fairness_violations, run_service_seed, run_service_seed_with_override,
+    shrink_service_violation, ChaosTransport, ServiceBug, ServiceJob, ServiceRun,
+    ServiceSimOptions, ShrunkServiceFailure,
 };
 pub use sim::{
     run_seed, run_with_case_override, run_with_jobs, shrink_first_violation, JobRecord, JobSource,

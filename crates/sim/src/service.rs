@@ -24,15 +24,44 @@
 //!   of any job, every other job runs at most once, so a pathological
 //!   tenant (the `starver` scenario) delays nobody by more than one
 //!   full round of quanta.
+//!
+//! ## Wire-level chaos
+//!
+//! With a non-trivial [`FrameChaos`] profile (or `crash_in`/`skew_ns`)
+//! the same run becomes hostile, still as a pure function of the seed:
+//! client traffic goes through real [`ClientSession`] retry sessions
+//! over a [`ChaosTransport`] that drops, duplicates, reorders, and
+//! bit-flips frames; a seeded
+//! [`CrashInjector`](ddws_server::CrashInjector) panics workers
+//! mid-slice; retention bounds evict old results; and per-client clock
+//! skew perturbs virtual time during backoff waits. The invariant set
+//! tightens to the robustness contract: every submitted job still
+//! drains to an oracle-exact verdict **or** a typed terminal answer
+//! (`job_poisoned` for quarantined crash loops, `result_evicted` for
+//! reclaimed results) — never a hang, never a panic. Telemetry drains
+//! stay on the reliable direct path (drains are destructive reads, so a
+//! dropped drain response would silently lose counted reports and
+//! falsify the conservation law rather than test it).
+//!
+//! Violations are *attributed* to the draw-order index of the offending
+//! job, so [`shrink_service_violation`] can fold a failing chaos run
+//! into the PR 6 shrink pipeline: the spec is delta-debugged against
+//! the identical RNG stream, yielding a 1-minimal spec plus the
+//! minimized run's canonical trace.
 
 use ddws_server::{
-    decode_response, encode_request, CexDigest, JobOptions, JobSpec, Request, Response, Server,
-    ServerConfig,
+    decode_response, encode_request, CexDigest, ClientError, ClientSession, CrashInjector,
+    ErrorCode, JobOptions, JobSpec, Request, Response, RetryPolicy, Server, ServerConfig,
+    Transport, DEFAULT_CRASH_QUARANTINE,
 };
 use ddws_testkit::compgen::{self, CaseSpec};
 use ddws_testkit::contract;
+use ddws_testkit::faults::{corrupt_frame, FrameChaos, FrameFault};
 use ddws_testkit::rng::XorShift;
-use ddws_verifier::{AbortReason, DatabaseMode, Outcome, RunReport, Verifier, VerifyOptions};
+use ddws_verifier::{
+    AbortReason, DatabaseMode, ManualClock, Outcome, RunReport, Verifier, VerifyOptions,
+};
+use std::sync::Arc;
 
 /// Parameters of one service simulation.
 #[derive(Clone, Debug)]
@@ -53,6 +82,36 @@ pub struct ServiceSimOptions {
     pub cancel_one: bool,
     /// Safety bound on scheduler quanta before declaring deadlock.
     pub max_quanta: u64,
+    /// Wire-frame chaos profile for client traffic ([`FrameChaos::OFF`]
+    /// keeps the reliable direct wire and the pinned-seed byte
+    /// identity).
+    pub chaos: FrameChaos,
+    /// Seeded worker-crash injection: roughly one slice in `crash_in`
+    /// panics mid-expansion (0 disables).
+    pub crash_in: u64,
+    /// Total crashed slices before a job is quarantined as
+    /// `job_poisoned`.
+    pub crash_quarantine: u64,
+    /// Retention-store capacity for terminal results (LRU beyond it).
+    pub retain_results: usize,
+    /// Retention TTL in virtual nanoseconds.
+    pub result_ttl_ns: u64,
+    /// Per-client clock skew: client `c`'s backoff waits advance the
+    /// server's virtual clock by an extra `skew_ns * c` nanoseconds,
+    /// desynchronizing retention timing across tenants (0 disables).
+    pub skew_ns: u64,
+    /// Deliberate harness bug, for testing that the invariants (and the
+    /// shrinker behind them) actually catch divergence.
+    pub bug: Option<ServiceBug>,
+}
+
+/// Deliberately-injected service-harness bugs (the shrink pipeline's
+/// test fixtures — `None` in every real run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServiceBug {
+    /// Swap `holds` and `violated` on every served verdict before the
+    /// oracle comparison, so conclusive jobs diverge.
+    FlipVerdict,
 }
 
 impl Default for ServiceSimOptions {
@@ -66,6 +125,13 @@ impl Default for ServiceSimOptions {
             starver: false,
             cancel_one: true,
             max_quanta: 50_000,
+            chaos: FrameChaos::OFF,
+            crash_in: 0,
+            crash_quarantine: DEFAULT_CRASH_QUARANTINE,
+            retain_results: 1024,
+            result_ttl_ns: 3_600_000_000_000,
+            skew_ns: 0,
+            bug: None,
         }
     }
 }
@@ -76,6 +142,9 @@ impl Default for ServiceSimOptions {
 pub struct ServiceJob {
     /// Submitting client.
     pub client: usize,
+    /// Draw-order index (stable across lost submissions; the shrink
+    /// override targets this).
+    pub source: usize,
     /// Wire job id.
     pub job: u64,
     /// The compgen spec (absent for scenario jobs).
@@ -104,6 +173,12 @@ pub struct ServiceJob {
     pub discarded_checkpoint: bool,
     /// Run reports drained from the job's telemetry stream.
     pub reports: u64,
+    /// Crashed slices the supervisor absorbed and re-dispatched.
+    pub crash_recoveries: u64,
+    /// Whether the retention store evicted this job's result before the
+    /// fetch (the verdict then comes from the job row; the digest is
+    /// gone).
+    pub evicted: bool,
 }
 
 /// The result of one seeded service simulation.
@@ -120,8 +195,15 @@ pub struct ServiceRun {
     pub jobs: Vec<ServiceJob>,
     /// Recorded invariant violations (empty on a healthy run).
     pub violations: Vec<String>,
+    /// The job-attributable subset of `violations`, keyed by draw-order
+    /// index — the shrinker's input.
+    pub attributed: Vec<(usize, String)>,
     /// Scheduler quanta executed.
     pub quanta: u64,
+    /// Total crashed slices re-dispatched across all jobs.
+    pub crash_recoveries: u64,
+    /// Frame faults the chaos transport injected (0 on a reliable wire).
+    pub wire_faults: u64,
 }
 
 /// The oracle: a direct, one-shot, unsharded run of the same case under
@@ -163,14 +245,144 @@ fn oracle_verdict(
     })
 }
 
+/// A client [`Transport`] over an in-process [`Server`] whose frames
+/// run a seeded [`FrameChaos`] gauntlet: requests vanish, arrive twice,
+/// arrive late behind their successor, or arrive bit-flipped; acks
+/// vanish after the server already acted. Backoff waits let the server
+/// run a quantum and, under per-client skew, advance the virtual clock
+/// — so the wire's hostility is itself a pure function of the seed.
+pub struct ChaosTransport<'a> {
+    server: &'a Server,
+    clock: Option<Arc<ManualClock>>,
+    chaos: FrameChaos,
+    rng: XorShift,
+    delayed: Option<Vec<u8>>,
+    /// Extra virtual nanoseconds each backoff wait adds (the caller
+    /// sets this to the active client's skew before its requests).
+    pub skew_ns: u64,
+    /// Frame faults injected so far.
+    pub faults: u64,
+}
+
+impl<'a> ChaosTransport<'a> {
+    /// A chaos transport over `server` with its own fault RNG stream
+    /// (decorrelated from the schedule and the client sessions).
+    pub fn new(
+        server: &'a Server,
+        clock: Option<Arc<ManualClock>>,
+        chaos: FrameChaos,
+        seed: u64,
+    ) -> ChaosTransport<'a> {
+        ChaosTransport {
+            server,
+            clock,
+            chaos,
+            rng: XorShift::new(seed ^ 0xf4a7_5f4a_75f4_a75f),
+            delayed: None,
+            skew_ns: 0,
+            faults: 0,
+        }
+    }
+
+    /// Delivers a frame, letting any delayed predecessor land first
+    /// (its displaced response is discarded — that client retried long
+    /// ago).
+    fn deliver(&mut self, frame: &[u8]) -> Vec<u8> {
+        if let Some(stale) = self.delayed.take() {
+            self.server.handle_frame(&stale);
+        }
+        self.server.handle_frame(frame)
+    }
+}
+
+impl Transport for ChaosTransport<'_> {
+    fn call(&mut self, frame: &[u8]) -> Option<Vec<u8>> {
+        match self.chaos.draw(&mut self.rng) {
+            FrameFault::Deliver => Some(self.deliver(frame)),
+            FrameFault::DropRequest => {
+                self.faults += 1;
+                None
+            }
+            FrameFault::DropResponse => {
+                self.faults += 1;
+                self.deliver(frame);
+                None
+            }
+            FrameFault::Duplicate => {
+                self.faults += 1;
+                self.deliver(frame);
+                Some(self.deliver(frame))
+            }
+            FrameFault::Delay => {
+                self.faults += 1;
+                if let Some(stale) = self.delayed.replace(frame.to_vec()) {
+                    self.server.handle_frame(&stale);
+                }
+                None
+            }
+            FrameFault::Corrupt { offset, bit } => {
+                self.faults += 1;
+                let mut mangled = frame.to_vec();
+                corrupt_frame(&mut mangled, offset, bit);
+                Some(self.deliver(&mangled))
+            }
+        }
+    }
+
+    fn wait(&mut self, _ns: u64) {
+        if self.skew_ns > 0 {
+            if let Some(clock) = &self.clock {
+                clock.advance(self.skew_ns);
+            }
+        }
+        self.server.step();
+    }
+}
+
 /// Runs one seeded service simulation. Everything — job draws, request
-/// interleaving, cancellation timing — derives from `seed`.
+/// interleaving, cancellation timing, injected chaos — derives from
+/// `seed`.
 pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
+    run_service_impl(seed, opts, None)
+}
+
+/// Re-runs `seed` with the job at draw-order index `job` carrying
+/// `spec` instead of its drawn spec. The override is applied *after*
+/// the draw phase, so the RNG stream — the schedule, every other job,
+/// the chaos — is unchanged. The shrinker's re-execution primitive.
+pub fn run_service_seed_with_override(
+    seed: u64,
+    opts: &ServiceSimOptions,
+    job: usize,
+    spec: &CaseSpec,
+) -> ServiceRun {
+    run_service_impl(seed, opts, Some((job, spec)))
+}
+
+fn run_service_impl(
+    seed: u64,
+    opts: &ServiceSimOptions,
+    case_override: Option<(usize, &CaseSpec)>,
+) -> ServiceRun {
     let mut rng = XorShift::new(seed ^ 0x5e17_1ce0_5e17_1ce0);
-    let server = Server::new(ServerConfig::deterministic(
-        opts.capacity,
-        opts.quantum_states,
-    ));
+    let clock = Arc::new(ManualClock::new(0));
+    let server = Server::new(ServerConfig {
+        capacity: opts.capacity,
+        quantum_states: opts.quantum_states,
+        clock: Some(clock.clone()),
+        progress_interval: None,
+        crash_quarantine: opts.crash_quarantine,
+        retain_results: opts.retain_results,
+        result_ttl_ns: opts.result_ttl_ns,
+        crash_injector: (opts.crash_in > 0).then(|| {
+            Arc::new(CrashInjector::new(
+                seed,
+                opts.crash_in,
+                opts.quantum_states.max(1),
+            ))
+        }),
+        ..ServerConfig::default()
+    });
 
     // -------------------------------------------------------------
     // Draw phase: the job corpus, in client-submission order.
@@ -208,8 +420,35 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
     } else {
         None
     };
+    // The shrink override swaps one drawn spec *after* every draw above,
+    // leaving the RNG stream — and so the whole schedule — untouched.
+    if let Some((idx, spec)) = case_override {
+        assert!(
+            matches!(pending[idx].1, JobSpec::Spec(_)),
+            "override targets a drawn spec job"
+        );
+        pending[idx].1 = JobSpec::Spec(spec.clone());
+    }
+
+    // Chaos plumbing: retry sessions plus a faulty transport. On the
+    // reliable profile these stay unused and the direct wire below
+    // keeps the pinned seeds byte-identical.
+    let wire_chaos = opts.chaos != FrameChaos::OFF || opts.skew_ns > 0;
+    let mut sessions: Vec<ClientSession> = (0..opts.clients.max(1))
+        .map(|c| {
+            ClientSession::new(
+                seed ^ (c as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                RetryPolicy {
+                    max_attempts: 32,
+                    ..RetryPolicy::default()
+                },
+            )
+        })
+        .collect();
+    let mut transport = ChaosTransport::new(&server, Some(clock), opts.chaos, seed);
 
     let mut violations: Vec<String> = Vec::new();
+    let mut attributed: Vec<(usize, String)> = Vec::new();
     let mut jobs: Vec<ServiceJob> = Vec::new();
     let mut next_request_id: u64 = 1;
     let send = |server: &Server, req: &Request, id: &mut u64| -> Response {
@@ -234,7 +473,8 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
         if !runnable && !can_submit {
             break;
         }
-        if quanta >= opts.max_quanta {
+        let executed = if wire_chaos { server.steps() } else { quanta };
+        if executed >= opts.max_quanta {
             violations.push(format!(
                 "deadlock: {} quanta without quiescence",
                 opts.max_quanta
@@ -246,18 +486,24 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
         // slices (and before the next quantum, so it lands on a *parked*
         // checkpoint).
         if let Some((idx, after_slices)) = cancel_plan {
-            if !cancel_sent && idx < jobs.len() {
-                let job = &jobs[idx];
-                let rows = server.jobs();
-                let row = &rows[job.job as usize];
-                if !row.state.is_terminal() && row.slices >= after_slices {
-                    send(
-                        &server,
-                        &Request::CancelJob { job: job.job },
-                        &mut next_request_id,
-                    );
-                    cancel_sent = true;
-                    continue;
+            if !cancel_sent {
+                if let Some(job) = jobs.iter().find(|j| j.source == idx) {
+                    let rows = server.jobs();
+                    let row = &rows[job.job as usize];
+                    if !row.state.is_terminal() && row.slices >= after_slices {
+                        let req = Request::CancelJob { job: job.job };
+                        if wire_chaos {
+                            // A duplicated or retried cancel can land on
+                            // an already-terminal job; that typed answer
+                            // is fine.
+                            transport.skew_ns = opts.skew_ns * job.client as u64;
+                            let _ = sessions[job.client].request(&mut transport, &req);
+                        } else {
+                            send(&server, &req, &mut next_request_id);
+                        }
+                        cancel_sent = true;
+                        continue;
+                    }
                 }
             }
         }
@@ -266,44 +512,66 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
         // interleave quanta with occasional wire polls.
         if can_submit && (!runnable || rng.chance(2, 5)) {
             let (client, spec, options) = pending[submitted].clone();
-            let resp = send(
-                &server,
-                &Request::SubmitJob {
-                    spec: spec.clone(),
-                    options: options.clone(),
-                },
-                &mut next_request_id,
-            );
-            match resp {
-                Response::Accepted { job } => {
-                    jobs.push(ServiceJob {
-                        client,
-                        job,
-                        spec: match &spec {
-                            JobSpec::Spec(cs) => Some(cs.clone()),
-                            JobSpec::Scenario(_) => None,
-                        },
-                        scenario: match &spec {
-                            JobSpec::Scenario(name) => Some(name.clone()),
-                            JobSpec::Spec(_) => None,
-                        },
-                        verdict: None,
-                        oracle: None,
-                        counterexample: None,
-                        oracle_counterexample: None,
-                        slices: 0,
-                        states_visited: 0,
-                        submitted_step: 0,
-                        completed_step: None,
-                        cancelled: false,
-                        discarded_checkpoint: false,
-                        reports: 0,
-                    });
+            let source = submitted;
+            let accepted: Option<u64> = if wire_chaos {
+                transport.skew_ns = opts.skew_ns * client as u64;
+                match sessions[client].submit(&mut transport, spec.clone(), options.clone()) {
+                    Ok(job) => Some(job),
+                    Err(e) => {
+                        violations.push(format!("submission {source} lost to the wire: {e}"));
+                        None
+                    }
                 }
-                Response::Error(err) => violations.push(format!(
-                    "submission {submitted} rejected below capacity: {err}"
-                )),
-                other => violations.push(format!("unexpected submit response: {other:?}")),
+            } else {
+                match send(
+                    &server,
+                    &Request::SubmitJob {
+                        spec: spec.clone(),
+                        options: options.clone(),
+                        submit_token: None,
+                    },
+                    &mut next_request_id,
+                ) {
+                    Response::Accepted { job } => Some(job),
+                    Response::Error(err) => {
+                        violations.push(format!(
+                            "submission {submitted} rejected below capacity: {err}"
+                        ));
+                        None
+                    }
+                    other => {
+                        violations.push(format!("unexpected submit response: {other:?}"));
+                        None
+                    }
+                }
+            };
+            if let Some(job) = accepted {
+                jobs.push(ServiceJob {
+                    client,
+                    source,
+                    job,
+                    spec: match &spec {
+                        JobSpec::Spec(cs) => Some(cs.clone()),
+                        JobSpec::Scenario(_) => None,
+                    },
+                    scenario: match &spec {
+                        JobSpec::Scenario(name) => Some(name.clone()),
+                        JobSpec::Spec(_) => None,
+                    },
+                    verdict: None,
+                    oracle: None,
+                    counterexample: None,
+                    oracle_counterexample: None,
+                    slices: 0,
+                    states_visited: 0,
+                    submitted_step: 0,
+                    completed_step: None,
+                    cancelled: false,
+                    discarded_checkpoint: false,
+                    reports: 0,
+                    crash_recoveries: 0,
+                    evicted: false,
+                });
             }
             submitted += 1;
             continue;
@@ -313,12 +581,16 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
             // Occasionally poke the wire mid-flight; the responses land
             // in the canonical log, widening the replay surface.
             if !jobs.is_empty() && rng.chance(1, 8) {
-                let j = jobs[rng.below(jobs.len() as u64) as usize].job;
-                send(
-                    &server,
-                    &Request::JobStatus { job: j },
-                    &mut next_request_id,
-                );
+                let pick = rng.below(jobs.len() as u64) as usize;
+                let req = Request::JobStatus {
+                    job: jobs[pick].job,
+                };
+                if wire_chaos {
+                    transport.skew_ns = opts.skew_ns * jobs[pick].client as u64;
+                    let _ = sessions[jobs[pick].client].request(&mut transport, &req);
+                } else {
+                    send(&server, &req, &mut next_request_id);
+                }
             }
             if !jobs.is_empty() && rng.chance(1, 8) {
                 let pick = rng.below(jobs.len() as u64) as usize;
@@ -349,8 +621,11 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
         job.submitted_step = row.submitted_step;
         job.completed_step = row.completed_step;
         job.discarded_checkpoint = row.discarded_checkpoint;
+        job.crash_recoveries = row.crash_recoveries;
         if !row.state.is_terminal() {
-            violations.push(format!("job {} not terminal: {:?}", job.job, row.state));
+            let msg = format!("job {} not terminal: {:?}", job.job, row.state);
+            attributed.push((job.source, msg.clone()));
+            violations.push(msg);
             continue;
         }
         if let Response::Telemetry { reports, .. } = send(
@@ -361,11 +636,31 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
             job.reports += reports.len() as u64;
             check_reports(&reports, job.job, &mut violations);
         }
-        match send(
-            &server,
-            &Request::FetchResult { job: job.job },
-            &mut next_request_id,
-        ) {
+        let fetched: Option<Response> = if wire_chaos {
+            transport.skew_ns = opts.skew_ns * job.client as u64;
+            match sessions[job.client]
+                .request(&mut transport, &Request::FetchResult { job: job.job })
+            {
+                Ok(resp) => Some(resp),
+                Err(ClientError::Service(err)) => Some(Response::Error(err)),
+                Err(e) => {
+                    let msg = format!("fetch({}) lost to the wire: {e}", job.job);
+                    attributed.push((job.source, msg.clone()));
+                    violations.push(msg);
+                    None
+                }
+            }
+        } else {
+            Some(send(
+                &server,
+                &Request::FetchResult { job: job.job },
+                &mut next_request_id,
+            ))
+        };
+        let Some(fetched) = fetched else {
+            continue;
+        };
+        match fetched {
             Response::Result {
                 verdict,
                 counterexample,
@@ -375,19 +670,50 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
                 job.verdict = Some(verdict);
                 job.counterexample = counterexample;
             }
-            other => violations.push(format!("fetch({}) answered {other:?}", job.job)),
+            // The two typed terminal answers of the robustness contract:
+            // quarantined crash loops and reclaimed results. Both are
+            // healthy outcomes, not violations.
+            Response::Error(err) if err.code == ErrorCode::JobPoisoned => {
+                job.verdict = Some("job_poisoned".to_string());
+            }
+            Response::Error(err) if err.code == ErrorCode::ResultEvicted => {
+                job.evicted = true;
+                job.verdict = row.verdict.clone();
+                job.cancelled = row.verdict.as_deref() == Some("cancelled");
+            }
+            other => {
+                let msg = format!("fetch({}) answered {other:?}", job.job);
+                attributed.push((job.source, msg.clone()));
+                violations.push(msg);
+            }
         }
-        // Telemetry conservation: one report per executed slice. A
-        // cancel that lands between slices terminalizes without a final
-        // slice, so the bound is exact for uncancelled jobs.
+        // Telemetry conservation: one report per executed slice —
+        // crashed slices included, each streamed exactly one abort
+        // report. A cancel that lands between slices terminalizes
+        // without a final slice, so the bound is exact for uncancelled
+        // jobs.
         if !job.cancelled && job.reports != job.slices {
-            violations.push(format!(
+            let msg = format!(
                 "job {}: {} slices but {} streamed reports",
                 job.job, job.slices, job.reports
-            ));
+            );
+            attributed.push((job.source, msg.clone()));
+            violations.push(msg);
         }
 
         if job.cancelled {
+            continue;
+        }
+        if opts.bug == Some(ServiceBug::FlipVerdict) {
+            job.verdict = match job.verdict.as_deref() {
+                Some("holds") => Some("violated".to_string()),
+                Some("violated") => Some("holds".to_string()),
+                other => other.map(str::to_string),
+            };
+        }
+        if job.verdict.as_deref() == Some("job_poisoned") {
+            // Quarantine is the injector's doing, not the case's; there
+            // is no oracle for a job the chaos never let finish.
             continue;
         }
         let case = match (&job.spec, &job.scenario) {
@@ -402,21 +728,31 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
         match oracle_verdict(&case, &options) {
             Ok((verdict, digest)) => {
                 if job.verdict.as_deref() != Some(verdict.as_str()) {
-                    violations.push(format!(
+                    let msg = format!(
                         "job {}: served {:?}, oracle {verdict:?}",
                         job.job, job.verdict
-                    ));
+                    );
+                    attributed.push((job.source, msg.clone()));
+                    violations.push(msg);
                 }
-                if digest != job.counterexample {
-                    violations.push(format!(
+                // Eviction reclaims the counterexample with the report,
+                // so only the verdict remains comparable.
+                if !job.evicted && digest != job.counterexample {
+                    let msg = format!(
                         "job {}: served counterexample {:?}, oracle {:?}",
                         job.job, job.counterexample, digest
-                    ));
+                    );
+                    attributed.push((job.source, msg.clone()));
+                    violations.push(msg);
                 }
                 job.oracle = Some(verdict);
                 job.oracle_counterexample = digest;
             }
-            Err(e) => violations.push(format!("job {}: {e}", job.job)),
+            Err(e) => {
+                let msg = format!("job {}: {e}", job.job);
+                attributed.push((job.source, msg.clone()));
+                violations.push(msg);
+            }
         }
     }
 
@@ -429,10 +765,78 @@ pub fn run_service_seed(seed: u64, opts: &ServiceSimOptions) -> ServiceRun {
         seed,
         redacted_reports: ddws_server::redacted_reports(&server),
         trace,
+        crash_recoveries: jobs.iter().map(|j| j.crash_recoveries).sum(),
+        wire_faults: transport.faults,
         jobs,
         violations,
-        quanta,
+        attributed,
+        quanta: if wire_chaos { server.steps() } else { quanta },
     }
+}
+
+/// A service-level violation shrunk to a 1-minimal failing spec under
+/// the identical seeded schedule.
+#[derive(Clone, Debug)]
+pub struct ShrunkServiceFailure {
+    /// The driving seed.
+    pub seed: u64,
+    /// Draw-order index of the violating job.
+    pub job: usize,
+    /// The originally drawn spec.
+    pub spec: CaseSpec,
+    /// The 1-minimal spec that still violates under the same schedule.
+    pub min: CaseSpec,
+    /// The original run's attributed violations.
+    pub attributed: Vec<(usize, String)>,
+    /// Canonical service log of the re-run under the minimal spec — the
+    /// minimized schedule.
+    pub trace: String,
+}
+
+impl ServiceRun {
+    /// The first attributed violation whose job is a drawn compgen spec
+    /// (scenario jobs — e.g. the starver — have nothing to shrink).
+    pub fn shrinkable_violation(&self) -> Option<usize> {
+        self.attributed.iter().map(|(idx, _)| *idx).find(|idx| {
+            self.jobs
+                .iter()
+                .any(|j| j.source == *idx && j.spec.is_some())
+        })
+    }
+}
+
+/// Folds a failing service run into the shrink pipeline: the violating
+/// job's spec is delta-debugged with [`compgen::minimize_spec`] against
+/// the *identical* RNG stream (same seed, same schedule and chaos, spec
+/// swapped in after the draw phase), keeping a cut iff the re-run still
+/// attributes a violation to the same job. Returns the 1-minimal spec
+/// plus the minimized run's canonical trace, or `None` when no
+/// violation is attributable to a spec job.
+pub fn shrink_service_violation(
+    run: &ServiceRun,
+    opts: &ServiceSimOptions,
+) -> Option<ShrunkServiceFailure> {
+    let job = run.shrinkable_violation()?;
+    let spec = run
+        .jobs
+        .iter()
+        .find(|j| j.source == job)
+        .and_then(|j| j.spec.clone())?;
+    let min = compgen::minimize_spec(&spec, |cand| {
+        run_service_seed_with_override(run.seed, opts, job, cand)
+            .attributed
+            .iter()
+            .any(|(j, _)| *j == job)
+    });
+    let rerun = run_service_seed_with_override(run.seed, opts, job, &min);
+    Some(ShrunkServiceFailure {
+        seed: run.seed,
+        job,
+        spec,
+        min,
+        attributed: run.attributed.clone(),
+        trace: rerun.trace,
+    })
 }
 
 /// Schema-validates a batch of streamed slice reports.

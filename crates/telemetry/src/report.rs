@@ -20,9 +20,12 @@
 //! (`nba_cache_hits`, `nba_cache_misses`) introduced by valuation-level
 //! sharding, and widens [`RunReport::redacted`] to also zero the cache
 //! meters (rule and NBA), which are schedule-dependent when superseded
-//! shards contribute partial work. [`RunReport::from_json`] still accepts
-//! v1 and v2 documents (their `abort` / NBA counters default to
-//! `None` / 0).
+//! shards contribute partial work. v4 adds the `crash_recoveries`
+//! counter: how many crashed scheduler slices the serving layer absorbed
+//! and re-dispatched from a parked checkpoint before this report's run
+//! finished (0 for direct, unserved runs). [`RunReport::from_json`] still
+//! accepts v1–v3 documents (their `abort` / NBA counters /
+//! `crash_recoveries` default to `None` / 0 / 0).
 
 use crate::control::AbortReason;
 use crate::json::Json;
@@ -31,7 +34,7 @@ use crate::stats::SearchStats;
 /// The schema identifier every run report carries.
 pub const SCHEMA_NAME: &str = "ddws.run-report";
 /// The current schema version (frozen field set; bump on change).
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 /// The oldest schema version [`RunReport::from_json`] still accepts.
 pub const MIN_SCHEMA_VERSION: u64 = 1;
 
@@ -61,6 +64,12 @@ pub struct Counters {
     /// Grounded-NBA cache misses — distinct grounded formula shapes
     /// translated (schema v3; 0 when parsed from older documents).
     pub nba_cache_misses: u64,
+    /// Crashed scheduler slices absorbed by the serving layer's
+    /// supervisor and re-dispatched from a parked checkpoint (schema v4;
+    /// 0 for direct runs and when parsed from older documents). The
+    /// count is deterministic under a seeded crash plan, so redaction
+    /// keeps it.
+    pub crash_recoveries: u64,
     /// Whether any contributing search aborted on its state budget.
     pub truncated: bool,
 }
@@ -79,6 +88,7 @@ impl Counters {
             rule_cache_misses: stats.rule_cache_misses,
             nba_cache_hits: stats.nba_cache_hits,
             nba_cache_misses: stats.nba_cache_misses,
+            crash_recoveries: 0,
             truncated: stats.truncated,
         }
     }
@@ -239,6 +249,7 @@ impl RunReport {
                     ("rule_cache_misses".into(), Json::UInt(c.rule_cache_misses)),
                     ("nba_cache_hits".into(), Json::UInt(c.nba_cache_hits)),
                     ("nba_cache_misses".into(), Json::UInt(c.nba_cache_misses)),
+                    ("crash_recoveries".into(), Json::UInt(c.crash_recoveries)),
                     ("truncated".into(), Json::Bool(c.truncated)),
                 ]),
             ),
@@ -303,6 +314,11 @@ impl RunReport {
                 nba_cache_hits: c.get("nba_cache_hits").and_then(Json::as_u64).unwrap_or(0),
                 nba_cache_misses: c
                     .get("nba_cache_misses")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                // v1–v3 documents predate the supervisor counter.
+                crash_recoveries: c
+                    .get("crash_recoveries")
                     .and_then(Json::as_u64)
                     .unwrap_or(0),
                 truncated: c.get("truncated").and_then(Json::as_bool).unwrap(),
@@ -438,6 +454,14 @@ pub fn validate_run_report(v: &Json) -> Result<(), String> {
             }
         }
     }
+    if version >= 4
+        && counters
+            .get("crash_recoveries")
+            .and_then(Json::as_u64)
+            .is_none()
+    {
+        return Err("missing or non-integer counter `crash_recoveries`".into());
+    }
     if counters.get("truncated").and_then(Json::as_bool).is_none() {
         return Err("missing or non-bool counter `truncated`".into());
     }
@@ -486,6 +510,7 @@ mod tests {
                 rule_cache_misses: 2,
                 nba_cache_hits: 2,
                 nba_cache_misses: 1,
+                crash_recoveries: 3,
                 truncated: false,
             },
             phases: PhaseTimes {
@@ -529,7 +554,7 @@ mod tests {
         assert!(validate_run_report(&r.to_json_value()).is_ok());
         let bad_schema = r.to_json().replace("ddws.run-report", "other.schema");
         assert!(RunReport::from_json(&bad_schema).is_err());
-        let bad_version = r.to_json().replace("\"version\":3", "\"version\":99");
+        let bad_version = r.to_json().replace("\"version\":4", "\"version\":99");
         assert!(RunReport::from_json(&bad_version).is_err());
         let bad_outcome = r.to_json().replace("\"holds\"", "\"maybe\"");
         assert!(RunReport::from_json(&bad_outcome).is_err());
@@ -573,7 +598,7 @@ mod tests {
         // A v1 report: version 1, no abort object, v1 outcome vocabulary.
         let v1 = sample()
             .to_json()
-            .replace("\"version\":3", "\"version\":1")
+            .replace("\"version\":4", "\"version\":1")
             .replace("\"holds\"", "\"budget_exceeded\"");
         let decoded = RunReport::from_json(&v1).unwrap();
         assert_eq!(decoded.outcome, "budget_exceeded");
@@ -581,13 +606,13 @@ mod tests {
         // The v2-only outcome vocabulary is rejected under version 1...
         let v1_new_outcome = sample()
             .to_json()
-            .replace("\"version\":3", "\"version\":1")
+            .replace("\"version\":4", "\"version\":1")
             .replace("\"holds\"", "\"cancelled\"");
         assert!(RunReport::from_json(&v1_new_outcome).is_err());
         // ...and so is a v1 document carrying an abort object.
         let v1_with_abort = aborted_sample()
             .to_json()
-            .replace("\"version\":3", "\"version\":1");
+            .replace("\"version\":4", "\"version\":1");
         assert!(RunReport::from_json(&v1_with_abort).is_err());
     }
 
@@ -596,18 +621,36 @@ mod tests {
         // A v2 report: version 2, abort object allowed, no NBA counters.
         let v2 = aborted_sample()
             .to_json()
-            .replace("\"version\":3", "\"version\":2")
-            .replace("\"nba_cache_hits\":2,\"nba_cache_misses\":1,", "");
+            .replace("\"version\":4", "\"version\":2")
+            .replace("\"nba_cache_hits\":2,\"nba_cache_misses\":1,", "")
+            .replace("\"crash_recoveries\":3,", "");
         let decoded = RunReport::from_json(&v2).unwrap();
         assert_eq!(decoded.outcome, "budget_exceeded");
         assert!(decoded.abort.is_some());
         assert_eq!(decoded.counters.nba_cache_hits, 0);
         assert_eq!(decoded.counters.nba_cache_misses, 0);
-        // A v3 document missing the NBA counters is rejected.
+        // A v3+ document missing the NBA counters is rejected.
         let v3_missing = aborted_sample()
             .to_json()
             .replace("\"nba_cache_hits\":2,\"nba_cache_misses\":1,", "");
         assert!(RunReport::from_json(&v3_missing).is_err());
+    }
+
+    #[test]
+    fn v3_documents_are_still_accepted() {
+        // A v3 report: NBA counters present, no `crash_recoveries`.
+        let v3 = aborted_sample()
+            .to_json()
+            .replace("\"version\":4", "\"version\":3")
+            .replace("\"crash_recoveries\":3,", "");
+        let decoded = RunReport::from_json(&v3).unwrap();
+        assert_eq!(decoded.counters.crash_recoveries, 0);
+        assert_eq!(decoded.counters.nba_cache_hits, 2);
+        // A v4 document missing the supervisor counter is rejected.
+        let v4_missing = aborted_sample()
+            .to_json()
+            .replace("\"crash_recoveries\":3,", "");
+        assert!(RunReport::from_json(&v4_missing).is_err());
     }
 
     #[test]
@@ -626,6 +669,8 @@ mod tests {
         // deterministic remainder the differential suite compares.
         assert_eq!(red.counters.states_visited, 10);
         assert_eq!(red.counters.transitions_explored, 20);
+        // Crash recoveries are deterministic under a seeded crash plan.
+        assert_eq!(red.counters.crash_recoveries, 3);
         // For aborted runs, `spent` is timing/schedule-dependent too.
         let mut r = aborted_sample();
         let red = r.redacted();

@@ -457,15 +457,27 @@ pub fn case(rng: &mut XorShift) -> Case {
 /// install a quiet panic hook around the call to keep the shrink loop's
 /// expected panics out of the test output.
 pub fn minimize(spec: &CaseSpec, mut failing: impl FnMut(&Case) -> bool) -> CaseSpec {
+    minimize_spec(spec, |cand| {
+        failing(
+            &cand
+                .build()
+                .expect("minimize_spec offers only buildable candidates"),
+        )
+    })
+}
+
+/// Spec-level [`minimize`]: the predicate sees the shrunk [`CaseSpec`]
+/// itself instead of the built case — for harnesses that must ship the
+/// spec somewhere (e.g. resubmit it over the service wire) rather than
+/// check a case in-process. Only candidates that build are offered.
+pub fn minimize_spec(spec: &CaseSpec, mut failing: impl FnMut(&CaseSpec) -> bool) -> CaseSpec {
     let mut current = spec.clone();
     'outer: loop {
         for cand in current.candidates() {
             debug_assert!(cand.size() < current.size(), "cuts must shrink the spec");
-            if let Ok(case) = cand.build() {
-                if failing(&case) {
-                    current = cand;
-                    continue 'outer;
-                }
+            if cand.build().is_ok() && failing(&cand) {
+                current = cand;
+                continue 'outer;
             }
         }
         return current;

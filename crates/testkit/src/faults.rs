@@ -109,6 +109,96 @@ impl FaultPlan {
     }
 }
 
+/// One wire-level frame perturbation, drawn per request frame. The
+/// service chaos harness applies these on the client→server path:
+/// requests can vanish, arrive twice, arrive late behind the next frame,
+/// or arrive corrupted; acks can vanish after the server already acted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Deliver the frame untouched.
+    Deliver,
+    /// Drop the request — the server never sees it.
+    DropRequest,
+    /// Deliver the request, then drop the response (a lost ack: the
+    /// server acted, the client must retry idempotently).
+    DropResponse,
+    /// Deliver the frame twice back to back.
+    Duplicate,
+    /// Hold the frame and deliver it after the next frame (reordering;
+    /// the displaced delivery's response is discarded).
+    Delay,
+    /// Flip bit `bit` of byte `offset % len` before delivery; the
+    /// receiver must answer with a typed decode error, never panic.
+    Corrupt {
+        /// Byte position, reduced modulo the frame length.
+        offset: u64,
+        /// Bit index within the byte, `0..8`.
+        bit: u8,
+    },
+}
+
+/// Per-frame chaos odds, each a 1-in-N draw (0 disables that class).
+/// Drawn faults are mutually exclusive per frame, tested in the order
+/// corrupt → drop → duplicate → delay, so the profile's classes stay
+/// individually tunable without compounding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameChaos {
+    /// 1-in-N odds a frame is corrupted.
+    pub corrupt_in: u64,
+    /// 1-in-N odds a frame (or its response) is dropped.
+    pub drop_in: u64,
+    /// 1-in-N odds a frame is duplicated.
+    pub dup_in: u64,
+    /// 1-in-N odds a frame is delayed behind its successor.
+    pub reorder_in: u64,
+}
+
+impl FrameChaos {
+    /// No chaos: every draw answers [`FrameFault::Deliver`].
+    pub const OFF: FrameChaos = FrameChaos {
+        corrupt_in: 0,
+        drop_in: 0,
+        dup_in: 0,
+        reorder_in: 0,
+    };
+
+    /// Draws the fault for one frame.
+    pub fn draw(&self, rng: &mut XorShift) -> FrameFault {
+        if self.corrupt_in > 0 && rng.chance(1, self.corrupt_in) {
+            return FrameFault::Corrupt {
+                offset: rng.next_u64(),
+                bit: rng.below(8) as u8,
+            };
+        }
+        if self.drop_in > 0 && rng.chance(1, self.drop_in) {
+            return if rng.bool() {
+                FrameFault::DropRequest
+            } else {
+                FrameFault::DropResponse
+            };
+        }
+        if self.dup_in > 0 && rng.chance(1, self.dup_in) {
+            return FrameFault::Duplicate;
+        }
+        if self.reorder_in > 0 && rng.chance(1, self.reorder_in) {
+            return FrameFault::Delay;
+        }
+        FrameFault::Deliver
+    }
+}
+
+/// Applies a [`FrameFault::Corrupt`] to a frame in place: flips bit
+/// `bit % 8` of byte `offset % frame.len()`. Corrupting the length
+/// header is fair game — the decoder must reject that with a typed
+/// error too. No-op on an empty frame.
+pub fn corrupt_frame(frame: &mut [u8], offset: u64, bit: u8) {
+    if frame.is_empty() {
+        return;
+    }
+    let idx = (offset % frame.len() as u64) as usize;
+    frame[idx] ^= 1 << (bit % 8);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +235,49 @@ mod tests {
         hook(3);
         assert!(token.is_cancelled());
         assert_eq!(token.reason().unwrap(), "injected cancel at expansion 3");
+    }
+
+    #[test]
+    fn frame_chaos_draws_replay_and_respect_disabled_classes() {
+        let profile = FrameChaos {
+            corrupt_in: 4,
+            drop_in: 4,
+            dup_in: 4,
+            reorder_in: 4,
+        };
+        let draws: Vec<FrameFault> = {
+            let mut rng = XorShift::new(7);
+            (0..200).map(|_| profile.draw(&mut rng)).collect()
+        };
+        let replay: Vec<FrameFault> = {
+            let mut rng = XorShift::new(7);
+            (0..200).map(|_| profile.draw(&mut rng)).collect()
+        };
+        assert_eq!(draws, replay);
+        assert!(draws
+            .iter()
+            .any(|f| matches!(f, FrameFault::Corrupt { .. })));
+        assert!(draws.iter().any(|f| matches!(f, FrameFault::DropRequest)));
+        assert!(draws.iter().any(|f| matches!(f, FrameFault::DropResponse)));
+        assert!(draws.iter().any(|f| matches!(f, FrameFault::Duplicate)));
+        assert!(draws.iter().any(|f| matches!(f, FrameFault::Delay)));
+        let mut rng = XorShift::new(9);
+        for _ in 0..100 {
+            assert_eq!(FrameChaos::OFF.draw(&mut rng), FrameFault::Deliver);
+        }
+    }
+
+    #[test]
+    fn corrupt_frame_flips_exactly_one_bit() {
+        let mut frame = vec![0u8; 16];
+        corrupt_frame(&mut frame, 21, 3);
+        let ones: u32 = frame.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(ones, 1);
+        assert_eq!(frame[21 % 16], 1 << 3);
+        corrupt_frame(&mut frame, 21, 3);
+        assert!(frame.iter().all(|&b| b == 0));
+        let mut empty: [u8; 0] = [];
+        corrupt_frame(&mut empty, 5, 1);
     }
 
     #[test]

@@ -367,6 +367,14 @@ pub struct Inconclusive {
 /// Under valuation sharding a graceful stop can leave *several* shards
 /// mid-search; each one is preserved as a leg in [`Checkpoint::shard_legs`]
 /// and `resume` drains all of them plus the untouched tail.
+///
+/// Checkpoints are `Clone` so a supervisor can keep a pre-slice copy and
+/// re-dispatch the job after a crashed quantum: the legs and valuation
+/// tail are deep-copied, while the interned state space
+/// (`SharedSearch`) is shared behind its `Arc` — interning is
+/// append-only and idempotent, so states interned by the crashed
+/// partial slice are at worst dead entries the re-run never reaches.
+#[derive(Clone)]
 pub struct Checkpoint {
     property: LtlFoSentence,
     observed: BTreeSet<RelId>,

@@ -331,3 +331,105 @@ fn pinned_server_violation_seed_stays_green() {
     assert_eq!(job.oracle_counterexample.as_ref(), Some(cex));
     assert!(cex.cycle_len > 0, "lasso digest lost its cycle");
 }
+
+/// Pinned chaos seeds for the fault-tolerant service (`tests/server_sim.rs`
+/// chaos swarm), fed to [`ddws_sim::run_service_seed`] whole.
+///
+/// `SERVER_CRASH_REDISPATCH`: the seeded injector panics job 5's worker
+/// mid-slice twice; the supervisor restores the pre-slice checkpoint and
+/// requeues both times, and the job still reaches `violated` across four
+/// slices with a counterexample digest the one-shot oracle confirms — a
+/// crash loses a quantum, never the job, and never the verdict.
+const SERVER_CRASH_REDISPATCH: u64 = 12;
+
+/// `SERVER_DUP_SUBMIT_DEDUP`: a duplicate-only wire delivers at least one
+/// `submit_job` frame twice. The `submit_token` dedup window collapses
+/// the copies onto one job — the second delivery is acked with the
+/// *original* id (the `dedup` event in the canonical log), exactly one
+/// job per logical submission runs, and every verdict stays oracle-exact.
+const SERVER_DUP_SUBMIT_DEDUP: u64 = 9;
+
+#[test]
+fn pinned_server_crash_seed_redispatches_to_the_oracle_verdict() {
+    common::silence_injected_panics();
+    let opts = ddws_sim::ServiceSimOptions {
+        quantum_states: 64,
+        budget: 8_192,
+        cancel_one: false,
+        crash_in: 6,
+        crash_quarantine: 10,
+        ..ddws_sim::ServiceSimOptions::default()
+    };
+    let run = ddws_sim::run_service_seed(SERVER_CRASH_REDISPATCH, &opts);
+    assert_eq!(
+        run.violations,
+        Vec::<String>::new(),
+        "seed {SERVER_CRASH_REDISPATCH} violated"
+    );
+    assert!(
+        run.crash_recoveries >= 2,
+        "seed {SERVER_CRASH_REDISPATCH} no longer crashes enough workers \
+         ({} recoveries)",
+        run.crash_recoveries
+    );
+    // The pinned shape: a job that crashed mid-slice, re-dispatched from
+    // its checkpoint, and still served the oracle-confirmed violation.
+    let job = run
+        .jobs
+        .iter()
+        .find(|j| j.verdict.as_deref() == Some("violated") && j.crash_recoveries >= 1)
+        .expect("seed no longer re-dispatches a crashed job to a violation");
+    assert_eq!(job.oracle.as_deref(), Some("violated"));
+    assert_eq!(
+        job.oracle_counterexample.as_ref(),
+        job.counterexample.as_ref().map(Some).unwrap_or(None),
+        "re-dispatched counterexample must stay oracle-exact"
+    );
+    assert!(job.counterexample.is_some(), "violated job has a digest");
+    assert!(run.trace.contains("crashed (recovery"));
+    // And the chaotic schedule replays byte-identically.
+    let replay = ddws_sim::run_service_seed(SERVER_CRASH_REDISPATCH, &opts);
+    assert_eq!(run.trace, replay.trace);
+    assert_eq!(run.redacted_reports, replay.redacted_reports);
+}
+
+#[test]
+fn pinned_server_duplicate_submit_seed_collapses_onto_one_job() {
+    let opts = ddws_sim::ServiceSimOptions {
+        chaos: ddws_testkit::faults::FrameChaos {
+            corrupt_in: 0,
+            drop_in: 0,
+            dup_in: 4,
+            reorder_in: 0,
+        },
+        ..ddws_sim::ServiceSimOptions::default()
+    };
+    let run = ddws_sim::run_service_seed(SERVER_DUP_SUBMIT_DEDUP, &opts);
+    assert_eq!(
+        run.violations,
+        Vec::<String>::new(),
+        "seed {SERVER_DUP_SUBMIT_DEDUP} violated"
+    );
+    assert!(run.wire_faults > 0, "the dup wire injected nothing");
+    // The pinned shape: at least one duplicated submit_job was acked a
+    // second time with the original id instead of spawning a twin job.
+    let dedup_acks = run
+        .trace
+        .lines()
+        .filter(|l| l.contains("-> dedup job="))
+        .count();
+    assert!(
+        dedup_acks >= 1,
+        "seed {SERVER_DUP_SUBMIT_DEDUP} no longer duplicates a submit_job frame"
+    );
+    // One job per logical submission — the duplicates created nothing.
+    assert_eq!(
+        run.jobs.len(),
+        6,
+        "duplicate submissions spawned extra jobs"
+    );
+    let mut ids: Vec<u64> = run.jobs.iter().map(|j| j.job).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 6, "two logical submissions share a job id");
+}
